@@ -1,0 +1,62 @@
+/// \file ablation_runtime.cpp
+/// \brief Ablation of the run-time-model choices DESIGN.md calls out:
+///        time-driven vs. eager releases, gap-search vs. queue-at-end
+///        processor placement, and the respect-interior-bounds slicing
+///        extension.
+#include <iostream>
+
+#include "core/metrics.hpp"
+#include "core/slicing.hpp"
+#include "experiment/cli.hpp"
+
+using namespace feast;
+
+namespace {
+
+/// ADAPT under the FEAST extension that forbids window overlaps across
+/// precedence-related subtasks in different sliced paths.
+Strategy strategy_adapt_interior_bounds() {
+  return Strategy{"ADAPT(interior-bounds)", [](int n_procs) {
+                    SlicingOptions options;
+                    options.respect_interior_bounds = true;
+                    return make_slicing_distributor(make_adapt(n_procs, 1.25),
+                                                    make_ccne(), options);
+                  }};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv, "ablation_runtime");
+
+  const std::vector<Strategy> strategies{
+      strategy_pure(EstimatorKind::CCNE),
+      strategy_adapt(1.25),
+      strategy_adapt_interior_bounds(),
+  };
+
+  struct Variant {
+    const char* label;
+    ReleasePolicy release;
+    ProcessorPolicy processor;
+  };
+  std::vector<SweepResult> results;
+  for (const Variant variant :
+       {Variant{"time-driven + gap-search (paper model)", ReleasePolicy::TimeDriven,
+                ProcessorPolicy::GapSearch},
+        Variant{"time-driven + queue-at-end", ReleasePolicy::TimeDriven,
+                ProcessorPolicy::QueueAtEnd},
+        Variant{"eager + gap-search", ReleasePolicy::Eager, ProcessorPolicy::GapSearch}}) {
+    BatchConfig batch;
+    batch.samples = args.figure.samples;
+    batch.seed = args.figure.seed;
+    batch.scheduler.release_policy = variant.release;
+    batch.scheduler.processor_policy = variant.processor;
+    results.push_back(sweep_strategies(std::string("Run-time ablation — ") + variant.label,
+                                       paper_workload(ExecSpreadScenario::MDET),
+                                       strategies, args.figure.sizes, batch));
+  }
+  print_results(results);
+  args.write_csv(results);
+  return 0;
+}

@@ -1,0 +1,20 @@
+/// \file fig2_bst.cpp
+/// \brief Reproduces Figure 2: maximum task lateness for the BST metrics
+///        (PURE, NORM) under both communication-cost estimation strategies
+///        (CCNE, CCAA), across system sizes and execution-time spreads.
+///
+/// Expected shape (paper §6): lateness decreases roughly linearly with
+/// system size and then saturates; CCNE beats CCAA throughout; PURE
+/// saturates far better than NORM, and NORM's deficit grows with the
+/// execution-time spread (worst for HDET).
+#include <iostream>
+
+#include "experiment/cli.hpp"
+
+int main(int argc, char** argv) {
+  const feast::BenchArgs args = feast::parse_bench_args(argc, argv, "fig2_bst");
+  const auto results = feast::figure2_bst(args.figure);
+  feast::print_results(results);
+  args.write_csv(results);
+  return 0;
+}

@@ -1,0 +1,20 @@
+/// \file fig3_thres_surplus.cpp
+/// \brief Reproduces Figure 3: the THRES metric under surplus factors
+///        Δ ∈ {1, 2, 4}.
+///
+/// Expected shape (paper §7): larger Δ wins on small systems (extra slack
+/// shields long subtasks from processor contention) but is detrimental on
+/// large systems (Δ = 4 saturates far above Δ = 1); no single Δ is best
+/// everywhere — the motivation for ADAPT.
+#include <iostream>
+
+#include "experiment/cli.hpp"
+
+int main(int argc, char** argv) {
+  const feast::BenchArgs args =
+      feast::parse_bench_args(argc, argv, "fig3_thres_surplus");
+  const auto results = feast::figure3_thres_surplus(args.figure);
+  feast::print_results(results);
+  args.write_csv(results);
+  return 0;
+}

@@ -1,0 +1,35 @@
+/// \file sec8_bus.cpp
+/// \brief §8 future-work experiment: contention-based communication — the
+///        paper's delay model vs. a fully serialized shared bus with
+///        deadline-ordered slot allocation.
+#include <iostream>
+
+#include "experiment/cli.hpp"
+
+using namespace feast;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv, "sec8_bus");
+
+  const std::vector<Strategy> strategies{
+      strategy_pure(EstimatorKind::CCNE),
+      strategy_pure(EstimatorKind::CCAA),
+      strategy_adapt(1.25),
+  };
+
+  std::vector<SweepResult> results;
+  for (const CommContention contention :
+       {CommContention::ContentionFree, CommContention::PointToPointLinks,
+        CommContention::SharedBus}) {
+    BatchConfig batch;
+    batch.samples = args.figure.samples;
+    batch.seed = args.figure.seed;
+    batch.contention = contention;
+    results.push_back(sweep_strategies(
+        std::string("Sec. 8 bus model — ") + to_string(contention) + " (MDET)",
+        paper_workload(ExecSpreadScenario::MDET), strategies, args.figure.sizes, batch));
+  }
+  print_results(results);
+  args.write_csv(results);
+  return 0;
+}

@@ -1,0 +1,37 @@
+/// \file sec8_ccr.cpp
+/// \brief §8 complementary experiment: AST under varying communication-to-
+///        computation cost ratios (CCR ∈ {0.25, 0.5, 1, 2, 4}).
+///
+/// Also contrasts the CCNE and CCAA estimators as communication grows:
+/// the slack CCAA burns on message windows scales with CCR, so its deficit
+/// against CCNE should widen.
+#include <iostream>
+
+#include "experiment/cli.hpp"
+#include "util/strings.hpp"
+
+using namespace feast;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv, "sec8_ccr");
+
+  const std::vector<Strategy> strategies{
+      strategy_pure(EstimatorKind::CCNE),
+      strategy_pure(EstimatorKind::CCAA),
+      strategy_adapt(1.25),
+  };
+  BatchConfig batch;
+  batch.samples = args.figure.samples;
+  batch.seed = args.figure.seed;
+
+  std::vector<SweepResult> results;
+  for (const double ccr : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    RandomGraphConfig workload = paper_workload(ExecSpreadScenario::MDET);
+    workload.ccr = ccr;
+    results.push_back(sweep_strategies("Sec. 8 CCR sweep — CCR = " + format_compact(ccr, 2),
+                                       workload, strategies, args.figure.sizes, batch));
+  }
+  print_results(results);
+  args.write_csv(results);
+  return 0;
+}

@@ -1,0 +1,84 @@
+/// \file sec8_information.cpp
+/// \brief The value of assignment information: how much of the gap between
+///        relaxed-locality distribution (CCNE estimates) and an oracle with
+///        the final assignment can iterative redistribution recover?
+///
+/// Rows per system size:
+///   1 round  — the paper's setting (estimate, distribute once);
+///   2/4 rounds — feed the resulting assignment back into distribution;
+/// for PURE and ADAPT.  This quantifies the circular-dependency cost the
+/// paper's introduction describes.
+#include <iostream>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "experiment/cli.hpp"
+#include "sched/iterative.hpp"
+#include "taskgraph/generator.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace feast;
+
+namespace {
+
+struct Variant {
+  std::string label;
+  bool adapt = false;
+  int rounds = 1;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv, "sec8_information");
+
+  const std::vector<Variant> variants{
+      {"PURE, 1 round (paper)", false, 1},
+      {"PURE, 2 rounds", false, 2},
+      {"PURE, 4 rounds", false, 4},
+      {"ADAPT, 1 round (paper)", true, 1},
+      {"ADAPT, 2 rounds", true, 2},
+      {"ADAPT, 4 rounds", true, 4},
+  };
+
+  const auto ccne = make_ccne();
+  const RandomGraphConfig workload = paper_workload(ExecSpreadScenario::MDET);
+
+  std::cout << "Value of assignment information (MDET, mean max lateness over "
+            << args.figure.samples << " graphs)\n";
+  TextTable table;
+  std::vector<std::string> header{"variant \\ procs"};
+  for (const int n : args.figure.sizes) header.push_back(std::to_string(n));
+  table.set_header(std::move(header));
+
+  for (const Variant& variant : variants) {
+    std::vector<double> row;
+    for (const int n_procs : args.figure.sizes) {
+      RunningStats stats;
+      for (int sample = 0; sample < args.figure.samples; ++sample) {
+        Pcg32 rng(seed_for(args.figure.seed, {0, static_cast<std::uint64_t>(sample)}),
+                  static_cast<std::uint64_t>(sample));
+        const TaskGraph graph = generate_random_graph(workload, rng);
+
+        Machine machine;
+        machine.n_procs = n_procs;
+        IterativeOptions options;
+        options.max_rounds = variant.rounds;
+        options.stop_when_stalled = false;
+
+        const auto metric = variant.adapt
+                                ? std::unique_ptr<SliceMetric>(make_adapt(n_procs, 1.25))
+                                : std::unique_ptr<SliceMetric>(make_pure());
+        const IterativeResult result =
+            iterate_distribution(graph, *metric, *ccne, machine, options);
+        stats.add(result.lateness.max_lateness);
+      }
+      row.push_back(stats.mean());
+    }
+    table.add_row(variant.label, row, 1);
+  }
+  table.render(std::cout);
+  return 0;
+}

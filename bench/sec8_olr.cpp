@@ -1,0 +1,35 @@
+/// \file sec8_olr.cpp
+/// \brief Sensitivity of the paper's conclusions to the overall laxity
+///        ratio: the §5.2 workload fixes OLR = 1.5; this sweep tightens
+///        and loosens the end-to-end deadlines and checks whether the
+///        ADAPT-vs-PURE picture changes.
+#include <iostream>
+
+#include "experiment/cli.hpp"
+#include "util/strings.hpp"
+
+using namespace feast;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv, "sec8_olr");
+
+  const std::vector<Strategy> strategies{
+      strategy_pure(EstimatorKind::CCNE),
+      strategy_thres(1.0, 1.25),
+      strategy_adapt(1.25),
+  };
+  BatchConfig batch;
+  batch.samples = args.figure.samples;
+  batch.seed = args.figure.seed;
+
+  std::vector<SweepResult> results;
+  for (const double olr : {1.1, 1.25, 1.5, 2.0}) {
+    RandomGraphConfig workload = paper_workload(ExecSpreadScenario::MDET);
+    workload.olr = olr;
+    results.push_back(sweep_strategies("OLR sensitivity — OLR = " + format_compact(olr, 2),
+                                       workload, strategies, args.figure.sizes, batch));
+  }
+  print_results(results);
+  args.write_csv(results);
+  return 0;
+}

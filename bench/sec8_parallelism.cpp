@@ -1,0 +1,45 @@
+/// \file sec8_parallelism.cpp
+/// \brief §8 complementary experiment: AST vs. BST for task graphs with
+///        varying degrees of parallelism.
+///
+/// The paper reports (full data in tech report [15]) that AST "scales very
+/// well" with graph parallelism when the ADAPT metric is used.  We vary the
+/// graph depth at a fixed subtask count: shallow graphs are wide (high ξ),
+/// deep graphs are narrow (low ξ).
+#include <iostream>
+
+#include "experiment/cli.hpp"
+
+using namespace feast;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv, "sec8_parallelism");
+
+  const std::vector<Strategy> strategies{
+      strategy_pure(EstimatorKind::CCNE),
+      strategy_thres(1.0, 1.25),
+      strategy_adapt(1.25),
+  };
+  BatchConfig batch;
+  batch.samples = args.figure.samples;
+  batch.seed = args.figure.seed;
+
+  std::vector<SweepResult> results;
+  struct DepthRange {
+    const char* label;
+    int min_depth;
+    int max_depth;
+  };
+  for (const DepthRange range : {DepthRange{"wide graphs (depth 4-6, high parallelism)", 4, 6},
+                                 DepthRange{"paper graphs (depth 8-12)", 8, 12},
+                                 DepthRange{"deep graphs (depth 16-20, low parallelism)", 16, 20}}) {
+    RandomGraphConfig workload = paper_workload(ExecSpreadScenario::MDET);
+    workload.min_depth = range.min_depth;
+    workload.max_depth = range.max_depth;
+    results.push_back(sweep_strategies(std::string("Sec. 8 parallelism sweep — ") + range.label,
+                                       workload, strategies, args.figure.sizes, batch));
+  }
+  print_results(results);
+  args.write_csv(results);
+  return 0;
+}

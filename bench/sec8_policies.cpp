@@ -1,0 +1,89 @@
+/// \file sec8_policies.cpp
+/// \brief §8 future work: "explore the quality of AST under various task
+///        assignment and scheduling policies."
+///
+/// Part 1 swaps the list scheduler's selection policy (EDF → FIFO →
+/// static laxity) and re-runs the Figure-5 comparison.  Part 2 executes
+/// the plans with the discrete-event runtime simulator under preemptive
+/// vs. non-preemptive EDF dispatching.
+#include <iostream>
+#include <memory>
+
+#include "core/metrics.hpp"
+#include "core/slicing.hpp"
+#include "experiment/cli.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sim/runtime_sim.hpp"
+#include "taskgraph/generator.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace feast;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv, "sec8_policies");
+
+  const std::vector<Strategy> strategies{
+      strategy_pure(EstimatorKind::CCNE),
+      strategy_adapt(1.25),
+  };
+
+  // Part 1: offline selection policies.
+  std::vector<SweepResult> results;
+  struct Policy {
+    const char* label;
+    SelectionPolicy selection;
+  };
+  for (const Policy policy : {Policy{"EDF selection (paper)", SelectionPolicy::Edf},
+                              Policy{"FIFO selection", SelectionPolicy::Fifo},
+                              Policy{"static-laxity selection",
+                                     SelectionPolicy::StaticLaxity}}) {
+    BatchConfig batch;
+    batch.samples = args.figure.samples;
+    batch.seed = args.figure.seed;
+    batch.scheduler.selection = policy.selection;
+    results.push_back(sweep_strategies(std::string("Scheduling policy — ") + policy.label,
+                                       paper_workload(ExecSpreadScenario::MDET),
+                                       strategies, args.figure.sizes, batch));
+  }
+  print_results(results);
+  args.write_csv(results);
+
+  // Part 2: runtime dispatching (simulator), N = 2 where windows are tight.
+  std::cout << "Runtime dispatching (MDET, N=2, mean max lateness over "
+            << args.figure.samples << " graphs, WCET execution)\n";
+  TextTable table;
+  table.set_header({"dispatcher", "PURE", "ADAPT"});
+  const auto ccne = make_ccne();
+  for (const bool preemptive : {false, true}) {
+    std::vector<double> row;
+    for (const bool adapt : {false, true}) {
+      RunningStats stats;
+      for (int sample = 0; sample < args.figure.samples; ++sample) {
+        Pcg32 rng(seed_for(args.figure.seed, {0, static_cast<std::uint64_t>(sample)}),
+                  static_cast<std::uint64_t>(sample));
+        const TaskGraph graph =
+            generate_random_graph(paper_workload(ExecSpreadScenario::MDET), rng);
+        Machine machine;
+        machine.n_procs = 2;
+        const auto metric = adapt ? std::unique_ptr<SliceMetric>(make_adapt(2, 1.25))
+                                  : std::unique_ptr<SliceMetric>(make_pure());
+        const DeadlineAssignment assignment =
+            distribute_deadlines(graph, *metric, *ccne);
+        const Schedule plan = list_schedule(graph, assignment, machine);
+        RuntimeOptions runtime;
+        runtime.preemptive = preemptive;
+        Pcg32 sim_rng(seed_for(args.figure.seed, {1, static_cast<std::uint64_t>(sample)}),
+                      static_cast<std::uint64_t>(sample));
+        stats.add(simulate_runtime(graph, assignment, plan, machine, runtime, sim_rng)
+                      .lateness.max_lateness);
+      }
+      row.push_back(stats.mean());
+    }
+    table.add_row(preemptive ? "preemptive EDF" : "non-preemptive EDF (paper)", row, 1);
+  }
+  table.render(std::cout);
+  return 0;
+}

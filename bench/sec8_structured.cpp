@@ -1,0 +1,51 @@
+/// \file sec8_structured.cpp
+/// \brief §8 future-work experiment: AST on commonly-encountered task-graph
+///        structures — in-tree, out-tree and fork-join — instead of random
+///        graphs.
+#include <iostream>
+
+#include "experiment/cli.hpp"
+#include "taskgraph/shapes.hpp"
+#include "util/rng.hpp"
+
+using namespace feast;
+
+namespace {
+
+GraphFactory shape_factory(const std::string& kind) {
+  return [kind](std::size_t sample, std::uint64_t seed) {
+    Pcg32 rng(seed, /*stream=*/sample);
+    ShapeConfig config;  // MET 20, MDET spread, OLR 1.5, CCR 1.0
+    if (kind == "in-tree") return make_in_tree(/*depth=*/5, /*branching=*/2, config, rng);
+    if (kind == "out-tree") return make_out_tree(5, 2, config, rng);
+    if (kind == "fork-join") return make_fork_join(/*stages=*/3, /*width=*/5,
+                                                   /*branch_length=*/2, config, rng);
+    return make_chain(40, config, rng);
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv, "sec8_structured");
+
+  const std::vector<Strategy> strategies{
+      strategy_pure(EstimatorKind::CCNE),
+      strategy_norm(EstimatorKind::CCNE),
+      strategy_thres(1.0, 1.25),
+      strategy_adapt(1.25),
+  };
+  BatchConfig batch;
+  batch.samples = args.figure.samples;
+  batch.seed = args.figure.seed;
+
+  std::vector<SweepResult> results;
+  for (const std::string kind : {"in-tree", "out-tree", "fork-join"}) {
+    results.push_back(sweep_custom("Sec. 8 structured graphs — " + kind + " (31–46 subtasks)",
+                                   shape_factory(kind), strategies, args.figure.sizes,
+                                   batch));
+  }
+  print_results(results);
+  args.write_csv(results);
+  return 0;
+}

@@ -1,0 +1,156 @@
+/// \file autonomous_vehicle.cpp
+/// \brief Relaxed locality constraints in practice: an autonomous-vehicle
+///        perception/planning application where only the subtasks touching
+///        physical devices (cameras, radar, brake/steer actuators) are
+///        pinned to their I/O processors — everything else is placed by
+///        the scheduler.
+///
+/// The example compares deadline-distribution strategies on the same
+/// application across ECU sizes: distribution quality matters most when
+/// the machine is small, and which metric wins depends on the shape of
+/// the application.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "core/baselines.hpp"
+#include "core/metrics.hpp"
+#include "core/slicing.hpp"
+#include "sched/gantt.hpp"
+#include "sched/lateness.hpp"
+#include "sched/list_scheduler.hpp"
+#include "taskgraph/task_graph.hpp"
+#include "taskgraph/validate.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace feast;
+
+/// Builds the perception→fusion→planning→actuation graph.  Camera/radar
+/// drivers are pinned to the I/O processors P0/P1; actuator drivers to P0.
+TaskGraph build_vehicle_app() {
+  TaskGraph g;
+
+  // Sensor drivers (pinned: they read memory-mapped devices).
+  const NodeId cam_l = g.add_subtask("cam_left", 6.0);
+  const NodeId cam_r = g.add_subtask("cam_right", 6.0);
+  const NodeId radar = g.add_subtask("radar", 4.0);
+  const NodeId lidar = g.add_subtask("lidar", 9.0);
+  g.pin(cam_l, ProcId(0));
+  g.pin(cam_r, ProcId(1));
+  g.pin(radar, ProcId(0));
+  g.pin(lidar, ProcId(1));
+
+  // Perception (relaxed: can run anywhere).
+  const NodeId stereo = g.add_subtask("stereo_match", 28.0);
+  const NodeId lanes = g.add_subtask("lane_detect", 14.0);
+  const NodeId objects = g.add_subtask("object_detect", 32.0);
+  const NodeId clusters = g.add_subtask("radar_cluster", 10.0);
+  const NodeId ground = g.add_subtask("ground_filter", 12.0);
+
+  // Fusion & planning (relaxed).
+  const NodeId track = g.add_subtask("multi_track", 24.0);
+  const NodeId predict = g.add_subtask("trajectory_predict", 18.0);
+  const NodeId plan = g.add_subtask("motion_plan", 26.0);
+  const NodeId check = g.add_subtask("safety_check", 8.0);
+
+  // Actuator drivers (pinned).
+  const NodeId steer = g.add_subtask("steer_cmd", 3.0);
+  const NodeId brake = g.add_subtask("brake_cmd", 3.0);
+  g.pin(steer, ProcId(0));
+  g.pin(brake, ProcId(0));
+
+  // Data flow (message sizes in data items; 1 item = 1 bus time unit).
+  g.add_precedence(cam_l, stereo, 20.0);
+  g.add_precedence(cam_r, stereo, 20.0);
+  g.add_precedence(cam_l, lanes, 20.0);
+  g.add_precedence(stereo, objects, 12.0);
+  g.add_precedence(radar, clusters, 6.0);
+  g.add_precedence(lidar, ground, 14.0);
+  g.add_precedence(objects, track, 8.0);
+  g.add_precedence(clusters, track, 6.0);
+  g.add_precedence(ground, track, 6.0);
+  g.add_precedence(track, predict, 8.0);
+  g.add_precedence(lanes, plan, 4.0);
+  g.add_precedence(predict, plan, 8.0);
+  g.add_precedence(plan, check, 4.0);
+  g.add_precedence(check, steer, 1.0);
+  g.add_precedence(check, brake, 1.0);
+
+  // One control period: sensors fire at t = 0, actuators must command by
+  // t = 260 (roughly OLR 1.3 against the 203-unit workload).
+  for (const NodeId id : g.inputs()) g.set_boundary_release(id, 0.0);
+  for (const NodeId id : g.outputs()) g.set_boundary_deadline(id, 260.0);
+  require_valid(validate_for_distribution(g));
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  const TaskGraph app = build_vehicle_app();
+  std::cout << "Autonomous-vehicle application: " << app.subtask_count()
+            << " subtasks, " << app.comm_count() << " messages, workload "
+            << format_compact(app.total_workload(), 1) << " time units, deadline 260\n";
+  std::cout << "Pinned to I/O processors: 6 of " << app.subtask_count()
+            << " subtasks (relaxed locality constraints)\n\n";
+
+  const auto ccne = make_ccne();
+  for (const int n_procs : {2, 3, 6}) {
+    TextTable table;
+    table.set_header({"strategy", "max lateness", "worst subtask", "e2e lateness",
+                      "windows met"});
+
+    struct Entry {
+      std::string label;
+      std::unique_ptr<SliceMetric> metric;
+    };
+    std::vector<Entry> entries;
+    entries.push_back({"PURE (BST)", make_pure()});
+    entries.push_back({"THRES d=1 (AST)", make_thres(1.0)});
+    entries.push_back({"ADAPT (AST)", make_adapt(n_procs)});
+
+    Machine machine;
+    machine.n_procs = n_procs;
+    Schedule best_schedule;
+    DeadlineAssignment best_windows;
+    Time best = kInfiniteTime;
+
+    for (Entry& entry : entries) {
+      const DeadlineAssignment windows =
+          distribute_deadlines(app, *entry.metric, *ccne);
+      const Schedule schedule = list_schedule(app, windows, machine);
+      const LatenessStats stats = computation_lateness(app, windows, schedule);
+      table.add_row({entry.label, format_fixed(stats.max_lateness, 1),
+                     app.node(stats.argmax).name,
+                     format_fixed(end_to_end_lateness(app, schedule), 1),
+                     stats.feasible() ? "yes" : "NO"});
+      if (stats.max_lateness < best) {
+        best = stats.max_lateness;
+        best_schedule = schedule;
+        best_windows = windows;
+      }
+    }
+
+    std::cout << "=== " << n_procs << " processors ===\n";
+    table.render(std::cout);
+    std::cout << "\n";
+    if (n_procs == 2) {
+      std::cout << "Winning schedule on the 2-processor ECU:\n";
+      GanttOptions options;
+      options.width = 72;
+      write_gantt(std::cout, app, best_schedule, options);
+      std::cout << "\n";
+    }
+  }
+  std::cout
+      << "On this application the single dominant critical path favours PURE's\n"
+         "equal-share windows, while ADAPT recovers as processors are added —\n"
+         "strategy quality is application-dependent (the paper makes the same\n"
+         "observation about THRES in Sec. 8).  FEAST makes auditing the\n"
+         "candidates on *your* application a few lines of code; the statistical\n"
+         "picture over random workloads is in bench/fig5_ast.\n";
+  return 0;
+}

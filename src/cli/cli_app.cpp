@@ -1,0 +1,601 @@
+#include "cli/cli_app.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+
+#include "core/annotation_io.hpp"
+#include "core/comm_estimator.hpp"
+#include "core/demand.hpp"
+#include "core/distribution_validate.hpp"
+#include "core/metrics.hpp"
+#include "core/slicing.hpp"
+#include "sim/runtime_sim.hpp"
+#include "sched/gantt.hpp"
+#include "sched/lateness.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/report.hpp"
+#include "sched/schedule_validate.hpp"
+#include "taskgraph/algorithms.hpp"
+#include "taskgraph/dot.hpp"
+#include "taskgraph/generator.hpp"
+#include "taskgraph/serialize.hpp"
+#include "taskgraph/shapes.hpp"
+#include "taskgraph/validate.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace feast {
+
+namespace {
+
+/// Exit codes.
+constexpr int kOk = 0;
+constexpr int kFailure = 1;
+constexpr int kUsage = 2;
+
+/// Thrown on malformed command lines; carries the message for stderr.
+class UsageError : public std::runtime_error {
+ public:
+  explicit UsageError(const std::string& what) : std::runtime_error(what) {}
+};
+
+const char* kUsageText = R"(usage: feastc <command> [options]
+
+commands:
+  generate    emit a task graph in the FEAST text format
+  info        statistics and validation of a graph
+  distribute  assign execution windows (deadline distribution)
+  schedule    distribute + schedule + lateness report
+  simulate    execute the plan in the discrete-event runtime simulator
+  dot         Graphviz export
+
+common options:
+  <graph>                 graph file, or '-' for stdin
+  --metric M              pure | norm | thres | adapt   (default pure)
+  --delta D               THRES surplus factor          (default 1)
+  --threshold F           threshold factor x MET        (default 1.25)
+  --estimator E           ccne | ccaa                   (default ccne)
+  --procs N               system size                   (default 4)
+
+generate options:
+  --seed S                RNG seed                      (default 1)
+  --shape K               random | chain | in-tree | out-tree | fork-join |
+                          diamond                       (default random)
+  --scenario X            LDET | MDET | HDET            (default MDET)
+  --subtasks A:B          subtask-count range           (default 40:60)
+  --depth A:B             level-count range             (default 8:12)
+  --ccr C                 comm-to-computation ratio     (default 1.0)
+  --olr O                 overall laxity ratio          (default 1.5)
+
+distribute options:
+  --format F              table | csv                   (default table)
+  --windows-out FILE      also write the windows in the text format
+
+schedule options:
+  --contention C          free | bus | links            (default free)
+  --release R             time-driven | eager           (default time-driven)
+  --windows FILE          use pre-computed windows instead of distributing
+  --gantt                 render an ASCII Gantt chart
+  --csv                   emit the schedule as CSV instead of a summary
+  --report                add distribution/schedule quality reports
+
+simulate options (plus the distribute/schedule options):
+  --runs N                simulated executions          (default 100)
+  --overrun A:B           execution-time scale range    (default 1:1)
+  --background U          background utilization        (default 0)
+  --bg-service S          background job length         (default 10)
+  --preemptive            preemptive EDF dispatching
+  --sim-seed S            simulation RNG seed           (default 1)
+
+run 'feastc <command> --help' for the relevant subset.
+)";
+
+/// Simple sequential argument cursor.
+class Args {
+ public:
+  explicit Args(std::vector<std::string> args) : args_(std::move(args)) {}
+
+  bool done() const noexcept { return next_ >= args_.size(); }
+
+  std::string pop() {
+    FEAST_ASSERT(!done());
+    return args_[next_++];
+  }
+
+  std::string value_for(const std::string& flag) {
+    if (done()) throw UsageError("option " + flag + " needs a value");
+    return pop();
+  }
+
+ private:
+  std::vector<std::string> args_;
+  std::size_t next_ = 0;
+};
+
+double parse_double_arg(const std::string& flag, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw UsageError("bad number for " + flag + ": '" + text + "'");
+  }
+}
+
+long long parse_int_arg(const std::string& flag, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(text, &pos, 0);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw UsageError("bad integer for " + flag + ": '" + text + "'");
+  }
+}
+
+std::pair<int, int> parse_range_arg(const std::string& flag, const std::string& text) {
+  const auto pieces = split(text, ':');
+  if (pieces.size() != 2) throw UsageError(flag + " wants A:B, got '" + text + "'");
+  const int a = static_cast<int>(parse_int_arg(flag, pieces[0]));
+  const int b = static_cast<int>(parse_int_arg(flag, pieces[1]));
+  if (a < 1 || b < a) throw UsageError(flag + " range is empty: '" + text + "'");
+  return {a, b};
+}
+
+/// Distribution-related options shared by distribute/schedule.
+struct MetricOptions {
+  std::string metric = "pure";
+  double delta = 1.0;
+  double threshold = 1.25;
+  std::string estimator = "ccne";
+  int procs = 4;
+
+  /// Consumes the flag if it belongs to this group; true when consumed.
+  bool consume(const std::string& flag, Args& args) {
+    if (flag == "--metric") {
+      metric = args.value_for(flag);
+      if (metric != "pure" && metric != "norm" && metric != "thres" &&
+          metric != "adapt") {
+        throw UsageError("unknown metric '" + metric + "'");
+      }
+      return true;
+    }
+    if (flag == "--delta") {
+      delta = parse_double_arg(flag, args.value_for(flag));
+      return true;
+    }
+    if (flag == "--threshold") {
+      threshold = parse_double_arg(flag, args.value_for(flag));
+      return true;
+    }
+    if (flag == "--estimator") {
+      estimator = args.value_for(flag);
+      if (estimator != "ccne" && estimator != "ccaa") {
+        throw UsageError("unknown estimator '" + estimator + "'");
+      }
+      return true;
+    }
+    if (flag == "--procs") {
+      procs = static_cast<int>(parse_int_arg(flag, args.value_for(flag)));
+      if (procs < 1) throw UsageError("--procs must be positive");
+      return true;
+    }
+    return false;
+  }
+
+  std::unique_ptr<SliceMetric> make_metric() const {
+    if (metric == "norm") return make_norm();
+    if (metric == "thres") return make_thres(delta, threshold);
+    if (metric == "adapt") return make_adapt(procs, threshold);
+    return make_pure();
+  }
+
+  std::unique_ptr<CommCostEstimator> make_estimator() const {
+    return estimator == "ccaa" ? make_ccaa() : make_ccne();
+  }
+};
+
+/// Loads a graph from a path or stdin ("-").
+TaskGraph load_graph(const std::string& path, std::istream& in) {
+  if (path == "-") return read_task_graph(in);
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot open '" + path + "'");
+  return read_task_graph(file);
+}
+
+// ----------------------------------------------------------------- generate
+
+int cmd_generate(Args& args, std::ostream& out) {
+  std::uint64_t seed = 1;
+  std::string shape = "random";
+  RandomGraphConfig config;
+  ShapeConfig shape_config;
+
+  while (!args.done()) {
+    const std::string flag = args.pop();
+    if (flag == "--seed") {
+      seed = static_cast<std::uint64_t>(parse_int_arg(flag, args.value_for(flag)));
+    } else if (flag == "--shape") {
+      shape = args.value_for(flag);
+    } else if (flag == "--scenario") {
+      const std::string name = args.value_for(flag);
+      if (name == "LDET") config.set_scenario(ExecSpreadScenario::LDET);
+      else if (name == "MDET") config.set_scenario(ExecSpreadScenario::MDET);
+      else if (name == "HDET") config.set_scenario(ExecSpreadScenario::HDET);
+      else throw UsageError("unknown scenario '" + name + "'");
+      shape_config.exec_spread = config.exec_spread;
+    } else if (flag == "--subtasks") {
+      std::tie(config.min_subtasks, config.max_subtasks) =
+          parse_range_arg(flag, args.value_for(flag));
+    } else if (flag == "--depth") {
+      std::tie(config.min_depth, config.max_depth) =
+          parse_range_arg(flag, args.value_for(flag));
+    } else if (flag == "--ccr") {
+      config.ccr = parse_double_arg(flag, args.value_for(flag));
+      shape_config.ccr = config.ccr;
+    } else if (flag == "--olr") {
+      config.olr = parse_double_arg(flag, args.value_for(flag));
+      shape_config.olr = config.olr;
+    } else {
+      throw UsageError("generate: unknown option '" + flag + "'");
+    }
+  }
+
+  Pcg32 rng(seed);
+  TaskGraph graph;
+  if (shape == "random") graph = generate_random_graph(config, rng);
+  else if (shape == "chain") graph = make_chain(20, shape_config, rng);
+  else if (shape == "in-tree") graph = make_in_tree(5, 2, shape_config, rng);
+  else if (shape == "out-tree") graph = make_out_tree(5, 2, shape_config, rng);
+  else if (shape == "fork-join") graph = make_fork_join(3, 5, 2, shape_config, rng);
+  else if (shape == "diamond") graph = make_diamond(8, shape_config, rng);
+  else throw UsageError("unknown shape '" + shape + "'");
+
+  write_task_graph(out, graph);
+  return kOk;
+}
+
+// --------------------------------------------------------------------- info
+
+int cmd_info(Args& args, std::istream& in, std::ostream& out) {
+  std::optional<std::string> path;
+  while (!args.done()) {
+    const std::string flag = args.pop();
+    if (!path && (flag == "-" || flag.empty() || flag[0] != '-')) path = flag;
+    else throw UsageError("info: unknown option '" + flag + "'");
+  }
+  if (!path) throw UsageError("info: missing graph argument");
+
+  const TaskGraph graph = load_graph(*path, in);
+  out << "subtasks:        " << graph.subtask_count() << "\n";
+  out << "messages:        " << graph.comm_count() << "\n";
+  out << "inputs/outputs:  " << graph.inputs().size() << " / " << graph.outputs().size()
+      << "\n";
+  out << "depth:           " << depth(graph) << " levels\n";
+  out << "workload:        " << format_compact(graph.total_workload(), 3) << "\n";
+  out << "mean exec time:  " << format_compact(graph.mean_exec_time(), 3) << "\n";
+  out << "critical path:   "
+      << format_compact(longest_path_length(graph, computation_cost), 3) << "\n";
+  out << "parallelism xi:  " << format_fixed(average_parallelism(graph), 2) << "\n";
+  std::size_t pinned = 0;
+  for (const NodeId id : graph.computation_nodes()) {
+    if (graph.node(id).pinned.valid()) ++pinned;
+  }
+  out << "pinned subtasks: " << pinned << "\n";
+
+  const ValidationReport report = validate_for_distribution(graph);
+  if (report.ok()) {
+    out << "validation:      ok (ready for distribution)\n";
+    return kOk;
+  }
+  out << "validation:      FAILED\n" << report.to_string() << "\n";
+  return kFailure;
+}
+
+// --------------------------------------------------------------- distribute
+
+int cmd_distribute(Args& args, std::istream& in, std::ostream& out) {
+  std::optional<std::string> path;
+  MetricOptions metric_options;
+  std::string format = "table";
+  std::optional<std::string> windows_out;
+
+  while (!args.done()) {
+    const std::string flag = args.pop();
+    if (metric_options.consume(flag, args)) continue;
+    if (flag == "--format") {
+      format = args.value_for(flag);
+      if (format != "table" && format != "csv") {
+        throw UsageError("unknown format '" + format + "'");
+      }
+    } else if (flag == "--windows-out") {
+      windows_out = args.value_for(flag);
+    } else if (!path && (flag == "-" || flag.empty() || flag[0] != '-')) {
+      path = flag;
+    } else {
+      throw UsageError("distribute: unknown option '" + flag + "'");
+    }
+  }
+  if (!path) throw UsageError("distribute: missing graph argument");
+
+  const TaskGraph graph = load_graph(*path, in);
+  const auto metric = metric_options.make_metric();
+  const auto estimator = metric_options.make_estimator();
+  const DeadlineAssignment windows = distribute_deadlines(graph, *metric, *estimator);
+  require_valid(check_assignment_basic(graph, windows));
+
+  if (windows_out) {
+    std::ofstream file(*windows_out);
+    if (!file) throw std::runtime_error("cannot open '" + *windows_out + "'");
+    write_assignment(file, graph, windows);
+  }
+
+  if (format == "csv") {
+    CsvWriter csv(out);
+    csv.write_row({"kind", "name", "release", "rel_deadline", "abs_deadline",
+                   "laxity", "iteration"});
+    for (const NodeId id : graph.all_nodes()) {
+      const bool comp = graph.is_computation(id);
+      csv.write_row({comp ? "computation" : "communication", graph.node(id).name,
+                     format_compact(windows.release(id), 6),
+                     format_compact(windows.rel_deadline(id), 6),
+                     format_compact(windows.abs_deadline(id), 6),
+                     comp ? format_compact(windows.laxity(graph, id), 6) : "",
+                     std::to_string(windows.window(id).iteration)});
+    }
+    return kOk;
+  }
+
+  out << "strategy: " << metric->name() << "+" << estimator->name() << "\n";
+  out << "critical paths sliced: " << windows.paths().size() << "\n";
+  out << "minimum laxity: " << format_fixed(windows.min_laxity(graph), 2) << "\n";
+  out << "demand check (" << metric_options.procs << " procs): "
+      << analyze_demand(graph, windows, metric_options.procs).to_string() << "\n\n";
+  TextTable table;
+  table.set_header({"subtask", "release", "abs deadline", "laxity", "iter"});
+  for (const NodeId id : graph.computation_nodes()) {
+    table.add_row({graph.node(id).name, format_fixed(windows.release(id), 2),
+                   format_fixed(windows.abs_deadline(id), 2),
+                   format_fixed(windows.laxity(graph, id), 2),
+                   std::to_string(windows.window(id).iteration)});
+  }
+  table.render(out);
+  return kOk;
+}
+
+// ----------------------------------------------------------------- schedule
+
+int cmd_schedule(Args& args, std::istream& in, std::ostream& out) {
+  std::optional<std::string> path;
+  MetricOptions metric_options;
+  Machine machine;
+  SchedulerOptions sched_options;
+  bool gantt = false;
+  bool csv = false;
+  bool detailed_report = false;
+  std::optional<std::string> windows_path;
+
+  while (!args.done()) {
+    const std::string flag = args.pop();
+    if (metric_options.consume(flag, args)) continue;
+    if (flag == "--windows") {
+      windows_path = args.value_for(flag);
+    } else if (flag == "--contention") {
+      const std::string name = args.value_for(flag);
+      if (name == "free") machine.contention = CommContention::ContentionFree;
+      else if (name == "bus") machine.contention = CommContention::SharedBus;
+      else if (name == "links") machine.contention = CommContention::PointToPointLinks;
+      else throw UsageError("unknown contention model '" + name + "'");
+    } else if (flag == "--release") {
+      const std::string name = args.value_for(flag);
+      if (name == "time-driven") sched_options.release_policy = ReleasePolicy::TimeDriven;
+      else if (name == "eager") sched_options.release_policy = ReleasePolicy::Eager;
+      else throw UsageError("unknown release policy '" + name + "'");
+    } else if (flag == "--gantt") {
+      gantt = true;
+    } else if (flag == "--csv") {
+      csv = true;
+    } else if (flag == "--report") {
+      detailed_report = true;
+    } else if (!path && (flag == "-" || flag.empty() || flag[0] != '-')) {
+      path = flag;
+    } else {
+      throw UsageError("schedule: unknown option '" + flag + "'");
+    }
+  }
+  if (!path) throw UsageError("schedule: missing graph argument");
+
+  const TaskGraph graph = load_graph(*path, in);
+  machine.n_procs = metric_options.procs;
+  const auto metric = metric_options.make_metric();
+  const auto estimator = metric_options.make_estimator();
+  std::string strategy_label = metric->name() + "+" + estimator->name();
+  DeadlineAssignment windows;
+  if (windows_path) {
+    std::ifstream file(*windows_path);
+    if (!file) throw std::runtime_error("cannot open '" + *windows_path + "'");
+    windows = read_assignment(file, graph);
+    strategy_label = "windows from " + *windows_path;
+  } else {
+    windows = distribute_deadlines(graph, *metric, *estimator);
+  }
+  const Schedule schedule = list_schedule(graph, windows, machine, sched_options);
+  require_valid(validate_schedule(graph, windows, machine, schedule, sched_options));
+
+  if (csv) {
+    write_schedule_csv(out, graph, windows, schedule);
+    return kOk;
+  }
+
+  const LatenessStats stats = computation_lateness(graph, windows, schedule);
+  out << "strategy:         " << strategy_label << "\n";
+  out << "machine:          " << machine.n_procs << " procs, "
+      << to_string(machine.contention) << ", " << to_string(sched_options.release_policy)
+      << "\n";
+  out << "makespan:         " << format_fixed(schedule.makespan(), 2) << "\n";
+  out << "utilization:      " << format_fixed(schedule.average_utilization() * 100.0, 1)
+      << "%\n";
+  out << "max lateness:     " << format_fixed(stats.max_lateness, 2) << " ("
+      << graph.node(stats.argmax).name << ")\n";
+  out << "mean lateness:    " << format_fixed(stats.mean_lateness, 2) << "\n";
+  out << "missed windows:   " << stats.missed << " of " << stats.count << "\n";
+  out << "e2e lateness:     " << format_fixed(end_to_end_lateness(graph, schedule), 2)
+      << "\n";
+  if (detailed_report) {
+    out << "\n";
+    print_distribution_report(out, analyze_distribution(graph, windows));
+    out << "\n";
+    print_schedule_report(out, analyze_schedule(graph, windows, schedule));
+  }
+  if (gantt) {
+    out << "\n";
+    write_gantt(out, graph, schedule);
+  }
+  return stats.feasible() ? kOk : kFailure;
+}
+
+// ----------------------------------------------------------------- simulate
+
+int cmd_simulate(Args& args, std::istream& in, std::ostream& out) {
+  std::optional<std::string> path;
+  MetricOptions metric_options;
+  RuntimeOptions runtime;
+  int runs = 100;
+  std::uint64_t sim_seed = 1;
+
+  while (!args.done()) {
+    const std::string flag = args.pop();
+    if (metric_options.consume(flag, args)) continue;
+    if (flag == "--runs") {
+      runs = static_cast<int>(parse_int_arg(flag, args.value_for(flag)));
+      if (runs < 1) throw UsageError("--runs must be positive");
+    } else if (flag == "--overrun") {
+      const std::string value = args.value_for(flag);
+      const auto pieces = split(value, ':');
+      if (pieces.size() != 2) throw UsageError("--overrun wants A:B");
+      runtime.exec_scale_min = parse_double_arg(flag, pieces[0]);
+      runtime.exec_scale_max = parse_double_arg(flag, pieces[1]);
+      if (runtime.exec_scale_min <= 0.0 ||
+          runtime.exec_scale_max < runtime.exec_scale_min) {
+        throw UsageError("--overrun range is empty or non-positive");
+      }
+    } else if (flag == "--background") {
+      runtime.background_utilization = parse_double_arg(flag, args.value_for(flag));
+      if (runtime.background_utilization < 0.0 || runtime.background_utilization >= 1.0) {
+        throw UsageError("--background must be in [0, 1)");
+      }
+    } else if (flag == "--bg-service") {
+      runtime.background_service = parse_double_arg(flag, args.value_for(flag));
+      if (runtime.background_service <= 0.0) {
+        throw UsageError("--bg-service must be positive");
+      }
+    } else if (flag == "--preemptive") {
+      runtime.preemptive = true;
+    } else if (flag == "--sim-seed") {
+      sim_seed = static_cast<std::uint64_t>(parse_int_arg(flag, args.value_for(flag)));
+    } else if (!path && (flag == "-" || flag.empty() || flag[0] != '-')) {
+      path = flag;
+    } else {
+      throw UsageError("simulate: unknown option '" + flag + "'");
+    }
+  }
+  if (!path) throw UsageError("simulate: missing graph argument");
+
+  const TaskGraph graph = load_graph(*path, in);
+  Machine machine;
+  machine.n_procs = metric_options.procs;
+  const auto metric = metric_options.make_metric();
+  const auto estimator = metric_options.make_estimator();
+  const DeadlineAssignment windows = distribute_deadlines(graph, *metric, *estimator);
+  const Schedule plan = list_schedule(graph, windows, machine);
+
+  RunningStats max_lateness;
+  RunningStats makespan;
+  int missed_runs = 0;
+  for (int run = 0; run < runs; ++run) {
+    Pcg32 rng(seed_for(sim_seed, {static_cast<std::uint64_t>(run)}),
+              static_cast<std::uint64_t>(run));
+    const RuntimeResult result =
+        simulate_runtime(graph, windows, plan, machine, runtime, rng);
+    max_lateness.add(result.lateness.max_lateness);
+    makespan.add(result.makespan);
+    if (!result.lateness.feasible()) ++missed_runs;
+  }
+
+  out << "strategy:          " << metric->name() << "+" << estimator->name() << "\n";
+  out << "machine:           " << machine.n_procs << " procs\n";
+  out << "dispatcher:        " << (runtime.preemptive ? "preemptive" : "non-preemptive")
+      << " EDF, "
+      << (runtime.time_driven ? "time-driven releases" : "eager releases") << "\n";
+  out << "disturbance:       exec x [" << format_compact(runtime.exec_scale_min, 3)
+      << ", " << format_compact(runtime.exec_scale_max, 3) << "], background "
+      << format_compact(runtime.background_utilization * 100.0, 1) << "% (jobs of "
+      << format_compact(runtime.background_service, 3) << ")\n";
+  out << "runs:              " << runs << "\n";
+  const StatSummary lateness = max_lateness.summary();
+  out << "max lateness:      mean " << format_fixed(lateness.mean, 2) << ", worst "
+      << format_fixed(lateness.max, 2) << ", best " << format_fixed(lateness.min, 2)
+      << "\n";
+  out << "mean makespan:     " << format_fixed(makespan.mean(), 2) << "\n";
+  out << "runs with misses:  " << missed_runs << " of " << runs << " ("
+      << format_fixed(100.0 * missed_runs / runs, 1) << "%)\n";
+  return missed_runs == 0 ? kOk : kFailure;
+}
+
+// ---------------------------------------------------------------------- dot
+
+int cmd_dot(Args& args, std::istream& in, std::ostream& out) {
+  std::optional<std::string> path;
+  while (!args.done()) {
+    const std::string flag = args.pop();
+    if (!path && (flag == "-" || flag.empty() || flag[0] != '-')) path = flag;
+    else throw UsageError("dot: unknown option '" + flag + "'");
+  }
+  if (!path) throw UsageError("dot: missing graph argument");
+  write_dot(out, load_graph(*path, in));
+  return kOk;
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::istream& in, std::ostream& out,
+            std::ostream& err) {
+  try {
+    if (args.empty() || args[0] == "--help" || args[0] == "-h" || args[0] == "help") {
+      out << kUsageText;
+      return args.empty() ? kUsage : kOk;
+    }
+    const std::string command = args[0];
+    for (const std::string& arg : args) {
+      if (arg == "--help" || arg == "-h") {
+        out << kUsageText;
+        return kOk;
+      }
+    }
+    Args rest(std::vector<std::string>(args.begin() + 1, args.end()));
+
+    if (command == "generate") return cmd_generate(rest, out);
+    if (command == "info") return cmd_info(rest, in, out);
+    if (command == "distribute") return cmd_distribute(rest, in, out);
+    if (command == "schedule") return cmd_schedule(rest, in, out);
+    if (command == "simulate") return cmd_simulate(rest, in, out);
+    if (command == "dot") return cmd_dot(rest, in, out);
+    throw UsageError("unknown command '" + command + "'");
+  } catch (const UsageError& e) {
+    err << "feastc: " << e.what() << "\n";
+    err << "run 'feastc --help' for usage\n";
+    return kUsage;
+  } catch (const std::exception& e) {
+    err << "feastc: " << e.what() << "\n";
+    return kFailure;
+  }
+}
+
+}  // namespace feast

@@ -1,0 +1,31 @@
+/// \file cli_app.hpp
+/// \brief The `feastc` command-line tool, as a testable library.
+///
+/// Subcommands:
+///   generate    emit a task graph (random §5.2 workload or a structured
+///               family) in the text format
+///   info        statistics and validation of a graph file
+///   distribute  assign execution windows with a chosen metric/estimator
+///   schedule    distribute + schedule + lateness report (+ Gantt)
+///   dot         Graphviz export
+///
+/// All commands read a graph from a file argument or "-" (stdin) and write
+/// to stdout, so they compose:
+///
+///   feastc generate --seed 7 | feastc schedule - --metric adapt --procs 4
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace feast {
+
+/// Runs the tool.  \p args are the command-line arguments *without* the
+/// program name.  Output goes to \p out, diagnostics to \p err, and graph
+/// input from "-" is read from \p in.  Returns the process exit code
+/// (0 success, 2 usage error, 1 runtime failure).
+int run_cli(const std::vector<std::string>& args, std::istream& in, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace feast

@@ -1,0 +1,34 @@
+#include "core/annotation.hpp"
+
+#include <algorithm>
+
+namespace feast {
+
+bool DeadlineAssignment::complete() const noexcept {
+  return std::all_of(windows_.begin(), windows_.end(),
+                     [](const NodeWindow& w) { return w.assigned(); });
+}
+
+void DeadlineAssignment::assign(NodeId id, Time release, Time rel_deadline,
+                                int iteration) {
+  FEAST_REQUIRE(id.index() < windows_.size());
+  FEAST_REQUIRE_MSG(!windows_[id.index()].assigned(), "node already has a window");
+  FEAST_REQUIRE(is_set(release));
+  FEAST_REQUIRE_MSG(rel_deadline >= 0.0, "relative deadline must be non-negative");
+  windows_[id.index()] = NodeWindow{release, rel_deadline, iteration};
+}
+
+Time DeadlineAssignment::laxity(const TaskGraph& graph, NodeId id) const {
+  FEAST_REQUIRE(graph.is_computation(id));
+  return rel_deadline(id) - graph.node(id).exec_time;
+}
+
+Time DeadlineAssignment::min_laxity(const TaskGraph& graph) const {
+  Time best = kInfiniteTime;
+  for (const NodeId id : graph.computation_nodes()) {
+    best = std::min(best, laxity(graph, id));
+  }
+  return best;
+}
+
+}  // namespace feast

@@ -1,0 +1,89 @@
+#include "core/annotation_io.hpp"
+
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace feast {
+
+namespace {
+constexpr const char* kHeader = "feast-windows v1";
+}  // namespace
+
+void write_assignment(std::ostream& out, const TaskGraph& graph,
+                      const DeadlineAssignment& assignment) {
+  FEAST_REQUIRE(assignment.size() == graph.node_count());
+  FEAST_REQUIRE_MSG(assignment.complete(), "only complete assignments are written");
+  out << kHeader << "\n";
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (const NodeId id : graph.all_nodes()) {
+    const NodeWindow& w = assignment.window(id);
+    out << "window " << id.value << ' ' << w.release << ' ' << w.rel_deadline << ' '
+        << w.iteration << "\n";
+  }
+}
+
+std::string assignment_to_string(const TaskGraph& graph,
+                                 const DeadlineAssignment& assignment) {
+  std::ostringstream oss;
+  write_assignment(oss, graph, assignment);
+  return oss.str();
+}
+
+DeadlineAssignment read_assignment(std::istream& in, const TaskGraph& graph) {
+  DeadlineAssignment assignment(graph);
+  std::string line;
+  int line_no = 0;
+  bool saw_header = false;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string text = trim(line);
+    if (text.empty() || text[0] == '#') continue;
+    if (!saw_header) {
+      if (text != kHeader) {
+        throw ParseError("line " + std::to_string(line_no) + ": expected header '" +
+                         kHeader + "'");
+      }
+      saw_header = true;
+      continue;
+    }
+    std::istringstream fields(text);
+    std::string keyword;
+    fields >> keyword;
+    if (keyword != "window") {
+      throw ParseError("line " + std::to_string(line_no) + ": unknown keyword '" +
+                       keyword + "'");
+    }
+    std::uint32_t node = 0;
+    double release = 0.0;
+    double rel_deadline = 0.0;
+    int iteration = 0;
+    if (!(fields >> node >> release >> rel_deadline >> iteration)) {
+      throw ParseError("line " + std::to_string(line_no) + ": malformed window line");
+    }
+    if (node >= graph.node_count()) {
+      throw ParseError("line " + std::to_string(line_no) + ": node id " +
+                       std::to_string(node) + " outside the graph");
+    }
+    try {
+      assignment.assign(NodeId(node), release, rel_deadline, iteration);
+    } catch (const ContractViolation& e) {
+      throw ParseError("line " + std::to_string(line_no) + ": " + e.what());
+    }
+  }
+  if (!saw_header) throw ParseError("missing header line");
+  FEAST_REQUIRE_MSG(assignment.complete(),
+                    "windows file does not cover every node of the graph");
+  return assignment;
+}
+
+DeadlineAssignment assignment_from_string(const std::string& text,
+                                          const TaskGraph& graph) {
+  std::istringstream iss(text);
+  return read_assignment(iss, graph);
+}
+
+}  // namespace feast

@@ -1,0 +1,42 @@
+/// \file annotation_io.hpp
+/// \brief Plain-text serialization of deadline assignments.
+///
+/// Format (line-oriented, '#' comments):
+///
+///   feast-windows v1
+///   window <node-id> <release> <rel-deadline> <iteration>
+///
+/// Node ids refer to the graph the assignment was produced for (all_nodes
+/// order), so a windows file only makes sense next to its graph file.
+/// Round trips are exact (doubles printed with max_digits10).  Used by the
+/// feastc tool to split distribution and scheduling into separate stages.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "core/annotation.hpp"
+#include "taskgraph/serialize.hpp"
+#include "taskgraph/task_graph.hpp"
+
+namespace feast {
+
+/// Writes the windows of a complete assignment.
+void write_assignment(std::ostream& out, const TaskGraph& graph,
+                      const DeadlineAssignment& assignment);
+
+/// Serializes to a string.
+std::string assignment_to_string(const TaskGraph& graph,
+                                 const DeadlineAssignment& assignment);
+
+/// Parses a windows file against \p graph; throws ParseError on malformed
+/// input or node ids outside the graph, and ContractViolation when the
+/// result does not cover every node.
+DeadlineAssignment read_assignment(std::istream& in, const TaskGraph& graph);
+
+/// Parses from a string.
+DeadlineAssignment assignment_from_string(const std::string& text,
+                                          const TaskGraph& graph);
+
+}  // namespace feast

@@ -1,0 +1,68 @@
+/// \file baselines.hpp
+/// \brief Non-slicing deadline-distribution baselines.
+///
+/// The related-work section of the paper (and the Kao & Garcia-Molina line
+/// of work it cites) suggests simpler strategies that need no critical-path
+/// search.  FEAST implements three as comparators for the benches:
+///
+///  - **UD (ultimate deadline)**: every subtask inherits the end-to-end
+///    deadline unchanged; releases are as-soon-as-possible.
+///  - **ED (effective deadline)**: ALAP — a subtask's absolute deadline is
+///    the end-to-end deadline minus the longest (estimated) downstream
+///    path; releases are ASAP.
+///  - **PROP (proportional scaling)**: the infinite-resource ASAP schedule
+///    is linearly stretched so the last finish lands on the end-to-end
+///    deadline; each subtask's window is its stretched execution interval.
+///
+/// All three honour the same communication-cost estimator interface as the
+/// slicing technique, so CCNE/CCAA comparisons remain apples-to-apples.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/annotation.hpp"
+#include "core/comm_estimator.hpp"
+#include "core/distributor.hpp"
+#include "taskgraph/task_graph.hpp"
+
+namespace feast {
+
+/// UD: absolute deadline = end-to-end deadline for every subtask.
+class UltimateDeadlineDistributor final : public Distributor {
+ public:
+  explicit UltimateDeadlineDistributor(const CommCostEstimator& estimator);
+  std::string name() const override;
+  DeadlineAssignment distribute(const TaskGraph& graph) override;
+
+ private:
+  const CommCostEstimator* estimator_;
+};
+
+/// ED: ALAP absolute deadlines from downstream longest paths.
+class EffectiveDeadlineDistributor final : public Distributor {
+ public:
+  explicit EffectiveDeadlineDistributor(const CommCostEstimator& estimator);
+  std::string name() const override;
+  DeadlineAssignment distribute(const TaskGraph& graph) override;
+
+ private:
+  const CommCostEstimator* estimator_;
+};
+
+/// PROP: ASAP schedule stretched linearly onto the end-to-end window.
+class ProportionalDistributor final : public Distributor {
+ public:
+  explicit ProportionalDistributor(const CommCostEstimator& estimator);
+  std::string name() const override;
+  DeadlineAssignment distribute(const TaskGraph& graph) override;
+
+ private:
+  const CommCostEstimator* estimator_;
+};
+
+std::unique_ptr<Distributor> make_ultimate_deadline(const CommCostEstimator& estimator);
+std::unique_ptr<Distributor> make_effective_deadline(const CommCostEstimator& estimator);
+std::unique_ptr<Distributor> make_proportional(const CommCostEstimator& estimator);
+
+}  // namespace feast

@@ -1,0 +1,94 @@
+#include "core/comm_estimator.hpp"
+
+#include "util/strings.hpp"
+
+namespace feast {
+
+Time CcneEstimator::estimate(const TaskGraph& graph, NodeId comm) const {
+  FEAST_REQUIRE(graph.is_communication(comm));
+  return 0.0;
+}
+
+CcaaEstimator::CcaaEstimator(double time_per_item) : time_per_item_(time_per_item) {
+  FEAST_REQUIRE(time_per_item >= 0.0);
+}
+
+Time CcaaEstimator::estimate(const TaskGraph& graph, NodeId comm) const {
+  FEAST_REQUIRE(graph.is_communication(comm));
+  return graph.node(comm).message_items * time_per_item_;
+}
+
+ProbabilisticEstimator::ProbabilisticEstimator(double crossing_probability,
+                                               double time_per_item)
+    : probability_(crossing_probability), time_per_item_(time_per_item) {
+  FEAST_REQUIRE(crossing_probability >= 0.0 && crossing_probability <= 1.0);
+  FEAST_REQUIRE(time_per_item >= 0.0);
+}
+
+std::string ProbabilisticEstimator::name() const {
+  return "CCP(" + format_compact(probability_, 3) + ")";
+}
+
+Time ProbabilisticEstimator::estimate(const TaskGraph& graph, NodeId comm) const {
+  FEAST_REQUIRE(graph.is_communication(comm));
+  return probability_ * graph.node(comm).message_items * time_per_item_;
+}
+
+AssignmentAwareEstimator::AssignmentAwareEstimator(std::vector<ProcId> placement,
+                                                   const CommCostEstimator& fallback,
+                                                   double time_per_item)
+    : placement_(std::move(placement)),
+      fallback_(&fallback),
+      time_per_item_(time_per_item) {
+  FEAST_REQUIRE(time_per_item >= 0.0);
+}
+
+std::string AssignmentAwareEstimator::name() const {
+  return "ASSIGN(" + fallback_->name() + ")";
+}
+
+Time AssignmentAwareEstimator::estimate(const TaskGraph& graph, NodeId comm) const {
+  FEAST_REQUIRE(graph.is_communication(comm));
+  FEAST_REQUIRE_MSG(placement_.size() == graph.node_count(),
+                    "placement sized for a different graph");
+  const ProcId src = placement_[graph.comm_source(comm).index()];
+  const ProcId dst = placement_[graph.comm_sink(comm).index()];
+  if (src.valid() && dst.valid()) {
+    return src == dst ? 0.0 : graph.node(comm).message_items * time_per_item_;
+  }
+  return fallback_->estimate(graph, comm);
+}
+
+double AssignmentAwareEstimator::coverage(const TaskGraph& graph) const {
+  FEAST_REQUIRE(placement_.size() == graph.node_count());
+  std::size_t known = 0;
+  std::size_t total = 0;
+  for (const NodeId id : graph.computation_nodes()) {
+    ++total;
+    if (placement_[id.index()].valid()) ++known;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(known) / static_cast<double>(total);
+}
+
+std::vector<ProcId> pinned_placement(const TaskGraph& graph) {
+  std::vector<ProcId> placement(graph.node_count());
+  for (const NodeId id : graph.computation_nodes()) {
+    placement[id.index()] = graph.node(id).pinned;
+  }
+  return placement;
+}
+
+std::unique_ptr<CommCostEstimator> make_ccne() {
+  return std::make_unique<CcneEstimator>();
+}
+
+std::unique_ptr<CommCostEstimator> make_ccaa(double time_per_item) {
+  return std::make_unique<CcaaEstimator>(time_per_item);
+}
+
+std::unique_ptr<CommCostEstimator> make_ccp(double crossing_probability,
+                                            double time_per_item) {
+  return std::make_unique<ProbabilisticEstimator>(crossing_probability, time_per_item);
+}
+
+}  // namespace feast

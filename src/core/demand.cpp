@@ -1,0 +1,88 @@
+#include "core/demand.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace feast {
+
+std::string DemandAnalysis::to_string() const {
+  return "max demand ratio " + format_fixed(max_ratio, 3) + " on [" +
+         format_compact(interval_start, 3) + ", " + format_compact(interval_end, 3) +
+         "] (demand " + format_compact(interval_demand, 3) + ")" +
+         (feasible_necessary() ? "" : " — INFEASIBLE on this capacity");
+}
+
+DemandAnalysis analyze_demand(const TaskGraph& graph,
+                              const DeadlineAssignment& assignment, double capacity) {
+  FEAST_REQUIRE_MSG(capacity > 0.0, "capacity must be positive");
+
+  struct Window {
+    Time release;
+    Time deadline;
+    Time exec;
+  };
+  std::vector<Window> windows;
+  windows.reserve(graph.subtask_count());
+  for (const NodeId id : graph.computation_nodes()) {
+    windows.push_back(Window{assignment.release(id), assignment.abs_deadline(id),
+                             graph.node(id).exec_time});
+  }
+
+  DemandAnalysis analysis;
+  if (windows.empty()) return analysis;
+
+  // Candidate interval starts: distinct releases, ascending.
+  std::vector<Time> starts;
+  starts.reserve(windows.size());
+  for (const Window& w : windows) starts.push_back(w.release);
+  std::sort(starts.begin(), starts.end());
+  starts.erase(std::unique(starts.begin(), starts.end(),
+                           [](Time a, Time b) { return time_eq(a, b); }),
+               starts.end());
+
+  // For each start t1, accumulate demand over tasks with release >= t1 in
+  // deadline order; every distinct deadline is a candidate t2.
+  std::vector<Window> eligible;
+  for (const Time t1 : starts) {
+    eligible.clear();
+    for (const Window& w : windows) {
+      if (time_ge(w.release, t1)) eligible.push_back(w);
+    }
+    std::sort(eligible.begin(), eligible.end(),
+              [](const Window& a, const Window& b) { return a.deadline < b.deadline; });
+    Time demand = 0.0;
+    for (std::size_t i = 0; i < eligible.size(); ++i) {
+      demand += eligible[i].exec;
+      const Time t2 = eligible[i].deadline;
+      // Extend over ties: include every task with the same deadline.
+      while (i + 1 < eligible.size() && time_eq(eligible[i + 1].deadline, t2)) {
+        ++i;
+        demand += eligible[i].exec;
+      }
+      const Time length = t2 - t1;
+      if (length <= kTimeEps) {
+        if (demand > kTimeEps) {
+          // Positive demand in a zero-length interval: infinitely overloaded.
+          analysis.max_ratio = kInfiniteTime;
+          analysis.interval_start = t1;
+          analysis.interval_end = t2;
+          analysis.interval_demand = demand;
+          return analysis;
+        }
+        continue;
+      }
+      const double ratio = demand / (capacity * length);
+      if (ratio > analysis.max_ratio) {
+        analysis.max_ratio = ratio;
+        analysis.interval_start = t1;
+        analysis.interval_end = t2;
+        analysis.interval_demand = demand;
+      }
+    }
+  }
+  return analysis;
+}
+
+}  // namespace feast

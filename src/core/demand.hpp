@@ -1,0 +1,50 @@
+/// \file demand.hpp
+/// \brief Processor-demand analysis of a deadline assignment.
+///
+/// A necessary condition for any N-processor non-preemptive or preemptive
+/// schedule to meet every window: for every interval [t1, t2], the total
+/// execution demand of subtasks whose windows lie entirely inside the
+/// interval cannot exceed the processing capacity N · (t2 − t1).
+///
+/// The maximum demand ratio
+///
+///     max over intervals of  demand(t1, t2) / (capacity · (t2 − t1))
+///
+/// is therefore an a-priori quality signal for a distribution: a ratio
+/// above 1 proves the window assignment infeasible on the machine before
+/// any scheduling is attempted, and ratios close to 1 mark the congested
+/// interval the scheduler will struggle with.  Only interval endpoints at
+/// release times (t1) and absolute deadlines (t2) need to be examined.
+#pragma once
+
+#include <string>
+
+#include "core/annotation.hpp"
+#include "taskgraph/task_graph.hpp"
+
+namespace feast {
+
+/// Result of the demand analysis.
+struct DemandAnalysis {
+  /// max over intervals of demand / capacity·length; 0 for empty graphs.
+  double max_ratio = 0.0;
+  Time interval_start = 0.0;  ///< Interval attaining the maximum.
+  Time interval_end = 0.0;
+  Time interval_demand = 0.0;  ///< Execution demand inside that interval.
+
+  /// False proves the assignment unschedulable on the given capacity; true
+  /// is necessary but not sufficient for schedulability.
+  bool feasible_necessary() const noexcept { return max_ratio <= 1.0 + 1e-9; }
+
+  /// One-line summary for reports.
+  std::string to_string() const;
+};
+
+/// Analyzes the computation subtasks of \p graph under windows
+/// \p assignment against \p n_procs unit-speed processors (use the sum of
+/// speeds for a heterogeneous machine; the bound then remains necessary).
+/// O(n² log n) over distinct window endpoints.
+DemandAnalysis analyze_demand(const TaskGraph& graph,
+                              const DeadlineAssignment& assignment, double capacity);
+
+}  // namespace feast

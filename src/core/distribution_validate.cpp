@@ -1,0 +1,123 @@
+#include "core/distribution_validate.hpp"
+
+#include <algorithm>
+
+#include "taskgraph/algorithms.hpp"
+#include "util/strings.hpp"
+
+namespace feast {
+
+std::string AssignmentReport::to_string() const { return join(problems, "\n"); }
+
+namespace {
+std::string node_label(const TaskGraph& graph, NodeId id) {
+  return "node #" + std::to_string(id.value) + " ('" + graph.node(id).name + "')";
+}
+}  // namespace
+
+AssignmentReport check_assignment_basic(const TaskGraph& graph,
+                                        const DeadlineAssignment& assignment) {
+  AssignmentReport report;
+  auto problem = [&](const std::string& msg) { report.problems.push_back(msg); };
+
+  if (assignment.size() != graph.node_count()) {
+    problem("assignment sized for a different graph");
+    return report;
+  }
+
+  for (const NodeId id : graph.all_nodes()) {
+    const NodeWindow& w = assignment.window(id);
+    if (!w.assigned()) {
+      problem(node_label(graph, id) + ": no window assigned");
+      continue;
+    }
+    if (w.rel_deadline < 0.0) {
+      problem(node_label(graph, id) + ": negative relative deadline");
+    }
+  }
+  if (!report.ok()) return report;
+
+  for (const NodeId id : graph.inputs()) {
+    const Time boundary = graph.node(id).boundary_release;
+    if (time_lt(assignment.release(id), boundary)) {
+      problem(node_label(graph, id) + ": released before boundary release (" +
+              format_compact(assignment.release(id)) + " < " +
+              format_compact(boundary) + ")");
+    }
+  }
+  for (const NodeId id : graph.outputs()) {
+    const Time boundary = graph.node(id).boundary_deadline;
+    if (time_lt(boundary, assignment.abs_deadline(id))) {
+      problem(node_label(graph, id) + ": absolute deadline exceeds end-to-end deadline (" +
+              format_compact(assignment.abs_deadline(id)) + " > " +
+              format_compact(boundary) + ")");
+    }
+  }
+
+  // Recorded sliced paths must be contiguous slices inside their window.
+  // Inverted windows (end before start) degenerate to zero-width slices at
+  // the window end, so containment is checked against the normalized span.
+  for (const SlicedPath& path : assignment.paths()) {
+    const Time span_begin = std::min(path.window_start, path.window_end);
+    const Time span_end = std::max(path.window_start, path.window_end);
+    Time cursor = span_begin;
+    for (const NodeId id : path.nodes) {
+      const Time r = assignment.release(id);
+      if (time_lt(r, cursor)) {
+        problem("sliced path at iteration " + std::to_string(path.iteration) +
+                ": slice of " + node_label(graph, id) + " starts before its predecessor ends");
+      }
+      cursor = std::max(cursor, assignment.abs_deadline(id));
+    }
+    if (time_lt(span_end, cursor)) {
+      problem("sliced path at iteration " + std::to_string(path.iteration) +
+              ": slices spill past the window end (" + format_compact(cursor) + " > " +
+              format_compact(span_end) + ")");
+    }
+  }
+  return report;
+}
+
+AssignmentReport check_path_deadline_sums(const TaskGraph& graph,
+                                          const DeadlineAssignment& assignment,
+                                          std::size_t path_limit) {
+  AssignmentReport report;
+  const auto paths = enumerate_source_sink_paths(graph, path_limit);
+  if (paths.size() >= path_limit) {
+    report.problems.push_back("path enumeration hit the cap of " +
+                              std::to_string(path_limit) + "; result incomplete");
+  }
+  for (const auto& path : paths) {
+    FEAST_ASSERT(!path.empty());
+    const Time release = graph.node(path.front()).boundary_release;
+    const Time deadline = graph.node(path.back()).boundary_deadline;
+    if (!is_set(release) || !is_set(deadline)) continue;
+    Time sum = 0.0;
+    for (const NodeId id : path) sum += assignment.rel_deadline(id);
+    if (time_lt(deadline - release, sum)) {
+      report.problems.push_back(
+          "path " + graph.node(path.front()).name + " -> " + graph.node(path.back()).name +
+          ": sum of relative deadlines " + format_compact(sum) +
+          " exceeds the end-to-end window " + format_compact(deadline - release));
+    }
+  }
+  return report;
+}
+
+std::size_t count_arc_window_overlaps(const TaskGraph& graph,
+                                      const DeadlineAssignment& assignment) {
+  std::size_t overlaps = 0;
+  for (const NodeId id : graph.all_nodes()) {
+    const Time finish = assignment.abs_deadline(id);
+    for (const NodeId succ : graph.succs(id)) {
+      if (time_lt(assignment.release(succ), finish)) ++overlaps;
+    }
+  }
+  return overlaps;
+}
+
+void require_valid(const AssignmentReport& report) {
+  FEAST_REQUIRE_MSG(report.ok(), report.to_string());
+}
+
+}  // namespace feast

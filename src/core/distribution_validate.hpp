@@ -1,0 +1,56 @@
+/// \file distribution_validate.hpp
+/// \brief Validation of deadline assignments against the problem statement.
+///
+/// §4.1 requires that the distributed relative deadlines satisfy
+/// d_1 + d_2 + ... + d_n <= D along every path between an input and an
+/// output subtask.  This module checks that, plus the structural sanity of
+/// the windows, and — separately, because the basic algorithm does not
+/// guarantee it — arc monotonicity (a successor's window never opens before
+/// its predecessor's closes).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/annotation.hpp"
+#include "taskgraph/task_graph.hpp"
+
+namespace feast {
+
+/// Outcome of assignment validation.
+struct AssignmentReport {
+  std::vector<std::string> problems;
+
+  bool ok() const noexcept { return problems.empty(); }
+  std::string to_string() const;
+};
+
+/// Invariants every correct distribution must satisfy:
+///  - every node carries a window with d >= 0;
+///  - input subtasks are released no earlier than their boundary release;
+///  - output subtasks' absolute deadlines do not exceed their boundary
+///    deadline;
+///  - each recorded sliced path is contiguous (each slice starts at the
+///    previous slice's absolute deadline) and stays inside its window.
+AssignmentReport check_assignment_basic(const TaskGraph& graph,
+                                        const DeadlineAssignment& assignment);
+
+/// Checks d_1 + ... + d_n <= D over every enumerated input→output path,
+/// where D is the path's end-to-end window (boundary deadline of the output
+/// minus boundary release of the input).  Exponential path enumeration —
+/// intended for tests on generated graphs (paths are capped at \p
+/// path_limit; hitting the cap is reported as a problem).
+AssignmentReport check_path_deadline_sums(const TaskGraph& graph,
+                                          const DeadlineAssignment& assignment,
+                                          std::size_t path_limit = 200000);
+
+/// Counts arcs u → v whose windows overlap (abs_deadline(u) > release(v)).
+/// The paper's basic algorithm permits such overlaps across different
+/// sliced paths; the respect_interior_bounds option eliminates them.
+std::size_t count_arc_window_overlaps(const TaskGraph& graph,
+                                      const DeadlineAssignment& assignment);
+
+/// Throws ContractViolation when \p report is not ok.
+void require_valid(const AssignmentReport& report);
+
+}  // namespace feast

@@ -1,0 +1,29 @@
+/// \file distributor.hpp
+/// \brief Common interface over all deadline-distribution strategies.
+///
+/// Benches and the experiment runner iterate over heterogeneous strategy
+/// sets (BST/AST slicing variants plus the non-slicing baselines); this is
+/// the type they share.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/annotation.hpp"
+#include "taskgraph/task_graph.hpp"
+
+namespace feast {
+
+/// Strategy interface shared by slicing and the baselines.
+class Distributor {
+ public:
+  virtual ~Distributor() = default;
+
+  /// Identifier for reports, e.g. "PURE+CCNE".
+  virtual std::string name() const = 0;
+
+  /// Produces a complete assignment for a distribution-ready graph.
+  virtual DeadlineAssignment distribute(const TaskGraph& graph) = 0;
+};
+
+}  // namespace feast

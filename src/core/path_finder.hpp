@@ -1,0 +1,90 @@
+/// \file path_finder.hpp
+/// \brief Critical-path search over the residual (not-yet-assigned) graph.
+///
+/// Each iteration of the slicing algorithm must find, among all maximal
+/// paths of the residual graph, the one that minimizes the metric R
+/// (Figure 1, step 3).  FEAST performs this search *exactly* with a dynamic
+/// program over (node, effective-hop-count) states:
+///
+///   best[v][k] = max Σ virtual-cost over residual paths from a source to v
+///                that contain exactly k non-negligible nodes.
+///
+/// For a fixed sink t and hop count k, every metric in metrics.hpp is
+/// monotonically decreasing in Σv, so minimizing R over paths reduces to
+/// maximizing Σv per (t, k) — the DP is exact, not a heuristic.  This
+/// realizes the paper's "breadth-first traversal" with a per-level table.
+///
+/// A *residual source* is an unassigned node all of whose predecessors are
+/// assigned (its release lower bound lb is known); a *residual sink* is an
+/// unassigned node all of whose successors are assigned (its deadline upper
+/// bound ub is known).  The available window of a path is ub(sink) −
+/// lb(source).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/comm_estimator.hpp"
+#include "core/metrics.hpp"
+#include "taskgraph/task_graph.hpp"
+
+namespace feast {
+
+/// Mutable bookkeeping of the slicing loop, shared with the path finder.
+struct ResidualState {
+  std::vector<bool> assigned;  ///< Node already carries a window.
+  std::vector<Time> lb;        ///< Release lower bound (kUnsetTime = unknown).
+  std::vector<Time> ub;        ///< Deadline upper bound (kUnsetTime = unknown).
+
+  explicit ResidualState(std::size_t node_count)
+      : assigned(node_count, false),
+        lb(node_count, kUnsetTime),
+        ub(node_count, kUnsetTime) {}
+};
+
+/// A critical path found by the search.
+struct CriticalPathResult {
+  std::vector<NodeId> nodes;  ///< Path members in precedence order.
+  Time window_start = 0.0;    ///< lb of the first node.
+  Time window_end = 0.0;      ///< ub of the last node.
+  PathEvaluation eval;        ///< Window, Σv, effective hops.
+  double ratio = 0.0;         ///< The minimized metric value R.
+};
+
+/// Exact minimum-R maximal-path search.  Construct once per distribution
+/// (after SliceMetric::prepare) and call find() each iteration.
+class CriticalPathFinder {
+ public:
+  CriticalPathFinder(const TaskGraph& graph, const SliceMetric& metric,
+                     const CommCostEstimator& estimator);
+
+  /// Finds the minimum-R maximal path of the residual graph, or nullopt
+  /// when no unassigned node remains.  Deterministic: ties are broken
+  /// toward the first candidate in topological order.
+  std::optional<CriticalPathResult> find(const ResidualState& state);
+
+  /// Effective (real or estimated) cost of a node, as used in the search.
+  Time effective_cost(NodeId id) const {
+    FEAST_REQUIRE(id.index() < effective_.size());
+    return effective_[id.index()];
+  }
+
+  /// Virtual cost of a node under the metric.
+  Time virtual_cost(NodeId id) const {
+    FEAST_REQUIRE(id.index() < virtual_.size());
+    return virtual_[id.index()];
+  }
+
+ private:
+  const TaskGraph* graph_;
+  const SliceMetric* metric_;
+  std::vector<Time> effective_;  ///< Per-node effective cost.
+  std::vector<Time> virtual_;    ///< Per-node virtual cost v_i.
+  std::vector<NodeId> topo_;     ///< Full-graph topological order.
+
+  // Scratch buffers reused across find() calls (indexed [node][hops]).
+  std::vector<std::vector<Time>> best_;
+  std::vector<std::vector<NodeId>> parent_;
+};
+
+}  // namespace feast

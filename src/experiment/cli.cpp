@@ -1,0 +1,107 @@
+#include "experiment/cli.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "util/log.hpp"
+#include "util/parallel.hpp"
+#include "util/strings.hpp"
+
+namespace feast {
+
+namespace {
+
+[[noreturn]] void usage(const std::string& bench_name, int code) {
+  std::ostream& out = code == 0 ? std::cout : std::cerr;
+  out << "usage: " << bench_name << " [options]\n"
+      << "  --samples N    graphs per data point (default 128)\n"
+      << "  --quick        shorthand for --samples 16\n"
+      << "  --seed S       root seed (default 0xFEA57)\n"
+      << "  --sizes LIST   comma-separated processor counts (default 2,4,...,16)\n"
+      << "  --csv FILE     dump all series as CSV\n"
+      << "  --threads N    worker threads (default: hardware concurrency)\n"
+      << "  --verbose      raise the log level to info\n"
+      << "  --help         this text\n";
+  std::exit(code);
+}
+
+long long parse_number(const std::string& bench_name, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(value, &pos, 0);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    std::cerr << bench_name << ": bad number '" << value << "'\n";
+    usage(bench_name, 2);
+  }
+}
+
+}  // namespace
+
+BenchArgs parse_bench_args(int argc, char** argv, const std::string& bench_name) {
+  BenchArgs args;
+  auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) {
+      std::cerr << bench_name << ": option " << argv[i] << " needs a value\n";
+      usage(bench_name, 2);
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(bench_name, 0);
+    } else if (arg == "--samples") {
+      args.figure.samples = static_cast<int>(parse_number(bench_name, need_value(i)));
+      if (args.figure.samples < 1) usage(bench_name, 2);
+    } else if (arg == "--quick") {
+      args.quick = true;
+      args.figure.samples = 16;
+    } else if (arg == "--seed") {
+      args.figure.seed = static_cast<std::uint64_t>(parse_number(bench_name, need_value(i)));
+    } else if (arg == "--sizes") {
+      args.figure.sizes.clear();
+      for (const std::string& piece : split(need_value(i), ',')) {
+        const long long n = parse_number(bench_name, trim(piece));
+        if (n < 1) usage(bench_name, 2);
+        args.figure.sizes.push_back(static_cast<int>(n));
+      }
+      if (args.figure.sizes.empty()) usage(bench_name, 2);
+    } else if (arg == "--csv") {
+      args.csv_path = need_value(i);
+    } else if (arg == "--threads") {
+      const long long n = parse_number(bench_name, need_value(i));
+      if (n < 0) usage(bench_name, 2);
+      set_parallelism(static_cast<unsigned>(n));
+    } else if (arg == "--verbose") {
+      set_log_level(LogLevel::Info);
+    } else {
+      std::cerr << bench_name << ": unknown option '" << arg << "'\n";
+      usage(bench_name, 2);
+    }
+  }
+  return args;
+}
+
+void BenchArgs::write_csv(const std::vector<SweepResult>& results) const {
+  if (!csv_path) return;
+  std::ofstream out(*csv_path);
+  if (!out) {
+    std::cerr << "cannot open CSV file '" << *csv_path << "'\n";
+    std::exit(1);
+  }
+  for (const SweepResult& r : results) r.write_csv(out);
+  std::cout << "wrote CSV: " << *csv_path << "\n";
+}
+
+void print_results(const std::vector<SweepResult>& results) {
+  for (const SweepResult& r : results) {
+    r.print(std::cout);
+    std::cout << "\n";
+  }
+}
+
+}  // namespace feast

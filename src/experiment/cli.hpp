@@ -1,0 +1,40 @@
+/// \file cli.hpp
+/// \brief Shared command-line handling for the bench binaries.
+///
+/// Every bench accepts:
+///   --samples N   graphs per data point (default 128, the paper's batch)
+///   --seed S      root seed (default 0xFEA57)
+///   --quick       shorthand for --samples 16 (CI-friendly)
+///   --sizes list  comma-separated system sizes (default 2,4,...,16)
+///   --csv FILE    additionally dump all series as CSV
+///   --threads N   worker threads (default: hardware concurrency)
+///   --verbose     raise the log level
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "experiment/figures.hpp"
+
+namespace feast {
+
+/// Parsed bench options.
+struct BenchArgs {
+  FigureOptions figure;
+  std::optional<std::string> csv_path;
+  bool quick = false;
+
+  /// Applies the figure options and writes the CSV file when requested.
+  /// Call after computing the results.
+  void write_csv(const std::vector<SweepResult>& results) const;
+};
+
+/// Parses argv; prints usage and exits(2) on malformed input, exits(0) on
+/// --help.  \p bench_name appears in the usage text.
+BenchArgs parse_bench_args(int argc, char** argv, const std::string& bench_name);
+
+/// Prints every sweep with a blank line between them.
+void print_results(const std::vector<SweepResult>& results);
+
+}  // namespace feast

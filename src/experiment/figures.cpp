@@ -1,0 +1,78 @@
+#include "experiment/figures.hpp"
+
+#include <string>
+
+namespace feast {
+
+std::vector<int> paper_sizes() { return {2, 4, 6, 8, 10, 12, 14, 16}; }
+
+std::vector<ExecSpreadScenario> paper_scenarios() {
+  return {ExecSpreadScenario::LDET, ExecSpreadScenario::MDET, ExecSpreadScenario::HDET};
+}
+
+RandomGraphConfig paper_workload(ExecSpreadScenario scenario) {
+  RandomGraphConfig config;  // §5.2 defaults are the struct defaults.
+  config.set_scenario(scenario);
+  return config;
+}
+
+namespace {
+
+std::vector<SweepResult> per_scenario_sweep(const std::string& figure_name,
+                                            const std::vector<Strategy>& strategies,
+                                            const FigureOptions& options) {
+  BatchConfig batch;
+  batch.samples = options.samples;
+  batch.seed = options.seed;
+
+  std::vector<SweepResult> results;
+  for (const ExecSpreadScenario scenario : paper_scenarios()) {
+    const std::string title = figure_name + " — " + to_string(scenario) + " scenario";
+    results.push_back(sweep_strategies(title, paper_workload(scenario), strategies,
+                                       options.sizes, batch));
+  }
+  return results;
+}
+
+}  // namespace
+
+std::vector<SweepResult> figure2_bst(const FigureOptions& options) {
+  const std::vector<Strategy> strategies{
+      strategy_pure(EstimatorKind::CCNE),
+      strategy_pure(EstimatorKind::CCAA),
+      strategy_norm(EstimatorKind::CCNE),
+      strategy_norm(EstimatorKind::CCAA),
+  };
+  return per_scenario_sweep("Figure 2: BST metrics (PURE, NORM) x (CCNE, CCAA)",
+                            strategies, options);
+}
+
+std::vector<SweepResult> figure3_thres_surplus(const FigureOptions& options) {
+  const std::vector<Strategy> strategies{
+      strategy_thres(1.0),
+      strategy_thres(2.0),
+      strategy_thres(4.0),
+  };
+  return per_scenario_sweep("Figure 3: THRES surplus factor sweep", strategies, options);
+}
+
+std::vector<SweepResult> figure4_thres_threshold(const FigureOptions& options) {
+  const std::vector<Strategy> strategies{
+      strategy_thres(1.0, 0.75),
+      strategy_thres(1.0, 1.00),
+      strategy_thres(1.0, 1.25),
+  };
+  return per_scenario_sweep("Figure 4: THRES execution-time threshold sweep",
+                            strategies, options);
+}
+
+std::vector<SweepResult> figure5_ast(const FigureOptions& options) {
+  const std::vector<Strategy> strategies{
+      strategy_pure(EstimatorKind::CCNE),
+      strategy_thres(1.0, 1.25),
+      strategy_adapt(1.25),
+  };
+  return per_scenario_sweep("Figure 5: PURE vs THRES vs ADAPT", strategies, options);
+}
+
+}  // namespace feast

@@ -1,0 +1,46 @@
+/// \file figures.hpp
+/// \brief Ready-made configurations for every figure of the paper.
+///
+/// Each figure function returns one SweepResult per execution-time-spread
+/// scenario (LDET, MDET, HDET — the left/middle/right plots of each paper
+/// figure), sweeping system size 2–16 with the figure's strategy set:
+///
+///  - Figure 2: BST — PURE and NORM, each under CCNE and CCAA.
+///  - Figure 3: THRES with surplus Δ ∈ {1, 2, 4}.
+///  - Figure 4: THRES with threshold ∈ {0.75, 1.0, 1.25} × MET.
+///  - Figure 5: PURE vs THRES(Δ=1) vs ADAPT, threshold 1.25 × MET.
+///
+/// The §8 sweeps (parallelism, MET, CCR, structured graphs, bus contention,
+/// locality strictness) live in their bench binaries, composed from the
+/// same sweep_strategies() primitive.
+#pragma once
+
+#include <vector>
+
+#include "experiment/sweep.hpp"
+#include "taskgraph/generator.hpp"
+
+namespace feast {
+
+/// System sizes plotted in the paper: 2–16 processors.
+std::vector<int> paper_sizes();
+
+/// The three execution-time-spread scenarios, paper order.
+std::vector<ExecSpreadScenario> paper_scenarios();
+
+/// The paper's §5.2 workload with the given scenario.
+RandomGraphConfig paper_workload(ExecSpreadScenario scenario);
+
+/// Knobs shared by the figure reproductions.
+struct FigureOptions {
+  int samples = 128;              ///< 128 in the paper; lower for --quick.
+  std::uint64_t seed = 0xFEA57u;
+  std::vector<int> sizes = paper_sizes();
+};
+
+std::vector<SweepResult> figure2_bst(const FigureOptions& options = {});
+std::vector<SweepResult> figure3_thres_surplus(const FigureOptions& options = {});
+std::vector<SweepResult> figure4_thres_threshold(const FigureOptions& options = {});
+std::vector<SweepResult> figure5_ast(const FigureOptions& options = {});
+
+}  // namespace feast

@@ -1,0 +1,30 @@
+#include "experiment/runner.hpp"
+
+#include "core/distribution_validate.hpp"
+#include "sched/schedule_validate.hpp"
+
+namespace feast {
+
+RunResult run_once(const TaskGraph& graph, Distributor& distributor,
+                   const Machine& machine, const RunOptions& options) {
+  const DeadlineAssignment assignment = distributor.distribute(graph);
+  if (options.validate) {
+    require_valid(check_assignment_basic(graph, assignment));
+  }
+
+  const Schedule schedule = list_schedule(graph, assignment, machine, options.scheduler);
+  if (options.validate) {
+    require_valid(validate_schedule(graph, assignment, machine, schedule,
+                                    options.scheduler));
+  }
+
+  RunResult result;
+  result.lateness = computation_lateness(graph, assignment, schedule);
+  result.end_to_end = end_to_end_lateness(graph, schedule);
+  result.makespan = schedule.makespan();
+  result.utilization = schedule.average_utilization();
+  result.min_laxity = assignment.min_laxity(graph);
+  return result;
+}
+
+}  // namespace feast

@@ -1,0 +1,37 @@
+/// \file runner.hpp
+/// \brief One end-to-end simulation run: distribute → schedule → measure.
+///
+/// The unit of every experiment: a task graph is annotated by a
+/// distribution strategy, scheduled on a machine by the deadline-driven
+/// list scheduler, optionally validated, and its lateness statistics
+/// extracted.
+#pragma once
+
+#include "core/distributor.hpp"
+#include "sched/lateness.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/machine.hpp"
+#include "taskgraph/task_graph.hpp"
+
+namespace feast {
+
+/// Measurements of one run.
+struct RunResult {
+  LatenessStats lateness;       ///< Against the distributed deadlines.
+  Time end_to_end = 0.0;        ///< Against the boundary deadlines.
+  Time makespan = 0.0;
+  double utilization = 0.0;
+  Time min_laxity = 0.0;        ///< Pre-scheduling, over computation nodes.
+};
+
+/// Run options beyond the machine itself.
+struct RunOptions {
+  SchedulerOptions scheduler;
+  bool validate = true;  ///< Validate assignment + schedule (cheap; on by default).
+};
+
+/// Executes one run.  Throws ContractViolation when validation fails.
+RunResult run_once(const TaskGraph& graph, Distributor& distributor,
+                   const Machine& machine, const RunOptions& options = {});
+
+}  // namespace feast

@@ -1,0 +1,146 @@
+#include "experiment/sweep.hpp"
+
+#include <vector>
+
+#include "util/csv.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace feast {
+
+CellStats run_cell(const RandomGraphConfig& workload, const Strategy& strategy,
+                   int n_procs, const BatchConfig& batch) {
+  return run_custom_cell(
+      [&workload](std::size_t sample, std::uint64_t seed) {
+        Pcg32 rng(seed, /*stream=*/sample);
+        return generate_random_graph(workload, rng);
+      },
+      strategy, n_procs, batch);
+}
+
+CellStats run_custom_cell(const GraphFactory& factory, const Strategy& strategy,
+                          int n_procs, const BatchConfig& batch) {
+  FEAST_REQUIRE(batch.samples >= 1);
+  FEAST_REQUIRE(n_procs >= 1);
+
+  const auto n = static_cast<std::size_t>(batch.samples);
+  std::vector<RunResult> results(n);
+
+  parallel_for(n, [&](std::size_t sample) {
+    // Graph seed depends only on (batch seed, sample): the same graphs are
+    // replayed for every strategy and size of the surrounding sweep.
+    TaskGraph graph = factory(sample, seed_for(batch.seed, {0, sample}));
+    if (batch.pinned_fraction > 0.0) {
+      // Pinning depends on the system size (a pin names a processor).
+      Pcg32 pin_rng(seed_for(batch.seed, {1, sample, static_cast<std::uint64_t>(n_procs)}),
+                    /*stream=*/sample);
+      pin_random_fraction(graph, batch.pinned_fraction, n_procs, pin_rng);
+    }
+
+    const auto distributor = strategy.make(n_procs);
+    Machine machine;
+    machine.n_procs = n_procs;
+    machine.time_per_item = batch.time_per_item;
+    machine.contention = batch.contention;
+    if (batch.shape_machine) batch.shape_machine(machine);
+
+    RunOptions options;
+    options.scheduler = batch.scheduler;
+    options.validate = batch.validate;
+    results[sample] = run_once(graph, *distributor, machine, options);
+  });
+
+  RunningStats max_lateness;
+  RunningStats end_to_end;
+  RunningStats makespan;
+  RunningStats min_laxity;
+  std::size_t infeasible = 0;
+  for (const RunResult& r : results) {
+    max_lateness.add(r.lateness.max_lateness);
+    end_to_end.add(r.end_to_end);
+    makespan.add(r.makespan);
+    min_laxity.add(r.min_laxity);
+    if (!r.lateness.feasible()) ++infeasible;
+  }
+
+  CellStats stats;
+  stats.max_lateness = max_lateness.summary();
+  stats.end_to_end = end_to_end.summary();
+  stats.makespan = makespan.summary();
+  stats.min_laxity = min_laxity.summary();
+  stats.infeasible_runs = infeasible;
+  return stats;
+}
+
+SweepResult sweep_strategies(const std::string& title,
+                             const RandomGraphConfig& workload,
+                             const std::vector<Strategy>& strategies,
+                             const std::vector<int>& sizes, const BatchConfig& batch) {
+  return sweep_custom(
+      title,
+      [&workload](std::size_t sample, std::uint64_t seed) {
+        Pcg32 rng(seed, /*stream=*/sample);
+        return generate_random_graph(workload, rng);
+      },
+      strategies, sizes, batch);
+}
+
+SweepResult sweep_custom(const std::string& title, const GraphFactory& factory,
+                         const std::vector<Strategy>& strategies,
+                         const std::vector<int>& sizes, const BatchConfig& batch) {
+  FEAST_REQUIRE(!strategies.empty());
+  FEAST_REQUIRE(!sizes.empty());
+
+  SweepResult result;
+  result.title = title;
+  result.sizes = sizes;
+  result.series.reserve(strategies.size());
+  for (const Strategy& strategy : strategies) {
+    Series series;
+    series.label = strategy.label;
+    series.cells.reserve(sizes.size());
+    for (const int n_procs : sizes) {
+      series.cells.push_back(run_custom_cell(factory, strategy, n_procs, batch));
+    }
+    result.series.push_back(std::move(series));
+  }
+  return result;
+}
+
+void SweepResult::print(std::ostream& out) const {
+  out << title << "\n";
+  out << "mean maximum task lateness (more negative = better)\n";
+  TextTable table;
+  std::vector<std::string> header{"strategy \\ procs"};
+  for (const int n : sizes) header.push_back(std::to_string(n));
+  table.set_header(std::move(header));
+  for (const Series& s : series) {
+    std::vector<double> values;
+    values.reserve(s.cells.size());
+    for (const CellStats& c : s.cells) values.push_back(c.max_lateness.mean);
+    table.add_row(s.label, values, 1);
+  }
+  table.render(out);
+}
+
+void SweepResult::write_csv(std::ostream& out) const {
+  CsvWriter csv(out);
+  csv.write_row({"title", "strategy", "procs", "mean_max_lateness", "stddev", "ci95",
+                 "mean_end_to_end", "mean_makespan", "infeasible_runs"});
+  for (const Series& s : series) {
+    for (std::size_t i = 0; i < s.cells.size(); ++i) {
+      const CellStats& c = s.cells[i];
+      csv.write_row({title, s.label, std::to_string(sizes[i]),
+                     format_compact(c.max_lateness.mean, 6),
+                     format_compact(c.max_lateness.stddev, 6),
+                     format_compact(c.max_lateness.ci95_half_width, 6),
+                     format_compact(c.end_to_end.mean, 6),
+                     format_compact(c.makespan.mean, 6),
+                     std::to_string(c.infeasible_runs)});
+    }
+  }
+}
+
+}  // namespace feast

@@ -1,0 +1,99 @@
+/// \file sweep.hpp
+/// \brief Batched experiment cells and strategy-by-size sweeps.
+///
+/// Reproduces the paper's measurement protocol: every data point is the
+/// mean over a batch of randomly generated task graphs (128 in the paper)
+/// of the maximum task lateness.  The *same* batch of graphs — derived
+/// deterministically from the batch seed and sample index, never from the
+/// strategy or system size — is reused across all strategies and sizes of
+/// a sweep, exactly like evaluating one generated task set everywhere.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "experiment/runner.hpp"
+#include "experiment/strategy.hpp"
+#include "taskgraph/generator.hpp"
+#include "util/stats.hpp"
+
+namespace feast {
+
+/// Batch-level knobs shared by all cells of a sweep.
+struct BatchConfig {
+  int samples = 128;                  ///< Graphs per data point.
+  std::uint64_t seed = 0xFEA57u;      ///< Root seed of the batch.
+  double pinned_fraction = 0.0;       ///< Strict-locality subset (0 = fully relaxed).
+  double time_per_item = 1.0;         ///< Bus cost per data item.
+  CommContention contention = CommContention::ContentionFree;
+  SchedulerOptions scheduler;         ///< Time-driven EDF by default.
+  bool validate = true;
+  /// Optional hook applied to the machine of every cell after n_procs,
+  /// time_per_item and contention are set — e.g. to install heterogeneous
+  /// processor speeds.
+  std::function<void(Machine&)> shape_machine;
+};
+
+/// Aggregates of one (workload, strategy, system size) cell.
+struct CellStats {
+  StatSummary max_lateness;  ///< The figures' y-axis (mean of per-run maxima).
+  StatSummary end_to_end;
+  StatSummary makespan;
+  StatSummary min_laxity;
+  std::size_t infeasible_runs = 0;  ///< Runs where some subtask missed its window.
+};
+
+/// Produces the sample'th graph of a batch; must be deterministic in
+/// (sample, the provided seed).  Allows sweeps over workloads the standard
+/// random generator cannot express (structured shapes, loaded files).
+using GraphFactory = std::function<TaskGraph(std::size_t sample, std::uint64_t seed)>;
+
+/// Evaluates one cell: \p batch.samples random graphs from \p workload,
+/// distributed by \p strategy, scheduled on \p n_procs processors.
+/// Samples run in parallel; the result is deterministic in the seed.
+CellStats run_cell(const RandomGraphConfig& workload, const Strategy& strategy,
+                   int n_procs, const BatchConfig& batch);
+
+/// As run_cell, but with caller-supplied graphs.
+CellStats run_custom_cell(const GraphFactory& factory, const Strategy& strategy,
+                          int n_procs, const BatchConfig& batch);
+
+/// One strategy's series across the size axis.
+struct Series {
+  std::string label;
+  std::vector<CellStats> cells;  ///< Aligned with SweepResult::sizes.
+};
+
+/// A full sweep: strategies × system sizes on one workload.
+struct SweepResult {
+  std::string title;
+  std::vector<int> sizes;
+  std::vector<Series> series;
+
+  /// Mean max-lateness of series \p s at size index \p i.
+  double value(std::size_t s, std::size_t i) const {
+    return series.at(s).cells.at(i).max_lateness.mean;
+  }
+
+  /// Paper-style table: one row per strategy, one column per size.
+  void print(std::ostream& out) const;
+
+  /// Long-format CSV: strategy,procs,mean_max_lateness,stddev,ci95,
+  /// mean_end_to_end,infeasible_runs.
+  void write_csv(std::ostream& out) const;
+};
+
+/// Runs a sweep, reusing the same graph batch for every cell.
+SweepResult sweep_strategies(const std::string& title,
+                             const RandomGraphConfig& workload,
+                             const std::vector<Strategy>& strategies,
+                             const std::vector<int>& sizes, const BatchConfig& batch);
+
+/// As sweep_strategies, but with caller-supplied graphs.
+SweepResult sweep_custom(const std::string& title, const GraphFactory& factory,
+                         const std::vector<Strategy>& strategies,
+                         const std::vector<int>& sizes, const BatchConfig& batch);
+
+}  // namespace feast

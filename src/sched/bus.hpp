@@ -1,0 +1,45 @@
+/// \file bus.hpp
+/// \brief Serialized shared-bus timeline for the contention model.
+///
+/// The SharedBus communication model serializes every cross-processor
+/// transfer on one bus.  The timeline keeps the committed transfer slots
+/// sorted and answers first-fit queries: the earliest start >= `earliest`
+/// at which a slot of `duration` fits into a gap.  Queries are side-effect
+/// free so the scheduler can evaluate candidate processors before
+/// committing one.
+#pragma once
+
+#include <vector>
+
+#include "util/time_types.hpp"
+
+namespace feast {
+
+/// One committed transfer slot.
+struct BusSlot {
+  Time start = 0.0;
+  Time end = 0.0;
+};
+
+/// Single-resource timeline with first-fit gap allocation.
+class BusTimeline {
+ public:
+  /// Earliest start >= \p earliest at which \p duration fits.  A zero
+  /// duration always fits at \p earliest.
+  Time query(Time earliest, Time duration) const;
+
+  /// Commits a slot found by query(); returns its start.  The slot must
+  /// not collide with committed slots (checked).
+  Time reserve(Time earliest, Time duration);
+
+  /// Committed slots in time order.
+  const std::vector<BusSlot>& slots() const noexcept { return slots_; }
+
+  /// Total committed transfer time.
+  Time total_busy() const noexcept;
+
+ private:
+  std::vector<BusSlot> slots_;  ///< Sorted by start, pairwise disjoint.
+};
+
+}  // namespace feast

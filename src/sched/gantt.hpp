@@ -1,0 +1,40 @@
+/// \file gantt.hpp
+/// \brief Human-readable schedule rendering.
+///
+/// Renders a schedule as an ASCII Gantt chart (one row per processor plus a
+/// bus row under the shared-bus model) and as CSV for external plotting.
+/// Used by the examples and by failing tests to show what went wrong.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "core/annotation.hpp"
+#include "sched/machine.hpp"
+#include "sched/schedule.hpp"
+#include "taskgraph/task_graph.hpp"
+
+namespace feast {
+
+/// Options of the ASCII renderer.
+struct GanttOptions {
+  int width = 100;          ///< Character columns for the time axis.
+  bool show_bus = true;     ///< Render a row with crossing transfers.
+  bool show_names = true;   ///< Print the per-row task lists underneath.
+};
+
+/// Writes the ASCII Gantt chart.
+void write_gantt(std::ostream& out, const TaskGraph& graph, const Schedule& schedule,
+                 const GanttOptions& options = {});
+
+/// Returns the chart as a string.
+std::string gantt_to_string(const TaskGraph& graph, const Schedule& schedule,
+                            const GanttOptions& options = {});
+
+/// Writes the schedule as CSV rows:
+///   kind,name,proc,start,finish,release,abs_deadline,lateness
+/// (transfer rows use proc "bus" or "local" and empty deadline columns).
+void write_schedule_csv(std::ostream& out, const TaskGraph& graph,
+                        const DeadlineAssignment& assignment, const Schedule& schedule);
+
+}  // namespace feast

@@ -1,0 +1,61 @@
+#include "sched/iterative.hpp"
+
+#include "core/slicing.hpp"
+#include "sched/schedule_validate.hpp"
+
+namespace feast {
+
+namespace {
+
+/// Placement of every computation node according to a schedule.
+std::vector<ProcId> schedule_placement(const TaskGraph& graph, const Schedule& schedule) {
+  std::vector<ProcId> placement(graph.node_count());
+  for (const NodeId id : graph.computation_nodes()) {
+    placement[id.index()] = schedule.placement(id).proc;
+  }
+  return placement;
+}
+
+}  // namespace
+
+IterativeResult iterate_distribution(const TaskGraph& graph, SliceMetric& metric,
+                                     const CommCostEstimator& initial_estimator,
+                                     const Machine& machine,
+                                     const IterativeOptions& options) {
+  FEAST_REQUIRE(options.max_rounds >= 1);
+  machine.check();
+
+  IterativeResult best;
+  Time best_lateness = kInfiniteTime;
+  std::vector<ProcId> placement = pinned_placement(graph);
+
+  IterativeResult result;
+  for (int round = 0; round < options.max_rounds; ++round) {
+    const AssignmentAwareEstimator estimator(placement, initial_estimator,
+                                             machine.time_per_item);
+    DeadlineAssignment assignment = distribute_deadlines(graph, metric, estimator);
+    Schedule schedule = list_schedule(graph, assignment, machine, options.scheduler);
+    const LatenessStats lateness = computation_lateness(graph, assignment, schedule);
+    result.history.push_back(lateness.max_lateness);
+
+    const bool improved = lateness.max_lateness < best_lateness - kTimeEps;
+    if (round == 0 || improved) {
+      best_lateness = lateness.max_lateness;
+      best.assignment = std::move(assignment);
+      best.lateness = lateness;
+      best.best_round = round;
+      placement = schedule_placement(graph, schedule);
+      best.schedule = std::move(schedule);
+    } else {
+      // Feed the (non-improving) round's assignment forward anyway unless
+      // we are stopping: oscillation sometimes escapes a local optimum.
+      if (options.stop_when_stalled) break;
+      placement = schedule_placement(graph, schedule);
+    }
+  }
+
+  best.history = std::move(result.history);
+  return best;
+}
+
+}  // namespace feast

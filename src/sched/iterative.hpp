@@ -1,0 +1,56 @@
+/// \file iterative.hpp
+/// \brief Iterative redistribution: feed the assignment back into the
+///        deadline distribution (the improvement loop of Gutiérrez García
+///        & González Harbour [3], realized with slicing).
+///
+/// The paper breaks the circular dependency between deadline distribution
+/// and task assignment by distributing first, with *estimated*
+/// communication costs.  Once a schedule exists, though, the assignment is
+/// known — so the distribution can be repeated with exact communication
+/// costs (AssignmentAwareEstimator), which may yield a different, better
+/// schedule, whose assignment can be fed back again:
+///
+///     distribute(est) → schedule → distribute(assignment₁) → schedule → …
+///
+/// The loop keeps the best result seen (by maximum task lateness) and
+/// stops after max_rounds or when a round stops improving.
+#pragma once
+
+#include <vector>
+
+#include "core/comm_estimator.hpp"
+#include "core/metrics.hpp"
+#include "sched/lateness.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/machine.hpp"
+#include "sched/schedule.hpp"
+#include "taskgraph/task_graph.hpp"
+
+namespace feast {
+
+/// Configuration of the feedback loop.
+struct IterativeOptions {
+  int max_rounds = 4;            ///< Total distribute→schedule rounds (>= 1).
+  bool stop_when_stalled = true; ///< Stop early when a round does not improve.
+  SchedulerOptions scheduler;    ///< Passed to every scheduling pass.
+};
+
+/// Outcome of the loop.
+struct IterativeResult {
+  DeadlineAssignment assignment;  ///< Best round's windows.
+  Schedule schedule;              ///< Best round's schedule.
+  LatenessStats lateness;         ///< Best round's lateness statistics.
+  int best_round = 0;             ///< 0-based index of the winning round.
+  std::vector<Time> history;      ///< Max lateness of every executed round.
+};
+
+/// Runs the feedback loop on \p graph with metric \p metric.  Round 0 uses
+/// \p initial_estimator (plus any pins, via AssignmentAwareEstimator);
+/// later rounds use the previous round's full assignment.  The metric is
+/// re-prepared every round.
+IterativeResult iterate_distribution(const TaskGraph& graph, SliceMetric& metric,
+                                     const CommCostEstimator& initial_estimator,
+                                     const Machine& machine,
+                                     const IterativeOptions& options = {});
+
+}  // namespace feast

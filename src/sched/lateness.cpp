@@ -1,0 +1,45 @@
+#include "sched/lateness.hpp"
+
+#include <algorithm>
+
+namespace feast {
+
+Time lateness_of(const DeadlineAssignment& assignment, const Schedule& schedule,
+                 NodeId id) {
+  return schedule.placement(id).finish - assignment.abs_deadline(id);
+}
+
+LatenessStats computation_lateness(const TaskGraph& graph,
+                                   const DeadlineAssignment& assignment,
+                                   const Schedule& schedule) {
+  LatenessStats stats;
+  Time sum = 0.0;
+  for (const NodeId id : graph.computation_nodes()) {
+    const Time lateness = lateness_of(assignment, schedule, id);
+    sum += lateness;
+    if (lateness > stats.max_lateness) {
+      stats.max_lateness = lateness;
+      stats.argmax = id;
+    }
+    if (lateness > kTimeEps) ++stats.missed;
+    ++stats.count;
+  }
+  if (stats.count > 0) {
+    stats.mean_lateness = sum / static_cast<double>(stats.count);
+  } else {
+    stats.max_lateness = 0.0;
+  }
+  return stats;
+}
+
+Time end_to_end_lateness(const TaskGraph& graph, const Schedule& schedule) {
+  Time worst = -kInfiniteTime;
+  for (const NodeId id : graph.outputs()) {
+    const Time deadline = graph.node(id).boundary_deadline;
+    FEAST_REQUIRE(is_set(deadline));
+    worst = std::max(worst, schedule.placement(id).finish - deadline);
+  }
+  return graph.outputs().empty() ? 0.0 : worst;
+}
+
+}  // namespace feast

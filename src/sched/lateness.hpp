@@ -1,0 +1,45 @@
+/// \file lateness.hpp
+/// \brief Schedule-quality metrics (§4.1 of the paper).
+///
+/// The *lateness* of a subtask is its completion time minus its absolute
+/// deadline — non-positive in valid schedules, determined after scheduling.
+/// The paper's headline statistic is the **maximum task lateness**: the
+/// lateness of the single worst subtask, indicating how far from
+/// infeasibility the schedule is and how much extra background workload it
+/// could absorb.
+#pragma once
+
+#include "core/annotation.hpp"
+#include "sched/schedule.hpp"
+#include "taskgraph/task_graph.hpp"
+
+namespace feast {
+
+/// Lateness summary over the computation subtasks of one schedule.
+struct LatenessStats {
+  Time max_lateness = -kInfiniteTime;  ///< The paper's headline metric.
+  NodeId argmax;                       ///< Subtask attaining the maximum.
+  Time mean_lateness = 0.0;
+  std::size_t missed = 0;  ///< Subtasks with positive lateness.
+  std::size_t count = 0;   ///< Computation subtasks measured.
+
+  /// True when every subtask met its absolute deadline.
+  bool feasible() const noexcept { return missed == 0; }
+};
+
+/// Lateness of one computation subtask: finish − absolute deadline.
+Time lateness_of(const DeadlineAssignment& assignment, const Schedule& schedule,
+                 NodeId id);
+
+/// Lateness statistics against the *assigned* (distributed) deadlines —
+/// this is what Figures 2–5 plot.
+LatenessStats computation_lateness(const TaskGraph& graph,
+                                   const DeadlineAssignment& assignment,
+                                   const Schedule& schedule);
+
+/// Maximum lateness of the output subtasks against their *end-to-end*
+/// boundary deadlines — whether the application as a whole met its
+/// deadline, independent of how the windows were distributed.
+Time end_to_end_lateness(const TaskGraph& graph, const Schedule& schedule);
+
+}  // namespace feast

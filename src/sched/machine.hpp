@@ -1,0 +1,93 @@
+/// \file machine.hpp
+/// \brief The target platform of §5.1: a homogeneous multiprocessor with a
+///        time-multiplexed shared bus.
+///
+/// Communication between subtasks on the same processor goes through shared
+/// memory at negligible cost; between processors it costs
+/// `message items × time_per_item` (one time unit per data item in the
+/// paper) and may proceed concurrently with computation.
+#pragma once
+
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/time_types.hpp"
+
+namespace feast {
+
+/// How interprocessor messages share the interconnect.
+enum class CommContention {
+  /// Every message experiences exactly its transfer latency; the bus has
+  /// unlimited concurrent capacity.  This is the classic list-scheduling
+  /// communication-delay model [Lee et al.] and the paper's default.
+  ContentionFree,
+  /// A single shared bus serializes all transfers; message slots are
+  /// allocated in scheduling order (which the deadline-driven scheduler
+  /// makes EDF-ordered).  The contention-based extension of §8.
+  SharedBus,
+  /// A dedicated link per unordered processor pair: transfers between the
+  /// same pair serialize (half-duplex), transfers between different pairs
+  /// proceed in parallel.  The "different interconnection topologies"
+  /// extension of §8.
+  PointToPointLinks,
+};
+
+/// Returns "contention-free", "shared-bus" or "point-to-point".
+inline const char* to_string(CommContention model) noexcept {
+  switch (model) {
+    case CommContention::ContentionFree: return "contention-free";
+    case CommContention::SharedBus: return "shared-bus";
+    case CommContention::PointToPointLinks: return "point-to-point";
+  }
+  return "?";
+}
+
+/// A multiprocessor, homogeneous by default (the paper's platform).
+///
+/// §8 raises heterogeneous systems as future work; FEAST models them with
+/// per-processor speed factors: a subtask with worst-case execution time c
+/// runs for c / speed on that processor.  Execution-time estimates used by
+/// deadline distribution always refer to the *nominal* (speed 1) time —
+/// distribution happens before assignment, so it cannot know the speed.
+struct Machine {
+  int n_procs = 2;
+  double time_per_item = 1.0;  ///< Bus cost per transmitted data item.
+  CommContention contention = CommContention::ContentionFree;
+
+  /// Per-processor speed factors; empty means homogeneous speed 1.  When
+  /// non-empty, must have n_procs positive entries.
+  std::vector<double> speeds;
+
+  /// Validates the configuration.
+  void check() const {
+    FEAST_REQUIRE_MSG(n_procs >= 1, "machine needs at least one processor");
+    FEAST_REQUIRE_MSG(time_per_item >= 0.0, "bus rate must be non-negative");
+    FEAST_REQUIRE_MSG(speeds.empty() ||
+                          speeds.size() == static_cast<std::size_t>(n_procs),
+                      "speeds must be empty or sized to the processor count");
+    for (const double s : speeds) {
+      FEAST_REQUIRE_MSG(s > 0.0, "processor speeds must be positive");
+    }
+  }
+
+  /// True when every processor runs at the same (unit) speed.
+  bool homogeneous() const noexcept { return speeds.empty(); }
+
+  /// Speed of processor \p proc_index.
+  double speed_of(std::size_t proc_index) const {
+    if (speeds.empty()) return 1.0;
+    FEAST_REQUIRE(proc_index < speeds.size());
+    return speeds[proc_index];
+  }
+
+  /// Execution time of a subtask with nominal WCET \p nominal on
+  /// processor \p proc_index.
+  Time exec_time_on(Time nominal, std::size_t proc_index) const {
+    return nominal / speed_of(proc_index);
+  }
+
+  /// Transfer latency of \p items data items across the bus.
+  Time transfer_time(double items) const noexcept { return items * time_per_item; }
+};
+
+}  // namespace feast

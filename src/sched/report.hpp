@@ -1,0 +1,67 @@
+/// \file report.hpp
+/// \brief Quality reports over distributions and schedules.
+///
+/// The lateness headline (§4.1) compresses a run into one number; these
+/// reports expose the structure behind it — how the slack was spread over
+/// the subtasks, how evenly the processors were loaded, how busy the
+/// interconnect was — for the CLI, the examples and debugging sessions.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "core/annotation.hpp"
+#include "sched/machine.hpp"
+#include "sched/schedule.hpp"
+#include "taskgraph/task_graph.hpp"
+
+namespace feast {
+
+/// Distribution-quality measures (before scheduling).
+struct DistributionReport {
+  std::size_t subtasks = 0;
+  std::size_t sliced_paths = 0;
+  Time min_laxity = 0.0;
+  Time mean_laxity = 0.0;
+  Time median_laxity = 0.0;
+  Time max_laxity = 0.0;
+  /// Arcs whose windows overlap (predecessor deadline past successor
+  /// release) — 0 under respect_interior_bounds; see §4.2 discussion.
+  std::size_t arc_window_overlaps = 0;
+  /// Share of the end-to-end window granted to computation (vs messages),
+  /// averaged over sliced paths.
+  double computation_share = 0.0;
+};
+
+/// Builds the distribution report.
+DistributionReport analyze_distribution(const TaskGraph& graph,
+                                        const DeadlineAssignment& assignment);
+
+/// Renders it as aligned text.
+void print_distribution_report(std::ostream& out, const DistributionReport& report);
+
+/// Schedule-quality measures (after scheduling).
+struct ScheduleQualityReport {
+  Time makespan = 0.0;
+  double avg_utilization = 0.0;
+  double min_proc_utilization = 0.0;
+  double max_proc_utilization = 0.0;
+  /// Largest single idle gap on any processor before its last task.
+  Time largest_idle_gap = 0.0;
+  std::size_t crossing_messages = 0;
+  std::size_t local_messages = 0;
+  Time total_transfer_time = 0.0;
+  /// Mean start delay beyond the assigned release over computation nodes.
+  Time mean_queueing = 0.0;
+  Time max_queueing = 0.0;
+};
+
+/// Builds the schedule report.
+ScheduleQualityReport analyze_schedule(const TaskGraph& graph,
+                                       const DeadlineAssignment& assignment,
+                                       const Schedule& schedule);
+
+/// Renders it as aligned text.
+void print_schedule_report(std::ostream& out, const ScheduleQualityReport& report);
+
+}  // namespace feast

@@ -1,0 +1,87 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+
+namespace feast {
+
+void Schedule::place(NodeId id, ProcId proc, Time start, Time finish) {
+  FEAST_REQUIRE(id.index() < placements_.size());
+  FEAST_REQUIRE(proc.valid() && static_cast<int>(proc.index()) < n_procs_);
+  FEAST_REQUIRE(is_set(start) && is_set(finish));
+  FEAST_REQUIRE_MSG(time_le(start, finish), "finish precedes start");
+  FEAST_REQUIRE_MSG(!placements_[id.index()].placed(), "subtask already placed");
+  placements_[id.index()] = TaskPlacement{proc, start, finish};
+}
+
+void Schedule::record_transfer(NodeId id, Time start, Time finish, bool crossed_bus) {
+  FEAST_REQUIRE(id.index() < transfers_.size());
+  FEAST_REQUIRE(is_set(start) && is_set(finish));
+  FEAST_REQUIRE_MSG(time_le(start, finish), "transfer finish precedes start");
+  FEAST_REQUIRE_MSG(!transfers_[id.index()].recorded(), "transfer already recorded");
+  transfers_[id.index()] = TransferRecord{start, finish, crossed_bus};
+}
+
+const TaskPlacement& Schedule::placement(NodeId id) const {
+  FEAST_REQUIRE(id.index() < placements_.size());
+  const TaskPlacement& p = placements_[id.index()];
+  FEAST_REQUIRE_MSG(p.placed(), "subtask not placed");
+  return p;
+}
+
+const TransferRecord& Schedule::transfer(NodeId id) const {
+  FEAST_REQUIRE(id.index() < transfers_.size());
+  const TransferRecord& t = transfers_[id.index()];
+  FEAST_REQUIRE_MSG(t.recorded(), "transfer not recorded");
+  return t;
+}
+
+bool Schedule::complete(const TaskGraph& graph) const {
+  for (const NodeId id : graph.computation_nodes()) {
+    if (id.index() >= placements_.size() || !placements_[id.index()].placed()) return false;
+  }
+  for (const NodeId id : graph.communication_nodes()) {
+    if (id.index() >= transfers_.size() || !transfers_[id.index()].recorded()) return false;
+  }
+  return true;
+}
+
+Time Schedule::makespan() const noexcept {
+  Time end = 0.0;
+  for (const TaskPlacement& p : placements_) {
+    if (p.placed()) end = std::max(end, p.finish);
+  }
+  return end;
+}
+
+std::vector<NodeId> Schedule::tasks_on(ProcId proc) const {
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < placements_.size(); ++i) {
+    if (placements_[i].placed() && placements_[i].proc == proc) {
+      out.push_back(NodeId(static_cast<std::uint32_t>(i)));
+    }
+  }
+  std::sort(out.begin(), out.end(), [&](NodeId a, NodeId b) {
+    return placements_[a.index()].start < placements_[b.index()].start;
+  });
+  return out;
+}
+
+Time Schedule::busy_time(ProcId proc) const {
+  Time busy = 0.0;
+  for (const TaskPlacement& p : placements_) {
+    if (p.placed() && p.proc == proc) busy += p.finish - p.start;
+  }
+  return busy;
+}
+
+double Schedule::average_utilization() const {
+  const Time span = makespan();
+  if (span <= 0.0 || n_procs_ == 0) return 0.0;
+  Time busy = 0.0;
+  for (const TaskPlacement& p : placements_) {
+    if (p.placed()) busy += p.finish - p.start;
+  }
+  return busy / (span * static_cast<double>(n_procs_));
+}
+
+}  // namespace feast

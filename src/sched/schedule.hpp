@@ -1,0 +1,90 @@
+/// \file schedule.hpp
+/// \brief The result of task assignment and scheduling.
+///
+/// A Schedule maps every computation subtask to a processor and an
+/// execution interval, and every communication subtask to a transfer
+/// interval (zero-width when its endpoints are co-located).  It is produced
+/// by the list scheduler and consumed by the lateness analysis, the
+/// validator and the Gantt renderer.
+#pragma once
+
+#include <vector>
+
+#include "sched/machine.hpp"
+#include "taskgraph/task_graph.hpp"
+#include "util/time_types.hpp"
+
+namespace feast {
+
+/// Placement of one computation subtask.
+struct TaskPlacement {
+  ProcId proc;
+  Time start = kUnsetTime;
+  Time finish = kUnsetTime;
+
+  bool placed() const noexcept { return proc.valid() && is_set(start); }
+};
+
+/// Transfer record of one communication subtask.
+struct TransferRecord {
+  Time start = kUnsetTime;   ///< Departure (producer finish, or bus slot start).
+  Time finish = kUnsetTime;  ///< Arrival at the consumer's processor.
+  bool crossed_bus = false;  ///< False when endpoints were co-located.
+
+  bool recorded() const noexcept { return is_set(start); }
+};
+
+/// A complete schedule over one task graph and machine.
+class Schedule {
+ public:
+  Schedule() = default;
+
+  /// Creates an empty schedule sized for \p graph on \p machine.
+  Schedule(const TaskGraph& graph, const Machine& machine)
+      : placements_(graph.node_count()),
+        transfers_(graph.node_count()),
+        n_procs_(machine.n_procs) {}
+
+  /// Number of processors of the machine this schedule targets.
+  int n_procs() const noexcept { return n_procs_; }
+
+  /// Records the placement of a computation subtask.
+  void place(NodeId id, ProcId proc, Time start, Time finish);
+
+  /// Records the transfer of a communication subtask.
+  void record_transfer(NodeId id, Time start, Time finish, bool crossed_bus);
+
+  /// Placement of a computation subtask (must be placed).
+  const TaskPlacement& placement(NodeId id) const;
+
+  /// Transfer record of a communication subtask (must be recorded).
+  const TransferRecord& transfer(NodeId id) const;
+
+  /// True when \p id has been placed/recorded.
+  bool scheduled(NodeId id) const {
+    FEAST_REQUIRE(id.index() < placements_.size());
+    return placements_[id.index()].placed() || transfers_[id.index()].recorded();
+  }
+
+  /// True when every node of \p graph is covered.
+  bool complete(const TaskGraph& graph) const;
+
+  /// Completion time of the latest computation subtask; 0 when empty.
+  Time makespan() const noexcept;
+
+  /// Computation subtasks on \p proc, sorted by start time.
+  std::vector<NodeId> tasks_on(ProcId proc) const;
+
+  /// Total busy time of \p proc.
+  Time busy_time(ProcId proc) const;
+
+  /// Fraction of [0, makespan] each processor computes, averaged.
+  double average_utilization() const;
+
+ private:
+  std::vector<TaskPlacement> placements_;
+  std::vector<TransferRecord> transfers_;
+  int n_procs_ = 0;
+};
+
+}  // namespace feast

@@ -1,0 +1,133 @@
+#include "sched/schedule_validate.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace feast {
+
+std::string ScheduleReport::to_string() const { return join(problems, "\n"); }
+
+namespace {
+std::string node_label(const TaskGraph& graph, NodeId id) {
+  return "node #" + std::to_string(id.value) + " ('" + graph.node(id).name + "')";
+}
+}  // namespace
+
+ScheduleReport validate_schedule(const TaskGraph& graph,
+                                 const DeadlineAssignment& assignment,
+                                 const Machine& machine, const Schedule& schedule,
+                                 const SchedulerOptions& options) {
+  ScheduleReport report;
+  auto problem = [&](const std::string& msg) { report.problems.push_back(msg); };
+
+  if (!schedule.complete(graph)) {
+    problem("schedule does not cover every node");
+    return report;
+  }
+
+  // Placement sanity, pinning, release policy, execution duration.
+  for (const NodeId id : graph.computation_nodes()) {
+    const TaskPlacement& p = schedule.placement(id);
+    if (static_cast<int>(p.proc.index()) >= machine.n_procs) {
+      problem(node_label(graph, id) + ": placed on a processor outside the machine");
+    }
+    const ProcId pin = graph.node(id).pinned;
+    if (pin.valid() && p.proc != pin) {
+      problem(node_label(graph, id) + ": violates its strict locality constraint");
+    }
+    const Time expected_exec =
+        machine.exec_time_on(graph.node(id).exec_time, p.proc.index());
+    if (!time_eq(p.finish - p.start, expected_exec)) {
+      problem(node_label(graph, id) + ": executes for " +
+              format_compact(p.finish - p.start) + " instead of " +
+              format_compact(expected_exec));
+    }
+    if (options.release_policy == ReleasePolicy::TimeDriven &&
+        time_lt(p.start, assignment.release(id))) {
+      problem(node_label(graph, id) + ": starts before its assigned release time");
+    }
+    const Time boundary = graph.node(id).boundary_release;
+    if (is_set(boundary) && time_lt(p.start, boundary)) {
+      problem(node_label(graph, id) + ": starts before its boundary release");
+    }
+  }
+
+  // Processor exclusivity.
+  for (int pi = 0; pi < machine.n_procs; ++pi) {
+    const std::vector<NodeId> tasks = schedule.tasks_on(ProcId(static_cast<std::uint32_t>(pi)));
+    for (std::size_t i = 1; i < tasks.size(); ++i) {
+      const TaskPlacement& prev = schedule.placement(tasks[i - 1]);
+      const TaskPlacement& cur = schedule.placement(tasks[i]);
+      if (time_lt(cur.start, prev.finish)) {
+        problem("processor P" + std::to_string(pi) + ": " + node_label(graph, tasks[i]) +
+                " overlaps " + node_label(graph, tasks[i - 1]));
+      }
+    }
+  }
+
+  // Precedence, transfers and communication latency.
+  for (const NodeId comm : graph.communication_nodes()) {
+    const NodeId producer = graph.comm_source(comm);
+    const NodeId consumer = graph.comm_sink(comm);
+    const TaskPlacement& pp = schedule.placement(producer);
+    const TaskPlacement& cp = schedule.placement(consumer);
+    const TransferRecord& t = schedule.transfer(comm);
+
+    const bool crossing = pp.proc != cp.proc;
+    if (t.crossed_bus != crossing) {
+      problem(node_label(graph, comm) + ": transfer record disagrees with placement on crossing");
+    }
+    if (time_lt(t.start, pp.finish)) {
+      problem(node_label(graph, comm) + ": departs before the producer finishes");
+    }
+    const Time expected_latency =
+        crossing ? machine.transfer_time(graph.node(comm).message_items) : 0.0;
+    if (!time_eq(t.finish - t.start, expected_latency)) {
+      problem(node_label(graph, comm) + ": transfer lasts " +
+              format_compact(t.finish - t.start) + " instead of " +
+              format_compact(expected_latency));
+    }
+    if (time_lt(cp.start, t.finish)) {
+      problem(node_label(graph, comm) + ": consumer starts before the message arrives");
+    }
+  }
+
+  // Interconnect exclusivity: one serial resource under the shared bus,
+  // one per unordered processor pair under point-to-point links.
+  if (machine.contention != CommContention::ContentionFree) {
+    auto resource_of = [&](NodeId comm) -> std::size_t {
+      if (machine.contention == CommContention::SharedBus) return 0;
+      const std::size_t a = schedule.placement(graph.comm_source(comm)).proc.index();
+      const std::size_t b = schedule.placement(graph.comm_sink(comm)).proc.index();
+      return std::min(a, b) * static_cast<std::size_t>(machine.n_procs) +
+             std::max(a, b);
+    };
+    std::vector<NodeId> crossing;
+    for (const NodeId comm : graph.communication_nodes()) {
+      const TransferRecord& t = schedule.transfer(comm);
+      if (t.crossed_bus && t.finish - t.start > kTimeEps) crossing.push_back(comm);
+    }
+    std::sort(crossing.begin(), crossing.end(), [&](NodeId a, NodeId b) {
+      if (resource_of(a) != resource_of(b)) return resource_of(a) < resource_of(b);
+      return schedule.transfer(a).start < schedule.transfer(b).start;
+    });
+    for (std::size_t i = 1; i < crossing.size(); ++i) {
+      if (resource_of(crossing[i]) != resource_of(crossing[i - 1])) continue;
+      const TransferRecord& prev = schedule.transfer(crossing[i - 1]);
+      const TransferRecord& cur = schedule.transfer(crossing[i]);
+      if (time_lt(cur.start, prev.finish)) {
+        problem("interconnect: transfer " + node_label(graph, crossing[i]) +
+                " overlaps " + node_label(graph, crossing[i - 1]));
+      }
+    }
+  }
+
+  return report;
+}
+
+void require_valid(const ScheduleReport& report) {
+  FEAST_REQUIRE_MSG(report.ok(), report.to_string());
+}
+
+}  // namespace feast

@@ -1,0 +1,265 @@
+#include "sim/runtime_sim.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace feast {
+
+namespace {
+
+enum class EventKind : std::uint8_t { TaskReady, ProcIdle, BackgroundArrival };
+
+struct Event {
+  Time time = 0.0;
+  std::uint64_t seq = 0;  ///< Tie-break: FIFO among simultaneous events.
+  EventKind kind = EventKind::TaskReady;
+  std::uint32_t subject = 0;  ///< Node id or processor index.
+  std::uint64_t epoch = 0;    ///< For ProcIdle: invalidated by preemption.
+
+  /// Min-heap ordering.
+  friend bool operator>(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+struct TaskState {
+  ProcId proc;
+  std::size_t pending_preds = 0;
+  Time data_ready = 0.0;  ///< Latest message arrival (or boundary release).
+  Time ready_time = kUnsetTime;
+  bool started = false;      ///< Execution-time scale already drawn.
+  Time remaining = 0.0;      ///< Work left (after preemptions).
+  Time last_start = 0.0;     ///< When the current burst began.
+  Time finish = kUnsetTime;  ///< Completion time.
+};
+
+struct ProcState {
+  bool busy = false;
+  std::vector<NodeId> ready;         ///< Dispatchable application subtasks.
+  std::size_t background_pending = 0;
+  Time next_background = kInfiniteTime;
+  std::uint64_t epoch = 0;  ///< Bumped on every (re)dispatch; stale ProcIdle
+                            ///< events carry an older epoch and are ignored.
+};
+
+}  // namespace
+
+RuntimeResult simulate_runtime(const TaskGraph& graph,
+                               const DeadlineAssignment& assignment,
+                               const Schedule& plan, const Machine& machine,
+                               const RuntimeOptions& options, Pcg32& rng) {
+  machine.check();
+  FEAST_REQUIRE(assignment.complete());
+  FEAST_REQUIRE(plan.complete(graph));
+  FEAST_REQUIRE(options.exec_scale_min > 0.0);
+  FEAST_REQUIRE(options.exec_scale_min <= options.exec_scale_max);
+  FEAST_REQUIRE(options.background_utilization >= 0.0 &&
+                options.background_utilization < 1.0);
+  FEAST_REQUIRE(options.background_service > 0.0);
+
+  const auto n_procs = static_cast<std::size_t>(machine.n_procs);
+  std::vector<TaskState> tasks(graph.node_count());
+  std::vector<ProcState> procs(n_procs);
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  std::uint64_t seq = 0;
+  std::size_t remaining = 0;
+
+  auto push = [&](Time t, EventKind kind, std::uint32_t subject,
+                  std::uint64_t epoch = 0) {
+    events.push(Event{t, ++seq, kind, subject, epoch});
+  };
+
+  // Background streams: periodic with a random initial phase.
+  const Time bg_period = options.background_utilization > 0.0
+                             ? options.background_service / options.background_utilization
+                             : kInfiniteTime;
+  for (std::size_t p = 0; p < n_procs; ++p) {
+    if (options.background_utilization > 0.0) {
+      procs[p].next_background = rng.uniform_real(0.0, bg_period);
+      push(procs[p].next_background, EventKind::BackgroundArrival,
+           static_cast<std::uint32_t>(p));
+    }
+  }
+
+  // Application tasks.
+  for (const NodeId id : graph.computation_nodes()) {
+    TaskState& task = tasks[id.index()];
+    task.proc = plan.placement(id).proc;
+    FEAST_REQUIRE(task.proc.index() < n_procs);
+    task.pending_preds = graph.preds(id).size();
+    const Time boundary = graph.node(id).boundary_release;
+    task.data_ready = is_set(boundary) ? boundary : 0.0;
+    ++remaining;
+    if (task.pending_preds == 0) {
+      const Time floor = options.time_driven ? assignment.release(id) : task.data_ready;
+      task.ready_time = std::max(task.data_ready, floor);
+      push(task.ready_time, EventKind::TaskReady, id.value);
+    }
+  }
+
+  RuntimeResult result;
+  Time now = 0.0;
+
+  // Per-processor currently-running application task (invalid when idle or
+  // running a background job).
+  std::vector<NodeId> running(n_procs);
+
+  // Starts the best dispatchable work on \p p if it is idle: the ready
+  // application subtask with the earliest assigned absolute deadline, or a
+  // pending background job when no subtask is ready.
+  auto dispatch = [&](std::size_t p) {
+    ProcState& proc = procs[p];
+    if (proc.busy) return;
+    running[p] = NodeId();
+
+    if (!proc.ready.empty()) {
+      // Online EDF over assigned absolute deadlines; ties by node id.
+      auto best = proc.ready.begin();
+      for (auto it = std::next(proc.ready.begin()); it != proc.ready.end(); ++it) {
+        const Time da = assignment.abs_deadline(*it);
+        const Time db = assignment.abs_deadline(*best);
+        if (da < db - kTimeEps || (time_eq(da, db) && *it < *best)) best = it;
+      }
+      const NodeId id = *best;
+      proc.ready.erase(best);
+      TaskState& task = tasks[id.index()];
+      if (!task.started) {
+        task.started = true;
+        const double scale =
+            rng.uniform_real(options.exec_scale_min, options.exec_scale_max);
+        task.remaining = machine.exec_time_on(graph.node(id).exec_time, p) * scale;
+      }
+      task.last_start = now;
+      proc.busy = true;
+      running[p] = id;
+      ++proc.epoch;
+      push(now + task.remaining, EventKind::ProcIdle, static_cast<std::uint32_t>(p),
+           proc.epoch);
+      return;
+    }
+    if (proc.background_pending > 0 && remaining > 0) {
+      --proc.background_pending;
+      ++result.background_jobs_run;
+      proc.busy = true;
+      running[p] = NodeId();
+      ++proc.epoch;
+      push(now + options.background_service, EventKind::ProcIdle,
+           static_cast<std::uint32_t>(p), proc.epoch);
+    }
+  };
+
+  // Preempts the running application subtask on \p p when \p challenger
+  // has a strictly earlier assigned deadline.  Background jobs and
+  // about-to-finish tasks are left alone.
+  auto maybe_preempt = [&](std::size_t p, NodeId challenger) {
+    if (!options.preemptive) return;
+    ProcState& proc = procs[p];
+    const NodeId incumbent = running[p];
+    if (!proc.busy || !incumbent.valid()) return;
+    if (assignment.abs_deadline(challenger) >=
+        assignment.abs_deadline(incumbent) - kTimeEps) {
+      return;
+    }
+    TaskState& task = tasks[incumbent.index()];
+    const Time done = now - task.last_start;
+    if (task.remaining - done <= kTimeEps) return;  // effectively finished
+    task.remaining -= done;
+    proc.ready.push_back(incumbent);
+    proc.busy = false;
+    running[p] = NodeId();
+    ++proc.epoch;  // invalidate the scheduled completion event
+  };
+
+  while (!events.empty() && remaining > 0) {
+    const Event event = events.top();
+    events.pop();
+    now = event.time;
+
+    switch (event.kind) {
+      case EventKind::TaskReady: {
+        const NodeId id(event.subject);
+        TaskState& task = tasks[id.index()];
+        FEAST_ASSERT(!task.started);
+        const std::size_t p = task.proc.index();
+        maybe_preempt(p, id);
+        procs[p].ready.push_back(id);
+        if (!procs[p].busy) dispatch(p);
+        break;
+      }
+      case EventKind::BackgroundArrival: {
+        const std::size_t p = event.subject;
+        ++procs[p].background_pending;
+        procs[p].next_background += bg_period;
+        push(procs[p].next_background, EventKind::BackgroundArrival,
+             static_cast<std::uint32_t>(p));
+        if (!procs[p].busy) dispatch(p);
+        break;
+      }
+      case EventKind::ProcIdle: {
+        const std::size_t p = event.subject;
+        if (event.epoch != procs[p].epoch) break;  // superseded by preemption
+        procs[p].busy = false;
+        const NodeId finished = running[p];
+        running[p] = NodeId();
+        if (finished.valid()) {
+          TaskState& task = tasks[finished.index()];
+          task.finish = now;
+          task.remaining = 0.0;
+          --remaining;
+          result.makespan = std::max(result.makespan, now);
+          // Deliver messages to consumers.
+          for (const NodeId comm : graph.succs(finished)) {
+            const NodeId consumer = graph.comm_sink(comm);
+            TaskState& down = tasks[consumer.index()];
+            const bool crossing = down.proc != task.proc;
+            const Time arrival =
+                now + (crossing
+                           ? machine.transfer_time(graph.node(comm).message_items)
+                           : 0.0);
+            down.data_ready = std::max(down.data_ready, arrival);
+            FEAST_ASSERT(down.pending_preds > 0);
+            if (--down.pending_preds == 0) {
+              const Time floor = options.time_driven ? assignment.release(consumer)
+                                                     : down.data_ready;
+              down.ready_time = std::max(down.data_ready, floor);
+              push(down.ready_time, EventKind::TaskReady, consumer.value);
+            }
+          }
+        }
+        if (remaining > 0) dispatch(p);
+        break;
+      }
+    }
+  }
+
+  FEAST_ENSURE_MSG(remaining == 0, "runtime simulation deadlocked");
+
+  // Lateness against the assigned deadlines, per §4.1.
+  Time lateness_sum = 0.0;
+  for (const NodeId id : graph.computation_nodes()) {
+    const TaskState& task = tasks[id.index()];
+    const Time lateness = task.finish - assignment.abs_deadline(id);
+    lateness_sum += lateness;
+    if (lateness > result.lateness.max_lateness) {
+      result.lateness.max_lateness = lateness;
+      result.lateness.argmax = id;
+    }
+    if (lateness > kTimeEps) ++result.lateness.missed;
+    ++result.lateness.count;
+  }
+  if (result.lateness.count > 0) {
+    result.lateness.mean_lateness =
+        lateness_sum / static_cast<double>(result.lateness.count);
+  }
+
+  Time e2e = -kInfiniteTime;
+  for (const NodeId id : graph.outputs()) {
+    e2e = std::max(e2e, tasks[id.index()].finish - graph.node(id).boundary_deadline);
+  }
+  result.end_to_end = graph.outputs().empty() ? 0.0 : e2e;
+  return result;
+}
+
+}  // namespace feast

@@ -1,0 +1,74 @@
+/// \file runtime_sim.hpp
+/// \brief Discrete-event runtime simulation of a distributed schedule.
+///
+/// The offline pipeline (distribute → list-schedule) fixes each subtask's
+/// processor and promises that the execution windows hold.  This simulator
+/// *executes* that plan under runtime conditions the offline stage did not
+/// see:
+///
+///  - **execution-time variation**: actual running time is the WCET scaled
+///    by a uniform factor (below 1 models early completion, above 1 models
+///    overruns);
+///  - **background workload**: each processor receives a stream of
+///    non-preemptable background jobs at a configurable utilization; a job
+///    occupying the processor blocks application subtasks that become
+///    ready meanwhile — exactly the disturbance §4.1 says the maximum
+///    task lateness measures headroom against.
+///
+/// Dispatching is an online, non-preemptive, per-processor EDF over the
+/// assigned absolute deadlines, with the time-driven release rule
+/// (subtasks do not start before their distributed release times).
+/// Message latencies use the contention-free delay model.
+#pragma once
+
+#include "core/annotation.hpp"
+#include "sched/lateness.hpp"
+#include "sched/machine.hpp"
+#include "sched/schedule.hpp"
+#include "taskgraph/task_graph.hpp"
+#include "util/rng.hpp"
+
+namespace feast {
+
+/// Runtime disturbance model.
+struct RuntimeOptions {
+  /// Actual execution time = WCET × U(exec_scale_min, exec_scale_max).
+  double exec_scale_min = 1.0;
+  double exec_scale_max = 1.0;
+
+  /// Fraction of each processor's time consumed by background jobs
+  /// (0 = none).  Jobs are non-preemptable, lower priority than any
+  /// application subtask, and arrive periodically with jittered phase.
+  double background_utilization = 0.0;
+
+  /// Service time of one background job.
+  Time background_service = 10.0;
+
+  /// Subtasks may not start before their assigned release (time-driven);
+  /// disable to dispatch as soon as data is available.
+  bool time_driven = true;
+
+  /// Preemptive EDF: a newly ready subtask with an earlier assigned
+  /// absolute deadline preempts the running subtask on its processor
+  /// (background jobs remain non-preemptable).  Default is the paper's
+  /// non-preemptive discipline.
+  bool preemptive = false;
+};
+
+/// Measurements of one simulated execution.
+struct RuntimeResult {
+  LatenessStats lateness;    ///< Against the assigned absolute deadlines.
+  Time end_to_end = 0.0;     ///< Against the boundary deadlines.
+  Time makespan = 0.0;
+  std::size_t background_jobs_run = 0;
+};
+
+/// Simulates the execution of \p graph with windows \p assignment, using
+/// the processor placement of \p plan (an offline schedule for the same
+/// graph and machine).  Deterministic in \p rng's state.
+RuntimeResult simulate_runtime(const TaskGraph& graph,
+                               const DeadlineAssignment& assignment,
+                               const Schedule& plan, const Machine& machine,
+                               const RuntimeOptions& options, Pcg32& rng);
+
+}  // namespace feast

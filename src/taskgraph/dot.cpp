@@ -1,0 +1,59 @@
+#include "taskgraph/dot.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace feast {
+
+namespace {
+std::string escape_label(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+void write_dot(std::ostream& out, const TaskGraph& graph, const NodeLabelFn& extra_label) {
+  out << "digraph taskgraph {\n";
+  out << "  rankdir=TB;\n";
+  for (const NodeId id : graph.all_nodes()) {
+    const Node& n = graph.node(id);
+    std::string label = escape_label(n.name);
+    if (n.kind == NodeKind::Computation) {
+      label += "\\nc=" + format_compact(n.exec_time, 3);
+      if (n.pinned.valid()) label += "\\npin=P" + std::to_string(n.pinned.value);
+      if (is_set(n.boundary_release)) {
+        label += "\\nrel=" + format_compact(n.boundary_release, 3);
+      }
+      if (is_set(n.boundary_deadline)) {
+        label += "\\nD=" + format_compact(n.boundary_deadline, 3);
+      }
+    } else {
+      label += "\\nm=" + format_compact(n.message_items, 3);
+    }
+    if (extra_label) {
+      const std::string extra = extra_label(id);
+      if (!extra.empty()) label += "\\n" + escape_label(extra);
+    }
+    out << "  n" << id.value << " [label=\"" << label << "\", shape="
+        << (n.kind == NodeKind::Computation ? "box" : "ellipse") << "];\n";
+  }
+  for (const NodeId id : graph.all_nodes()) {
+    for (const NodeId succ : graph.succs(id)) {
+      out << "  n" << id.value << " -> n" << succ.value << ";\n";
+    }
+  }
+  out << "}\n";
+}
+
+std::string to_dot(const TaskGraph& graph, const NodeLabelFn& extra_label) {
+  std::ostringstream oss;
+  write_dot(oss, graph, extra_label);
+  return oss.str();
+}
+
+}  // namespace feast

@@ -1,0 +1,27 @@
+/// \file dot.hpp
+/// \brief Graphviz (DOT) export of task graphs for inspection and docs.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "taskgraph/task_graph.hpp"
+
+namespace feast {
+
+/// Optional per-node extra label lines (e.g. assigned windows).  Return an
+/// empty string for no extra text.
+using NodeLabelFn = std::function<std::string(NodeId)>;
+
+/// Writes the graph in DOT format.  Computation subtasks render as boxes
+/// labelled with name and execution time; communication subtasks render as
+/// ellipses labelled with message size.  Pinned subtasks note their
+/// processor.
+void write_dot(std::ostream& out, const TaskGraph& graph,
+               const NodeLabelFn& extra_label = nullptr);
+
+/// Convenience: DOT text as a string.
+std::string to_dot(const TaskGraph& graph, const NodeLabelFn& extra_label = nullptr);
+
+}  // namespace feast

@@ -1,0 +1,196 @@
+#include "taskgraph/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "taskgraph/algorithms.hpp"
+#include "taskgraph/validate.hpp"
+
+namespace feast {
+
+double exec_spread_of(ExecSpreadScenario scenario) noexcept {
+  switch (scenario) {
+    case ExecSpreadScenario::LDET: return 0.25;
+    case ExecSpreadScenario::MDET: return 0.50;
+    case ExecSpreadScenario::HDET: return 0.99;
+  }
+  return 0.50;
+}
+
+const char* to_string(ExecSpreadScenario scenario) noexcept {
+  switch (scenario) {
+    case ExecSpreadScenario::LDET: return "LDET";
+    case ExecSpreadScenario::MDET: return "MDET";
+    case ExecSpreadScenario::HDET: return "HDET";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Distributes \p total nodes over \p levels levels, at least one per level.
+///
+/// The extra nodes beyond the mandatory one per level are split according
+/// to symmetric Dirichlet(α) weights (stick breaking over exponential
+/// draws).  \p alpha controls width variance: large α approaches uniform
+/// widths; α = 1 (the default) yields high-variance profiles whose widest
+/// levels hold 2–3× the mean — the processor-contention hot spots that
+/// drive the paper's small-system results.
+std::vector<int> level_sizes(int total, int levels, double alpha, Pcg32& rng) {
+  const auto n = static_cast<std::size_t>(levels);
+  std::vector<int> sizes(n, 1);
+  int extra = total - levels;
+  if (extra <= 0) return sizes;
+
+  // Gamma(α, 1) draws; for α >= 1 use the sum-of-exponentials approximation
+  // by Marsaglia-Tsang-free simple method: for our purposes (shaping level
+  // widths) a Weibull-style transform of a uniform is adequate and exactly
+  // reproducible: g = (-ln u)^(1/alpha) has the right qualitative spread.
+  std::vector<double> weights(n);
+  double sum = 0.0;
+  for (double& w : weights) {
+    const double u = std::max(rng.uniform_real(0.0, 1.0), 1e-12);
+    w = std::pow(-std::log(u), 1.0 / alpha);
+    sum += w;
+  }
+  // Largest-remainder apportionment of the extras over the weights.
+  std::vector<double> exact(n);
+  std::vector<std::size_t> order(n);
+  int assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    exact[i] = static_cast<double>(extra) * weights[i] / sum;
+    sizes[i] += static_cast<int>(exact[i]);
+    assigned += static_cast<int>(exact[i]);
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double fa = exact[a] - std::floor(exact[a]);
+    const double fb = exact[b] - std::floor(exact[b]);
+    if (fa != fb) return fa > fb;
+    return a < b;
+  });
+  for (std::size_t k = 0; assigned < extra; ++k, ++assigned) {
+    sizes[order[k % n]] += 1;
+  }
+  return sizes;
+}
+
+}  // namespace
+
+TaskGraph generate_random_graph(const RandomGraphConfig& config, Pcg32& rng) {
+  FEAST_REQUIRE(config.min_subtasks >= 1);
+  FEAST_REQUIRE(config.min_subtasks <= config.max_subtasks);
+  FEAST_REQUIRE(config.min_depth >= 1);
+  FEAST_REQUIRE(config.min_depth <= config.max_depth);
+  FEAST_REQUIRE(config.min_degree >= 1);
+  FEAST_REQUIRE(config.min_degree <= config.max_degree);
+  FEAST_REQUIRE(config.mean_exec_time > 0.0);
+  FEAST_REQUIRE(config.exec_spread >= 0.0 && config.exec_spread < 1.0);
+  FEAST_REQUIRE(config.ccr >= 0.0);
+  FEAST_REQUIRE(config.message_spread >= 0.0 && config.message_spread <= 1.0);
+
+  FEAST_REQUIRE(config.level_width_alpha > 0.0);
+  const int n = rng.uniform_int(config.min_subtasks, config.max_subtasks);
+  const int levels = std::min(n, rng.uniform_int(config.min_depth, config.max_depth));
+  const std::vector<int> sizes = level_sizes(n, levels, config.level_width_alpha, rng);
+
+  TaskGraph graph;
+  std::vector<std::vector<NodeId>> by_level(sizes.size());
+  int counter = 0;
+  for (std::size_t lvl = 0; lvl < sizes.size(); ++lvl) {
+    for (int k = 0; k < sizes[lvl]; ++k) {
+      const Time lo = config.mean_exec_time * (1.0 - config.exec_spread);
+      const Time hi = config.mean_exec_time * (1.0 + config.exec_spread);
+      const Time c = rng.uniform_real(lo, hi);
+      by_level[lvl].push_back(graph.add_subtask("t" + std::to_string(counter++), c));
+    }
+  }
+
+  const double mean_items = config.ccr * config.mean_exec_time;
+  auto message_size = [&]() {
+    if (mean_items <= 0.0) return 0.0;
+    const double lo = mean_items * (1.0 - config.message_spread);
+    const double hi = mean_items * (1.0 + config.message_spread);
+    return rng.uniform_real(lo, hi);
+  };
+
+  // Track out-degrees so fan-out stays within the target cap when possible.
+  std::vector<int> out_degree(graph.node_count(), 0);
+  auto connect = [&](NodeId from, NodeId to) {
+    graph.add_precedence(from, to, message_size());
+    ++out_degree[from.index()];
+  };
+
+  // Wire each node at level l >= 1 to 1..max_degree predecessors on the
+  // previous level, preferring predecessors that still have spare fan-out.
+  for (std::size_t lvl = 1; lvl < by_level.size(); ++lvl) {
+    const std::vector<NodeId>& prev = by_level[lvl - 1];
+    for (const NodeId node : by_level[lvl]) {
+      const int want = std::min<int>(rng.uniform_int(config.min_degree, config.max_degree),
+                                     static_cast<int>(prev.size()));
+      std::vector<NodeId> candidates = prev;
+      rng.shuffle(candidates);
+      std::stable_sort(candidates.begin(), candidates.end(), [&](NodeId a, NodeId b) {
+        return out_degree[a.index()] < out_degree[b.index()];
+      });
+      for (int k = 0; k < want; ++k) connect(candidates[static_cast<std::size_t>(k)], node);
+    }
+  }
+
+  // Give successor-less nodes a consumer.  In the default (layered) mode,
+  // orphans connect into the immediately following level — preferring
+  // nodes with spare fan-in but exceeding the cap when a wide level feeds
+  // a narrow one.  The resulting high-fan-in join points are the
+  // synchronization structures whose contention the AST metrics are
+  // designed around.  In strict mode the fan-in cap is inviolable: orphans
+  // search later levels for capacity and otherwise remain sinks
+  // (additional output subtasks).
+  for (std::size_t lvl = 0; lvl + 1 < by_level.size(); ++lvl) {
+    for (const NodeId node : by_level[lvl]) {
+      if (out_degree[node.index()] > 0) continue;
+      NodeId target;
+      const std::size_t last_level =
+          config.strict_fanin_cap ? by_level.size() - 1 : lvl + 1;
+      for (std::size_t next = lvl + 1; next <= last_level && !target.valid(); ++next) {
+        std::vector<NodeId> candidates;
+        for (const NodeId cand : by_level[next]) {
+          if (static_cast<int>(graph.preds(cand).size()) < config.max_degree) {
+            candidates.push_back(cand);
+          }
+        }
+        if (!candidates.empty()) target = rng.pick(candidates);
+      }
+      if (!target.valid() && !config.strict_fanin_cap) {
+        target = rng.pick(by_level[lvl + 1]);
+      }
+      if (target.valid()) connect(node, target);
+    }
+  }
+
+  // Boundary timing per the OLR parameterization.
+  Time basis = 0.0;
+  switch (config.olr_basis) {
+    case OlrBasis::TotalWorkload: basis = graph.total_workload(); break;
+    case OlrBasis::CriticalPath: basis = longest_path_length(graph, computation_cost); break;
+  }
+  const Time deadline = config.olr * basis;
+  for (const NodeId id : graph.inputs()) graph.set_boundary_release(id, 0.0);
+  for (const NodeId id : graph.outputs()) graph.set_boundary_deadline(id, deadline);
+
+  require_valid(validate_for_distribution(graph));
+  return graph;
+}
+
+void pin_random_fraction(TaskGraph& graph, double fraction, int n_procs, Pcg32& rng) {
+  FEAST_REQUIRE(fraction >= 0.0 && fraction <= 1.0);
+  FEAST_REQUIRE(n_procs >= 1);
+  std::vector<NodeId> nodes = graph.computation_nodes();
+  rng.shuffle(nodes);
+  const auto n_pinned = static_cast<std::size_t>(fraction * static_cast<double>(nodes.size()) + 0.5);
+  for (std::size_t i = 0; i < n_pinned && i < nodes.size(); ++i) {
+    graph.pin(nodes[i], ProcId(static_cast<std::uint32_t>(rng.uniform_int(0, n_procs - 1))));
+  }
+}
+
+}  // namespace feast

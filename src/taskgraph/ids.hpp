@@ -1,0 +1,62 @@
+/// \file ids.hpp
+/// \brief Strong identifier types for graph nodes and processors.
+///
+/// NodeId indexes into a TaskGraph's node table; ProcId indexes into a
+/// Machine's processor table.  Distinct types prevent the classic bug of
+/// passing a processor index where a node index is expected.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace feast {
+
+/// Identifier of a task-graph node (computation or communication subtask).
+struct NodeId {
+  std::uint32_t value = kInvalid;
+
+  static constexpr std::uint32_t kInvalid = 0xffffffffU;
+
+  constexpr NodeId() = default;
+  constexpr explicit NodeId(std::uint32_t v) : value(v) {}
+
+  constexpr bool valid() const noexcept { return value != kInvalid; }
+  constexpr std::size_t index() const noexcept { return value; }
+
+  friend constexpr bool operator==(NodeId a, NodeId b) noexcept { return a.value == b.value; }
+  friend constexpr bool operator!=(NodeId a, NodeId b) noexcept { return a.value != b.value; }
+  friend constexpr bool operator<(NodeId a, NodeId b) noexcept { return a.value < b.value; }
+};
+
+/// Identifier of a processor in the machine model.
+struct ProcId {
+  std::uint32_t value = kInvalid;
+
+  static constexpr std::uint32_t kInvalid = 0xffffffffU;
+
+  constexpr ProcId() = default;
+  constexpr explicit ProcId(std::uint32_t v) : value(v) {}
+
+  constexpr bool valid() const noexcept { return value != kInvalid; }
+  constexpr std::size_t index() const noexcept { return value; }
+
+  friend constexpr bool operator==(ProcId a, ProcId b) noexcept { return a.value == b.value; }
+  friend constexpr bool operator!=(ProcId a, ProcId b) noexcept { return a.value != b.value; }
+  friend constexpr bool operator<(ProcId a, ProcId b) noexcept { return a.value < b.value; }
+};
+
+}  // namespace feast
+
+template <>
+struct std::hash<feast::NodeId> {
+  std::size_t operator()(feast::NodeId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<feast::ProcId> {
+  std::size_t operator()(feast::ProcId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

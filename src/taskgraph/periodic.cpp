@@ -1,0 +1,100 @@
+#include "taskgraph/periodic.hpp"
+
+#include <limits>
+#include <numeric>
+
+#include "taskgraph/validate.hpp"
+
+namespace feast {
+
+long long lcm_of(const std::vector<long long>& values) {
+  FEAST_REQUIRE(!values.empty());
+  long long acc = 1;
+  for (const long long v : values) {
+    FEAST_REQUIRE_MSG(v > 0, "periods must be positive");
+    const long long g = std::gcd(acc, v);
+    const long long factor = v / g;
+    FEAST_REQUIRE_MSG(acc <= std::numeric_limits<long long>::max() / factor,
+                      "hyperperiod overflow");
+    acc *= factor;
+  }
+  return acc;
+}
+
+HyperperiodBuilder::HyperperiodBuilder(std::vector<PeriodicTaskSpec> tasks)
+    : tasks_(std::move(tasks)) {
+  FEAST_REQUIRE(!tasks_.empty());
+  std::vector<long long> periods;
+  periods.reserve(tasks_.size());
+  for (const PeriodicTaskSpec& t : tasks_) {
+    FEAST_REQUIRE_MSG(t.graph != nullptr, "periodic task lacks a template graph");
+    require_valid(validate_for_distribution(*t.graph));
+    periods.push_back(t.period);
+  }
+  hyperperiod_ = lcm_of(periods);
+
+  layouts_.resize(tasks_.size());
+  for (std::size_t ti = 0; ti < tasks_.size(); ++ti) {
+    const PeriodicTaskSpec& spec = tasks_[ti];
+    const TaskGraph& tpl = *spec.graph;
+    TaskLayout& layout = layouts_[ti];
+    layout.instances = static_cast<int>(hyperperiod_ / spec.period);
+    layout.node_map.resize(static_cast<std::size_t>(layout.instances));
+
+    for (int inst = 0; inst < layout.instances; ++inst) {
+      const Time offset = static_cast<Time>(inst) * static_cast<Time>(spec.period);
+      auto& node_map = layout.node_map[static_cast<std::size_t>(inst)];
+      node_map.assign(tpl.node_count(), NodeId());
+
+      // First pass: clone computation subtasks with shifted boundary times.
+      for (const NodeId id : tpl.computation_nodes()) {
+        const Node& n = tpl.node(id);
+        const std::string name =
+            spec.name + "[" + std::to_string(inst) + "]." + n.name;
+        const NodeId clone = graph_.add_subtask(name, n.exec_time);
+        if (n.pinned.valid()) graph_.pin(clone, n.pinned);
+        if (is_set(n.boundary_release)) {
+          graph_.set_boundary_release(clone, n.boundary_release + offset);
+        }
+        if (is_set(n.boundary_deadline)) {
+          graph_.set_boundary_deadline(clone, n.boundary_deadline + offset);
+        }
+        node_map[id.index()] = clone;
+      }
+      // Second pass: clone precedence arcs (communication subtasks).
+      for (const NodeId comm : tpl.communication_nodes()) {
+        const NodeId from = node_map[tpl.comm_source(comm).index()];
+        const NodeId to = node_map[tpl.comm_sink(comm).index()];
+        node_map[comm.index()] =
+            graph_.add_precedence(from, to, tpl.node(comm).message_items);
+      }
+    }
+  }
+}
+
+int HyperperiodBuilder::instance_count(std::size_t task_index) const {
+  FEAST_REQUIRE(task_index < layouts_.size());
+  return layouts_[task_index].instances;
+}
+
+NodeId HyperperiodBuilder::instance_node(std::size_t task_index, int instance,
+                                         NodeId template_node) const {
+  FEAST_REQUIRE(task_index < layouts_.size());
+  const TaskLayout& layout = layouts_[task_index];
+  FEAST_REQUIRE(instance >= 0 && instance < layout.instances);
+  const auto& node_map = layout.node_map[static_cast<std::size_t>(instance)];
+  FEAST_REQUIRE(template_node.index() < node_map.size());
+  const NodeId id = node_map[template_node.index()];
+  FEAST_ASSERT(id.valid());
+  return id;
+}
+
+NodeId HyperperiodBuilder::link(std::size_t from_task, int from_instance, NodeId from_node,
+                                std::size_t to_task, int to_instance, NodeId to_node,
+                                double message_items) {
+  const NodeId from = instance_node(from_task, from_instance, from_node);
+  const NodeId to = instance_node(to_task, to_instance, to_node);
+  return graph_.add_precedence(from, to, message_items);
+}
+
+}  // namespace feast

@@ -1,0 +1,76 @@
+/// \file periodic.hpp
+/// \brief LCM-hyperperiod unrolling of periodic tasks (paper §3).
+///
+/// The paper's task model is non-periodic; §3 notes that a periodic
+/// application is handled by transforming it into the set of task instances
+/// released within one hyperperiod [0, L), L = lcm of all periods.  The
+/// HyperperiodBuilder performs that transformation and exposes the
+/// instance-node mapping so callers can add precedence/communication links
+/// between subtasks of tasks with *different* periods — exactly the
+/// capability the paper claims the transformation buys.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "taskgraph/task_graph.hpp"
+
+namespace feast {
+
+/// One periodic task: a template graph plus its period.
+///
+/// The template's boundary release times and deadlines are interpreted
+/// relative to the start of each period instance; a template whose outputs
+/// carry deadline D yields instance k deadlines k·period + D.
+struct PeriodicTaskSpec {
+  std::string name;
+  const TaskGraph* graph = nullptr;  ///< Non-owning; must outlive the builder.
+  long long period = 0;              ///< Integral period in time units.
+};
+
+/// Least common multiple of positive integers; throws on overflow.
+long long lcm_of(const std::vector<long long>& values);
+
+/// Unrolls a set of periodic tasks into one non-periodic hyperperiod graph.
+class HyperperiodBuilder {
+ public:
+  /// Builds the unrolled graph immediately.  Every task must have a valid
+  /// template graph and a positive period.
+  explicit HyperperiodBuilder(std::vector<PeriodicTaskSpec> tasks);
+
+  /// The hyperperiod L.
+  long long hyperperiod() const noexcept { return hyperperiod_; }
+
+  /// Number of instances of task \p task_index within the hyperperiod.
+  int instance_count(std::size_t task_index) const;
+
+  /// The unrolled node corresponding to (task, instance, template node).
+  NodeId instance_node(std::size_t task_index, int instance, NodeId template_node) const;
+
+  /// Adds a precedence/communication arc between subtasks of two (possibly
+  /// different-period) task instances in the unrolled graph.
+  NodeId link(std::size_t from_task, int from_instance, NodeId from_node,
+              std::size_t to_task, int to_instance, NodeId to_node,
+              double message_items = 0.0);
+
+  /// Read access to the unrolled graph.
+  const TaskGraph& graph() const noexcept { return graph_; }
+
+  /// Takes ownership of the unrolled graph; the builder must not be used
+  /// afterwards except for destruction.
+  TaskGraph take_graph() { return std::move(graph_); }
+
+ private:
+  struct TaskLayout {
+    int instances = 0;
+    /// node_map[instance][template node index] = unrolled node id.
+    std::vector<std::vector<NodeId>> node_map;
+  };
+
+  std::vector<PeriodicTaskSpec> tasks_;
+  std::vector<TaskLayout> layouts_;
+  long long hyperperiod_ = 0;
+  TaskGraph graph_;
+};
+
+}  // namespace feast

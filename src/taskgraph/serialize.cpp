@@ -1,0 +1,148 @@
+#include "taskgraph/serialize.hpp"
+
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace feast {
+
+namespace {
+
+constexpr const char* kHeader = "feast-taskgraph v1";
+
+std::string format_time_field(Time t) {
+  if (!is_set(t)) return "-";
+  std::ostringstream oss;
+  oss << std::setprecision(std::numeric_limits<double>::max_digits10) << t;
+  return oss.str();
+}
+
+double parse_double(const std::string& token, int line_no) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(token, &pos);
+    if (pos != token.size()) throw std::invalid_argument(token);
+    return v;
+  } catch (const std::exception&) {
+    throw ParseError("line " + std::to_string(line_no) + ": bad number '" + token + "'");
+  }
+}
+
+int parse_int(const std::string& token, int line_no) {
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(token, &pos);
+    if (pos != token.size()) throw std::invalid_argument(token);
+    return v;
+  } catch (const std::exception&) {
+    throw ParseError("line " + std::to_string(line_no) + ": bad integer '" + token + "'");
+  }
+}
+
+}  // namespace
+
+void write_task_graph(std::ostream& out, const TaskGraph& graph) {
+  out << kHeader << "\n";
+  const std::vector<NodeId> subtasks = graph.computation_nodes();
+  // Map node id -> subtask index for arc lines.
+  std::vector<std::size_t> sub_index(graph.node_count(), 0);
+  for (std::size_t i = 0; i < subtasks.size(); ++i) sub_index[subtasks[i].index()] = i;
+
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (const NodeId id : subtasks) {
+    const Node& n = graph.node(id);
+    out << "subtask " << n.exec_time << ' '
+        << (n.pinned.valid() ? std::to_string(n.pinned.value) : std::string("-")) << ' '
+        << format_time_field(n.boundary_release) << ' '
+        << format_time_field(n.boundary_deadline) << ' ' << n.name << "\n";
+  }
+  for (const NodeId comm : graph.communication_nodes()) {
+    out << "arc " << sub_index[graph.comm_source(comm).index()] << ' '
+        << sub_index[graph.comm_sink(comm).index()] << ' '
+        << graph.node(comm).message_items << "\n";
+  }
+}
+
+std::string task_graph_to_string(const TaskGraph& graph) {
+  std::ostringstream oss;
+  write_task_graph(oss, graph);
+  return oss.str();
+}
+
+TaskGraph read_task_graph(std::istream& in) {
+  std::string line;
+  int line_no = 0;
+  bool saw_header = false;
+  TaskGraph graph;
+  std::vector<NodeId> subtasks;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string text = trim(line);
+    if (text.empty() || text[0] == '#') continue;
+    if (!saw_header) {
+      if (text != kHeader) {
+        throw ParseError("line " + std::to_string(line_no) + ": expected header '" +
+                         kHeader + "'");
+      }
+      saw_header = true;
+      continue;
+    }
+    std::istringstream fields(text);
+    std::string keyword;
+    fields >> keyword;
+    if (keyword == "subtask") {
+      std::string exec_s;
+      std::string pin_s;
+      std::string rel_s;
+      std::string dl_s;
+      if (!(fields >> exec_s >> pin_s >> rel_s >> dl_s)) {
+        throw ParseError("line " + std::to_string(line_no) + ": malformed subtask line");
+      }
+      std::string name;
+      std::getline(fields, name);
+      name = trim(name);
+      if (name.empty()) {
+        throw ParseError("line " + std::to_string(line_no) + ": subtask lacks a name");
+      }
+      const NodeId id = graph.add_subtask(name, parse_double(exec_s, line_no));
+      if (pin_s != "-") {
+        graph.pin(id, ProcId(static_cast<std::uint32_t>(parse_int(pin_s, line_no))));
+      }
+      if (rel_s != "-") graph.set_boundary_release(id, parse_double(rel_s, line_no));
+      if (dl_s != "-") graph.set_boundary_deadline(id, parse_double(dl_s, line_no));
+      subtasks.push_back(id);
+    } else if (keyword == "arc") {
+      std::string from_s;
+      std::string to_s;
+      std::string items_s;
+      if (!(fields >> from_s >> to_s >> items_s)) {
+        throw ParseError("line " + std::to_string(line_no) + ": malformed arc line");
+      }
+      const int from = parse_int(from_s, line_no);
+      const int to = parse_int(to_s, line_no);
+      if (from < 0 || to < 0 || static_cast<std::size_t>(from) >= subtasks.size() ||
+          static_cast<std::size_t>(to) >= subtasks.size()) {
+        throw ParseError("line " + std::to_string(line_no) + ": arc index out of range");
+      }
+      graph.add_precedence(subtasks[static_cast<std::size_t>(from)],
+                           subtasks[static_cast<std::size_t>(to)],
+                           parse_double(items_s, line_no));
+    } else {
+      throw ParseError("line " + std::to_string(line_no) + ": unknown keyword '" +
+                       keyword + "'");
+    }
+  }
+  if (!saw_header) throw ParseError("missing header line");
+  return graph;
+}
+
+TaskGraph task_graph_from_string(const std::string& text) {
+  std::istringstream iss(text);
+  return read_task_graph(iss);
+}
+
+}  // namespace feast

@@ -1,0 +1,42 @@
+/// \file serialize.hpp
+/// \brief Plain-text serialization of task graphs.
+///
+/// Format (line-oriented, '#' comments):
+///
+///   feast-taskgraph v1
+///   subtask <exec> <pin|-> <release|-> <deadline|-> <name>
+///   arc <from-subtask-index> <to-subtask-index> <message-items>
+///
+/// Subtask indices refer to `subtask` lines in file order (0-based).
+/// Communication nodes are reconstructed by `arc` lines, so the round trip
+/// preserves structure, attributes and boundary timing exactly (doubles are
+/// printed with max_digits10).
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "taskgraph/task_graph.hpp"
+
+namespace feast {
+
+/// Thrown when parsing malformed task-graph text.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Writes \p graph in the v1 text format.
+void write_task_graph(std::ostream& out, const TaskGraph& graph);
+
+/// Serializes to a string.
+std::string task_graph_to_string(const TaskGraph& graph);
+
+/// Parses the v1 text format; throws ParseError on malformed input.
+TaskGraph read_task_graph(std::istream& in);
+
+/// Parses from a string.
+TaskGraph task_graph_from_string(const std::string& text);
+
+}  // namespace feast

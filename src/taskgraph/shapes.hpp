@@ -1,0 +1,49 @@
+/// \file shapes.hpp
+/// \brief Structured task-graph families from §8 of the paper.
+///
+/// The paper's discussion section calls for evaluating AST on
+/// commonly-encountered structures: in-trees, out-trees and fork-join
+/// graphs.  These generators build such graphs with the same workload
+/// parameterization (MET, spread, CCR, OLR) as the random generator so the
+/// bench `sec8_structured` can compare metrics across families.
+#pragma once
+
+#include "taskgraph/generator.hpp"
+#include "taskgraph/task_graph.hpp"
+#include "util/rng.hpp"
+
+namespace feast {
+
+/// Workload knobs shared by the structured generators.
+struct ShapeConfig {
+  Time mean_exec_time = 20.0;
+  double exec_spread = 0.50;
+  double olr = 1.5;
+  OlrBasis olr_basis = OlrBasis::TotalWorkload;
+  double ccr = 1.0;
+  double message_spread = 0.5;
+};
+
+/// A purely sequential chain of \p length subtasks.
+TaskGraph make_chain(int length, const ShapeConfig& config, Pcg32& rng);
+
+/// A complete in-tree (many inputs reducing to one output) of the given
+/// \p depth (levels) and \p branching factor: level k has branching^(d-1-k)
+/// nodes and every node's children merge into one parent.
+TaskGraph make_in_tree(int depth, int branching, const ShapeConfig& config, Pcg32& rng);
+
+/// A complete out-tree (one input expanding to many outputs); the mirror
+/// image of make_in_tree.
+TaskGraph make_out_tree(int depth, int branching, const ShapeConfig& config, Pcg32& rng);
+
+/// A fork-join graph: a source forks into \p width parallel branches of
+/// \p branch_length sequential subtasks each, joining into a sink; repeated
+/// \p stages times end to end.
+TaskGraph make_fork_join(int stages, int width, int branch_length,
+                         const ShapeConfig& config, Pcg32& rng);
+
+/// A diamond: source → width parallel subtasks → sink (fork-join with one
+/// stage and branch length 1).
+TaskGraph make_diamond(int width, const ShapeConfig& config, Pcg32& rng);
+
+}  // namespace feast

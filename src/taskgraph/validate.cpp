@@ -1,0 +1,112 @@
+#include "taskgraph/validate.hpp"
+
+#include <algorithm>
+
+#include "taskgraph/algorithms.hpp"
+#include "util/strings.hpp"
+
+namespace feast {
+
+std::string ValidationReport::to_string() const { return join(problems, "\n"); }
+
+namespace {
+std::string node_label(const TaskGraph& graph, NodeId id) {
+  return "node #" + std::to_string(id.value) + " ('" + graph.node(id).name + "')";
+}
+}  // namespace
+
+ValidationReport validate_structure(const TaskGraph& graph) {
+  ValidationReport report;
+  auto problem = [&](const std::string& msg) { report.problems.push_back(msg); };
+
+  for (const NodeId id : graph.all_nodes()) {
+    const Node& n = graph.node(id);
+    if (n.exec_time < 0.0) {
+      problem(node_label(graph, id) + ": negative execution time");
+    }
+    if (n.message_items < 0.0) {
+      problem(node_label(graph, id) + ": negative message size");
+    }
+    if (n.kind == NodeKind::Communication) {
+      if (n.preds.size() != 1 || n.succs.size() != 1) {
+        problem(node_label(graph, id) + ": communication node must have exactly one predecessor and one successor");
+        continue;
+      }
+      if (!graph.is_computation(n.preds.front()) || !graph.is_computation(n.succs.front())) {
+        problem(node_label(graph, id) + ": communication node endpoints must be computation subtasks");
+      }
+      if (n.exec_time != 0.0) {
+        problem(node_label(graph, id) + ": communication node carries an execution time");
+      }
+    } else {
+      for (const NodeId adj : n.preds) {
+        if (!graph.is_communication(adj)) {
+          problem(node_label(graph, id) + ": computation node has a non-communication predecessor");
+        }
+      }
+      for (const NodeId adj : n.succs) {
+        if (!graph.is_communication(adj)) {
+          problem(node_label(graph, id) + ": computation node has a non-communication successor");
+        }
+      }
+      if (n.pinned.valid() && n.kind != NodeKind::Computation) {
+        problem(node_label(graph, id) + ": only computation subtasks may be pinned");
+      }
+    }
+    // Adjacency symmetry.
+    for (const NodeId succ : n.succs) {
+      const auto& back = graph.preds(succ);
+      if (std::find(back.begin(), back.end(), id) == back.end()) {
+        problem(node_label(graph, id) + ": successor link without matching predecessor link");
+      }
+    }
+  }
+
+  if (!is_acyclic(graph)) problem("graph contains a cycle");
+  return report;
+}
+
+ValidationReport validate_for_distribution(const TaskGraph& graph) {
+  ValidationReport report = validate_structure(graph);
+  if (!report.ok()) return report;
+  auto problem = [&](const std::string& msg) { report.problems.push_back(msg); };
+
+  if (graph.subtask_count() == 0) {
+    problem("graph has no computation subtasks");
+    return report;
+  }
+
+  for (const NodeId id : graph.inputs()) {
+    if (!is_set(graph.node(id).boundary_release)) {
+      problem(node_label(graph, id) + ": input subtask lacks a boundary release time");
+    }
+  }
+  for (const NodeId id : graph.outputs()) {
+    if (!is_set(graph.node(id).boundary_deadline)) {
+      problem(node_label(graph, id) + ": output subtask lacks an end-to-end deadline");
+    }
+  }
+  if (!report.ok()) return report;
+
+  // Every (input, output) pair connected by a path must leave a positive
+  // window: deadline(output) > release(input).
+  for (const NodeId in : graph.inputs()) {
+    for (const NodeId out : graph.outputs()) {
+      if (!reachable(graph, in, out)) continue;
+      const Time release = graph.node(in).boundary_release;
+      const Time deadline = graph.node(out).boundary_deadline;
+      if (!time_lt(release, deadline)) {
+        problem("end-to-end window of pair (" + graph.node(in).name + ", " +
+                graph.node(out).name + ") is empty: release " +
+                format_compact(release) + " >= deadline " + format_compact(deadline));
+      }
+    }
+  }
+  return report;
+}
+
+void require_valid(const ValidationReport& report) {
+  FEAST_REQUIRE_MSG(report.ok(), report.to_string());
+}
+
+}  // namespace feast

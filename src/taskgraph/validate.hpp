@@ -1,0 +1,41 @@
+/// \file validate.hpp
+/// \brief Structural and timing validation of task graphs.
+///
+/// Generators, file loaders and hand-built graphs are validated before use:
+/// experiments must never run on malformed inputs, and the distribution
+/// algorithm's preconditions (boundary releases on inputs, end-to-end
+/// deadlines on outputs) are checked here rather than deep inside it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "taskgraph/task_graph.hpp"
+
+namespace feast {
+
+/// Result of a validation pass: empty `problems` means valid.
+struct ValidationReport {
+  std::vector<std::string> problems;
+
+  bool ok() const noexcept { return problems.empty(); }
+
+  /// All problems joined with newlines (empty string when valid).
+  std::string to_string() const;
+};
+
+/// Checks the structural invariants documented on TaskGraph: acyclicity,
+/// communication-node arity/kind, alternation of node kinds along arcs,
+/// non-negative execution times and message sizes.
+ValidationReport validate_structure(const TaskGraph& graph);
+
+/// Checks that the graph is ready for deadline distribution: structure is
+/// valid, every input subtask has a boundary release, every output subtask
+/// has a boundary deadline, and every boundary deadline exceeds every
+/// boundary release reaching it.
+ValidationReport validate_for_distribution(const TaskGraph& graph);
+
+/// Throws ContractViolation with the report text when \p report is not ok.
+void require_valid(const ValidationReport& report);
+
+}  // namespace feast

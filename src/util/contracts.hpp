@@ -1,0 +1,81 @@
+/// \file contracts.hpp
+/// \brief Lightweight contract checking used across the FEAST library.
+///
+/// Contract violations indicate programming errors (broken invariants or
+/// misuse of an API), not recoverable runtime conditions.  They throw
+/// feast::ContractViolation so that unit tests can assert on misuse and so
+/// that long experiment batches fail loudly with context instead of
+/// corrupting results.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace feast {
+
+/// Thrown when a precondition, postcondition or invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::string full = std::string(kind) + " failed: (" + expr + ") at " + file +
+                     ":" + std::to_string(line);
+  if (!msg.empty()) full += " — " + msg;
+  throw ContractViolation(full);
+}
+}  // namespace detail
+
+}  // namespace feast
+
+/// Precondition check: validates arguments / state on entry to a function.
+#define FEAST_REQUIRE(expr)                                                  \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::feast::detail::contract_fail("Precondition", #expr, __FILE__,        \
+                                     __LINE__, "");                          \
+  } while (0)
+
+/// Precondition check with an explanatory message.
+#define FEAST_REQUIRE_MSG(expr, msg)                                         \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::feast::detail::contract_fail("Precondition", #expr, __FILE__,        \
+                                     __LINE__, (msg));                       \
+  } while (0)
+
+/// Postcondition check: validates results before returning.
+#define FEAST_ENSURE(expr)                                                   \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::feast::detail::contract_fail("Postcondition", #expr, __FILE__,       \
+                                     __LINE__, "");                          \
+  } while (0)
+
+/// Postcondition check with an explanatory message.
+#define FEAST_ENSURE_MSG(expr, msg)                                          \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::feast::detail::contract_fail("Postcondition", #expr, __FILE__,       \
+                                     __LINE__, (msg));                       \
+  } while (0)
+
+/// Internal invariant check.
+#define FEAST_ASSERT(expr)                                                   \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::feast::detail::contract_fail("Invariant", #expr, __FILE__, __LINE__, \
+                                     "");                                    \
+  } while (0)
+
+/// Internal invariant check with an explanatory message.
+#define FEAST_ASSERT_MSG(expr, msg)                                          \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::feast::detail::contract_fail("Invariant", #expr, __FILE__, __LINE__, \
+                                     (msg));                                 \
+  } while (0)

@@ -1,0 +1,39 @@
+/// \file csv.hpp
+/// \brief Minimal CSV emission for experiment results.
+///
+/// Every bench binary can dump its series as CSV (``--csv file``) so the
+/// figures can be re-plotted with external tooling.  Quoting follows RFC
+/// 4180: fields containing comma, quote or newline are quoted, quotes are
+/// doubled.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace feast {
+
+/// Escapes one field per RFC 4180.
+std::string csv_escape(const std::string& field);
+
+/// Row-oriented CSV writer over any std::ostream.
+class CsvWriter {
+ public:
+  /// Binds the writer to \p out; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes a header or data row of raw string fields.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: writes a row of doubles with compact formatting.
+  void write_numeric_row(const std::vector<double>& values, int precision = 6);
+
+  /// Number of rows written so far.
+  std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  std::ostream* out_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace feast

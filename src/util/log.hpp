@@ -1,0 +1,51 @@
+/// \file log.hpp
+/// \brief Minimal leveled logging to stderr.
+///
+/// Experiment batches run thousands of simulations; the default level (Warn)
+/// keeps them silent unless something is wrong.  Bench binaries raise the
+/// level with --verbose.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace feast {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Returns the current global threshold.
+LogLevel log_level() noexcept;
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+
+/// Emits one line at \p level (thread-safe at line granularity).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+/// Builds a log line with streaming syntax, emits on destruction.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace feast
+
+#define FEAST_LOG_DEBUG ::feast::detail::LogStream(::feast::LogLevel::Debug)
+#define FEAST_LOG_INFO ::feast::detail::LogStream(::feast::LogLevel::Info)
+#define FEAST_LOG_WARN ::feast::detail::LogStream(::feast::LogLevel::Warn)
+#define FEAST_LOG_ERROR ::feast::detail::LogStream(::feast::LogLevel::Error)

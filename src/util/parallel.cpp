@@ -1,0 +1,65 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace feast {
+
+namespace {
+std::atomic<unsigned> g_threads{0};
+
+unsigned resolved_threads() noexcept {
+  const unsigned configured = g_threads.load(std::memory_order_relaxed);
+  if (configured > 0) return configured;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+}  // namespace
+
+void set_parallelism(unsigned threads) noexcept {
+  g_threads.store(threads, std::memory_order_relaxed);
+}
+
+unsigned parallelism() noexcept { return resolved_threads(); }
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(resolved_threads(), n));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr error;
+  std::atomic<bool> failed{false};
+
+  auto work = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n || failed.load(std::memory_order_relaxed)) return;
+      try {
+        body(i);
+      } catch (...) {
+        // First failure wins; stop handing out work.
+        bool expected = false;
+        if (failed.compare_exchange_strong(expected, true)) {
+          error = std::current_exception();
+        }
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(work);
+  for (std::thread& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace feast

@@ -1,0 +1,28 @@
+/// \file parallel.hpp
+/// \brief Deterministic data-parallel loop for experiment batches.
+///
+/// Experiment cells evaluate 128 independent samples; parallel_for spreads
+/// them over hardware threads.  Results stay deterministic because every
+/// sample derives its own RNG seed and writes to its own output slot —
+/// aggregation happens sequentially afterwards.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace feast {
+
+/// Invokes body(i) for i in [0, n), distributing iterations over worker
+/// threads.  The body must be thread-safe with respect to distinct i.
+/// Exceptions thrown by the body are rethrown on the calling thread (the
+/// first one encountered wins).
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+/// Overrides the worker count (0 = hardware concurrency).  Intended for
+/// tests and for --threads bench flags.
+void set_parallelism(unsigned threads) noexcept;
+
+/// Currently configured worker count (resolved; at least 1).
+unsigned parallelism() noexcept;
+
+}  // namespace feast

@@ -1,0 +1,26 @@
+#include "util/rng.hpp"
+
+namespace feast {
+
+namespace {
+/// SplitMix64 step; the standard seed-expansion mixer.
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30U)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27U)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31U);
+}
+}  // namespace
+
+std::uint64_t seed_for(std::uint64_t root, const std::vector<std::uint64_t>& path) {
+  std::uint64_t x = root;
+  std::uint64_t out = splitmix64(x);
+  for (const std::uint64_t step : path) {
+    x ^= step + 0x9e3779b97f4a7c15ULL + (x << 6U) + (x >> 2U);
+    out = splitmix64(x);
+  }
+  return out;
+}
+
+}  // namespace feast

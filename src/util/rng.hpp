@@ -1,0 +1,119 @@
+/// \file rng.hpp
+/// \brief Deterministic pseudo-random number generation for experiments.
+///
+/// FEAST experiments must be exactly reproducible from a seed: every figure
+/// in EXPERIMENTS.md is regenerated from fixed seeds.  We implement PCG32
+/// (O'Neill, 2014) rather than relying on std::mt19937 plus std::uniform_*
+/// distributions, because the standard distributions are not guaranteed to
+/// produce identical streams across standard-library implementations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace feast {
+
+/// PCG32: 64-bit state, 32-bit output, selectable stream.
+///
+/// Two generators with the same seed but different stream identifiers produce
+/// statistically independent sequences, which FEAST uses to give every
+/// (figure, scenario, graph-index) cell its own stream.
+class Pcg32 {
+ public:
+  /// Seeds the generator.  \p stream selects one of 2^63 distinct sequences.
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL) noexcept {
+    reseed(seed, stream);
+  }
+
+  /// Re-seeds in place; equivalent to constructing a fresh generator.
+  void reseed(std::uint64_t seed, std::uint64_t stream = 0xda3e39cb94b95bdbULL) noexcept {
+    state_ = 0U;
+    inc_ = (stream << 1U) | 1U;
+    next_u32();
+    state_ += seed;
+    next_u32();
+  }
+
+  /// Next raw 32-bit output.
+  std::uint32_t next_u32() noexcept {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted = static_cast<std::uint32_t>(((old >> 18U) ^ old) >> 27U);
+    const auto rot = static_cast<std::uint32_t>(old >> 59U);
+    return (xorshifted >> rot) | (xorshifted << ((32U - rot) & 31U));
+  }
+
+  /// Next raw 64-bit output.
+  std::uint64_t next_u64() noexcept {
+    return (static_cast<std::uint64_t>(next_u32()) << 32U) | next_u32();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).  Uses unbiased rejection.
+  int uniform_int(int lo, int hi) {
+    FEAST_REQUIRE(lo <= hi);
+    const auto range = static_cast<std::uint32_t>(static_cast<std::int64_t>(hi) -
+                                                  static_cast<std::int64_t>(lo) + 1);
+    return lo + static_cast<int>(bounded(range));
+  }
+
+  /// Uniform std::size_t in [0, n).  \p n must be positive.
+  std::size_t uniform_index(std::size_t n) {
+    FEAST_REQUIRE(n > 0);
+    FEAST_REQUIRE(n <= 0xffffffffULL);
+    return bounded(static_cast<std::uint32_t>(n));
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    FEAST_REQUIRE(lo <= hi);
+    const double u = static_cast<double>(next_u32()) * (1.0 / 4294967296.0);
+    return lo + (hi - lo) * u;
+  }
+
+  /// Bernoulli trial with success probability \p p in [0, 1].
+  bool bernoulli(double p) {
+    FEAST_REQUIRE(p >= 0.0 && p <= 1.0);
+    return uniform_real(0.0, 1.0) < p;
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = uniform_index(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    FEAST_REQUIRE(!v.empty());
+    return v[uniform_index(v.size())];
+  }
+
+ private:
+  /// Unbiased bounded output in [0, bound) via Lemire-style rejection.
+  std::uint32_t bounded(std::uint32_t bound) noexcept {
+    const std::uint32_t threshold = (-bound) % bound;
+    for (;;) {
+      const std::uint32_t r = next_u32();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  std::uint64_t state_ = 0;
+  std::uint64_t inc_ = 0;
+};
+
+/// Derives a child seed from a parent seed and a sequence of indices.
+///
+/// Used to give each cell of a parameter sweep an independent, reproducible
+/// stream: seed_for(root, {figure, scenario, nproc, sample}).
+std::uint64_t seed_for(std::uint64_t root, const std::vector<std::uint64_t>& path);
+
+}  // namespace feast

@@ -1,0 +1,80 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace feast {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+StatSummary RunningStats::summary() const noexcept {
+  StatSummary s;
+  s.count = n_;
+  s.mean = mean();
+  s.stddev = stddev();
+  s.min = min();
+  s.max = max();
+  if (n_ >= 2) {
+    s.ci95_half_width = 1.96 * s.stddev / std::sqrt(static_cast<double>(n_));
+  }
+  return s;
+}
+
+double quantile(std::vector<double> sample, double q) {
+  FEAST_REQUIRE(!sample.empty());
+  FEAST_REQUIRE(q >= 0.0 && q <= 1.0);
+  std::sort(sample.begin(), sample.end());
+  if (sample.size() == 1) return sample.front();
+  const double pos = q * static_cast<double>(sample.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sample.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sample[lo] * (1.0 - frac) + sample[hi] * frac;
+}
+
+double mean_of(const std::vector<double>& sample) noexcept {
+  if (sample.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : sample) sum += x;
+  return sum / static_cast<double>(sample.size());
+}
+
+}  // namespace feast

@@ -1,0 +1,71 @@
+/// \file stats.hpp
+/// \brief Streaming and batch statistics for experiment aggregation.
+///
+/// Every data point in the paper's figures is "the average over 128
+/// simulation runs of the maximum task lateness".  RunningStats accumulates
+/// such batches with Welford's numerically stable algorithm and reports the
+/// summary (mean, stddev, min, max, 95% confidence half-width) that the
+/// experiment framework prints.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace feast {
+
+/// Summary statistics of a sample batch.
+struct StatSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< Sample standard deviation (n-1 denominator).
+  double min = 0.0;
+  double max = 0.0;
+  double ci95_half_width = 0.0;  ///< Normal-approximation 95% CI half-width.
+};
+
+/// Welford streaming accumulator.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x) noexcept;
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+  /// Number of observations so far.
+  std::size_t count() const noexcept { return n_; }
+
+  /// Sample mean; 0 when empty.
+  double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+
+  /// Sample variance with n-1 denominator; 0 when fewer than 2 samples.
+  double variance() const noexcept;
+
+  /// Sample standard deviation.
+  double stddev() const noexcept;
+
+  /// Minimum observation; 0 when empty.
+  double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+
+  /// Maximum observation; 0 when empty.
+  double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+
+  /// Full summary including the 95% confidence half-width.
+  StatSummary summary() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Computes the q-th quantile (0 <= q <= 1) of a sample by linear
+/// interpolation between order statistics.  The input is copied and sorted.
+double quantile(std::vector<double> sample, double q);
+
+/// Arithmetic mean of a sample; 0 for an empty sample.
+double mean_of(const std::vector<double>& sample) noexcept;
+
+}  // namespace feast

@@ -1,0 +1,73 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+#include "util/contracts.hpp"
+
+namespace feast {
+
+std::string format_fixed(double value, int precision) {
+  FEAST_REQUIRE(precision >= 0 && precision <= 17);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string format_compact(double value, int precision) {
+  std::string s = format_fixed(value, precision);
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  if (s == "-0") s = "0";
+  return s;
+}
+
+std::string join(const std::vector<std::string>& pieces, const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::string pad_left(const std::string& s, std::size_t w) {
+  if (s.size() >= w) return s;
+  return std::string(w - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t w) {
+  if (s.size() >= w) return s;
+  return s + std::string(w - s.size(), ' ');
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::vector<std::string> split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : s) {
+    if (c == delim) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace feast

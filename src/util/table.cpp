@@ -1,0 +1,56 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace feast {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_row(const std::string& label, const std::vector<double>& values,
+                        int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (const double v : values) row.push_back(format_fixed(v, precision));
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::render(std::ostream& out) const {
+  std::size_t cols = header_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+  std::vector<std::size_t> widths(cols, 0);
+  auto account = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  if (!header_.empty()) account(header_);
+  for (const auto& row : rows_) account(row);
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < cols; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      // Left-align the first (label) column; right-align numeric columns.
+      out << (i == 0 ? pad_right(cell, widths[i]) : pad_left(cell, widths[i]));
+      if (i + 1 < cols) out << "  ";
+    }
+    out << '\n';
+  };
+
+  if (!header_.empty()) {
+    print_row(header_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < cols; ++i) total += widths[i] + (i + 1 < cols ? 2 : 0);
+    out << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace feast

@@ -1,0 +1,39 @@
+/// \file table.hpp
+/// \brief Fixed-width text tables for bench output.
+///
+/// The bench binaries print paper-style series tables to stdout; this class
+/// handles column sizing and alignment so every bench renders consistently.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace feast {
+
+/// Accumulates rows, then renders with per-column auto-sizing.
+class TextTable {
+ public:
+  /// Sets the header row; resets nothing else.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row.  Rows may have differing lengths; short rows are
+  /// padded with empty cells at render time.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: first cell is a label, the rest are numbers.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 2);
+
+  /// Renders the table with a header separator line.
+  void render(std::ostream& out) const;
+
+  /// Number of data rows.
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace feast

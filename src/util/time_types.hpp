@@ -1,0 +1,44 @@
+/// \file time_types.hpp
+/// \brief Time representation shared by all FEAST modules.
+///
+/// The paper expresses all temporal quantities in abstract "time units"
+/// (one unit = the shared-bus transfer cost of one data item).  FEAST uses a
+/// continuous time base so that laxity-ratio metrics, which divide slack by
+/// hop counts or execution sums, never lose precision to rounding.
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+namespace feast {
+
+/// Continuous time in abstract time units.
+using Time = double;
+
+/// Sentinel for "not yet assigned" temporal attributes.
+inline constexpr Time kUnsetTime = std::numeric_limits<Time>::quiet_NaN();
+
+/// Positive infinity, used for "no deadline" bounds during searches.
+inline constexpr Time kInfiniteTime = std::numeric_limits<Time>::infinity();
+
+/// Returns true when a temporal attribute has been assigned a real value.
+inline bool is_set(Time t) noexcept { return !std::isnan(t); }
+
+/// Absolute-tolerance comparison for schedule bookkeeping.  The workloads in
+/// the paper use execution times around 20 units, so 1e-9 units is far below
+/// any meaningful difference while absorbing double rounding.
+inline constexpr Time kTimeEps = 1e-9;
+
+/// True when |a - b| is within kTimeEps.
+inline bool time_eq(Time a, Time b) noexcept { return std::fabs(a - b) <= kTimeEps; }
+
+/// True when a <= b up to kTimeEps.
+inline bool time_le(Time a, Time b) noexcept { return a <= b + kTimeEps; }
+
+/// True when a < b beyond kTimeEps.
+inline bool time_lt(Time a, Time b) noexcept { return a < b - kTimeEps; }
+
+/// True when a >= b up to kTimeEps.
+inline bool time_ge(Time a, Time b) noexcept { return a >= b - kTimeEps; }
+
+}  // namespace feast

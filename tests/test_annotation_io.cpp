@@ -1,0 +1,101 @@
+/// \file test_annotation_io.cpp
+/// \brief Round-trip and error tests for the windows (assignment)
+///        serialization.
+#include <gtest/gtest.h>
+
+#include "core/annotation_io.hpp"
+#include "core/metrics.hpp"
+#include "core/slicing.hpp"
+#include "taskgraph/generator.hpp"
+#include "util/rng.hpp"
+
+namespace feast {
+namespace {
+
+TEST(AnnotationIo, RoundTripHandBuilt) {
+  TaskGraph g;
+  const NodeId a = g.add_subtask("a", 10.0);
+  const NodeId b = g.add_subtask("b", 20.0);
+  const NodeId comm = g.add_precedence(a, b, 5.0);
+
+  DeadlineAssignment asg(g);
+  asg.assign(a, 0.0, 25.5, 0);
+  asg.assign(comm, 25.5, 0.0, 0);
+  asg.assign(b, 25.5, 34.5, 1);
+
+  const std::string text = assignment_to_string(g, asg);
+  const DeadlineAssignment back = assignment_from_string(text, g);
+  for (const NodeId id : g.all_nodes()) {
+    EXPECT_DOUBLE_EQ(asg.release(id), back.release(id));
+    EXPECT_DOUBLE_EQ(asg.rel_deadline(id), back.rel_deadline(id));
+    EXPECT_EQ(asg.window(id).iteration, back.window(id).iteration);
+  }
+}
+
+class AnnotationIoProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AnnotationIoProperty, RoundTripDistributedWindows) {
+  RandomGraphConfig config;
+  Pcg32 rng(GetParam());
+  const TaskGraph g = generate_random_graph(config, rng);
+  auto metric = make_adapt(4);
+  const auto ccne = make_ccne();
+  const DeadlineAssignment asg = distribute_deadlines(g, *metric, *ccne);
+
+  const DeadlineAssignment back =
+      assignment_from_string(assignment_to_string(g, asg), g);
+  for (const NodeId id : g.all_nodes()) {
+    EXPECT_DOUBLE_EQ(asg.release(id), back.release(id));
+    EXPECT_DOUBLE_EQ(asg.rel_deadline(id), back.rel_deadline(id));
+  }
+  // Byte-identical on the second trip.
+  EXPECT_EQ(assignment_to_string(g, asg), assignment_to_string(g, back));
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, AnnotationIoProperty,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+TEST(AnnotationIo, WriteRejectsIncomplete) {
+  TaskGraph g;
+  g.add_subtask("a", 1.0);
+  const DeadlineAssignment empty(g);
+  std::ostringstream out;
+  EXPECT_THROW(write_assignment(out, g, empty), ContractViolation);
+}
+
+TEST(AnnotationIo, ParseErrors) {
+  TaskGraph g;
+  const NodeId a = g.add_subtask("a", 1.0);
+  (void)a;
+
+  EXPECT_THROW(assignment_from_string("", g), ParseError);
+  EXPECT_THROW(assignment_from_string("bogus header\n", g), ParseError);
+  EXPECT_THROW(assignment_from_string("feast-windows v1\nfoo 0 0 1 0\n", g),
+               ParseError);
+  EXPECT_THROW(assignment_from_string("feast-windows v1\nwindow 9 0 1 0\n", g),
+               ParseError);  // node out of range
+  EXPECT_THROW(assignment_from_string("feast-windows v1\nwindow 0 0\n", g),
+               ParseError);  // truncated
+  EXPECT_THROW(
+      assignment_from_string("feast-windows v1\nwindow 0 0 1 0\nwindow 0 0 1 0\n", g),
+      ParseError);  // duplicate node
+  // Missing node coverage.
+  TaskGraph two;
+  two.add_subtask("a", 1.0);
+  two.add_subtask("b", 1.0);
+  EXPECT_THROW(assignment_from_string("feast-windows v1\nwindow 0 0 1 0\n", two),
+               ContractViolation);
+}
+
+TEST(AnnotationIo, CommentsAndBlanksIgnored) {
+  TaskGraph g;
+  g.add_subtask("a", 1.0);
+  const DeadlineAssignment asg = assignment_from_string(
+      "feast-windows v1\n# comment\n\nwindow 0 2.5 7.5 3\n", g);
+  EXPECT_DOUBLE_EQ(asg.release(NodeId(0)), 2.5);
+  EXPECT_DOUBLE_EQ(asg.abs_deadline(NodeId(0)), 10.0);
+  EXPECT_EQ(asg.window(NodeId(0)).iteration, 3);
+}
+
+}  // namespace
+}  // namespace feast

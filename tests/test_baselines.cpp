@@ -1,0 +1,143 @@
+/// \file test_baselines.cpp
+/// \brief Unit and property tests for the non-slicing baselines (UD, ED,
+///        PROP).
+#include <gtest/gtest.h>
+
+#include "core/baselines.hpp"
+#include "core/distribution_validate.hpp"
+#include "taskgraph/generator.hpp"
+#include "util/rng.hpp"
+
+namespace feast {
+namespace {
+
+/// a(10) -> b(20) -> c(30), messages 5 items, window [0, 120].
+struct Chain {
+  TaskGraph g;
+  NodeId a, b, c;
+
+  Chain() {
+    a = g.add_subtask("a", 10.0);
+    b = g.add_subtask("b", 20.0);
+    c = g.add_subtask("c", 30.0);
+    g.add_precedence(a, b, 5.0);
+    g.add_precedence(b, c, 5.0);
+    g.set_boundary_release(a, 0.0);
+    g.set_boundary_deadline(c, 120.0);
+  }
+};
+
+TEST(Baselines, UltimateDeadlineCcne) {
+  Chain f;
+  const auto ccne = make_ccne();
+  UltimateDeadlineDistributor ud(*ccne);
+  const DeadlineAssignment asg = ud.distribute(f.g);
+
+  // ASAP releases (zero comm): a at 0, b at 10, c at 30; all deadlines 120.
+  EXPECT_DOUBLE_EQ(asg.release(f.a), 0.0);
+  EXPECT_DOUBLE_EQ(asg.release(f.b), 10.0);
+  EXPECT_DOUBLE_EQ(asg.release(f.c), 30.0);
+  EXPECT_DOUBLE_EQ(asg.abs_deadline(f.a), 120.0);
+  EXPECT_DOUBLE_EQ(asg.abs_deadline(f.b), 120.0);
+  EXPECT_DOUBLE_EQ(asg.abs_deadline(f.c), 120.0);
+  EXPECT_EQ(ud.name(), "UD+CCNE");
+}
+
+TEST(Baselines, UltimateDeadlineCcaaShiftsReleases) {
+  Chain f;
+  const auto ccaa = make_ccaa();
+  UltimateDeadlineDistributor ud(*ccaa);
+  const DeadlineAssignment asg = ud.distribute(f.g);
+  // ASAP with 5-unit messages: b at 15, c at 40.
+  EXPECT_DOUBLE_EQ(asg.release(f.b), 15.0);
+  EXPECT_DOUBLE_EQ(asg.release(f.c), 40.0);
+}
+
+TEST(Baselines, EffectiveDeadlineIsAlap) {
+  Chain f;
+  const auto ccne = make_ccne();
+  EffectiveDeadlineDistributor ed(*ccne);
+  const DeadlineAssignment asg = ed.distribute(f.g);
+
+  // ALAP finishes: c at 120, b at 90, a at 70.
+  EXPECT_DOUBLE_EQ(asg.abs_deadline(f.c), 120.0);
+  EXPECT_DOUBLE_EQ(asg.abs_deadline(f.b), 90.0);
+  EXPECT_DOUBLE_EQ(asg.abs_deadline(f.a), 70.0);
+  // Releases stay ASAP.
+  EXPECT_DOUBLE_EQ(asg.release(f.b), 10.0);
+  EXPECT_EQ(ed.name(), "ED+CCNE");
+}
+
+TEST(Baselines, ProportionalStretchesAsapSchedule) {
+  Chain f;
+  const auto ccne = make_ccne();
+  ProportionalDistributor prop(*ccne);
+  const DeadlineAssignment asg = prop.distribute(f.g);
+
+  // ASAP span 60, window 120: scale 2. a[0,20], b[20,60], c[60,120].
+  EXPECT_DOUBLE_EQ(asg.release(f.a), 0.0);
+  EXPECT_DOUBLE_EQ(asg.abs_deadline(f.a), 20.0);
+  EXPECT_DOUBLE_EQ(asg.release(f.b), 20.0);
+  EXPECT_DOUBLE_EQ(asg.abs_deadline(f.b), 60.0);
+  EXPECT_DOUBLE_EQ(asg.abs_deadline(f.c), 120.0);
+  EXPECT_EQ(prop.name(), "PROP+CCNE");
+}
+
+TEST(Baselines, ProportionalHandlesTightWindow) {
+  Chain f;
+  // Make the window equal to the ASAP span: scale 1.
+  TaskGraph g;
+  const NodeId a = g.add_subtask("a", 10.0);
+  const NodeId b = g.add_subtask("b", 20.0);
+  g.add_precedence(a, b, 0.0);
+  g.set_boundary_release(a, 0.0);
+  g.set_boundary_deadline(b, 30.0);
+  const auto ccne = make_ccne();
+  ProportionalDistributor prop(*ccne);
+  const DeadlineAssignment asg = prop.distribute(g);
+  EXPECT_DOUBLE_EQ(asg.abs_deadline(b), 30.0);
+  EXPECT_DOUBLE_EQ(asg.rel_deadline(a), 10.0);
+}
+
+class BaselineProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BaselineProperty, AllBaselinesProduceValidAssignments) {
+  RandomGraphConfig config;
+  Pcg32 rng(GetParam());
+  const TaskGraph g = generate_random_graph(config, rng);
+  const auto ccne = make_ccne();
+
+  for (const auto& factory : {make_ultimate_deadline, make_effective_deadline,
+                              make_proportional}) {
+    const auto distributor = factory(*ccne);
+    const DeadlineAssignment asg = distributor->distribute(g);
+    EXPECT_TRUE(asg.complete());
+    const AssignmentReport report = check_assignment_basic(g, asg);
+    EXPECT_TRUE(report.ok()) << distributor->name() << ": " << report.to_string();
+  }
+}
+
+TEST_P(BaselineProperty, DeadlinesMonotoneAlongArcs) {
+  // ED/UD windows overlap along arcs by design (each subtask gets maximal
+  // freedom), but absolute deadlines must never decrease along an arc.
+  RandomGraphConfig config;
+  Pcg32 rng(GetParam());
+  const TaskGraph g = generate_random_graph(config, rng);
+  const auto ccne = make_ccne();
+  for (const auto& factory : {make_ultimate_deadline, make_effective_deadline}) {
+    const auto distributor = factory(*ccne);
+    const DeadlineAssignment asg = distributor->distribute(g);
+    for (const NodeId id : g.all_nodes()) {
+      for (const NodeId succ : g.succs(id)) {
+        EXPECT_LE(asg.abs_deadline(id), asg.abs_deadline(succ) + kTimeEps)
+            << distributor->name();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, BaselineProperty,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace feast

@@ -1,0 +1,85 @@
+/// \file test_bus.cpp
+/// \brief Unit tests for the serialized bus / processor timeline with
+///        first-fit gap allocation.
+#include <gtest/gtest.h>
+
+#include "sched/bus.hpp"
+#include "util/contracts.hpp"
+
+namespace feast {
+namespace {
+
+TEST(BusTimeline, EmptyTimelineStartsAtEarliest) {
+  BusTimeline bus;
+  EXPECT_DOUBLE_EQ(bus.query(5.0, 10.0), 5.0);
+  EXPECT_DOUBLE_EQ(bus.total_busy(), 0.0);
+}
+
+TEST(BusTimeline, ReserveCommitsAndSerializes) {
+  BusTimeline bus;
+  EXPECT_DOUBLE_EQ(bus.reserve(0.0, 10.0), 0.0);
+  // Overlapping request is pushed after the committed slot.
+  EXPECT_DOUBLE_EQ(bus.query(5.0, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(bus.reserve(5.0, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(bus.total_busy(), 20.0);
+  ASSERT_EQ(bus.slots().size(), 2u);
+}
+
+TEST(BusTimeline, GapIsUsedWhenItFits) {
+  BusTimeline bus;
+  bus.reserve(0.0, 10.0);    // [0, 10]
+  bus.reserve(30.0, 10.0);   // [30, 40]
+  // A 15-unit transfer fits in the [10, 30] gap.
+  EXPECT_DOUBLE_EQ(bus.query(0.0, 15.0), 10.0);
+  // A 25-unit transfer does not; it goes after the last slot.
+  EXPECT_DOUBLE_EQ(bus.query(0.0, 25.0), 40.0);
+  // Short transfer with a later earliest bound still lands in the gap.
+  EXPECT_DOUBLE_EQ(bus.query(12.0, 5.0), 12.0);
+}
+
+TEST(BusTimeline, GapSearchRespectsEarliest) {
+  BusTimeline bus;
+  bus.reserve(10.0, 10.0);  // [10, 20]
+  // Gap before the slot: [0, 10) fits a 10-unit transfer at 0.
+  EXPECT_DOUBLE_EQ(bus.query(0.0, 10.0), 0.0);
+  // But an 11-unit transfer must go after the slot.
+  EXPECT_DOUBLE_EQ(bus.query(0.0, 11.0), 20.0);
+}
+
+TEST(BusTimeline, ZeroDurationAlwaysFits) {
+  BusTimeline bus;
+  bus.reserve(0.0, 10.0);
+  EXPECT_DOUBLE_EQ(bus.query(5.0, 0.0), 5.0);
+  EXPECT_DOUBLE_EQ(bus.reserve(5.0, 0.0), 5.0);
+  EXPECT_EQ(bus.slots().size(), 1u);  // zero-width slots are not stored
+}
+
+TEST(BusTimeline, NegativeDurationRejected) {
+  BusTimeline bus;
+  EXPECT_THROW(bus.query(0.0, -1.0), ContractViolation);
+}
+
+TEST(BusTimeline, ManyReservationsStaySorted) {
+  BusTimeline bus;
+  // Reserve in a scrambled earliest order; slots must remain disjoint.
+  for (const double earliest : {50.0, 0.0, 25.0, 10.0, 70.0, 5.0}) {
+    bus.reserve(earliest, 8.0);
+  }
+  const auto& slots = bus.slots();
+  for (std::size_t i = 1; i < slots.size(); ++i) {
+    EXPECT_LE(slots[i - 1].end, slots[i].start + kTimeEps);
+    EXPECT_LT(slots[i - 1].start, slots[i].start);
+  }
+  EXPECT_DOUBLE_EQ(bus.total_busy(), 48.0);
+}
+
+TEST(BusTimeline, BackToBackSlotsAllowed) {
+  BusTimeline bus;
+  bus.reserve(0.0, 10.0);
+  // Exactly adjacent slot starting at 10 is legal.
+  EXPECT_DOUBLE_EQ(bus.reserve(10.0, 10.0), 10.0);
+  EXPECT_EQ(bus.slots().size(), 2u);
+}
+
+}  // namespace
+}  // namespace feast

@@ -1,0 +1,274 @@
+/// \file test_cli.cpp
+/// \brief Tests for the feastc command-line tool (via the feast_cli
+///        library: no subprocesses needed).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "cli/cli_app.hpp"
+#include "taskgraph/serialize.hpp"
+
+namespace feast {
+namespace {
+
+/// Runs the CLI and captures everything.
+struct CliRun {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliRun run(const std::vector<std::string>& args, const std::string& stdin_text = "") {
+  std::istringstream in(stdin_text);
+  std::ostringstream out;
+  std::ostringstream err;
+  CliRun result;
+  result.code = run_cli(args, in, out, err);
+  result.out = out.str();
+  result.err = err.str();
+  return result;
+}
+
+/// A small serialized graph used as CLI input.
+std::string small_graph_text() {
+  TaskGraph g;
+  const NodeId a = g.add_subtask("alpha", 10.0);
+  const NodeId b = g.add_subtask("beta", 20.0);
+  const NodeId c = g.add_subtask("gamma", 30.0);
+  g.add_precedence(a, b, 5.0);
+  g.add_precedence(b, c, 5.0);
+  g.set_boundary_release(a, 0.0);
+  g.set_boundary_deadline(c, 120.0);
+  return task_graph_to_string(g);
+}
+
+TEST(Cli, NoArgsPrintsUsageAndFails) {
+  const CliRun r = run({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.out.find("usage: feastc"), std::string::npos);
+}
+
+TEST(Cli, HelpSucceeds) {
+  EXPECT_EQ(run({"--help"}).code, 0);
+  EXPECT_EQ(run({"help"}).code, 0);
+  EXPECT_EQ(run({"schedule", "--help"}).code, 0);
+}
+
+TEST(Cli, UnknownCommandFailsWithUsageCode) {
+  const CliRun r = run({"frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, GenerateEmitsParseableGraph) {
+  const CliRun r = run({"generate", "--seed", "3", "--subtasks", "10:12",
+                        "--depth", "4:5"});
+  EXPECT_EQ(r.code, 0);
+  const TaskGraph g = task_graph_from_string(r.out);
+  EXPECT_GE(g.subtask_count(), 10u);
+  EXPECT_LE(g.subtask_count(), 12u);
+}
+
+TEST(Cli, GenerateIsDeterministicInSeed) {
+  const CliRun a = run({"generate", "--seed", "9"});
+  const CliRun b = run({"generate", "--seed", "9"});
+  const CliRun c = run({"generate", "--seed", "10"});
+  EXPECT_EQ(a.out, b.out);
+  EXPECT_NE(a.out, c.out);
+}
+
+TEST(Cli, GenerateShapes) {
+  for (const std::string shape :
+       {"chain", "in-tree", "out-tree", "fork-join", "diamond"}) {
+    const CliRun r = run({"generate", "--shape", shape, "--seed", "2"});
+    EXPECT_EQ(r.code, 0) << shape << ": " << r.err;
+    EXPECT_NO_THROW(task_graph_from_string(r.out)) << shape;
+  }
+  EXPECT_EQ(run({"generate", "--shape", "moebius"}).code, 2);
+}
+
+TEST(Cli, GenerateRejectsBadRanges) {
+  EXPECT_EQ(run({"generate", "--subtasks", "10"}).code, 2);
+  EXPECT_EQ(run({"generate", "--subtasks", "12:10"}).code, 2);
+  EXPECT_EQ(run({"generate", "--depth", "a:b"}).code, 2);
+  EXPECT_EQ(run({"generate", "--seed"}).code, 2);  // missing value
+}
+
+TEST(Cli, InfoReportsStats) {
+  const CliRun r = run({"info", "-"}, small_graph_text());
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("subtasks:        3"), std::string::npos);
+  EXPECT_NE(r.out.find("messages:        2"), std::string::npos);
+  EXPECT_NE(r.out.find("workload:        60"), std::string::npos);
+  EXPECT_NE(r.out.find("validation:      ok"), std::string::npos);
+}
+
+TEST(Cli, InfoFlagsInvalidGraph) {
+  // No boundary deadline: not distribution-ready.
+  TaskGraph g;
+  g.add_subtask("only", 5.0);
+  const CliRun r = run({"info", "-"}, task_graph_to_string(g));
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.out.find("FAILED"), std::string::npos);
+}
+
+TEST(Cli, InfoMissingFileFails) {
+  const CliRun r = run({"info", "/nonexistent/graph.feast"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("cannot open"), std::string::npos);
+}
+
+TEST(Cli, DistributeTableShowsWindows) {
+  const CliRun r = run({"distribute", "-", "--metric", "pure"}, small_graph_text());
+  EXPECT_EQ(r.code, 0) << r.err;
+  // PURE on the chain: R = 20; alpha's window is [0, 30].
+  EXPECT_NE(r.out.find("strategy: PURE+CCNE"), std::string::npos);
+  EXPECT_NE(r.out.find("alpha"), std::string::npos);
+  EXPECT_NE(r.out.find("30.00"), std::string::npos);
+  EXPECT_NE(r.out.find("minimum laxity: 20.00"), std::string::npos);
+}
+
+TEST(Cli, DistributeCsvHasAllNodes) {
+  const CliRun r = run({"distribute", "-", "--format", "csv"}, small_graph_text());
+  EXPECT_EQ(r.code, 0);
+  // Header + 3 computation + 2 communication rows.
+  EXPECT_EQ(std::count(r.out.begin(), r.out.end(), '\n'), 6);
+  EXPECT_NE(r.out.find("kind,name,release"), std::string::npos);
+}
+
+TEST(Cli, DistributeMetricVariants) {
+  for (const std::string metric : {"pure", "norm", "thres", "adapt"}) {
+    const CliRun r = run({"distribute", "-", "--metric", metric, "--procs", "2"},
+                         small_graph_text());
+    EXPECT_EQ(r.code, 0) << metric << ": " << r.err;
+  }
+  EXPECT_EQ(run({"distribute", "-", "--metric", "magic"}, small_graph_text()).code, 2);
+  EXPECT_EQ(run({"distribute", "-", "--estimator", "psychic"}, small_graph_text()).code,
+            2);
+}
+
+TEST(Cli, ScheduleSummary) {
+  const CliRun r = run({"schedule", "-", "--procs", "2"}, small_graph_text());
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("machine:          2 procs"), std::string::npos);
+  EXPECT_NE(r.out.find("max lateness:"), std::string::npos);
+  EXPECT_NE(r.out.find("missed windows:   0 of 3"), std::string::npos);
+}
+
+TEST(Cli, ScheduleGanttAndCsv) {
+  const CliRun gantt =
+      run({"schedule", "-", "--gantt", "--procs", "2"}, small_graph_text());
+  EXPECT_NE(gantt.out.find("P0 |"), std::string::npos);
+
+  const CliRun csv = run({"schedule", "-", "--csv"}, small_graph_text());
+  EXPECT_NE(csv.out.find("kind,name,proc,start"), std::string::npos);
+}
+
+TEST(Cli, ScheduleContentionAndReleaseOptions) {
+  for (const std::string contention : {"free", "bus", "links"}) {
+    EXPECT_EQ(run({"schedule", "-", "--contention", contention}, small_graph_text()).code,
+              0)
+        << contention;
+  }
+  for (const std::string release : {"time-driven", "eager"}) {
+    EXPECT_EQ(run({"schedule", "-", "--release", release}, small_graph_text()).code, 0)
+        << release;
+  }
+  EXPECT_EQ(run({"schedule", "-", "--contention", "smoke"}, small_graph_text()).code, 2);
+}
+
+TEST(Cli, ScheduleExitCodeReflectsFeasibility) {
+  // Impossible deadline: the window is missed, exit code 1.
+  TaskGraph g;
+  const NodeId a = g.add_subtask("a", 10.0);
+  const NodeId b = g.add_subtask("b", 10.0);
+  g.add_precedence(a, b, 0.0);
+  g.set_boundary_release(a, 0.0);
+  g.set_boundary_deadline(b, 15.0);
+  const CliRun r = run({"schedule", "-"}, task_graph_to_string(g));
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.out.find("missed windows"), std::string::npos);
+}
+
+TEST(Cli, DistributeReportsDemandCheck) {
+  const CliRun r = run({"distribute", "-", "--procs", "2"}, small_graph_text());
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("demand check (2 procs)"), std::string::npos);
+  EXPECT_NE(r.out.find("max demand ratio"), std::string::npos);
+}
+
+TEST(Cli, WindowsFileRoundTripThroughSchedule) {
+  const std::string graph_file = ::testing::TempDir() + "/cli_graph.feast";
+  const std::string windows_file = ::testing::TempDir() + "/cli_windows.feast";
+  {
+    std::ofstream out(graph_file);
+    out << small_graph_text();
+  }
+  const CliRun dist =
+      run({"distribute", graph_file, "--metric", "adapt", "--procs", "2",
+           "--windows-out", windows_file});
+  ASSERT_EQ(dist.code, 0) << dist.err;
+
+  const CliRun sched =
+      run({"schedule", graph_file, "--windows", windows_file, "--procs", "2"});
+  EXPECT_EQ(sched.code, 0) << sched.err;
+  EXPECT_NE(sched.out.find("windows from " + windows_file), std::string::npos);
+
+  // Identical result to the single-stage pipeline.
+  const CliRun direct =
+      run({"schedule", graph_file, "--metric", "adapt", "--procs", "2"});
+  const auto tail = [](const std::string& s) {
+    return s.substr(s.find("makespan"));
+  };
+  EXPECT_EQ(tail(sched.out), tail(direct.out));
+}
+
+TEST(Cli, SimulateSummaryAndDeterminism) {
+  const CliRun a = run({"simulate", "-", "--procs", "2", "--runs", "10",
+                        "--overrun", "1:1.2", "--background", "0.2"},
+                       small_graph_text());
+  EXPECT_EQ(a.code, 0) << a.err;
+  EXPECT_NE(a.out.find("runs:              10"), std::string::npos);
+  EXPECT_NE(a.out.find("runs with misses"), std::string::npos);
+
+  const CliRun b = run({"simulate", "-", "--procs", "2", "--runs", "10",
+                        "--overrun", "1:1.2", "--background", "0.2"},
+                       small_graph_text());
+  EXPECT_EQ(a.out, b.out);
+}
+
+TEST(Cli, SimulatePreemptiveFlagAccepted) {
+  const CliRun r = run({"simulate", "-", "--preemptive", "--runs", "5"},
+                       small_graph_text());
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("preemptive EDF"), std::string::npos);
+}
+
+TEST(Cli, SimulateRejectsBadOptions) {
+  EXPECT_EQ(run({"simulate", "-", "--overrun", "2"}, small_graph_text()).code, 2);
+  EXPECT_EQ(run({"simulate", "-", "--overrun", "1:0.5"}, small_graph_text()).code, 2);
+  EXPECT_EQ(run({"simulate", "-", "--background", "1.5"}, small_graph_text()).code, 2);
+  EXPECT_EQ(run({"simulate", "-", "--runs", "0"}, small_graph_text()).code, 2);
+}
+
+TEST(Cli, DotOutput) {
+  const CliRun r = run({"dot", "-"}, small_graph_text());
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("digraph"), std::string::npos);
+  EXPECT_NE(r.out.find("alpha"), std::string::npos);
+}
+
+TEST(Cli, PipelineComposition) {
+  // generate | schedule: exactly what the tool's docs promise.
+  const CliRun generated =
+      run({"generate", "--seed", "5", "--subtasks", "15:15", "--depth", "5:6"});
+  ASSERT_EQ(generated.code, 0);
+  const CliRun scheduled =
+      run({"schedule", "-", "--metric", "adapt", "--procs", "4"}, generated.out);
+  EXPECT_EQ(scheduled.code, 0) << scheduled.err;
+  EXPECT_NE(scheduled.out.find("ADAPT"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace feast

@@ -1,0 +1,131 @@
+/// \file test_demand.cpp
+/// \brief Unit and property tests for the processor-demand analysis.
+#include <gtest/gtest.h>
+
+#include "core/demand.hpp"
+#include "core/metrics.hpp"
+#include "core/slicing.hpp"
+#include "experiment/runner.hpp"
+#include "sched/list_scheduler.hpp"
+#include "taskgraph/generator.hpp"
+#include "util/rng.hpp"
+
+namespace feast {
+namespace {
+
+/// Builds an assignment directly from (release, deadline) pairs for
+/// independent subtasks.
+struct Independent {
+  TaskGraph g;
+  DeadlineAssignment asg;
+  std::vector<NodeId> ids;
+
+  explicit Independent(const std::vector<std::array<Time, 3>>& spec) {
+    for (const auto& [c, r, d] : spec) {
+      ids.push_back(g.add_subtask("t" + std::to_string(ids.size()), c));
+    }
+    asg = DeadlineAssignment(g);
+    for (std::size_t i = 0; i < spec.size(); ++i) {
+      asg.assign(ids[i], spec[i][1], spec[i][2], 0);
+    }
+  }
+};
+
+TEST(Demand, SingleTaskRatio) {
+  // c=10 in a window of 20 on one processor: ratio 0.5.
+  Independent f({{10.0, 0.0, 20.0}});
+  const DemandAnalysis a = analyze_demand(f.g, f.asg, 1.0);
+  EXPECT_DOUBLE_EQ(a.max_ratio, 0.5);
+  EXPECT_DOUBLE_EQ(a.interval_start, 0.0);
+  EXPECT_DOUBLE_EQ(a.interval_end, 20.0);
+  EXPECT_DOUBLE_EQ(a.interval_demand, 10.0);
+  EXPECT_TRUE(a.feasible_necessary());
+}
+
+TEST(Demand, OverloadedIntervalDetected) {
+  // Three 10-unit tasks all inside [0, 20] on one processor: 30/20 = 1.5.
+  Independent f({{10.0, 0.0, 20.0}, {10.0, 0.0, 20.0}, {10.0, 5.0, 15.0}});
+  const DemandAnalysis a = analyze_demand(f.g, f.asg, 1.0);
+  EXPECT_DOUBLE_EQ(a.max_ratio, 1.5);
+  EXPECT_FALSE(a.feasible_necessary());
+  // Two processors absorb it.
+  EXPECT_TRUE(analyze_demand(f.g, f.asg, 2.0).feasible_necessary());
+}
+
+TEST(Demand, NestedWindowPicksTightInterval) {
+  // Outer task [0, 100] is roomy; inner task c=9 in [40, 50] dominates.
+  Independent f({{20.0, 0.0, 100.0}, {9.0, 40.0, 10.0}});
+  const DemandAnalysis a = analyze_demand(f.g, f.asg, 1.0);
+  EXPECT_DOUBLE_EQ(a.max_ratio, 0.9);
+  EXPECT_DOUBLE_EQ(a.interval_start, 40.0);
+  EXPECT_DOUBLE_EQ(a.interval_end, 50.0);
+}
+
+TEST(Demand, ZeroLengthWindowWithWorkIsInfinitelyOverloaded) {
+  Independent f({{5.0, 10.0, 0.0}});
+  const DemandAnalysis a = analyze_demand(f.g, f.asg, 4.0);
+  EXPECT_EQ(a.max_ratio, kInfiniteTime);
+  EXPECT_FALSE(a.feasible_necessary());
+}
+
+TEST(Demand, EmptyGraph) {
+  TaskGraph g;
+  DeadlineAssignment asg(g);
+  const DemandAnalysis a = analyze_demand(g, asg, 2.0);
+  EXPECT_DOUBLE_EQ(a.max_ratio, 0.0);
+  EXPECT_TRUE(a.feasible_necessary());
+}
+
+TEST(Demand, RejectsNonPositiveCapacity) {
+  Independent f({{1.0, 0.0, 2.0}});
+  EXPECT_THROW(analyze_demand(f.g, f.asg, 0.0), ContractViolation);
+}
+
+TEST(Demand, ToStringMentionsInfeasibility) {
+  Independent f({{30.0, 0.0, 20.0}});
+  const DemandAnalysis a = analyze_demand(f.g, f.asg, 1.0);
+  EXPECT_NE(a.to_string().find("INFEASIBLE"), std::string::npos);
+  Independent ok({{10.0, 0.0, 20.0}});
+  EXPECT_EQ(analyze_demand(ok.g, ok.asg, 1.0).to_string().find("INFEASIBLE"),
+            std::string::npos);
+}
+
+class DemandProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DemandProperty, FeasibleScheduleImpliesRatioAtMostOne) {
+  // Contrapositive of the necessary condition, checked empirically: when
+  // the scheduler produces a schedule with no missed window, the demand
+  // ratio must be <= 1.
+  RandomGraphConfig config;
+  Pcg32 rng(GetParam());
+  const TaskGraph g = generate_random_graph(config, rng);
+  auto metric = make_adapt(4);
+  const auto ccne = make_ccne();
+  const DeadlineAssignment asg = distribute_deadlines(g, *metric, *ccne);
+  Machine machine;
+  machine.n_procs = 4;
+  const Schedule schedule = list_schedule(g, asg, machine);
+  const LatenessStats stats = computation_lateness(g, asg, schedule);
+  const DemandAnalysis demand = analyze_demand(g, asg, 4.0);
+  if (stats.feasible()) {
+    EXPECT_LE(demand.max_ratio, 1.0 + 1e-9) << demand.to_string();
+  }
+}
+
+TEST_P(DemandProperty, MoreCapacityNeverRaisesRatio) {
+  RandomGraphConfig config;
+  Pcg32 rng(GetParam());
+  const TaskGraph g = generate_random_graph(config, rng);
+  auto metric = make_pure();
+  const auto ccne = make_ccne();
+  const DeadlineAssignment asg = distribute_deadlines(g, *metric, *ccne);
+  const double r2 = analyze_demand(g, asg, 2.0).max_ratio;
+  const double r8 = analyze_demand(g, asg, 8.0).max_ratio;
+  EXPECT_NEAR(r2 / r8, 4.0, 1e-6);  // ratio scales inversely with capacity
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, DemandProperty,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace feast

@@ -1,0 +1,177 @@
+/// \file test_distribution_validate.cpp
+/// \brief Failure-injection tests: every violation class the assignment
+///        validator claims to detect is planted and must be reported.
+#include <gtest/gtest.h>
+
+#include "core/distribution_validate.hpp"
+#include "core/metrics.hpp"
+#include "core/slicing.hpp"
+#include "taskgraph/shapes.hpp"
+#include "taskgraph/task_graph.hpp"
+#include "util/rng.hpp"
+
+namespace feast {
+namespace {
+
+/// a(10) -> b(20), message 5 items, window [0, 60].
+struct Fixture {
+  TaskGraph g;
+  NodeId a, b, comm;
+
+  Fixture() {
+    a = g.add_subtask("a", 10.0);
+    b = g.add_subtask("b", 20.0);
+    comm = g.add_precedence(a, b, 5.0);
+    g.set_boundary_release(a, 0.0);
+    g.set_boundary_deadline(b, 60.0);
+  }
+};
+
+void expect_problem(const AssignmentReport& report, const std::string& needle) {
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find(needle), std::string::npos)
+      << "report was: " << report.to_string();
+}
+
+TEST(DistributionValidate, AcceptsCorrectAssignment) {
+  Fixture f;
+  DeadlineAssignment asg(f.g);
+  asg.assign(f.a, 0.0, 25.0, 0);
+  asg.assign(f.comm, 25.0, 0.0, 0);
+  asg.assign(f.b, 25.0, 35.0, 0);
+  EXPECT_TRUE(check_assignment_basic(f.g, asg).ok());
+  EXPECT_TRUE(check_path_deadline_sums(f.g, asg).ok());
+  EXPECT_EQ(count_arc_window_overlaps(f.g, asg), 0u);
+}
+
+TEST(DistributionValidate, UnassignedNodeReported) {
+  Fixture f;
+  DeadlineAssignment asg(f.g);
+  asg.assign(f.a, 0.0, 25.0, 0);
+  expect_problem(check_assignment_basic(f.g, asg), "no window assigned");
+}
+
+TEST(DistributionValidate, WrongGraphSizeReported) {
+  Fixture f;
+  TaskGraph other;
+  other.add_subtask("x", 1.0);
+  DeadlineAssignment asg(other);
+  expect_problem(check_assignment_basic(f.g, asg), "different graph");
+}
+
+TEST(DistributionValidate, ReleaseBeforeBoundaryReported) {
+  Fixture f;
+  f.g.set_boundary_release(f.a, 10.0);
+  DeadlineAssignment asg(f.g);
+  asg.assign(f.a, 5.0, 25.0, 0);  // released at 5, boundary says 10
+  asg.assign(f.comm, 30.0, 0.0, 0);
+  asg.assign(f.b, 30.0, 30.0, 0);
+  expect_problem(check_assignment_basic(f.g, asg), "before boundary release");
+}
+
+TEST(DistributionValidate, DeadlineBeyondBoundaryReported) {
+  Fixture f;
+  DeadlineAssignment asg(f.g);
+  asg.assign(f.a, 0.0, 25.0, 0);
+  asg.assign(f.comm, 25.0, 0.0, 0);
+  asg.assign(f.b, 25.0, 45.0, 0);  // abs deadline 70 > boundary 60
+  expect_problem(check_assignment_basic(f.g, asg), "exceeds end-to-end deadline");
+}
+
+TEST(DistributionValidate, SliceOverlapWithinRecordedPathReported) {
+  Fixture f;
+  DeadlineAssignment asg(f.g);
+  asg.assign(f.a, 0.0, 30.0, 0);
+  asg.assign(f.comm, 30.0, 0.0, 0);
+  asg.assign(f.b, 20.0, 40.0, 0);  // b starts before a's deadline
+  SlicedPath path;
+  path.nodes = {f.a, f.comm, f.b};
+  path.window_start = 0.0;
+  path.window_end = 60.0;
+  path.iteration = 0;
+  asg.record_path(path);
+  expect_problem(check_assignment_basic(f.g, asg), "starts before its predecessor");
+}
+
+TEST(DistributionValidate, SliceSpillPastWindowReported) {
+  Fixture f;
+  DeadlineAssignment asg(f.g);
+  asg.assign(f.a, 0.0, 30.0, 0);
+  asg.assign(f.comm, 30.0, 0.0, 0);
+  asg.assign(f.b, 30.0, 30.0, 0);  // ends at 60
+  SlicedPath path;
+  path.nodes = {f.a, f.comm, f.b};
+  path.window_start = 0.0;
+  path.window_end = 50.0;  // recorded window smaller than the slices
+  path.iteration = 0;
+  asg.record_path(path);
+  expect_problem(check_assignment_basic(f.g, asg), "spill past the window end");
+}
+
+TEST(DistributionValidate, PathSumViolationReported) {
+  Fixture f;
+  DeadlineAssignment asg(f.g);
+  // d(a) + d(comm) + d(b) = 40 + 0 + 40 = 80 > end-to-end window 60.
+  asg.assign(f.a, 0.0, 40.0, 0);
+  asg.assign(f.comm, 40.0, 0.0, 0);
+  asg.assign(f.b, 20.0, 40.0, 0);
+  expect_problem(check_path_deadline_sums(f.g, asg), "exceeds the end-to-end window");
+}
+
+TEST(DistributionValidate, ArcOverlapCounting) {
+  Fixture f;
+  DeadlineAssignment asg(f.g);
+  asg.assign(f.a, 0.0, 30.0, 0);   // deadline 30
+  asg.assign(f.comm, 30.0, 0.0, 0);
+  asg.assign(f.b, 25.0, 30.0, 0);  // release 25 < 30: a->comm ok, comm->b overlaps
+  EXPECT_EQ(count_arc_window_overlaps(f.g, asg), 1u);
+}
+
+TEST(DistributionValidate, NegativeRelativeDeadlineRejectedAtAssign) {
+  Fixture f;
+  DeadlineAssignment asg(f.g);
+  EXPECT_THROW(asg.assign(f.a, 0.0, -1.0, 0), ContractViolation);
+  EXPECT_THROW(asg.assign(f.a, kUnsetTime, 1.0, 0), ContractViolation);
+  asg.assign(f.a, 0.0, 10.0, 0);
+  EXPECT_THROW(asg.assign(f.a, 0.0, 10.0, 0), ContractViolation);  // double assign
+}
+
+// Cross-module property: slicing output on structured families always
+// passes the validator and the path-sum check under interior bounds.
+class StructuredSlicingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StructuredSlicingProperty, ShapesDistributeCleanly) {
+  Pcg32 rng(GetParam());
+  ShapeConfig config;
+  const std::vector<TaskGraph> graphs = [&] {
+    std::vector<TaskGraph> out;
+    out.push_back(make_in_tree(4, 2, config, rng));
+    out.push_back(make_out_tree(4, 2, config, rng));
+    out.push_back(make_fork_join(2, 4, 2, config, rng));
+    out.push_back(make_diamond(6, config, rng));
+    out.push_back(make_chain(12, config, rng));
+    return out;
+  }();
+
+  for (const TaskGraph& g : graphs) {
+    for (const bool interior : {false, true}) {
+      auto metric = make_adapt(4);
+      const auto ccne = make_ccne();
+      SlicingOptions options;
+      options.respect_interior_bounds = interior;
+      const DeadlineAssignment asg = distribute_deadlines(g, *metric, *ccne, options);
+      const AssignmentReport basic = check_assignment_basic(g, asg);
+      EXPECT_TRUE(basic.ok()) << basic.to_string();
+      if (interior) {
+        const AssignmentReport sums = check_path_deadline_sums(g, asg);
+        EXPECT_TRUE(sums.ok()) << sums.to_string();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, StructuredSlicingProperty,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+}  // namespace
+}  // namespace feast

@@ -1,0 +1,275 @@
+/// \file test_experiment.cpp
+/// \brief Tests for the FEAST experiment framework: strategies, the
+///        runner, cell batching, sweeps and figure configurations.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+#include "experiment/figures.hpp"
+#include "experiment/runner.hpp"
+#include "experiment/strategy.hpp"
+#include "experiment/sweep.hpp"
+#include "util/rng.hpp"
+
+namespace feast {
+namespace {
+
+TEST(Strategies, LabelsAndFactories) {
+  EXPECT_EQ(strategy_pure(EstimatorKind::CCNE).label, "PURE+CCNE");
+  EXPECT_EQ(strategy_pure(EstimatorKind::CCAA).label, "PURE+CCAA");
+  EXPECT_EQ(strategy_norm(EstimatorKind::CCNE).label, "NORM+CCNE");
+  EXPECT_EQ(strategy_thres(2.0, 1.25).label, "THRES(d=2,th=1.25)");
+  EXPECT_EQ(strategy_adapt(1.25).label, "ADAPT(th=1.25)");
+  EXPECT_EQ(strategy_ultimate_deadline().label, "UD");
+  EXPECT_EQ(strategy_effective_deadline().label, "ED");
+  EXPECT_EQ(strategy_proportional().label, "PROP");
+
+  // Factories produce working distributors.
+  for (const Strategy& s :
+       {strategy_pure(EstimatorKind::CCNE), strategy_adapt(1.25),
+        strategy_ultimate_deadline(), strategy_effective_deadline(),
+        strategy_proportional()}) {
+    const auto distributor = s.make(4);
+    ASSERT_NE(distributor, nullptr) << s.label;
+    RandomGraphConfig config;
+    Pcg32 rng(3);
+    const TaskGraph g = generate_random_graph(config, rng);
+    EXPECT_TRUE(distributor->distribute(g).complete()) << s.label;
+  }
+}
+
+TEST(Strategies, AdaptDependsOnSystemSize) {
+  const Strategy adapt = strategy_adapt(1.25);
+  // ADAPT(N=2) and ADAPT(N=16) must distribute differently on the same
+  // graph (different surplus).
+  RandomGraphConfig config;
+  Pcg32 rng(4);
+  const TaskGraph g = generate_random_graph(config, rng);
+  const DeadlineAssignment small = adapt.make(2)->distribute(g);
+  const DeadlineAssignment large = adapt.make(16)->distribute(g);
+  bool differs = false;
+  for (const NodeId id : g.computation_nodes()) {
+    if (!time_eq(small.rel_deadline(id), large.rel_deadline(id))) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Runner, RunOnceProducesConsistentMeasures) {
+  RandomGraphConfig config;
+  Pcg32 rng(5);
+  const TaskGraph g = generate_random_graph(config, rng);
+  const auto distributor = strategy_pure(EstimatorKind::CCNE).make(4);
+  Machine machine;
+  machine.n_procs = 4;
+
+  const RunResult result = run_once(g, *distributor, machine);
+  EXPECT_EQ(result.lateness.count, g.subtask_count());
+  EXPECT_GT(result.makespan, 0.0);
+  EXPECT_GT(result.utilization, 0.0);
+  EXPECT_LE(result.utilization, 1.0);
+  // End-to-end lateness can never beat (be more negative than needed)
+  // the per-subtask maximum by construction of the windows:
+  EXPECT_GE(result.lateness.max_lateness, -kInfiniteTime);
+}
+
+TEST(Sweep, CellIsDeterministicInSeed) {
+  BatchConfig batch;
+  batch.samples = 6;
+  batch.seed = 42;
+  const RandomGraphConfig workload = paper_workload(ExecSpreadScenario::MDET);
+  const Strategy strategy = strategy_pure(EstimatorKind::CCNE);
+
+  const CellStats a = run_cell(workload, strategy, 4, batch);
+  const CellStats b = run_cell(workload, strategy, 4, batch);
+  EXPECT_DOUBLE_EQ(a.max_lateness.mean, b.max_lateness.mean);
+  EXPECT_DOUBLE_EQ(a.max_lateness.stddev, b.max_lateness.stddev);
+  EXPECT_EQ(a.infeasible_runs, b.infeasible_runs);
+  EXPECT_EQ(a.max_lateness.count, 6u);
+
+  batch.seed = 43;
+  const CellStats c = run_cell(workload, strategy, 4, batch);
+  EXPECT_NE(a.max_lateness.mean, c.max_lateness.mean);
+}
+
+TEST(Sweep, StrategiesShareTheGraphBatch) {
+  // UD and ED assign identical (ASAP) release times; under FIFO selection
+  // with the eager release policy the schedule depends only on releases,
+  // so if both cells see the same graph batch their schedules — and hence
+  // makespans — must agree exactly.
+  BatchConfig batch;
+  batch.samples = 4;
+  batch.scheduler.release_policy = ReleasePolicy::Eager;
+  batch.scheduler.selection = SelectionPolicy::Fifo;
+  const RandomGraphConfig workload = paper_workload(ExecSpreadScenario::LDET);
+  const CellStats ud = run_cell(workload, strategy_ultimate_deadline(), 16, batch);
+  const CellStats ed = run_cell(workload, strategy_effective_deadline(), 16, batch);
+  EXPECT_DOUBLE_EQ(ud.makespan.min, ed.makespan.min);
+  EXPECT_DOUBLE_EQ(ud.makespan.max, ed.makespan.max);
+  EXPECT_DOUBLE_EQ(ud.makespan.mean, ed.makespan.mean);
+}
+
+TEST(Sweep, SweepShapeAndAccessors) {
+  BatchConfig batch;
+  batch.samples = 3;
+  const std::vector<Strategy> strategies{strategy_pure(EstimatorKind::CCNE),
+                                         strategy_adapt(1.25)};
+  const std::vector<int> sizes{2, 8};
+  const SweepResult result = sweep_strategies(
+      "test sweep", paper_workload(ExecSpreadScenario::MDET), strategies, sizes, batch);
+
+  EXPECT_EQ(result.title, "test sweep");
+  EXPECT_EQ(result.sizes, sizes);
+  ASSERT_EQ(result.series.size(), 2u);
+  EXPECT_EQ(result.series[0].label, "PURE+CCNE");
+  ASSERT_EQ(result.series[0].cells.size(), 2u);
+  EXPECT_EQ(result.value(0, 0), result.series[0].cells[0].max_lateness.mean);
+}
+
+TEST(Sweep, PrintAndCsv) {
+  BatchConfig batch;
+  batch.samples = 2;
+  const SweepResult result =
+      sweep_strategies("printable", paper_workload(ExecSpreadScenario::LDET),
+                       {strategy_pure(EstimatorKind::CCNE)}, {2, 4}, batch);
+
+  std::ostringstream table;
+  result.print(table);
+  EXPECT_NE(table.str().find("printable"), std::string::npos);
+  EXPECT_NE(table.str().find("PURE+CCNE"), std::string::npos);
+
+  std::ostringstream csv;
+  result.write_csv(csv);
+  const std::string text = csv.str();
+  EXPECT_NE(text.find("title,strategy,procs"), std::string::npos);
+  // 1 header + 1 strategy x 2 sizes.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+}
+
+TEST(Sweep, PinnedFractionRuns) {
+  BatchConfig batch;
+  batch.samples = 3;
+  batch.pinned_fraction = 0.5;
+  const CellStats stats = run_cell(paper_workload(ExecSpreadScenario::MDET),
+                                   strategy_pure(EstimatorKind::CCNE), 4, batch);
+  EXPECT_EQ(stats.max_lateness.count, 3u);
+}
+
+TEST(Sweep, SharedBusContentionRuns) {
+  BatchConfig batch;
+  batch.samples = 3;
+  batch.contention = CommContention::SharedBus;
+  const CellStats shared = run_cell(paper_workload(ExecSpreadScenario::MDET),
+                                    strategy_pure(EstimatorKind::CCNE), 4, batch);
+  batch.contention = CommContention::ContentionFree;
+  const CellStats free_bus = run_cell(paper_workload(ExecSpreadScenario::MDET),
+                                      strategy_pure(EstimatorKind::CCNE), 4, batch);
+  // A serialized bus can only delay things.
+  EXPECT_GE(shared.max_lateness.mean, free_bus.max_lateness.mean - kTimeEps);
+}
+
+TEST(Sweep, CustomGraphFactory) {
+  // A fixed two-task factory: the cell must run it for every sample.
+  BatchConfig batch;
+  batch.samples = 5;
+  std::atomic<int> calls{0};  // the factory runs on worker threads
+  const GraphFactory factory = [&calls](std::size_t, std::uint64_t) {
+    ++calls;
+    TaskGraph g;
+    const NodeId a = g.add_subtask("a", 10.0);
+    const NodeId b = g.add_subtask("b", 10.0);
+    g.add_precedence(a, b, 0.0);
+    g.set_boundary_release(a, 0.0);
+    g.set_boundary_deadline(b, 60.0);
+    return g;
+  };
+  const CellStats stats =
+      run_custom_cell(factory, strategy_pure(EstimatorKind::CCNE), 1, batch);
+  EXPECT_EQ(calls.load(), 5);
+  EXPECT_EQ(stats.max_lateness.count, 5u);
+  // Deterministic graph: zero variance; chain on 1 proc with PURE has
+  // R = 20, no contention -> max lateness -20 every run.
+  EXPECT_DOUBLE_EQ(stats.max_lateness.mean, -20.0);
+  EXPECT_DOUBLE_EQ(stats.max_lateness.stddev, 0.0);
+}
+
+TEST(Sweep, SweepCustomShape) {
+  BatchConfig batch;
+  batch.samples = 2;
+  const GraphFactory factory = [](std::size_t sample, std::uint64_t seed) {
+    Pcg32 rng(seed, sample);
+    RandomGraphConfig config;
+    config.min_subtasks = 10;
+    config.max_subtasks = 12;
+    config.min_depth = 4;
+    config.max_depth = 4;
+    return generate_random_graph(config, rng);
+  };
+  const SweepResult result = sweep_custom(
+      "custom", factory, {strategy_pure(EstimatorKind::CCNE)}, {2, 4}, batch);
+  EXPECT_EQ(result.series.size(), 1u);
+  EXPECT_EQ(result.series[0].cells.size(), 2u);
+}
+
+TEST(Sweep, ShapeMachineHookInstallsSpeeds) {
+  BatchConfig batch;
+  batch.samples = 3;
+  std::atomic<int> hook_calls{0};
+  batch.shape_machine = [&hook_calls](Machine& machine) {
+    ++hook_calls;
+    machine.speeds.assign(static_cast<std::size_t>(machine.n_procs), 0.5);
+  };
+  const CellStats slow = run_cell(paper_workload(ExecSpreadScenario::MDET),
+                                  strategy_pure(EstimatorKind::CCNE), 4, batch);
+  EXPECT_EQ(hook_calls.load(), 3);
+
+  batch.shape_machine = nullptr;
+  const CellStats normal = run_cell(paper_workload(ExecSpreadScenario::MDET),
+                                    strategy_pure(EstimatorKind::CCNE), 4, batch);
+  // Half-speed processors can only be worse.
+  EXPECT_GT(slow.max_lateness.mean, normal.max_lateness.mean);
+}
+
+TEST(Figures, PaperConstantsAndWorkloads) {
+  EXPECT_EQ(paper_sizes(), (std::vector<int>{2, 4, 6, 8, 10, 12, 14, 16}));
+  EXPECT_EQ(paper_scenarios().size(), 3u);
+  const RandomGraphConfig hdet = paper_workload(ExecSpreadScenario::HDET);
+  EXPECT_DOUBLE_EQ(hdet.exec_spread, 0.99);
+  EXPECT_DOUBLE_EQ(hdet.olr, 1.5);
+  EXPECT_DOUBLE_EQ(hdet.ccr, 1.0);
+  EXPECT_DOUBLE_EQ(hdet.mean_exec_time, 20.0);
+  EXPECT_EQ(hdet.min_subtasks, 40);
+  EXPECT_EQ(hdet.max_subtasks, 60);
+  EXPECT_EQ(hdet.min_depth, 8);
+  EXPECT_EQ(hdet.max_depth, 12);
+}
+
+TEST(Figures, QuickFigureRunsProduceExpectedSeries) {
+  FigureOptions options;
+  options.samples = 2;
+  options.sizes = {2, 8};
+
+  const auto fig2 = figure2_bst(options);
+  ASSERT_EQ(fig2.size(), 3u);  // one per scenario
+  ASSERT_EQ(fig2[0].series.size(), 4u);
+  EXPECT_EQ(fig2[0].series[0].label, "PURE+CCNE");
+  EXPECT_EQ(fig2[0].series[3].label, "NORM+CCAA");
+
+  const auto fig3 = figure3_thres_surplus(options);
+  ASSERT_EQ(fig3[0].series.size(), 3u);
+  EXPECT_EQ(fig3[0].series[2].label, "THRES(d=4,th=1.25)");
+
+  const auto fig4 = figure4_thres_threshold(options);
+  ASSERT_EQ(fig4[0].series.size(), 3u);
+  EXPECT_EQ(fig4[0].series[0].label, "THRES(d=1,th=0.75)");
+
+  const auto fig5 = figure5_ast(options);
+  ASSERT_EQ(fig5[0].series.size(), 3u);
+  EXPECT_EQ(fig5[0].series[2].label, "ADAPT(th=1.25)");
+}
+
+}  // namespace
+}  // namespace feast

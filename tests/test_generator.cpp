@@ -1,0 +1,236 @@
+/// \file test_generator.cpp
+/// \brief Property tests for the random task-graph generator: every graph
+///        drawn across a seed sweep must satisfy the §5.2 workload
+///        parameters exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "taskgraph/algorithms.hpp"
+#include "taskgraph/generator.hpp"
+#include "taskgraph/validate.hpp"
+#include "util/rng.hpp"
+
+namespace feast {
+namespace {
+
+class GeneratorProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorProperty, PaperWorkloadInvariants) {
+  RandomGraphConfig config;  // paper defaults
+  Pcg32 rng(GetParam());
+  const TaskGraph g = generate_random_graph(config, rng);
+
+  // Structure and distribution readiness.
+  EXPECT_TRUE(validate_for_distribution(g).ok()) << validate_for_distribution(g).to_string();
+
+  // Node count and depth within the configured ranges.
+  EXPECT_GE(static_cast<int>(g.subtask_count()), config.min_subtasks);
+  EXPECT_LE(static_cast<int>(g.subtask_count()), config.max_subtasks);
+  EXPECT_GE(depth(g), config.min_depth);
+  EXPECT_LE(depth(g), config.max_depth);
+
+  // Degree bounds: the sampled fan-in is 1..max_degree; only the coverage
+  // pass may exceed it, at wide-to-narrow join points, so the bulk of the
+  // nodes must respect the cap.  Every output carries the deadline.
+  std::size_t over_cap = 0;
+  for (const NodeId id : g.computation_nodes()) {
+    const std::size_t in = g.preds(id).size();
+    const std::size_t out = g.succs(id).size();
+    if (in > static_cast<std::size_t>(config.max_degree)) ++over_cap;
+    if (out == 0) {
+      // Outputs must carry the end-to-end deadline.
+      EXPECT_TRUE(is_set(g.node(id).boundary_deadline));
+    }
+  }
+  EXPECT_LE(over_cap, g.subtask_count() / 5);
+
+  // Execution times within MET(1 ± spread).
+  for (const NodeId id : g.computation_nodes()) {
+    EXPECT_GE(g.node(id).exec_time, config.mean_exec_time * (1.0 - config.exec_spread));
+    EXPECT_LE(g.node(id).exec_time, config.mean_exec_time * (1.0 + config.exec_spread));
+  }
+
+  // Message sizes within the CCR-derived range.
+  const double mean_items = config.ccr * config.mean_exec_time;
+  for (const NodeId id : g.communication_nodes()) {
+    EXPECT_GE(g.node(id).message_items, mean_items * (1.0 - config.message_spread));
+    EXPECT_LE(g.node(id).message_items, mean_items * (1.0 + config.message_spread));
+  }
+
+  // End-to-end deadline honours the OLR against the total workload.
+  const Time deadline = 1.5 * g.total_workload();
+  for (const NodeId id : g.outputs()) {
+    EXPECT_NEAR(g.node(id).boundary_deadline, deadline, 1e-9);
+  }
+  for (const NodeId id : g.inputs()) {
+    EXPECT_DOUBLE_EQ(g.node(id).boundary_release, 0.0);
+  }
+}
+
+TEST_P(GeneratorProperty, DeterministicInSeed) {
+  RandomGraphConfig config;
+  Pcg32 rng1(GetParam());
+  Pcg32 rng2(GetParam());
+  const TaskGraph g1 = generate_random_graph(config, rng1);
+  const TaskGraph g2 = generate_random_graph(config, rng2);
+  ASSERT_EQ(g1.node_count(), g2.node_count());
+  for (const NodeId id : g1.all_nodes()) {
+    EXPECT_EQ(g1.node(id).kind, g2.node(id).kind);
+    EXPECT_DOUBLE_EQ(g1.node(id).exec_time, g2.node(id).exec_time);
+    EXPECT_DOUBLE_EQ(g1.node(id).message_items, g2.node(id).message_items);
+    EXPECT_EQ(g1.preds(id), g2.preds(id));
+    EXPECT_EQ(g1.succs(id), g2.succs(id));
+  }
+}
+
+TEST_P(GeneratorProperty, StrictFaninCapIsInviolable) {
+  RandomGraphConfig config;
+  config.strict_fanin_cap = true;
+  Pcg32 rng(GetParam());
+  const TaskGraph g = generate_random_graph(config, rng);
+  EXPECT_TRUE(validate_for_distribution(g).ok());
+  for (const NodeId id : g.computation_nodes()) {
+    EXPECT_LE(g.preds(id).size(), static_cast<std::size_t>(config.max_degree));
+  }
+}
+
+TEST_P(GeneratorProperty, CriticalPathBasisUsesLongestPath) {
+  RandomGraphConfig config;
+  config.olr_basis = OlrBasis::CriticalPath;
+  Pcg32 rng(GetParam());
+  const TaskGraph g = generate_random_graph(config, rng);
+  const Time cp = longest_path_length(g, computation_cost);
+  for (const NodeId id : g.outputs()) {
+    EXPECT_NEAR(g.node(id).boundary_deadline, 1.5 * cp, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, GeneratorProperty,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+TEST(Generator, ScenarioSpreads) {
+  EXPECT_DOUBLE_EQ(exec_spread_of(ExecSpreadScenario::LDET), 0.25);
+  EXPECT_DOUBLE_EQ(exec_spread_of(ExecSpreadScenario::MDET), 0.50);
+  EXPECT_DOUBLE_EQ(exec_spread_of(ExecSpreadScenario::HDET), 0.99);
+  EXPECT_STREQ(to_string(ExecSpreadScenario::LDET), "LDET");
+  EXPECT_STREQ(to_string(ExecSpreadScenario::MDET), "MDET");
+  EXPECT_STREQ(to_string(ExecSpreadScenario::HDET), "HDET");
+
+  RandomGraphConfig config;
+  config.set_scenario(ExecSpreadScenario::HDET);
+  EXPECT_DOUBLE_EQ(config.exec_spread, 0.99);
+}
+
+TEST(Generator, HdetProducesWiderSpreadThanLdet) {
+  auto spread_of = [](ExecSpreadScenario scenario) {
+    RandomGraphConfig config;
+    config.set_scenario(scenario);
+    Pcg32 rng(7);
+    const TaskGraph g = generate_random_graph(config, rng);
+    Time lo = kInfiniteTime;
+    Time hi = 0.0;
+    for (const NodeId id : g.computation_nodes()) {
+      lo = std::min(lo, g.node(id).exec_time);
+      hi = std::max(hi, g.node(id).exec_time);
+    }
+    return hi - lo;
+  };
+  EXPECT_GT(spread_of(ExecSpreadScenario::HDET), spread_of(ExecSpreadScenario::LDET));
+}
+
+TEST(Generator, RejectsBadConfig) {
+  Pcg32 rng(1);
+  RandomGraphConfig config;
+  config.min_subtasks = 10;
+  config.max_subtasks = 5;
+  EXPECT_THROW(generate_random_graph(config, rng), ContractViolation);
+
+  config = RandomGraphConfig{};
+  config.exec_spread = 1.0;  // would allow zero execution times
+  EXPECT_THROW(generate_random_graph(config, rng), ContractViolation);
+
+  config = RandomGraphConfig{};
+  config.level_width_alpha = 0.0;
+  EXPECT_THROW(generate_random_graph(config, rng), ContractViolation);
+}
+
+TEST(Generator, SmallGraphsWork) {
+  RandomGraphConfig config;
+  config.min_subtasks = 3;
+  config.max_subtasks = 3;
+  config.min_depth = 3;
+  config.max_depth = 3;
+  Pcg32 rng(11);
+  const TaskGraph g = generate_random_graph(config, rng);
+  EXPECT_EQ(g.subtask_count(), 3u);
+  EXPECT_EQ(depth(g), 3);
+}
+
+TEST(Generator, ZeroCcrMeansNoMessagePayload) {
+  RandomGraphConfig config;
+  config.ccr = 0.0;
+  Pcg32 rng(3);
+  const TaskGraph g = generate_random_graph(config, rng);
+  for (const NodeId id : g.communication_nodes()) {
+    EXPECT_DOUBLE_EQ(g.node(id).message_items, 0.0);
+  }
+}
+
+TEST(Generator, PinRandomFraction) {
+  RandomGraphConfig config;
+  Pcg32 rng(5);
+  TaskGraph g = generate_random_graph(config, rng);
+
+  Pcg32 pin_rng(6);
+  pin_random_fraction(g, 0.5, 4, pin_rng);
+  std::size_t pinned = 0;
+  for (const NodeId id : g.computation_nodes()) {
+    if (g.node(id).pinned.valid()) {
+      ++pinned;
+      EXPECT_LT(g.node(id).pinned.index(), 4u);
+    }
+  }
+  const auto expected =
+      static_cast<std::size_t>(0.5 * static_cast<double>(g.subtask_count()) + 0.5);
+  EXPECT_EQ(pinned, expected);
+}
+
+TEST(Generator, PinFractionZeroAndOne) {
+  RandomGraphConfig config;
+  Pcg32 rng(5);
+  TaskGraph g = generate_random_graph(config, rng);
+  Pcg32 pin_rng(6);
+  pin_random_fraction(g, 0.0, 4, pin_rng);
+  for (const NodeId id : g.computation_nodes()) {
+    EXPECT_FALSE(g.node(id).pinned.valid());
+  }
+  pin_random_fraction(g, 1.0, 2, pin_rng);
+  for (const NodeId id : g.computation_nodes()) {
+    EXPECT_TRUE(g.node(id).pinned.valid());
+  }
+}
+
+TEST(Generator, WidthAlphaShapesVariance) {
+  // Higher alpha => more uniform level widths => smaller max width.
+  auto max_width = [](double alpha) {
+    RandomGraphConfig config;
+    config.level_width_alpha = alpha;
+    double total = 0.0;
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+      Pcg32 rng(seed);
+      const TaskGraph g = generate_random_graph(config, rng);
+      const auto level = computation_levels(g);
+      std::vector<int> width(static_cast<std::size_t>(depth(g)), 0);
+      for (const NodeId id : g.computation_nodes()) {
+        width[static_cast<std::size_t>(level[id.index()])] += 1;
+      }
+      total += *std::max_element(width.begin(), width.end());
+    }
+    return total / 20.0;
+  };
+  EXPECT_GT(max_width(1.0), max_width(50.0));
+}
+
+}  // namespace
+}  // namespace feast

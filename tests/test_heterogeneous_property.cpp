@@ -1,0 +1,133 @@
+/// \file test_heterogeneous_property.cpp
+/// \brief Property sweeps combining the §8 extensions: heterogeneous
+///        machines, structured workloads, the runtime simulator and the
+///        iterative loop all validating together.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/metrics.hpp"
+#include "core/slicing.hpp"
+#include "sched/iterative.hpp"
+#include "sched/lateness.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/schedule_validate.hpp"
+#include "sim/runtime_sim.hpp"
+#include "taskgraph/generator.hpp"
+#include "taskgraph/shapes.hpp"
+#include "util/rng.hpp"
+
+namespace feast {
+namespace {
+
+Machine mixed_machine(int n_procs) {
+  Machine machine;
+  machine.n_procs = n_procs;
+  machine.speeds.resize(static_cast<std::size_t>(n_procs));
+  for (int p = 0; p < n_procs; ++p) {
+    machine.speeds[static_cast<std::size_t>(p)] = p % 2 == 0 ? 1.5 : 0.5;
+  }
+  return machine;
+}
+
+class HeterogeneousProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(HeterogeneousProperty, RandomWorkloadsValidateOnMixedSpeeds) {
+  const auto [seed, n_procs] = GetParam();
+  RandomGraphConfig config;
+  Pcg32 rng(seed);
+  const TaskGraph g = generate_random_graph(config, rng);
+  const Machine machine = mixed_machine(n_procs);
+
+  auto metric = make_adapt(n_procs);
+  const auto ccne = make_ccne();
+  const DeadlineAssignment asg = distribute_deadlines(g, *metric, *ccne);
+  const Schedule schedule = list_schedule(g, asg, machine);
+
+  const ScheduleReport report = validate_schedule(g, asg, machine, schedule);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+
+  // Every placement's duration matches its processor's speed.
+  for (const NodeId id : g.computation_nodes()) {
+    const TaskPlacement& p = schedule.placement(id);
+    EXPECT_NEAR(p.finish - p.start,
+                g.node(id).exec_time / machine.speed_of(p.proc.index()), 1e-9);
+  }
+}
+
+TEST_P(HeterogeneousProperty, RuntimeSimAgreesWithPlanOnMixedSpeeds) {
+  const auto [seed, n_procs] = GetParam();
+  RandomGraphConfig config;
+  Pcg32 rng(seed);
+  const TaskGraph g = generate_random_graph(config, rng);
+  const Machine machine = mixed_machine(n_procs);
+
+  auto metric = make_pure();
+  const auto ccne = make_ccne();
+  const DeadlineAssignment asg = distribute_deadlines(g, *metric, *ccne);
+  const Schedule plan = list_schedule(g, asg, machine);
+
+  Pcg32 sim_rng(seed);
+  const RuntimeResult result =
+      simulate_runtime(g, asg, plan, machine, RuntimeOptions{}, sim_rng);
+  EXPECT_EQ(result.lateness.count, g.subtask_count());
+  // The online dispatcher lacks gap foresight but must stay in the same
+  // ballpark as the offline plan under nominal conditions.
+  const LatenessStats offline = computation_lateness(g, asg, plan);
+  EXPECT_GE(result.lateness.max_lateness, offline.max_lateness - 1e-6);
+}
+
+TEST_P(HeterogeneousProperty, IterativeLoopValidatesOnMixedSpeeds) {
+  const auto [seed, n_procs] = GetParam();
+  RandomGraphConfig config;
+  Pcg32 rng(seed);
+  const TaskGraph g = generate_random_graph(config, rng);
+  const Machine machine = mixed_machine(n_procs);
+
+  IterativeOptions options;
+  options.max_rounds = 3;
+  auto metric = make_adapt(n_procs);
+  const auto ccne = make_ccne();
+  const IterativeResult result = iterate_distribution(g, *metric, *ccne, machine, options);
+  EXPECT_FALSE(result.history.empty());
+  const ScheduleReport report =
+      validate_schedule(g, result.assignment, machine, result.schedule,
+                        options.scheduler);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HeterogeneousProperty,
+                         ::testing::Combine(::testing::Range<std::uint64_t>(0, 5),
+                                            ::testing::Values(3, 8)));
+
+class StructuredRuntimeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StructuredRuntimeProperty, ForkJoinUnderDisturbanceStillCompletes) {
+  Pcg32 rng(GetParam());
+  ShapeConfig config;
+  const TaskGraph g = make_fork_join(3, 4, 2, config, rng);
+  Machine machine;
+  machine.n_procs = 4;
+  auto metric = make_adapt(4);
+  const auto ccne = make_ccne();
+  const DeadlineAssignment asg = distribute_deadlines(g, *metric, *ccne);
+  const Schedule plan = list_schedule(g, asg, machine);
+
+  RuntimeOptions disturbance;
+  disturbance.exec_scale_min = 0.6;
+  disturbance.exec_scale_max = 1.3;
+  disturbance.background_utilization = 0.25;
+  disturbance.preemptive = GetParam() % 2 == 0;
+  Pcg32 sim_rng(GetParam() + 100);
+  const RuntimeResult result =
+      simulate_runtime(g, asg, plan, machine, disturbance, sim_rng);
+  EXPECT_EQ(result.lateness.count, g.subtask_count());
+  EXPECT_GT(result.makespan, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, StructuredRuntimeProperty,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+}  // namespace
+}  // namespace feast

@@ -1,0 +1,162 @@
+/// \file test_integration.cpp
+/// \brief End-to-end regression tests pinning the paper's headline claims.
+///
+/// Each test runs a reduced-sample version of a paper experiment and
+/// asserts the *qualitative* finding the paper reports.  Sample counts are
+/// kept small for CI speed but large enough that the effects (which are
+/// strong) are stable under the fixed seed.
+#include <gtest/gtest.h>
+
+#include "experiment/figures.hpp"
+#include "experiment/sweep.hpp"
+
+namespace feast {
+namespace {
+
+BatchConfig quick_batch(int samples = 24) {
+  BatchConfig batch;
+  batch.samples = samples;
+  batch.seed = 0xFEA57u;
+  return batch;
+}
+
+double mean_max_lateness(const RandomGraphConfig& workload, const Strategy& strategy,
+                         int n_procs, const BatchConfig& batch) {
+  return run_cell(workload, strategy, n_procs, batch).max_lateness.mean;
+}
+
+// Paper §6, Figure 2: lateness improves with system size, then saturates.
+TEST(PaperClaims, LatenessImprovesWithSystemSizeThenSaturates) {
+  const BatchConfig batch = quick_batch();
+  const RandomGraphConfig workload = paper_workload(ExecSpreadScenario::MDET);
+  const Strategy pure = strategy_pure(EstimatorKind::CCNE);
+
+  const double at2 = mean_max_lateness(workload, pure, 2, batch);
+  const double at8 = mean_max_lateness(workload, pure, 8, batch);
+  const double at14 = mean_max_lateness(workload, pure, 14, batch);
+  const double at16 = mean_max_lateness(workload, pure, 16, batch);
+
+  EXPECT_GT(at2, at8);    // strong improvement in the linear region
+  EXPECT_GT(at8, at16);   // still improving
+  // Saturation: the 14 -> 16 step is tiny relative to the 2 -> 8 drop.
+  EXPECT_LT(std::abs(at16 - at14), 0.1 * std::abs(at8 - at2));
+}
+
+// Paper §6: CCNE beats CCAA — never assuming communication cost leaves the
+// maximum slack pool for distribution.
+TEST(PaperClaims, CcneBeatsCcaa) {
+  const BatchConfig batch = quick_batch();
+  const RandomGraphConfig workload = paper_workload(ExecSpreadScenario::MDET);
+  for (const int n : {2, 8, 16}) {
+    const double ccne =
+        mean_max_lateness(workload, strategy_pure(EstimatorKind::CCNE), n, batch);
+    const double ccaa =
+        mean_max_lateness(workload, strategy_pure(EstimatorKind::CCAA), n, batch);
+    EXPECT_LT(ccne, ccaa) << "N=" << n;
+  }
+}
+
+// Paper §6: PURE saturates better than NORM, and NORM's deficit grows with
+// the execution-time spread (short subtasks are starved of slack).
+TEST(PaperClaims, PureBeatsNormAtSaturationAndGapGrowsWithSpread) {
+  const BatchConfig batch = quick_batch();
+  double gap_ldet = 0.0;
+  double gap_hdet = 0.0;
+  for (const auto& [scenario, gap] :
+       {std::pair{ExecSpreadScenario::LDET, &gap_ldet},
+        std::pair{ExecSpreadScenario::HDET, &gap_hdet}}) {
+    const RandomGraphConfig workload = paper_workload(scenario);
+    const double pure =
+        mean_max_lateness(workload, strategy_pure(EstimatorKind::CCNE), 16, batch);
+    const double norm =
+        mean_max_lateness(workload, strategy_norm(EstimatorKind::CCNE), 16, batch);
+    EXPECT_LT(pure, norm) << to_string(scenario);
+    *gap = norm - pure;
+  }
+  EXPECT_GT(gap_hdet, gap_ldet);
+}
+
+// Paper §7, Figure 3: a larger surplus factor helps small systems but is
+// detrimental at saturation (Δ = 4 vs Δ = 1).
+TEST(PaperClaims, SurplusFactorTradeoff) {
+  const BatchConfig batch = quick_batch();
+  const RandomGraphConfig workload = paper_workload(ExecSpreadScenario::MDET);
+  const Strategy d1 = strategy_thres(1.0, 1.25);
+  const Strategy d4 = strategy_thres(4.0, 1.25);
+
+  EXPECT_LT(mean_max_lateness(workload, d4, 2, batch),
+            mean_max_lateness(workload, d1, 2, batch));
+  EXPECT_GT(mean_max_lateness(workload, d4, 16, batch),
+            mean_max_lateness(workload, d1, 16, batch));
+}
+
+// Paper §7, Figure 4: the threshold choice is secondary — ±25% around MET
+// moves saturation lateness only a few percent (we allow 15%).
+TEST(PaperClaims, ThresholdChoiceIsSecondary) {
+  const BatchConfig batch = quick_batch();
+  const RandomGraphConfig workload = paper_workload(ExecSpreadScenario::MDET);
+  const double lo =
+      mean_max_lateness(workload, strategy_thres(1.0, 0.75), 16, batch);
+  const double hi =
+      mean_max_lateness(workload, strategy_thres(1.0, 1.25), 16, batch);
+  EXPECT_LT(std::abs(hi - lo), 0.15 * std::abs(lo));
+}
+
+// Paper §7, Figure 5: ADAPT strongly beats PURE on small systems (the
+// paper reports up to 100%), converges to PURE on large systems, and beats
+// THRES at saturation.
+TEST(PaperClaims, AdaptDominatesSmallSystemsAndConverges) {
+  const BatchConfig batch = quick_batch();
+  for (const ExecSpreadScenario scenario :
+       {ExecSpreadScenario::MDET, ExecSpreadScenario::HDET}) {
+    const RandomGraphConfig workload = paper_workload(scenario);
+    const Strategy pure = strategy_pure(EstimatorKind::CCNE);
+    const Strategy thres = strategy_thres(1.0, 1.25);
+    const Strategy adapt = strategy_adapt(1.25);
+
+    const double pure2 = mean_max_lateness(workload, pure, 2, batch);
+    const double adapt2 = mean_max_lateness(workload, adapt, 2, batch);
+    // ADAPT at least 50% better (more negative) at N=2.
+    EXPECT_LT(adapt2, 1.5 * pure2) << to_string(scenario);
+
+    const double pure16 = mean_max_lateness(workload, pure, 16, batch);
+    const double adapt16 = mean_max_lateness(workload, adapt, 16, batch);
+    const double thres16 = mean_max_lateness(workload, thres, 16, batch);
+    // Converged within 10% of PURE at N=16...
+    EXPECT_LT(std::abs(adapt16 - pure16), 0.10 * std::abs(pure16))
+        << to_string(scenario);
+    // ...and better than the fixed-surplus THRES there.
+    EXPECT_LT(adapt16, thres16) << to_string(scenario);
+  }
+}
+
+// Paper §7: THRES also beats PURE on small systems but falls behind as the
+// system grows — the motivation for the adaptive surplus.
+TEST(PaperClaims, ThresHelpsSmallHurtsLarge) {
+  const BatchConfig batch = quick_batch();
+  const RandomGraphConfig workload = paper_workload(ExecSpreadScenario::MDET);
+  const Strategy pure = strategy_pure(EstimatorKind::CCNE);
+  const Strategy thres = strategy_thres(1.0, 1.25);
+
+  EXPECT_LT(mean_max_lateness(workload, thres, 2, batch),
+            mean_max_lateness(workload, pure, 2, batch));
+  EXPECT_GT(mean_max_lateness(workload, thres, 16, batch),
+            mean_max_lateness(workload, pure, 16, batch));
+}
+
+// FEAST extension: the slicing strategies beat PROP, the one baseline
+// whose windows — like slicing's — partition the end-to-end interval
+// (UD/ED hand every subtask a maximal overlapping window, which makes the
+// max-lateness metric vacuous for them).
+TEST(PaperClaims, SlicingBeatsProportionalBaseline) {
+  const BatchConfig batch = quick_batch(16);
+  const RandomGraphConfig workload = paper_workload(ExecSpreadScenario::MDET);
+  for (const int n : {2, 16}) {
+    const double adapt = mean_max_lateness(workload, strategy_adapt(1.25), n, batch);
+    const double prop = mean_max_lateness(workload, strategy_proportional(), n, batch);
+    EXPECT_LT(adapt, prop) << "N=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace feast

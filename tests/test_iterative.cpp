@@ -1,0 +1,193 @@
+/// \file test_iterative.cpp
+/// \brief Tests for assignment-aware estimation and the iterative
+///        redistribution loop.
+#include <gtest/gtest.h>
+
+#include "core/comm_estimator.hpp"
+#include "core/metrics.hpp"
+#include "core/slicing.hpp"
+#include "sched/iterative.hpp"
+#include "sched/schedule_validate.hpp"
+#include "taskgraph/generator.hpp"
+#include "util/rng.hpp"
+
+namespace feast {
+namespace {
+
+struct Fixture {
+  TaskGraph g;
+  NodeId a, b, c, ab, bc;
+
+  Fixture() {
+    a = g.add_subtask("a", 10.0);
+    b = g.add_subtask("b", 20.0);
+    c = g.add_subtask("c", 30.0);
+    ab = g.add_precedence(a, b, 6.0);
+    bc = g.add_precedence(b, c, 9.0);
+    g.set_boundary_release(a, 0.0);
+    g.set_boundary_deadline(c, 120.0);
+  }
+};
+
+TEST(AssignmentAware, ExactWhenBothEndpointsKnown) {
+  Fixture f;
+  std::vector<ProcId> placement(f.g.node_count());
+  placement[f.a.index()] = ProcId(0);
+  placement[f.b.index()] = ProcId(0);  // co-located with a
+  placement[f.c.index()] = ProcId(1);  // across the bus from b
+  const auto ccaa = make_ccaa();
+  const AssignmentAwareEstimator estimator(placement, *ccaa, /*time_per_item=*/2.0);
+
+  EXPECT_DOUBLE_EQ(estimator.estimate(f.g, f.ab), 0.0);    // same processor
+  EXPECT_DOUBLE_EQ(estimator.estimate(f.g, f.bc), 18.0);   // 9 items x 2
+  EXPECT_EQ(estimator.name(), "ASSIGN(CCAA)");
+  EXPECT_DOUBLE_EQ(estimator.coverage(f.g), 1.0);
+}
+
+TEST(AssignmentAware, FallsBackWhenUnknown) {
+  Fixture f;
+  std::vector<ProcId> placement(f.g.node_count());
+  placement[f.a.index()] = ProcId(0);  // b and c unknown
+  const auto ccaa = make_ccaa();
+  const AssignmentAwareEstimator estimator(placement, *ccaa);
+  EXPECT_DOUBLE_EQ(estimator.estimate(f.g, f.ab), 6.0);  // fallback: CCAA
+  const auto ccne = make_ccne();
+  const AssignmentAwareEstimator pessimist(placement, *ccne);
+  EXPECT_DOUBLE_EQ(pessimist.estimate(f.g, f.ab), 0.0);  // fallback: CCNE
+  EXPECT_NEAR(estimator.coverage(f.g), 1.0 / 3.0, 1e-12);
+}
+
+TEST(AssignmentAware, PinnedPlacementReflectsPins) {
+  Fixture f;
+  f.g.pin(f.a, ProcId(2));
+  const std::vector<ProcId> placement = pinned_placement(f.g);
+  EXPECT_EQ(placement[f.a.index()], ProcId(2));
+  EXPECT_FALSE(placement[f.b.index()].valid());
+}
+
+TEST(AssignmentAware, SizeMismatchRejected) {
+  Fixture f;
+  const auto ccne = make_ccne();
+  const AssignmentAwareEstimator estimator(std::vector<ProcId>(2), *ccne);
+  EXPECT_THROW(estimator.estimate(f.g, f.ab), ContractViolation);
+}
+
+TEST(AssignmentAware, FullKnowledgeMatchesDirectComputation) {
+  // Distribution with a complete placement must treat the graph exactly as
+  // BST's strict-locality setting: the a->b message is free, b->c costs 9.
+  Fixture f;
+  std::vector<ProcId> placement(f.g.node_count());
+  placement[f.a.index()] = ProcId(0);
+  placement[f.b.index()] = ProcId(0);
+  placement[f.c.index()] = ProcId(1);
+  const auto ccne = make_ccne();
+  const AssignmentAwareEstimator oracle(placement, *ccne, 1.0);
+
+  auto metric = make_pure();
+  const DeadlineAssignment asg = distribute_deadlines(f.g, *metric, oracle);
+  // Effective path: 10 + 20 + 9 + 30 over 4 hops; R = (120-69)/4 = 12.75.
+  EXPECT_NEAR(asg.rel_deadline(f.ab), 0.0, 1e-9);
+  EXPECT_NEAR(asg.rel_deadline(f.bc), 9.0 + 12.75, 1e-9);
+  EXPECT_NEAR(asg.rel_deadline(f.a), 22.75, 1e-9);
+}
+
+TEST(Iterative, SingleRoundEqualsDirectPipeline) {
+  RandomGraphConfig config;
+  Pcg32 rng(3);
+  const TaskGraph g = generate_random_graph(config, rng);
+  const auto ccne = make_ccne();
+  Machine machine;
+  machine.n_procs = 4;
+
+  IterativeOptions options;
+  options.max_rounds = 1;
+  auto metric = make_adapt(4);
+  const IterativeResult iterated =
+      iterate_distribution(g, *metric, *ccne, machine, options);
+
+  auto metric2 = make_adapt(4);
+  const DeadlineAssignment direct = distribute_deadlines(g, *metric2, *ccne);
+  const Schedule direct_schedule = list_schedule(g, direct, machine);
+  const LatenessStats direct_stats = computation_lateness(g, direct, direct_schedule);
+
+  ASSERT_EQ(iterated.history.size(), 1u);
+  EXPECT_DOUBLE_EQ(iterated.lateness.max_lateness, direct_stats.max_lateness);
+  EXPECT_EQ(iterated.best_round, 0);
+}
+
+class IterativeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IterativeProperty, NeverWorseThanRoundZeroAndValid) {
+  RandomGraphConfig config;
+  Pcg32 rng(GetParam());
+  const TaskGraph g = generate_random_graph(config, rng);
+  const auto ccne = make_ccne();
+  Machine machine;
+  machine.n_procs = 3;
+
+  IterativeOptions options;
+  options.max_rounds = 4;
+  auto metric = make_pure();
+  const IterativeResult result = iterate_distribution(g, *metric, *ccne, machine, options);
+
+  ASSERT_FALSE(result.history.empty());
+  EXPECT_LE(result.lateness.max_lateness, result.history.front() + kTimeEps);
+  EXPECT_DOUBLE_EQ(result.lateness.max_lateness,
+                   result.history[static_cast<std::size_t>(result.best_round)]);
+  EXPECT_LE(result.history.size(), 4u);
+
+  // The winning schedule validates.
+  const ScheduleReport report =
+      validate_schedule(g, result.assignment, machine, result.schedule,
+                        options.scheduler);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST_P(IterativeProperty, DeterministicAcrossCalls) {
+  RandomGraphConfig config;
+  Pcg32 rng(GetParam());
+  const TaskGraph g = generate_random_graph(config, rng);
+  const auto ccne = make_ccne();
+  Machine machine;
+  machine.n_procs = 5;
+  IterativeOptions options;
+  options.max_rounds = 3;
+
+  auto m1 = make_adapt(5);
+  auto m2 = make_adapt(5);
+  const IterativeResult r1 = iterate_distribution(g, *m1, *ccne, machine, options);
+  const IterativeResult r2 = iterate_distribution(g, *m2, *ccne, machine, options);
+  EXPECT_EQ(r1.history, r2.history);
+  EXPECT_EQ(r1.best_round, r2.best_round);
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, IterativeProperty,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(Iterative, RespectsMaxRounds) {
+  Fixture f;
+  const auto ccne = make_ccne();
+  Machine machine;
+  machine.n_procs = 2;
+  IterativeOptions options;
+  options.max_rounds = 3;
+  options.stop_when_stalled = false;
+  auto metric = make_pure();
+  const IterativeResult result =
+      iterate_distribution(f.g, *metric, *ccne, machine, options);
+  EXPECT_EQ(result.history.size(), 3u);
+}
+
+TEST(Iterative, RejectsBadOptions) {
+  Fixture f;
+  const auto ccne = make_ccne();
+  Machine machine;
+  IterativeOptions options;
+  options.max_rounds = 0;
+  auto metric = make_pure();
+  EXPECT_THROW(iterate_distribution(f.g, *metric, *ccne, machine, options),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace feast

@@ -1,0 +1,112 @@
+/// \file test_lateness.cpp
+/// \brief Unit tests for lateness/laxity analysis and the Gantt renderers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sched/gantt.hpp"
+#include "sched/lateness.hpp"
+#include "taskgraph/task_graph.hpp"
+
+namespace feast {
+namespace {
+
+/// a(10) -> b(20); windows a[0,15], b[15,40]; end-to-end deadline 45.
+struct Fixture {
+  TaskGraph g;
+  NodeId a, b, comm;
+  DeadlineAssignment asg;
+  Machine machine;
+
+  Fixture() {
+    a = g.add_subtask("a", 10.0);
+    b = g.add_subtask("b", 20.0);
+    comm = g.add_precedence(a, b, 4.0);
+    g.set_boundary_release(a, 0.0);
+    g.set_boundary_deadline(b, 45.0);
+    asg = DeadlineAssignment(g);
+    asg.assign(a, 0.0, 15.0, 0);
+    asg.assign(b, 15.0, 25.0, 0);
+    asg.assign(comm, 15.0, 0.0, 0);
+    machine.n_procs = 2;
+  }
+};
+
+TEST(Lateness, PerSubtaskAndStats) {
+  Fixture f;
+  Schedule s(f.g, f.machine);
+  s.place(f.a, ProcId(0), 0.0, 10.0);      // lateness -5 vs deadline 15
+  s.record_transfer(f.comm, 10.0, 10.0, false);
+  s.place(f.b, ProcId(0), 22.0, 42.0);     // lateness +2 vs deadline 40
+
+  EXPECT_DOUBLE_EQ(lateness_of(f.asg, s, f.a), -5.0);
+  EXPECT_DOUBLE_EQ(lateness_of(f.asg, s, f.b), 2.0);
+
+  const LatenessStats stats = computation_lateness(f.g, f.asg, s);
+  EXPECT_DOUBLE_EQ(stats.max_lateness, 2.0);
+  EXPECT_EQ(stats.argmax, f.b);
+  EXPECT_DOUBLE_EQ(stats.mean_lateness, -1.5);
+  EXPECT_EQ(stats.missed, 1u);
+  EXPECT_EQ(stats.count, 2u);
+  EXPECT_FALSE(stats.feasible());
+
+  // End-to-end: b finishes at 42, boundary deadline 45.
+  EXPECT_DOUBLE_EQ(end_to_end_lateness(f.g, s), -3.0);
+}
+
+TEST(Lateness, FeasibleSchedule) {
+  Fixture f;
+  Schedule s(f.g, f.machine);
+  s.place(f.a, ProcId(0), 0.0, 10.0);
+  s.record_transfer(f.comm, 10.0, 10.0, false);
+  s.place(f.b, ProcId(0), 15.0, 35.0);
+  const LatenessStats stats = computation_lateness(f.g, f.asg, s);
+  EXPECT_TRUE(stats.feasible());
+  EXPECT_DOUBLE_EQ(stats.max_lateness, -5.0);
+}
+
+TEST(Gantt, AsciiChartShowsRowsAndBus) {
+  Fixture f;
+  Schedule s(f.g, f.machine);
+  s.place(f.a, ProcId(0), 0.0, 10.0);
+  s.record_transfer(f.comm, 10.0, 14.0, true);
+  s.place(f.b, ProcId(1), 15.0, 35.0);
+
+  const std::string chart = gantt_to_string(f.g, s);
+  EXPECT_NE(chart.find("makespan = 35"), std::string::npos);
+  EXPECT_NE(chart.find("P0 |"), std::string::npos);
+  EXPECT_NE(chart.find("P1 |"), std::string::npos);
+  EXPECT_NE(chart.find("bus|"), std::string::npos);  // crossing transfer row
+  EXPECT_NE(chart.find("a=a"), std::string::npos);   // legend
+}
+
+TEST(Gantt, NoBusRowWhenAllLocal) {
+  Fixture f;
+  Schedule s(f.g, f.machine);
+  s.place(f.a, ProcId(0), 0.0, 10.0);
+  s.record_transfer(f.comm, 10.0, 10.0, false);
+  s.place(f.b, ProcId(0), 15.0, 35.0);
+  const std::string chart = gantt_to_string(f.g, s);
+  EXPECT_EQ(chart.find("bus|"), std::string::npos);
+}
+
+TEST(Gantt, CsvHasHeaderAndRows) {
+  Fixture f;
+  Schedule s(f.g, f.machine);
+  s.place(f.a, ProcId(0), 0.0, 10.0);
+  s.record_transfer(f.comm, 10.0, 14.0, true);
+  s.place(f.b, ProcId(1), 15.0, 35.0);
+
+  std::ostringstream out;
+  write_schedule_csv(out, f.g, f.asg, s);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("kind,name,proc,start,finish,release,abs_deadline,lateness"),
+            std::string::npos);
+  EXPECT_NE(csv.find("computation,a,P0,0,10,0,15,-5"), std::string::npos);
+  EXPECT_NE(csv.find("communication,a->b,bus,10,14"), std::string::npos);
+  // 1 header + 2 computation + 1 communication.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+}
+
+}  // namespace
+}  // namespace feast

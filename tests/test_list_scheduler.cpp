@@ -1,0 +1,462 @@
+/// \file test_list_scheduler.cpp
+/// \brief Tests for the deadline-driven list scheduler: hand-computed
+///        schedules for each policy knob, plus validation sweeps over
+///        random workloads.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/metrics.hpp"
+#include "core/slicing.hpp"
+#include "sched/lateness.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/schedule_validate.hpp"
+#include "taskgraph/generator.hpp"
+#include "util/rng.hpp"
+
+namespace feast {
+namespace {
+
+/// Builds a complete manual assignment: computation nodes from the list,
+/// communication nodes as zero-width windows at their producer's deadline.
+DeadlineAssignment manual_assignment(
+    const TaskGraph& g, const std::vector<std::tuple<NodeId, Time, Time>>& windows) {
+  DeadlineAssignment asg(g);
+  for (const auto& [id, release, rel_deadline] : windows) {
+    asg.assign(id, release, rel_deadline, 0);
+  }
+  for (const NodeId comm : g.communication_nodes()) {
+    asg.assign(comm, asg.abs_deadline(g.comm_source(comm)), 0.0, 0);
+  }
+  return asg;
+}
+
+TEST(ListScheduler, ChainRespectsReleaseTimes) {
+  TaskGraph g;
+  const NodeId a = g.add_subtask("a", 10.0);
+  const NodeId b = g.add_subtask("b", 10.0);
+  g.add_precedence(a, b, 0.0);
+  const DeadlineAssignment asg =
+      manual_assignment(g, {{a, 0.0, 20.0}, {b, 20.0, 20.0}});
+
+  Machine machine;
+  machine.n_procs = 1;
+  const Schedule s = list_schedule(g, asg, machine);
+
+  // Time-driven: b waits for its release even though a finishes at 10.
+  EXPECT_DOUBLE_EQ(s.placement(a).start, 0.0);
+  EXPECT_DOUBLE_EQ(s.placement(b).start, 20.0);
+  require_valid(validate_schedule(g, asg, machine, s));
+}
+
+TEST(ListScheduler, EagerStartsWhenReady) {
+  TaskGraph g;
+  const NodeId a = g.add_subtask("a", 10.0);
+  const NodeId b = g.add_subtask("b", 10.0);
+  g.add_precedence(a, b, 0.0);
+  const DeadlineAssignment asg =
+      manual_assignment(g, {{a, 0.0, 20.0}, {b, 50.0, 20.0}});
+
+  Machine machine;
+  machine.n_procs = 1;
+  SchedulerOptions options;
+  options.release_policy = ReleasePolicy::Eager;
+  const Schedule s = list_schedule(g, asg, machine, options);
+  EXPECT_DOUBLE_EQ(s.placement(b).start, 10.0);
+  require_valid(validate_schedule(g, asg, machine, s, options));
+}
+
+TEST(ListScheduler, EagerStillHonoursBoundaryRelease) {
+  TaskGraph g;
+  const NodeId a = g.add_subtask("a", 10.0);
+  g.set_boundary_release(a, 30.0);
+  DeadlineAssignment asg(g);
+  asg.assign(a, 40.0, 20.0, 0);  // window later than the physical release
+
+  Machine machine;
+  machine.n_procs = 1;
+  SchedulerOptions options;
+  options.release_policy = ReleasePolicy::Eager;
+  const Schedule s = list_schedule(g, asg, machine, options);
+  // Eager ignores the assigned window but not the input's availability.
+  EXPECT_DOUBLE_EQ(s.placement(a).start, 30.0);
+}
+
+TEST(ListScheduler, EdfOrdersContendingTasks) {
+  TaskGraph g;
+  const NodeId late = g.add_subtask("late", 10.0);
+  const NodeId urgent = g.add_subtask("urgent", 10.0);
+  const DeadlineAssignment asg =
+      manual_assignment(g, {{late, 0.0, 100.0}, {urgent, 0.0, 15.0}});
+
+  Machine machine;
+  machine.n_procs = 1;
+  const Schedule s = list_schedule(g, asg, machine);
+  // EDF: urgent (D=15) runs before late (D=100).
+  EXPECT_DOUBLE_EQ(s.placement(urgent).start, 0.0);
+  EXPECT_DOUBLE_EQ(s.placement(late).start, 10.0);
+}
+
+TEST(ListScheduler, FifoOrdersByRelease) {
+  TaskGraph g;
+  const NodeId second = g.add_subtask("second", 10.0);
+  const NodeId first = g.add_subtask("first", 10.0);
+  // 'second' has the earlier deadline but the later release.
+  const DeadlineAssignment asg =
+      manual_assignment(g, {{second, 5.0, 10.0}, {first, 0.0, 100.0}});
+
+  Machine machine;
+  machine.n_procs = 1;
+  SchedulerOptions options;
+  options.selection = SelectionPolicy::Fifo;
+  const Schedule s = list_schedule(g, asg, machine, options);
+  EXPECT_DOUBLE_EQ(s.placement(first).start, 0.0);
+  EXPECT_DOUBLE_EQ(s.placement(second).start, 10.0);
+}
+
+TEST(ListScheduler, StaticLaxityOrdersByTightness) {
+  TaskGraph g;
+  const NodeId roomy = g.add_subtask("roomy", 10.0);   // laxity 90
+  const NodeId tight = g.add_subtask("tight", 20.0);   // laxity 5
+  const DeadlineAssignment asg =
+      manual_assignment(g, {{roomy, 0.0, 100.0}, {tight, 0.0, 25.0}});
+
+  Machine machine;
+  machine.n_procs = 1;
+  SchedulerOptions options;
+  options.selection = SelectionPolicy::StaticLaxity;
+  const Schedule s = list_schedule(g, asg, machine, options);
+  EXPECT_DOUBLE_EQ(s.placement(tight).start, 0.0);
+  EXPECT_DOUBLE_EQ(s.placement(roomy).start, 20.0);
+}
+
+TEST(ListScheduler, PinnedSubtaskStaysPut) {
+  TaskGraph g;
+  const NodeId blocker = g.add_subtask("blocker", 50.0);
+  const NodeId pinned = g.add_subtask("pinned", 10.0);
+  g.pin(blocker, ProcId(0));
+  g.pin(pinned, ProcId(0));  // must queue behind blocker despite P1 being free
+  const DeadlineAssignment asg =
+      manual_assignment(g, {{blocker, 0.0, 60.0}, {pinned, 0.0, 70.0}});
+
+  Machine machine;
+  machine.n_procs = 2;
+  const Schedule s = list_schedule(g, asg, machine);
+  EXPECT_EQ(s.placement(pinned).proc, ProcId(0));
+  EXPECT_DOUBLE_EQ(s.placement(pinned).start, 50.0);
+  require_valid(validate_schedule(g, asg, machine, s));
+}
+
+TEST(ListScheduler, PinOutsideMachineRejected) {
+  TaskGraph g;
+  const NodeId a = g.add_subtask("a", 1.0);
+  g.pin(a, ProcId(5));
+  const DeadlineAssignment asg = manual_assignment(g, {{a, 0.0, 10.0}});
+  Machine machine;
+  machine.n_procs = 2;
+  EXPECT_THROW(list_schedule(g, asg, machine), ContractViolation);
+}
+
+TEST(ListScheduler, CrossProcessorMessageDelays) {
+  TaskGraph g;
+  const NodeId prod = g.add_subtask("prod", 10.0);
+  const NodeId cons = g.add_subtask("cons", 10.0);
+  const NodeId comm = g.add_precedence(prod, cons, 8.0);
+  g.pin(prod, ProcId(0));
+  g.pin(cons, ProcId(1));
+  const DeadlineAssignment asg =
+      manual_assignment(g, {{prod, 0.0, 15.0}, {cons, 10.0, 30.0}});
+
+  Machine machine;
+  machine.n_procs = 2;
+  const Schedule s = list_schedule(g, asg, machine);
+  // Message: departs at 10, 8 units on the bus, arrives 18.
+  EXPECT_DOUBLE_EQ(s.placement(cons).start, 18.0);
+  EXPECT_TRUE(s.transfer(comm).crossed_bus);
+  EXPECT_DOUBLE_EQ(s.transfer(comm).start, 10.0);
+  EXPECT_DOUBLE_EQ(s.transfer(comm).finish, 18.0);
+  require_valid(validate_schedule(g, asg, machine, s));
+}
+
+TEST(ListScheduler, CoLocatedMessageIsFree) {
+  TaskGraph g;
+  const NodeId prod = g.add_subtask("prod", 10.0);
+  const NodeId cons = g.add_subtask("cons", 10.0);
+  const NodeId comm = g.add_precedence(prod, cons, 8.0);
+  g.pin(prod, ProcId(0));
+  g.pin(cons, ProcId(0));
+  const DeadlineAssignment asg =
+      manual_assignment(g, {{prod, 0.0, 15.0}, {cons, 0.0, 30.0}});
+
+  Machine machine;
+  machine.n_procs = 2;
+  const Schedule s = list_schedule(g, asg, machine);
+  EXPECT_DOUBLE_EQ(s.placement(cons).start, 10.0);
+  EXPECT_FALSE(s.transfer(comm).crossed_bus);
+  EXPECT_DOUBLE_EQ(s.transfer(comm).finish - s.transfer(comm).start, 0.0);
+}
+
+TEST(ListScheduler, PrefersProcessorAvoidingCommunication) {
+  // With the producer on P0 and both processors free, the consumer's
+  // earliest start is on P0 (no transfer).
+  TaskGraph g;
+  const NodeId prod = g.add_subtask("prod", 10.0);
+  const NodeId cons = g.add_subtask("cons", 10.0);
+  g.add_precedence(prod, cons, 8.0);
+  g.pin(prod, ProcId(0));
+  const DeadlineAssignment asg =
+      manual_assignment(g, {{prod, 0.0, 15.0}, {cons, 0.0, 40.0}});
+
+  Machine machine;
+  machine.n_procs = 2;
+  const Schedule s = list_schedule(g, asg, machine);
+  EXPECT_EQ(s.placement(cons).proc, ProcId(0));
+  EXPECT_DOUBLE_EQ(s.placement(cons).start, 10.0);
+}
+
+TEST(ListScheduler, GapSearchBackfillsShortTasks) {
+  TaskGraph g;
+  const NodeId a = g.add_subtask("a", 10.0);
+  const NodeId b = g.add_subtask("b", 10.0);
+  const NodeId c = g.add_subtask("c", 5.0);
+  // EDF order a (D=10), b (D=30), c (D=40); b's release leaves [10,20] idle.
+  const DeadlineAssignment asg = manual_assignment(
+      g, {{a, 0.0, 10.0}, {b, 20.0, 10.0}, {c, 0.0, 40.0}});
+
+  Machine machine;
+  machine.n_procs = 1;
+  SchedulerOptions gap;
+  gap.processor_policy = ProcessorPolicy::GapSearch;
+  const Schedule with_gap = list_schedule(g, asg, machine, gap);
+  EXPECT_DOUBLE_EQ(with_gap.placement(c).start, 10.0);  // backfilled
+  require_valid(validate_schedule(g, asg, machine, with_gap, gap));
+
+  SchedulerOptions queue;
+  queue.processor_policy = ProcessorPolicy::QueueAtEnd;
+  const Schedule no_gap = list_schedule(g, asg, machine, queue);
+  EXPECT_DOUBLE_EQ(no_gap.placement(c).start, 30.0);  // appended
+  require_valid(validate_schedule(g, asg, machine, no_gap, queue));
+}
+
+TEST(ListScheduler, GapTooSmallForLongTask) {
+  TaskGraph g;
+  const NodeId a = g.add_subtask("a", 10.0);
+  const NodeId b = g.add_subtask("b", 10.0);
+  const NodeId c = g.add_subtask("c", 15.0);  // does not fit the [10,20] hole
+  const DeadlineAssignment asg = manual_assignment(
+      g, {{a, 0.0, 10.0}, {b, 20.0, 10.0}, {c, 0.0, 60.0}});
+
+  Machine machine;
+  machine.n_procs = 1;
+  const Schedule s = list_schedule(g, asg, machine);
+  EXPECT_DOUBLE_EQ(s.placement(c).start, 30.0);
+}
+
+TEST(ListScheduler, SharedBusSerializesTransfers) {
+  TaskGraph g;
+  const NodeId p1 = g.add_subtask("p1", 10.0);
+  const NodeId p2 = g.add_subtask("p2", 10.0);
+  const NodeId c1 = g.add_subtask("c1", 5.0);
+  const NodeId c2 = g.add_subtask("c2", 5.0);
+  g.add_precedence(p1, c1, 10.0);
+  g.add_precedence(p2, c2, 10.0);
+  g.pin(p1, ProcId(0));
+  g.pin(p2, ProcId(1));
+  g.pin(c1, ProcId(2));
+  g.pin(c2, ProcId(2));
+  const DeadlineAssignment asg = manual_assignment(
+      g, {{p1, 0.0, 12.0}, {p2, 0.0, 12.0}, {c1, 0.0, 50.0}, {c2, 0.0, 60.0}});
+
+  Machine contention_free;
+  contention_free.n_procs = 3;
+  const Schedule cf = list_schedule(g, asg, contention_free);
+  // Both messages travel concurrently: both consumers could start at 20;
+  // they share P2, so one queues for the processor only.
+  const Time cf_first = std::min(cf.placement(c1).start, cf.placement(c2).start);
+  EXPECT_DOUBLE_EQ(cf_first, 20.0);
+
+  Machine shared_bus = contention_free;
+  shared_bus.contention = CommContention::SharedBus;
+  const Schedule sb = list_schedule(g, asg, shared_bus);
+  // Transfers serialize: [10,20] and [20,30].
+  const Time t1 = sb.placement(c1).start;
+  const Time t2 = sb.placement(c2).start;
+  EXPECT_DOUBLE_EQ(std::min(t1, t2), 20.0);
+  EXPECT_DOUBLE_EQ(std::max(t1, t2), 30.0);
+  SchedulerOptions options;
+  require_valid(validate_schedule(g, asg, shared_bus, sb, options));
+}
+
+TEST(ListScheduler, PointToPointLinksSerializePerPair) {
+  // Two producers on P0 feed two consumers on P2, and one producer on P1
+  // feeds a consumer on P3.  Under point-to-point links the two (P0,P2)
+  // transfers serialize while the (P1,P3) transfer rides its own link.
+  TaskGraph g;
+  const NodeId p1 = g.add_subtask("p1", 10.0);
+  const NodeId p2 = g.add_subtask("p2", 10.0);
+  const NodeId p3 = g.add_subtask("p3", 10.0);
+  const NodeId c1 = g.add_subtask("c1", 5.0);
+  const NodeId c2 = g.add_subtask("c2", 5.0);
+  const NodeId c3 = g.add_subtask("c3", 5.0);
+  g.add_precedence(p1, c1, 10.0);
+  g.add_precedence(p2, c2, 10.0);
+  g.add_precedence(p3, c3, 10.0);
+  g.pin(p1, ProcId(0));
+  g.pin(p2, ProcId(0));
+  g.pin(p3, ProcId(1));
+  g.pin(c1, ProcId(2));
+  g.pin(c2, ProcId(2));
+  g.pin(c3, ProcId(3));
+  const DeadlineAssignment asg = manual_assignment(
+      g, {{p1, 0.0, 12.0}, {p2, 0.0, 30.0}, {p3, 0.0, 12.0},
+          {c1, 0.0, 60.0}, {c2, 0.0, 70.0}, {c3, 0.0, 60.0}});
+
+  Machine machine;
+  machine.n_procs = 4;
+  machine.contention = CommContention::PointToPointLinks;
+  const Schedule s = list_schedule(g, asg, machine);
+
+  // p1 [0,10] then p2 [10,20] on P0.  (P0,P2) link: [10,20] and [20,30].
+  EXPECT_DOUBLE_EQ(s.placement(c1).start, 20.0);
+  EXPECT_DOUBLE_EQ(s.placement(c2).start, 30.0);
+  // (P1,P3) link is independent: message [10,20], c3 starts at 20.
+  EXPECT_DOUBLE_EQ(s.placement(c3).start, 20.0);
+  require_valid(validate_schedule(g, asg, machine, s));
+}
+
+TEST(ListScheduler, HeterogeneousSpeedsScaleExecution) {
+  TaskGraph g;
+  const NodeId slow_task = g.add_subtask("on_slow", 10.0);
+  const NodeId fast_task = g.add_subtask("on_fast", 10.0);
+  g.pin(slow_task, ProcId(0));
+  g.pin(fast_task, ProcId(1));
+  const DeadlineAssignment asg =
+      manual_assignment(g, {{slow_task, 0.0, 60.0}, {fast_task, 0.0, 60.0}});
+
+  Machine machine;
+  machine.n_procs = 2;
+  machine.speeds = {0.5, 2.0};
+  const Schedule s = list_schedule(g, asg, machine);
+  EXPECT_DOUBLE_EQ(s.placement(slow_task).finish, 20.0);  // 10 / 0.5
+  EXPECT_DOUBLE_EQ(s.placement(fast_task).finish, 5.0);   // 10 / 2.0
+  require_valid(validate_schedule(g, asg, machine, s));
+}
+
+TEST(ListScheduler, EarliestStartPrefersFasterFinishOnlyViaStart) {
+  // Processor selection is by earliest *start*, not earliest finish: with
+  // both processors free at 0, the tie goes to P0 even though P1 is
+  // faster.  (Documented behaviour of the §5.3 scheduler.)
+  TaskGraph g;
+  const NodeId t = g.add_subtask("t", 10.0);
+  const DeadlineAssignment asg = manual_assignment(g, {{t, 0.0, 60.0}});
+  Machine machine;
+  machine.n_procs = 2;
+  machine.speeds = {1.0, 4.0};
+  const Schedule s = list_schedule(g, asg, machine);
+  EXPECT_EQ(s.placement(t).proc, ProcId(0));
+}
+
+TEST(ListScheduler, HeterogeneousBusyProcessorLosesTie) {
+  // When the slow processor is busy, the fast one offers the earlier
+  // start and wins.
+  TaskGraph g;
+  const NodeId blocker = g.add_subtask("blocker", 30.0);
+  const NodeId t = g.add_subtask("t", 10.0);
+  g.pin(blocker, ProcId(0));
+  const DeadlineAssignment asg =
+      manual_assignment(g, {{blocker, 0.0, 40.0}, {t, 0.0, 80.0}});
+  Machine machine;
+  machine.n_procs = 2;
+  machine.speeds = {1.0, 0.25};
+  const Schedule s = list_schedule(g, asg, machine);
+  EXPECT_EQ(s.placement(t).proc, ProcId(1));
+  EXPECT_DOUBLE_EQ(s.placement(t).finish, 40.0);  // 10 / 0.25 from t=0
+  require_valid(validate_schedule(g, asg, machine, s));
+}
+
+TEST(ListScheduler, MachineRejectsBadSpeeds) {
+  Machine machine;
+  machine.n_procs = 2;
+  machine.speeds = {1.0};  // wrong size
+  EXPECT_THROW(machine.check(), ContractViolation);
+  machine.speeds = {1.0, 0.0};  // zero speed
+  EXPECT_THROW(machine.check(), ContractViolation);
+  machine.speeds = {1.0, 2.0};
+  EXPECT_NO_THROW(machine.check());
+  EXPECT_FALSE(machine.homogeneous());
+  EXPECT_DOUBLE_EQ(machine.exec_time_on(10.0, 1), 5.0);
+}
+
+TEST(ListScheduler, IncompleteAssignmentRejected) {
+  TaskGraph g;
+  const NodeId a = g.add_subtask("a", 1.0);
+  (void)a;
+  const DeadlineAssignment empty(g);
+  Machine machine;
+  EXPECT_THROW(list_schedule(g, empty, machine), ContractViolation);
+}
+
+// ------------------------------------------------------------------ property
+
+class SchedulerProperty
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, ReleasePolicy, SelectionPolicy, ProcessorPolicy,
+                     CommContention, int>> {};
+
+TEST_P(SchedulerProperty, RandomWorkloadsValidateUnderAllPolicies) {
+  const auto [seed, release, selection, processor, contention, n_procs] = GetParam();
+  RandomGraphConfig config;
+  Pcg32 rng(seed);
+  const TaskGraph g = generate_random_graph(config, rng);
+  auto metric = make_pure();
+  const auto ccne = make_ccne();
+  const DeadlineAssignment asg = distribute_deadlines(g, *metric, *ccne);
+
+  Machine machine;
+  machine.n_procs = n_procs;
+  machine.contention = contention;
+  SchedulerOptions options;
+  options.release_policy = release;
+  options.selection = selection;
+  options.processor_policy = processor;
+
+  const Schedule s = list_schedule(g, asg, machine, options);
+  EXPECT_TRUE(s.complete(g));
+  const ScheduleReport report = validate_schedule(g, asg, machine, s, options);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+
+  // Deterministic.
+  const Schedule again = list_schedule(g, asg, machine, options);
+  for (const NodeId id : g.computation_nodes()) {
+    EXPECT_EQ(s.placement(id).proc, again.placement(id).proc);
+    EXPECT_DOUBLE_EQ(s.placement(id).start, again.placement(id).start);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicySweep, SchedulerProperty,
+    ::testing::Combine(
+        ::testing::Values<std::uint64_t>(1, 2, 3),
+        ::testing::Values(ReleasePolicy::TimeDriven, ReleasePolicy::Eager),
+        ::testing::Values(SelectionPolicy::Edf, SelectionPolicy::Fifo,
+                          SelectionPolicy::StaticLaxity),
+        ::testing::Values(ProcessorPolicy::GapSearch, ProcessorPolicy::QueueAtEnd),
+        ::testing::Values(CommContention::ContentionFree, CommContention::SharedBus,
+                          CommContention::PointToPointLinks),
+        ::testing::Values(2, 9)));
+
+TEST(ListScheduler, PolicyNames) {
+  EXPECT_STREQ(to_string(ReleasePolicy::TimeDriven), "time-driven");
+  EXPECT_STREQ(to_string(ReleasePolicy::Eager), "eager");
+  EXPECT_STREQ(to_string(SelectionPolicy::Edf), "EDF");
+  EXPECT_STREQ(to_string(SelectionPolicy::Fifo), "FIFO");
+  EXPECT_STREQ(to_string(SelectionPolicy::StaticLaxity), "static-laxity");
+  EXPECT_STREQ(to_string(ProcessorPolicy::GapSearch), "gap-search");
+  EXPECT_STREQ(to_string(ProcessorPolicy::QueueAtEnd), "queue-at-end");
+  EXPECT_STREQ(to_string(CommContention::ContentionFree), "contention-free");
+  EXPECT_STREQ(to_string(CommContention::SharedBus), "shared-bus");
+  EXPECT_STREQ(to_string(CommContention::PointToPointLinks), "point-to-point");
+}
+
+}  // namespace
+}  // namespace feast

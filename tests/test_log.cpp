@@ -1,0 +1,56 @@
+/// \file test_log.cpp
+/// \brief Tests for the leveled logging facility.
+#include <gtest/gtest.h>
+
+#include "util/log.hpp"
+
+namespace feast {
+namespace {
+
+/// Restores the global log level after each test.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = log_level(); }
+  void TearDown() override { set_log_level(previous_); }
+
+ private:
+  LogLevel previous_ = LogLevel::Warn;
+};
+
+TEST_F(LogTest, DefaultLevelIsWarn) { EXPECT_EQ(log_level(), LogLevel::Warn); }
+
+TEST_F(LogTest, SetAndGetLevel) {
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::Off);
+  EXPECT_EQ(log_level(), LogLevel::Off);
+}
+
+TEST_F(LogTest, StreamMacrosEmitToStderr) {
+  set_log_level(LogLevel::Debug);
+  ::testing::internal::CaptureStderr();
+  FEAST_LOG_INFO << "hello " << 42;
+  const std::string text = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(text.find("[feast INFO] hello 42"), std::string::npos);
+}
+
+TEST_F(LogTest, MessagesBelowThresholdAreDropped) {
+  set_log_level(LogLevel::Error);
+  ::testing::internal::CaptureStderr();
+  FEAST_LOG_DEBUG << "invisible";
+  FEAST_LOG_WARN << "also invisible";
+  FEAST_LOG_ERROR << "visible";
+  const std::string text = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(text.find("invisible"), std::string::npos);
+  EXPECT_NE(text.find("[feast ERROR] visible"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  set_log_level(LogLevel::Off);
+  ::testing::internal::CaptureStderr();
+  FEAST_LOG_ERROR << "nope";
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+}  // namespace
+}  // namespace feast

@@ -1,0 +1,194 @@
+/// \file test_metrics.cpp
+/// \brief Unit tests for the slicing metrics (NORM, PURE, THRES, ADAPT),
+///        the communication-cost estimators, and the ratio formulas.
+#include <gtest/gtest.h>
+
+#include "core/comm_estimator.hpp"
+#include "core/metrics.hpp"
+#include "taskgraph/task_graph.hpp"
+#include "util/contracts.hpp"
+
+namespace feast {
+namespace {
+
+/// Fixed graph: a(10) -> b(30), message of 6 items; MET = 20.
+struct Fixture {
+  TaskGraph g;
+  NodeId a, b, comm;
+
+  Fixture() {
+    a = g.add_subtask("a", 10.0);
+    b = g.add_subtask("b", 30.0);
+    comm = g.add_precedence(a, b, 6.0);
+  }
+};
+
+// ------------------------------------------------------------ ratio formulas
+
+TEST(SliceFormulas, PerHopRatio) {
+  // R = (window - sum_v) / hops.
+  const PathEvaluation eval{100.0, 40.0, 3};
+  EXPECT_DOUBLE_EQ(slice_ratio(eval, SlackShare::PerEffectiveHop), 20.0);
+}
+
+TEST(SliceFormulas, ProportionalRatio) {
+  // R = (window - sum_v) / sum_v.
+  const PathEvaluation eval{100.0, 40.0, 3};
+  EXPECT_DOUBLE_EQ(slice_ratio(eval, SlackShare::ProportionalToCost), 1.5);
+}
+
+TEST(SliceFormulas, DegenerateRatiosAreInfinite) {
+  EXPECT_EQ(slice_ratio({100.0, 0.0, 0}, SlackShare::PerEffectiveHop), kInfiniteTime);
+  EXPECT_EQ(slice_ratio({100.0, 0.0, 0}, SlackShare::ProportionalToCost), kInfiniteTime);
+}
+
+TEST(SliceFormulas, NegativeSlackRatio) {
+  const PathEvaluation eval{10.0, 40.0, 3};
+  EXPECT_DOUBLE_EQ(slice_ratio(eval, SlackShare::PerEffectiveHop), -10.0);
+  EXPECT_DOUBLE_EQ(slice_ratio(eval, SlackShare::ProportionalToCost), -0.75);
+}
+
+TEST(SliceFormulas, RelDeadlinePerHop) {
+  // d = v + R (PURE family).
+  EXPECT_DOUBLE_EQ(slice_rel_deadline(20.0, 5.0, SlackShare::PerEffectiveHop), 25.0);
+  // Clamped at zero when the ratio is deeply negative.
+  EXPECT_DOUBLE_EQ(slice_rel_deadline(20.0, -30.0, SlackShare::PerEffectiveHop), 0.0);
+}
+
+TEST(SliceFormulas, RelDeadlineProportional) {
+  // d = v (1 + R) (NORM).
+  EXPECT_DOUBLE_EQ(slice_rel_deadline(20.0, 0.5, SlackShare::ProportionalToCost), 30.0);
+  EXPECT_DOUBLE_EQ(slice_rel_deadline(20.0, -2.0, SlackShare::ProportionalToCost), 0.0);
+}
+
+TEST(SliceFormulas, SlicesSumToWindow) {
+  // PURE: sum of d over the path equals the window exactly.
+  const std::vector<Time> costs{10.0, 25.0, 7.0};
+  const Time window = 100.0;
+  Time sum_v = 0.0;
+  for (const Time c : costs) sum_v += c;
+  const PathEvaluation eval{window, sum_v, static_cast<int>(costs.size())};
+  const double ratio = slice_ratio(eval, SlackShare::PerEffectiveHop);
+  Time total = 0.0;
+  for (const Time c : costs) total += slice_rel_deadline(c, ratio, SlackShare::PerEffectiveHop);
+  EXPECT_NEAR(total, window, 1e-9);
+
+  const double norm_ratio = slice_ratio(eval, SlackShare::ProportionalToCost);
+  total = 0.0;
+  for (const Time c : costs)
+    total += slice_rel_deadline(c, norm_ratio, SlackShare::ProportionalToCost);
+  EXPECT_NEAR(total, window, 1e-9);
+}
+
+// -------------------------------------------------------------------- metrics
+
+TEST(Metrics, PureAndNormPassCostsThrough) {
+  Fixture f;
+  PureMetric pure;
+  NormMetric norm;
+  pure.prepare(f.g);
+  norm.prepare(f.g);
+  EXPECT_DOUBLE_EQ(pure.virtual_cost(f.g, f.a, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(norm.virtual_cost(f.g, f.b, 30.0), 30.0);
+  EXPECT_DOUBLE_EQ(pure.virtual_cost(f.g, f.comm, 6.0), 6.0);
+  EXPECT_EQ(pure.share(), SlackShare::PerEffectiveHop);
+  EXPECT_EQ(norm.share(), SlackShare::ProportionalToCost);
+  EXPECT_EQ(pure.name(), "PURE");
+  EXPECT_EQ(norm.name(), "NORM");
+}
+
+TEST(Metrics, ThresInflatesAboveThreshold) {
+  Fixture f;  // MET = 20, threshold factor 1.25 -> c_thres = 25.
+  ThresMetric thres(/*surplus=*/2.0, /*threshold_factor=*/1.25);
+  thres.prepare(f.g);
+  EXPECT_DOUBLE_EQ(thres.threshold(), 25.0);
+  EXPECT_DOUBLE_EQ(thres.virtual_cost(f.g, f.a, 10.0), 10.0);        // below
+  EXPECT_DOUBLE_EQ(thres.virtual_cost(f.g, f.b, 30.0), 90.0);        // 30(1+2)
+  EXPECT_DOUBLE_EQ(thres.virtual_cost(f.g, f.comm, 30.0), 30.0);     // comm untouched
+}
+
+TEST(Metrics, ThresBoundaryIsInclusive) {
+  Fixture f;
+  ThresMetric thres(1.0, 1.0);  // c_thres = MET = 20
+  thres.prepare(f.g);
+  // c == c_thres inflates (c_i >= c_thres branch of the paper's formula).
+  EXPECT_DOUBLE_EQ(thres.virtual_cost(f.g, f.a, 20.0), 40.0);
+  EXPECT_DOUBLE_EQ(thres.virtual_cost(f.g, f.a, 19.999), 19.999);
+}
+
+TEST(Metrics, AdaptSurplusIsParallelismOverProcs) {
+  Fixture f;
+  // Chain graph: workload 40, critical path 40 => xi = 1.
+  AdaptMetric adapt(/*n_procs=*/4, /*threshold_factor=*/1.25);
+  adapt.prepare(f.g);
+  EXPECT_DOUBLE_EQ(adapt.surplus(), 0.25);
+  EXPECT_DOUBLE_EQ(adapt.threshold(), 25.0);
+  EXPECT_DOUBLE_EQ(adapt.virtual_cost(f.g, f.b, 30.0), 30.0 * 1.25);
+  EXPECT_DOUBLE_EQ(adapt.virtual_cost(f.g, f.a, 10.0), 10.0);
+}
+
+TEST(Metrics, AdaptSurplusShrinksWithSystemSize) {
+  Fixture f;
+  AdaptMetric small(2);
+  AdaptMetric large(16);
+  small.prepare(f.g);
+  large.prepare(f.g);
+  EXPECT_GT(small.surplus(), large.surplus());
+  EXPECT_NEAR(small.surplus() / large.surplus(), 8.0, 1e-9);
+}
+
+TEST(Metrics, FactoryNamesIncludeParameters) {
+  EXPECT_EQ(make_thres(1.0, 1.25)->name(), "THRES(d=1,th=1.25MET)");
+  EXPECT_EQ(make_adapt(8, 1.25)->name(), "ADAPT(N=8,th=1.25MET)");
+  EXPECT_EQ(make_pure()->name(), "PURE");
+  EXPECT_EQ(make_norm()->name(), "NORM");
+}
+
+TEST(Metrics, InvalidParametersRejected) {
+  EXPECT_THROW(ThresMetric(-1.0, 1.0), ContractViolation);
+  EXPECT_THROW(ThresMetric(1.0, 0.0), ContractViolation);
+  EXPECT_THROW(AdaptMetric(0), ContractViolation);
+  EXPECT_THROW(AdaptMetric(4, -1.0), ContractViolation);
+}
+
+// ----------------------------------------------------------------- estimators
+
+TEST(Estimators, CcneIsAlwaysZero) {
+  Fixture f;
+  CcneEstimator ccne;
+  EXPECT_DOUBLE_EQ(ccne.estimate(f.g, f.comm), 0.0);
+  EXPECT_EQ(ccne.name(), "CCNE");
+  EXPECT_THROW(ccne.estimate(f.g, f.a), ContractViolation);  // not a comm node
+}
+
+TEST(Estimators, CcaaUsesMessageSizeTimesRate) {
+  Fixture f;
+  CcaaEstimator unit_rate;
+  EXPECT_DOUBLE_EQ(unit_rate.estimate(f.g, f.comm), 6.0);
+  CcaaEstimator double_rate(2.0);
+  EXPECT_DOUBLE_EQ(double_rate.estimate(f.g, f.comm), 12.0);
+  EXPECT_EQ(unit_rate.name(), "CCAA");
+  EXPECT_THROW(CcaaEstimator(-1.0), ContractViolation);
+}
+
+TEST(Estimators, ProbabilisticInterpolates) {
+  Fixture f;
+  ProbabilisticEstimator half(0.5);
+  EXPECT_DOUBLE_EQ(half.estimate(f.g, f.comm), 3.0);
+  EXPECT_EQ(half.name(), "CCP(0.5)");
+  ProbabilisticEstimator zero(0.0);
+  EXPECT_DOUBLE_EQ(zero.estimate(f.g, f.comm), 0.0);
+  ProbabilisticEstimator one(1.0);
+  EXPECT_DOUBLE_EQ(one.estimate(f.g, f.comm), CcaaEstimator().estimate(f.g, f.comm));
+  EXPECT_THROW(ProbabilisticEstimator(1.5), ContractViolation);
+}
+
+TEST(Estimators, Factories) {
+  Fixture f;
+  EXPECT_DOUBLE_EQ(make_ccne()->estimate(f.g, f.comm), 0.0);
+  EXPECT_DOUBLE_EQ(make_ccaa()->estimate(f.g, f.comm), 6.0);
+  EXPECT_DOUBLE_EQ(make_ccp(0.25)->estimate(f.g, f.comm), 1.5);
+}
+
+}  // namespace
+}  // namespace feast

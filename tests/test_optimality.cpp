@@ -1,0 +1,119 @@
+/// \file test_optimality.cpp
+/// \brief Optimality properties inherited from BST in the strict-locality
+///        setting (paper §2: "the slicing technique is optimal in the
+///        sense that it maximizes the minimum task laxity ... only if task
+///        assignment is completely known").
+///
+/// For a purely sequential task (a chain) the whole assignment question
+/// disappears, so PURE's equal-share distribution must be the *max-min
+/// laxity* distribution: no other partition of the window into
+/// non-overlapping slices can give every subtask more laxity than R.
+/// These tests verify that maximin property against random perturbations
+/// and exhaustive micro-cases.
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "core/slicing.hpp"
+#include "taskgraph/shapes.hpp"
+#include "util/rng.hpp"
+
+namespace feast {
+namespace {
+
+/// Minimum laxity of an arbitrary slice partition of [0, D] over a chain:
+/// boundaries b_0 = 0 <= b_1 <= ... <= b_n = D, subtask i gets
+/// [b_i, b_{i+1}], laxity = (b_{i+1} - b_i) - c_i.
+Time min_laxity_of_partition(const std::vector<Time>& exec,
+                             const std::vector<Time>& bounds) {
+  Time worst = kInfiniteTime;
+  for (std::size_t i = 0; i < exec.size(); ++i) {
+    worst = std::min(worst, bounds[i + 1] - bounds[i] - exec[i]);
+  }
+  return worst;
+}
+
+TEST(Optimality, PureIsMaximinOnTinyChainExhaustive) {
+  // Two subtasks c = {10, 30}, D = 60: PURE gives both laxity 10.  Sweep
+  // every boundary position on a fine grid; none beats 10.
+  const std::vector<Time> exec{10.0, 30.0};
+  const Time deadline = 60.0;
+  Time best = -kInfiniteTime;
+  for (int step = 0; step <= 600; ++step) {
+    const Time b = deadline * step / 600.0;
+    best = std::max(best, min_laxity_of_partition(exec, {0.0, b, deadline}));
+  }
+  EXPECT_NEAR(best, 10.0, 1e-6);
+}
+
+class MaximinProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MaximinProperty, RandomPerturbationsNeverBeatPure) {
+  Pcg32 rng(GetParam());
+  ShapeConfig config;
+  config.ccr = 0.0;  // pure computation chain
+  const int length = rng.uniform_int(3, 12);
+  const TaskGraph chain = make_chain(length, config, rng);
+
+  auto metric = make_pure();
+  const auto ccne = make_ccne();
+  const DeadlineAssignment windows = distribute_deadlines(chain, *metric, *ccne);
+  const Time pure_min_laxity = windows.min_laxity(chain);
+
+  // Collect execution times in chain order and the end-to-end deadline.
+  std::vector<Time> exec;
+  std::vector<NodeId> order = chain.inputs();
+  NodeId cur = order.front();
+  Time deadline = 0.0;
+  for (;;) {
+    exec.push_back(chain.node(cur).exec_time);
+    if (chain.succs(cur).empty()) {
+      deadline = chain.node(cur).boundary_deadline;
+      break;
+    }
+    cur = chain.comm_sink(chain.succs(cur).front());
+  }
+
+  // PURE's minimum laxity on a chain equals the equal share.
+  const Time total = [&] {
+    Time sum = 0.0;
+    for (const Time c : exec) sum += c;
+    return sum;
+  }();
+  EXPECT_NEAR(pure_min_laxity, (deadline - total) / static_cast<double>(exec.size()),
+              1e-9);
+
+  // 500 random monotone boundary vectors: none achieves a larger minimum.
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<Time> bounds{0.0};
+    for (std::size_t i = 1; i < exec.size(); ++i) {
+      bounds.push_back(rng.uniform_real(0.0, deadline));
+    }
+    bounds.push_back(deadline);
+    std::sort(bounds.begin(), bounds.end());
+    EXPECT_LE(min_laxity_of_partition(exec, bounds), pure_min_laxity + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, MaximinProperty,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(Optimality, NormEqualizesLaxityRatioOnChains) {
+  Pcg32 rng(3);
+  ShapeConfig config;
+  config.ccr = 0.0;
+  const TaskGraph chain = make_chain(8, config, rng);
+  auto metric = make_norm();
+  const auto ccne = make_ccne();
+  const DeadlineAssignment windows = distribute_deadlines(chain, *metric, *ccne);
+
+  // d_i / c_i is the same constant for every subtask.
+  double ratio = -1.0;
+  for (const NodeId id : chain.computation_nodes()) {
+    const double r = windows.rel_deadline(id) / chain.node(id).exec_time;
+    if (ratio < 0.0) ratio = r;
+    EXPECT_NEAR(r, ratio, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace feast

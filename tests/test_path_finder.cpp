@@ -1,0 +1,264 @@
+/// \file test_path_finder.cpp
+/// \brief Unit tests for the exact critical-path search over the residual
+///        graph.
+#include <gtest/gtest.h>
+
+#include "core/comm_estimator.hpp"
+#include "core/metrics.hpp"
+#include "core/path_finder.hpp"
+#include "taskgraph/task_graph.hpp"
+
+namespace feast {
+namespace {
+
+/// Parallel two-branch graph with a common window [0, 100]:
+///   a(10) -> b(10) -> out(10)   (short branch through b)
+///   a(10) -> c(50) -> out(10)   (heavy branch through c)
+struct TwoBranch {
+  TaskGraph g;
+  NodeId a, b, c, out;
+
+  TwoBranch(double msg = 0.0) {
+    a = g.add_subtask("a", 10.0);
+    b = g.add_subtask("b", 10.0);
+    c = g.add_subtask("c", 50.0);
+    out = g.add_subtask("out", 10.0);
+    g.add_precedence(a, b, msg);
+    g.add_precedence(a, c, msg);
+    g.add_precedence(b, out, msg);
+    g.add_precedence(c, out, msg);
+    g.set_boundary_release(a, 0.0);
+    g.set_boundary_deadline(out, 100.0);
+  }
+
+  ResidualState fresh_state() const {
+    ResidualState state(g.node_count());
+    state.lb[a.index()] = 0.0;
+    state.ub[out.index()] = 100.0;
+    return state;
+  }
+
+  /// Computation nodes of a path (filters comm nodes).
+  std::vector<NodeId> comp_nodes(const std::vector<NodeId>& path) const {
+    std::vector<NodeId> out_nodes;
+    for (const NodeId id : path) {
+      if (g.is_computation(id)) out_nodes.push_back(id);
+    }
+    return out_nodes;
+  }
+};
+
+TEST(PathFinder, PureSelectsHeavyBranch) {
+  TwoBranch f;
+  PureMetric metric;
+  metric.prepare(f.g);
+  CcneEstimator ccne;
+  CriticalPathFinder finder(f.g, metric, ccne);
+
+  const auto result = finder.find(f.fresh_state());
+  ASSERT_TRUE(result.has_value());
+  // Heavy branch: Σc = 70, 3 hops, R = (100-70)/3 = 10.
+  // Short branch: Σc = 30, 3 hops, R = (100-30)/3 ≈ 23.3.
+  EXPECT_NEAR(result->ratio, 10.0, 1e-9);
+  EXPECT_EQ(result->eval.effective_hops, 3);
+  EXPECT_NEAR(result->eval.sum_virtual, 70.0, 1e-9);
+  EXPECT_EQ(f.comp_nodes(result->nodes), (std::vector<NodeId>{f.a, f.c, f.out}));
+  EXPECT_DOUBLE_EQ(result->window_start, 0.0);
+  EXPECT_DOUBLE_EQ(result->window_end, 100.0);
+}
+
+TEST(PathFinder, NormSelectsHeavyBranchWithProportionalRatio) {
+  TwoBranch f;
+  NormMetric metric;
+  metric.prepare(f.g);
+  CcneEstimator ccne;
+  CriticalPathFinder finder(f.g, metric, ccne);
+
+  const auto result = finder.find(f.fresh_state());
+  ASSERT_TRUE(result.has_value());
+  // R = (100 - 70) / 70.
+  EXPECT_NEAR(result->ratio, 30.0 / 70.0, 1e-9);
+  EXPECT_EQ(f.comp_nodes(result->nodes), (std::vector<NodeId>{f.a, f.c, f.out}));
+}
+
+TEST(PathFinder, CcaaCountsCommunicationHops) {
+  TwoBranch f(/*msg=*/5.0);
+  PureMetric metric;
+  metric.prepare(f.g);
+  CcaaEstimator ccaa;
+  CriticalPathFinder finder(f.g, metric, ccaa);
+
+  const auto result = finder.find(f.fresh_state());
+  ASSERT_TRUE(result.has_value());
+  // Heavy branch now has 5 effective nodes: 70 + 2 messages x 5 = 80.
+  // R = (100 - 80)/5 = 4.
+  EXPECT_EQ(result->eval.effective_hops, 5);
+  EXPECT_NEAR(result->eval.sum_virtual, 80.0, 1e-9);
+  EXPECT_NEAR(result->ratio, 4.0, 1e-9);
+  // The path sequence includes the communication nodes.
+  EXPECT_EQ(result->nodes.size(), 5u);
+}
+
+TEST(PathFinder, CcneExcludesCommunicationFromHops) {
+  TwoBranch f(/*msg=*/5.0);
+  PureMetric metric;
+  metric.prepare(f.g);
+  CcneEstimator ccne;
+  CriticalPathFinder finder(f.g, metric, ccne);
+
+  const auto result = finder.find(f.fresh_state());
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->eval.effective_hops, 3);
+  // Comm nodes still appear in the node sequence (they need windows).
+  EXPECT_EQ(result->nodes.size(), 5u);
+}
+
+TEST(PathFinder, SecondIterationSeesResidualGraph) {
+  TwoBranch f;
+  PureMetric metric;
+  metric.prepare(f.g);
+  CcneEstimator ccne;
+  CriticalPathFinder finder(f.g, metric, ccne);
+
+  ResidualState state = f.fresh_state();
+  const auto first = finder.find(state);
+  ASSERT_TRUE(first.has_value());
+  // Simulate the distributor: assign the heavy path and attach b's bounds.
+  for (const NodeId id : first->nodes) state.assigned[id.index()] = true;
+  // a got window [0, 20], out got [80, 100] (say); b's bounds follow.
+  state.lb[f.b.index()] = 20.0;
+  state.ub[f.b.index()] = 80.0;
+  const NodeId comm_ab = f.g.succs(f.a)[0];  // a->b comm node
+  const NodeId comm_bo = f.g.preds(f.out)[0] == comm_ab ? f.g.preds(f.out)[1]
+                                                        : f.g.preds(f.out)[0];
+  // Find which comm nodes touch b.
+  std::vector<NodeId> residual_comms;
+  for (const NodeId comm : f.g.communication_nodes()) {
+    if (!state.assigned[comm.index()]) residual_comms.push_back(comm);
+  }
+  for (const NodeId comm : residual_comms) {
+    state.lb[comm.index()] = 20.0;
+    state.ub[comm.index()] = 80.0;
+  }
+  (void)comm_bo;
+
+  const auto second = finder.find(state);
+  ASSERT_TRUE(second.has_value());
+  // Residual path: (a->b comm), b, (b->out comm); only b is effective.
+  EXPECT_EQ(f.comp_nodes(second->nodes), (std::vector<NodeId>{f.b}));
+  EXPECT_EQ(second->eval.effective_hops, 1);
+  EXPECT_NEAR(second->ratio, (80.0 - 20.0 - 10.0) / 1.0, 1e-9);
+}
+
+TEST(PathFinder, ExhaustedResidualReturnsNullopt) {
+  TwoBranch f;
+  PureMetric metric;
+  metric.prepare(f.g);
+  CcneEstimator ccne;
+  CriticalPathFinder finder(f.g, metric, ccne);
+
+  ResidualState state = f.fresh_state();
+  for (const NodeId id : f.g.all_nodes()) state.assigned[id.index()] = true;
+  EXPECT_FALSE(finder.find(state).has_value());
+}
+
+TEST(PathFinder, MultipleSourcesWithDifferentBounds) {
+  // Two chains: a1 -> z, a2 -> z; a1 released at 0, a2 at 40.
+  TaskGraph g;
+  const NodeId a1 = g.add_subtask("a1", 10.0);
+  const NodeId a2 = g.add_subtask("a2", 10.0);
+  const NodeId z = g.add_subtask("z", 10.0);
+  g.add_precedence(a1, z, 0.0);
+  g.add_precedence(a2, z, 0.0);
+  g.set_boundary_release(a1, 0.0);
+  g.set_boundary_release(a2, 40.0);
+  g.set_boundary_deadline(z, 100.0);
+
+  ResidualState state(g.node_count());
+  state.lb[a1.index()] = 0.0;
+  state.lb[a2.index()] = 40.0;
+  state.ub[z.index()] = 100.0;
+
+  PureMetric metric;
+  metric.prepare(g);
+  CcneEstimator ccne;
+  CriticalPathFinder finder(g, metric, ccne);
+  const auto result = finder.find(state);
+  ASSERT_TRUE(result.has_value());
+  // Path from a2: window 60, Σc 20, 2 hops -> R = 20.
+  // Path from a1: window 100, Σc 20, 2 hops -> R = 40.
+  EXPECT_NEAR(result->ratio, 20.0, 1e-9);
+  EXPECT_DOUBLE_EQ(result->window_start, 40.0);
+}
+
+TEST(PathFinder, VirtualCostsExposedForInspection) {
+  TwoBranch f(/*msg=*/4.0);
+  ThresMetric metric(1.0, 1.25);  // MET = 20, c_thres = 25: only c inflates
+  metric.prepare(f.g);
+  CcaaEstimator ccaa;
+  CriticalPathFinder finder(f.g, metric, ccaa);
+  EXPECT_DOUBLE_EQ(finder.effective_cost(f.c), 50.0);
+  EXPECT_DOUBLE_EQ(finder.virtual_cost(f.c), 100.0);
+  EXPECT_DOUBLE_EQ(finder.virtual_cost(f.a), 10.0);
+  const NodeId comm = f.g.succs(f.a)[0];
+  EXPECT_DOUBLE_EQ(finder.effective_cost(comm), 4.0);
+  EXPECT_DOUBLE_EQ(finder.virtual_cost(comm), 4.0);
+}
+
+TEST(PathFinder, SymmetricTiesBreakDeterministically) {
+  // Two identical branches: both paths have the same ratio; the winner
+  // must be stable across repeated searches (ties broken toward the first
+  // candidate in topological order).
+  TaskGraph g;
+  const NodeId a = g.add_subtask("a", 10.0);
+  const NodeId b1 = g.add_subtask("b1", 20.0);
+  const NodeId b2 = g.add_subtask("b2", 20.0);
+  const NodeId z = g.add_subtask("z", 10.0);
+  g.add_precedence(a, b1, 0.0);
+  g.add_precedence(a, b2, 0.0);
+  g.add_precedence(b1, z, 0.0);
+  g.add_precedence(b2, z, 0.0);
+  g.set_boundary_release(a, 0.0);
+  g.set_boundary_deadline(z, 100.0);
+
+  PureMetric metric;
+  metric.prepare(g);
+  CcneEstimator ccne;
+  CriticalPathFinder finder(g, metric, ccne);
+  ResidualState state(g.node_count());
+  state.lb[a.index()] = 0.0;
+  state.ub[z.index()] = 100.0;
+
+  const auto first = finder.find(state);
+  const auto second = finder.find(state);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(first->nodes, second->nodes);
+  // The tie goes to b1 (earlier node id).
+  bool has_b1 = false;
+  for (const NodeId id : first->nodes) has_b1 = has_b1 || id == b1;
+  EXPECT_TRUE(has_b1);
+}
+
+TEST(PathFinder, SingleNodeGraph) {
+  TaskGraph g;
+  const NodeId only = g.add_subtask("only", 10.0);
+  g.set_boundary_release(only, 0.0);
+  g.set_boundary_deadline(only, 50.0);
+
+  ResidualState state(g.node_count());
+  state.lb[only.index()] = 0.0;
+  state.ub[only.index()] = 50.0;
+
+  PureMetric metric;
+  metric.prepare(g);
+  CcneEstimator ccne;
+  CriticalPathFinder finder(g, metric, ccne);
+  const auto result = finder.find(state);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->nodes, std::vector<NodeId>{only});
+  EXPECT_NEAR(result->ratio, 40.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace feast

@@ -1,0 +1,150 @@
+/// \file test_periodic.cpp
+/// \brief Unit tests for the LCM-hyperperiod transformation of §3.
+#include <gtest/gtest.h>
+
+#include "taskgraph/periodic.hpp"
+#include "taskgraph/validate.hpp"
+#include "util/contracts.hpp"
+
+namespace feast {
+namespace {
+
+/// A two-subtask pipeline template with release 0 and deadline D.
+TaskGraph pipeline_template(Time exec, Time deadline) {
+  TaskGraph g;
+  const NodeId a = g.add_subtask("in", exec);
+  const NodeId b = g.add_subtask("out", exec);
+  g.add_precedence(a, b, 3.0);
+  g.set_boundary_release(a, 0.0);
+  g.set_boundary_deadline(b, deadline);
+  return g;
+}
+
+TEST(Periodic, LcmOf) {
+  EXPECT_EQ(lcm_of({4}), 4);
+  EXPECT_EQ(lcm_of({4, 6}), 12);
+  EXPECT_EQ(lcm_of({2, 3, 5}), 30);
+  EXPECT_EQ(lcm_of({7, 7, 7}), 7);
+  EXPECT_THROW(lcm_of({0}), ContractViolation);
+  EXPECT_THROW(lcm_of({-3}), ContractViolation);
+  EXPECT_THROW(lcm_of({}), ContractViolation);
+  EXPECT_THROW(lcm_of({1000000007, 998244353, 777767777}), ContractViolation);
+}
+
+TEST(Periodic, SingleTaskUnrolling) {
+  const TaskGraph tpl = pipeline_template(10.0, 40.0);
+  HyperperiodBuilder builder({PeriodicTaskSpec{"T", &tpl, 50}});
+
+  EXPECT_EQ(builder.hyperperiod(), 50);
+  EXPECT_EQ(builder.instance_count(0), 1);
+  EXPECT_EQ(builder.graph().subtask_count(), 2u);
+  EXPECT_EQ(builder.graph().comm_count(), 1u);
+}
+
+TEST(Periodic, TwoTasksUnrollToLcm) {
+  const TaskGraph fast = pipeline_template(5.0, 18.0);
+  const TaskGraph slow = pipeline_template(12.0, 55.0);
+  HyperperiodBuilder builder({
+      PeriodicTaskSpec{"fast", &fast, 20},
+      PeriodicTaskSpec{"slow", &slow, 60},
+  });
+
+  EXPECT_EQ(builder.hyperperiod(), 60);
+  EXPECT_EQ(builder.instance_count(0), 3);
+  EXPECT_EQ(builder.instance_count(1), 1);
+  EXPECT_EQ(builder.graph().subtask_count(), 2u * 3u + 2u);
+  EXPECT_TRUE(validate_structure(builder.graph()).ok());
+}
+
+TEST(Periodic, InstanceTimingIsShifted) {
+  const TaskGraph tpl = pipeline_template(5.0, 18.0);
+  HyperperiodBuilder builder({PeriodicTaskSpec{"T", &tpl, 20}});
+  // Pretend hyperperiod 20 with another task to force instances: use a
+  // second task of period 10 instead.
+  const TaskGraph tick = [] {
+    TaskGraph g;
+    const NodeId only = g.add_subtask("tick", 1.0);
+    g.set_boundary_release(only, 0.0);
+    g.set_boundary_deadline(only, 8.0);
+    return g;
+  }();
+  HyperperiodBuilder both({
+      PeriodicTaskSpec{"T", &tpl, 20},
+      PeriodicTaskSpec{"tick", &tick, 10},
+  });
+  EXPECT_EQ(both.hyperperiod(), 20);
+  EXPECT_EQ(both.instance_count(1), 2);
+
+  const TaskGraph& g = both.graph();
+  const NodeId tick0 = both.instance_node(1, 0, NodeId(0));
+  const NodeId tick1 = both.instance_node(1, 1, NodeId(0));
+  EXPECT_DOUBLE_EQ(g.node(tick0).boundary_release, 0.0);
+  EXPECT_DOUBLE_EQ(g.node(tick0).boundary_deadline, 8.0);
+  EXPECT_DOUBLE_EQ(g.node(tick1).boundary_release, 10.0);
+  EXPECT_DOUBLE_EQ(g.node(tick1).boundary_deadline, 18.0);
+}
+
+TEST(Periodic, InstanceNamesCarryTaskAndIndex) {
+  const TaskGraph tpl = pipeline_template(5.0, 18.0);
+  const TaskGraph tick = [] {
+    TaskGraph g;
+    const NodeId only = g.add_subtask("tick", 1.0);
+    g.set_boundary_release(only, 0.0);
+    g.set_boundary_deadline(only, 8.0);
+    return g;
+  }();
+  HyperperiodBuilder both({
+      PeriodicTaskSpec{"T", &tpl, 20},
+      PeriodicTaskSpec{"tick", &tick, 10},
+  });
+  EXPECT_EQ(both.graph().node(both.instance_node(1, 1, NodeId(0))).name, "tick[1].tick");
+}
+
+TEST(Periodic, CrossPeriodLink) {
+  const TaskGraph producer = pipeline_template(5.0, 18.0);
+  const TaskGraph consumer = pipeline_template(4.0, 35.0);
+  HyperperiodBuilder builder({
+      PeriodicTaskSpec{"prod", &producer, 20},
+      PeriodicTaskSpec{"cons", &consumer, 40},
+  });
+  // Link producer instance 1's output into consumer instance 0's input:
+  // communication between subtasks of tasks with different periods.
+  const NodeId comm =
+      builder.link(0, 1, NodeId(1), 1, 0, NodeId(0), /*message_items=*/7.0);
+  const TaskGraph& g = builder.graph();
+  EXPECT_TRUE(g.is_communication(comm));
+  EXPECT_DOUBLE_EQ(g.node(comm).message_items, 7.0);
+  EXPECT_TRUE(validate_structure(g).ok());
+}
+
+TEST(Periodic, PinsAreCloned) {
+  TaskGraph tpl = pipeline_template(5.0, 18.0);
+  tpl.pin(NodeId(0), ProcId(2));
+  HyperperiodBuilder builder({PeriodicTaskSpec{"T", &tpl, 20}});
+  EXPECT_EQ(builder.graph().node(builder.instance_node(0, 0, NodeId(0))).pinned,
+            ProcId(2));
+}
+
+TEST(Periodic, RejectsBadSpecs) {
+  EXPECT_THROW(HyperperiodBuilder({}), ContractViolation);
+  EXPECT_THROW(HyperperiodBuilder({PeriodicTaskSpec{"x", nullptr, 10}}),
+               ContractViolation);
+  const TaskGraph no_deadline = [] {
+    TaskGraph g;
+    g.add_subtask("a", 1.0);
+    return g;
+  }();
+  EXPECT_THROW(HyperperiodBuilder({PeriodicTaskSpec{"x", &no_deadline, 10}}),
+               ContractViolation);
+}
+
+TEST(Periodic, BadInstanceLookupsRejected) {
+  const TaskGraph tpl = pipeline_template(5.0, 18.0);
+  HyperperiodBuilder builder({PeriodicTaskSpec{"T", &tpl, 20}});
+  EXPECT_THROW(builder.instance_node(1, 0, NodeId(0)), ContractViolation);
+  EXPECT_THROW(builder.instance_node(0, 1, NodeId(0)), ContractViolation);
+  EXPECT_THROW(builder.instance_node(0, 0, NodeId(99)), ContractViolation);
+}
+
+}  // namespace
+}  // namespace feast

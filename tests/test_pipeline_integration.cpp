@@ -1,0 +1,125 @@
+/// \file test_pipeline_integration.cpp
+/// \brief Cross-module integration tests: periodic applications through
+///        the full pipeline, thread-count invariance of experiment cells,
+///        and renderer options.
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "core/slicing.hpp"
+#include "experiment/figures.hpp"
+#include "experiment/sweep.hpp"
+#include "sched/gantt.hpp"
+#include "sched/lateness.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/schedule_validate.hpp"
+#include "taskgraph/periodic.hpp"
+#include "util/parallel.hpp"
+#include "util/strings.hpp"
+
+namespace feast {
+namespace {
+
+/// Two-rate periodic application unrolled over its hyperperiod.
+struct PeriodicPipeline {
+  TaskGraph fast_tpl;
+  TaskGraph slow_tpl;
+  TaskGraph hyper;
+
+  PeriodicPipeline() {
+    {
+      const NodeId in = fast_tpl.add_subtask("fin", 3.0);
+      const NodeId out = fast_tpl.add_subtask("fout", 4.0);
+      fast_tpl.add_precedence(in, out, 2.0);
+      fast_tpl.set_boundary_release(in, 0.0);
+      fast_tpl.set_boundary_deadline(out, 18.0);
+    }
+    {
+      const NodeId in = slow_tpl.add_subtask("sin", 6.0);
+      const NodeId out = slow_tpl.add_subtask("sout", 8.0);
+      slow_tpl.add_precedence(in, out, 3.0);
+      slow_tpl.set_boundary_release(in, 0.0);
+      slow_tpl.set_boundary_deadline(out, 55.0);
+    }
+    HyperperiodBuilder builder({
+        PeriodicTaskSpec{"fast", &fast_tpl, 20},
+        PeriodicTaskSpec{"slow", &slow_tpl, 60},
+    });
+    hyper = builder.take_graph();
+  }
+};
+
+TEST(PipelineIntegration, PeriodicApplicationSchedulesFeasibly) {
+  PeriodicPipeline p;
+  Machine machine;
+  machine.n_procs = 2;
+  auto metric = make_adapt(2);
+  const auto ccne = make_ccne();
+  const DeadlineAssignment windows = distribute_deadlines(p.hyper, *metric, *ccne);
+  const Schedule schedule = list_schedule(p.hyper, windows, machine);
+  require_valid(validate_schedule(p.hyper, windows, machine, schedule));
+
+  const LatenessStats stats = computation_lateness(p.hyper, windows, schedule);
+  EXPECT_TRUE(stats.feasible())
+      << "instance " << p.hyper.node(stats.argmax).name << " late by "
+      << stats.max_lateness;
+
+  // Rate separation: every instance starts within its own period and no
+  // earlier than its phase-shifted release.
+  for (const NodeId id : p.hyper.computation_nodes()) {
+    const Time boundary = p.hyper.node(id).boundary_release;
+    if (is_set(boundary)) {
+      EXPECT_GE(schedule.placement(id).start, boundary - kTimeEps)
+          << p.hyper.node(id).name;
+    }
+  }
+}
+
+TEST(PipelineIntegration, CellResultsInvariantToThreadCount) {
+  BatchConfig batch;
+  batch.samples = 8;
+  const RandomGraphConfig workload = paper_workload(ExecSpreadScenario::MDET);
+  const Strategy strategy = strategy_adapt(1.25);
+
+  set_parallelism(1);
+  const CellStats serial = run_cell(workload, strategy, 4, batch);
+  set_parallelism(4);
+  const CellStats threaded = run_cell(workload, strategy, 4, batch);
+  set_parallelism(0);  // restore default
+
+  EXPECT_DOUBLE_EQ(serial.max_lateness.mean, threaded.max_lateness.mean);
+  EXPECT_DOUBLE_EQ(serial.max_lateness.stddev, threaded.max_lateness.stddev);
+  EXPECT_DOUBLE_EQ(serial.makespan.mean, threaded.makespan.mean);
+  EXPECT_EQ(serial.infeasible_runs, threaded.infeasible_runs);
+}
+
+TEST(PipelineIntegration, GanttRendererOptions) {
+  PeriodicPipeline p;
+  Machine machine;
+  machine.n_procs = 2;
+  auto metric = make_pure();
+  const auto ccne = make_ccne();
+  const DeadlineAssignment windows = distribute_deadlines(p.hyper, *metric, *ccne);
+  const Schedule schedule = list_schedule(p.hyper, windows, machine);
+
+  GanttOptions narrow;
+  narrow.width = 40;
+  narrow.show_names = false;
+  const std::string chart = gantt_to_string(p.hyper, schedule, narrow);
+  // Row width is bounded by the configured width (plus the "Pn |" prefix
+  // and trailing "|").
+  for (const std::string& line : split(chart, '\n')) {
+    if (starts_with(line, "P")) {
+      EXPECT_LE(line.size(), 40u + 6u) << line;
+    }
+  }
+  // No legend lines when names are off.
+  EXPECT_EQ(chart.find("=fin"), std::string::npos);
+
+  GanttOptions no_bus = narrow;
+  no_bus.show_bus = false;
+  const std::string without_bus = gantt_to_string(p.hyper, schedule, no_bus);
+  EXPECT_EQ(without_bus.find("bus|"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace feast

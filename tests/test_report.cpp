@@ -1,0 +1,125 @@
+/// \file test_report.cpp
+/// \brief Unit tests for the distribution/schedule quality reports.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/metrics.hpp"
+#include "core/slicing.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/report.hpp"
+#include "taskgraph/generator.hpp"
+#include "util/rng.hpp"
+
+namespace feast {
+namespace {
+
+struct Pipeline {
+  TaskGraph graph;
+  DeadlineAssignment assignment;
+  Schedule schedule;
+  Machine machine;
+
+  Pipeline() {
+    // a(10) -> b(20) -> c(30), messages of 5 items, window [0, 120].
+    const NodeId a = graph.add_subtask("a", 10.0);
+    const NodeId b = graph.add_subtask("b", 20.0);
+    const NodeId c = graph.add_subtask("c", 30.0);
+    graph.add_precedence(a, b, 5.0);
+    graph.add_precedence(b, c, 5.0);
+    graph.set_boundary_release(a, 0.0);
+    graph.set_boundary_deadline(c, 120.0);
+    machine.n_procs = 2;
+    auto metric = make_pure();
+    const auto ccne = make_ccne();
+    assignment = distribute_deadlines(graph, *metric, *ccne);
+    schedule = list_schedule(graph, assignment, machine);
+  }
+};
+
+TEST(Report, DistributionMeasuresOnChain) {
+  Pipeline p;
+  const DistributionReport report = analyze_distribution(p.graph, p.assignment);
+  EXPECT_EQ(report.subtasks, 3u);
+  EXPECT_EQ(report.sliced_paths, 1u);
+  // PURE: every laxity is R = 20.
+  EXPECT_DOUBLE_EQ(report.min_laxity, 20.0);
+  EXPECT_DOUBLE_EQ(report.max_laxity, 20.0);
+  EXPECT_DOUBLE_EQ(report.mean_laxity, 20.0);
+  EXPECT_DOUBLE_EQ(report.median_laxity, 20.0);
+  EXPECT_EQ(report.arc_window_overlaps, 0u);
+  // CCNE assigns the whole window to computation.
+  EXPECT_NEAR(report.computation_share, 1.0, 1e-9);
+}
+
+TEST(Report, CcaaReducesComputationShare) {
+  Pipeline p;
+  auto metric = make_pure();
+  const auto ccaa = make_ccaa();
+  const DeadlineAssignment windows = distribute_deadlines(p.graph, *metric, *ccaa);
+  const DistributionReport report = analyze_distribution(p.graph, windows);
+  // Messages take 30 of 120 window units: computation share = 0.75... the
+  // two messages get d = 5 + R = 15 each with R = 10; computation 90/120.
+  EXPECT_NEAR(report.computation_share, 0.75, 1e-9);
+}
+
+TEST(Report, ScheduleMeasuresOnChain) {
+  Pipeline p;
+  const ScheduleQualityReport report =
+      analyze_schedule(p.graph, p.assignment, p.schedule);
+  // Chain on one processor: starts at releases 0, 30, 70 (PURE windows).
+  EXPECT_DOUBLE_EQ(report.makespan, 100.0);
+  EXPECT_EQ(report.crossing_messages, 0u);
+  EXPECT_EQ(report.local_messages, 2u);
+  EXPECT_DOUBLE_EQ(report.total_transfer_time, 0.0);
+  EXPECT_DOUBLE_EQ(report.mean_queueing, 0.0);
+  EXPECT_DOUBLE_EQ(report.max_queueing, 0.0);
+  // Idle gaps: [10,30] and [50,70] on the busy processor -> 20.
+  EXPECT_DOUBLE_EQ(report.largest_idle_gap, 20.0);
+  EXPECT_GT(report.max_proc_utilization, 0.0);
+  EXPECT_DOUBLE_EQ(report.min_proc_utilization, 0.0);  // second proc idle
+}
+
+TEST(Report, PrintedFormContainsKeyLines) {
+  Pipeline p;
+  std::ostringstream out;
+  print_distribution_report(out, analyze_distribution(p.graph, p.assignment));
+  print_schedule_report(out, analyze_schedule(p.graph, p.assignment, p.schedule));
+  const std::string text = out.str();
+  EXPECT_NE(text.find("distribution quality"), std::string::npos);
+  EXPECT_NE(text.find("laxity min/med/mean/max"), std::string::npos);
+  EXPECT_NE(text.find("schedule quality"), std::string::npos);
+  EXPECT_NE(text.find("makespan"), std::string::npos);
+  EXPECT_NE(text.find("queueing mean/max"), std::string::npos);
+}
+
+TEST(Report, RandomGraphsProduceConsistentMeasures) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Pcg32 rng(seed);
+    RandomGraphConfig config;
+    const TaskGraph graph = generate_random_graph(config, rng);
+    auto metric = make_adapt(4);
+    const auto ccne = make_ccne();
+    const DeadlineAssignment windows = distribute_deadlines(graph, *metric, *ccne);
+    Machine machine;
+    machine.n_procs = 4;
+    const Schedule schedule = list_schedule(graph, windows, machine);
+
+    const DistributionReport dist = analyze_distribution(graph, windows);
+    EXPECT_EQ(dist.subtasks, graph.subtask_count());
+    EXPECT_LE(dist.min_laxity, dist.median_laxity);
+    EXPECT_LE(dist.median_laxity, dist.max_laxity);
+    EXPECT_GE(dist.computation_share, 0.0);
+    EXPECT_LE(dist.computation_share, 1.0 + 1e-9);
+
+    const ScheduleQualityReport sched = analyze_schedule(graph, windows, schedule);
+    EXPECT_GT(sched.makespan, 0.0);
+    EXPECT_LE(sched.min_proc_utilization, sched.max_proc_utilization);
+    EXPECT_GE(sched.mean_queueing, 0.0);
+    EXPECT_LE(sched.mean_queueing, sched.max_queueing + kTimeEps);
+    EXPECT_EQ(sched.crossing_messages + sched.local_messages, graph.comm_count());
+  }
+}
+
+}  // namespace
+}  // namespace feast

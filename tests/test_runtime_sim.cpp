@@ -1,0 +1,251 @@
+/// \file test_runtime_sim.cpp
+/// \brief Tests for the discrete-event runtime simulator.
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "core/slicing.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sim/runtime_sim.hpp"
+#include "taskgraph/generator.hpp"
+#include "util/rng.hpp"
+
+namespace feast {
+namespace {
+
+/// Distributes and list-schedules a graph; returns everything the
+/// simulator needs.
+struct Plan {
+  TaskGraph graph;
+  DeadlineAssignment assignment;
+  Schedule schedule;
+  Machine machine;
+
+  explicit Plan(std::uint64_t seed, int n_procs = 4) {
+    Pcg32 rng(seed);
+    graph = generate_random_graph(paper_config(), rng);
+    machine.n_procs = n_procs;
+    auto metric = make_adapt(n_procs);
+    const auto ccne = make_ccne();
+    assignment = distribute_deadlines(graph, *metric, *ccne);
+    schedule = list_schedule(graph, assignment, machine);
+  }
+
+  static RandomGraphConfig paper_config() {
+    RandomGraphConfig config;
+    config.set_scenario(ExecSpreadScenario::MDET);
+    return config;
+  }
+};
+
+TEST(RuntimeSim, NominalRunMatchesOfflineSchedule) {
+  // With WCET execution (scale 1) and no background load, the online EDF
+  // dispatcher replays the offline plan: same finish times, same lateness.
+  Plan plan(1);
+  Pcg32 rng(99);
+  const RuntimeResult result = simulate_runtime(plan.graph, plan.assignment,
+                                                plan.schedule, plan.machine,
+                                                RuntimeOptions{}, rng);
+  const LatenessStats offline =
+      computation_lateness(plan.graph, plan.assignment, plan.schedule);
+  // The dispatcher cannot use gap placement/foresight, so it can differ
+  // slightly — but lateness must never be *better* than the offline bound
+  // by construction, and should be close.
+  EXPECT_GE(result.lateness.max_lateness, offline.max_lateness - 1e-6);
+  EXPECT_NEAR(result.makespan, plan.schedule.makespan(),
+              0.2 * plan.schedule.makespan());
+  EXPECT_EQ(result.lateness.count, plan.graph.subtask_count());
+  EXPECT_EQ(result.background_jobs_run, 0u);
+}
+
+TEST(RuntimeSim, EarlyCompletionOnlyHelps) {
+  Plan plan(2);
+  Pcg32 rng_nominal(7);
+  const RuntimeResult nominal = simulate_runtime(
+      plan.graph, plan.assignment, plan.schedule, plan.machine, RuntimeOptions{},
+      rng_nominal);
+
+  RuntimeOptions early;
+  early.exec_scale_min = 0.5;
+  early.exec_scale_max = 0.8;
+  Pcg32 rng_early(7);
+  const RuntimeResult result = simulate_runtime(plan.graph, plan.assignment,
+                                                plan.schedule, plan.machine, early,
+                                                rng_early);
+  EXPECT_LE(result.lateness.max_lateness, nominal.lateness.max_lateness + kTimeEps);
+  EXPECT_LE(result.makespan, nominal.makespan + kTimeEps);
+}
+
+TEST(RuntimeSim, OverrunsHurt) {
+  Plan plan(3);
+  RuntimeOptions overrun;
+  overrun.exec_scale_min = 1.3;
+  overrun.exec_scale_max = 1.3;
+  Pcg32 rng(7);
+  const RuntimeResult result = simulate_runtime(plan.graph, plan.assignment,
+                                                plan.schedule, plan.machine, overrun,
+                                                rng);
+  Pcg32 rng2(7);
+  const RuntimeResult nominal = simulate_runtime(plan.graph, plan.assignment,
+                                                 plan.schedule, plan.machine,
+                                                 RuntimeOptions{}, rng2);
+  EXPECT_GT(result.lateness.max_lateness, nominal.lateness.max_lateness);
+}
+
+TEST(RuntimeSim, BackgroundLoadRunsAndDelays) {
+  Plan plan(4, /*n_procs=*/2);
+  RuntimeOptions loaded;
+  loaded.background_utilization = 0.4;
+  Pcg32 rng(11);
+  const RuntimeResult result = simulate_runtime(plan.graph, plan.assignment,
+                                                plan.schedule, plan.machine, loaded,
+                                                rng);
+  EXPECT_GT(result.background_jobs_run, 0u);
+
+  Pcg32 rng2(11);
+  const RuntimeResult idle = simulate_runtime(plan.graph, plan.assignment,
+                                              plan.schedule, plan.machine,
+                                              RuntimeOptions{}, rng2);
+  EXPECT_GE(result.lateness.max_lateness, idle.lateness.max_lateness - kTimeEps);
+}
+
+TEST(RuntimeSim, DeterministicInRngState) {
+  Plan plan(5);
+  RuntimeOptions options;
+  options.exec_scale_min = 0.6;
+  options.exec_scale_max = 1.1;
+  options.background_utilization = 0.2;
+  Pcg32 a(42);
+  Pcg32 b(42);
+  const RuntimeResult ra = simulate_runtime(plan.graph, plan.assignment,
+                                            plan.schedule, plan.machine, options, a);
+  const RuntimeResult rb = simulate_runtime(plan.graph, plan.assignment,
+                                            plan.schedule, plan.machine, options, b);
+  EXPECT_DOUBLE_EQ(ra.lateness.max_lateness, rb.lateness.max_lateness);
+  EXPECT_DOUBLE_EQ(ra.makespan, rb.makespan);
+  EXPECT_EQ(ra.background_jobs_run, rb.background_jobs_run);
+}
+
+TEST(RuntimeSim, EagerModeFinishesNoLaterThanTimeDriven) {
+  Plan plan(6, /*n_procs=*/8);
+  RuntimeOptions eager;
+  eager.time_driven = false;
+  Pcg32 rng(1);
+  const RuntimeResult fast = simulate_runtime(plan.graph, plan.assignment,
+                                              plan.schedule, plan.machine, eager, rng);
+  Pcg32 rng2(1);
+  const RuntimeResult strict = simulate_runtime(plan.graph, plan.assignment,
+                                                plan.schedule, plan.machine,
+                                                RuntimeOptions{}, rng2);
+  EXPECT_LE(fast.makespan, strict.makespan + kTimeEps);
+}
+
+TEST(RuntimeSim, PreemptiveEdfLetsUrgentTaskThrough) {
+  // One processor: a roomy 50-unit task starts at 0; an urgent 10-unit
+  // task is released at 10.  Non-preemptive: urgent waits until 50.
+  // Preemptive: urgent runs 10-20, the roomy task resumes and ends at 60.
+  TaskGraph g;
+  const NodeId roomy = g.add_subtask("roomy", 50.0);
+  const NodeId urgent = g.add_subtask("urgent", 10.0);
+  g.set_boundary_release(roomy, 0.0);
+  g.set_boundary_release(urgent, 10.0);
+  g.set_boundary_deadline(roomy, 200.0);
+  g.set_boundary_deadline(urgent, 25.0);
+
+  DeadlineAssignment asg(g);
+  asg.assign(roomy, 0.0, 200.0, 0);
+  asg.assign(urgent, 10.0, 15.0, 0);
+
+  Machine machine;
+  machine.n_procs = 1;
+  Schedule plan(g, machine);
+  plan.place(roomy, ProcId(0), 0.0, 50.0);
+  plan.place(urgent, ProcId(0), 50.0, 60.0);
+
+  RuntimeOptions nonpreemptive;
+  Pcg32 rng1(1);
+  const RuntimeResult blocked =
+      simulate_runtime(g, asg, plan, machine, nonpreemptive, rng1);
+  // Urgent misses its 25-deadline badly: finishes at 60.
+  EXPECT_DOUBLE_EQ(blocked.lateness.max_lateness, 60.0 - 25.0);
+
+  RuntimeOptions preemptive;
+  preemptive.preemptive = true;
+  Pcg32 rng2(1);
+  const RuntimeResult preempted =
+      simulate_runtime(g, asg, plan, machine, preemptive, rng2);
+  // Urgent runs 10-20 (meets 25); roomy resumes and finishes at 60.
+  EXPECT_DOUBLE_EQ(preempted.lateness.max_lateness, 20.0 - 25.0);
+  EXPECT_DOUBLE_EQ(preempted.makespan, 60.0);
+}
+
+TEST(RuntimeSim, PreemptionPreservesTotalWork) {
+  Plan plan(8, /*n_procs=*/3);
+  RuntimeOptions preemptive;
+  preemptive.preemptive = true;
+  Pcg32 rng(5);
+  const RuntimeResult result = simulate_runtime(plan.graph, plan.assignment,
+                                                plan.schedule, plan.machine,
+                                                preemptive, rng);
+  // Every subtask completed and was measured.
+  EXPECT_EQ(result.lateness.count, plan.graph.subtask_count());
+  EXPECT_GT(result.makespan, 0.0);
+}
+
+TEST(RuntimeSim, PreemptiveDeterministic) {
+  Plan plan(9);
+  RuntimeOptions options;
+  options.preemptive = true;
+  options.exec_scale_min = 0.7;
+  options.exec_scale_max = 1.2;
+  options.background_utilization = 0.3;
+  Pcg32 a(3);
+  Pcg32 b(3);
+  const RuntimeResult ra = simulate_runtime(plan.graph, plan.assignment,
+                                            plan.schedule, plan.machine, options, a);
+  const RuntimeResult rb = simulate_runtime(plan.graph, plan.assignment,
+                                            plan.schedule, plan.machine, options, b);
+  EXPECT_DOUBLE_EQ(ra.lateness.max_lateness, rb.lateness.max_lateness);
+  EXPECT_DOUBLE_EQ(ra.makespan, rb.makespan);
+}
+
+TEST(RuntimeSim, RejectsBadOptions) {
+  Plan plan(7);
+  Pcg32 rng(1);
+  RuntimeOptions bad;
+  bad.exec_scale_min = 0.0;
+  EXPECT_THROW(simulate_runtime(plan.graph, plan.assignment, plan.schedule,
+                                plan.machine, bad, rng),
+               ContractViolation);
+  bad = RuntimeOptions{};
+  bad.background_utilization = 1.0;
+  EXPECT_THROW(simulate_runtime(plan.graph, plan.assignment, plan.schedule,
+                                plan.machine, bad, rng),
+               ContractViolation);
+  bad = RuntimeOptions{};
+  bad.exec_scale_max = 0.5;  // max < min
+  EXPECT_THROW(simulate_runtime(plan.graph, plan.assignment, plan.schedule,
+                                plan.machine, bad, rng),
+               ContractViolation);
+}
+
+TEST(RuntimeSim, SingleTaskGraph) {
+  TaskGraph g;
+  const NodeId only = g.add_subtask("only", 10.0);
+  g.set_boundary_release(only, 0.0);
+  g.set_boundary_deadline(only, 30.0);
+  Machine machine;
+  machine.n_procs = 1;
+  auto metric = make_pure();
+  const auto ccne = make_ccne();
+  const DeadlineAssignment asg = distribute_deadlines(g, *metric, *ccne);
+  const Schedule sched = list_schedule(g, asg, machine);
+  Pcg32 rng(1);
+  const RuntimeResult result =
+      simulate_runtime(g, asg, sched, machine, RuntimeOptions{}, rng);
+  EXPECT_DOUBLE_EQ(result.makespan, 10.0);
+  EXPECT_DOUBLE_EQ(result.lateness.max_lateness, -20.0);
+  EXPECT_DOUBLE_EQ(result.end_to_end, -20.0);
+}
+
+}  // namespace
+}  // namespace feast

@@ -1,0 +1,197 @@
+/// \file test_schedule_validate.cpp
+/// \brief The schedule validator must catch every class of corruption it
+///        claims to check; each test plants one specific violation.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sched/schedule_validate.hpp"
+#include "taskgraph/task_graph.hpp"
+
+namespace feast {
+namespace {
+
+/// prod(10) --8 items--> cons(10); window prod[0,15], cons[20,40].
+struct Fixture {
+  TaskGraph g;
+  NodeId prod, cons, comm;
+  DeadlineAssignment asg;
+  Machine machine;
+
+  Fixture() {
+    prod = g.add_subtask("prod", 10.0);
+    cons = g.add_subtask("cons", 10.0);
+    comm = g.add_precedence(prod, cons, 8.0);
+    asg = DeadlineAssignment(g);
+    asg.assign(prod, 0.0, 15.0, 0);
+    asg.assign(cons, 20.0, 20.0, 0);
+    asg.assign(comm, 15.0, 0.0, 0);
+    machine.n_procs = 2;
+  }
+};
+
+void expect_problem(const ScheduleReport& report, const std::string& needle) {
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find(needle), std::string::npos)
+      << "report was: " << report.to_string();
+}
+
+TEST(ScheduleValidate, AcceptsCorrectSchedule) {
+  Fixture f;
+  Schedule s(f.g, f.machine);
+  s.place(f.prod, ProcId(0), 0.0, 10.0);
+  s.record_transfer(f.comm, 10.0, 18.0, true);
+  s.place(f.cons, ProcId(1), 20.0, 30.0);
+  EXPECT_TRUE(validate_schedule(f.g, f.asg, f.machine, s).ok());
+}
+
+TEST(ScheduleValidate, IncompleteScheduleReported) {
+  Fixture f;
+  Schedule s(f.g, f.machine);
+  s.place(f.prod, ProcId(0), 0.0, 10.0);
+  expect_problem(validate_schedule(f.g, f.asg, f.machine, s), "does not cover");
+}
+
+TEST(ScheduleValidate, PinViolationReported) {
+  Fixture f;
+  f.g.pin(f.cons, ProcId(0));
+  Schedule s(f.g, f.machine);
+  s.place(f.prod, ProcId(0), 0.0, 10.0);
+  s.record_transfer(f.comm, 10.0, 18.0, true);
+  s.place(f.cons, ProcId(1), 20.0, 30.0);
+  expect_problem(validate_schedule(f.g, f.asg, f.machine, s), "locality");
+}
+
+TEST(ScheduleValidate, WrongDurationReported) {
+  Fixture f;
+  Schedule s(f.g, f.machine);
+  s.place(f.prod, ProcId(0), 0.0, 12.0);  // 12 != exec time 10
+  s.record_transfer(f.comm, 12.0, 20.0, true);
+  s.place(f.cons, ProcId(1), 20.0, 30.0);
+  expect_problem(validate_schedule(f.g, f.asg, f.machine, s), "executes for");
+}
+
+TEST(ScheduleValidate, EarlyStartReportedUnderTimeDriven) {
+  Fixture f;
+  Schedule s(f.g, f.machine);
+  s.place(f.prod, ProcId(0), 0.0, 10.0);
+  s.record_transfer(f.comm, 10.0, 18.0, true);
+  s.place(f.cons, ProcId(1), 18.0, 28.0);  // before its release of 20
+
+  expect_problem(validate_schedule(f.g, f.asg, f.machine, s),
+                 "starts before its assigned release");
+
+  // The same schedule is legal under the eager policy.
+  SchedulerOptions eager;
+  eager.release_policy = ReleasePolicy::Eager;
+  EXPECT_TRUE(validate_schedule(f.g, f.asg, f.machine, s, eager).ok());
+}
+
+TEST(ScheduleValidate, ProcessorOverlapReported) {
+  Fixture f;
+  Schedule s(f.g, f.machine);
+  s.place(f.prod, ProcId(0), 0.0, 10.0);
+  s.record_transfer(f.comm, 10.0, 10.0, false);
+  s.place(f.cons, ProcId(0), 5.0, 15.0);  // overlaps prod on P0
+  SchedulerOptions eager;
+  eager.release_policy = ReleasePolicy::Eager;
+  expect_problem(validate_schedule(f.g, f.asg, f.machine, s, eager), "overlaps");
+}
+
+TEST(ScheduleValidate, MissingTransferLatencyReported) {
+  Fixture f;
+  Schedule s(f.g, f.machine);
+  s.place(f.prod, ProcId(0), 0.0, 10.0);
+  s.record_transfer(f.comm, 10.0, 10.0, true);  // crossing but zero duration
+  s.place(f.cons, ProcId(1), 20.0, 30.0);
+  expect_problem(validate_schedule(f.g, f.asg, f.machine, s), "transfer lasts");
+}
+
+TEST(ScheduleValidate, CrossingFlagMismatchReported) {
+  Fixture f;
+  Schedule s(f.g, f.machine);
+  s.place(f.prod, ProcId(0), 0.0, 10.0);
+  s.record_transfer(f.comm, 10.0, 18.0, true);  // marked crossing...
+  s.place(f.cons, ProcId(0), 20.0, 30.0);       // ...but co-located
+  expect_problem(validate_schedule(f.g, f.asg, f.machine, s), "crossing");
+}
+
+TEST(ScheduleValidate, ConsumerBeforeArrivalReported) {
+  Fixture f;
+  f.asg = DeadlineAssignment(f.g);
+  f.asg.assign(f.prod, 0.0, 15.0, 0);
+  f.asg.assign(f.cons, 12.0, 28.0, 0);
+  f.asg.assign(f.comm, 15.0, 0.0, 0);
+  Schedule s(f.g, f.machine);
+  s.place(f.prod, ProcId(0), 0.0, 10.0);
+  s.record_transfer(f.comm, 10.0, 18.0, true);
+  s.place(f.cons, ProcId(1), 12.0, 22.0);  // message arrives at 18
+  expect_problem(validate_schedule(f.g, f.asg, f.machine, s),
+                 "before the message arrives");
+}
+
+TEST(ScheduleValidate, TransferBeforeProducerFinishReported) {
+  Fixture f;
+  Schedule s(f.g, f.machine);
+  s.place(f.prod, ProcId(0), 0.0, 10.0);
+  s.record_transfer(f.comm, 5.0, 13.0, true);  // departs mid-execution
+  s.place(f.cons, ProcId(1), 20.0, 30.0);
+  expect_problem(validate_schedule(f.g, f.asg, f.machine, s),
+                 "departs before the producer");
+}
+
+TEST(ScheduleValidate, BusOverlapReportedUnderSharedBus) {
+  TaskGraph g;
+  const NodeId p1 = g.add_subtask("p1", 10.0);
+  const NodeId p2 = g.add_subtask("p2", 10.0);
+  const NodeId c1 = g.add_subtask("c1", 5.0);
+  const NodeId c2 = g.add_subtask("c2", 5.0);
+  const NodeId m1 = g.add_precedence(p1, c1, 10.0);
+  const NodeId m2 = g.add_precedence(p2, c2, 10.0);
+
+  DeadlineAssignment asg(g);
+  for (const NodeId id : {p1, p2}) asg.assign(id, 0.0, 50.0, 0);
+  for (const NodeId id : {c1, c2}) asg.assign(id, 0.0, 80.0, 0);
+  for (const NodeId id : {m1, m2}) asg.assign(id, 0.0, 50.0, 0);
+
+  Machine machine;
+  machine.n_procs = 3;
+  machine.contention = CommContention::SharedBus;
+
+  Schedule s(g, machine);
+  s.place(p1, ProcId(0), 0.0, 10.0);
+  s.place(p2, ProcId(1), 0.0, 10.0);
+  s.record_transfer(m1, 10.0, 20.0, true);
+  s.record_transfer(m2, 15.0, 25.0, true);  // overlaps m1 on the bus
+  s.place(c1, ProcId(2), 20.0, 25.0);
+  s.place(c2, ProcId(2), 25.0, 30.0);
+
+  SchedulerOptions eager;
+  eager.release_policy = ReleasePolicy::Eager;
+  expect_problem(validate_schedule(g, asg, machine, s, eager), "interconnect");
+
+  // The identical timing is legal under the contention-free model...
+  machine.contention = CommContention::ContentionFree;
+  EXPECT_TRUE(validate_schedule(g, asg, machine, s, eager).ok());
+  // ...and under point-to-point links, because the two transfers use the
+  // distinct pairs (P0,P2) and (P1,P2).
+  machine.contention = CommContention::PointToPointLinks;
+  EXPECT_TRUE(validate_schedule(g, asg, machine, s, eager).ok());
+}
+
+TEST(ScheduleValidate, BoundaryReleaseViolationReported) {
+  TaskGraph g;
+  const NodeId a = g.add_subtask("a", 10.0);
+  g.set_boundary_release(a, 25.0);
+  DeadlineAssignment asg(g);
+  asg.assign(a, 20.0, 30.0, 0);
+  Machine machine;
+  machine.n_procs = 1;
+  Schedule s(g, machine);
+  s.place(a, ProcId(0), 20.0, 30.0);  // before the physical release of 25
+  expect_problem(validate_schedule(g, asg, machine, s),
+                 "starts before its boundary release");
+}
+
+}  // namespace
+}  // namespace feast

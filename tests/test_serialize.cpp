@@ -1,0 +1,148 @@
+/// \file test_serialize.cpp
+/// \brief Round-trip and error tests for the text serialization, plus DOT
+///        export smoke tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "taskgraph/dot.hpp"
+#include "taskgraph/generator.hpp"
+#include "taskgraph/serialize.hpp"
+#include "util/rng.hpp"
+
+namespace feast {
+namespace {
+
+void expect_graphs_equal(const TaskGraph& a, const TaskGraph& b) {
+  ASSERT_EQ(a.node_count(), b.node_count());
+  ASSERT_EQ(a.subtask_count(), b.subtask_count());
+  // Serialization reorders nodes (subtasks first, then comm nodes); compare
+  // by matching computation indices and arc sets.
+  const auto subs_a = a.computation_nodes();
+  const auto subs_b = b.computation_nodes();
+  ASSERT_EQ(subs_a.size(), subs_b.size());
+  for (std::size_t i = 0; i < subs_a.size(); ++i) {
+    const Node& na = a.node(subs_a[i]);
+    const Node& nb = b.node(subs_b[i]);
+    EXPECT_EQ(na.name, nb.name);
+    EXPECT_DOUBLE_EQ(na.exec_time, nb.exec_time);
+    EXPECT_EQ(na.pinned, nb.pinned);
+    EXPECT_EQ(is_set(na.boundary_release), is_set(nb.boundary_release));
+    if (is_set(na.boundary_release)) {
+      EXPECT_DOUBLE_EQ(na.boundary_release, nb.boundary_release);
+    }
+    EXPECT_EQ(is_set(na.boundary_deadline), is_set(nb.boundary_deadline));
+    if (is_set(na.boundary_deadline)) {
+      EXPECT_DOUBLE_EQ(na.boundary_deadline, nb.boundary_deadline);
+    }
+  }
+  // Arc multisets (by subtask indices and payload).
+  auto arcs_of = [](const TaskGraph& g) {
+    std::vector<std::size_t> sub_index(g.node_count(), 0);
+    const auto subs = g.computation_nodes();
+    for (std::size_t i = 0; i < subs.size(); ++i) sub_index[subs[i].index()] = i;
+    std::vector<std::tuple<std::size_t, std::size_t, double>> arcs;
+    for (const NodeId comm : g.communication_nodes()) {
+      arcs.emplace_back(sub_index[g.comm_source(comm).index()],
+                        sub_index[g.comm_sink(comm).index()],
+                        g.node(comm).message_items);
+    }
+    std::sort(arcs.begin(), arcs.end());
+    return arcs;
+  };
+  EXPECT_EQ(arcs_of(a), arcs_of(b));
+}
+
+TEST(Serialize, RoundTripHandBuilt) {
+  TaskGraph g;
+  const NodeId a = g.add_subtask("sensor read", 12.5);
+  const NodeId b = g.add_subtask("fuse", 30.25);
+  g.add_precedence(a, b, 7.125);
+  g.pin(a, ProcId(1));
+  g.set_boundary_release(a, 0.0);
+  g.set_boundary_deadline(b, 123.456);
+
+  const std::string text = task_graph_to_string(g);
+  const TaskGraph back = task_graph_from_string(text);
+  expect_graphs_equal(g, back);
+}
+
+class SerializeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SerializeProperty, RoundTripRandomGraphs) {
+  RandomGraphConfig config;
+  Pcg32 rng(GetParam());
+  const TaskGraph g = generate_random_graph(config, rng);
+  const TaskGraph back = task_graph_from_string(task_graph_to_string(g));
+  expect_graphs_equal(g, back);
+  // Double round trip is byte-identical.
+  EXPECT_EQ(task_graph_to_string(g), task_graph_to_string(back));
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, SerializeProperty,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(Serialize, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "feast-taskgraph v1\n"
+      "# a comment\n"
+      "\n"
+      "subtask 10 - 0 - alpha\n"
+      "subtask 20 2 - 99 beta\n"
+      "arc 0 1 5\n";
+  const TaskGraph g = task_graph_from_string(text);
+  EXPECT_EQ(g.subtask_count(), 2u);
+  EXPECT_EQ(g.comm_count(), 1u);
+  EXPECT_EQ(g.node(NodeId(1)).pinned, ProcId(2));
+}
+
+TEST(Serialize, ParseErrors) {
+  EXPECT_THROW(task_graph_from_string(""), ParseError);
+  EXPECT_THROW(task_graph_from_string("wrong header\n"), ParseError);
+  EXPECT_THROW(task_graph_from_string("feast-taskgraph v1\nbogus 1 2\n"), ParseError);
+  EXPECT_THROW(task_graph_from_string("feast-taskgraph v1\nsubtask x - - - a\n"),
+               ParseError);
+  EXPECT_THROW(task_graph_from_string("feast-taskgraph v1\nsubtask 1 - - -\n"),
+               ParseError);  // missing name
+  EXPECT_THROW(task_graph_from_string("feast-taskgraph v1\narc 0 1 5\n"), ParseError);
+  EXPECT_THROW(
+      task_graph_from_string("feast-taskgraph v1\nsubtask 1 - - - a\narc 0 5 1\n"),
+      ParseError);  // index out of range
+}
+
+TEST(Dot, ContainsNodesAndArcs) {
+  TaskGraph g;
+  const NodeId a = g.add_subtask("alpha", 10.0);
+  const NodeId b = g.add_subtask("beta", 20.0);
+  g.add_precedence(a, b, 5.0);
+  g.pin(a, ProcId(1));
+
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("alpha"), std::string::npos);
+  EXPECT_NE(dot.find("beta"), std::string::npos);
+  EXPECT_NE(dot.find("pin=P1"), std::string::npos);
+  EXPECT_NE(dot.find("m=5"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("shape=ellipse"), std::string::npos);
+}
+
+TEST(Dot, ExtraLabelHook) {
+  TaskGraph g;
+  const NodeId a = g.add_subtask("alpha", 10.0);
+  const std::string dot = to_dot(g, [&](NodeId id) {
+    return id == a ? std::string("window=[0,30]") : std::string();
+  });
+  EXPECT_NE(dot.find("window=[0,30]"), std::string::npos);
+}
+
+TEST(Dot, EscapesQuotes) {
+  TaskGraph g;
+  g.add_subtask("na\"me", 1.0);
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("na\\\"me"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace feast

@@ -1,0 +1,120 @@
+/// \file test_validate.cpp
+/// \brief Unit tests for structural and distribution-readiness validation.
+#include <gtest/gtest.h>
+
+#include "taskgraph/task_graph.hpp"
+#include "taskgraph/validate.hpp"
+#include "util/contracts.hpp"
+
+namespace feast {
+namespace {
+
+TaskGraph ready_chain() {
+  TaskGraph g;
+  const NodeId a = g.add_subtask("a", 10.0);
+  const NodeId b = g.add_subtask("b", 10.0);
+  g.add_precedence(a, b, 2.0);
+  g.set_boundary_release(a, 0.0);
+  g.set_boundary_deadline(b, 100.0);
+  return g;
+}
+
+TEST(Validate, CleanGraphPasses) {
+  const TaskGraph g = ready_chain();
+  EXPECT_TRUE(validate_structure(g).ok());
+  EXPECT_TRUE(validate_for_distribution(g).ok());
+}
+
+TEST(Validate, CycleReported) {
+  TaskGraph g;
+  const NodeId a = g.add_subtask("a", 1.0);
+  const NodeId b = g.add_subtask("b", 1.0);
+  g.add_precedence(a, b, 0.0);
+  g.add_precedence(b, a, 0.0);
+  const ValidationReport report = validate_structure(g);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("cycle"), std::string::npos);
+}
+
+TEST(Validate, MissingBoundaryReleaseReported) {
+  TaskGraph g;
+  const NodeId a = g.add_subtask("a", 1.0);
+  const NodeId b = g.add_subtask("b", 1.0);
+  g.add_precedence(a, b, 0.0);
+  g.set_boundary_deadline(b, 10.0);
+  const ValidationReport report = validate_for_distribution(g);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("release"), std::string::npos);
+}
+
+TEST(Validate, MissingBoundaryDeadlineReported) {
+  TaskGraph g;
+  const NodeId a = g.add_subtask("a", 1.0);
+  const NodeId b = g.add_subtask("b", 1.0);
+  g.add_precedence(a, b, 0.0);
+  g.set_boundary_release(a, 0.0);
+  const ValidationReport report = validate_for_distribution(g);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("deadline"), std::string::npos);
+}
+
+TEST(Validate, EmptyEndToEndWindowReported) {
+  TaskGraph g;
+  const NodeId a = g.add_subtask("a", 1.0);
+  const NodeId b = g.add_subtask("b", 1.0);
+  g.add_precedence(a, b, 0.0);
+  g.set_boundary_release(a, 50.0);
+  g.set_boundary_deadline(b, 50.0);  // deadline == release: empty window
+  const ValidationReport report = validate_for_distribution(g);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("empty"), std::string::npos);
+}
+
+TEST(Validate, UnreachablePairsNotConstrained) {
+  // Two disconnected chains; a tight window on one pair must not flag the
+  // unrelated pair.
+  TaskGraph g;
+  const NodeId a = g.add_subtask("a", 1.0);
+  const NodeId b = g.add_subtask("b", 1.0);
+  g.add_precedence(a, b, 0.0);
+  const NodeId c = g.add_subtask("c", 1.0);
+  const NodeId d = g.add_subtask("d", 1.0);
+  g.add_precedence(c, d, 0.0);
+  g.set_boundary_release(a, 0.0);
+  g.set_boundary_deadline(b, 10.0);
+  g.set_boundary_release(c, 90.0);  // after b's deadline: fine, no path c->b
+  g.set_boundary_deadline(d, 100.0);
+  EXPECT_TRUE(validate_for_distribution(g).ok());
+}
+
+TEST(Validate, GraphWithNoSubtasksReported) {
+  const TaskGraph g;
+  const ValidationReport report = validate_for_distribution(g);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("no computation subtasks"), std::string::npos);
+}
+
+TEST(Validate, RequireValidThrowsWithReportText) {
+  ValidationReport report;
+  report.problems.push_back("bad thing one");
+  report.problems.push_back("bad thing two");
+  try {
+    require_valid(report);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bad thing one"), std::string::npos);
+    EXPECT_NE(what.find("bad thing two"), std::string::npos);
+  }
+}
+
+TEST(Validate, ReportToStringJoinsProblems) {
+  ValidationReport report;
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.to_string(), "");
+  report.problems = {"x", "y"};
+  EXPECT_EQ(report.to_string(), "x\ny");
+}
+
+}  // namespace
+}  // namespace feast

@@ -1,0 +1,15 @@
+/// \file feastc.cpp
+/// \brief Entry point of the feastc command-line tool; all logic lives in
+///        the testable feast_cli library.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli_app.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return feast::run_cli(args, std::cin, std::cout, std::cerr);
+}
