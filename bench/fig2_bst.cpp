@@ -9,10 +9,12 @@
 /// execution-time spread (worst for HDET).
 #include <iostream>
 
+#include "campaign/cache.hpp"
 #include "experiment/cli.hpp"
 
 int main(int argc, char** argv) {
   const feast::BenchArgs args = feast::parse_bench_args(argc, argv, "fig2_bst");
+  if (args.cache_dir) feast::install_global_cell_cache(*args.cache_dir);
   const auto results = feast::figure2_bst(args.figure);
   feast::print_results(results);
   args.write_csv(results);

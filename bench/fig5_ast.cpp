@@ -8,10 +8,12 @@
 /// HDET saturates slightly worse than PURE beyond ~10 processors.
 #include <iostream>
 
+#include "campaign/cache.hpp"
 #include "experiment/cli.hpp"
 
 int main(int argc, char** argv) {
   const feast::BenchArgs args = feast::parse_bench_args(argc, argv, "fig5_ast");
+  if (args.cache_dir) feast::install_global_cell_cache(*args.cache_dir);
   const auto results = feast::figure5_ast(args.figure);
   feast::print_results(results);
   args.write_csv(results);

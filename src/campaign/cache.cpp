@@ -1,0 +1,169 @@
+#include "campaign/cache.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/contracts.hpp"
+#include "util/log.hpp"
+
+namespace feast {
+
+namespace {
+
+constexpr char kRecordMagic[] = "feast-cell v1";
+
+std::string full(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+void write_summary(std::ostream& out, const char* name, const StatSummary& s) {
+  out << name << ' ' << s.count << ' ' << full(s.mean) << ' ' << full(s.stddev) << ' '
+      << full(s.min) << ' ' << full(s.max) << ' ' << full(s.ci95_half_width) << '\n';
+}
+
+bool read_summary(std::istream& in, const char* name, StatSummary& s) {
+  std::string label;
+  if (!(in >> label) || label != name) return false;
+  return static_cast<bool>(in >> s.count >> s.mean >> s.stddev >> s.min >> s.max >>
+                           s.ci95_half_width);
+}
+
+/// Distinct temporary names so concurrent stores of the same key never write
+/// the same file before the atomic rename.
+std::string unique_suffix() {
+  static std::atomic<std::uint64_t> counter{0};
+  return ".tmp" + std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view data) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV offset basis.
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;  // FNV prime.
+  }
+  return hash;
+}
+
+std::string hash_hex(std::uint64_t hash) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buffer;
+}
+
+void write_cell_record(std::ostream& out, const std::string& canonical_key,
+                       const CellStats& stats) {
+  out << kRecordMagic << '\n';
+  out << "key " << canonical_key << '\n';
+  write_summary(out, "max_lateness", stats.max_lateness);
+  write_summary(out, "end_to_end", stats.end_to_end);
+  write_summary(out, "makespan", stats.makespan);
+  write_summary(out, "min_laxity", stats.min_laxity);
+  out << "infeasible_runs " << stats.infeasible_runs << '\n';
+}
+
+std::optional<std::string> read_cell_record(std::istream& in, CellStats& out) {
+  std::string line;
+  if (!std::getline(in, line) || line != kRecordMagic) return std::nullopt;
+  if (!std::getline(in, line) || line.rfind("key ", 0) != 0) return std::nullopt;
+  std::string key = line.substr(4);
+  CellStats stats;
+  if (!read_summary(in, "max_lateness", stats.max_lateness)) return std::nullopt;
+  if (!read_summary(in, "end_to_end", stats.end_to_end)) return std::nullopt;
+  if (!read_summary(in, "makespan", stats.makespan)) return std::nullopt;
+  if (!read_summary(in, "min_laxity", stats.min_laxity)) return std::nullopt;
+  std::string label;
+  if (!(in >> label) || label != "infeasible_runs") return std::nullopt;
+  if (!(in >> stats.infeasible_runs)) return std::nullopt;
+  out = stats;
+  return key;
+}
+
+ResultCache::ResultCache(std::filesystem::path dir) : dir_(std::move(dir)) {
+  FEAST_REQUIRE(!dir_.empty());
+  std::filesystem::create_directories(dir_);
+}
+
+std::filesystem::path ResultCache::record_path(const std::string& canonical_key) const {
+  return dir_ / (hash_hex(fnv1a64(canonical_key)) + ".cell");
+}
+
+bool ResultCache::lookup(const std::string& canonical_key, CellStats& out) {
+  std::ifstream file(record_path(canonical_key));
+  bool hit = false;
+  if (file) {
+    CellStats stats;
+    const auto stored_key = read_cell_record(file, stats);
+    // A record stored under a different canonical key (hash collision, or a
+    // stale file from an older format) is a miss, never a wrong answer.
+    if (stored_key && *stored_key == canonical_key) {
+      out = stats;
+      hit = true;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (hit) {
+    ++hits_;
+  } else {
+    ++misses_;
+  }
+  return hit;
+}
+
+bool ResultCache::contains(const std::string& canonical_key) {
+  CellStats ignored;
+  return lookup(canonical_key, ignored);
+}
+
+void ResultCache::store(const std::string& canonical_key, const CellStats& stats) {
+  const std::filesystem::path path = record_path(canonical_key);
+  const std::filesystem::path tmp = path.string() + unique_suffix();
+  {
+    std::ofstream file(tmp);
+    if (!file) {
+      FEAST_LOG_WARN << "cell cache: cannot write " << tmp.string();
+      return;
+    }
+    write_cell_record(file, canonical_key, stats);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    FEAST_LOG_WARN << "cell cache: rename failed: " << ec.message();
+    std::filesystem::remove(tmp, ec);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stores_;
+}
+
+std::size_t ResultCache::hits() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::size_t ResultCache::misses() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::size_t ResultCache::stores() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stores_;
+}
+
+ResultCache* install_global_cell_cache(const std::filesystem::path& dir) {
+  // Deliberately leaked: the cache must outlive every sweep, including ones
+  // issued from static destructors of bench binaries.
+  auto* cache = new ResultCache(dir);
+  set_cell_cache(cache);
+  return cache;
+}
+
+}  // namespace feast

@@ -1,0 +1,80 @@
+/// \file cache.hpp
+/// \brief Content-addressed result cache for experiment cells.
+///
+/// A cell — one (workload, strategy, system size, batch config) aggregate of
+/// 128 runs — is identified by the canonical description string built by
+/// feast::describe_cell.  Its 64-bit FNV-1a hash names a record file in the
+/// cache directory (default `.feast-cache/`), so re-running an unchanged
+/// cell is a single file read instead of 128 generate/distribute/schedule
+/// pipelines.  Records store the full canonical key alongside the stats;
+/// a loaded record whose key does not match byte-for-byte is treated as a
+/// miss (hash-collision safety).
+///
+/// Layout: `<dir>/<16-hex-digit hash>.cell`, one cell per file, written via
+/// a temporary + atomic rename so concurrent writers and interrupted runs
+/// never leave a torn record.  See docs/CAMPAIGN.md for the record format.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "experiment/sweep.hpp"
+
+namespace feast {
+
+/// 64-bit FNV-1a over \p data.
+std::uint64_t fnv1a64(std::string_view data) noexcept;
+
+/// 16-lower-hex-digit rendering of \p hash (the cache file stem).
+std::string hash_hex(std::uint64_t hash);
+
+/// Writes one cell record (versioned text format, full precision).
+void write_cell_record(std::ostream& out, const std::string& canonical_key,
+                       const CellStats& stats);
+
+/// Reads a record written by write_cell_record.  Returns the canonical key
+/// it was stored under, or std::nullopt on malformed/incompatible input.
+std::optional<std::string> read_cell_record(std::istream& in, CellStats& out);
+
+/// File-backed CellCache.  Thread-safe: distinct keys touch distinct files,
+/// identical keys race only between atomic renames of identical content.
+class ResultCache final : public CellCache {
+ public:
+  /// Opens (and creates if needed) the cache directory.
+  explicit ResultCache(std::filesystem::path dir);
+
+  const std::filesystem::path& dir() const noexcept { return dir_; }
+
+  // CellCache interface.
+  bool lookup(const std::string& canonical_key, CellStats& out) override;
+  void store(const std::string& canonical_key, const CellStats& stats) override;
+
+  /// True when \p canonical_key has a stored record (no stats needed).
+  bool contains(const std::string& canonical_key);
+
+  /// Counters since construction (thread-safe snapshots).
+  std::size_t hits() const noexcept;
+  std::size_t misses() const noexcept;
+  std::size_t stores() const noexcept;
+
+ private:
+  std::filesystem::path record_path(const std::string& canonical_key) const;
+
+  std::filesystem::path dir_;
+  mutable std::mutex mutex_;  ///< Guards the counters only.
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  std::size_t stores_ = 0;
+};
+
+/// Creates a process-lifetime ResultCache on \p dir and installs it as the
+/// cell cache consulted by run_cell/sweep_strategies (see BenchArgs
+/// --cache-dir).  Returns the installed cache.
+ResultCache* install_global_cell_cache(const std::filesystem::path& dir);
+
+}  // namespace feast

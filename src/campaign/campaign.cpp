@@ -1,0 +1,921 @@
+#include "campaign/campaign.hpp"
+
+#include <cctype>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "campaign/pool.hpp"
+#include "util/parallel.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace feast {
+
+namespace {
+
+std::string full(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+double parse_double_field(const std::string& what, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("campaign: bad number for " + what + ": '" + text + "'");
+  }
+}
+
+long long parse_int_field(const std::string& what, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(text, &pos, 0);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("campaign: bad integer for " + what + ": '" + text +
+                                "'");
+  }
+}
+
+std::pair<int, int> parse_range_field(const std::string& what, const std::string& text) {
+  const auto pieces = split(text, ':');
+  if (pieces.size() != 2) {
+    throw std::invalid_argument("campaign: " + what + " wants A:B, got '" + text + "'");
+  }
+  const int a = static_cast<int>(parse_int_field(what, trim(pieces[0])));
+  const int b = static_cast<int>(parse_int_field(what, trim(pieces[1])));
+  if (b < a) throw std::invalid_argument("campaign: " + what + " range is empty");
+  return {a, b};
+}
+
+// ------------------------------------------------------------ JSON writing
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_summary_json(std::ostream& out, const char* name, const StatSummary& s) {
+  out << '"' << name << "\": [" << s.count << ", " << full(s.mean) << ", "
+      << full(s.stddev) << ", " << full(s.min) << ", " << full(s.max) << ", "
+      << full(s.ci95_half_width) << ']';
+}
+
+// ------------------------------------------------------------ JSON reading
+//
+// A deliberately small recursive-descent parser covering the JSON subset
+// write_manifest emits (objects, arrays, strings with basic escapes,
+// numbers, booleans, null).  Kept internal: the manifest is the only JSON
+// this repository reads.
+
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("manifest JSON: " + what + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t len = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, len, literal) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        JsonValue v;
+        v.type = JsonValue::Type::String;
+        v.string = parse_string();
+        return v;
+      }
+      case 't':
+      case 'f': {
+        JsonValue v;
+        v.type = JsonValue::Type::Bool;
+        if (consume_literal("true")) {
+          v.boolean = true;
+        } else if (consume_literal("false")) {
+          v.boolean = false;
+        } else {
+          fail("bad literal");
+        }
+        return v;
+      }
+      case 'n': {
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue{};
+      }
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::Object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::Array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = text_[pos_++];
+            code <<= 4U;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // The writer only emits \u00XX control escapes; decode the BMP
+          // range as UTF-8 anyway for robustness.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6U));
+            out += static_cast<char>(0x80 | (code & 0x3FU));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12U));
+            out += static_cast<char>(0x80 | ((code >> 6U) & 0x3FU));
+            out += static_cast<char>(0x80 | (code & 0x3FU));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (start == pos_) fail("expected a value");
+    JsonValue v;
+    v.type = JsonValue::Type::Number;
+    try {
+      v.number = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+double number_at(const JsonValue& object, const std::string& key, double fallback = 0.0) {
+  const JsonValue* v = object.find(key);
+  return (v != nullptr && v->type == JsonValue::Type::Number) ? v->number : fallback;
+}
+
+std::string string_at(const JsonValue& object, const std::string& key) {
+  const JsonValue* v = object.find(key);
+  return (v != nullptr && v->type == JsonValue::Type::String) ? v->string : std::string{};
+}
+
+StatSummary summary_at(const JsonValue& object, const std::string& key) {
+  StatSummary s;
+  const JsonValue* v = object.find(key);
+  if (v == nullptr || v->type != JsonValue::Type::Array || v->array.size() != 6) return s;
+  s.count = static_cast<std::size_t>(v->array[0].number);
+  s.mean = v->array[1].number;
+  s.stddev = v->array[2].number;
+  s.min = v->array[3].number;
+  s.max = v->array[4].number;
+  s.ci95_half_width = v->array[5].number;
+  return s;
+}
+
+CellState cell_state_from(const std::string& text) {
+  if (text == "computed") return CellState::Computed;
+  if (text == "cached") return CellState::Cached;
+  if (text == "failed") return CellState::Failed;
+  return CellState::Pending;
+}
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   start)
+      .count();
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- strategies
+
+Strategy parse_strategy_spec(const std::string& spec) {
+  std::vector<std::string> parts = split(trim(spec), ':');
+  for (std::string& p : parts) p = trim(p);
+  if (parts.empty() || parts[0].empty()) {
+    throw std::invalid_argument("campaign: empty strategy spec");
+  }
+  const std::string& kind = parts[0];
+
+  auto arity = [&](std::size_t max_parts) {
+    if (parts.size() > max_parts) {
+      throw std::invalid_argument("campaign: too many ':' fields in strategy '" + spec +
+                                  "'");
+    }
+  };
+  auto estimator = [&](std::size_t index) {
+    if (parts.size() <= index || parts[index].empty()) return EstimatorKind::CCNE;
+    if (parts[index] == "ccne") return EstimatorKind::CCNE;
+    if (parts[index] == "ccaa") return EstimatorKind::CCAA;
+    throw std::invalid_argument("campaign: unknown estimator '" + parts[index] +
+                                "' in strategy '" + spec + "'");
+  };
+  auto number = [&](std::size_t index, double fallback) {
+    if (parts.size() <= index || parts[index].empty()) return fallback;
+    return parse_double_field("strategy '" + spec + "'", parts[index]);
+  };
+
+  if (kind == "pure") {
+    arity(2);
+    return strategy_pure(estimator(1));
+  }
+  if (kind == "norm") {
+    arity(2);
+    return strategy_norm(estimator(1));
+  }
+  if (kind == "thres") {
+    arity(3);
+    return strategy_thres(number(1, 1.0), number(2, 1.25));
+  }
+  if (kind == "adapt") {
+    arity(2);
+    return strategy_adapt(number(1, 1.25));
+  }
+  if (kind == "ud") {
+    arity(1);
+    return strategy_ultimate_deadline();
+  }
+  if (kind == "ed") {
+    arity(1);
+    return strategy_effective_deadline();
+  }
+  if (kind == "prop") {
+    arity(1);
+    return strategy_proportional();
+  }
+  throw std::invalid_argument("campaign: unknown strategy '" + spec + "'");
+}
+
+// --------------------------------------------------------------------- spec
+
+std::string CampaignSpec::canonical_text() const {
+  std::ostringstream out;
+  out << "name = " << name << '\n';
+  out << "samples = " << batch.samples << '\n';
+  out << "seed = " << batch.seed << '\n';
+  out << "subtasks = " << workload.min_subtasks << ':' << workload.max_subtasks << '\n';
+  out << "depth = " << workload.min_depth << ':' << workload.max_depth << '\n';
+  out << "degree = " << workload.min_degree << ':' << workload.max_degree << '\n';
+  out << "alpha = " << full(workload.level_width_alpha) << '\n';
+  out << "strict_fanin = " << (workload.strict_fanin_cap ? 1 : 0) << '\n';
+  out << "met = " << full(workload.mean_exec_time) << '\n';
+  out << "spread = " << full(workload.exec_spread) << '\n';
+  out << "olr = " << full(workload.olr) << '\n';
+  out << "olr_basis = "
+      << (workload.olr_basis == OlrBasis::CriticalPath ? "critical-path"
+                                                       : "total-workload")
+      << '\n';
+  out << "ccr = " << full(workload.ccr) << '\n';
+  out << "message_spread = " << full(workload.message_spread) << '\n';
+  out << "pinned_fraction = " << full(batch.pinned_fraction) << '\n';
+  out << "time_per_item = " << full(batch.time_per_item) << '\n';
+  out << "contention = "
+      << (batch.contention == CommContention::SharedBus          ? "bus"
+          : batch.contention == CommContention::PointToPointLinks ? "links"
+                                                                  : "free")
+      << '\n';
+  out << "release = "
+      << (batch.scheduler.release_policy == ReleasePolicy::Eager ? "eager"
+                                                                 : "time-driven")
+      << '\n';
+  out << "selection = "
+      << (batch.scheduler.selection == SelectionPolicy::Fifo           ? "fifo"
+          : batch.scheduler.selection == SelectionPolicy::StaticLaxity ? "static-laxity"
+                                                                       : "edf")
+      << '\n';
+  out << "processor = "
+      << (batch.scheduler.processor_policy == ProcessorPolicy::QueueAtEnd
+              ? "queue-at-end"
+              : "gap-search")
+      << '\n';
+  out << "validate = " << (batch.validate ? 1 : 0) << '\n';
+  std::vector<std::string> specs = strategies;
+  out << "strategies = " << join(specs, ", ") << '\n';
+  std::vector<std::string> size_strings;
+  size_strings.reserve(sizes.size());
+  for (const int n : sizes) size_strings.push_back(std::to_string(n));
+  out << "sizes = " << join(size_strings, ",") << '\n';
+  return out.str();
+}
+
+CampaignSpec CampaignSpec::parse(std::istream& in) {
+  CampaignSpec spec;
+  spec.strategies.clear();
+  spec.sizes.clear();
+
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t comment = line.find('#');
+    if (comment != std::string::npos) line.resize(comment);
+    line = trim(line);
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("campaign spec line " + std::to_string(line_no) +
+                                  ": expected 'key = value', got '" + line + "'");
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+
+    if (key == "name") {
+      spec.name = value;
+    } else if (key == "samples") {
+      spec.batch.samples = static_cast<int>(parse_int_field(key, value));
+    } else if (key == "seed") {
+      spec.batch.seed = static_cast<std::uint64_t>(parse_int_field(key, value));
+    } else if (key == "subtasks") {
+      std::tie(spec.workload.min_subtasks, spec.workload.max_subtasks) =
+          parse_range_field(key, value);
+    } else if (key == "depth") {
+      std::tie(spec.workload.min_depth, spec.workload.max_depth) =
+          parse_range_field(key, value);
+    } else if (key == "degree") {
+      std::tie(spec.workload.min_degree, spec.workload.max_degree) =
+          parse_range_field(key, value);
+    } else if (key == "alpha") {
+      spec.workload.level_width_alpha = parse_double_field(key, value);
+    } else if (key == "strict_fanin") {
+      spec.workload.strict_fanin_cap = parse_int_field(key, value) != 0;
+    } else if (key == "met") {
+      spec.workload.mean_exec_time = parse_double_field(key, value);
+    } else if (key == "spread") {
+      spec.workload.exec_spread = parse_double_field(key, value);
+    } else if (key == "scenario") {
+      if (value == "LDET") spec.workload.set_scenario(ExecSpreadScenario::LDET);
+      else if (value == "MDET") spec.workload.set_scenario(ExecSpreadScenario::MDET);
+      else if (value == "HDET") spec.workload.set_scenario(ExecSpreadScenario::HDET);
+      else throw std::invalid_argument("campaign: unknown scenario '" + value + "'");
+    } else if (key == "olr") {
+      spec.workload.olr = parse_double_field(key, value);
+    } else if (key == "olr_basis") {
+      if (value == "total-workload") spec.workload.olr_basis = OlrBasis::TotalWorkload;
+      else if (value == "critical-path") spec.workload.olr_basis = OlrBasis::CriticalPath;
+      else throw std::invalid_argument("campaign: unknown olr_basis '" + value + "'");
+    } else if (key == "ccr") {
+      spec.workload.ccr = parse_double_field(key, value);
+    } else if (key == "message_spread") {
+      spec.workload.message_spread = parse_double_field(key, value);
+    } else if (key == "pinned_fraction") {
+      spec.batch.pinned_fraction = parse_double_field(key, value);
+    } else if (key == "time_per_item") {
+      spec.batch.time_per_item = parse_double_field(key, value);
+    } else if (key == "contention") {
+      if (value == "free") spec.batch.contention = CommContention::ContentionFree;
+      else if (value == "bus") spec.batch.contention = CommContention::SharedBus;
+      else if (value == "links") spec.batch.contention = CommContention::PointToPointLinks;
+      else throw std::invalid_argument("campaign: unknown contention '" + value + "'");
+    } else if (key == "release") {
+      if (value == "time-driven")
+        spec.batch.scheduler.release_policy = ReleasePolicy::TimeDriven;
+      else if (value == "eager") spec.batch.scheduler.release_policy = ReleasePolicy::Eager;
+      else throw std::invalid_argument("campaign: unknown release policy '" + value + "'");
+    } else if (key == "selection") {
+      if (value == "edf") spec.batch.scheduler.selection = SelectionPolicy::Edf;
+      else if (value == "fifo") spec.batch.scheduler.selection = SelectionPolicy::Fifo;
+      else if (value == "static-laxity")
+        spec.batch.scheduler.selection = SelectionPolicy::StaticLaxity;
+      else throw std::invalid_argument("campaign: unknown selection '" + value + "'");
+    } else if (key == "processor") {
+      if (value == "gap-search")
+        spec.batch.scheduler.processor_policy = ProcessorPolicy::GapSearch;
+      else if (value == "queue-at-end")
+        spec.batch.scheduler.processor_policy = ProcessorPolicy::QueueAtEnd;
+      else throw std::invalid_argument("campaign: unknown processor policy '" + value +
+                                       "'");
+    } else if (key == "validate") {
+      spec.batch.validate = parse_int_field(key, value) != 0;
+    } else if (key == "strategies") {
+      for (const std::string& piece : split(value, ',')) {
+        const std::string s = trim(piece);
+        if (!s.empty()) spec.strategies.push_back(s);
+      }
+    } else if (key == "sizes") {
+      for (const std::string& piece : split(value, ',')) {
+        const std::string s = trim(piece);
+        if (s.empty()) continue;
+        const long long n = parse_int_field(key, s);
+        if (n < 1) throw std::invalid_argument("campaign: sizes must be positive");
+        spec.sizes.push_back(static_cast<int>(n));
+      }
+    } else {
+      throw std::invalid_argument("campaign spec line " + std::to_string(line_no) +
+                                  ": unknown key '" + key + "'");
+    }
+  }
+
+  if (spec.strategies.empty()) {
+    throw std::invalid_argument("campaign spec: no strategies");
+  }
+  if (spec.sizes.empty()) throw std::invalid_argument("campaign spec: no sizes");
+  if (spec.batch.samples < 1) throw std::invalid_argument("campaign spec: samples < 1");
+  // Fail fast on malformed strategy specs, before any cell runs.
+  for (const std::string& s : spec.strategies) (void)parse_strategy_spec(s);
+  return spec;
+}
+
+CampaignSpec CampaignSpec::parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("campaign: cannot open spec '" + path + "'");
+  return parse(in);
+}
+
+// ----------------------------------------------------------------- manifest
+
+const char* to_string(CellState state) noexcept {
+  switch (state) {
+    case CellState::Pending: return "pending";
+    case CellState::Computed: return "computed";
+    case CellState::Cached: return "cached";
+    case CellState::Failed: return "failed";
+  }
+  return "?";
+}
+
+void write_manifest(std::ostream& out, const CampaignSpec& spec,
+                    const CampaignResult& result) {
+  out << "{\n";
+  out << "  \"feast_manifest_version\": 1,\n";
+  out << "  \"name\": \"" << json_escape(result.name) << "\",\n";
+  out << "  \"spec_hash\": \"" << result.spec_hash_hex << "\",\n";
+  out << "  \"samples\": " << result.samples << ",\n";
+  out << "  \"spec_text\": \"" << json_escape(spec.canonical_text()) << "\",\n";
+  std::size_t pending = 0;
+  for (const CellOutcome& cell : result.cells) {
+    if (cell.state == CellState::Pending) ++pending;
+  }
+  out << "  \"totals\": {\"cells\": " << result.cells.size()
+      << ", \"computed\": " << result.computed << ", \"cached\": " << result.cached
+      << ", \"failed\": " << result.failed << ", \"pending\": " << pending
+      << ", \"wall_ms\": " << full(result.wall_ms)
+      << ", \"cells_per_sec\": " << full(result.cells_per_sec)
+      << ", \"runs_per_sec\": " << full(result.runs_per_sec) << "},\n";
+  out << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const CellOutcome& cell = result.cells[i];
+    out << "    {\"strategy\": \"" << json_escape(cell.strategy_label)
+        << "\", \"spec\": \"" << json_escape(cell.strategy_spec)
+        << "\", \"procs\": " << cell.n_procs << ", \"key\": \"" << cell.key_hex
+        << "\", \"state\": \"" << to_string(cell.state)
+        << "\", \"wall_ms\": " << full(cell.wall_ms) << ",\n     ";
+    write_summary_json(out, "max_lateness", cell.stats.max_lateness);
+    out << ", ";
+    write_summary_json(out, "end_to_end", cell.stats.end_to_end);
+    out << ",\n     ";
+    write_summary_json(out, "makespan", cell.stats.makespan);
+    out << ", ";
+    write_summary_json(out, "min_laxity", cell.stats.min_laxity);
+    out << ",\n     \"infeasible_runs\": " << cell.stats.infeasible_runs
+        << ", \"error\": \"" << json_escape(cell.error) << "\"}";
+    out << (i + 1 < result.cells.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n";
+  out << "}\n";
+}
+
+Manifest read_manifest(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  const JsonValue root = JsonParser(text).parse();
+  if (root.type != JsonValue::Type::Object) {
+    throw std::runtime_error("manifest: top level is not an object");
+  }
+  Manifest manifest;
+  manifest.version = static_cast<int>(number_at(root, "feast_manifest_version"));
+  if (manifest.version != 1) {
+    throw std::runtime_error("manifest: unsupported version " +
+                             std::to_string(manifest.version));
+  }
+  manifest.name = string_at(root, "name");
+  manifest.spec_hash_hex = string_at(root, "spec_hash");
+  manifest.spec_text = string_at(root, "spec_text");
+  manifest.samples = static_cast<int>(number_at(root, "samples"));
+  if (const JsonValue* totals = root.find("totals")) {
+    manifest.wall_ms = number_at(*totals, "wall_ms");
+    manifest.computed = static_cast<std::size_t>(number_at(*totals, "computed"));
+    manifest.cached = static_cast<std::size_t>(number_at(*totals, "cached"));
+    manifest.failed = static_cast<std::size_t>(number_at(*totals, "failed"));
+  }
+  const JsonValue* cells = root.find("cells");
+  if (cells == nullptr || cells->type != JsonValue::Type::Array) {
+    throw std::runtime_error("manifest: missing cells array");
+  }
+  manifest.cells.reserve(cells->array.size());
+  for (const JsonValue& entry : cells->array) {
+    if (entry.type != JsonValue::Type::Object) {
+      throw std::runtime_error("manifest: cell entry is not an object");
+    }
+    CellOutcome cell;
+    cell.strategy_label = string_at(entry, "strategy");
+    cell.strategy_spec = string_at(entry, "spec");
+    cell.n_procs = static_cast<int>(number_at(entry, "procs"));
+    cell.key_hex = string_at(entry, "key");
+    cell.state = cell_state_from(string_at(entry, "state"));
+    cell.wall_ms = number_at(entry, "wall_ms");
+    cell.stats.max_lateness = summary_at(entry, "max_lateness");
+    cell.stats.end_to_end = summary_at(entry, "end_to_end");
+    cell.stats.makespan = summary_at(entry, "makespan");
+    cell.stats.min_laxity = summary_at(entry, "min_laxity");
+    cell.stats.infeasible_runs =
+        static_cast<std::size_t>(number_at(entry, "infeasible_runs"));
+    cell.error = string_at(entry, "error");
+    manifest.cells.push_back(std::move(cell));
+  }
+  return manifest;
+}
+
+Manifest read_manifest_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("campaign: cannot open manifest '" + path + "'");
+  return read_manifest(in);
+}
+
+// ------------------------------------------------------------------- runner
+
+namespace {
+
+void checkpoint_manifest(const std::string& path, const CampaignSpec& spec,
+                         const CampaignResult& result) {
+  if (path.empty()) return;
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) throw std::runtime_error("campaign: cannot write manifest '" + path + "'");
+    write_manifest(out, spec, result);
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+void refresh_totals(CampaignResult& result, double wall_ms) {
+  result.computed = result.cached = result.failed = 0;
+  for (const CellOutcome& cell : result.cells) {
+    switch (cell.state) {
+      case CellState::Computed: ++result.computed; break;
+      case CellState::Cached: ++result.cached; break;
+      case CellState::Failed: ++result.failed; break;
+      case CellState::Pending: break;
+    }
+  }
+  result.wall_ms = wall_ms;
+  const double wall_s = wall_ms / 1000.0;
+  if (wall_s > 0.0) {
+    result.cells_per_sec = static_cast<double>(result.cells.size()) / wall_s;
+    result.runs_per_sec =
+        static_cast<double>(result.computed) * result.samples / wall_s;
+  }
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const CampaignSpec& spec, const CampaignOptions& options) {
+  if (spec.strategies.empty()) throw std::invalid_argument("campaign: no strategies");
+  if (spec.sizes.empty()) throw std::invalid_argument("campaign: no sizes");
+  if (spec.batch.samples < 1) throw std::invalid_argument("campaign: samples < 1");
+  for (const int n : spec.sizes) {
+    if (n < 1) throw std::invalid_argument("campaign: sizes must be positive");
+  }
+
+  if (options.threads > 0) set_parallelism(options.threads);
+
+  std::vector<Strategy> strategies;
+  strategies.reserve(spec.strategies.size());
+  for (const std::string& s : spec.strategies) strategies.push_back(parse_strategy_spec(s));
+
+  const std::string spec_text = spec.canonical_text();
+
+  CampaignResult result;
+  result.name = spec.name;
+  result.spec_hash_hex = hash_hex(fnv1a64(spec_text));
+  result.samples = spec.batch.samples;
+
+  struct CellPlan {
+    std::size_t strategy_index = 0;
+    int n_procs = 0;
+    std::string canonical;
+  };
+  std::vector<CellPlan> plan;
+  plan.reserve(spec.cell_count());
+  result.cells.reserve(spec.cell_count());
+  for (std::size_t si = 0; si < strategies.size(); ++si) {
+    for (const int n_procs : spec.sizes) {
+      CellPlan p;
+      p.strategy_index = si;
+      p.n_procs = n_procs;
+      p.canonical = describe_cell(spec.workload, strategies[si].label, n_procs, spec.batch);
+      CellOutcome cell;
+      cell.strategy_spec = spec.strategies[si];
+      cell.strategy_label = strategies[si].label;
+      cell.n_procs = n_procs;
+      if (!p.canonical.empty()) cell.key_hex = hash_hex(fnv1a64(p.canonical));
+      plan.push_back(std::move(p));
+      result.cells.push_back(std::move(cell));
+    }
+  }
+
+  // Resume: restore the cells an earlier (interrupted) run of this exact
+  // spec already finished.  A missing, torn or foreign manifest simply means
+  // nothing is restored — the cache still absorbs most of the rework.
+  if (options.resume && !options.manifest_path.empty()) {
+    try {
+      const Manifest manifest = read_manifest_file(options.manifest_path);
+      if (manifest.spec_hash_hex == result.spec_hash_hex) {
+        std::map<std::pair<std::string, int>, const CellOutcome*> done;
+        for (const CellOutcome& cell : manifest.cells) {
+          if (cell.state == CellState::Computed || cell.state == CellState::Cached) {
+            done[{cell.strategy_label, cell.n_procs}] = &cell;
+          }
+        }
+        for (CellOutcome& cell : result.cells) {
+          const auto it = done.find({cell.strategy_label, cell.n_procs});
+          if (it == done.end()) continue;
+          cell.state = CellState::Cached;  // Restored, not recomputed.
+          cell.stats = it->second->stats;
+          cell.wall_ms = 0.0;
+        }
+      }
+    } catch (const std::exception&) {
+      // Start fresh below.
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  refresh_totals(result, 0.0);
+  checkpoint_manifest(options.manifest_path, spec, result);
+
+  // Cells are harvested in COMPLETION order, not submission order: finished
+  // outcomes arrive on a queue and the manifest is checkpointed after each
+  // one, so a killed run leaves every finished cell on disk no matter how
+  // the pool interleaved the work.
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::deque<std::pair<std::size_t, CellOutcome>> done_queue;
+
+  WorkStealingPool& pool = WorkStealingPool::global();
+  std::size_t submitted = 0;
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    if (result.cells[i].state != CellState::Pending) continue;
+    ++submitted;
+    pool.submit([&spec, &strategies, &plan, &options, &result, &done_mutex, &done_cv,
+                 &done_queue, i]() {
+      // The main thread does not touch cells[i] until this task reports done.
+      CellOutcome cell = result.cells[i];
+      const CellPlan& p = plan[i];
+      const auto cell_start = std::chrono::steady_clock::now();
+      CellStats cached;
+      if (options.cache != nullptr && !p.canonical.empty() &&
+          options.cache->lookup(p.canonical, cached)) {
+        cell.state = CellState::Cached;
+        cell.stats = cached;
+      } else {
+        try {
+          cell.stats = run_cell(spec.workload, strategies[p.strategy_index], p.n_procs,
+                                spec.batch);
+          cell.state = CellState::Computed;
+          if (options.cache != nullptr && !p.canonical.empty()) {
+            options.cache->store(p.canonical, cell.stats);
+          }
+        } catch (const std::exception& e) {
+          cell.state = CellState::Failed;
+          cell.error = e.what();
+        } catch (...) {
+          cell.state = CellState::Failed;
+          cell.error = "unknown error";
+        }
+      }
+      cell.wall_ms = ms_since(cell_start);
+      {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done_queue.emplace_back(i, std::move(cell));
+      }
+      done_cv.notify_one();
+    });
+  }
+
+  const std::size_t total = result.cells.size();
+  for (std::size_t harvested = 0; harvested < submitted; ++harvested) {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return !done_queue.empty(); });
+    const std::size_t i = done_queue.front().first;
+    result.cells[i] = std::move(done_queue.front().second);
+    done_queue.pop_front();
+    lock.unlock();
+
+    refresh_totals(result, ms_since(start));
+    checkpoint_manifest(options.manifest_path, spec, result);
+    if (options.progress != nullptr) {
+      const CellOutcome& cell = result.cells[i];
+      *options.progress << "[" << (harvested + 1 + total - submitted) << "/" << total
+                        << "] " << cell.strategy_label << " procs=" << cell.n_procs
+                        << " " << to_string(cell.state) << " ("
+                        << format_compact(cell.wall_ms, 1) << " ms)";
+      if (!cell.error.empty()) *options.progress << " — " << cell.error;
+      *options.progress << std::endl;  // Flushed: progress must survive a kill.
+    }
+  }
+
+  refresh_totals(result, ms_since(start));
+  checkpoint_manifest(options.manifest_path, spec, result);
+  return result;
+}
+
+void print_manifest_status(std::ostream& out, const Manifest& manifest) {
+  std::size_t pending = 0;
+  for (const CellOutcome& cell : manifest.cells) {
+    if (cell.state == CellState::Pending) ++pending;
+  }
+  out << "campaign:  " << manifest.name << " (spec " << manifest.spec_hash_hex << ")\n";
+  out << "cells:     " << manifest.cells.size() << " total — " << manifest.computed
+      << " computed, " << manifest.cached << " cached, " << manifest.failed
+      << " failed, " << pending << " pending\n";
+  out << "samples:   " << manifest.samples << " per cell\n";
+  const double wall_s = manifest.wall_ms / 1000.0;
+  out << "wall:      " << format_compact(manifest.wall_ms, 1) << " ms";
+  if (wall_s > 0.0) {
+    out << " (" << format_compact(static_cast<double>(manifest.cells.size()) / wall_s, 2)
+        << " cells/s, "
+        << format_compact(static_cast<double>(manifest.computed) * manifest.samples /
+                              wall_s,
+                          2)
+        << " computed runs/s)";
+  }
+  out << "\n\n";
+  TextTable table;
+  table.set_header({"strategy", "procs", "state", "wall ms", "mean max lateness",
+                    "infeasible"});
+  for (const CellOutcome& cell : manifest.cells) {
+    table.add_row({cell.strategy_label, std::to_string(cell.n_procs),
+                   to_string(cell.state), format_compact(cell.wall_ms, 1),
+                   format_compact(cell.stats.max_lateness.mean, 4),
+                   std::to_string(cell.stats.infeasible_runs)});
+  }
+  table.render(out);
+}
+
+}  // namespace feast

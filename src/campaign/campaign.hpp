@@ -1,0 +1,132 @@
+/// \file campaign.hpp
+/// \brief Durable, cache-aware experiment campaigns.
+///
+/// A campaign is a declarative grid of experiment cells — strategies ×
+/// system sizes over one workload and batch configuration — executed through
+/// the persistent work-stealing pool with content-addressed cache lookups.
+/// Progress is checkpointed after every cell into a JSON manifest (written
+/// atomically), so an interrupted campaign resumes where it stopped: cells
+/// recorded as finished are restored from the manifest, cells present in the
+/// result cache are served as file reads, and only genuinely new cells pay
+/// for their 128-run batches.
+///
+/// The spec file format (`key = value`, `#` comments) and the manifest
+/// schema are documented in docs/CAMPAIGN.md.  CLI: `feastc campaign
+/// run|resume|status`.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "campaign/cache.hpp"
+#include "experiment/strategy.hpp"
+#include "experiment/sweep.hpp"
+#include "taskgraph/generator.hpp"
+
+namespace feast {
+
+/// Builds a Strategy from a compact spec string:
+///   pure[:ccne|ccaa] | norm[:ccne|ccaa] | thres[:delta[:threshold]] |
+///   adapt[:threshold] | ud | ed | prop
+/// Throws std::invalid_argument on malformed specs.
+Strategy parse_strategy_spec(const std::string& spec);
+
+/// Declarative description of a campaign: the full cell grid derives from
+/// strategies × sizes.  Round-trips through canonical_text()/parse().
+struct CampaignSpec {
+  std::string name = "campaign";
+  RandomGraphConfig workload;
+  BatchConfig batch;
+  std::vector<std::string> strategies;  ///< Strategy spec strings.
+  std::vector<int> sizes;               ///< Processor counts.
+
+  std::size_t cell_count() const noexcept { return strategies.size() * sizes.size(); }
+
+  /// Canonical spec text: every field in a fixed order with full-precision
+  /// values.  parse(canonical_text()) reproduces the spec; its FNV-1a hash
+  /// identifies the campaign in manifests.
+  std::string canonical_text() const;
+
+  /// Parses the `key = value` spec format ('#' starts a comment).  Throws
+  /// std::invalid_argument with a line reference on malformed input.
+  static CampaignSpec parse(std::istream& in);
+  static CampaignSpec parse_file(const std::string& path);
+};
+
+/// Lifecycle of one cell within a campaign run.
+enum class CellState { Pending, Computed, Cached, Failed };
+
+const char* to_string(CellState state) noexcept;
+
+/// Per-cell record of a campaign run (and of a manifest row).
+struct CellOutcome {
+  std::string strategy_spec;   ///< As written in the campaign spec.
+  std::string strategy_label;  ///< Canonical label (cache identity).
+  int n_procs = 0;
+  std::string key_hex;  ///< Cache file stem; "" when the cell is uncacheable.
+  CellState state = CellState::Pending;
+  double wall_ms = 0.0;
+  CellStats stats;
+  std::string error;  ///< Set when state == Failed.
+};
+
+/// Aggregate result of one campaign run.
+struct CampaignResult {
+  std::string name;
+  std::string spec_hash_hex;
+  int samples = 0;
+  std::vector<CellOutcome> cells;
+  double wall_ms = 0.0;
+  std::size_t computed = 0;
+  std::size_t cached = 0;  ///< Served from cache or restored from manifest.
+  std::size_t failed = 0;
+  double cells_per_sec = 0.0;  ///< All cells over the campaign wall time.
+  double runs_per_sec = 0.0;   ///< Computed runs only (compute throughput).
+
+  bool ok() const noexcept { return failed == 0; }
+};
+
+/// Knobs of run_campaign.
+struct CampaignOptions {
+  std::string manifest_path;      ///< Empty: no checkpointing.
+  ResultCache* cache = nullptr;   ///< Borrowed; nullptr disables the cache.
+  bool resume = false;            ///< Restore finished cells from the manifest.
+  unsigned threads = 0;           ///< 0: keep the configured parallelism.
+  std::ostream* progress = nullptr;  ///< Per-cell progress lines when set.
+};
+
+/// Executes the campaign: cells are submitted to the work-stealing pool,
+/// consult the cache first, and checkpoint the manifest after every
+/// completed cell.  A failing cell is recorded (state Failed) without
+/// aborting the rest.  Throws std::invalid_argument for malformed specs.
+CampaignResult run_campaign(const CampaignSpec& spec,
+                            const CampaignOptions& options = {});
+
+/// Serializes a manifest (JSON, schema in docs/CAMPAIGN.md).
+void write_manifest(std::ostream& out, const CampaignSpec& spec,
+                    const CampaignResult& result);
+
+/// A manifest read back for `resume` and `status`.
+struct Manifest {
+  int version = 0;
+  std::string name;
+  std::string spec_hash_hex;
+  std::string spec_text;  ///< Canonical spec — resume re-parses it from here.
+  int samples = 0;
+  std::vector<CellOutcome> cells;
+  double wall_ms = 0.0;
+  std::size_t computed = 0;
+  std::size_t cached = 0;
+  std::size_t failed = 0;
+};
+
+/// Parses a manifest produced by write_manifest (minimal JSON reader).
+/// Throws std::runtime_error on malformed input.
+Manifest read_manifest(std::istream& in);
+Manifest read_manifest_file(const std::string& path);
+
+/// Human-readable status table of a manifest.
+void print_manifest_status(std::ostream& out, const Manifest& manifest);
+
+}  // namespace feast

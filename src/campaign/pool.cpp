@@ -1,0 +1,258 @@
+#include "campaign/pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/log.hpp"
+
+namespace feast {
+
+namespace {
+
+unsigned resolve_thread_count(unsigned threads) noexcept {
+  if (threads > 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace
+
+struct WorkStealingPool::Impl {
+  /// One deque per worker; the owner pops at the back, thieves at the front.
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  /// Run: serve tasks.  Drain: finish every queued task, then exit
+  /// (destruction).  Quit: exit as soon as possible, leaving queued tasks in
+  /// place (resize, which restarts workers over the same queues' contents).
+  enum class Mode { Run, Drain, Quit };
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues;
+  std::vector<std::thread> threads;
+
+  std::mutex sleep_mutex;
+  std::condition_variable sleep_cv;
+  Mode mode = Mode::Run;               ///< Guarded by sleep_mutex.
+  std::atomic<std::size_t> pending{0};  ///< Tasks queued but not yet started.
+  std::atomic<unsigned> next_queue{0};  ///< Round-robin cursor for external submits.
+
+  bool try_acquire(unsigned self, std::function<void()>& out) {
+    {
+      WorkerQueue& own = *queues[self];
+      std::lock_guard<std::mutex> lock(own.mutex);
+      if (!own.tasks.empty()) {
+        out = std::move(own.tasks.back());
+        own.tasks.pop_back();
+        pending.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    for (std::size_t k = 1; k < queues.size(); ++k) {
+      WorkerQueue& victim = *queues[(self + k) % queues.size()];
+      std::lock_guard<std::mutex> lock(victim.mutex);
+      if (!victim.tasks.empty()) {
+        out = std::move(victim.tasks.front());
+        victim.tasks.pop_front();
+        pending.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void worker_main(unsigned index);
+};
+
+namespace {
+/// Identifies the pool (and worker slot) owning the current thread.
+thread_local WorkStealingPool::Impl* tl_pool = nullptr;
+thread_local unsigned tl_worker_index = 0;
+}  // namespace
+
+void WorkStealingPool::Impl::worker_main(unsigned index) {
+  tl_pool = this;
+  tl_worker_index = index;
+  for (;;) {
+    std::function<void()> task;
+    if (try_acquire(index, task)) {
+      try {
+        task();
+      } catch (const std::exception& e) {
+        FEAST_LOG_WARN << "pool task threw: " << e.what();
+      } catch (...) {
+        FEAST_LOG_WARN << "pool task threw a non-standard exception";
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex);
+    sleep_cv.wait(lock, [&] {
+      return mode != Mode::Run || pending.load(std::memory_order_relaxed) > 0;
+    });
+    if (mode == Mode::Quit) return;
+    if (mode == Mode::Drain && pending.load(std::memory_order_relaxed) == 0) return;
+  }
+}
+
+WorkStealingPool::WorkStealingPool(unsigned threads) : impl_(std::make_shared<Impl>()) {
+  start_workers(resolve_thread_count(threads));
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->sleep_mutex);
+    impl_->mode = Impl::Mode::Drain;
+  }
+  impl_->sleep_cv.notify_all();
+  for (std::thread& t : impl_->threads) t.join();
+}
+
+void WorkStealingPool::start_workers(unsigned threads) {
+  FEAST_REQUIRE(threads >= 1);
+  Impl& impl = *impl_;
+  // Keep queued tasks: reuse existing queues where possible.
+  while (impl.queues.size() < threads) {
+    impl.queues.push_back(std::make_unique<Impl::WorkerQueue>());
+  }
+  if (impl.queues.size() > threads) {
+    // Fold the tail queues' tasks into the surviving ones.
+    for (std::size_t k = threads; k < impl.queues.size(); ++k) {
+      Impl::WorkerQueue& from = *impl.queues[k];
+      Impl::WorkerQueue& to = *impl.queues[k % threads];
+      std::scoped_lock lock(from.mutex, to.mutex);
+      while (!from.tasks.empty()) {
+        to.tasks.push_back(std::move(from.tasks.front()));
+        from.tasks.pop_front();
+      }
+    }
+    impl.queues.resize(threads);
+  }
+  impl.mode = Impl::Mode::Run;
+  impl.threads.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    impl.threads.emplace_back([this, t] { impl_->worker_main(t); });
+  }
+}
+
+void WorkStealingPool::stop_workers() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->sleep_mutex);
+    impl_->mode = Impl::Mode::Quit;
+  }
+  impl_->sleep_cv.notify_all();
+  for (std::thread& t : impl_->threads) t.join();
+  impl_->threads.clear();
+}
+
+unsigned WorkStealingPool::worker_count() const noexcept {
+  return static_cast<unsigned>(impl_->threads.size());
+}
+
+bool WorkStealingPool::on_worker_thread() const noexcept {
+  return tl_pool == impl_.get();
+}
+
+void WorkStealingPool::resize(unsigned threads) {
+  const unsigned target = resolve_thread_count(threads);
+  if (target == worker_count()) return;
+  FEAST_REQUIRE(!on_worker_thread());
+  stop_workers();
+  start_workers(target);
+}
+
+void WorkStealingPool::submit(std::function<void()> task) {
+  Impl& impl = *impl_;
+  FEAST_REQUIRE(!impl.queues.empty());
+  unsigned target;
+  if (on_worker_thread()) {
+    target = tl_worker_index;  // LIFO slot of the spawning worker.
+  } else {
+    target = impl.next_queue.fetch_add(1, std::memory_order_relaxed) %
+             static_cast<unsigned>(impl.queues.size());
+  }
+  {
+    Impl::WorkerQueue& queue = *impl.queues[target];
+    std::lock_guard<std::mutex> lock(queue.mutex);
+    queue.tasks.push_back(std::move(task));
+  }
+  impl.pending.fetch_add(1, std::memory_order_relaxed);
+  impl.sleep_cv.notify_one();
+}
+
+void WorkStealingPool::parallel_for(std::size_t n,
+                                    const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (n == 1) {
+    body(0);
+    return;
+  }
+
+  /// Shared state of one loop.  The calling thread claims indices alongside
+  /// the helpers and drives the loop to completion on its own if no helper
+  /// ever runs, so waiting can never deadlock — even for nested loops issued
+  /// from inside pool workers.
+  struct Job {
+    Job(std::size_t total, const std::function<void(std::size_t)>& b)
+        : n(total), body(b) {}
+
+    const std::size_t n;
+    /// Only ever invoked for claimed indices; once completed == n the caller
+    /// may return (and invalidate this reference), but by then every
+    /// participant that could still call it has moved past the i >= n exit.
+    const std::function<void(std::size_t)>& body;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> completed{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;  ///< Guarded by mutex; first failure wins.
+    std::mutex mutex;
+    std::condition_variable cv;
+
+    void participate() {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        // After a failure the remaining indices are claimed and counted but
+        // not executed, so `completed` still converges to n.
+        if (!failed.load(std::memory_order_relaxed)) {
+          try {
+            body(i);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (!failed.exchange(true)) error = std::current_exception();
+          }
+        }
+        if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+          std::lock_guard<std::mutex> lock(mutex);  // Pairs with the waiter.
+          cv.notify_all();
+        }
+      }
+    }
+  };
+
+  auto job = std::make_shared<Job>(n, body);
+  const std::size_t helpers = std::min<std::size_t>(worker_count(), n - 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    submit([job] { job->participate(); });
+  }
+  job->participate();
+
+  std::unique_lock<std::mutex> lock(job->mutex);
+  job->cv.wait(lock, [&] {
+    return job->completed.load(std::memory_order_acquire) == job->n;
+  });
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+WorkStealingPool& WorkStealingPool::global() {
+  static WorkStealingPool pool(0);
+  return pool;
+}
+
+}  // namespace feast

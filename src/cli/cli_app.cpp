@@ -6,6 +6,8 @@
 #include <optional>
 #include <sstream>
 
+#include "campaign/campaign.hpp"
+
 #include "core/annotation_io.hpp"
 #include "core/comm_estimator.hpp"
 #include "core/demand.hpp"
@@ -53,6 +55,7 @@ commands:
   distribute  assign execution windows (deadline distribution)
   schedule    distribute + schedule + lateness report
   simulate    execute the plan in the discrete-event runtime simulator
+  campaign    run a declarative experiment campaign (cache + resume)
   dot         Graphviz export
 
 common options:
@@ -92,6 +95,16 @@ simulate options (plus the distribute/schedule options):
   --bg-service S          background job length         (default 10)
   --preemptive            preemptive EDF dispatching
   --sim-seed S            simulation RNG seed           (default 1)
+
+campaign subcommands (spec format and manifest schema: docs/CAMPAIGN.md):
+  campaign run <spec>     execute the campaign described by the spec file
+  campaign resume <spec>  like run, but restore finished cells from the manifest
+  campaign status <manifest>   print the state recorded in a manifest
+  --manifest FILE         checkpoint manifest            (default <name>.manifest.json)
+  --cache-dir DIR         content-addressed result cache (default .feast-cache)
+  --no-cache              disable the result cache
+  --threads N             worker threads                 (default: keep current)
+  --quiet                 suppress per-cell progress lines
 
 run 'feastc <command> --help' for the relevant subset.
 )";
@@ -549,6 +562,84 @@ int cmd_simulate(Args& args, std::istream& in, std::ostream& out) {
   return missed_runs == 0 ? kOk : kFailure;
 }
 
+// ----------------------------------------------------------------- campaign
+
+int cmd_campaign(Args& args, std::ostream& out) {
+  if (args.done()) throw UsageError("campaign: expected run, resume or status");
+  const std::string verb = args.pop();
+
+  if (verb == "status") {
+    std::optional<std::string> manifest_path;
+    while (!args.done()) {
+      const std::string flag = args.pop();
+      if (!manifest_path && (flag.empty() || flag[0] != '-')) manifest_path = flag;
+      else throw UsageError("campaign status: unknown option '" + flag + "'");
+    }
+    if (!manifest_path) throw UsageError("campaign status: missing manifest argument");
+    print_manifest_status(out, read_manifest_file(*manifest_path));
+    return kOk;
+  }
+  if (verb != "run" && verb != "resume") {
+    throw UsageError("campaign: unknown subcommand '" + verb + "'");
+  }
+
+  std::optional<std::string> spec_path;
+  std::optional<std::string> manifest_path;
+  std::string cache_dir = ".feast-cache";
+  bool no_cache = false;
+  bool quiet = false;
+  unsigned threads = 0;
+
+  while (!args.done()) {
+    const std::string flag = args.pop();
+    if (flag == "--manifest") {
+      manifest_path = args.value_for(flag);
+    } else if (flag == "--cache-dir") {
+      cache_dir = args.value_for(flag);
+    } else if (flag == "--no-cache") {
+      no_cache = true;
+    } else if (flag == "--threads") {
+      const long long n = parse_int_arg(flag, args.value_for(flag));
+      if (n < 0) throw UsageError("--threads must be non-negative");
+      threads = static_cast<unsigned>(n);
+    } else if (flag == "--quiet") {
+      quiet = true;
+    } else if (!spec_path && (flag.empty() || flag[0] != '-')) {
+      spec_path = flag;
+    } else {
+      throw UsageError("campaign " + verb + ": unknown option '" + flag + "'");
+    }
+  }
+  if (!spec_path) throw UsageError("campaign " + verb + ": missing spec argument");
+
+  const CampaignSpec spec = CampaignSpec::parse_file(*spec_path);
+  CampaignOptions options;
+  options.manifest_path = manifest_path.value_or(spec.name + ".manifest.json");
+  options.resume = verb == "resume";
+  options.threads = threads;
+  std::unique_ptr<ResultCache> cache;
+  if (!no_cache) {
+    cache = std::make_unique<ResultCache>(cache_dir);
+    options.cache = cache.get();
+  }
+  if (!quiet) options.progress = &out;
+
+  const CampaignResult result = run_campaign(spec, options);
+
+  out << "\ncampaign:   " << result.name << " (spec " << result.spec_hash_hex << ")\n";
+  out << "cells:      " << result.cells.size() << " — " << result.computed
+      << " computed, " << result.cached << " cached, " << result.failed << " failed\n";
+  out << "wall:       " << format_compact(result.wall_ms, 1) << " ms ("
+      << format_compact(result.cells_per_sec, 2) << " cells/s, "
+      << format_compact(result.runs_per_sec, 2) << " computed runs/s)\n";
+  if (cache) {
+    out << "cache:      " << cache->hits() << " hits, " << cache->misses()
+        << " misses, " << cache->stores() << " stores (" << cache_dir << ")\n";
+  }
+  out << "manifest:   " << options.manifest_path << "\n";
+  return result.ok() ? kOk : kFailure;
+}
+
 // ---------------------------------------------------------------------- dot
 
 int cmd_dot(Args& args, std::istream& in, std::ostream& out) {
@@ -586,6 +677,7 @@ int run_cli(const std::vector<std::string>& args, std::istream& in, std::ostream
     if (command == "distribute") return cmd_distribute(rest, in, out);
     if (command == "schedule") return cmd_schedule(rest, in, out);
     if (command == "simulate") return cmd_simulate(rest, in, out);
+    if (command == "campaign") return cmd_campaign(rest, out);
     if (command == "dot") return cmd_dot(rest, in, out);
     throw UsageError("unknown command '" + command + "'");
   } catch (const UsageError& e) {

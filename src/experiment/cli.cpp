@@ -21,6 +21,8 @@ namespace {
       << "  --sizes LIST   comma-separated processor counts (default 2,4,...,16)\n"
       << "  --csv FILE     dump all series as CSV\n"
       << "  --threads N    worker threads (default: hardware concurrency)\n"
+      << "  --cache-dir D  reuse cell results from a cache directory\n"
+      << "  --no-cache     ignore --cache-dir\n"
       << "  --verbose      raise the log level to info\n"
       << "  --help         this text\n";
   std::exit(code);
@@ -42,6 +44,7 @@ long long parse_number(const std::string& bench_name, const std::string& value) 
 
 BenchArgs parse_bench_args(int argc, char** argv, const std::string& bench_name) {
   BenchArgs args;
+  bool no_cache = false;
   auto need_value = [&](int& i) -> std::string {
     if (i + 1 >= argc) {
       std::cerr << bench_name << ": option " << argv[i] << " needs a value\n";
@@ -76,6 +79,10 @@ BenchArgs parse_bench_args(int argc, char** argv, const std::string& bench_name)
       const long long n = parse_number(bench_name, need_value(i));
       if (n < 0) usage(bench_name, 2);
       set_parallelism(static_cast<unsigned>(n));
+    } else if (arg == "--cache-dir") {
+      args.cache_dir = need_value(i);
+    } else if (arg == "--no-cache") {
+      no_cache = true;
     } else if (arg == "--verbose") {
       set_log_level(LogLevel::Info);
     } else {
@@ -83,6 +90,7 @@ BenchArgs parse_bench_args(int argc, char** argv, const std::string& bench_name)
       usage(bench_name, 2);
     }
   }
+  if (no_cache) args.cache_dir.reset();
   return args;
 }
 

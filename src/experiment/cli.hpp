@@ -8,6 +8,8 @@
 ///   --sizes list  comma-separated system sizes (default 2,4,...,16)
 ///   --csv FILE    additionally dump all series as CSV
 ///   --threads N   worker threads (default: hardware concurrency)
+///   --cache-dir D content-addressed result cache directory (off by default)
+///   --no-cache    ignore a --cache-dir (explicit override)
 ///   --verbose     raise the log level
 #pragma once
 
@@ -24,6 +26,10 @@ struct BenchArgs {
   FigureOptions figure;
   std::optional<std::string> csv_path;
   bool quick = false;
+  /// Result-cache directory; empty unless --cache-dir was given (and not
+  /// overridden by --no-cache).  The bench main decides whether to install
+  /// it: the experiment layer has no dependency on the campaign cache.
+  std::optional<std::string> cache_dir;
 
   /// Applies the figure options and writes the CSV file when requested.
   /// Call after computing the results.

@@ -1,5 +1,7 @@
 #include "experiment/sweep.hpp"
 
+#include <atomic>
+#include <cstdio>
 #include <vector>
 
 #include "util/csv.hpp"
@@ -10,14 +12,86 @@
 
 namespace feast {
 
+namespace {
+
+std::atomic<CellCache*> g_cell_cache{nullptr};
+
+/// Full-precision double rendering: cache identities must survive any
+/// formatting round-trip, so %.17g (shortest exact for IEEE doubles is at
+/// most 17 significant digits).
+std::string full(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+CellCache* set_cell_cache(CellCache* cache) noexcept {
+  return g_cell_cache.exchange(cache, std::memory_order_acq_rel);
+}
+
+CellCache* cell_cache() noexcept {
+  return g_cell_cache.load(std::memory_order_acquire);
+}
+
+std::string describe_cell(const RandomGraphConfig& workload,
+                          const std::string& strategy_label, int n_procs,
+                          const BatchConfig& batch) {
+  if (strategy_label.empty()) return {};
+  if (batch.shape_machine && batch.machine_tag.empty()) return {};
+
+  std::string key;
+  key.reserve(512);
+  key += "feast-cell-v1";
+  key += "|workload{subtasks=" + std::to_string(workload.min_subtasks) + ":" +
+         std::to_string(workload.max_subtasks);
+  key += ",depth=" + std::to_string(workload.min_depth) + ":" +
+         std::to_string(workload.max_depth);
+  key += ",degree=" + std::to_string(workload.min_degree) + ":" +
+         std::to_string(workload.max_degree);
+  key += ",alpha=" + full(workload.level_width_alpha);
+  key += ",strict_fanin=" + std::to_string(workload.strict_fanin_cap ? 1 : 0);
+  key += ",met=" + full(workload.mean_exec_time);
+  key += ",spread=" + full(workload.exec_spread);
+  key += ",olr=" + full(workload.olr);
+  key += std::string(",olr_basis=") +
+         (workload.olr_basis == OlrBasis::CriticalPath ? "critical-path"
+                                                       : "total-workload");
+  key += ",ccr=" + full(workload.ccr);
+  key += ",msg_spread=" + full(workload.message_spread);
+  key += "}|strategy=" + strategy_label;
+  key += "|procs=" + std::to_string(n_procs);
+  key += "|batch{samples=" + std::to_string(batch.samples);
+  key += ",seed=" + std::to_string(batch.seed);
+  key += ",pinned=" + full(batch.pinned_fraction);
+  key += ",tpi=" + full(batch.time_per_item);
+  key += std::string(",contention=") + to_string(batch.contention);
+  key += std::string(",release=") + to_string(batch.scheduler.release_policy);
+  key += std::string(",selection=") + to_string(batch.scheduler.selection);
+  key += std::string(",processor=") + to_string(batch.scheduler.processor_policy);
+  key += ",validate=" + std::to_string(batch.validate ? 1 : 0);
+  key += "}|machine=" + batch.machine_tag;
+  return key;
+}
+
 CellStats run_cell(const RandomGraphConfig& workload, const Strategy& strategy,
                    int n_procs, const BatchConfig& batch) {
-  return run_custom_cell(
+  CellCache* const cache = cell_cache();
+  std::string key;
+  if (cache) {
+    key = describe_cell(workload, strategy.label, n_procs, batch);
+    CellStats cached;
+    if (!key.empty() && cache->lookup(key, cached)) return cached;
+  }
+  CellStats stats = run_custom_cell(
       [&workload](std::size_t sample, std::uint64_t seed) {
         Pcg32 rng(seed, /*stream=*/sample);
         return generate_random_graph(workload, rng);
       },
       strategy, n_procs, batch);
+  if (cache && !key.empty()) cache->store(key, stats);
+  return stats;
 }
 
 CellStats run_custom_cell(const GraphFactory& factory, const Strategy& strategy,
@@ -78,13 +152,25 @@ SweepResult sweep_strategies(const std::string& title,
                              const RandomGraphConfig& workload,
                              const std::vector<Strategy>& strategies,
                              const std::vector<int>& sizes, const BatchConfig& batch) {
-  return sweep_custom(
-      title,
-      [&workload](std::size_t sample, std::uint64_t seed) {
-        Pcg32 rng(seed, /*stream=*/sample);
-        return generate_random_graph(workload, rng);
-      },
-      strategies, sizes, batch);
+  FEAST_REQUIRE(!strategies.empty());
+  FEAST_REQUIRE(!sizes.empty());
+
+  // Cell by cell through run_cell (not sweep_custom) so an installed
+  // CellCache serves repeated cells across runs.
+  SweepResult result;
+  result.title = title;
+  result.sizes = sizes;
+  result.series.reserve(strategies.size());
+  for (const Strategy& strategy : strategies) {
+    Series series;
+    series.label = strategy.label;
+    series.cells.reserve(sizes.size());
+    for (const int n_procs : sizes) {
+      series.cells.push_back(run_cell(workload, strategy, n_procs, batch));
+    }
+    result.series.push_back(std::move(series));
+  }
+  return result;
 }
 
 SweepResult sweep_custom(const std::string& title, const GraphFactory& factory,

@@ -34,6 +34,11 @@ struct BatchConfig {
   /// time_per_item and contention are set — e.g. to install heterogeneous
   /// processor speeds.
   std::function<void(Machine&)> shape_machine;
+  /// Canonical description of what shape_machine does, e.g.
+  /// "speeds=geometric:0.5".  Required for a cell with a shape_machine hook
+  /// to be cacheable: the hook itself cannot be hashed, so an empty tag
+  /// marks such cells uncacheable.
+  std::string machine_tag;
 };
 
 /// Aggregates of one (workload, strategy, system size) cell.
@@ -44,6 +49,40 @@ struct CellStats {
   StatSummary min_laxity;
   std::size_t infeasible_runs = 0;  ///< Runs where some subtask missed its window.
 };
+
+/// Cross-run cell memoization point.  run_cell consults the installed cache
+/// before evaluating a batch and stores the aggregate afterwards, keyed by a
+/// canonical description of everything the result depends on (see
+/// describe_cell).  The content-addressed file cache of src/campaign
+/// implements this interface; sweeps over caller-supplied GraphFactory
+/// closures are never cached (their graphs are not describable).
+class CellCache {
+ public:
+  virtual ~CellCache() = default;
+
+  /// True and fills \p out when \p canonical_key has a stored result.
+  virtual bool lookup(const std::string& canonical_key, CellStats& out) = 0;
+
+  /// Stores the result of \p canonical_key.
+  virtual void store(const std::string& canonical_key, const CellStats& stats) = 0;
+};
+
+/// Installs the process-wide cell cache consulted by run_cell (borrowed
+/// pointer; nullptr disables caching).  Returns the previous cache.
+CellCache* set_cell_cache(CellCache* cache) noexcept;
+
+/// Currently installed cell cache (nullptr when caching is off).
+CellCache* cell_cache() noexcept;
+
+/// Canonical, versioned description of one cell: every BatchConfig field,
+/// the workload parameters, the strategy label and the system size, with
+/// doubles printed at full precision.  This string *is* the cache identity —
+/// its FNV-1a hash names the cache file.  Returns "" (uncacheable) when the
+/// strategy label is empty or the batch carries a shape_machine hook without
+/// a machine_tag describing it.
+std::string describe_cell(const RandomGraphConfig& workload,
+                          const std::string& strategy_label, int n_procs,
+                          const BatchConfig& batch);
 
 /// Produces the sample'th graph of a batch; must be deterministic in
 /// (sample, the provided seed).  Allows sweeps over workloads the standard

@@ -1,10 +1,9 @@
 #include "util/parallel.hpp"
 
-#include <algorithm>
 #include <atomic>
-#include <exception>
 #include <thread>
-#include <vector>
+
+#include "campaign/pool.hpp"
 
 namespace feast {
 
@@ -27,39 +26,22 @@ unsigned parallelism() noexcept { return resolved_threads(); }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
-  const unsigned workers =
-      static_cast<unsigned>(std::min<std::size_t>(resolved_threads(), n));
-  if (workers <= 1) {
+  const unsigned workers = resolved_threads();
+  if (workers <= 1 || n == 1) {
+    // Serial path: exceptions propagate directly; n == 1 skips the pool
+    // entirely so single-iteration loops stay allocation-free.
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
 
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr error;
-  std::atomic<bool> failed{false};
-
-  auto work = [&]() {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n || failed.load(std::memory_order_relaxed)) return;
-      try {
-        body(i);
-      } catch (...) {
-        // First failure wins; stop handing out work.
-        bool expected = false;
-        if (failed.compare_exchange_strong(expected, true)) {
-          error = std::current_exception();
-        }
-        return;
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(work);
-  for (std::thread& t : pool) t.join();
-  if (error) std::rethrow_exception(error);
+  WorkStealingPool& pool = WorkStealingPool::global();
+  // Follow --threads / set_parallelism changes lazily.  A nested call from
+  // inside a pool worker must not resize (it would join its own thread);
+  // it simply runs at the pool's current width.
+  if (pool.worker_count() != workers && !pool.on_worker_thread()) {
+    pool.resize(workers);
+  }
+  pool.parallel_for(n, body);
 }
 
 }  // namespace feast

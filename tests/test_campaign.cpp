@@ -1,0 +1,365 @@
+/// \file test_campaign.cpp
+/// \brief Tests for the campaign subsystem: the work-stealing pool, the
+///        content-addressed result cache, spec/manifest round-trips, and
+///        campaign resume after a simulated interruption.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "campaign/cache.hpp"
+#include "campaign/campaign.hpp"
+#include "campaign/pool.hpp"
+#include "experiment/sweep.hpp"
+#include "util/parallel.hpp"
+
+namespace feast {
+namespace {
+
+/// Fresh scratch directory per test, removed on destruction.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag)
+      : path_(std::filesystem::temp_directory_path() /
+              ("feast-test-" + tag + "-" + std::to_string(::getpid()))) {
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  const std::filesystem::path& path() const noexcept { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+CampaignSpec tiny_spec() {
+  CampaignSpec spec;
+  spec.name = "tiny";
+  spec.batch.samples = 6;
+  spec.batch.seed = 99;
+  spec.workload.min_subtasks = 15;
+  spec.workload.max_subtasks = 25;
+  spec.workload.min_depth = 4;
+  spec.workload.max_depth = 6;
+  spec.strategies = {"pure:ccne", "ud"};
+  spec.sizes = {2, 4};
+  return spec;
+}
+
+// --------------------------------------------------------------------- pool
+
+TEST(WorkStealingPool, RunsSubmittedTasks) {
+  WorkStealingPool pool(3);
+  EXPECT_EQ(pool.worker_count(), 3u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&count] { count.fetch_add(1); });
+  // async round-trips a value and flushes behind the submits.
+  EXPECT_EQ(pool.async([] { return 42; }).get(), 42);
+  while (count.load() < 100) std::this_thread::yield();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(WorkStealingPool, AsyncCapturesExceptions) {
+  WorkStealingPool pool(2);
+  auto future = pool.async([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(WorkStealingPool, ResizePreservesService) {
+  WorkStealingPool pool(2);
+  pool.resize(5);
+  EXPECT_EQ(pool.worker_count(), 5u);
+  pool.resize(1);
+  EXPECT_EQ(pool.worker_count(), 1u);
+  EXPECT_EQ(pool.async([] { return 7; }).get(), 7);
+}
+
+TEST(WorkStealingPool, CellResultsIdenticalAcrossParallelism) {
+  // The experiment batches must be bit-identical no matter how many workers
+  // serve parallel_for: every sample derives its RNG from (seed, sample) and
+  // writes only its own slot.
+  const CampaignSpec spec = tiny_spec();
+  const Strategy strategy = parse_strategy_spec("adapt:1.25");
+  const CellStats reference = [&] {
+    set_parallelism(1);
+    return run_cell(spec.workload, strategy, 4, spec.batch);
+  }();
+  for (unsigned threads = 2; threads <= 8; ++threads) {
+    set_parallelism(threads);
+    const CellStats stats = run_cell(spec.workload, strategy, 4, spec.batch);
+    EXPECT_EQ(stats.max_lateness.mean, reference.max_lateness.mean) << threads;
+    EXPECT_EQ(stats.max_lateness.stddev, reference.max_lateness.stddev) << threads;
+    EXPECT_EQ(stats.end_to_end.mean, reference.end_to_end.mean) << threads;
+    EXPECT_EQ(stats.makespan.mean, reference.makespan.mean) << threads;
+    EXPECT_EQ(stats.min_laxity.mean, reference.min_laxity.mean) << threads;
+    EXPECT_EQ(stats.infeasible_runs, reference.infeasible_runs) << threads;
+  }
+  set_parallelism(0);
+}
+
+// -------------------------------------------------------------------- cache
+
+TEST(ResultCache, RecordRoundTrips) {
+  CellStats stats;
+  stats.max_lateness = {4, -12.34567890123456789, 1.5, -20.0, -3.0, 0.75};
+  stats.end_to_end = {4, 100.25, 2.0, 90.0, 110.0, 1.0};
+  stats.makespan = {4, 88.5, 0.5, 88.0, 89.0, 0.25};
+  stats.min_laxity = {4, 3.25, 0.125, 3.0, 3.5, 0.0625};
+  stats.infeasible_runs = 2;
+
+  std::stringstream buffer;
+  write_cell_record(buffer, "some-key", stats);
+  CellStats loaded;
+  const auto key = read_cell_record(buffer, loaded);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(*key, "some-key");
+  EXPECT_EQ(loaded.max_lateness.mean, stats.max_lateness.mean);
+  EXPECT_EQ(loaded.max_lateness.ci95_half_width, stats.max_lateness.ci95_half_width);
+  EXPECT_EQ(loaded.end_to_end.max, stats.end_to_end.max);
+  EXPECT_EQ(loaded.makespan.count, stats.makespan.count);
+  EXPECT_EQ(loaded.min_laxity.stddev, stats.min_laxity.stddev);
+  EXPECT_EQ(loaded.infeasible_runs, stats.infeasible_runs);
+}
+
+TEST(ResultCache, MissThenHitThenInvalidation) {
+  const ScratchDir dir("cache");
+  ResultCache cache(dir.path());
+  const CampaignSpec spec = tiny_spec();
+  const std::string key = describe_cell(spec.workload, "PURE+CCNE", 4, spec.batch);
+  ASSERT_FALSE(key.empty());
+
+  CellStats out;
+  EXPECT_FALSE(cache.lookup(key, out));  // Cold: miss.
+  CellStats stats;
+  stats.max_lateness.mean = -42.0;
+  stats.infeasible_runs = 1;
+  cache.store(key, stats);
+  EXPECT_TRUE(cache.lookup(key, out));  // Warm: hit.
+  EXPECT_EQ(out.max_lateness.mean, -42.0);
+  EXPECT_EQ(out.infeasible_runs, 1u);
+
+  // Any config change yields a different key, so the old record is invisible.
+  BatchConfig changed = spec.batch;
+  changed.seed += 1;
+  const std::string other = describe_cell(spec.workload, "PURE+CCNE", 4, changed);
+  EXPECT_NE(other, key);
+  EXPECT_FALSE(cache.lookup(other, out));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.stores(), 1u);
+}
+
+TEST(ResultCache, KeyMismatchInFileIsAMiss) {
+  const ScratchDir dir("collide");
+  ResultCache cache(dir.path());
+  CellStats stats;
+  cache.store("key-a", stats);
+  // Simulate a hash collision: the file for "key-a" is what a lookup of a
+  // colliding key would open; the stored key check must reject it.
+  const std::string file = hash_hex(fnv1a64("key-a")) + ".cell";
+  std::ifstream in(dir.path() / file);
+  ASSERT_TRUE(in.good());
+  CellStats loaded;
+  const auto key = read_cell_record(in, loaded);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(*key, "key-a");  // Lookup compares this against the asked-for key.
+}
+
+TEST(ResultCache, DescribeCellRefusesUnhashableConfigs) {
+  const CampaignSpec spec = tiny_spec();
+  BatchConfig shaped = spec.batch;
+  shaped.shape_machine = [](Machine&) {};
+  // A machine hook without a tag has no stable identity: never cache it.
+  EXPECT_TRUE(describe_cell(spec.workload, "PURE+CCNE", 4, shaped).empty());
+  shaped.machine_tag = "2x-fast-links";
+  EXPECT_FALSE(describe_cell(spec.workload, "PURE+CCNE", 4, shaped).empty());
+  // No label, no key.
+  EXPECT_TRUE(describe_cell(spec.workload, "", 4, spec.batch).empty());
+}
+
+// ------------------------------------------------------------- spec parsing
+
+TEST(CampaignSpec, ParsesAndRoundTrips) {
+  std::istringstream in(
+      "# demo\n"
+      "name = roundtrip\n"
+      "samples = 12\n"
+      "seed = 7\n"
+      "scenario = HDET\n"
+      "strategies = pure:ccne, norm:ccaa, thres:1:1.5, adapt, ud, ed, prop\n"
+      "sizes = 2, 4, 8\n");
+  const CampaignSpec spec = CampaignSpec::parse(in);
+  EXPECT_EQ(spec.name, "roundtrip");
+  EXPECT_EQ(spec.batch.samples, 12);
+  EXPECT_EQ(spec.cell_count(), 21u);
+  EXPECT_DOUBLE_EQ(spec.workload.exec_spread, exec_spread_of(ExecSpreadScenario::HDET));
+
+  // canonical_text() -> parse() -> canonical_text() is a fixed point.
+  const std::string canonical = spec.canonical_text();
+  std::istringstream again(canonical);
+  EXPECT_EQ(CampaignSpec::parse(again).canonical_text(), canonical);
+}
+
+TEST(CampaignSpec, RejectsMalformedInput) {
+  const auto parse = [](const std::string& text) {
+    std::istringstream in(text);
+    return CampaignSpec::parse(in);
+  };
+  EXPECT_THROW(parse("strategies = pure\n"), std::invalid_argument);  // No sizes.
+  EXPECT_THROW(parse("sizes = 2\n"), std::invalid_argument);          // No strategies.
+  EXPECT_THROW(parse("bogus_key = 1\nstrategies = pure\nsizes = 2\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse("strategies = warp9\nsizes = 2\n"), std::invalid_argument);
+  EXPECT_THROW(parse("samples = none\nstrategies = pure\nsizes = 2\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse("not a key value line\n"), std::invalid_argument);
+}
+
+TEST(ParseStrategySpec, CanonicalLabels) {
+  EXPECT_EQ(parse_strategy_spec("pure").label, "PURE+CCNE");
+  EXPECT_EQ(parse_strategy_spec("pure:ccaa").label, "PURE+CCAA");
+  EXPECT_EQ(parse_strategy_spec("norm").label, "NORM+CCNE");
+  EXPECT_EQ(parse_strategy_spec("thres").label, parse_strategy_spec("thres:1:1.25").label);
+  EXPECT_EQ(parse_strategy_spec("adapt:1.25").label, parse_strategy_spec("adapt").label);
+  EXPECT_EQ(parse_strategy_spec("ud").label, "UD");
+  EXPECT_EQ(parse_strategy_spec("ed").label, "ED");
+  EXPECT_EQ(parse_strategy_spec("prop").label, "PROP");
+  EXPECT_THROW(parse_strategy_spec(""), std::invalid_argument);
+  EXPECT_THROW(parse_strategy_spec("pure:fast"), std::invalid_argument);
+  EXPECT_THROW(parse_strategy_spec("ud:1"), std::invalid_argument);
+  EXPECT_THROW(parse_strategy_spec("adapt:x"), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- campaign
+
+TEST(Campaign, RunsAllCellsAndCachesRerun) {
+  const ScratchDir dir("campaign");
+  const CampaignSpec spec = tiny_spec();
+  ResultCache cache(dir.path() / "cache");
+  CampaignOptions options;
+  options.cache = &cache;
+  options.manifest_path = (dir.path() / "m.json").string();
+
+  const CampaignResult first = run_campaign(spec, options);
+  EXPECT_TRUE(first.ok());
+  EXPECT_EQ(first.cells.size(), 4u);
+  EXPECT_EQ(first.computed, 4u);
+  EXPECT_EQ(first.cached, 0u);
+  for (const CellOutcome& cell : first.cells) {
+    EXPECT_EQ(cell.state, CellState::Computed);
+    EXPECT_FALSE(cell.key_hex.empty());
+    EXPECT_GT(cell.stats.max_lateness.count, 0u);
+  }
+
+  // Identical campaign again: every cell must come from the cache.
+  const CampaignResult second = run_campaign(spec, options);
+  EXPECT_EQ(second.computed, 0u);
+  EXPECT_EQ(second.cached, 4u);
+  for (std::size_t i = 0; i < second.cells.size(); ++i) {
+    EXPECT_EQ(second.cells[i].state, CellState::Cached);
+    EXPECT_EQ(second.cells[i].stats.max_lateness.mean,
+              first.cells[i].stats.max_lateness.mean);
+  }
+}
+
+TEST(Campaign, ManifestRoundTrips) {
+  const ScratchDir dir("manifest");
+  const CampaignSpec spec = tiny_spec();
+  CampaignOptions options;
+  options.manifest_path = (dir.path() / "m.json").string();
+  const CampaignResult result = run_campaign(spec, options);
+
+  const Manifest manifest = read_manifest_file(options.manifest_path);
+  EXPECT_EQ(manifest.version, 1);
+  EXPECT_EQ(manifest.name, spec.name);
+  EXPECT_EQ(manifest.spec_hash_hex, result.spec_hash_hex);
+  EXPECT_EQ(manifest.samples, spec.batch.samples);
+  EXPECT_EQ(manifest.computed, result.computed);
+  ASSERT_EQ(manifest.cells.size(), result.cells.size());
+  for (std::size_t i = 0; i < manifest.cells.size(); ++i) {
+    EXPECT_EQ(manifest.cells[i].strategy_label, result.cells[i].strategy_label);
+    EXPECT_EQ(manifest.cells[i].n_procs, result.cells[i].n_procs);
+    EXPECT_EQ(manifest.cells[i].state, result.cells[i].state);
+    EXPECT_EQ(manifest.cells[i].stats.max_lateness.mean,
+              result.cells[i].stats.max_lateness.mean);
+    EXPECT_EQ(manifest.cells[i].stats.infeasible_runs,
+              result.cells[i].stats.infeasible_runs);
+  }
+  // The embedded canonical spec re-parses to the same campaign.
+  std::istringstream embedded(manifest.spec_text);
+  EXPECT_EQ(CampaignSpec::parse(embedded).canonical_text(), spec.canonical_text());
+
+  std::ostringstream status;
+  print_manifest_status(status, manifest);
+  EXPECT_NE(status.str().find("tiny"), std::string::npos);
+  EXPECT_NE(status.str().find("PURE+CCNE"), std::string::npos);
+}
+
+TEST(Campaign, ResumesAfterInterruption) {
+  const ScratchDir dir("resume");
+  const CampaignSpec spec = tiny_spec();
+  CampaignOptions options;
+  options.manifest_path = (dir.path() / "m.json").string();
+
+  // Full run for reference stats (no cache anywhere in this test: resume
+  // must work from the manifest alone).
+  const CampaignResult reference = run_campaign(spec, options);
+  ASSERT_EQ(reference.computed, 4u);
+
+  // Simulate a run killed halfway: a manifest in which only the first two
+  // cells finished — exactly what the per-cell checkpointing leaves behind.
+  CampaignResult partial = reference;
+  for (std::size_t i = 2; i < partial.cells.size(); ++i) {
+    partial.cells[i].state = CellState::Pending;
+    partial.cells[i].stats = CellStats{};
+  }
+  {
+    std::ofstream out(options.manifest_path);
+    write_manifest(out, spec, partial);
+  }
+
+  options.resume = true;
+  const CampaignResult resumed = run_campaign(spec, options);
+  EXPECT_TRUE(resumed.ok());
+  EXPECT_EQ(resumed.cached, 2u);    // Restored from the manifest.
+  EXPECT_EQ(resumed.computed, 2u);  // Recomputed.
+  for (std::size_t i = 0; i < resumed.cells.size(); ++i) {
+    EXPECT_EQ(resumed.cells[i].state,
+              i < 2 ? CellState::Cached : CellState::Computed);
+    EXPECT_EQ(resumed.cells[i].stats.max_lateness.mean,
+              reference.cells[i].stats.max_lateness.mean);
+  }
+
+  // A manifest from a different spec must not satisfy a resume.
+  CampaignSpec other = spec;
+  other.batch.seed += 1;
+  const CampaignResult fresh = run_campaign(other, options);
+  EXPECT_EQ(fresh.cached, 0u);
+  EXPECT_EQ(fresh.computed, 4u);
+}
+
+TEST(Campaign, RecordsFailedCellsWithoutAborting) {
+  CampaignSpec spec = tiny_spec();
+  // An empty subtask range makes the generator reject the config for every
+  // sample; the cell must fail, the campaign must not throw.
+  spec.workload.min_subtasks = 0;
+  spec.workload.max_subtasks = 0;
+  const CampaignResult result = run_campaign(spec);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.failed, result.cells.size());
+  for (const CellOutcome& cell : result.cells) {
+    EXPECT_EQ(cell.state, CellState::Failed);
+    EXPECT_FALSE(cell.error.empty());
+  }
+}
+
+}  // namespace
+}  // namespace feast

@@ -3,6 +3,8 @@
 ///        strings, CSV, tables, parallel_for.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
 #include <cmath>
 #include <set>
 #include <sstream>
@@ -313,6 +315,55 @@ TEST(Parallel, RespectsConfiguredParallelism) {
   // Single-threaded mode preserves order.
   for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
   set_parallelism(0);
+}
+
+// Regression: a loop shorter than the worker count used to risk blocking the
+// waiter when a body threw before every iteration was claimed.  The loop must
+// return (with the exception) no matter where the failure lands.
+TEST(Parallel, ExceptionWithFewerIterationsThanWorkers) {
+  set_parallelism(8);
+  for (std::size_t n = 2; n <= 4; ++n) {
+    EXPECT_THROW(parallel_for(n,
+                              [](std::size_t i) {
+                                if (i == 0) throw std::runtime_error("early");
+                              }),
+                 std::runtime_error);
+  }
+  set_parallelism(0);
+}
+
+TEST(Parallel, FirstExceptionWins) {
+  // Iteration 0 always fails; later iterations may or may not run before the
+  // failure is observed, but the propagated error must be a real one (never a
+  // lost/empty exception) and the loop must terminate.
+  for (int round = 0; round < 20; ++round) {
+    try {
+      parallel_for(64, [](std::size_t i) {
+        if (i % 7 == 0) throw std::runtime_error("fail@" + std::to_string(i));
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_EQ(std::string(e.what()).rfind("fail@", 0), 0u);
+    }
+  }
+}
+
+TEST(Parallel, UsableAgainAfterException) {
+  EXPECT_THROW(parallel_for(32, [](std::size_t) { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  std::atomic<int> hits{0};
+  parallel_for(100, [&](std::size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 100);
+}
+
+TEST(Parallel, NestedLoopsComplete) {
+  // A body issuing its own parallel_for runs on pool workers; the inner loop
+  // must complete via caller participation even with every worker busy.
+  std::array<std::atomic<int>, 8> counts{};
+  parallel_for(counts.size(), [&](std::size_t i) {
+    parallel_for(50, [&](std::size_t) { counts[i].fetch_add(1); });
+  });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 50);
 }
 
 }  // namespace
