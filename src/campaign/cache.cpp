@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -25,11 +26,24 @@ void write_summary(std::ostream& out, const char* name, const StatSummary& s) {
       << full(s.min) << ' ' << full(s.max) << ' ' << full(s.ci95_half_width) << '\n';
 }
 
+/// istream's num_get rejects the `nan`/`inf` tokens %.17g produces, which
+/// would turn any record holding a non-finite stat into a permanent cache
+/// miss; strtod accepts them, so parse whitespace-delimited tokens instead.
+bool read_double(std::istream& in, double& out) {
+  std::string token;
+  if (!(in >> token)) return false;
+  char* end = nullptr;
+  out = std::strtod(token.c_str(), &end);
+  return end == token.c_str() + token.size();
+}
+
 bool read_summary(std::istream& in, const char* name, StatSummary& s) {
   std::string label;
   if (!(in >> label) || label != name) return false;
-  return static_cast<bool>(in >> s.count >> s.mean >> s.stddev >> s.min >> s.max >>
-                           s.ci95_half_width);
+  if (!(in >> s.count)) return false;
+  return read_double(in, s.mean) && read_double(in, s.stddev) &&
+         read_double(in, s.min) && read_double(in, s.max) &&
+         read_double(in, s.ci95_half_width);
 }
 
 /// Distinct temporary names so concurrent stores of the same key never write

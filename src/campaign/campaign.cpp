@@ -2,12 +2,14 @@
 
 #include <cctype>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <cstdio>
 #include <deque>
 #include <filesystem>
 #include <fstream>
 #include <future>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <sstream>
@@ -27,6 +29,15 @@ std::string full(double value) {
   char buffer[40];
   std::snprintf(buffer, sizeof buffer, "%.17g", value);
   return buffer;
+}
+
+/// JSON has no literal for NaN/Inf (%.17g's bare `nan`/`inf` would be
+/// rejected by any parser, including ours); encode non-finite values as
+/// quoted strings and decode them in json_to_double below.
+std::string json_number(double value) {
+  if (std::isfinite(value)) return full(value);
+  if (std::isnan(value)) return "\"nan\"";
+  return value > 0.0 ? "\"inf\"" : "\"-inf\"";
 }
 
 double parse_double_field(const std::string& what, const std::string& text) {
@@ -89,9 +100,9 @@ std::string json_escape(const std::string& s) {
 }
 
 void write_summary_json(std::ostream& out, const char* name, const StatSummary& s) {
-  out << '"' << name << "\": [" << s.count << ", " << full(s.mean) << ", "
-      << full(s.stddev) << ", " << full(s.min) << ", " << full(s.max) << ", "
-      << full(s.ci95_half_width) << ']';
+  out << '"' << name << "\": [" << s.count << ", " << json_number(s.mean) << ", "
+      << json_number(s.stddev) << ", " << json_number(s.min) << ", "
+      << json_number(s.max) << ", " << json_number(s.ci95_half_width) << ']';
 }
 
 // ------------------------------------------------------------ JSON reading
@@ -314,9 +325,20 @@ class JsonParser {
   std::size_t pos_ = 0;
 };
 
+/// Inverse of json_number: plain numbers plus the quoted non-finite forms.
+double json_to_double(const JsonValue& v, double fallback) {
+  if (v.type == JsonValue::Type::Number) return v.number;
+  if (v.type == JsonValue::Type::String) {
+    if (v.string == "nan") return std::nan("");
+    if (v.string == "inf") return std::numeric_limits<double>::infinity();
+    if (v.string == "-inf") return -std::numeric_limits<double>::infinity();
+  }
+  return fallback;
+}
+
 double number_at(const JsonValue& object, const std::string& key, double fallback = 0.0) {
   const JsonValue* v = object.find(key);
-  return (v != nullptr && v->type == JsonValue::Type::Number) ? v->number : fallback;
+  return v != nullptr ? json_to_double(*v, fallback) : fallback;
 }
 
 std::string string_at(const JsonValue& object, const std::string& key) {
@@ -329,11 +351,11 @@ StatSummary summary_at(const JsonValue& object, const std::string& key) {
   const JsonValue* v = object.find(key);
   if (v == nullptr || v->type != JsonValue::Type::Array || v->array.size() != 6) return s;
   s.count = static_cast<std::size_t>(v->array[0].number);
-  s.mean = v->array[1].number;
-  s.stddev = v->array[2].number;
-  s.min = v->array[3].number;
-  s.max = v->array[4].number;
-  s.ci95_half_width = v->array[5].number;
+  s.mean = json_to_double(v->array[1], 0.0);
+  s.stddev = json_to_double(v->array[2], 0.0);
+  s.min = json_to_double(v->array[3], 0.0);
+  s.max = json_to_double(v->array[4], 0.0);
+  s.ci95_half_width = json_to_double(v->array[5], 0.0);
   return s;
 }
 
@@ -613,9 +635,9 @@ void write_manifest(std::ostream& out, const CampaignSpec& spec,
   out << "  \"totals\": {\"cells\": " << result.cells.size()
       << ", \"computed\": " << result.computed << ", \"cached\": " << result.cached
       << ", \"failed\": " << result.failed << ", \"pending\": " << pending
-      << ", \"wall_ms\": " << full(result.wall_ms)
-      << ", \"cells_per_sec\": " << full(result.cells_per_sec)
-      << ", \"runs_per_sec\": " << full(result.runs_per_sec) << "},\n";
+      << ", \"wall_ms\": " << json_number(result.wall_ms)
+      << ", \"cells_per_sec\": " << json_number(result.cells_per_sec)
+      << ", \"runs_per_sec\": " << json_number(result.runs_per_sec) << "},\n";
   out << "  \"cells\": [\n";
   for (std::size_t i = 0; i < result.cells.size(); ++i) {
     const CellOutcome& cell = result.cells[i];
@@ -623,7 +645,7 @@ void write_manifest(std::ostream& out, const CampaignSpec& spec,
         << "\", \"spec\": \"" << json_escape(cell.strategy_spec)
         << "\", \"procs\": " << cell.n_procs << ", \"key\": \"" << cell.key_hex
         << "\", \"state\": \"" << to_string(cell.state)
-        << "\", \"wall_ms\": " << full(cell.wall_ms) << ",\n     ";
+        << "\", \"wall_ms\": " << json_number(cell.wall_ms) << ",\n     ";
     write_summary_json(out, "max_lateness", cell.stats.max_lateness);
     out << ", ";
     write_summary_json(out, "end_to_end", cell.stats.end_to_end);
@@ -742,7 +764,14 @@ CampaignResult run_campaign(const CampaignSpec& spec, const CampaignOptions& opt
     if (n < 1) throw std::invalid_argument("campaign: sizes must be positive");
   }
 
-  if (options.threads > 0) set_parallelism(options.threads);
+  if (options.threads > 0) {
+    set_parallelism(options.threads);
+    // set_parallelism only feeds parallel_for's lazy resize, but the cells
+    // below are submitted straight to the global pool — resize it here (the
+    // main thread is not a pool worker) so --threads actually bounds the
+    // campaign's concurrency.
+    WorkStealingPool::global().resize(options.threads);
+  }
 
   std::vector<Strategy> strategies;
   strategies.reserve(spec.strategies.size());
@@ -853,8 +882,11 @@ CampaignResult run_campaign(const CampaignSpec& spec, const CampaignOptions& opt
       {
         std::lock_guard<std::mutex> lock(done_mutex);
         done_queue.emplace_back(i, std::move(cell));
+        // Notify while still holding done_mutex: after the lock is dropped
+        // the main thread may harvest the final item and return from
+        // run_campaign, destroying the stack-local done_cv mid-notify.
+        done_cv.notify_one();
       }
-      done_cv.notify_one();
     });
   }
 

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <shared_mutex>
 #include <thread>
 #include <vector>
 
@@ -37,6 +38,13 @@ struct WorkStealingPool::Impl {
 
   std::vector<std::unique_ptr<WorkerQueue>> queues;
   std::vector<std::thread> threads;
+
+  /// Excludes resize (unique) from external submits / worker_count reads
+  /// (shared): start_workers/stop_workers mutate the `queues` and `threads`
+  /// vectors, which external threads index concurrently.  Workers never take
+  /// this lock — the vectors are only mutated after every worker has been
+  /// joined, and taking it in a worker would deadlock resize's join.
+  std::shared_mutex structure_mutex;
 
   std::mutex sleep_mutex;
   std::condition_variable sleep_cv;
@@ -152,6 +160,10 @@ void WorkStealingPool::stop_workers() {
 }
 
 unsigned WorkStealingPool::worker_count() const noexcept {
+  if (tl_pool == impl_.get()) {
+    return static_cast<unsigned>(impl_->threads.size());
+  }
+  std::shared_lock<std::shared_mutex> lock(impl_->structure_mutex);
   return static_cast<unsigned>(impl_->threads.size());
 }
 
@@ -161,14 +173,23 @@ bool WorkStealingPool::on_worker_thread() const noexcept {
 
 void WorkStealingPool::resize(unsigned threads) {
   const unsigned target = resolve_thread_count(threads);
-  if (target == worker_count()) return;
   FEAST_REQUIRE(!on_worker_thread());
+  // Unique lock: no external submit or concurrent resize may index the
+  // queues vector while it is reshaped.  The width check happens under the
+  // lock so racing resizes to different widths serialize cleanly.
+  std::unique_lock<std::shared_mutex> lock(impl_->structure_mutex);
+  if (target == static_cast<unsigned>(impl_->threads.size())) return;
   stop_workers();
   start_workers(target);
 }
 
 void WorkStealingPool::submit(std::function<void()> task) {
   Impl& impl = *impl_;
+  // External submitters must not race a resize that is reshaping the queues
+  // vector; workers cannot (resize joins them before mutating).
+  std::shared_lock<std::shared_mutex> structure_lock(impl.structure_mutex,
+                                                     std::defer_lock);
+  if (!on_worker_thread()) structure_lock.lock();
   FEAST_REQUIRE(!impl.queues.empty());
   unsigned target;
   if (on_worker_thread()) {
@@ -182,7 +203,13 @@ void WorkStealingPool::submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(queue.mutex);
     queue.tasks.push_back(std::move(task));
   }
-  impl.pending.fetch_add(1, std::memory_order_relaxed);
+  {
+    // Serialize the increment with the workers' predicate-check-then-block:
+    // incrementing outside sleep_mutex can land between a worker's predicate
+    // evaluation and its block, losing the wakeup for good.
+    std::lock_guard<std::mutex> lock(impl.sleep_mutex);
+    impl.pending.fetch_add(1, std::memory_order_relaxed);
+  }
   impl.sleep_cv.notify_one();
 }
 

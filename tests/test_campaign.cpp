@@ -7,10 +7,13 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 #include "campaign/cache.hpp"
 #include "campaign/campaign.hpp"
@@ -82,6 +85,43 @@ TEST(WorkStealingPool, ResizePreservesService) {
   EXPECT_EQ(pool.async([] { return 7; }).get(), 7);
 }
 
+TEST(WorkStealingPool, SingleSubmitAlwaysWakesAnIdleWorker) {
+  // Regression: submit used to bump `pending` and notify without holding the
+  // sleep mutex, so a notification could land between a worker's predicate
+  // check and its block — the task then sat queued against a sleeping pool
+  // and this .get() would hang.  One worker, one task at a time, many
+  // rounds: each round finds the worker idle and going to sleep.
+  WorkStealingPool pool(1);
+  for (int round = 0; round < 2000; ++round) {
+    ASSERT_EQ(pool.async([round] { return round; }).get(), round);
+  }
+}
+
+TEST(WorkStealingPool, ResizeRacingExternalSubmitsIsSafe) {
+  // Regression: resize reshapes the per-worker queue vector; external
+  // submitters index it concurrently.  Both sides now synchronize on the
+  // pool's structure lock, so this must neither crash nor lose tasks
+  // (queued work survives a resize by design).
+  WorkStealingPool pool(2);
+  std::atomic<int> count{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 3; ++t) {
+    submitters.emplace_back([&pool, &count] {
+      for (int i = 0; i < 300; ++i) pool.submit([&count] { count.fetch_add(1); });
+    });
+  }
+  std::thread resizer([&pool, &stop] {
+    unsigned width = 1;
+    while (!stop.load()) pool.resize(1 + (width++ % 4));
+  });
+  for (std::thread& t : submitters) t.join();
+  stop.store(true);
+  resizer.join();
+  while (count.load() < 900) std::this_thread::yield();
+  EXPECT_EQ(count.load(), 900);
+}
+
 TEST(WorkStealingPool, CellResultsIdenticalAcrossParallelism) {
   // The experiment batches must be bit-identical no matter how many workers
   // serve parallel_for: every sample derives its RNG from (seed, sample) and
@@ -127,6 +167,27 @@ TEST(ResultCache, RecordRoundTrips) {
   EXPECT_EQ(loaded.makespan.count, stats.makespan.count);
   EXPECT_EQ(loaded.min_laxity.stddev, stats.min_laxity.stddev);
   EXPECT_EQ(loaded.infeasible_runs, stats.infeasible_runs);
+}
+
+TEST(ResultCache, NonFiniteStatsRoundTrip) {
+  // Regression: istream >> double rejects the `nan`/`inf` tokens %.17g
+  // writes, so a record holding a non-finite stat was a permanent miss.
+  const double inf = std::numeric_limits<double>::infinity();
+  CellStats stats;
+  stats.max_lateness = {3, std::nan(""), 0.0, -inf, inf, std::nan("")};
+  stats.min_laxity = {3, -inf, 0.0, -inf, -inf, 0.0};
+
+  std::stringstream buffer;
+  write_cell_record(buffer, "odd-key", stats);
+  CellStats loaded;
+  const auto key = read_cell_record(buffer, loaded);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(*key, "odd-key");
+  EXPECT_TRUE(std::isnan(loaded.max_lateness.mean));
+  EXPECT_EQ(loaded.max_lateness.min, -inf);
+  EXPECT_EQ(loaded.max_lateness.max, inf);
+  EXPECT_TRUE(std::isnan(loaded.max_lateness.ci95_half_width));
+  EXPECT_EQ(loaded.min_laxity.mean, -inf);
 }
 
 TEST(ResultCache, MissThenHitThenInvalidation) {
@@ -301,6 +362,58 @@ TEST(Campaign, ManifestRoundTrips) {
   print_manifest_status(status, manifest);
   EXPECT_NE(status.str().find("tiny"), std::string::npos);
   EXPECT_NE(status.str().find("PURE+CCNE"), std::string::npos);
+}
+
+TEST(Campaign, ManifestRoundTripsNonFiniteStats) {
+  // Regression: the manifest wrote NaN/Inf as bare `nan`/`inf` (invalid
+  // JSON), so `campaign status` threw and resume silently discarded the
+  // whole manifest.  They are now encoded as quoted strings and decoded on
+  // read.
+  const double inf = std::numeric_limits<double>::infinity();
+  const CampaignSpec spec = tiny_spec();
+  CampaignResult result;
+  result.name = spec.name;
+  result.spec_hash_hex = hash_hex(fnv1a64(spec.canonical_text()));
+  result.samples = spec.batch.samples;
+  CellOutcome cell;
+  cell.strategy_spec = "ud";
+  cell.strategy_label = "UD";
+  cell.n_procs = 2;
+  cell.state = CellState::Computed;
+  cell.stats.max_lateness = {3, std::nan(""), 0.0, -inf, inf, std::nan("")};
+  cell.stats.min_laxity = {3, -inf, 0.0, -inf, -inf, 0.0};
+  result.cells.push_back(cell);
+  result.computed = 1;
+
+  std::stringstream buffer;
+  write_manifest(buffer, spec, result);
+  const Manifest manifest = read_manifest(buffer);
+  ASSERT_EQ(manifest.cells.size(), 1u);
+  const StatSummary& lateness = manifest.cells[0].stats.max_lateness;
+  EXPECT_TRUE(std::isnan(lateness.mean));
+  EXPECT_EQ(lateness.min, -inf);
+  EXPECT_EQ(lateness.max, inf);
+  EXPECT_TRUE(std::isnan(lateness.ci95_half_width));
+  EXPECT_EQ(manifest.cells[0].stats.min_laxity.mean, -inf);
+
+  std::ostringstream status;  // Must render, not throw.
+  print_manifest_status(status, manifest);
+  EXPECT_NE(status.str().find("UD"), std::string::npos);
+}
+
+TEST(Campaign, ThreadsOptionResizesTheGlobalPool) {
+  // Regression: --threads only set the lazy parallel_for width, but cells
+  // are submitted straight to the global pool, which stayed at hardware
+  // concurrency.
+  CampaignSpec spec = tiny_spec();
+  spec.strategies = {"ud"};
+  spec.sizes = {2};
+  CampaignOptions options;
+  options.threads = 2;
+  (void)run_campaign(spec, options);
+  EXPECT_EQ(WorkStealingPool::global().worker_count(), 2u);
+  set_parallelism(0);
+  WorkStealingPool::global().resize(0);
 }
 
 TEST(Campaign, ResumesAfterInterruption) {
