@@ -1,0 +1,206 @@
+/// \file perf_scheduler.cpp
+/// \brief Single-thread throughput of the optimized list-scheduler core
+///        against the retained reference implementation.
+///
+/// The workload is a figure-2-sized batch: 128 random task graphs (paper
+/// defaults: 40-60 subtasks, depth 8-12, MDET spread) with PURE/CCNE
+/// deadline windows, scheduled back to back on one machine shape — the
+/// exact shape of one experiment cell, which is what the optimized core
+/// was built for.  Both cores schedule the identical batch; the reference
+/// core pays its per-run allocations, the optimized core reuses one
+/// SchedulerScratch arena.  Traces are verified equal outside the timed
+/// region, and makespans are checksummed inside it to keep the compiler
+/// honest.
+///
+/// Emits BENCH_scheduler.json.  Two gates, both enforced by CI:
+/// `--require X` checks the shared-bus speedup — the configuration that
+/// exercises the full optimized machinery (BusTimeline tail-hint /
+/// binary-search gap queries on a timeline that actually grows) — and
+/// `--require-cf Y` is the contention-free regression floor, where the
+/// bus machinery is idle and the win comes from the arena + indexed ready
+/// queue alone.  Measured speedups rise with the processor count (more
+/// candidate processors per placement, longer bus timelines); see
+/// docs/SCHEDULER.md for the measured table.
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/comm_estimator.hpp"
+#include "core/metrics.hpp"
+#include "core/slicing.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/trace.hpp"
+#include "taskgraph/generator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace feast;
+
+struct Sample {
+  TaskGraph graph;
+  DeadlineAssignment assignment;
+};
+
+std::vector<Sample> make_batch(int samples, std::uint64_t seed) {
+  const auto metric = make_pure();
+  const auto estimator = make_ccne();
+  std::vector<Sample> batch;
+  batch.reserve(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    Pcg32 rng(seed_for(seed, {static_cast<std::uint64_t>(i)}));
+    RandomGraphConfig config;  // fig2 defaults: 40-60 subtasks, MDET
+    Sample sample;
+    sample.graph = generate_random_graph(config, rng);
+    sample.assignment = distribute_deadlines(sample.graph, *metric, *estimator);
+    batch.push_back(std::move(sample));
+  }
+  return batch;
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   t0)
+      .count();
+}
+
+struct Timing {
+  double ref_ms = 0.0;
+  double fast_ms = 0.0;
+  double checksum_ref = 0.0;
+  double checksum_fast = 0.0;
+
+  double speedup() const { return fast_ms > 0.0 ? ref_ms / fast_ms : 0.0; }
+};
+
+/// Best-of-\p reps batch time for both cores on one machine shape.
+Timing time_batch(const std::vector<Sample>& batch, const Machine& machine,
+                  const SchedulerOptions& options, int reps) {
+  Timing timing;
+  timing.ref_ms = 1e300;
+  timing.fast_ms = 1e300;
+  SchedulerScratch scratch;
+
+  // Correctness gate first (untimed): the cores must agree on every sample
+  // or the comparison is meaningless.
+  for (const Sample& sample : batch) {
+    const Schedule ref =
+        list_schedule_ref(sample.graph, sample.assignment, machine, options);
+    const Schedule fast =
+        list_schedule(sample.graph, sample.assignment, machine, options, scratch);
+    std::string why;
+    if (!schedule_trace_equal(sample.graph, ref, fast, &why)) {
+      std::cerr << "perf_scheduler: core divergence: " << why << "\n";
+      std::exit(1);
+    }
+  }
+
+  for (int rep = 0; rep < reps; ++rep) {
+    double checksum = 0.0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (const Sample& sample : batch) {
+      checksum +=
+          list_schedule_ref(sample.graph, sample.assignment, machine, options)
+              .makespan();
+    }
+    timing.ref_ms = std::min(timing.ref_ms, ms_since(t0));
+    timing.checksum_ref = checksum;
+
+    checksum = 0.0;
+    t0 = std::chrono::steady_clock::now();
+    for (const Sample& sample : batch) {
+      checksum += list_schedule(sample.graph, sample.assignment, machine, options,
+                                scratch)
+                      .makespan();
+    }
+    timing.fast_ms = std::min(timing.fast_ms, ms_since(t0));
+    timing.checksum_fast = checksum;
+  }
+  return timing;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int samples = 128;
+  int reps = 5;
+  int procs = 8;
+  double require = 0.0;
+  double require_cf = 0.0;
+  std::string out_path = "BENCH_scheduler.json";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "perf_scheduler: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--samples") samples = std::stoi(next());
+    else if (arg == "--reps") reps = std::stoi(next());
+    else if (arg == "--procs") procs = std::stoi(next());
+    else if (arg == "--require") require = std::stod(next());
+    else if (arg == "--require-cf") require_cf = std::stod(next());
+    else if (arg == "--out") out_path = next();
+    else if (arg == "--quick") { samples = 32; reps = 3; }
+    else {
+      std::cerr << "usage: perf_scheduler [--samples N] [--reps N] [--procs N]"
+                   " [--require X] [--require-cf Y] [--out FILE] [--quick]\n";
+      return 2;
+    }
+  }
+
+  std::cout << "perf_scheduler: generating " << samples << " fig2-sized graphs...\n";
+  const std::vector<Sample> batch = make_batch(samples, 42);
+
+  Machine machine;
+  machine.n_procs = procs;
+
+  SchedulerOptions options;  // paper defaults: time-driven, EDF, gap-search
+  std::cout << "timing contention-free batch (best of " << reps << ")...\n";
+  const Timing free_t = time_batch(batch, machine, options, reps);
+
+  machine.contention = CommContention::SharedBus;
+  std::cout << "timing shared-bus batch...\n";
+  const Timing bus_t = time_batch(batch, machine, options, reps);
+
+  std::cout << "contention-free: ref " << free_t.ref_ms << " ms, fast "
+            << free_t.fast_ms << " ms, speedup " << free_t.speedup() << "x\n"
+            << "shared-bus:      ref " << bus_t.ref_ms << " ms, fast "
+            << bus_t.fast_ms << " ms, speedup " << bus_t.speedup() << "x\n"
+            << "checksums: " << free_t.checksum_fast << " / " << bus_t.checksum_fast
+            << "\n";
+
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"bench\": \"scheduler\",\n"
+      << "  \"samples\": " << samples << ",\n"
+      << "  \"procs\": " << procs << ",\n"
+      << "  \"reps\": " << reps << ",\n"
+      << "  \"contention_free\": {\"ref_ms\": " << free_t.ref_ms
+      << ", \"fast_ms\": " << free_t.fast_ms << ", \"speedup\": " << free_t.speedup()
+      << "},\n"
+      << "  \"shared_bus\": {\"ref_ms\": " << bus_t.ref_ms
+      << ", \"fast_ms\": " << bus_t.fast_ms << ", \"speedup\": " << bus_t.speedup()
+      << "}\n"
+      << "}\n";
+  std::cout << "wrote " << out_path << "\n";
+
+  bool ok = true;
+  if (require > 0.0 && bus_t.speedup() < require) {
+    std::cerr << "perf_scheduler: shared-bus speedup " << bus_t.speedup()
+              << "x is below the required " << require << "x\n";
+    ok = false;
+  }
+  if (require_cf > 0.0 && free_t.speedup() < require_cf) {
+    std::cerr << "perf_scheduler: contention-free speedup " << free_t.speedup()
+              << "x is below the required " << require_cf << "x\n";
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -15,6 +15,7 @@
 #include "core/metrics.hpp"
 #include "core/slicing.hpp"
 #include "sim/runtime_sim.hpp"
+#include "sched/diffsched.hpp"
 #include "sched/gantt.hpp"
 #include "sched/lateness.hpp"
 #include "sched/list_scheduler.hpp"
@@ -56,6 +57,7 @@ commands:
   schedule    distribute + schedule + lateness report
   simulate    execute the plan in the discrete-event runtime simulator
   campaign    run a declarative experiment campaign (cache + resume)
+  diffsched   differential test of the optimized vs reference scheduler
   dot         Graphviz export
 
 common options:
@@ -105,6 +107,12 @@ campaign subcommands (spec format and manifest schema: docs/CAMPAIGN.md):
   --no-cache              disable the result cache
   --threads N             worker threads                 (default: keep current)
   --quiet                 suppress per-cell progress lines
+
+diffsched options (trace contract: docs/SCHEDULER.md):
+  --trials N              randomized workloads, each replayed through all 12
+                          policy combinations on both cores (default 500)
+  --seed S                root RNG seed                  (default 1)
+  --quick                 smaller graphs/machines (smoke run)
 
 run 'feastc <command> --help' for the relevant subset.
 )";
@@ -654,6 +662,28 @@ int cmd_dot(Args& args, std::istream& in, std::ostream& out) {
   return kOk;
 }
 
+// ---------------------------------------------------------------- diffsched
+
+int cmd_diffsched(Args& args, std::ostream& out) {
+  DiffSchedConfig config;
+  while (!args.done()) {
+    const std::string flag = args.pop();
+    if (flag == "--trials") {
+      config.trials = static_cast<int>(parse_int_arg(flag, args.value_for(flag)));
+      if (config.trials < 1) throw UsageError("--trials must be positive");
+    } else if (flag == "--seed") {
+      config.seed =
+          static_cast<std::uint64_t>(parse_int_arg(flag, args.value_for(flag)));
+    } else if (flag == "--quick") {
+      config.quick = true;
+    } else {
+      throw UsageError("diffsched: unknown option '" + flag + "'");
+    }
+  }
+  const DiffSchedResult result = run_diffsched(config, &out);
+  return result.ok() ? kOk : kFailure;
+}
+
 }  // namespace
 
 int run_cli(const std::vector<std::string>& args, std::istream& in, std::ostream& out,
@@ -678,6 +708,7 @@ int run_cli(const std::vector<std::string>& args, std::istream& in, std::ostream
     if (command == "schedule") return cmd_schedule(rest, in, out);
     if (command == "simulate") return cmd_simulate(rest, in, out);
     if (command == "campaign") return cmd_campaign(rest, out);
+    if (command == "diffsched") return cmd_diffsched(rest, out);
     if (command == "dot") return cmd_dot(rest, in, out);
     throw UsageError("unknown command '" + command + "'");
   } catch (const UsageError& e) {

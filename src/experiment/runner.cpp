@@ -12,7 +12,8 @@ RunResult run_once(const TaskGraph& graph, Distributor& distributor,
     require_valid(check_assignment_basic(graph, assignment));
   }
 
-  const Schedule schedule = list_schedule(graph, assignment, machine, options.scheduler);
+  const Schedule schedule =
+      list_schedule_with(options.core, graph, assignment, machine, options.scheduler);
   if (options.validate) {
     require_valid(validate_schedule(graph, assignment, machine, schedule,
                                     options.scheduler));

@@ -27,6 +27,10 @@ struct RunResult {
 /// Run options beyond the machine itself.
 struct RunOptions {
   SchedulerOptions scheduler;
+  /// Which scheduler core evaluates the run.  Trace-identical by contract;
+  /// Reference exists so experiments can be replayed on the paper-faithful
+  /// oracle (e.g. to cross-check a published figure end to end).
+  SchedulerCore core = SchedulerCore::Fast;
   bool validate = true;  ///< Validate assignment + schedule (cheap; on by default).
 };
 

@@ -6,34 +6,9 @@
 
 namespace feast {
 
-Time BusTimeline::query(Time earliest, Time duration) const {
-  FEAST_REQUIRE(duration >= 0.0);
-  if (duration <= 0.0) return earliest;
-  Time candidate = earliest;
-  for (const BusSlot& slot : slots_) {
-    if (slot.end <= candidate + kTimeEps) continue;      // gap is past this slot
-    if (slot.start >= candidate + duration - kTimeEps) break;  // fits before it
-    candidate = slot.end;  // collision: try right after this slot
-  }
-  return candidate;
-}
-
 Time BusTimeline::reserve(Time earliest, Time duration) {
   const Time start = query(earliest, duration);
-  if (duration > 0.0) {
-    const BusSlot slot{start, start + duration};
-    auto it = std::lower_bound(slots_.begin(), slots_.end(), slot,
-                               [](const BusSlot& a, const BusSlot& b) {
-                                 return a.start < b.start;
-                               });
-    if (it != slots_.begin()) {
-      FEAST_ASSERT_MSG(time_le(std::prev(it)->end, slot.start), "bus slot collision");
-    }
-    if (it != slots_.end()) {
-      FEAST_ASSERT_MSG(time_le(slot.end, it->start), "bus slot collision");
-    }
-    slots_.insert(it, slot);
-  }
+  reserve_at(start, duration);
   return start;
 }
 

@@ -9,8 +9,10 @@
 /// committing one.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
+#include "util/contracts.hpp"
 #include "util/time_types.hpp"
 
 namespace feast {
@@ -22,21 +24,136 @@ struct BusSlot {
 };
 
 /// Single-resource timeline with first-fit gap allocation.
+///
+/// Gap search is accelerated for the scheduler's access pattern (queries
+/// whose earliest bound grows with scheduling progress): a tail hint
+/// answers at-or-past-the-end queries in O(1), and a binary search on the
+/// sorted slot starts skips the committed prefix that a query can never
+/// interact with, so GapSearch placement no longer re-walks the full busy
+/// list per candidate processor.  Results are exactly those of the naive
+/// front-to-back first-fit walk.
 class BusTimeline {
  public:
   /// Earliest start >= \p earliest at which \p duration fits.  A zero
-  /// duration always fits at \p earliest.
-  Time query(Time earliest, Time duration) const;
+  /// duration always fits at \p earliest.  Defined inline: the scheduler
+  /// issues one query per candidate processor per placement, and the call
+  /// dominated its profile when out of line.
+  Time query(Time earliest, Time duration) const {
+    FEAST_REQUIRE(duration >= 0.0);
+    if (duration <= 0.0) return earliest;
+    // Tail hint: past the last committed slot every request fits at once.
+    if (slots_.empty() || slots_.back().end <= earliest + kTimeEps) return earliest;
+    // Short timelines (the per-processor busy lists of paper-sized runs
+    // hold a handful of slots) beat the binary search with the plain walk:
+    // same algorithm as query_linear, so results are trivially identical.
+    if (slots_.size() <= 16) {
+      Time candidate = earliest;
+      for (const BusSlot& slot : slots_) {
+        if (slot.end <= candidate + kTimeEps) continue;
+        if (slot.start >= candidate + duration - kTimeEps) break;
+        candidate = slot.end;
+      }
+      return candidate;
+    }
+    // Only the slot straddling `earliest` and those after it can collide.
+    // Slot starts are strictly increasing and slots are disjoint up to
+    // kTimeEps, so every slot before the predecessor of the first slot
+    // starting at or after `earliest` ends by `earliest + kTimeEps` — the
+    // first-fit walk would skip it without moving the candidate.
+    auto it = std::lower_bound(
+        slots_.begin(), slots_.end(), earliest,
+        [](const BusSlot& slot, Time t) { return slot.start < t; });
+    if (it != slots_.begin()) --it;
+    Time candidate = earliest;
+    for (; it != slots_.end(); ++it) {
+      if (it->end <= candidate + kTimeEps) continue;  // gap is past this slot
+      if (it->start >= candidate + duration - kTimeEps) break;  // fits before it
+      candidate = it->end;  // collision: try right after this slot
+    }
+    return candidate;
+  }
+
+  /// The naive front-to-back first-fit walk — the reference semantics the
+  /// accelerated query() must reproduce exactly.  Kept (a) for the
+  /// reference scheduler core, so differential runs exercise both
+  /// implementations against each other on every workload, and (b) as the
+  /// oracle for BusTimeline's own equivalence tests.
+  Time query_linear(Time earliest, Time duration) const {
+    FEAST_REQUIRE(duration >= 0.0);
+    if (duration <= 0.0) return earliest;
+    Time candidate = earliest;
+    for (const BusSlot& slot : slots_) {
+      if (slot.end <= candidate + kTimeEps) continue;      // gap is past this slot
+      if (slot.start >= candidate + duration - kTimeEps) break;  // fits before it
+      candidate = slot.end;  // collision: try right after this slot
+    }
+    return candidate;
+  }
 
   /// Commits a slot found by query(); returns its start.  The slot must
   /// not collide with committed slots (checked).
   Time reserve(Time earliest, Time duration);
+
+  /// reserve() in the growth seed's form: the naive front-to-back gap walk
+  /// followed by a sorted insert with no tail fast path.  Kept for the
+  /// reference scheduler core, whose performance baseline must not ride
+  /// the accelerated machinery it is compared against.  Result- and
+  /// state-identical to reserve().
+  Time reserve_linear(Time earliest, Time duration) {
+    const Time start = query_linear(earliest, duration);
+    if (duration > 0.0) {
+      const BusSlot slot{start, start + duration};
+      auto it = std::lower_bound(slots_.begin(), slots_.end(), slot,
+                                 [](const BusSlot& a, const BusSlot& b) {
+                                   return a.start < b.start;
+                                 });
+      if (it != slots_.begin()) {
+        FEAST_ASSERT_MSG(time_le(std::prev(it)->end, slot.start),
+                         "bus slot collision");
+      }
+      if (it != slots_.end()) {
+        FEAST_ASSERT_MSG(time_le(slot.end, it->start), "bus slot collision");
+      }
+      slots_.insert(it, slot);
+    }
+    return start;
+  }
+
+  /// Commits the slot [\p start, \p start + \p duration) directly, when the
+  /// caller already holds a fitting start from query() — the scheduler's
+  /// processor commit, where re-running the gap query inside reserve()
+  /// would only rediscover the start it was handed.  Inserts exactly the
+  /// slot reserve() would have inserted.  Appends in O(1) when the slot
+  /// lands at or past the tail (the overwhelmingly common case: execution
+  /// starts grow with scheduling progress).
+  void reserve_at(Time start, Time duration) {
+    if (duration <= 0.0) return;
+    const BusSlot slot{start, start + duration};
+    if (slots_.empty() || slots_.back().end <= start + kTimeEps) {
+      slots_.push_back(slot);
+      return;
+    }
+    auto it = std::lower_bound(slots_.begin(), slots_.end(), slot,
+                               [](const BusSlot& a, const BusSlot& b) {
+                                 return a.start < b.start;
+                               });
+    if (it != slots_.begin()) {
+      FEAST_ASSERT_MSG(time_le(std::prev(it)->end, slot.start), "bus slot collision");
+    }
+    if (it != slots_.end()) {
+      FEAST_ASSERT_MSG(time_le(slot.end, it->start), "bus slot collision");
+    }
+    slots_.insert(it, slot);
+  }
 
   /// Committed slots in time order.
   const std::vector<BusSlot>& slots() const noexcept { return slots_; }
 
   /// Total committed transfer time.
   Time total_busy() const noexcept;
+
+  /// Drops all committed slots but keeps the allocation (scratch reuse).
+  void clear() noexcept { slots_.clear(); }
 
  private:
   std::vector<BusSlot> slots_;  ///< Sorted by start, pairwise disjoint.

@@ -24,6 +24,7 @@
 #include "core/annotation.hpp"
 #include "sched/machine.hpp"
 #include "sched/schedule.hpp"
+#include "sched/scheduler_scratch.hpp"
 #include "taskgraph/task_graph.hpp"
 
 namespace feast {
@@ -53,9 +54,19 @@ enum class ProcessorPolicy {
   QueueAtEnd,
 };
 
+/// Which scheduler core evaluates a run.  The two cores are trace-identical
+/// by contract (see list_scheduler_detail.hpp and docs/SCHEDULER.md); the
+/// reference core exists as the paper-faithful oracle the optimized core is
+/// differentially tested against.
+enum class SchedulerCore {
+  Fast,       ///< Indexed ready-queue core with scratch-arena reuse.
+  Reference,  ///< Retained §5.3 implementation (linear scan, per-run state).
+};
+
 const char* to_string(ReleasePolicy policy) noexcept;
 const char* to_string(SelectionPolicy policy) noexcept;
 const char* to_string(ProcessorPolicy policy) noexcept;
+const char* to_string(SchedulerCore core) noexcept;
 
 /// List-scheduler configuration.
 struct SchedulerOptions {
@@ -68,7 +79,31 @@ struct SchedulerOptions {
 /// Preconditions: the assignment is complete for the graph; pinned subtasks
 /// name processors within the machine.  Postcondition: the schedule is
 /// complete and passes validate_schedule().
+///
+/// This is the optimized core: precomputed selection keys feed a binary
+/// min-heap ready queue, predecessor communication lists are hoisted out of
+/// the placement loop, and all working memory comes from \p scratch, which
+/// may be reused across runs of any size (see scheduler_scratch.hpp).
+Schedule list_schedule(const TaskGraph& graph, const DeadlineAssignment& assignment,
+                       const Machine& machine, const SchedulerOptions& options,
+                       SchedulerScratch& scratch);
+
+/// As above with a thread-local scratch arena: repeated calls on one thread
+/// (e.g. a batch sweep worker) reuse the same buffers automatically.
 Schedule list_schedule(const TaskGraph& graph, const DeadlineAssignment& assignment,
                        const Machine& machine, const SchedulerOptions& options = {});
+
+/// The retained reference implementation of the §5.3 scheduler: per-step
+/// linear scan of the ready set, per-run timeline state.  Produces a trace
+/// byte-identical to list_schedule on every input — `feastc diffsched`
+/// replays randomized workloads across all policy combinations to enforce
+/// this.  Use it as the oracle in tests and benchmarks, not in hot paths.
+Schedule list_schedule_ref(const TaskGraph& graph, const DeadlineAssignment& assignment,
+                           const Machine& machine, const SchedulerOptions& options = {});
+
+/// Dispatches on \p core; the result is core-independent by contract.
+Schedule list_schedule_with(SchedulerCore core, const TaskGraph& graph,
+                            const DeadlineAssignment& assignment, const Machine& machine,
+                            const SchedulerOptions& options = {});
 
 }  // namespace feast

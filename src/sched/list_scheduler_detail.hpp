@@ -1,0 +1,129 @@
+/// \file list_scheduler_detail.hpp
+/// \brief The trace contract shared by the reference and optimized
+///        scheduler cores (internal header).
+///
+/// The optimized core (list_schedule) is only shippable because it is
+/// *provably trace-identical* to the retained reference core
+/// (list_schedule_ref).  That proof rests on both cores agreeing, to the
+/// last bit, on every decision that can influence a Schedule.  This header
+/// is the single place those decisions are defined:
+///
+///  1. **Selection order.**  The next subtask among the schedulable set is
+///     the lexicographic minimum of (policy key, assigned release, node id)
+///     under *exact* double comparison.  Exact comparison — not the
+///     epsilon-tolerant time_eq used for schedule bookkeeping — because a
+///     tolerant comparison is not transitive and therefore not a strict
+///     weak ordering: a binary heap and a linear scan could legally
+///     disagree on near-ties, and the tie-break would depend on container
+///     order (and thus on the standard library).  With the exact total
+///     order the minimum is unique, so any correct algorithm finds the
+///     same one.
+///
+///  2. **Predecessor commit order.**  Incoming transfers of a subtask are
+///     committed in (producer finish, communication-node id) order, again
+///     under exact comparison.  This makes shared-bus and link slot
+///     reservations deterministic across libstdc++/libc++ sort
+///     implementations: the comparator is a total order (node ids are
+///     unique), so the permutation is unique.  Implementation-wise both
+///     cores start from the predecessor list sorted ascending by node id
+///     and apply a *stable* sort keyed by producer finish alone, which
+///     yields exactly the (finish, id) order.
+///
+///  3. **Processor choice.**  Among candidate processors the winner is the
+///     lowest-indexed one whose earliest start beats the incumbent by more
+///     than kTimeEps (the paper's earliest-start rule with a deterministic
+///     index tie-break).  Both cores use literally this comparison.
+///
+/// Anything else (ready-set data structure, scratch reuse, gap-search
+/// acceleration) may differ freely between the cores: the differential
+/// harness (`feastc diffsched`, tests/test_sched_differential.cpp) checks
+/// byte-identical traces over randomized workloads to keep it that way.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "core/annotation.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/schedule.hpp"
+#include "taskgraph/task_graph.hpp"
+
+namespace feast::detail {
+
+/// Order-preserving unsigned image of a time value: for non-NaN a, b,
+/// a < b  ⟺  time_order_key(a) < time_order_key(b), and
+/// a == b ⟺  time_order_key(a) == time_order_key(b).
+///
+/// The standard IEEE-754 trick — flip all bits of negatives, set the sign
+/// bit of non-negatives — is strictly monotone across the full double
+/// range, so comparing images with integer `<` decides exactly what
+/// comparing the doubles would.  The one equality hazard, -0.0 == +0.0
+/// with distinct bit patterns, is removed by canonicalizing -0.0 to +0.0
+/// first.  Selection keys and releases are never NaN (assignment accessors
+/// require set values, and the keys are finite arithmetic over them), so
+/// the optimized core may sort on these images and still realize the
+/// contract's exact (key, release, id) order.
+inline std::uint64_t time_order_key(Time t) noexcept {
+  if (t == 0.0) t = 0.0;  // collapse -0.0 onto +0.0
+  std::uint64_t bits;
+  std::memcpy(&bits, &t, sizeof bits);
+  return (bits & 0x8000000000000000ull) ? ~bits
+                                        : bits | 0x8000000000000000ull;
+}
+
+/// The selection key of \p id under \p policy (contract point 1).  Static
+/// per run: none of the three policies depends on scheduling state, which
+/// is what lets the optimized core precompute keys and use a plain binary
+/// heap with no invalidation.
+inline Time selection_key(SelectionPolicy policy, const TaskGraph& graph,
+                          const DeadlineAssignment& assignment, NodeId id) {
+  switch (policy) {
+    case SelectionPolicy::Edf: return assignment.abs_deadline(id);
+    case SelectionPolicy::Fifo: return assignment.release(id);
+    case SelectionPolicy::StaticLaxity:
+      return assignment.rel_deadline(id) - graph.node(id).exec_time;
+  }
+  return 0.0;
+}
+
+/// Exact lexicographic (key, release, id) order (contract point 1).
+inline bool select_less(Time key_a, Time release_a, NodeId a, Time key_b,
+                        Time release_b, NodeId b) noexcept {
+  if (key_a != key_b) return key_a < key_b;
+  if (release_a != release_b) return release_a < release_b;
+  return a < b;
+}
+
+/// Sorts \p comms — the predecessor communication nodes of one subtask,
+/// already ascending by node id — into (producer finish, id) order
+/// (contract point 2), with \p finish_of mapping a comm node to its
+/// producer's finish.  Stable insertion sort keyed by exact finish:
+/// allocation-free, and stability over the id-sorted input supplies the id
+/// tie-break.  Predecessor lists are small (fan-in ≤ ~3 in the paper's
+/// workloads), where insertion sort beats std::sort anyway.
+template <typename FinishOf>
+inline void order_comms_by_finish_with(std::vector<NodeId>& comms,
+                                       FinishOf&& finish_of) {
+  for (std::size_t i = 1; i < comms.size(); ++i) {
+    const NodeId comm = comms[i];
+    const Time finish = finish_of(comm);
+    std::size_t j = i;
+    while (j > 0 && finish_of(comms[j - 1]) > finish) {
+      comms[j] = comms[j - 1];
+      --j;
+    }
+    comms[j] = comm;
+  }
+}
+
+/// As above, reading producer finishes straight from the schedule (the
+/// reference core's form).
+inline void order_comms_by_finish(std::vector<NodeId>& comms, const TaskGraph& graph,
+                                  const Schedule& schedule) {
+  order_comms_by_finish_with(comms, [&](NodeId comm) {
+    return schedule.placement(graph.comm_source(comm)).finish;
+  });
+}
+
+}  // namespace feast::detail

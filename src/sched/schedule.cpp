@@ -4,23 +4,6 @@
 
 namespace feast {
 
-void Schedule::place(NodeId id, ProcId proc, Time start, Time finish) {
-  FEAST_REQUIRE(id.index() < placements_.size());
-  FEAST_REQUIRE(proc.valid() && static_cast<int>(proc.index()) < n_procs_);
-  FEAST_REQUIRE(is_set(start) && is_set(finish));
-  FEAST_REQUIRE_MSG(time_le(start, finish), "finish precedes start");
-  FEAST_REQUIRE_MSG(!placements_[id.index()].placed(), "subtask already placed");
-  placements_[id.index()] = TaskPlacement{proc, start, finish};
-}
-
-void Schedule::record_transfer(NodeId id, Time start, Time finish, bool crossed_bus) {
-  FEAST_REQUIRE(id.index() < transfers_.size());
-  FEAST_REQUIRE(is_set(start) && is_set(finish));
-  FEAST_REQUIRE_MSG(time_le(start, finish), "transfer finish precedes start");
-  FEAST_REQUIRE_MSG(!transfers_[id.index()].recorded(), "transfer already recorded");
-  transfers_[id.index()] = TransferRecord{start, finish, crossed_bus};
-}
-
 const TaskPlacement& Schedule::placement(NodeId id) const {
   FEAST_REQUIRE(id.index() < placements_.size());
   const TaskPlacement& p = placements_[id.index()];
@@ -36,21 +19,20 @@ const TransferRecord& Schedule::transfer(NodeId id) const {
 }
 
 bool Schedule::complete(const TaskGraph& graph) const {
-  for (const NodeId id : graph.computation_nodes()) {
-    if (id.index() >= placements_.size() || !placements_[id.index()].placed()) return false;
-  }
-  for (const NodeId id : graph.communication_nodes()) {
-    if (id.index() >= transfers_.size() || !transfers_[id.index()].recorded()) return false;
+  // Walk node ids directly: computation_nodes()/communication_nodes()
+  // materialize fresh vectors, and this check runs once per scheduled
+  // graph on the experiment hot path.
+  for (std::uint32_t v = 0; v < graph.node_count(); ++v) {
+    const NodeId id(v);
+    if (graph.is_computation(id)) {
+      if (id.index() >= placements_.size() || !placements_[id.index()].placed()) {
+        return false;
+      }
+    } else if (id.index() >= transfers_.size() || !transfers_[id.index()].recorded()) {
+      return false;
+    }
   }
   return true;
-}
-
-Time Schedule::makespan() const noexcept {
-  Time end = 0.0;
-  for (const TaskPlacement& p : placements_) {
-    if (p.placed()) end = std::max(end, p.finish);
-  }
-  return end;
 }
 
 std::vector<NodeId> Schedule::tasks_on(ProcId proc) const {

@@ -48,11 +48,27 @@ class Schedule {
   /// Number of processors of the machine this schedule targets.
   int n_procs() const noexcept { return n_procs_; }
 
-  /// Records the placement of a computation subtask.
-  void place(NodeId id, ProcId proc, Time start, Time finish);
+  /// Records the placement of a computation subtask.  Inline: called once
+  /// per subtask on the scheduler hot path, and the precondition checks
+  /// alone are worth keeping out of a call.
+  void place(NodeId id, ProcId proc, Time start, Time finish) {
+    FEAST_REQUIRE(id.index() < placements_.size());
+    FEAST_REQUIRE(proc.valid() && static_cast<int>(proc.index()) < n_procs_);
+    FEAST_REQUIRE(is_set(start) && is_set(finish));
+    FEAST_REQUIRE_MSG(time_le(start, finish), "finish precedes start");
+    FEAST_REQUIRE_MSG(!placements_[id.index()].placed(), "subtask already placed");
+    placements_[id.index()] = TaskPlacement{proc, start, finish};
+    if (finish > makespan_) makespan_ = finish;
+  }
 
-  /// Records the transfer of a communication subtask.
-  void record_transfer(NodeId id, Time start, Time finish, bool crossed_bus);
+  /// Records the transfer of a communication subtask (also hot; see place).
+  void record_transfer(NodeId id, Time start, Time finish, bool crossed_bus) {
+    FEAST_REQUIRE(id.index() < transfers_.size());
+    FEAST_REQUIRE(is_set(start) && is_set(finish));
+    FEAST_REQUIRE_MSG(time_le(start, finish), "transfer finish precedes start");
+    FEAST_REQUIRE_MSG(!transfers_[id.index()].recorded(), "transfer already recorded");
+    transfers_[id.index()] = TransferRecord{start, finish, crossed_bus};
+  }
 
   /// Placement of a computation subtask (must be placed).
   const TaskPlacement& placement(NodeId id) const;
@@ -70,7 +86,9 @@ class Schedule {
   bool complete(const TaskGraph& graph) const;
 
   /// Completion time of the latest computation subtask; 0 when empty.
-  Time makespan() const noexcept;
+  /// O(1): place() maintains the running maximum (placements are never
+  /// retracted, so the incremental and recomputed maxima coincide).
+  Time makespan() const noexcept { return makespan_; }
 
   /// Computation subtasks on \p proc, sorted by start time.
   std::vector<NodeId> tasks_on(ProcId proc) const;
@@ -85,6 +103,7 @@ class Schedule {
   std::vector<TaskPlacement> placements_;
   std::vector<TransferRecord> transfers_;
   int n_procs_ = 0;
+  Time makespan_ = 0.0;  ///< Running max of placed finishes.
 };
 
 }  // namespace feast

@@ -1,0 +1,47 @@
+#include "sched/scheduler_scratch.hpp"
+
+namespace feast {
+
+void SchedulerScratch::bind(std::size_t node_count, std::size_t n_procs,
+                            bool with_links) {
+  // No fill for the per-node arrays either: prepare() writes waiting,
+  // floor and exec for every computation node before the run loop reads
+  // them, and communication-node entries are never read.
+  if (waiting.size() < node_count) waiting.resize(node_count);
+  if (floor.size() < node_count) floor.resize(node_count);
+  if (exec.size() < node_count) exec.resize(node_count);
+
+  // No fill: latency is written for every comm node in prepare(), and
+  // finish/proc only become readable once the producer commits (a consumer
+  // is evaluated only after all its producers placed).
+  if (comm.size() < node_count) comm.resize(node_count);
+
+  sort_buf.clear();
+  order.clear();
+  // rank is fully written in prepare() before any read, so no fill.
+  if (rank.size() < node_count) rank.resize(node_count);
+  ready_words.assign((node_count + 63) / 64, 0);
+
+  // prepare() writes pred_offset[v + 1] for every node; only [0] needs
+  // presetting.
+  if (pred_offset.size() < node_count + 1) pred_offset.resize(node_count + 1);
+  pred_offset[0] = 0;
+  pred_comms.clear();
+  commit_order.clear();
+
+  // Timelines keep their slot capacity across runs: resize only adds or
+  // drops whole timelines, clear() empties each without releasing memory.
+  if (procs.size() < n_procs) procs.resize(n_procs);
+  for (std::size_t p = 0; p < n_procs; ++p) procs[p].clear();
+  proc_tail.assign(n_procs, 0.0);
+  bus.clear();
+  const std::size_t n_links = with_links ? n_procs * n_procs : 0;
+  if (links.size() < n_links) links.resize(n_links);
+  for (std::size_t l = 0; l < n_links; ++l) links[l].clear();
+
+  local_produced.assign(n_procs, 0.0);
+  local_epoch.assign(n_procs, 0);
+  epoch = 0;
+}
+
+}  // namespace feast

@@ -1,0 +1,96 @@
+/// \file scheduler_scratch.hpp
+/// \brief Reusable working memory for the optimized list-scheduler core.
+///
+/// Profiling the experiment pipeline shows the list scheduler spending a
+/// large share of its time in allocation: per graph it used to allocate
+/// the waiting/ready sets, one busy timeline per processor (plus one per
+/// processor pair under point-to-point links), and a fresh predecessor
+/// vector per placement.  A figure-2 cell schedules 128 graphs back to
+/// back with the same machine shape, so almost all of that capacity is
+/// immediately re-requestable.
+///
+/// SchedulerScratch keeps those buffers alive between runs.  list_schedule
+/// rebinds it to each new (graph, machine) pair — resizing only ever grows
+/// capacity — so a worker thread sweeping a batch performs no steady-state
+/// heap allocation inside the scheduler.  The contents are meaningless
+/// between calls; only the capacity is retained.
+///
+/// Thread affinity: a scratch must not be shared by concurrent
+/// list_schedule calls.  The zero-argument list_schedule overload uses one
+/// thread_local instance, which composes with util/parallel.hpp's
+/// persistent worker pool: each worker reuses its arena across every batch
+/// of every sweep in the process.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/bus.hpp"
+#include "taskgraph/ids.hpp"
+#include "util/time_types.hpp"
+
+namespace feast {
+
+/// Working memory reused across list_schedule runs.  All members are
+/// internal to the optimized core; they are public only so the scheduler
+/// implementation can reach them without friend boilerplate.
+struct SchedulerScratch {
+  // --- per-node state (sized node_count) -------------------------------
+  std::vector<std::uint32_t> waiting;  ///< Unplaced-predecessor counts.
+  std::vector<Time> floor;             ///< Release floor under the policy.
+  std::vector<Time> exec;              ///< Nominal execution times.
+
+  // --- per-communication-node state (sized node_count; comm slots used).
+  // Producer data is mirrored here when the producer commits, so the
+  // per-candidate-processor evaluation loops read one flat packed array
+  // instead of chasing Schedule/TaskGraph accessors (which dominated the
+  // profile); packing keeps each predecessor lookup on one cache line.
+  struct CommMirror {
+    Time finish;         ///< Producer finish (valid once the producer placed).
+    Time latency;        ///< Transfer latency (written every prepare()).
+    std::uint32_t proc;  ///< Producer processor (with finish).
+  };
+  std::vector<CommMirror> comm;  ///< Per-comm mirror, indexed by node id.
+
+  // --- ready queue ------------------------------------------------------
+  // Selection keys are static per run, so the priority order is fixed up
+  // front: one exact (key, release, id) sort assigns every subtask a dense
+  // rank, and the ready set is a bitset over ranks.  Selecting the next
+  // subtask is then find-first-set over a word or two instead of a
+  // comparison-heap operation per step.
+  // Keys are stored as order-preserving unsigned images of the doubles
+  // (detail::time_order_key), so the sort comparator is pure integer
+  // lexicographic comparison.
+  struct ReadyEntry {
+    std::uint64_t key;      ///< Selection key under the run's policy.
+    std::uint64_t release;  ///< Assigned release (first tie-break).
+    NodeId id;              ///< Node id (final tie-break).
+  };
+  std::vector<ReadyEntry> sort_buf;        ///< Per-run priority sort input.
+  std::vector<NodeId> order;               ///< Subtask at each rank.
+  std::vector<std::uint32_t> rank;         ///< Rank of each subtask node.
+  std::vector<std::uint64_t> ready_words;  ///< Ready bitset over ranks.
+
+  // --- predecessor communication lists (CSR, ascending node id) ---------
+  std::vector<std::uint32_t> pred_offset;  ///< node_count + 1 offsets.
+  std::vector<NodeId> pred_comms;          ///< Flattened, id-sorted lists.
+  std::vector<NodeId> commit_order;        ///< Per-commit ordering buffer.
+
+  // --- machine timelines (sized n_procs / n_procs^2) --------------------
+  std::vector<BusTimeline> procs;  ///< Per-processor busy timelines.
+  std::vector<Time> proc_tail;     ///< Finish of the last appended subtask.
+  BusTimeline bus;                 ///< Shared-bus timeline.
+  std::vector<BusTimeline> links;  ///< Per-pair link timelines.
+
+  // --- contention-free ready-time fast path (sized n_procs) -------------
+  std::vector<Time> local_produced;        ///< Max producer finish per proc.
+  std::vector<std::uint32_t> local_epoch;  ///< Validity marks for the above.
+  std::uint32_t epoch = 0;                 ///< Current evaluation epoch.
+
+  /// Rebinds the arena to a run over \p node_count nodes on \p n_procs
+  /// processors (\p with_links: point-to-point pair timelines needed).
+  /// Grows capacity as required, clears contents, keeps allocations.
+  void bind(std::size_t node_count, std::size_t n_procs, bool with_links);
+};
+
+}  // namespace feast

@@ -1,0 +1,90 @@
+#include "sched/trace.hpp"
+
+#include <cstring>
+#include <sstream>
+
+namespace feast {
+
+namespace {
+
+/// FNV-1a over raw bytes.
+std::uint64_t fnv1a(std::uint64_t hash, const void* data, std::size_t size) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::uint64_t mix_time(std::uint64_t hash, Time t) noexcept {
+  if (t == 0.0) t = 0.0;  // canonicalize -0.0 (value-equal ⇒ digest-equal)
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(t));
+  std::memcpy(&bits, &t, sizeof(bits));
+  return fnv1a(hash, &bits, sizeof(bits));
+}
+
+std::uint64_t mix_u32(std::uint64_t hash, std::uint32_t v) noexcept {
+  return fnv1a(hash, &v, sizeof(v));
+}
+
+}  // namespace
+
+bool schedule_trace_equal(const TaskGraph& graph, const Schedule& a, const Schedule& b,
+                          std::string* why) {
+  for (std::uint32_t v = 0; v < graph.node_count(); ++v) {
+    const NodeId id(v);
+    if (graph.is_computation(id)) {
+      const TaskPlacement& pa = a.placement(id);
+      const TaskPlacement& pb = b.placement(id);
+      if (pa.proc == pb.proc && pa.start == pb.start && pa.finish == pb.finish) {
+        continue;
+      }
+      if (why != nullptr) {
+        std::ostringstream os;
+        os << "subtask " << v << ": proc " << pa.proc.value << " ["
+           << pa.start << ", " << pa.finish << ") vs proc " << pb.proc.value
+           << " [" << pb.start << ", " << pb.finish << ")";
+        *why = os.str();
+      }
+      return false;
+    }
+    const TransferRecord& ta = a.transfer(id);
+    const TransferRecord& tb = b.transfer(id);
+    if (ta.start == tb.start && ta.finish == tb.finish &&
+        ta.crossed_bus == tb.crossed_bus) {
+      continue;
+    }
+    if (why != nullptr) {
+      std::ostringstream os;
+      os << "comm " << v << ": [" << ta.start << ", " << ta.finish << ") crossed="
+         << ta.crossed_bus << " vs [" << tb.start << ", " << tb.finish
+         << ") crossed=" << tb.crossed_bus;
+      *why = os.str();
+    }
+    return false;
+  }
+  return true;
+}
+
+std::uint64_t schedule_trace_digest(const TaskGraph& graph, const Schedule& schedule) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (std::uint32_t v = 0; v < graph.node_count(); ++v) {
+    const NodeId id(v);
+    if (graph.is_computation(id)) {
+      const TaskPlacement& p = schedule.placement(id);
+      hash = mix_u32(hash, p.proc.value);
+      hash = mix_time(hash, p.start);
+      hash = mix_time(hash, p.finish);
+    } else {
+      const TransferRecord& t = schedule.transfer(id);
+      hash = mix_u32(hash, t.crossed_bus ? 1U : 0U);
+      hash = mix_time(hash, t.start);
+      hash = mix_time(hash, t.finish);
+    }
+  }
+  return hash;
+}
+
+}  // namespace feast

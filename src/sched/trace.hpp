@@ -1,0 +1,36 @@
+/// \file trace.hpp
+/// \brief Exact schedule-trace comparison for differential testing.
+///
+/// A schedule's *trace* is the full record the scheduler emits: per
+/// computation subtask its (processor, start, finish), per communication
+/// subtask its (depart, arrive, crossed_bus).  The optimized and reference
+/// scheduler cores promise byte-identical traces (the contract in
+/// list_scheduler_detail.hpp); these helpers are how the differential
+/// harness checks that promise.
+///
+/// Comparison uses exact double equality — deliberately not the
+/// epsilon-tolerant time_eq — because the contract is bit-level
+/// determinism, not numerical closeness.  The digest canonicalizes -0.0 to
+/// 0.0 so value-equal traces always hash equal.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sched/schedule.hpp"
+#include "taskgraph/task_graph.hpp"
+
+namespace feast {
+
+/// True when \p a and \p b record exactly the same trace for every node of
+/// \p graph.  On mismatch, when \p why is non-null, it receives a one-line
+/// description of the first differing node.
+bool schedule_trace_equal(const TaskGraph& graph, const Schedule& a, const Schedule& b,
+                          std::string* why = nullptr);
+
+/// FNV-1a 64-bit digest of the trace in node-id order.  Equal traces hash
+/// equal on any platform with IEEE-754 doubles; use it to pin golden
+/// traces in logs without storing full schedules.
+std::uint64_t schedule_trace_digest(const TaskGraph& graph, const Schedule& schedule);
+
+}  // namespace feast

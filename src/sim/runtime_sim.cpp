@@ -60,6 +60,16 @@ RuntimeResult simulate_runtime(const TaskGraph& graph,
   FEAST_REQUIRE(options.background_service > 0.0);
 
   const auto n_procs = static_cast<std::size_t>(machine.n_procs);
+
+  // Assigned absolute deadlines, flattened once: the online-EDF dispatch
+  // scan and the preemption test read them for every ready-queue element
+  // on every event, and going through the assignment accessor each time
+  // dominated the dispatch profile on large ready sets.
+  std::vector<Time> abs_deadline(graph.node_count(), 0.0);
+  for (const NodeId id : graph.computation_nodes()) {
+    abs_deadline[id.index()] = assignment.abs_deadline(id);
+  }
+
   std::vector<TaskState> tasks(graph.node_count());
   std::vector<ProcState> procs(n_procs);
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
@@ -118,8 +128,8 @@ RuntimeResult simulate_runtime(const TaskGraph& graph,
       // Online EDF over assigned absolute deadlines; ties by node id.
       auto best = proc.ready.begin();
       for (auto it = std::next(proc.ready.begin()); it != proc.ready.end(); ++it) {
-        const Time da = assignment.abs_deadline(*it);
-        const Time db = assignment.abs_deadline(*best);
+        const Time da = abs_deadline[it->index()];
+        const Time db = abs_deadline[best->index()];
         if (da < db - kTimeEps || (time_eq(da, db) && *it < *best)) best = it;
       }
       const NodeId id = *best;
@@ -158,8 +168,8 @@ RuntimeResult simulate_runtime(const TaskGraph& graph,
     ProcState& proc = procs[p];
     const NodeId incumbent = running[p];
     if (!proc.busy || !incumbent.valid()) return;
-    if (assignment.abs_deadline(challenger) >=
-        assignment.abs_deadline(incumbent) - kTimeEps) {
+    if (abs_deadline[challenger.index()] >=
+        abs_deadline[incumbent.index()] - kTimeEps) {
       return;
     }
     TaskState& task = tasks[incumbent.index()];
@@ -240,7 +250,7 @@ RuntimeResult simulate_runtime(const TaskGraph& graph,
   Time lateness_sum = 0.0;
   for (const NodeId id : graph.computation_nodes()) {
     const TaskState& task = tasks[id.index()];
-    const Time lateness = task.finish - assignment.abs_deadline(id);
+    const Time lateness = task.finish - abs_deadline[id.index()];
     lateness_sum += lateness;
     if (lateness > result.lateness.max_lateness) {
       result.lateness.max_lateness = lateness;

@@ -3,6 +3,8 @@
 ///        first-fit gap allocation.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "sched/bus.hpp"
 #include "util/contracts.hpp"
 
@@ -79,6 +81,49 @@ TEST(BusTimeline, BackToBackSlotsAllowed) {
   // Exactly adjacent slot starting at 10 is legal.
   EXPECT_DOUBLE_EQ(bus.reserve(10.0, 10.0), 10.0);
   EXPECT_EQ(bus.slots().size(), 2u);
+}
+
+// The accelerated query (tail hint, short linear walk, binary search on
+// long lists) and reserve must agree with the seed-form linear oracle on
+// every call, across both sides of the small-list cutover.  Two timelines
+// are driven with an identical randomized request stream; the accelerated
+// one must return the same answers and end in the same state.
+TEST(BusTimeline, AcceleratedPathsMatchLinearOracle) {
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  const auto next = [&state]() {
+    // xorshift64*: deterministic, no RNG dependency in this test.
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545f4914f6cdd1dull;
+  };
+
+  BusTimeline fast;
+  BusTimeline oracle;
+  for (int i = 0; i < 200; ++i) {
+    const Time earliest = static_cast<Time>(next() % 1000) / 4.0;
+    const Time duration = static_cast<Time>(next() % 40) / 8.0;
+
+    ASSERT_DOUBLE_EQ(fast.query(earliest, duration),
+                     oracle.query_linear(earliest, duration))
+        << "query divergence at request " << i << " (" << fast.slots().size()
+        << " slots)";
+
+    if (next() % 2 == 0) {
+      const Time start = fast.reserve(earliest, duration);
+      ASSERT_DOUBLE_EQ(start, oracle.reserve_linear(earliest, duration))
+          << "reserve divergence at request " << i;
+    }
+
+    ASSERT_EQ(fast.slots().size(), oracle.slots().size());
+    for (std::size_t s = 0; s < fast.slots().size(); ++s) {
+      ASSERT_DOUBLE_EQ(fast.slots()[s].start, oracle.slots()[s].start);
+      ASSERT_DOUBLE_EQ(fast.slots()[s].end, oracle.slots()[s].end);
+    }
+  }
+  // The stream must have pushed the timeline past the small-list linear
+  // path, or the binary-search branch went untested.
+  EXPECT_GT(fast.slots().size(), 16u);
 }
 
 }  // namespace

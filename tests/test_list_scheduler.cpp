@@ -445,6 +445,124 @@ INSTANTIATE_TEST_SUITE_P(
                           CommContention::PointToPointLinks),
         ::testing::Values(2, 9)));
 
+// Full expected-trace tests for the non-default selection policies under
+// QueueAtEnd: every placement of a five-subtask workload is pinned down by
+// hand so a change in selection or queueing behavior shows up as a concrete
+// start-time diff, not just a validation failure.  (The traces double as
+// documentation of how the two policies diverge from EDF on one input.)
+
+/// diamond: src feeds mid1/mid2 (2 items each), both feed sink (2 items);
+/// one independent subtask 'solo' competes for the processors.
+struct TracedWorkload {
+  TaskGraph g;
+  NodeId src, mid1, mid2, sink, solo;
+  Machine machine;
+
+  TracedWorkload() {
+    src = g.add_subtask("src", 4.0);
+    mid1 = g.add_subtask("mid1", 6.0);
+    mid2 = g.add_subtask("mid2", 8.0);
+    sink = g.add_subtask("sink", 4.0);
+    solo = g.add_subtask("solo", 10.0);
+    g.add_precedence(src, mid1, 2.0);
+    g.add_precedence(src, mid2, 2.0);
+    g.add_precedence(mid1, sink, 2.0);
+    g.add_precedence(mid2, sink, 2.0);
+    machine.n_procs = 2;  // contention-free, unit bus rate
+  }
+};
+
+TEST(ListScheduler, FifoQueueAtEndExpectedTrace) {
+  TracedWorkload w;
+  // Releases order FIFO selection: solo(0) < src(1) < mid2(6) < mid1(8).
+  // EDF would order src(20) < mid1(28) < mid2(30) < solo(44) instead.
+  const DeadlineAssignment asg = manual_assignment(
+      w.g, {{w.src, 1.0, 19.0},    // abs 20
+            {w.mid1, 8.0, 20.0},   // abs 28
+            {w.mid2, 6.0, 24.0},   // abs 30
+            {w.sink, 30.0, 10.0},  // abs 40
+            {w.solo, 0.0, 44.0}}); // abs 44
+
+  SchedulerOptions options;
+  options.selection = SelectionPolicy::Fifo;
+  options.processor_policy = ProcessorPolicy::QueueAtEnd;
+  const Schedule s = list_schedule(w.g, asg, w.machine, options);
+
+  // solo first (release 0) on P0: [0, 10).  src (release 1) prefers the
+  // idle P1: [1, 5).  mid2 (release 6) beats mid1 (release 8): co-located
+  // with src on P1 it needs no transfer, starts at its release: [6, 14);
+  // on P0 it could not start before 10.  mid1 then sees P0 free at 10 with
+  // the message from src arriving 5 + 2 = 7, but its release is 8... P0
+  // gives max(10, 8) = 10, P1 gives max(14, 8) = 14: P0 wins, [10, 16).
+  // sink's release 30 dominates every arrival; the earlier-indexed P0
+  // ties P1 and wins: [30, 34).
+  EXPECT_EQ(s.placement(w.solo).proc, ProcId(0));
+  EXPECT_DOUBLE_EQ(s.placement(w.solo).start, 0.0);
+  EXPECT_EQ(s.placement(w.src).proc, ProcId(1));
+  EXPECT_DOUBLE_EQ(s.placement(w.src).start, 1.0);
+  EXPECT_EQ(s.placement(w.mid2).proc, ProcId(1));
+  EXPECT_DOUBLE_EQ(s.placement(w.mid2).start, 6.0);
+  EXPECT_EQ(s.placement(w.mid1).proc, ProcId(0));
+  EXPECT_DOUBLE_EQ(s.placement(w.mid1).start, 10.0);
+  EXPECT_DOUBLE_EQ(s.placement(w.mid1).finish, 16.0);
+  EXPECT_EQ(s.placement(w.sink).proc, ProcId(0));
+  EXPECT_DOUBLE_EQ(s.placement(w.sink).start, 30.0);
+  require_valid(validate_schedule(w.g, asg, w.machine, s, options));
+
+  // The reference core reproduces the trace exactly (spot check beyond the
+  // randomized differential suite).
+  const Schedule ref = list_schedule_ref(w.g, asg, w.machine, options);
+  for (const NodeId id : {w.src, w.mid1, w.mid2, w.sink, w.solo}) {
+    EXPECT_EQ(ref.placement(id).proc, s.placement(id).proc);
+    EXPECT_DOUBLE_EQ(ref.placement(id).start, s.placement(id).start);
+  }
+}
+
+TEST(ListScheduler, StaticLaxityQueueAtEndExpectedTrace) {
+  TracedWorkload w;
+  // All releases 0 (precedence still gates the diamond): selection is
+  // driven purely by laxity d_i - c_i.
+  const DeadlineAssignment asg = manual_assignment(
+      w.g, {{w.src, 0.0, 6.0},     // laxity 2
+            {w.mid1, 0.0, 40.0},   // laxity 34
+            {w.mid2, 0.0, 20.0},   // laxity 12
+            {w.sink, 0.0, 60.0},   // laxity 56
+            {w.solo, 0.0, 13.0}}); // laxity 3
+
+  SchedulerOptions options;
+  options.selection = SelectionPolicy::StaticLaxity;
+  options.processor_policy = ProcessorPolicy::QueueAtEnd;
+  const Schedule s = list_schedule(w.g, asg, w.machine, options);
+
+  // Ready set starts as {src (laxity 2), solo (laxity 3)}: src to P0
+  // [0, 4), solo to P1 [0, 10).  That unlocks mid2 (laxity 12) before
+  // mid1 (laxity 34): mid2 stays with src on P0 [4, 12) (P1 is busy till
+  // 10 anyway).  mid1 compares P0 at 12 against P1 at max(10, 4+2) = 10:
+  // P1 wins, [10, 16).  sink needs mid1's message across (16 + 2 = 18)
+  // and mid2 locally on P0 (12): P0 starts at max(12, 18) = 18, P1 at
+  // max(16, 12+2) = 16: P1 wins, [16, 20).
+  EXPECT_EQ(s.placement(w.src).proc, ProcId(0));
+  EXPECT_DOUBLE_EQ(s.placement(w.src).start, 0.0);
+  EXPECT_EQ(s.placement(w.solo).proc, ProcId(1));
+  EXPECT_DOUBLE_EQ(s.placement(w.solo).start, 0.0);
+  EXPECT_EQ(s.placement(w.mid2).proc, ProcId(0));
+  EXPECT_DOUBLE_EQ(s.placement(w.mid2).start, 4.0);
+  EXPECT_DOUBLE_EQ(s.placement(w.mid2).finish, 12.0);
+  EXPECT_EQ(s.placement(w.mid1).proc, ProcId(1));
+  EXPECT_DOUBLE_EQ(s.placement(w.mid1).start, 10.0);
+  EXPECT_DOUBLE_EQ(s.placement(w.mid1).finish, 16.0);
+  EXPECT_EQ(s.placement(w.sink).proc, ProcId(1));
+  EXPECT_DOUBLE_EQ(s.placement(w.sink).start, 16.0);
+  EXPECT_DOUBLE_EQ(s.placement(w.sink).finish, 20.0);
+  require_valid(validate_schedule(w.g, asg, w.machine, s, options));
+
+  const Schedule ref = list_schedule_ref(w.g, asg, w.machine, options);
+  for (const NodeId id : {w.src, w.mid1, w.mid2, w.sink, w.solo}) {
+    EXPECT_EQ(ref.placement(id).proc, s.placement(id).proc);
+    EXPECT_DOUBLE_EQ(ref.placement(id).start, s.placement(id).start);
+  }
+}
+
 TEST(ListScheduler, PolicyNames) {
   EXPECT_STREQ(to_string(ReleasePolicy::TimeDriven), "time-driven");
   EXPECT_STREQ(to_string(ReleasePolicy::Eager), "eager");
@@ -456,6 +574,8 @@ TEST(ListScheduler, PolicyNames) {
   EXPECT_STREQ(to_string(CommContention::ContentionFree), "contention-free");
   EXPECT_STREQ(to_string(CommContention::SharedBus), "shared-bus");
   EXPECT_STREQ(to_string(CommContention::PointToPointLinks), "point-to-point");
+  EXPECT_STREQ(to_string(SchedulerCore::Fast), "fast");
+  EXPECT_STREQ(to_string(SchedulerCore::Reference), "reference");
 }
 
 }  // namespace

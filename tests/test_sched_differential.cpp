@@ -1,0 +1,187 @@
+/// \file test_sched_differential.cpp
+/// \brief Differential tests of the optimized list-scheduler core against
+///        the retained reference implementation.
+///
+/// The heavy harness (`feastc diffsched`, ≥500 trials) runs in CI; this is
+/// the ctest slice — enough randomized workloads to catch a contract
+/// regression in a local edit-compile-test loop, plus directed cases for
+/// the optimized core's special paths (heap ties, scratch reuse across
+/// mismatched shapes, the contention-free top-two fast path).
+#include <gtest/gtest.h>
+
+#include "core/comm_estimator.hpp"
+#include "core/metrics.hpp"
+#include "core/slicing.hpp"
+#include "sched/diffsched.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/trace.hpp"
+#include "taskgraph/generator.hpp"
+#include "util/rng.hpp"
+
+namespace feast {
+namespace {
+
+TEST(DiffSched, QuickRandomizedWorkloadsAgreeOnAllPolicyCombos) {
+  DiffSchedConfig config;
+  config.seed = 20260805;
+  config.trials = 40;
+  config.quick = true;
+  const DiffSchedResult result = run_diffsched(config);
+  EXPECT_EQ(result.trials, 40);
+  EXPECT_EQ(result.combos, 12);
+  EXPECT_EQ(result.schedules, 40LL * 12 * 2);
+  EXPECT_EQ(result.mismatches, 0) << result.first_problem;
+  EXPECT_EQ(result.invalid, 0) << result.first_problem;
+}
+
+TEST(DiffSched, PaperSizedWorkloadsAgree) {
+  DiffSchedConfig config;
+  config.seed = 97;
+  config.trials = 8;  // full-size graphs, all 12 combos each
+  const DiffSchedResult result = run_diffsched(config);
+  EXPECT_TRUE(result.ok()) << result.first_problem;
+}
+
+/// The scratch arena must not leak state between runs of different shapes:
+/// schedule a large graph on a wide machine, then a small graph on a
+/// narrow one, through the same arena, and compare against fresh runs.
+TEST(DiffSched, ScratchArenaCarriesNoStateAcrossShapes) {
+  Pcg32 rng(42);
+  RandomGraphConfig big;
+  RandomGraphConfig small;
+  small.min_subtasks = 5;
+  small.max_subtasks = 8;
+  small.min_depth = 2;
+  small.max_depth = 3;
+
+  TaskGraph g_big = generate_random_graph(big, rng);
+  TaskGraph g_small = generate_random_graph(small, rng);
+  const auto metric = make_pure();
+  const auto estimator = make_ccne();
+  const DeadlineAssignment a_big = distribute_deadlines(g_big, *metric, *estimator);
+  const DeadlineAssignment a_small =
+      distribute_deadlines(g_small, *metric, *estimator);
+
+  Machine wide;
+  wide.n_procs = 12;
+  wide.contention = CommContention::SharedBus;
+  Machine narrow;
+  narrow.n_procs = 2;
+  narrow.contention = CommContention::PointToPointLinks;
+
+  SchedulerScratch reused;
+  const SchedulerOptions options;
+  const Schedule big_first = list_schedule(g_big, a_big, wide, options, reused);
+  const Schedule small_second =
+      list_schedule(g_small, a_small, narrow, options, reused);
+  const Schedule big_third = list_schedule(g_big, a_big, wide, options, reused);
+
+  SchedulerScratch fresh_a;
+  SchedulerScratch fresh_b;
+  const Schedule small_fresh =
+      list_schedule(g_small, a_small, narrow, options, fresh_a);
+  const Schedule big_fresh = list_schedule(g_big, a_big, wide, options, fresh_b);
+
+  std::string why;
+  EXPECT_TRUE(schedule_trace_equal(g_small, small_second, small_fresh, &why)) << why;
+  EXPECT_TRUE(schedule_trace_equal(g_big, big_first, big_fresh, &why)) << why;
+  EXPECT_TRUE(schedule_trace_equal(g_big, big_third, big_fresh, &why)) << why;
+}
+
+/// Identical selection keys everywhere: the heap's pop order must still
+/// match the reference's linear scan (the exact (key, release, id) order
+/// makes the minimum unique even under total ties).
+TEST(DiffSched, DegenerateSelectionTiesStillAgree) {
+  TaskGraph graph;
+  std::vector<NodeId> layer1;
+  for (int i = 0; i < 6; ++i) {
+    layer1.push_back(graph.add_subtask("u" + std::to_string(i), 10.0));
+  }
+  std::vector<NodeId> layer2;
+  for (int i = 0; i < 6; ++i) {
+    layer2.push_back(graph.add_subtask("v" + std::to_string(i), 10.0));
+  }
+  for (std::size_t i = 0; i < layer2.size(); ++i) {
+    graph.add_precedence(layer1[i], layer2[i], 4.0);
+    graph.add_precedence(layer1[(i + 1) % layer1.size()], layer2[i], 4.0);
+  }
+  DeadlineAssignment assignment(graph);
+  for (const NodeId id : graph.computation_nodes()) {
+    // Every subtask: same release, same deadline → key and release tie for
+    // all policies; only the id tie-break decides.
+    assignment.assign(id, 0.0, 100.0, 0);
+  }
+  for (const NodeId comm : graph.communication_nodes()) {
+    assignment.assign(comm, 100.0, 0.0, 0);
+  }
+
+  Machine machine;
+  machine.n_procs = 3;
+  for (const CommContention contention :
+       {CommContention::ContentionFree, CommContention::SharedBus,
+        CommContention::PointToPointLinks}) {
+    machine.contention = contention;
+    for (const SelectionPolicy selection :
+         {SelectionPolicy::Edf, SelectionPolicy::Fifo, SelectionPolicy::StaticLaxity}) {
+      SchedulerOptions options;
+      options.selection = selection;
+      const Schedule ref = list_schedule_ref(graph, assignment, machine, options);
+      const Schedule fast = list_schedule(graph, assignment, machine, options);
+      std::string why;
+      EXPECT_TRUE(schedule_trace_equal(graph, ref, fast, &why))
+          << to_string(contention) << "/" << to_string(selection) << ": " << why;
+    }
+  }
+}
+
+TEST(DiffSched, DispatcherSelectsCores) {
+  Pcg32 rng(7);
+  RandomGraphConfig config;
+  config.min_subtasks = 10;
+  config.max_subtasks = 15;
+  config.min_depth = 3;
+  config.max_depth = 4;
+  TaskGraph graph = generate_random_graph(config, rng);
+  const auto metric = make_norm();
+  const auto estimator = make_ccne();
+  const DeadlineAssignment assignment =
+      distribute_deadlines(graph, *metric, *estimator);
+  Machine machine;
+  machine.n_procs = 4;
+
+  const Schedule a =
+      list_schedule_with(SchedulerCore::Fast, graph, assignment, machine);
+  const Schedule b =
+      list_schedule_with(SchedulerCore::Reference, graph, assignment, machine);
+  std::string why;
+  EXPECT_TRUE(schedule_trace_equal(graph, a, b, &why)) << why;
+  EXPECT_EQ(schedule_trace_digest(graph, a), schedule_trace_digest(graph, b));
+}
+
+TEST(DiffSched, TraceDigestDetectsDivergence) {
+  TaskGraph graph;
+  const NodeId a = graph.add_subtask("a", 5.0);
+  const NodeId b = graph.add_subtask("b", 5.0);
+  const NodeId comm = graph.add_precedence(a, b, 2.0);
+  Machine machine;
+  machine.n_procs = 2;
+
+  Schedule s1(graph, machine);
+  s1.place(a, ProcId(0), 0.0, 5.0);
+  s1.record_transfer(comm, 5.0, 5.0, false);
+  s1.place(b, ProcId(0), 5.0, 10.0);
+
+  Schedule s2(graph, machine);
+  s2.place(a, ProcId(0), 0.0, 5.0);
+  s2.record_transfer(comm, 5.0, 7.0, true);
+  s2.place(b, ProcId(1), 7.0, 12.0);
+
+  std::string why;
+  EXPECT_FALSE(schedule_trace_equal(graph, s1, s2, &why));
+  EXPECT_FALSE(why.empty());
+  EXPECT_NE(schedule_trace_digest(graph, s1), schedule_trace_digest(graph, s2));
+  EXPECT_EQ(schedule_trace_digest(graph, s1), schedule_trace_digest(graph, s1));
+}
+
+}  // namespace
+}  // namespace feast

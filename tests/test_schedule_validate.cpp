@@ -4,9 +4,16 @@
 #include <gtest/gtest.h>
 
 #include <tuple>
+#include <vector>
 
+#include "core/comm_estimator.hpp"
+#include "core/metrics.hpp"
+#include "core/slicing.hpp"
+#include "sched/list_scheduler.hpp"
 #include "sched/schedule_validate.hpp"
+#include "taskgraph/generator.hpp"
 #include "taskgraph/task_graph.hpp"
+#include "util/rng.hpp"
 
 namespace feast {
 namespace {
@@ -191,6 +198,173 @@ TEST(ScheduleValidate, BoundaryReleaseViolationReported) {
   s.place(a, ProcId(0), 20.0, 30.0);  // before the physical release of 25
   expect_problem(validate_schedule(g, asg, machine, s),
                  "starts before its boundary release");
+}
+
+// --------------------------------------------------------------------------
+// Mutation property tests: take a random *valid* schedule produced by the
+// list scheduler, apply one corruption operator, and require the validator
+// to reject the mutant with the matching problem class.  Directed tests
+// above prove each check fires on a crafted two-node fixture; these prove
+// the checks keep firing inside realistically tangled schedules.
+
+/// Mutable copy of a schedule's full trace.
+struct TraceCopy {
+  std::vector<TaskPlacement> places;
+  std::vector<TransferRecord> transfers;
+
+  TraceCopy(const TaskGraph& g, const Schedule& s)
+      : places(g.node_count()), transfers(g.node_count()) {
+    for (const NodeId id : g.computation_nodes()) places[id.index()] = s.placement(id);
+    for (const NodeId id : g.communication_nodes()) transfers[id.index()] = s.transfer(id);
+  }
+
+  /// Materializes the (possibly mutated) trace as a fresh Schedule.
+  Schedule build(const TaskGraph& g, const Machine& m) const {
+    Schedule s(g, m);
+    for (const NodeId id : g.computation_nodes()) {
+      const TaskPlacement& p = places[id.index()];
+      s.place(id, p.proc, p.start, p.finish);
+    }
+    for (const NodeId id : g.communication_nodes()) {
+      const TransferRecord& t = transfers[id.index()];
+      s.record_transfer(id, t.start, t.finish, t.crossed_bus);
+    }
+    return s;
+  }
+};
+
+/// One random scheduled workload per seed.
+struct RandomWorkload {
+  TaskGraph g;
+  DeadlineAssignment asg;
+  Machine machine;
+  Schedule s;
+
+  explicit RandomWorkload(std::uint64_t seed) {
+    Pcg32 rng(seed);
+    RandomGraphConfig config;
+    config.min_subtasks = 12;
+    config.max_subtasks = 24;
+    config.min_depth = 3;
+    config.max_depth = 6;
+    g = generate_random_graph(config, rng);
+    const auto metric = make_pure();
+    const auto estimator = make_ccne();
+    asg = distribute_deadlines(g, *metric, *estimator);
+    machine.n_procs = 3;
+    machine.contention = static_cast<CommContention>(seed % 3);
+    s = list_schedule(g, asg, machine);
+  }
+};
+
+TEST(ScheduleValidateProperty, AcceptsEveryListScheduledWorkload) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    RandomWorkload w(seed);
+    const ScheduleReport report = validate_schedule(w.g, w.asg, w.machine, w.s);
+    EXPECT_TRUE(report.ok()) << "seed " << seed << ": " << report.to_string();
+  }
+}
+
+TEST(ScheduleValidateProperty, RejectsOverlappingPlacements) {
+  int mutants = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    RandomWorkload w(seed);
+    // Slide the second subtask of some processor onto the first one.
+    for (int p = 0; p < w.machine.n_procs; ++p) {
+      const std::vector<NodeId> tasks = w.s.tasks_on(ProcId(static_cast<std::uint32_t>(p)));
+      if (tasks.size() < 2) continue;
+      TraceCopy trace(w.g, w.s);
+      TaskPlacement& victim = trace.places[tasks[1].index()];
+      const Time duration = victim.finish - victim.start;
+      victim.start = trace.places[tasks[0].index()].start;
+      victim.finish = victim.start + duration;
+      expect_problem(
+          validate_schedule(w.g, w.asg, w.machine, trace.build(w.g, w.machine)),
+          " overlaps ");
+      ++mutants;
+      break;
+    }
+  }
+  EXPECT_GE(mutants, 8);  // the operator must actually apply, not vacuously pass
+}
+
+TEST(ScheduleValidateProperty, RejectsConsumerStartingBeforeArrival) {
+  int mutants = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    RandomWorkload w(seed);
+    for (const NodeId comm : w.g.communication_nodes()) {
+      const Time arrival = w.s.transfer(comm).finish;
+      const NodeId consumer = w.g.comm_sink(comm);
+      TraceCopy trace(w.g, w.s);
+      TaskPlacement& victim = trace.places[consumer.index()];
+      if (arrival < 0.5) continue;  // keep the mutated start non-negative
+      const Time duration = victim.finish - victim.start;
+      victim.start = arrival - 0.5;
+      victim.finish = victim.start + duration;
+      expect_problem(
+          validate_schedule(w.g, w.asg, w.machine, trace.build(w.g, w.machine)),
+          "consumer starts before the message arrives");
+      ++mutants;
+      break;
+    }
+  }
+  EXPECT_GE(mutants, 8);
+}
+
+TEST(ScheduleValidateProperty, RejectsStartBeforeAssignedRelease) {
+  int mutants = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    RandomWorkload w(seed);
+    for (const NodeId id : w.g.computation_nodes()) {
+      const Time release = w.asg.release(id);
+      if (release < 1.0) continue;  // need room to start strictly earlier
+      TraceCopy trace(w.g, w.s);
+      TaskPlacement& victim = trace.places[id.index()];
+      const Time duration = victim.finish - victim.start;
+      victim.start = release - 0.5;
+      victim.finish = victim.start + duration;
+      expect_problem(
+          validate_schedule(w.g, w.asg, w.machine, trace.build(w.g, w.machine)),
+          "starts before its assigned release time");
+      ++mutants;
+      break;
+    }
+  }
+  EXPECT_GE(mutants, 8);
+}
+
+TEST(ScheduleValidateProperty, RejectsTransferDepartingBeforeProducerFinish) {
+  int mutants = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    RandomWorkload w(seed);
+    for (const NodeId comm : w.g.communication_nodes()) {
+      if (!w.s.transfer(comm).crossed_bus) continue;
+      const Time produced = w.s.placement(w.g.comm_source(comm)).finish;
+      TraceCopy trace(w.g, w.s);
+      TransferRecord& victim = trace.transfers[comm.index()];
+      const Time latency = victim.finish - victim.start;
+      victim.start = produced - 0.5;
+      victim.finish = victim.start + latency;
+      expect_problem(
+          validate_schedule(w.g, w.asg, w.machine, trace.build(w.g, w.machine)),
+          "departs before the producer finishes");
+      ++mutants;
+      break;
+    }
+  }
+  EXPECT_GE(mutants, 8);
+}
+
+TEST(ScheduleValidateProperty, RejectsCorruptedExecutionDuration) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    RandomWorkload w(seed);
+    const NodeId victim_id = w.g.computation_nodes().front();
+    TraceCopy trace(w.g, w.s);
+    trace.places[victim_id.index()].finish += 1.0;
+    expect_problem(
+        validate_schedule(w.g, w.asg, w.machine, trace.build(w.g, w.machine)),
+        ": executes for ");
+  }
 }
 
 }  // namespace
