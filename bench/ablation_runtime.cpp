@@ -50,11 +50,12 @@ int main(int argc, char** argv) {
     BatchConfig batch;
     batch.samples = args.figure.samples;
     batch.seed = args.figure.seed;
-    batch.scheduler.release_policy = variant.release;
-    batch.scheduler.processor_policy = variant.processor;
+    RunContext context;
+    context.scheduler.release_policy = variant.release;
+    context.scheduler.processor_policy = variant.processor;
     results.push_back(sweep_strategies(std::string("Run-time ablation — ") + variant.label,
                                        paper_workload(ExecSpreadScenario::MDET),
-                                       strategies, args.figure.sizes, batch));
+                                       strategies, args.figure.sizes, batch, context));
   }
   print_results(results);
   args.write_csv(results);

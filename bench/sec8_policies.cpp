@@ -43,10 +43,11 @@ int main(int argc, char** argv) {
     BatchConfig batch;
     batch.samples = args.figure.samples;
     batch.seed = args.figure.seed;
-    batch.scheduler.selection = policy.selection;
+    RunContext context;
+    context.scheduler.selection = policy.selection;
     results.push_back(sweep_strategies(std::string("Scheduling policy — ") + policy.label,
                                        paper_workload(ExecSpreadScenario::MDET),
-                                       strategies, args.figure.sizes, batch));
+                                       strategies, args.figure.sizes, batch, context));
   }
   print_results(results);
   args.write_csv(results);

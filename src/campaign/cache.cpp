@@ -13,7 +13,10 @@ namespace feast {
 
 namespace {
 
-constexpr char kRecordMagic[] = "feast-cell v1";
+// v2: cell keys gained the scheduler core (describe_cell "feast-cell-v2"),
+// so v1 records — written under keys that collided across cores — are
+// treated as misses rather than risking a stale read.
+constexpr char kRecordMagic[] = "feast-cell v2";
 
 std::string full(double value) {
   char buffer[40];

@@ -17,6 +17,7 @@
 #include <utility>
 
 #include "campaign/pool.hpp"
+#include "util/json.hpp"
 #include "util/parallel.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -107,223 +108,9 @@ void write_summary_json(std::ostream& out, const char* name, const StatSummary& 
 
 // ------------------------------------------------------------ JSON reading
 //
-// A deliberately small recursive-descent parser covering the JSON subset
-// write_manifest emits (objects, arrays, strings with basic escapes,
-// numbers, booleans, null).  Kept internal: the manifest is the only JSON
-// this repository reads.
-
-struct JsonValue {
-  enum class Type { Null, Bool, Number, String, Array, Object };
-  Type type = Type::Null;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  const JsonValue* find(const std::string& key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue value = parse_value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing content");
-    return value;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("manifest JSON: " + what + " at offset " +
-                             std::to_string(pos_));
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consume_literal(const char* literal) {
-    const std::size_t len = std::char_traits<char>::length(literal);
-    if (text_.compare(pos_, len, literal) == 0) {
-      pos_ += len;
-      return true;
-    }
-    return false;
-  }
-
-  JsonValue parse_value() {
-    skip_ws();
-    switch (peek()) {
-      case '{': return parse_object();
-      case '[': return parse_array();
-      case '"': {
-        JsonValue v;
-        v.type = JsonValue::Type::String;
-        v.string = parse_string();
-        return v;
-      }
-      case 't':
-      case 'f': {
-        JsonValue v;
-        v.type = JsonValue::Type::Bool;
-        if (consume_literal("true")) {
-          v.boolean = true;
-        } else if (consume_literal("false")) {
-          v.boolean = false;
-        } else {
-          fail("bad literal");
-        }
-        return v;
-      }
-      case 'n': {
-        if (!consume_literal("null")) fail("bad literal");
-        return JsonValue{};
-      }
-      default: return parse_number();
-    }
-  }
-
-  JsonValue parse_object() {
-    expect('{');
-    JsonValue v;
-    v.type = JsonValue::Type::Object;
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      skip_ws();
-      std::string key = parse_string();
-      skip_ws();
-      expect(':');
-      v.object.emplace_back(std::move(key), parse_value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  JsonValue parse_array() {
-    expect('[');
-    JsonValue v;
-    v.type = JsonValue::Type::Array;
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      v.array.push_back(parse_value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    for (;;) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) fail("unterminated escape");
-      const char e = text_[pos_++];
-      switch (e) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-          unsigned code = 0;
-          for (int k = 0; k < 4; ++k) {
-            const char h = text_[pos_++];
-            code <<= 4U;
-            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
-            else fail("bad \\u escape");
-          }
-          // The writer only emits \u00XX control escapes; decode the BMP
-          // range as UTF-8 anyway for robustness.
-          if (code < 0x80) {
-            out += static_cast<char>(code);
-          } else if (code < 0x800) {
-            out += static_cast<char>(0xC0 | (code >> 6U));
-            out += static_cast<char>(0x80 | (code & 0x3FU));
-          } else {
-            out += static_cast<char>(0xE0 | (code >> 12U));
-            out += static_cast<char>(0x80 | ((code >> 6U) & 0x3FU));
-            out += static_cast<char>(0x80 | (code & 0x3FU));
-          }
-          break;
-        }
-        default: fail("unknown escape");
-      }
-    }
-  }
-
-  JsonValue parse_number() {
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (start == pos_) fail("expected a value");
-    JsonValue v;
-    v.type = JsonValue::Type::Number;
-    try {
-      v.number = std::stod(text_.substr(start, pos_ - start));
-    } catch (const std::exception&) {
-      fail("bad number");
-    }
-    return v;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
+// The recursive-descent parser itself lives in util/json.hpp (it started
+// here and was promoted once the obs exporter gained a second JSON reader);
+// what remains are the manifest-specific decoding helpers.
 
 /// Inverse of json_number: plain numbers plus the quoted non-finite forms.
 double json_to_double(const JsonValue& v, double fallback) {
@@ -462,20 +249,21 @@ std::string CampaignSpec::canonical_text() const {
                                                                   : "free")
       << '\n';
   out << "release = "
-      << (batch.scheduler.release_policy == ReleasePolicy::Eager ? "eager"
-                                                                 : "time-driven")
+      << (context.scheduler.release_policy == ReleasePolicy::Eager ? "eager"
+                                                                   : "time-driven")
       << '\n';
   out << "selection = "
-      << (batch.scheduler.selection == SelectionPolicy::Fifo           ? "fifo"
-          : batch.scheduler.selection == SelectionPolicy::StaticLaxity ? "static-laxity"
-                                                                       : "edf")
+      << (context.scheduler.selection == SelectionPolicy::Fifo           ? "fifo"
+          : context.scheduler.selection == SelectionPolicy::StaticLaxity ? "static-laxity"
+                                                                         : "edf")
       << '\n';
   out << "processor = "
-      << (batch.scheduler.processor_policy == ProcessorPolicy::QueueAtEnd
+      << (context.scheduler.processor_policy == ProcessorPolicy::QueueAtEnd
               ? "queue-at-end"
               : "gap-search")
       << '\n';
-  out << "validate = " << (batch.validate ? 1 : 0) << '\n';
+  out << "core = " << to_string(context.core) << '\n';
+  out << "validate = " << (context.validate ? 1 : 0) << '\n';
   std::vector<std::string> specs = strategies;
   out << "strategies = " << join(specs, ", ") << '\n';
   std::vector<std::string> size_strings;
@@ -555,24 +343,29 @@ CampaignSpec CampaignSpec::parse(std::istream& in) {
       else throw std::invalid_argument("campaign: unknown contention '" + value + "'");
     } else if (key == "release") {
       if (value == "time-driven")
-        spec.batch.scheduler.release_policy = ReleasePolicy::TimeDriven;
-      else if (value == "eager") spec.batch.scheduler.release_policy = ReleasePolicy::Eager;
+        spec.context.scheduler.release_policy = ReleasePolicy::TimeDriven;
+      else if (value == "eager")
+        spec.context.scheduler.release_policy = ReleasePolicy::Eager;
       else throw std::invalid_argument("campaign: unknown release policy '" + value + "'");
     } else if (key == "selection") {
-      if (value == "edf") spec.batch.scheduler.selection = SelectionPolicy::Edf;
-      else if (value == "fifo") spec.batch.scheduler.selection = SelectionPolicy::Fifo;
+      if (value == "edf") spec.context.scheduler.selection = SelectionPolicy::Edf;
+      else if (value == "fifo") spec.context.scheduler.selection = SelectionPolicy::Fifo;
       else if (value == "static-laxity")
-        spec.batch.scheduler.selection = SelectionPolicy::StaticLaxity;
+        spec.context.scheduler.selection = SelectionPolicy::StaticLaxity;
       else throw std::invalid_argument("campaign: unknown selection '" + value + "'");
     } else if (key == "processor") {
       if (value == "gap-search")
-        spec.batch.scheduler.processor_policy = ProcessorPolicy::GapSearch;
+        spec.context.scheduler.processor_policy = ProcessorPolicy::GapSearch;
       else if (value == "queue-at-end")
-        spec.batch.scheduler.processor_policy = ProcessorPolicy::QueueAtEnd;
+        spec.context.scheduler.processor_policy = ProcessorPolicy::QueueAtEnd;
       else throw std::invalid_argument("campaign: unknown processor policy '" + value +
                                        "'");
+    } else if (key == "core") {
+      if (value == "fast") spec.context.core = SchedulerCore::Fast;
+      else if (value == "reference") spec.context.core = SchedulerCore::Reference;
+      else throw std::invalid_argument("campaign: unknown core '" + value + "'");
     } else if (key == "validate") {
-      spec.batch.validate = parse_int_field(key, value) != 0;
+      spec.context.validate = parse_int_field(key, value) != 0;
     } else if (key == "strategies") {
       for (const std::string& piece : split(value, ',')) {
         const std::string s = trim(piece);
@@ -665,7 +458,7 @@ Manifest read_manifest(std::istream& in) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   const std::string text = buffer.str();
-  const JsonValue root = JsonParser(text).parse();
+  const JsonValue root = parse_json(text);
   if (root.type != JsonValue::Type::Object) {
     throw std::runtime_error("manifest: top level is not an object");
   }
@@ -797,7 +590,8 @@ CampaignResult run_campaign(const CampaignSpec& spec, const CampaignOptions& opt
       CellPlan p;
       p.strategy_index = si;
       p.n_procs = n_procs;
-      p.canonical = describe_cell(spec.workload, strategies[si].label, n_procs, spec.batch);
+      p.canonical = describe_cell(spec.workload, strategies[si].label, n_procs,
+                                  spec.batch, spec.context);
       CellOutcome cell;
       cell.strategy_spec = spec.strategies[si];
       cell.strategy_label = strategies[si].label;
@@ -857,26 +651,18 @@ CampaignResult run_campaign(const CampaignSpec& spec, const CampaignOptions& opt
       CellOutcome cell = result.cells[i];
       const CellPlan& p = plan[i];
       const auto cell_start = std::chrono::steady_clock::now();
-      CellStats cached;
-      if (options.cache != nullptr && !p.canonical.empty() &&
-          options.cache->lookup(p.canonical, cached)) {
-        cell.state = CellState::Cached;
-        cell.stats = cached;
-      } else {
-        try {
-          cell.stats = run_cell(spec.workload, strategies[p.strategy_index], p.n_procs,
-                                spec.batch);
-          cell.state = CellState::Computed;
-          if (options.cache != nullptr && !p.canonical.empty()) {
-            options.cache->store(p.canonical, cell.stats);
-          }
-        } catch (const std::exception& e) {
-          cell.state = CellState::Failed;
-          cell.error = e.what();
-        } catch (...) {
-          cell.state = CellState::Failed;
-          cell.error = "unknown error";
-        }
+      try {
+        const ExecutedCell executed =
+            execute_cell(spec.workload, strategies[p.strategy_index], p.n_procs,
+                         spec.batch, spec.context, options.cache);
+        cell.stats = executed.stats;
+        cell.state = executed.from_cache ? CellState::Cached : CellState::Computed;
+      } catch (const std::exception& e) {
+        cell.state = CellState::Failed;
+        cell.error = e.what();
+      } catch (...) {
+        cell.state = CellState::Failed;
+        cell.error = "unknown error";
       }
       cell.wall_ms = ms_since(cell_start);
       {

@@ -38,6 +38,11 @@ struct CampaignSpec {
   std::string name = "campaign";
   RandomGraphConfig workload;
   BatchConfig batch;
+  /// Run-level knobs (scheduler policies, core, validation, obs sink);
+  /// context.machine is ignored — cells derive their machine from
+  /// (n_procs, batch).  The sink is not part of the spec format: it is
+  /// installed programmatically (e.g. by `feastc campaign --trace-out`).
+  RunContext context;
   std::vector<std::string> strategies;  ///< Strategy spec strings.
   std::vector<int> sizes;               ///< Processor counts.
 

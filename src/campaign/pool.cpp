@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/contracts.hpp"
 #include "util/log.hpp"
 
@@ -70,6 +71,7 @@ struct WorkStealingPool::Impl {
         out = std::move(victim.tasks.front());
         victim.tasks.pop_front();
         pending.fetch_sub(1, std::memory_order_relaxed);
+        obs::count(obs::Counter::PoolSteal);
         return true;
       }
     }
@@ -88,10 +90,12 @@ thread_local unsigned tl_worker_index = 0;
 void WorkStealingPool::Impl::worker_main(unsigned index) {
   tl_pool = this;
   tl_worker_index = index;
+  obs::set_thread_label("pool-worker-" + std::to_string(index));
   for (;;) {
     std::function<void()> task;
     if (try_acquire(index, task)) {
       try {
+        obs::SpanScope span(obs::Span::PoolTask);
         task();
       } catch (const std::exception& e) {
         FEAST_LOG_WARN << "pool task threw: " << e.what();
@@ -100,6 +104,7 @@ void WorkStealingPool::Impl::worker_main(unsigned index) {
       }
       continue;
     }
+    obs::count(obs::Counter::PoolSleep);
     std::unique_lock<std::mutex> lock(sleep_mutex);
     sleep_cv.wait(lock, [&] {
       return mode != Mode::Run || pending.load(std::memory_order_relaxed) > 0;

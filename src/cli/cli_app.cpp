@@ -1,5 +1,6 @@
 #include "cli/cli_app.hpp"
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -9,6 +10,9 @@
 #include "campaign/campaign.hpp"
 
 #include "core/annotation_io.hpp"
+#include "experiment/figures.hpp"
+#include "obs/obs.hpp"
+#include "util/parallel.hpp"
 #include "core/comm_estimator.hpp"
 #include "core/demand.hpp"
 #include "core/distribution_validate.hpp"
@@ -57,6 +61,7 @@ commands:
   schedule    distribute + schedule + lateness report
   simulate    execute the plan in the discrete-event runtime simulator
   campaign    run a declarative experiment campaign (cache + resume)
+  profile     instrumented sweep: per-phase timings, counters, Chrome trace
   diffsched   differential test of the optimized vs reference scheduler
   dot         Graphviz export
 
@@ -107,6 +112,18 @@ campaign subcommands (spec format and manifest schema: docs/CAMPAIGN.md):
   --no-cache              disable the result cache
   --threads N             worker threads                 (default: keep current)
   --quiet                 suppress per-cell progress lines
+  --trace-out FILE        write a Chrome trace of the run (docs/OBSERVABILITY.md)
+
+profile options (span taxonomy: docs/OBSERVABILITY.md):
+  --samples N             graphs per cell                (default 32)
+  --seed S                batch seed                     (default 0xFEA57)
+  --sizes A,B,...         processor counts               (default 2,4,...,16)
+  --scenario X            LDET | MDET | HDET             (default MDET)
+  --contention C          free | bus | links             (default free)
+  --core K                fast | reference               (default fast)
+  --threads N             worker threads                 (default: keep current)
+  --trace-out FILE        write Chrome trace_event JSON (chrome://tracing,
+                          ui.perfetto.dev)
 
 diffsched options (trace contract: docs/SCHEDULER.md):
   --trials N              randomized workloads, each replayed through all 12
@@ -593,6 +610,7 @@ int cmd_campaign(Args& args, std::ostream& out) {
 
   std::optional<std::string> spec_path;
   std::optional<std::string> manifest_path;
+  std::optional<std::string> trace_path;
   std::string cache_dir = ".feast-cache";
   bool no_cache = false;
   bool quiet = false;
@@ -612,6 +630,8 @@ int cmd_campaign(Args& args, std::ostream& out) {
       threads = static_cast<unsigned>(n);
     } else if (flag == "--quiet") {
       quiet = true;
+    } else if (flag == "--trace-out") {
+      trace_path = args.value_for(flag);
     } else if (!spec_path && (flag.empty() || flag[0] != '-')) {
       spec_path = flag;
     } else {
@@ -632,7 +652,17 @@ int cmd_campaign(Args& args, std::ostream& out) {
   }
   if (!quiet) options.progress = &out;
 
-  const CampaignResult result = run_campaign(spec, options);
+  obs::Sink sink(/*capture_events=*/trace_path.has_value());
+  const CampaignResult result = [&] {
+    obs::ScopedSink scoped(sink);
+    return run_campaign(spec, options);
+  }();
+  if (trace_path) {
+    // run_campaign has harvested every cell, so the sink is quiescent.
+    std::ofstream trace(*trace_path);
+    if (!trace) throw std::runtime_error("cannot open '" + *trace_path + "'");
+    sink.write_chrome_trace(trace);
+  }
 
   out << "\ncampaign:   " << result.name << " (spec " << result.spec_hash_hex << ")\n";
   out << "cells:      " << result.cells.size() << " — " << result.computed
@@ -646,6 +676,106 @@ int cmd_campaign(Args& args, std::ostream& out) {
   }
   out << "manifest:   " << options.manifest_path << "\n";
   return result.ok() ? kOk : kFailure;
+}
+
+// ------------------------------------------------------------------ profile
+
+int cmd_profile(Args& args, std::ostream& out) {
+  BatchConfig batch;
+  batch.samples = 32;
+  RunContext context;
+  ExecSpreadScenario scenario = ExecSpreadScenario::MDET;
+  std::vector<int> sizes = paper_sizes();
+  std::optional<std::string> trace_path;
+  unsigned threads = 0;
+
+  while (!args.done()) {
+    const std::string flag = args.pop();
+    if (flag == "--samples") {
+      batch.samples = static_cast<int>(parse_int_arg(flag, args.value_for(flag)));
+      if (batch.samples < 1) throw UsageError("--samples must be positive");
+    } else if (flag == "--seed") {
+      batch.seed = static_cast<std::uint64_t>(parse_int_arg(flag, args.value_for(flag)));
+    } else if (flag == "--sizes") {
+      sizes.clear();
+      for (const std::string& piece : split(args.value_for(flag), ',')) {
+        const long long n = parse_int_arg(flag, trim(piece));
+        if (n < 1) throw UsageError("--sizes must be positive");
+        sizes.push_back(static_cast<int>(n));
+      }
+      if (sizes.empty()) throw UsageError("--sizes is empty");
+    } else if (flag == "--scenario") {
+      const std::string name = args.value_for(flag);
+      if (name == "LDET") scenario = ExecSpreadScenario::LDET;
+      else if (name == "MDET") scenario = ExecSpreadScenario::MDET;
+      else if (name == "HDET") scenario = ExecSpreadScenario::HDET;
+      else throw UsageError("unknown scenario '" + name + "'");
+    } else if (flag == "--contention") {
+      const std::string name = args.value_for(flag);
+      if (name == "free") batch.contention = CommContention::ContentionFree;
+      else if (name == "bus") batch.contention = CommContention::SharedBus;
+      else if (name == "links") batch.contention = CommContention::PointToPointLinks;
+      else throw UsageError("unknown contention model '" + name + "'");
+    } else if (flag == "--core") {
+      const std::string name = args.value_for(flag);
+      if (name == "fast") context.core = SchedulerCore::Fast;
+      else if (name == "reference") context.core = SchedulerCore::Reference;
+      else throw UsageError("unknown core '" + name + "'");
+    } else if (flag == "--threads") {
+      const long long n = parse_int_arg(flag, args.value_for(flag));
+      if (n < 1) throw UsageError("--threads must be positive");
+      threads = static_cast<unsigned>(n);
+    } else if (flag == "--trace-out") {
+      trace_path = args.value_for(flag);
+    } else {
+      throw UsageError("profile: unknown option '" + flag + "'");
+    }
+  }
+
+  if (threads > 0) set_parallelism(threads);
+
+  const std::vector<Strategy> strategies{
+      strategy_pure(EstimatorKind::CCNE),
+      strategy_adapt(1.25),
+  };
+
+  obs::Sink sink(/*capture_events=*/trace_path.has_value());
+  const auto start = std::chrono::steady_clock::now();
+  const SweepResult sweep = [&] {
+    obs::ScopedSink scoped(sink);
+    return sweep_strategies(std::string("profile — ") + to_string(scenario) +
+                                " scenario, " + to_string(batch.contention),
+                            paper_workload(scenario), strategies, sizes, batch,
+                            context);
+  }();
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+
+  sweep.print(out);
+  out << "\n";
+  const obs::Report report = sink.report();
+  report.print(out);
+
+  // The top-level pipeline phases partition a run; on a single-threaded
+  // sweep their sum accounts for nearly all of the wall time (the gap is
+  // per-sample glue: RNG seeding, strategy construction, aggregation).
+  const double phase_ms =
+      report.total_ms({obs::Span::Generate, obs::Span::Distribute,
+                       obs::Span::Validate, obs::Span::Schedule, obs::Span::Stats});
+  out << "\nwall:             " << format_compact(wall_ms, 1) << " ms\n";
+  out << "phase total:      " << format_compact(phase_ms, 1) << " ms ("
+      << format_fixed(wall_ms > 0.0 ? 100.0 * phase_ms / wall_ms : 0.0, 1)
+      << "% of wall)\n";
+
+  if (trace_path) {
+    std::ofstream trace(*trace_path);
+    if (!trace) throw std::runtime_error("cannot open '" + *trace_path + "'");
+    sink.write_chrome_trace(trace);
+    out << "trace:            " << *trace_path
+        << " (chrome://tracing or ui.perfetto.dev)\n";
+  }
+  return kOk;
 }
 
 // ---------------------------------------------------------------------- dot
@@ -708,6 +838,7 @@ int run_cli(const std::vector<std::string>& args, std::istream& in, std::ostream
     if (command == "schedule") return cmd_schedule(rest, in, out);
     if (command == "simulate") return cmd_simulate(rest, in, out);
     if (command == "campaign") return cmd_campaign(rest, out);
+    if (command == "profile") return cmd_profile(rest, out);
     if (command == "diffsched") return cmd_diffsched(rest, out);
     if (command == "dot") return cmd_dot(rest, in, out);
     throw UsageError("unknown command '" + command + "'");

@@ -29,7 +29,7 @@ std::vector<SweepResult> per_scenario_sweep(const std::string& figure_name,
   for (const ExecSpreadScenario scenario : paper_scenarios()) {
     const std::string title = figure_name + " — " + to_string(scenario) + " scenario";
     results.push_back(sweep_strategies(title, paper_workload(scenario), strategies,
-                                       options.sizes, batch));
+                                       options.sizes, batch, options.context));
   }
   return results;
 }

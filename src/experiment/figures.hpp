@@ -36,6 +36,7 @@ struct FigureOptions {
   int samples = 128;              ///< 128 in the paper; lower for --quick.
   std::uint64_t seed = 0xFEA57u;
   std::vector<int> sizes = paper_sizes();
+  RunContext context;             ///< Scheduler core/policies + obs sink.
 };
 
 std::vector<SweepResult> figure2_bst(const FigureOptions& options = {});

@@ -1,24 +1,44 @@
 #include "experiment/runner.hpp"
 
+#include <optional>
+
 #include "core/distribution_validate.hpp"
 #include "sched/schedule_validate.hpp"
 
 namespace feast {
 
 RunResult run_once(const TaskGraph& graph, Distributor& distributor,
-                   const Machine& machine, const RunOptions& options) {
-  const DeadlineAssignment assignment = distributor.distribute(graph);
-  if (options.validate) {
+                   const RunContext& context) {
+  obs::Sink* const sink = context.sink != nullptr ? context.sink : obs::active();
+  // An explicitly passed sink must also catch scheduler-internal spans and
+  // counters, which resolve obs::active() (the scheduler has no context):
+  // install it for the run's extent.  In-tree parallel drivers resolve
+  // their sink *from* active() (so this branch stays cold there); callers
+  // running concurrent runs with distinct explicit sinks are on their own.
+  std::optional<obs::ScopedSink> scoped;
+  if (sink != nullptr && sink != obs::active()) scoped.emplace(*sink);
+
+  const DeadlineAssignment assignment = [&] {
+    obs::SpanScope span(sink, obs::Span::Distribute);
+    return distributor.distribute(graph);
+  }();
+  if (context.validate) {
+    obs::SpanScope span(sink, obs::Span::Validate);
     require_valid(check_assignment_basic(graph, assignment));
   }
 
-  const Schedule schedule =
-      list_schedule_with(options.core, graph, assignment, machine, options.scheduler);
-  if (options.validate) {
-    require_valid(validate_schedule(graph, assignment, machine, schedule,
-                                    options.scheduler));
+  const Schedule schedule = [&] {
+    obs::SpanScope span(sink, obs::Span::Schedule);
+    return list_schedule_with(context.core, graph, assignment, context.machine,
+                              context.scheduler);
+  }();
+  if (context.validate) {
+    obs::SpanScope span(sink, obs::Span::Validate);
+    require_valid(validate_schedule(graph, assignment, context.machine, schedule,
+                                    context.scheduler));
   }
 
+  obs::SpanScope span(sink, obs::Span::Stats);
   RunResult result;
   result.lateness = computation_lateness(graph, assignment, schedule);
   result.end_to_end = end_to_end_lateness(graph, schedule);
@@ -26,6 +46,16 @@ RunResult run_once(const TaskGraph& graph, Distributor& distributor,
   result.utilization = schedule.average_utilization();
   result.min_laxity = assignment.min_laxity(graph);
   return result;
+}
+
+RunResult run_once(const TaskGraph& graph, Distributor& distributor,
+                   const Machine& machine, const RunOptions& options) {
+  RunContext context;
+  context.machine = machine;
+  context.scheduler = options.scheduler;
+  context.core = options.core;
+  context.validate = options.validate;
+  return run_once(graph, distributor, context);
 }
 
 }  // namespace feast

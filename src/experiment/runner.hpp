@@ -8,6 +8,7 @@
 #pragma once
 
 #include "core/distributor.hpp"
+#include "obs/obs.hpp"
 #include "sched/lateness.hpp"
 #include "sched/list_scheduler.hpp"
 #include "sched/machine.hpp"
@@ -24,17 +25,40 @@ struct RunResult {
   Time min_laxity = 0.0;        ///< Pre-scheduling, over computation nodes.
 };
 
-/// Run options beyond the machine itself.
-struct RunOptions {
+/// Everything a run needs beyond the graph and the strategy, carried as
+/// one value through every layer of the pipeline (run_once → cells →
+/// sweeps → figures → campaigns) so a new knob never means a new
+/// parameter on four signatures.
+struct RunContext {
+  /// The machine of a bare run_once call.  The cell/sweep layer derives
+  /// the machine from its own (n_procs, batch) axes instead — see
+  /// execute_cell — so there this field is ignored.
+  Machine machine;
   SchedulerOptions scheduler;
   /// Which scheduler core evaluates the run.  Trace-identical by contract;
   /// Reference exists so experiments can be replayed on the paper-faithful
   /// oracle (e.g. to cross-check a published figure end to end).
   SchedulerCore core = SchedulerCore::Fast;
   bool validate = true;  ///< Validate assignment + schedule (cheap; on by default).
+  /// Observability sink for this run's spans/counters (borrowed).  When
+  /// nullptr, the process-wide obs::active() sink applies — so installing
+  /// a ScopedSink around a whole sweep needs no per-context plumbing.
+  obs::Sink* sink = nullptr;
 };
 
 /// Executes one run.  Throws ContractViolation when validation fails.
+RunResult run_once(const TaskGraph& graph, Distributor& distributor,
+                   const RunContext& context);
+
+/// Pre-RunContext options struct, kept one release for out-of-tree callers.
+struct RunOptions {
+  SchedulerOptions scheduler;
+  SchedulerCore core = SchedulerCore::Fast;
+  bool validate = true;
+};
+
+/// Forwarding shim for the old (machine, options) signature.
+[[deprecated("use run_once(graph, distributor, RunContext) instead")]]
 RunResult run_once(const TaskGraph& graph, Distributor& distributor,
                    const Machine& machine, const RunOptions& options = {});
 

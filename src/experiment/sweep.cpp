@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <optional>
 #include <vector>
 
 #include "util/csv.hpp"
@@ -37,13 +38,16 @@ CellCache* cell_cache() noexcept {
 
 std::string describe_cell(const RandomGraphConfig& workload,
                           const std::string& strategy_label, int n_procs,
-                          const BatchConfig& batch) {
+                          const BatchConfig& batch, const RunContext& context) {
   if (strategy_label.empty()) return {};
   if (batch.shape_machine && batch.machine_tag.empty()) return {};
 
   std::string key;
   key.reserve(512);
-  key += "feast-cell-v1";
+  // v2: the scheduler policies, validation flag and scheduler core moved
+  // from BatchConfig into RunContext and the core joined the key — records
+  // no longer collide across policy/core variants.
+  key += "feast-cell-v2";
   key += "|workload{subtasks=" + std::to_string(workload.min_subtasks) + ":" +
          std::to_string(workload.max_subtasks);
   key += ",depth=" + std::to_string(workload.min_depth) + ":" +
@@ -67,45 +71,95 @@ std::string describe_cell(const RandomGraphConfig& workload,
   key += ",pinned=" + full(batch.pinned_fraction);
   key += ",tpi=" + full(batch.time_per_item);
   key += std::string(",contention=") + to_string(batch.contention);
-  key += std::string(",release=") + to_string(batch.scheduler.release_policy);
-  key += std::string(",selection=") + to_string(batch.scheduler.selection);
-  key += std::string(",processor=") + to_string(batch.scheduler.processor_policy);
-  key += ",validate=" + std::to_string(batch.validate ? 1 : 0);
+  key += "}|run{release=" + std::string(to_string(context.scheduler.release_policy));
+  key += std::string(",selection=") + to_string(context.scheduler.selection);
+  key += std::string(",processor=") + to_string(context.scheduler.processor_policy);
+  key += std::string(",core=") + to_string(context.core);
+  key += ",validate=" + std::to_string(context.validate ? 1 : 0);
   key += "}|machine=" + batch.machine_tag;
   return key;
 }
 
-CellStats run_cell(const RandomGraphConfig& workload, const Strategy& strategy,
-                   int n_procs, const BatchConfig& batch) {
-  CellCache* const cache = cell_cache();
-  std::string key;
-  if (cache) {
-    key = describe_cell(workload, strategy.label, n_procs, batch);
-    CellStats cached;
-    if (!key.empty() && cache->lookup(key, cached)) return cached;
+ExecutedCell execute_cell(const RandomGraphConfig& workload, const Strategy& strategy,
+                          int n_procs, const BatchConfig& batch,
+                          const RunContext& context, CellCache* cache) {
+  obs::Sink* const sink = context.sink != nullptr ? context.sink : obs::active();
+
+  ExecutedCell result;
+  if (cache != nullptr) {
+    result.canonical_key = describe_cell(workload, strategy.label, n_procs, batch,
+                                         context);
+    if (!result.canonical_key.empty()) {
+      CellStats cached;
+      const bool hit = [&] {
+        obs::SpanScope span(sink, obs::Span::CacheLookup);
+        return cache->lookup(result.canonical_key, cached);
+      }();
+      if (hit) {
+        obs::count_on(sink, obs::Counter::CacheHit);
+        result.stats = cached;
+        result.from_cache = true;
+        return result;
+      }
+      obs::count_on(sink, obs::Counter::CacheMiss);
+    }
   }
-  CellStats stats = run_custom_cell(
-      [&workload](std::size_t sample, std::uint64_t seed) {
-        Pcg32 rng(seed, /*stream=*/sample);
-        return generate_random_graph(workload, rng);
-      },
-      strategy, n_procs, batch);
-  if (cache && !key.empty()) cache->store(key, stats);
-  return stats;
+
+  const GraphFactory factory = [&workload](std::size_t sample, std::uint64_t seed) {
+    Pcg32 rng(seed, /*stream=*/sample);
+    return generate_random_graph(workload, rng);
+  };
+  result.stats = run_custom_cell(factory, strategy, n_procs, batch, context);
+
+  if (cache != nullptr && !result.canonical_key.empty()) {
+    obs::SpanScope span(sink, obs::Span::CacheStore);
+    cache->store(result.canonical_key, result.stats);
+    obs::count_on(sink, obs::Counter::CacheStore);
+  }
+  return result;
+}
+
+CellStats run_cell(const RandomGraphConfig& workload, const Strategy& strategy,
+                   int n_procs, const BatchConfig& batch, const RunContext& context) {
+  return execute_cell(workload, strategy, n_procs, batch, context, cell_cache()).stats;
 }
 
 CellStats run_custom_cell(const GraphFactory& factory, const Strategy& strategy,
-                          int n_procs, const BatchConfig& batch) {
+                          int n_procs, const BatchConfig& batch,
+                          const RunContext& context) {
   FEAST_REQUIRE(batch.samples >= 1);
   FEAST_REQUIRE(n_procs >= 1);
+
+  obs::Sink* const sink = context.sink != nullptr ? context.sink : obs::active();
+  // Install an explicitly passed sink once, here on the cell driver thread,
+  // so the per-sample run_once calls below (and the scheduler internals
+  // they reach) find it via active() instead of each worker touching the
+  // process-wide slot concurrently.
+  std::optional<obs::ScopedSink> scoped;
+  if (sink != nullptr && sink != obs::active()) scoped.emplace(*sink);
+  obs::SpanScope cell_span(sink, obs::Span::CellRun);
 
   const auto n = static_cast<std::size_t>(batch.samples);
   std::vector<RunResult> results(n);
 
+  // The machine is a cell-level constant: derived from the (n_procs, batch)
+  // axes, never from context.machine (which describes bare run_once calls).
+  Machine machine;
+  machine.n_procs = n_procs;
+  machine.time_per_item = batch.time_per_item;
+  machine.contention = batch.contention;
+  if (batch.shape_machine) batch.shape_machine(machine);
+
+  RunContext run_context = context;
+  run_context.machine = machine;
+
   parallel_for(n, [&](std::size_t sample) {
     // Graph seed depends only on (batch seed, sample): the same graphs are
     // replayed for every strategy and size of the surrounding sweep.
-    TaskGraph graph = factory(sample, seed_for(batch.seed, {0, sample}));
+    TaskGraph graph = [&] {
+      obs::SpanScope span(sink, obs::Span::Generate);
+      return factory(sample, seed_for(batch.seed, {0, sample}));
+    }();
     if (batch.pinned_fraction > 0.0) {
       // Pinning depends on the system size (a pin names a processor).
       Pcg32 pin_rng(seed_for(batch.seed, {1, sample, static_cast<std::uint64_t>(n_procs)}),
@@ -114,16 +168,7 @@ CellStats run_custom_cell(const GraphFactory& factory, const Strategy& strategy,
     }
 
     const auto distributor = strategy.make(n_procs);
-    Machine machine;
-    machine.n_procs = n_procs;
-    machine.time_per_item = batch.time_per_item;
-    machine.contention = batch.contention;
-    if (batch.shape_machine) batch.shape_machine(machine);
-
-    RunOptions options;
-    options.scheduler = batch.scheduler;
-    options.validate = batch.validate;
-    results[sample] = run_once(graph, *distributor, machine, options);
+    results[sample] = run_once(graph, *distributor, run_context);
   });
 
   RunningStats max_lateness;
@@ -151,7 +196,8 @@ CellStats run_custom_cell(const GraphFactory& factory, const Strategy& strategy,
 SweepResult sweep_strategies(const std::string& title,
                              const RandomGraphConfig& workload,
                              const std::vector<Strategy>& strategies,
-                             const std::vector<int>& sizes, const BatchConfig& batch) {
+                             const std::vector<int>& sizes, const BatchConfig& batch,
+                             const RunContext& context) {
   FEAST_REQUIRE(!strategies.empty());
   FEAST_REQUIRE(!sizes.empty());
 
@@ -166,7 +212,7 @@ SweepResult sweep_strategies(const std::string& title,
     series.label = strategy.label;
     series.cells.reserve(sizes.size());
     for (const int n_procs : sizes) {
-      series.cells.push_back(run_cell(workload, strategy, n_procs, batch));
+      series.cells.push_back(run_cell(workload, strategy, n_procs, batch, context));
     }
     result.series.push_back(std::move(series));
   }
@@ -175,7 +221,8 @@ SweepResult sweep_strategies(const std::string& title,
 
 SweepResult sweep_custom(const std::string& title, const GraphFactory& factory,
                          const std::vector<Strategy>& strategies,
-                         const std::vector<int>& sizes, const BatchConfig& batch) {
+                         const std::vector<int>& sizes, const BatchConfig& batch,
+                         const RunContext& context) {
   FEAST_REQUIRE(!strategies.empty());
   FEAST_REQUIRE(!sizes.empty());
 
@@ -188,7 +235,7 @@ SweepResult sweep_custom(const std::string& title, const GraphFactory& factory,
     series.label = strategy.label;
     series.cells.reserve(sizes.size());
     for (const int n_procs : sizes) {
-      series.cells.push_back(run_custom_cell(factory, strategy, n_procs, batch));
+      series.cells.push_back(run_custom_cell(factory, strategy, n_procs, batch, context));
     }
     result.series.push_back(std::move(series));
   }

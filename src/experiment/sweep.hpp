@@ -7,6 +7,10 @@
 /// deterministically from the batch seed and sample index, never from the
 /// strategy or system size — is reused across all strategies and sizes of
 /// a sweep, exactly like evaluating one generated task set everywhere.
+///
+/// Run-level knobs (scheduler policies, core, validation, observability
+/// sink) travel in a RunContext (experiment/runner.hpp); BatchConfig only
+/// describes the batch itself.
 #pragma once
 
 #include <cstdint>
@@ -28,8 +32,6 @@ struct BatchConfig {
   double pinned_fraction = 0.0;       ///< Strict-locality subset (0 = fully relaxed).
   double time_per_item = 1.0;         ///< Bus cost per data item.
   CommContention contention = CommContention::ContentionFree;
-  SchedulerOptions scheduler;         ///< Time-driven EDF by default.
-  bool validate = true;
   /// Optional hook applied to the machine of every cell after n_procs,
   /// time_per_item and contention are set — e.g. to install heterogeneous
   /// processor speeds.
@@ -50,10 +52,10 @@ struct CellStats {
   std::size_t infeasible_runs = 0;  ///< Runs where some subtask missed its window.
 };
 
-/// Cross-run cell memoization point.  run_cell consults the installed cache
-/// before evaluating a batch and stores the aggregate afterwards, keyed by a
-/// canonical description of everything the result depends on (see
-/// describe_cell).  The content-addressed file cache of src/campaign
+/// Cross-run cell memoization point.  Cell execution consults the installed
+/// cache before evaluating a batch and stores the aggregate afterwards,
+/// keyed by a canonical description of everything the result depends on
+/// (see describe_cell).  The content-addressed file cache of src/campaign
 /// implements this interface; sweeps over caller-supplied GraphFactory
 /// closures are never cached (their graphs are not describable).
 class CellCache {
@@ -75,29 +77,50 @@ CellCache* set_cell_cache(CellCache* cache) noexcept;
 CellCache* cell_cache() noexcept;
 
 /// Canonical, versioned description of one cell: every BatchConfig field,
-/// the workload parameters, the strategy label and the system size, with
-/// doubles printed at full precision.  This string *is* the cache identity —
-/// its FNV-1a hash names the cache file.  Returns "" (uncacheable) when the
-/// strategy label is empty or the batch carries a shape_machine hook without
-/// a machine_tag describing it.
+/// the workload parameters, the strategy label, the system size, and the
+/// run-context knobs that shape results (scheduler policies, core,
+/// validation), with doubles printed at full precision.  This string *is*
+/// the cache identity — its FNV-1a hash names the cache file.  Returns ""
+/// (uncacheable) when the strategy label is empty or the batch carries a
+/// shape_machine hook without a machine_tag describing it.
 std::string describe_cell(const RandomGraphConfig& workload,
                           const std::string& strategy_label, int n_procs,
-                          const BatchConfig& batch);
+                          const BatchConfig& batch, const RunContext& context = {});
 
 /// Produces the sample'th graph of a batch; must be deterministic in
 /// (sample, the provided seed).  Allows sweeps over workloads the standard
 /// random generator cannot express (structured shapes, loaded files).
 using GraphFactory = std::function<TaskGraph(std::size_t sample, std::uint64_t seed)>;
 
+/// What execute_cell did for one cell.
+struct ExecutedCell {
+  CellStats stats;
+  bool from_cache = false;
+  std::string canonical_key;  ///< "" when the cell is uncacheable.
+};
+
+/// The single cell-execution entry point: consults \p cache (may be
+/// nullptr), evaluates the batch on a miss, and stores the fresh result.
+/// run_cell layers the process-wide cell_cache() on top; the campaign
+/// runner passes its own ResultCache.  context.machine is ignored — the
+/// cell's machine derives from (n_procs, batch), which is what the cache
+/// key describes.
+ExecutedCell execute_cell(const RandomGraphConfig& workload, const Strategy& strategy,
+                          int n_procs, const BatchConfig& batch,
+                          const RunContext& context, CellCache* cache);
+
 /// Evaluates one cell: \p batch.samples random graphs from \p workload,
 /// distributed by \p strategy, scheduled on \p n_procs processors.
 /// Samples run in parallel; the result is deterministic in the seed.
+/// Consults the process-wide cell_cache().
 CellStats run_cell(const RandomGraphConfig& workload, const Strategy& strategy,
-                   int n_procs, const BatchConfig& batch);
+                   int n_procs, const BatchConfig& batch,
+                   const RunContext& context = {});
 
-/// As run_cell, but with caller-supplied graphs.
+/// As run_cell, but with caller-supplied graphs (never cached).
 CellStats run_custom_cell(const GraphFactory& factory, const Strategy& strategy,
-                          int n_procs, const BatchConfig& batch);
+                          int n_procs, const BatchConfig& batch,
+                          const RunContext& context = {});
 
 /// One strategy's series across the size axis.
 struct Series {
@@ -128,11 +151,13 @@ struct SweepResult {
 SweepResult sweep_strategies(const std::string& title,
                              const RandomGraphConfig& workload,
                              const std::vector<Strategy>& strategies,
-                             const std::vector<int>& sizes, const BatchConfig& batch);
+                             const std::vector<int>& sizes, const BatchConfig& batch,
+                             const RunContext& context = {});
 
 /// As sweep_strategies, but with caller-supplied graphs.
 SweepResult sweep_custom(const std::string& title, const GraphFactory& factory,
                          const std::vector<Strategy>& strategies,
-                         const std::vector<int>& sizes, const BatchConfig& batch);
+                         const std::vector<int>& sizes, const BatchConfig& batch,
+                         const RunContext& context = {});
 
 }  // namespace feast

@@ -24,6 +24,7 @@
 #include <bit>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "sched/bus.hpp"
 #include "sched/list_scheduler.hpp"
 #include "sched/list_scheduler_detail.hpp"
@@ -80,7 +81,16 @@ class FastRun {
         n_procs_(static_cast<std::size_t>(machine.n_procs)) {}
 
   void run() {
-    prepare();
+    // One sink resolution per run, not per query: at ~150-200 timeline
+    // probes per paper-sized graph a per-probe atomic load would be
+    // measurable, so the hot loops bump plain members and the totals are
+    // flushed once here.
+    obs::Sink* const sink = obs::active();
+    {
+      obs::SpanScope span(sink, obs::Span::SchedPrepare);
+      prepare();
+    }
+    obs::SpanScope place_span(sink, obs::Span::SchedPlace);
     std::size_t placed = 0;
     while (ready_count_ > 0) {
       const NodeId chosen = ready_pop();
@@ -101,6 +111,11 @@ class FastRun {
     }
     FEAST_ENSURE_MSG(placed == graph_.subtask_count(),
                      "scheduler failed to place every subtask");
+    if (sink != nullptr) {
+      obs::count_on(sink, obs::Counter::ReadyPush, push_count_);
+      obs::count_on(sink, obs::Counter::BusGapProbe, probe_count_);
+      obs::count_on(sink, obs::Counter::BusReserve, reserve_count_);
+    }
   }
 
  private:
@@ -196,6 +211,7 @@ class FastRun {
   void ready_push(std::uint32_t rank) {
     s_.ready_words[rank >> 6] |= std::uint64_t{1} << (rank & 63);
     ++ready_count_;
+    ++push_count_;
   }
 
   NodeId ready_pop() {
@@ -228,8 +244,9 @@ class FastRun {
     return s_.links[lo * n_procs_ + hi];
   }
 
-  Time proc_fit(std::size_t proc, Time ready, Time duration) const {
+  Time proc_fit(std::size_t proc, Time ready, Time duration) {
     if (options_.processor_policy == ProcessorPolicy::GapSearch) {
+      ++probe_count_;
       return s_.procs[proc].query(ready, duration);
     }
     return std::max(s_.proc_tail[proc], ready);
@@ -241,6 +258,7 @@ class FastRun {
     // under queue-at-end, hits the O(1) tail-append path every time).
     s_.procs[proc].reserve_at(start, duration);
     s_.proc_tail[proc] = std::max(s_.proc_tail[proc], start + duration);
+    ++reserve_count_;
   }
 
   // --- processor choice -------------------------------------------------
@@ -281,9 +299,11 @@ class FastRun {
       for (std::uint32_t i = begin; i < end; ++i) {
         const SchedulerScratch::CommMirror& m = s_.comm[s_.pred_comms[i].index()];
         const ProcId pp(m.proc);
-        const Time arrival =
-            pp == proc ? m.finish
-                       : link_between(pp, proc).query(m.finish, m.latency) + m.latency;
+        Time arrival = m.finish;
+        if (pp != proc) {
+          ++probe_count_;
+          arrival = link_between(pp, proc).query(m.finish, m.latency) + m.latency;
+        }
         ready = std::max(ready, arrival);
       }
       // A start can never precede the ready time, so a candidate whose
@@ -325,8 +345,11 @@ class FastRun {
     for (std::uint32_t i = begin; i < end; ++i) {
       const SchedulerScratch::CommMirror& m = s_.comm[s_.pred_comms[i].index()];
       const Time produced = m.finish;
-      const Time crossing = shared_bus ? s_.bus.query(produced, m.latency) + m.latency
-                                       : produced + m.latency;
+      Time crossing = produced + m.latency;
+      if (shared_bus) {
+        ++probe_count_;
+        crossing = s_.bus.query(produced, m.latency) + m.latency;
+      }
       const std::uint32_t p = m.proc;
       if (crossing > top1) {
         if (top1_proc != p) top2 = top1;
@@ -450,9 +473,11 @@ class FastRun {
       switch (machine_.contention) {
         case CommContention::SharedBus:
           depart = s_.bus.reserve(produced, latency);
+          ++reserve_count_;
           break;
         case CommContention::PointToPointLinks:
           depart = link_between(pp, proc).reserve(produced, latency);
+          ++reserve_count_;
           break;
         case CommContention::ContentionFree:
           break;
@@ -511,6 +536,11 @@ class FastRun {
   SchedulerScratch& s_;
   const std::size_t n_procs_;
   std::uint32_t ready_count_ = 0;    ///< Set bits in the ready bitset.
+  // Plain per-run obs counters, flushed once at the end of run() so the
+  // placement loops never touch an atomic (see the note in run()).
+  std::uint32_t push_count_ = 0;     ///< obs::Counter::ReadyPush.
+  std::uint32_t probe_count_ = 0;    ///< obs::Counter::BusGapProbe.
+  std::uint32_t reserve_count_ = 0;  ///< obs::Counter::BusReserve.
   bool hint_valid_ = false;          ///< choose_proc start hint usable.
   Time chosen_est_ = 0.0;            ///< Winner's start from choose_proc.
   Time committed_finish_ = 0.0;      ///< Last commit, for succ mirroring.

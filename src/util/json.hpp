@@ -1,0 +1,64 @@
+/// \file json.hpp
+/// \brief A deliberately small JSON reader.
+///
+/// Covers the subset this repository writes — objects, arrays, strings
+/// with basic escapes, numbers, booleans, null — so manifests, benchmark
+/// records and Chrome traces can be read back without an external
+/// dependency.  Extracted from the campaign manifest reader once the
+/// observability tests needed to round-trip trace JSON too.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace feast {
+
+/// One parsed JSON value (a tagged union kept deliberately plain).
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// First member named \p key, or nullptr (objects only).
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Recursive-descent parser over a complete input string.  Throws
+/// std::runtime_error with an offset on malformed input.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  /// Parses the whole input (trailing content is an error).
+  JsonValue parse();
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const;
+  void skip_ws();
+  char peek();
+  void expect(char c);
+  bool consume_literal(const char* literal);
+  JsonValue parse_value();
+  JsonValue parse_object();
+  JsonValue parse_array();
+  std::string parse_string();
+  JsonValue parse_number();
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+/// Convenience: parse a complete JSON document.
+JsonValue parse_json(const std::string& text);
+
+}  // namespace feast

@@ -63,10 +63,10 @@ TEST(Runner, RunOnceProducesConsistentMeasures) {
   Pcg32 rng(5);
   const TaskGraph g = generate_random_graph(config, rng);
   const auto distributor = strategy_pure(EstimatorKind::CCNE).make(4);
-  Machine machine;
-  machine.n_procs = 4;
+  RunContext context;
+  context.machine.n_procs = 4;
 
-  const RunResult result = run_once(g, *distributor, machine);
+  const RunResult result = run_once(g, *distributor, context);
   EXPECT_EQ(result.lateness.count, g.subtask_count());
   EXPECT_GT(result.makespan, 0.0);
   EXPECT_GT(result.utilization, 0.0);
@@ -102,11 +102,14 @@ TEST(Sweep, StrategiesShareTheGraphBatch) {
   // makespans — must agree exactly.
   BatchConfig batch;
   batch.samples = 4;
-  batch.scheduler.release_policy = ReleasePolicy::Eager;
-  batch.scheduler.selection = SelectionPolicy::Fifo;
+  RunContext context;
+  context.scheduler.release_policy = ReleasePolicy::Eager;
+  context.scheduler.selection = SelectionPolicy::Fifo;
   const RandomGraphConfig workload = paper_workload(ExecSpreadScenario::LDET);
-  const CellStats ud = run_cell(workload, strategy_ultimate_deadline(), 16, batch);
-  const CellStats ed = run_cell(workload, strategy_effective_deadline(), 16, batch);
+  const CellStats ud =
+      run_cell(workload, strategy_ultimate_deadline(), 16, batch, context);
+  const CellStats ed =
+      run_cell(workload, strategy_effective_deadline(), 16, batch, context);
   EXPECT_DOUBLE_EQ(ud.makespan.min, ed.makespan.min);
   EXPECT_DOUBLE_EQ(ud.makespan.max, ed.makespan.max);
   EXPECT_DOUBLE_EQ(ud.makespan.mean, ed.makespan.mean);
@@ -224,7 +227,9 @@ TEST(Sweep, ShapeMachineHookInstallsSpeeds) {
   };
   const CellStats slow = run_cell(paper_workload(ExecSpreadScenario::MDET),
                                   strategy_pure(EstimatorKind::CCNE), 4, batch);
-  EXPECT_EQ(hook_calls.load(), 3);
+  // The machine is a cell-level constant: shaped once per cell, shared by
+  // every sample of the batch.
+  EXPECT_EQ(hook_calls.load(), 1);
 
   batch.shape_machine = nullptr;
   const CellStats normal = run_cell(paper_workload(ExecSpreadScenario::MDET),
