@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "check/fault.hpp"
+#include "obs/obs.hpp"
 #include "util/contracts.hpp"
 #include "util/log.hpp"
 
@@ -13,10 +15,11 @@ namespace feast {
 
 namespace {
 
-// v2: cell keys gained the scheduler core (describe_cell "feast-cell-v2"),
-// so v1 records — written under keys that collided across cores — are
-// treated as misses rather than risking a stale read.
-constexpr char kRecordMagic[] = "feast-cell v2";
+// v3: records gained a trailing whole-record checksum line ("sum <hex>"),
+// so truncation, bit flips and appended garbage all read as misses instead
+// of silently-wrong stats.  v2 keys collided across scheduler cores; v1/v2
+// records are treated as misses rather than risking a stale read.
+constexpr char kRecordMagic[] = "feast-cell v3";
 
 std::string full(double value) {
   char buffer[40];
@@ -56,6 +59,41 @@ std::string unique_suffix() {
   return ".tmp" + std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
 }
 
+/// The record body (everything up to and including the newline before the
+/// sum line) rendered for one cell.
+std::string render_record_body(const std::string& canonical_key,
+                               const CellStats& stats) {
+  std::ostringstream out;
+  out << kRecordMagic << '\n';
+  out << "key " << canonical_key << '\n';
+  write_summary(out, "max_lateness", stats.max_lateness);
+  write_summary(out, "end_to_end", stats.end_to_end);
+  write_summary(out, "makespan", stats.makespan);
+  write_summary(out, "min_laxity", stats.min_laxity);
+  out << "infeasible_runs " << stats.infeasible_runs << '\n';
+  return out.str();
+}
+
+/// Splits \p data into body + checksum and verifies both.  The sum line must
+/// be the final line of the file: bytes appended after it make the last line
+/// not a sum line, bytes removed break the checksum, so any truncation or
+/// trailing garbage fails here.
+bool verify_record_checksum(const std::string& data, std::string& body) {
+  if (data.size() < 2 || data.back() != '\n') return false;
+  const std::size_t line_start = data.rfind('\n', data.size() - 2);
+  if (line_start == std::string::npos) return false;
+  const std::string last =
+      data.substr(line_start + 1, data.size() - line_start - 2);
+  if (last.rfind("sum ", 0) != 0) return false;
+  const std::string hex = last.substr(4);
+  if (hex.size() != 16) return false;
+  char* end = nullptr;
+  const std::uint64_t stored = std::strtoull(hex.c_str(), &end, 16);
+  if (end != hex.c_str() + hex.size()) return false;
+  body = data.substr(0, line_start + 1);
+  return fnv1a64(body) == stored;
+}
+
 }  // namespace
 
 std::uint64_t fnv1a64(std::string_view data) noexcept {
@@ -76,16 +114,22 @@ std::string hash_hex(std::uint64_t hash) {
 
 void write_cell_record(std::ostream& out, const std::string& canonical_key,
                        const CellStats& stats) {
-  out << kRecordMagic << '\n';
-  out << "key " << canonical_key << '\n';
-  write_summary(out, "max_lateness", stats.max_lateness);
-  write_summary(out, "end_to_end", stats.end_to_end);
-  write_summary(out, "makespan", stats.makespan);
-  write_summary(out, "min_laxity", stats.min_laxity);
-  out << "infeasible_runs " << stats.infeasible_runs << '\n';
+  const std::string body = render_record_body(canonical_key, stats);
+  out << body << "sum " << hash_hex(fnv1a64(body)) << '\n';
 }
 
 std::optional<std::string> read_cell_record(std::istream& in, CellStats& out) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return read_cell_record(buffer.str(), out);
+}
+
+std::optional<std::string> read_cell_record(const std::string& data,
+                                            CellStats& out) {
+  std::string body;
+  if (!verify_record_checksum(data, body)) return std::nullopt;
+
+  std::istringstream in(body);
   std::string line;
   if (!std::getline(in, line) || line != kRecordMagic) return std::nullopt;
   if (!std::getline(in, line) || line.rfind("key ", 0) != 0) return std::nullopt;
@@ -112,14 +156,32 @@ std::filesystem::path ResultCache::record_path(const std::string& canonical_key)
 }
 
 bool ResultCache::lookup(const std::string& canonical_key, CellStats& out) {
-  std::ifstream file(record_path(canonical_key));
   bool hit = false;
+  bool corrupt = false;
+  std::ifstream file(record_path(canonical_key), std::ios::binary);
   if (file) {
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    std::string data = buffer.str();
+    if (const auto fault = check::fire(check::FaultSite::CacheLookup)) {
+      if (*fault == check::FaultAction::ShortRead) {
+        data.resize(data.size() / 2);  // The reader sees only a prefix.
+      } else {
+        check::execute(*fault, "cache-lookup");
+      }
+    }
     CellStats stats;
-    const auto stored_key = read_cell_record(file, stats);
-    // A record stored under a different canonical key (hash collision, or a
-    // stale file from an older format) is a miss, never a wrong answer.
-    if (stored_key && *stored_key == canonical_key) {
+    const auto stored_key = read_cell_record(data, stats);
+    if (!stored_key) {
+      // Truncated, bit-flipped, garbage-extended or old-format record: a
+      // miss, never an exception or a wrong answer.  Recompute overwrites it.
+      corrupt = true;
+      obs::count(obs::Counter::CacheCorrupt);
+      FEAST_LOG_WARN << "cell cache: corrupt record "
+                     << record_path(canonical_key).string() << " (treated as miss)";
+    } else if (*stored_key == canonical_key) {
+      // A record stored under a different canonical key (hash collision, or
+      // a stale file from an older format) is a miss, never a wrong answer.
       out = stats;
       hit = true;
     }
@@ -129,6 +191,7 @@ bool ResultCache::lookup(const std::string& canonical_key, CellStats& out) {
     ++hits_;
   } else {
     ++misses_;
+    if (corrupt) ++corrupt_;
   }
   return hit;
 }
@@ -139,15 +202,46 @@ bool ResultCache::contains(const std::string& canonical_key) {
 }
 
 void ResultCache::store(const std::string& canonical_key, const CellStats& stats) {
+  std::ostringstream record_stream;
+  write_cell_record(record_stream, canonical_key, stats);
+  std::string record = record_stream.str();
+
+  bool die_mid_write = false;
+  if (const auto fault = check::fire(check::FaultSite::CacheStore)) {
+    switch (*fault) {
+      case check::FaultAction::FailWrite:
+        FEAST_LOG_WARN << "cell cache: injected write failure for "
+                       << record_path(canonical_key).string();
+        return;
+      case check::FaultAction::Truncate:
+        record.resize(record.size() / 2);
+        break;
+      case check::FaultAction::BadMagic:
+        record[0] = '#';
+        break;
+      case check::FaultAction::Die:
+        die_mid_write = true;  // Crash after the partial tmp write below.
+        break;
+      default:
+        check::execute(*fault, "cache-store");
+    }
+  }
+
   const std::filesystem::path path = record_path(canonical_key);
   const std::filesystem::path tmp = path.string() + unique_suffix();
   {
-    std::ofstream file(tmp);
+    std::ofstream file(tmp, std::ios::binary);
     if (!file) {
       FEAST_LOG_WARN << "cell cache: cannot write " << tmp.string();
       return;
     }
-    write_cell_record(file, canonical_key, stats);
+    if (die_mid_write) {
+      // A crash mid-write leaves a torn temporary and no renamed record.
+      file << record.substr(0, record.size() / 2);
+      file.flush();
+      std::_Exit(check::kFaultExitCode);
+    }
+    file << record;
   }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
@@ -173,6 +267,11 @@ std::size_t ResultCache::misses() const noexcept {
 std::size_t ResultCache::stores() const noexcept {
   std::lock_guard<std::mutex> lock(mutex_);
   return stores_;
+}
+
+std::size_t ResultCache::corrupt() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return corrupt_;
 }
 
 ResultCache* install_global_cell_cache(const std::filesystem::path& dir) {

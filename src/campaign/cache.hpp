@@ -12,7 +12,10 @@
 ///
 /// Layout: `<dir>/<16-hex-digit hash>.cell`, one cell per file, written via
 /// a temporary + atomic rename so concurrent writers and interrupted runs
-/// never leave a torn record.  See docs/CAMPAIGN.md for the record format.
+/// never leave a torn record.  Every record ends with a whole-record FNV-1a
+/// checksum line, so a record that was truncated, bit-flipped or extended
+/// with garbage on disk reads as a miss (counted on obs `cache.corrupt`),
+/// never as wrong stats.  See docs/CAMPAIGN.md for the record format.
 #pragma once
 
 #include <cstdint>
@@ -38,8 +41,13 @@ void write_cell_record(std::ostream& out, const std::string& canonical_key,
                        const CellStats& stats);
 
 /// Reads a record written by write_cell_record.  Returns the canonical key
-/// it was stored under, or std::nullopt on malformed/incompatible input.
+/// it was stored under, or std::nullopt on malformed/incompatible input —
+/// including any checksum mismatch; never throws on corrupt bytes.
 std::optional<std::string> read_cell_record(std::istream& in, CellStats& out);
+
+/// Same, over an in-memory record (the istream overload reads the whole
+/// stream and delegates here; corruption tests feed mutated bytes directly).
+std::optional<std::string> read_cell_record(const std::string& data, CellStats& out);
 
 /// File-backed CellCache.  Thread-safe: distinct keys touch distinct files,
 /// identical keys race only between atomic renames of identical content.
@@ -57,10 +65,12 @@ class ResultCache final : public CellCache {
   /// True when \p canonical_key has a stored record (no stats needed).
   bool contains(const std::string& canonical_key);
 
-  /// Counters since construction (thread-safe snapshots).
+  /// Counters since construction (thread-safe snapshots).  A corrupt record
+  /// counts as both a miss and a corrupt.
   std::size_t hits() const noexcept;
   std::size_t misses() const noexcept;
   std::size_t stores() const noexcept;
+  std::size_t corrupt() const noexcept;
 
  private:
   std::filesystem::path record_path(const std::string& canonical_key) const;
@@ -70,6 +80,7 @@ class ResultCache final : public CellCache {
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
   std::size_t stores_ = 0;
+  std::size_t corrupt_ = 0;
 };
 
 /// Creates a process-lifetime ResultCache on \p dir and installs it as the

@@ -17,6 +17,7 @@
 #include <utility>
 
 #include "campaign/pool.hpp"
+#include "check/fault.hpp"
 #include "util/json.hpp"
 #include "util/parallel.hpp"
 #include "util/strings.hpp"
@@ -58,6 +59,21 @@ long long parse_int_field(const std::string& what, const std::string& text) {
     const long long v = std::stoll(text, &pos, 0);
     if (pos != text.size()) throw std::invalid_argument(text);
     return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("campaign: bad integer for " + what + ": '" + text +
+                                "'");
+  }
+}
+
+/// Seeds span the full uint64 range, which stoll rejects above INT64_MAX —
+/// canonical_text() must round-trip through parse() for every seed.
+std::uint64_t parse_u64_field(const std::string& what, const std::string& text) {
+  try {
+    if (!text.empty() && text.front() == '-') throw std::invalid_argument(text);
+    std::size_t pos = 0;
+    const unsigned long long v = std::stoull(text, &pos, 0);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return static_cast<std::uint64_t>(v);
   } catch (const std::exception&) {
     throw std::invalid_argument("campaign: bad integer for " + what + ": '" + text +
                                 "'");
@@ -299,7 +315,7 @@ CampaignSpec CampaignSpec::parse(std::istream& in) {
     } else if (key == "samples") {
       spec.batch.samples = static_cast<int>(parse_int_field(key, value));
     } else if (key == "seed") {
-      spec.batch.seed = static_cast<std::uint64_t>(parse_int_field(key, value));
+      spec.batch.seed = parse_u64_field(key, value);
     } else if (key == "subtasks") {
       std::tie(spec.workload.min_subtasks, spec.workload.max_subtasks) =
           parse_range_field(key, value);
@@ -506,6 +522,28 @@ Manifest read_manifest(std::istream& in) {
   return manifest;
 }
 
+std::string manifest_fingerprint(const Manifest& manifest) {
+  // Everything a result *means* and nothing about how long it took: cell
+  // identity + stats at full precision, in manifest (= plan) order.  Two
+  // campaigns of the same spec agree here iff they produced the same
+  // numbers, regardless of interruptions, resumes or cache state.
+  auto summary = [](std::ostringstream& out, const char* name, const StatSummary& s) {
+    out << ' ' << name << '=' << s.count << ',' << full(s.mean) << ',' << full(s.stddev)
+        << ',' << full(s.min) << ',' << full(s.max) << ',' << full(s.ci95_half_width);
+  };
+  std::ostringstream out;
+  out << "spec " << manifest.spec_hash_hex << " samples " << manifest.samples << '\n';
+  for (const CellOutcome& cell : manifest.cells) {
+    out << "cell strategy=" << cell.strategy_label << " procs=" << cell.n_procs;
+    summary(out, "max_lateness", cell.stats.max_lateness);
+    summary(out, "end_to_end", cell.stats.end_to_end);
+    summary(out, "makespan", cell.stats.makespan);
+    summary(out, "min_laxity", cell.stats.min_laxity);
+    out << " infeasible=" << cell.stats.infeasible_runs << '\n';
+  }
+  return out.str();
+}
+
 Manifest read_manifest_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("campaign: cannot open manifest '" + path + "'");
@@ -519,12 +557,40 @@ namespace {
 void checkpoint_manifest(const std::string& path, const CampaignSpec& spec,
                          const CampaignResult& result) {
   if (path.empty()) return;
+
+  std::ostringstream rendered;
+  write_manifest(rendered, spec, result);
+  std::string text = rendered.str();
+
+  bool die_before_rename = false;
+  if (const auto fault = check::fire(check::FaultSite::ManifestWrite)) {
+    switch (*fault) {
+      case check::FaultAction::FailWrite:
+        // Checkpoint silently skipped: whatever manifest is on disk goes
+        // stale by one (or more) cells.
+        return;
+      case check::FaultAction::PartialWrite: {
+        // A torn manifest published in place — what a writer without the
+        // tmp+rename discipline would leave after a crash.
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        if (out) out << text.substr(0, text.size() / 2);
+        return;
+      }
+      case check::FaultAction::Die:
+        die_before_rename = true;  // Crash between tmp write and rename.
+        break;
+      default:
+        check::execute(*fault, "manifest-write");
+    }
+  }
+
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp);
     if (!out) throw std::runtime_error("campaign: cannot write manifest '" + path + "'");
-    write_manifest(out, spec, result);
+    out << text;
   }
+  if (die_before_rename) std::_Exit(check::kFaultExitCode);
   std::filesystem::rename(tmp, path);
 }
 
@@ -556,6 +622,12 @@ CampaignResult run_campaign(const CampaignSpec& spec, const CampaignOptions& opt
   for (const int n : spec.sizes) {
     if (n < 1) throw std::invalid_argument("campaign: sizes must be positive");
   }
+
+  // Arm an attached fault plan process-wide for the campaign's duration: the
+  // injection sites (pool workers, cache I/O, the checkpoint writer above)
+  // consult check::active(), not the context, since they run below the
+  // layers that know about RunContext.
+  check::ScopedFaultPlan scoped_faults(spec.context.faults);
 
   if (options.threads > 0) {
     set_parallelism(options.threads);

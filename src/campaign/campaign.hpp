@@ -131,6 +131,12 @@ struct Manifest {
 Manifest read_manifest(std::istream& in);
 Manifest read_manifest_file(const std::string& path);
 
+/// Canonical stats-only rendering of a manifest: cell identities + results
+/// at full precision, excluding wall-clock times and cell states.  Two runs
+/// of the same spec — interrupted + resumed or not — must fingerprint
+/// byte-identically; `feastc torture` asserts exactly this.
+std::string manifest_fingerprint(const Manifest& manifest);
+
 /// Human-readable status table of a manifest.
 void print_manifest_status(std::ostream& out, const Manifest& manifest);
 

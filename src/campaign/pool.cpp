@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "check/fault.hpp"
 #include "obs/obs.hpp"
 #include "util/contracts.hpp"
 #include "util/log.hpp"
@@ -96,6 +97,9 @@ void WorkStealingPool::Impl::worker_main(unsigned index) {
     if (try_acquire(index, task)) {
       try {
         obs::SpanScope span(obs::Span::PoolTask);
+        if (const auto fault = check::fire(check::FaultSite::PoolTask)) {
+          check::execute(*fault, "pool-task");
+        }
         task();
       } catch (const std::exception& e) {
         FEAST_LOG_WARN << "pool task threw: " << e.what();

@@ -1,0 +1,147 @@
+/// \file fault.hpp
+/// \brief Deterministic fault injection for correctness/robustness tests.
+///
+/// A FaultPlan arms faults at named injection *sites* compiled permanently
+/// into the campaign pool, the cell cache and the campaign manifest writer,
+/// each keyed by a per-site occurrence counter: "fail the 3rd cache store"
+/// means exactly that, every time, on every machine — so a torture trial
+/// that kills a campaign at an injected point is replayable from its spec
+/// string alone.
+///
+/// The design mirrors src/obs: one process-wide plan held in an atomic
+/// (install with ScopedFaultPlan, or thread a plan through
+/// RunContext::faults and let the campaign/cell drivers install it).  With
+/// no plan installed — the only state production code ever runs in — a
+/// site is a single relaxed atomic load and a branch.
+///
+/// Spec grammar (used by `feastc campaign --faults` and `feastc torture`):
+///
+///   plan   := rule (',' rule)*
+///   rule   := site ':' nth ':' action      // nth is 1-based
+///   site   := pool-task | cache-lookup | cache-store | manifest-write
+///   action := throw | die | truncate | bad-magic | short-read |
+///             fail-write | partial-write
+///
+/// Which actions are meaningful at which site is documented on FaultSite;
+/// sites ignore actions they cannot express (armed but inapplicable rules
+/// fall back to Throw so a typo is loud, not silent).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace feast::check {
+
+/// Injection points.  Every site is compiled in permanently; it does
+/// nothing until a plan arms a rule for it.
+enum class FaultSite : std::uint8_t {
+  PoolTask,       ///< Pool worker, about to run a dequeued task.
+                  ///< Actions: Throw (task body throws), Die.
+  CacheLookup,    ///< Cell cache, reading a record.
+                  ///< Actions: ShortRead (parse a prefix only), Die.
+  CacheStore,     ///< Cell cache, writing a record.
+                  ///< Actions: FailWrite (store silently skipped),
+                  ///< Truncate / BadMagic (persist a corrupt record), Die
+                  ///< (killed mid-write, torn temporary left behind).
+  ManifestWrite,  ///< Campaign manifest checkpoint.
+                  ///< Actions: FailWrite (checkpoint skipped → stale),
+                  ///< PartialWrite (publish a torn manifest), Die (killed
+                  ///< before the atomic rename → stale checkpoint).
+};
+inline constexpr std::size_t kFaultSiteCount = 4;
+
+/// What happens when an armed rule fires.
+enum class FaultAction : std::uint8_t {
+  Throw,         ///< Throw std::runtime_error("injected fault ...").
+  Die,           ///< std::_Exit(kFaultExitCode) — a simulated crash/kill.
+  Truncate,      ///< Persist only a prefix of the record.
+  BadMagic,      ///< Persist the record with a corrupted magic line.
+  ShortRead,     ///< Hand the reader only a prefix of the bytes on disk.
+  FailWrite,     ///< Simulate an unwritable target (operation skipped).
+  PartialWrite,  ///< Publish a torn (prefix-only) file where the real
+                 ///< writer would have renamed atomically.
+};
+
+/// Exit code of a Die fault, chosen to be distinguishable from ordinary
+/// failures (1) and usage errors (2) in torture drivers.
+inline constexpr int kFaultExitCode = 86;
+
+const char* to_string(FaultSite site) noexcept;
+const char* to_string(FaultAction action) noexcept;
+
+/// A set of armed (site, nth occurrence, action) rules with thread-safe
+/// per-site counters.  Not copyable (counters are atomics); construct in
+/// place, either empty + arm() or directly from a spec string.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Parses the spec grammar documented in the file header.  Throws
+  /// std::invalid_argument on malformed input.
+  explicit FaultPlan(const std::string& spec);
+
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  /// Arms \p action at the \p nth occurrence (1-based) of \p site.
+  /// Multiple rules may target one site at different occurrences.
+  void arm(FaultSite site, std::uint64_t nth, FaultAction action);
+
+  /// Counts this occurrence of \p site and returns the armed action when a
+  /// rule matches it.  Thread-safe; each occurrence number fires at most
+  /// once, on exactly one thread.
+  std::optional<FaultAction> fire(FaultSite site) noexcept;
+
+  /// Occurrences of \p site counted so far.
+  std::uint64_t occurrences(FaultSite site) const noexcept;
+
+  /// Canonical spec string of the armed rules (round-trips through the
+  /// parsing constructor).
+  std::string to_spec() const;
+
+  bool empty() const noexcept { return rules_.empty(); }
+
+ private:
+  struct Rule {
+    FaultSite site;
+    std::uint64_t nth;
+    FaultAction action;
+  };
+
+  std::vector<Rule> rules_;  ///< Read-only after arming.
+  std::array<std::atomic<std::uint64_t>, kFaultSiteCount> counts_{};
+};
+
+/// The installed process-wide plan, or nullptr (production default).
+FaultPlan* active() noexcept;
+
+/// Installs \p plan for the scope's lifetime, restoring the previous plan
+/// on destruction.  Passing nullptr is a no-op scope (convenient when a
+/// RunContext may or may not carry a plan).
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(FaultPlan* plan) noexcept;
+  ~ScopedFaultPlan();
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+
+ private:
+  FaultPlan* previous_;
+  bool installed_;
+};
+
+/// Counts an occurrence of \p site on the active plan.  With no plan
+/// installed this is one relaxed atomic load and a branch.
+std::optional<FaultAction> fire(FaultSite site) noexcept;
+
+/// Executes the site-independent actions: Throw throws std::runtime_error
+/// naming \p where, Die exits with kFaultExitCode.  Any other action also
+/// throws (an armed rule whose action the site cannot express must be
+/// loud, not silent).
+[[noreturn]] void execute(FaultAction action, const char* where);
+
+}  // namespace feast::check

@@ -1,0 +1,123 @@
+#include "check/gen.hpp"
+
+#include <cstdio>
+
+namespace feast::check {
+
+RandomGraphConfig gen_graph_config(Pcg32& rng) {
+  RandomGraphConfig config;
+  config.min_subtasks = rng.uniform_int(3, 12);
+  config.max_subtasks = config.min_subtasks + rng.uniform_int(0, 12);
+  config.min_depth = rng.uniform_int(2, 4);
+  config.max_depth = config.min_depth + rng.uniform_int(0, 4);
+  config.min_degree = 1;
+  config.max_degree = rng.uniform_int(1, 3);
+  config.level_width_alpha = rng.uniform_real(0.5, 4.0);
+  config.strict_fanin_cap = rng.bernoulli(0.5);
+  config.mean_exec_time = rng.uniform_real(5.0, 40.0);
+  config.exec_spread = rng.uniform_real(0.0, 0.99);
+  // OLR below 1 produces infeasibly tight deadlines on purpose now and then:
+  // the distribution invariants must hold under pressure, not only on easy
+  // instances.
+  config.olr = rng.uniform_real(0.8, 3.0);
+  config.olr_basis = rng.bernoulli(0.5) ? OlrBasis::TotalWorkload
+                                        : OlrBasis::CriticalPath;
+  config.ccr = rng.uniform_real(0.0, 2.0);
+  config.message_spread = rng.uniform_real(0.0, 0.9);
+  return config;
+}
+
+TaskGraph gen_graph(Pcg32& rng) {
+  const RandomGraphConfig config = gen_graph_config(rng);
+  return generate_random_graph(config, rng);
+}
+
+Machine gen_machine(Pcg32& rng) {
+  Machine machine;
+  machine.n_procs = rng.uniform_int(1, 8);
+  machine.time_per_item = rng.uniform_real(0.0, 2.0);
+  switch (rng.uniform_int(0, 2)) {
+    case 0: machine.contention = CommContention::ContentionFree; break;
+    case 1: machine.contention = CommContention::SharedBus; break;
+    default: machine.contention = CommContention::PointToPointLinks; break;
+  }
+  return machine;
+}
+
+SchedulerOptions gen_scheduler_options(Pcg32& rng) {
+  SchedulerOptions options;
+  options.release_policy =
+      rng.bernoulli(0.5) ? ReleasePolicy::TimeDriven : ReleasePolicy::Eager;
+  switch (rng.uniform_int(0, 2)) {
+    case 0: options.selection = SelectionPolicy::Edf; break;
+    case 1: options.selection = SelectionPolicy::Fifo; break;
+    default: options.selection = SelectionPolicy::StaticLaxity; break;
+  }
+  options.processor_policy =
+      rng.bernoulli(0.5) ? ProcessorPolicy::GapSearch : ProcessorPolicy::QueueAtEnd;
+  return options;
+}
+
+std::string gen_strategy_spec(Pcg32& rng) {
+  const char* estimator = rng.bernoulli(0.5) ? "ccne" : "ccaa";
+  switch (rng.uniform_int(0, 6)) {
+    case 0: return std::string("pure:") + estimator;
+    case 1: return std::string("norm:") + estimator;
+    case 2: {
+      char buffer[64];
+      std::snprintf(buffer, sizeof buffer, "thres:%d:%.2f", rng.uniform_int(0, 2),
+                    rng.uniform_real(1.0, 1.5));
+      return buffer;
+    }
+    case 3: {
+      char buffer[64];
+      std::snprintf(buffer, sizeof buffer, "adapt:%.2f", rng.uniform_real(1.0, 1.5));
+      return buffer;
+    }
+    case 4: return "ud";
+    case 5: return "ed";
+    default: return "prop";
+  }
+}
+
+CampaignSpec gen_campaign_spec(Pcg32& rng) {
+  CampaignSpec spec;
+  spec.name = "gen-" + std::to_string(rng.next_u32());
+  spec.batch.samples = rng.uniform_int(2, 4);
+  spec.batch.seed = rng.next_u64();
+  spec.batch.pinned_fraction = rng.bernoulli(0.5) ? 0.0 : rng.uniform_real(0.0, 0.3);
+
+  spec.workload = gen_graph_config(rng);
+  // Clamp the workload well below gen_graph_config's ceiling: a campaign
+  // runs samples × strategies × sizes full pipelines per cell.
+  spec.workload.min_subtasks = rng.uniform_int(3, 6);
+  spec.workload.max_subtasks = spec.workload.min_subtasks + rng.uniform_int(0, 4);
+
+  const Machine machine = gen_machine(rng);
+  spec.batch.time_per_item = machine.time_per_item;
+  spec.batch.contention = machine.contention;
+  spec.context.scheduler = gen_scheduler_options(rng);
+  spec.context.core = rng.bernoulli(0.5) ? SchedulerCore::Fast : SchedulerCore::Reference;
+  spec.context.validate = true;
+
+  spec.strategies.clear();
+  const int n_strategies = rng.uniform_int(1, 3);
+  for (int i = 0; i < n_strategies; ++i) {
+    const std::string s = gen_strategy_spec(rng);
+    bool duplicate = false;
+    for (const std::string& existing : spec.strategies) {
+      if (parse_strategy_spec(existing).label == parse_strategy_spec(s).label) {
+        duplicate = true;  // Cells are keyed by label; keep labels unique.
+        break;
+      }
+    }
+    if (!duplicate) spec.strategies.push_back(s);
+  }
+
+  spec.sizes.clear();
+  spec.sizes.push_back(rng.uniform_int(1, 4));
+  if (rng.bernoulli(0.5)) spec.sizes.push_back(spec.sizes.front() + rng.uniform_int(1, 4));
+  return spec;
+}
+
+}  // namespace feast::check

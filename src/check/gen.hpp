@@ -1,0 +1,43 @@
+/// \file gen.hpp
+/// \brief Seeded generators for property-based tests.
+///
+/// Every generator is a pure function of the Pcg32 it consumes: the same
+/// seed replays the same value, which is what lets forall report failures
+/// as a single replayable seed.  Generated values are deliberately *small*
+/// (graphs of 3–24 subtasks, machines of 1–8 processors) — property suites
+/// run hundreds of cases per ctest invocation, and small inputs both keep
+/// that fast and shrink further.
+#pragma once
+
+#include "campaign/campaign.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/machine.hpp"
+#include "taskgraph/generator.hpp"
+#include "util/rng.hpp"
+
+namespace feast::check {
+
+/// A small random-graph configuration: a few to a couple dozen subtasks,
+/// shallow, with randomized spread/OLR/CCR knobs.
+RandomGraphConfig gen_graph_config(Pcg32& rng);
+
+/// A graph drawn from gen_graph_config.  Valid for distribution by
+/// construction (generate_random_graph's contract).
+TaskGraph gen_graph(Pcg32& rng);
+
+/// A machine with 1–8 processors and a random contention model.
+Machine gen_machine(Pcg32& rng);
+
+/// Random scheduler policies (release × selection × processor).
+SchedulerOptions gen_scheduler_options(Pcg32& rng);
+
+/// A random strategy spec string accepted by parse_strategy_spec
+/// (e.g. "norm:ccaa", "thres:1:1.25", "ud").
+std::string gen_strategy_spec(Pcg32& rng);
+
+/// A tiny, fast-to-run campaign spec: few samples, 1–3 strategies, 1–2
+/// system sizes.  Deterministic cells — the torture driver compares two
+/// runs of one generated spec byte-for-byte.
+CampaignSpec gen_campaign_spec(Pcg32& rng);
+
+}  // namespace feast::check

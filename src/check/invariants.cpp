@@ -1,0 +1,173 @@
+#include "check/invariants.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/distribution_validate.hpp"
+#include "sched/schedule_validate.hpp"
+#include "util/stats.hpp"
+
+namespace feast::check {
+
+namespace {
+
+/// Comparison slack for window arithmetic: windows are sums of divided
+/// doubles, so exact comparisons would fail on representation noise alone.
+constexpr double kEps = 1e-7;
+
+std::string node_label(const TaskGraph& graph, NodeId id) {
+  const Node& node = graph.node(id);
+  return node.name.empty() ? "node#" + std::to_string(id.index()) : node.name;
+}
+
+}  // namespace
+
+std::optional<std::string> check_windows(const TaskGraph& graph,
+                                         const DeadlineAssignment& assignment) {
+  const AssignmentReport basic = check_assignment_basic(graph, assignment);
+  if (!basic.ok()) return "assignment invalid: " + basic.to_string();
+  const AssignmentReport sums = check_path_deadline_sums(graph, assignment);
+  if (!sums.ok()) return "path deadline sums violate r+d <= D: " + sums.to_string();
+  return std::nullopt;
+}
+
+std::optional<std::string> check_precedence_windows(
+    const TaskGraph& graph, const DeadlineAssignment& assignment) {
+  for (const NodeId id : graph.all_nodes()) {
+    for (const NodeId succ : graph.succs(id)) {
+      const NodeWindow& from = assignment.window(id);
+      const NodeWindow& to = assignment.window(succ);
+      if (!from.assigned() || !to.assigned()) {
+        return "unassigned window on arc " + node_label(graph, id) + " -> " +
+               node_label(graph, succ);
+      }
+      if (to.release + kEps < from.release) {
+        std::ostringstream out;
+        out << "window of " << node_label(graph, succ) << " releases at "
+            << to.release << ", before its predecessor " << node_label(graph, id)
+            << " at " << from.release;
+        return out.str();
+      }
+      if (to.abs_deadline() + kEps < from.abs_deadline()) {
+        std::ostringstream out;
+        out << "window of " << node_label(graph, succ) << " ends at "
+            << to.abs_deadline() << ", before its predecessor "
+            << node_label(graph, id) << " at " << from.abs_deadline();
+        return out.str();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_sliced_path_coverage(
+    const TaskGraph& graph, const DeadlineAssignment& assignment) {
+  (void)graph;
+  for (const SlicedPath& path : assignment.paths()) {
+    double handed_out = 0.0;
+    for (const NodeId id : path.nodes) {
+      handed_out += assignment.rel_deadline(id);
+    }
+    const double share = path.window_end - path.window_start;
+    const double scale = std::max(1.0, std::abs(share));
+    if (handed_out > share + kEps * scale) {
+      std::ostringstream out;
+      out << "sliced path (iteration " << path.iteration << ") hands out "
+          << handed_out << ", more than its window share " << share;
+      return out.str();
+    }
+    // Later iterations may legitimately hand out less: nodes of negligible
+    // virtual cost get zero-width slices, and residual windows can invert
+    // under heavy overload.  The *first* path is the unconstrained critical
+    // path — it must receive its full share, slack or no slack.
+    if (path.iteration == 0 && std::abs(handed_out - share) > kEps * scale) {
+      std::ostringstream out;
+      out << "critical path hands out " << handed_out
+          << " of its full share " << share;
+      return out.str();
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_distribution(const TaskGraph& graph,
+                                              Distributor& distributor) {
+  const DeadlineAssignment assignment = distributor.distribute(graph);
+  if (auto problem = check_windows(graph, assignment)) {
+    return distributor.name() + ": " + *problem;
+  }
+  if (auto problem = check_precedence_windows(graph, assignment)) {
+    return distributor.name() + ": " + *problem;
+  }
+  if (auto problem = check_sliced_path_coverage(graph, assignment)) {
+    return distributor.name() + ": " + *problem;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_scheduled(const TaskGraph& graph,
+                                           Distributor& distributor,
+                                           const Machine& machine,
+                                           const SchedulerOptions& options,
+                                           SchedulerCore core) {
+  const DeadlineAssignment assignment = distributor.distribute(graph);
+  const Schedule schedule =
+      list_schedule_with(core, graph, assignment, machine, options);
+  const ScheduleReport report =
+      validate_schedule(graph, assignment, machine, schedule, options);
+  if (!report.ok()) {
+    return distributor.name() + " on " + to_string(core) +
+           " core: " + report.to_string();
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_stats_against_naive(
+    const std::vector<double>& values, double tolerance) {
+  RunningStats running;
+  for (const double v : values) running.add(v);
+  const StatSummary summary = running.summary();
+
+  if (summary.count != values.size()) {
+    return "count mismatch: " + std::to_string(summary.count) + " vs " +
+           std::to_string(values.size());
+  }
+  if (values.empty()) return std::nullopt;
+
+  double sum = 0.0;
+  double lo = values.front();
+  double hi = values.front();
+  for (const double v : values) {
+    sum += v;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double mean = sum / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (const double v : values) sq += (v - mean) * (v - mean);
+  const double stddev =
+      values.size() > 1
+          ? std::sqrt(sq / static_cast<double>(values.size() - 1))
+          : 0.0;
+
+  const double scale = std::max({1.0, std::abs(mean), std::abs(hi), std::abs(lo)});
+  auto close = [&](double a, double b) { return std::abs(a - b) <= tolerance * scale; };
+  std::ostringstream out;
+  if (!close(summary.mean, mean)) {
+    out << "mean " << summary.mean << " vs naive " << mean;
+    return out.str();
+  }
+  if (!close(summary.stddev, stddev)) {
+    out << "stddev " << summary.stddev << " vs naive " << stddev;
+    return out.str();
+  }
+  if (summary.min != lo || summary.max != hi) {
+    out << "min/max [" << summary.min << ", " << summary.max << "] vs naive ["
+        << lo << ", " << hi << "]";
+    return out.str();
+  }
+  return std::nullopt;
+}
+
+}  // namespace feast::check

@@ -1,0 +1,63 @@
+/// \file invariants.hpp
+/// \brief Mechanical invariant checkers for property-based tests.
+///
+/// Each checker phrases one correctness claim of the pipeline as a
+/// GraphProperty-compatible result: std::nullopt when the invariant holds,
+/// a human-readable violation message otherwise.  They compose with
+/// forall_graphs so violations arrive as shrunk counterexamples instead of
+/// 50-node random graphs.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/annotation.hpp"
+#include "core/distributor.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/machine.hpp"
+#include "taskgraph/task_graph.hpp"
+#include "util/stats.hpp"
+
+namespace feast::check {
+
+/// Distribution validity (§4.1): every node carries a window with d >= 0,
+/// boundary conditions hold, every recorded sliced path is contiguous, and
+/// d_1 + ... + d_n <= D along every input→output path.  Wraps
+/// check_assignment_basic + check_path_deadline_sums.
+std::optional<std::string> check_windows(const TaskGraph& graph,
+                                         const DeadlineAssignment& assignment);
+
+/// Precedence-consistent windows: along every arc u → χ → v the windows
+/// are ordered — release(χ) >= release(u), release(v) >= release(χ), and
+/// absolute deadlines are monotone the same way.
+std::optional<std::string> check_precedence_windows(
+    const TaskGraph& graph, const DeadlineAssignment& assignment);
+
+/// Sliced-path coverage: no path hands out more than its window span, and
+/// the first path — the unconstrained critical path — hands out *exactly*
+/// its span.  On a zero-slack instance the latter is "the critical path
+/// receives the full critical-path share".  Later iterations may hand out
+/// less (zero-width slices on negligible-cost nodes, inverted residual
+/// windows under overload).
+std::optional<std::string> check_sliced_path_coverage(
+    const TaskGraph& graph, const DeadlineAssignment& assignment);
+
+/// Runs \p distributor and applies the three window checkers above.
+std::optional<std::string> check_distribution(const TaskGraph& graph,
+                                              Distributor& distributor);
+
+/// Distributes, schedules on \p machine and validates the schedule with
+/// sched/schedule_validate (both cores must accept their own output).
+std::optional<std::string> check_scheduled(const TaskGraph& graph,
+                                           Distributor& distributor,
+                                           const Machine& machine,
+                                           const SchedulerOptions& options,
+                                           SchedulerCore core);
+
+/// Stats aggregation oracle: RunningStats (Welford) over \p values must
+/// match a naive two-pass mean/stddev/min/max within \p tolerance.
+std::optional<std::string> check_stats_against_naive(
+    const std::vector<double>& values, double tolerance = 1e-9);
+
+}  // namespace feast::check

@@ -1,0 +1,92 @@
+/// \file prop.hpp
+/// \brief A small property-based test engine with greedy shrinking.
+///
+/// The shape every property test here follows:
+///
+///   auto report = check::forall_graphs(config, options, [](const TaskGraph& g) {
+///     return some_invariant(g);   // nullopt = pass, message = failure
+///   });
+///   ASSERT_TRUE(report.ok()) << report.describe();
+///
+/// On failure, forall_graphs greedily shrinks the failing graph — dropping
+/// subtasks, dropping precedence arcs, shrinking execution times, message
+/// sizes and deadlines toward small round values — and describe() prints
+/// the minimal counterexample with the seed that replays it:
+///
+///   FEAST_PROP_REPLAY seed=1742 cases=200
+///   shrunk 52 -> 4 subtasks in 37 accepted steps
+///   property failed: window of t3 violates r+d <= D (…)
+///
+/// Replaying: re-run the same forall with options.seed_base = that seed and
+/// options.cases = 1 (docs/TESTING.md walks through it).
+///
+/// Environment knobs:
+///  - FEAST_PROP_MULT multiplies every forall's case count (nightly CI sets
+///    10); prop_case_multiplier() reads it.
+///  - FEAST_CHECK_ARTIFACTS, when set to a directory, makes failing foralls
+///    write the shrunk counterexample graph (taskgraph/serialize format)
+///    there for CI to upload.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "check/gen.hpp"
+#include "taskgraph/task_graph.hpp"
+
+namespace feast::check {
+
+/// A property over a task graph: std::nullopt = holds, a message = violated.
+/// Exceptions escaping the property are treated as violations (message =
+/// what()) — except ContractViolation on *shrunk candidates*, which marks a
+/// candidate invalid rather than failing (see shrink_graph).
+using GraphProperty = std::function<std::optional<std::string>(const TaskGraph&)>;
+
+struct ForallOptions {
+  std::uint64_t seed_base = 1;  ///< Case k uses seed seed_base + k.
+  int cases = 100;              ///< Multiplied by prop_case_multiplier().
+  bool shrink = true;
+  int max_shrink_passes = 16;   ///< Full passes over the shrink moves.
+  std::string label = "prop";   ///< Names the artifact file on failure.
+};
+
+/// The minimal counterexample of a failed forall.
+struct Counterexample {
+  std::uint64_t seed = 0;         ///< Replays the *original* failing graph.
+  std::size_t original_subtasks = 0;
+  TaskGraph shrunk;
+  std::string message;            ///< Failure message on the shrunk graph.
+  int accepted_steps = 0;         ///< Shrink moves that kept the failure.
+  std::string artifact_path;      ///< Where the graph was written, if anywhere.
+};
+
+struct ForallReport {
+  int cases_run = 0;
+  std::optional<Counterexample> counterexample;
+
+  bool ok() const noexcept { return !counterexample.has_value(); }
+
+  /// Human-readable result; on failure includes the FEAST_PROP_REPLAY line,
+  /// the shrink summary and the serialized minimal graph.
+  std::string describe() const;
+};
+
+/// FEAST_PROP_MULT as a positive integer, default 1.
+int prop_case_multiplier() noexcept;
+
+/// Runs \p prop on graphs drawn by gen_graph-style generation from
+/// \p config, one per seed.  Stops at the first failure and shrinks it.
+ForallReport forall_graphs(const RandomGraphConfig& config,
+                           const ForallOptions& options, const GraphProperty& prop);
+
+/// Greedy shrink of a failing graph: repeatedly tries structure-dropping
+/// and value-shrinking moves, keeping any candidate that (a) still passes
+/// validate_for_distribution and (b) still fails \p prop, until a full
+/// pass accepts nothing or \p max_passes is exhausted.  Returns the
+/// smallest failing graph found (possibly the input) and its failure
+/// message; \p accepted_steps counts kept moves.
+TaskGraph shrink_graph(const TaskGraph& failing, const GraphProperty& prop,
+                       int max_passes, std::string& message, int& accepted_steps);
+
+}  // namespace feast::check

@@ -1,0 +1,189 @@
+#include "check/torture.hpp"
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "campaign/campaign.hpp"
+#include "check/fault.hpp"
+#include "check/gen.hpp"
+#include "util/rng.hpp"
+
+namespace feast::check {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string self_exe_path() {
+  std::error_code ec;
+  const fs::path exe = fs::read_symlink("/proc/self/exe", ec);
+  if (ec) return {};
+  return exe.string();
+}
+
+/// Runs one feastc subprocess, stdout+stderr into \p log_path.  Returns the
+/// exit code, or -1 when the process did not exit normally.
+int run_subprocess(const std::string& command_line, const std::string& log_path) {
+  const std::string full = command_line + " > \"" + log_path + "\" 2>&1";
+  const int status = std::system(full.c_str());
+  if (status == -1) return -1;
+  if (!WIFEXITED(status)) return -1;
+  return WEXITSTATUS(status);
+}
+
+/// The fault armed for trial family \p family over a campaign of
+/// \p cells cells.  Every returned plan is guaranteed to fire (and kill)
+/// within the faulted run.
+std::string fault_spec_for(int family, std::size_t cells, Pcg32& rng) {
+  const auto nth = [&](std::size_t upper) {
+    return std::to_string(1 + rng.uniform_index(upper));
+  };
+  switch (family % 5) {
+    case 0:
+      // Worker dies at the start of a cell task.
+      return "pool-task:" + nth(cells) + ":die";
+    case 1:
+      // Killed mid-record-write: torn cache temporary, no renamed record.
+      return "cache-store:" + nth(cells) + ":die";
+    case 2:
+      // Killed between the manifest tmp write and its rename: the
+      // checkpoint on disk goes stale.  cells + 1 occurrences are
+      // guaranteed (initial + one per cell).
+      return "manifest-write:" + nth(cells + 1) + ":die";
+    case 3: {
+      // A torn manifest published in place, then death on the next
+      // checkpoint: resume faces unparseable JSON and must start over.
+      const std::size_t k = 1 + rng.uniform_index(cells);
+      return "manifest-write:" + std::to_string(k) +
+             ":partial-write,manifest-write:" + std::to_string(k + 1) + ":die";
+    }
+    default: {
+      if (cells < 2) return "cache-store:1:die";
+      // A truncated record persisted into the cache, then death at a later
+      // cell: resume must read the corrupt record as a miss and recompute.
+      const std::size_t k = 2 + rng.uniform_index(cells - 1);
+      return "cache-store:1:truncate,pool-task:" + std::to_string(k) + ":die";
+    }
+  }
+}
+
+TortureTrial run_trial(const TortureOptions& options, const std::string& feastc,
+                       int index) {
+  TortureTrial trial;
+  trial.seed = seed_for(options.seed, {static_cast<std::uint64_t>(index)});
+  Pcg32 rng(trial.seed);
+
+  const CampaignSpec spec = gen_campaign_spec(rng);
+  trial.cells = spec.cell_count();
+  trial.fault_spec = fault_spec_for(index, trial.cells, rng);
+
+  const fs::path dir = fs::path(options.work_dir) / ("trial-" + std::to_string(index));
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  fs::create_directories(dir);
+
+  const fs::path spec_path = dir / "campaign.spec";
+  {
+    std::ofstream out(spec_path);
+    if (!out) {
+      trial.error = "cannot write " + spec_path.string();
+      return trial;
+    }
+    out << spec.canonical_text();
+  }
+
+  const std::string base = "\"" + feastc + "\" campaign";
+  const fs::path baseline_manifest = dir / "baseline.manifest.json";
+  const fs::path torture_manifest = dir / "torture.manifest.json";
+
+  const std::string baseline_cmd = base + " run \"" + spec_path.string() +
+                                   "\" --manifest \"" + baseline_manifest.string() +
+                                   "\" --cache-dir \"" + (dir / "cache-base").string() +
+                                   "\" --threads 2 --quiet";
+  const int baseline_exit = run_subprocess(baseline_cmd, (dir / "baseline.log").string());
+  if (baseline_exit != 0) {
+    trial.error = "baseline run exited " + std::to_string(baseline_exit);
+    return trial;
+  }
+
+  const std::string torture_args = " \"" + spec_path.string() + "\" --manifest \"" +
+                                   torture_manifest.string() + "\" --cache-dir \"" +
+                                   (dir / "cache").string() + "\" --threads 2 --quiet";
+  const int faulted_exit =
+      run_subprocess(base + " run" + torture_args + " --faults \"" + trial.fault_spec +
+                         "\"",
+                     (dir / "faulted.log").string());
+  trial.killed = faulted_exit == kFaultExitCode;
+  if (!trial.killed) {
+    trial.error = "faulted run exited " + std::to_string(faulted_exit) +
+                  " instead of dying with " + std::to_string(kFaultExitCode) +
+                  " (fault " + trial.fault_spec + ")";
+    return trial;
+  }
+
+  const int resumed_exit =
+      run_subprocess(base + " resume" + torture_args, (dir / "resumed.log").string());
+  if (resumed_exit != 0) {
+    trial.error = "resumed run exited " + std::to_string(resumed_exit);
+    return trial;
+  }
+
+  try {
+    const std::string expected =
+        manifest_fingerprint(read_manifest_file(baseline_manifest.string()));
+    const std::string actual =
+        manifest_fingerprint(read_manifest_file(torture_manifest.string()));
+    trial.match = actual == expected;
+    if (!trial.match) {
+      trial.error = "resumed results differ from the uninterrupted run (fault " +
+                    trial.fault_spec + ", manifests in " + dir.string() + ")";
+      return trial;
+    }
+  } catch (const std::exception& e) {
+    trial.error = std::string("manifest comparison failed: ") + e.what();
+    return trial;
+  }
+
+  if (!options.keep_work_dir) fs::remove_all(dir, ec);
+  return trial;
+}
+
+}  // namespace
+
+TortureResult run_torture(const TortureOptions& options) {
+  const std::string feastc =
+      !options.feastc_path.empty() ? options.feastc_path : self_exe_path();
+  TortureResult result;
+  if (feastc.empty()) {
+    TortureTrial trial;
+    trial.error = "cannot resolve the feastc binary (pass TortureOptions::feastc_path)";
+    result.trials.push_back(std::move(trial));
+    return result;
+  }
+
+  std::error_code ec;
+  fs::create_directories(options.work_dir, ec);
+
+  for (int t = 0; t < options.trials; ++t) {
+    TortureTrial trial = run_trial(options, feastc, t);
+    if (options.log != nullptr) {
+      *options.log << "trial " << (t + 1) << "/" << options.trials << " seed "
+                   << trial.seed << " cells " << trial.cells << " fault "
+                   << trial.fault_spec << ": "
+                   << (trial.ok() ? "ok" : trial.error) << std::endl;
+    }
+    result.trials.push_back(std::move(trial));
+  }
+
+  if (result.ok() && !options.keep_work_dir) {
+    fs::remove_all(options.work_dir, ec);
+  }
+  return result;
+}
+
+}  // namespace feast::check

@@ -1,0 +1,70 @@
+/// \file torture.hpp
+/// \brief Crash-resume torture for campaigns.
+///
+/// Each trial generates a small random campaign spec, runs it three ways
+/// through real `feastc campaign` subprocesses:
+///
+///   1. *baseline* — clean run, its own manifest and cache;
+///   2. *faulted* — fresh manifest/cache with an armed FaultPlan that kills
+///      the process (exit code check::kFaultExitCode) at a seeded injection
+///      point in the pool, the cell cache or the manifest writer;
+///   3. *resumed* — `campaign resume` over the faulted run's manifest and
+///      cache, no faults;
+///
+/// and asserts the resumed manifest's stats fingerprint is byte-identical
+/// to the baseline's (manifest_fingerprint: full-precision stats, no
+/// wall-clock times).  Subprocesses rather than fork(): the parent owns a
+/// global thread pool whose workers a forked child would inherit dead.
+///
+/// CLI: `feastc torture --trials N`; tests drive run_torture directly.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace feast::check {
+
+struct TortureOptions {
+  int trials = 5;
+  std::uint64_t seed = 42;
+  /// Scratch root; per-trial directories are created (and removed on
+  /// success) underneath.
+  std::string work_dir = ".feast-torture";
+  /// The feastc binary to drive.  Empty: /proc/self/exe (correct when the
+  /// caller *is* feastc; tests pass their configured binary path).
+  std::string feastc_path;
+  std::ostream* log = nullptr;  ///< Per-trial progress lines when set.
+  bool keep_work_dir = false;   ///< Keep scratch even on success.
+};
+
+struct TortureTrial {
+  std::uint64_t seed = 0;       ///< Replays this trial's spec and fault.
+  std::string fault_spec;       ///< The armed FaultPlan.
+  std::size_t cells = 0;
+  bool killed = false;          ///< Faulted run exited with kFaultExitCode.
+  bool match = false;           ///< Resumed fingerprint == baseline's.
+  std::string error;            ///< First problem, empty when ok.
+
+  bool ok() const noexcept { return killed && match && error.empty(); }
+};
+
+struct TortureResult {
+  std::vector<TortureTrial> trials;
+
+  std::size_t failures() const noexcept {
+    std::size_t n = 0;
+    for (const TortureTrial& t : trials) {
+      if (!t.ok()) ++n;
+    }
+    return n;
+  }
+  bool ok() const noexcept { return failures() == 0; }
+};
+
+/// Runs the kill/resume/compare cycle options.trials times, rotating the
+/// injected fault across the pool, cache and manifest sites.
+TortureResult run_torture(const TortureOptions& options);
+
+}  // namespace feast::check

@@ -9,6 +9,8 @@
 
 #include "campaign/campaign.hpp"
 
+#include "check/fault.hpp"
+#include "check/torture.hpp"
 #include "core/annotation_io.hpp"
 #include "experiment/figures.hpp"
 #include "obs/obs.hpp"
@@ -63,6 +65,8 @@ commands:
   campaign    run a declarative experiment campaign (cache + resume)
   profile     instrumented sweep: per-phase timings, counters, Chrome trace
   diffsched   differential test of the optimized vs reference scheduler
+  torture     crash-resume torture: kill campaigns at injected faults, resume,
+              assert results identical to an uninterrupted run
   dot         Graphviz export
 
 common options:
@@ -113,6 +117,8 @@ campaign subcommands (spec format and manifest schema: docs/CAMPAIGN.md):
   --threads N             worker threads                 (default: keep current)
   --quiet                 suppress per-cell progress lines
   --trace-out FILE        write a Chrome trace of the run (docs/OBSERVABILITY.md)
+  --faults SPEC           arm deterministic fault injection, e.g.
+                          'cache-store:3:die' (docs/TESTING.md)
 
 profile options (span taxonomy: docs/OBSERVABILITY.md):
   --samples N             graphs per cell                (default 32)
@@ -130,6 +136,13 @@ diffsched options (trace contract: docs/SCHEDULER.md):
                           policy combinations on both cores (default 500)
   --seed S                root RNG seed                  (default 1)
   --quick                 smaller graphs/machines (smoke run)
+
+torture options (protocol: docs/TESTING.md):
+  --trials N              kill/resume/compare cycles     (default 5)
+  --seed S                root RNG seed                  (default 42)
+  --work-dir DIR          scratch directory              (default .feast-torture)
+  --feastc PATH           binary to drive                (default: this binary)
+  --keep                  keep the scratch directory on success
 
 run 'feastc <command> --help' for the relevant subset.
 )";
@@ -612,6 +625,7 @@ int cmd_campaign(Args& args, std::ostream& out) {
   std::optional<std::string> manifest_path;
   std::optional<std::string> trace_path;
   std::string cache_dir = ".feast-cache";
+  std::string fault_spec;
   bool no_cache = false;
   bool quiet = false;
   unsigned threads = 0;
@@ -632,6 +646,8 @@ int cmd_campaign(Args& args, std::ostream& out) {
       quiet = true;
     } else if (flag == "--trace-out") {
       trace_path = args.value_for(flag);
+    } else if (flag == "--faults") {
+      fault_spec = args.value_for(flag);
     } else if (!spec_path && (flag.empty() || flag[0] != '-')) {
       spec_path = flag;
     } else {
@@ -640,7 +656,16 @@ int cmd_campaign(Args& args, std::ostream& out) {
   }
   if (!spec_path) throw UsageError("campaign " + verb + ": missing spec argument");
 
-  const CampaignSpec spec = CampaignSpec::parse_file(*spec_path);
+  CampaignSpec spec = CampaignSpec::parse_file(*spec_path);
+  std::optional<check::FaultPlan> faults;
+  if (!fault_spec.empty()) {
+    try {
+      faults.emplace(fault_spec);
+    } catch (const std::invalid_argument& e) {
+      throw UsageError(std::string("--faults: ") + e.what());
+    }
+    spec.context.faults = &*faults;
+  }
   CampaignOptions options;
   options.manifest_path = manifest_path.value_or(spec.name + ".manifest.json");
   options.resume = verb == "resume";
@@ -814,6 +839,36 @@ int cmd_diffsched(Args& args, std::ostream& out) {
   return result.ok() ? kOk : kFailure;
 }
 
+// ------------------------------------------------------------------ torture
+
+int cmd_torture(Args& args, std::ostream& out) {
+  check::TortureOptions options;
+  while (!args.done()) {
+    const std::string flag = args.pop();
+    if (flag == "--trials") {
+      options.trials = static_cast<int>(parse_int_arg(flag, args.value_for(flag)));
+      if (options.trials < 1) throw UsageError("--trials must be positive");
+    } else if (flag == "--seed") {
+      options.seed =
+          static_cast<std::uint64_t>(parse_int_arg(flag, args.value_for(flag)));
+    } else if (flag == "--work-dir") {
+      options.work_dir = args.value_for(flag);
+    } else if (flag == "--feastc") {
+      options.feastc_path = args.value_for(flag);
+    } else if (flag == "--keep") {
+      options.keep_work_dir = true;
+    } else {
+      throw UsageError("torture: unknown option '" + flag + "'");
+    }
+  }
+
+  options.log = &out;
+  const check::TortureResult result = check::run_torture(options);
+  out << "torture: " << (result.trials.size() - result.failures()) << "/"
+      << result.trials.size() << " trials survived kill + resume\n";
+  return result.ok() ? kOk : kFailure;
+}
+
 }  // namespace
 
 int run_cli(const std::vector<std::string>& args, std::istream& in, std::ostream& out,
@@ -840,6 +895,7 @@ int run_cli(const std::vector<std::string>& args, std::istream& in, std::ostream
     if (command == "campaign") return cmd_campaign(rest, out);
     if (command == "profile") return cmd_profile(rest, out);
     if (command == "diffsched") return cmd_diffsched(rest, out);
+    if (command == "torture") return cmd_torture(rest, out);
     if (command == "dot") return cmd_dot(rest, in, out);
     throw UsageError("unknown command '" + command + "'");
   } catch (const UsageError& e) {

@@ -7,6 +7,7 @@
 /// extracted.
 #pragma once
 
+#include "check/fault.hpp"
 #include "core/distributor.hpp"
 #include "obs/obs.hpp"
 #include "sched/lateness.hpp"
@@ -44,6 +45,11 @@ struct RunContext {
   /// nullptr, the process-wide obs::active() sink applies — so installing
   /// a ScopedSink around a whole sweep needs no per-context plumbing.
   obs::Sink* sink = nullptr;
+  /// Deterministic fault plan (borrowed), armed by the drivers that own a
+  /// scope — run_campaign installs it process-wide for the campaign's
+  /// duration.  nullptr (production default) leaves every injection site
+  /// a no-op.  See check/fault.hpp.
+  check::FaultPlan* faults = nullptr;
 };
 
 /// Executes one run.  Throws ContractViolation when validation fails.

@@ -30,6 +30,7 @@ const char* to_string(Counter counter) noexcept {
     case Counter::CacheHit: return "cache.hit";
     case Counter::CacheMiss: return "cache.miss";
     case Counter::CacheStore: return "cache.store";
+    case Counter::CacheCorrupt: return "cache.corrupt";
     case Counter::ReadyPush: return "sched.ready_push";
     case Counter::BusGapProbe: return "sched.gap_probe";
     case Counter::BusReserve: return "sched.reserve";

@@ -57,13 +57,14 @@ enum class Counter : std::uint8_t {
   CacheHit,     ///< Cell served from the result cache.
   CacheMiss,    ///< Cell cache consulted without a usable record.
   CacheStore,   ///< Cell result written to the cache.
+  CacheCorrupt, ///< Cell-cache record failed parse/checksum (read as miss).
   ReadyPush,    ///< Fast core: subtask entered the ready bitset.
   BusGapProbe,  ///< Fast core: bus/link/processor timeline gap query.
   BusReserve,   ///< Fast core: timeline reservation committed.
   PoolSteal,    ///< Pool: task acquired from another worker's deque.
   PoolSleep,    ///< Pool: worker went idle (blocked on the sleep cv).
 };
-inline constexpr std::size_t kCounterCount = 8;
+inline constexpr std::size_t kCounterCount = 9;
 
 const char* to_string(Span span) noexcept;
 const char* to_string(Counter counter) noexcept;

@@ -1,0 +1,197 @@
+/// \file test_cache_robustness.cpp
+/// \brief The cell cache under disk corruption: every mutated record reads
+///        as a miss, never as wrong stats, never as a crash.
+///
+/// The record format carries a whole-record FNV-1a checksum line, so the
+/// reader does not have to distinguish truncation from bit flips from
+/// trailing garbage — anything that isn't byte-for-byte what the writer
+/// produced fails the checksum.  These tests mutate real .cell files under
+/// a ResultCache and assert miss + corrupt-counter behavior, plus the
+/// in-memory read_cell_record contract the lookup path builds on.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "campaign/cache.hpp"
+#include "obs/obs.hpp"
+
+namespace feast {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag)
+      : path_(fs::temp_directory_path() /
+              ("feast-test-" + tag + "-" + std::to_string(::getpid()))) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const fs::path& path() const noexcept { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+CellStats sample_stats() {
+  CellStats stats;
+  RunningStats lateness;
+  for (const double v : {1.5, -2.25, 7.0, 0.125}) lateness.add(v);
+  stats.max_lateness = lateness.summary();
+  RunningStats makespan;
+  for (const double v : {10.0, 12.5}) makespan.add(v);
+  stats.makespan = makespan.summary();
+  stats.infeasible_runs = 3;
+  return stats;
+}
+
+std::string render_record(const std::string& key, const CellStats& stats) {
+  std::ostringstream out;
+  write_cell_record(out, key, stats);
+  return out.str();
+}
+
+/// The single .cell file in \p dir (the tests store exactly one record).
+fs::path only_record_in(const fs::path& dir) {
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".cell") return entry.path();
+  }
+  ADD_FAILURE() << "no .cell record in " << dir;
+  return {};
+}
+
+void overwrite(const fs::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(CacheRobustness, IntactRecordRoundTrips) {
+  const std::string record = render_record("key-a", sample_stats());
+  CellStats loaded;
+  const auto key = read_cell_record(record, loaded);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(*key, "key-a");
+  EXPECT_EQ(loaded.max_lateness.count, sample_stats().max_lateness.count);
+  EXPECT_DOUBLE_EQ(loaded.max_lateness.mean, sample_stats().max_lateness.mean);
+  EXPECT_EQ(loaded.infeasible_runs, 3u);
+}
+
+TEST(CacheRobustness, EveryBitFlipReadsAsAMiss) {
+  const std::string record = render_record("key-flip", sample_stats());
+  // Flip one bit at every byte position; a single flipped bit anywhere —
+  // magic, key, stats or the checksum line itself — must fail the read.
+  // (Flips inside a stats digit would otherwise silently change results.)
+  for (std::size_t i = 0; i < record.size(); ++i) {
+    std::string mutated = record;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x10);
+    if (mutated == record) continue;
+    CellStats loaded;
+    EXPECT_FALSE(read_cell_record(mutated, loaded).has_value())
+        << "bit flip at byte " << i << " was accepted";
+  }
+}
+
+TEST(CacheRobustness, EveryTruncationReadsAsAMiss) {
+  const std::string record = render_record("key-trunc", sample_stats());
+  for (std::size_t len = 0; len < record.size(); ++len) {
+    CellStats loaded;
+    EXPECT_FALSE(read_cell_record(record.substr(0, len), loaded).has_value())
+        << "truncation to " << len << " bytes was accepted";
+  }
+}
+
+TEST(CacheRobustness, TrailingGarbageReadsAsAMiss) {
+  const std::string record = render_record("key-tail", sample_stats());
+  CellStats loaded;
+  EXPECT_FALSE(read_cell_record(record + "x", loaded).has_value());
+  EXPECT_FALSE(read_cell_record(record + "extra line\n", loaded).has_value());
+  EXPECT_FALSE(read_cell_record(record + record, loaded).has_value());
+}
+
+TEST(CacheRobustness, CorruptFileCountsMissAndCorrupt) {
+  ScratchDir scratch("cache-corrupt");
+  ResultCache cache(scratch.path());
+  cache.store("the-key", sample_stats());
+
+  CellStats out;
+  ASSERT_TRUE(cache.lookup("the-key", out));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.corrupt(), 0u);
+
+  const fs::path record_path = only_record_in(scratch.path());
+  const std::string record = slurp(record_path);
+  ASSERT_FALSE(record.empty());
+
+  obs::Sink sink;
+  {
+    obs::ScopedSink scoped(sink);
+
+    std::string flipped = record;
+    flipped[record.size() / 2] = static_cast<char>(flipped[record.size() / 2] ^ 0x01);
+    overwrite(record_path, flipped);
+    EXPECT_FALSE(cache.lookup("the-key", out)) << "bit-flipped record was served";
+    EXPECT_EQ(cache.corrupt(), 1u);
+
+    overwrite(record_path, record.substr(0, record.size() / 3));
+    EXPECT_FALSE(cache.lookup("the-key", out)) << "truncated record was served";
+    EXPECT_EQ(cache.corrupt(), 2u);
+  }
+  EXPECT_EQ(sink.report().counter_value(obs::Counter::CacheCorrupt), 2u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);
+
+  // A corrupt record is recoverable: the next store repairs the file.
+  cache.store("the-key", sample_stats());
+  EXPECT_TRUE(cache.lookup("the-key", out));
+}
+
+TEST(CacheRobustness, OldFormatRecordsReadAsMisses) {
+  // Pre-checksum records (v1/v2) have no sum line; they must read as
+  // misses — recomputed and rewritten — rather than crash a resume.
+  const std::string v2 =
+      "feast-cell v2\nkey old\nmax_lateness 1 1 0 1 1\nend_to_end 0 0 0 inf -inf\n"
+      "makespan 0 0 0 inf -inf\nmin_laxity 0 0 0 inf -inf\ninfeasible_runs 0\n";
+  CellStats loaded;
+  EXPECT_FALSE(read_cell_record(v2, loaded).has_value());
+}
+
+TEST(CacheRobustness, KeyMismatchStillReadsAsAMiss) {
+  // Hash-collision safety is orthogonal to corruption: an intact record
+  // stored under another key must not satisfy this lookup.
+  ScratchDir scratch("cache-mismatch");
+  ResultCache cache(scratch.path());
+  cache.store("key-one", sample_stats());
+
+  const fs::path stored = only_record_in(scratch.path());
+  // Re-home the record under the file name of a different key by storing
+  // then overwriting that key's record file with key-one's bytes.
+  cache.store("key-two", sample_stats());
+  for (const auto& entry : fs::directory_iterator(scratch.path())) {
+    if (entry.path() != stored && entry.path().extension() == ".cell") {
+      overwrite(entry.path(), slurp(stored));
+    }
+  }
+  CellStats out;
+  EXPECT_FALSE(cache.lookup("key-two", out));
+  EXPECT_TRUE(cache.lookup("key-one", out));
+}
+
+}  // namespace
+}  // namespace feast

@@ -1,0 +1,82 @@
+/// \file test_golden_fig5.cpp
+/// \brief Golden-file regression test for the figure-5 (AST) pipeline.
+///
+/// The figure-5 companion of test_golden_fig2: a small fixed-seed AST
+/// sweep — THRES and ADAPT against the BST and baseline strategies — is
+/// diffed against tests/golden/fig5_seed42.csv.  Figure 5 is where the
+/// adaptive surplus earns its keep in the paper, so its statistics get the
+/// same drift protection as figure 2's.
+///
+/// To regenerate after an *intentional* semantic change:
+///   FEAST_REGEN_GOLDEN=1 ./test_golden_fig5
+/// then review the diff of tests/golden/fig5_seed42.csv like any other
+/// code change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "experiment/figures.hpp"
+
+namespace feast {
+namespace {
+
+const char* kGoldenPath = FEAST_GOLDEN_DIR "/fig5_seed42.csv";
+
+/// Same golden workload shape as fig2: small enough for a sub-second test,
+/// wide enough to cover every scenario, strategy and three system sizes.
+std::string current_csv() {
+  FigureOptions options;
+  options.samples = 16;
+  options.seed = 42;
+  options.sizes = {2, 8, 16};
+  std::ostringstream out;
+  for (const SweepResult& result : figure5_ast(options)) {
+    result.write_csv(out);
+  }
+  return out.str();
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(GoldenFig5, MatchesCheckedInCsv) {
+  const std::string current = current_csv();
+
+  if (std::getenv("FEAST_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(kGoldenPath, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << kGoldenPath;
+    out << current;
+    GTEST_SKIP() << "regenerated " << kGoldenPath << "; review the diff";
+  }
+
+  std::ifstream in(kGoldenPath, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << kGoldenPath
+                         << " (run with FEAST_REGEN_GOLDEN=1 to create it)";
+  std::ostringstream golden_stream;
+  golden_stream << in.rdbuf();
+  const std::string golden = golden_stream.str();
+
+  if (current == golden) return;
+
+  const std::vector<std::string> cur_lines = split_lines(current);
+  const std::vector<std::string> gold_lines = split_lines(golden);
+  const std::size_t n = std::min(cur_lines.size(), gold_lines.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(gold_lines[i], cur_lines[i]) << "first divergence at line " << (i + 1)
+                                           << " of " << kGoldenPath;
+  }
+  FAIL() << "line count differs: golden " << gold_lines.size() << ", current "
+         << cur_lines.size();
+}
+
+}  // namespace
+}  // namespace feast

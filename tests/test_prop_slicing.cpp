@@ -1,0 +1,88 @@
+/// \file test_prop_slicing.cpp
+/// \brief Property-based invariants of the deadline-distribution metrics.
+///
+/// For each paper metric — PURE, NORM, THRES, ADAPT — over hundreds of
+/// random graphs: every sliced window satisfies r_i + d_i <= D along every
+/// path (the paper's distribution-validity condition), windows are ordered
+/// consistently with precedence, and every sliced path hands out its whole
+/// window share — which on a zero-slack (OLR = 1, critical-path basis)
+/// instance is exactly "the critical path receives the full critical-path
+/// share".  Failures arrive shrunk, with a replayable seed.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "check/invariants.hpp"
+#include "check/prop.hpp"
+#include "experiment/strategy.hpp"
+
+namespace feast::check {
+namespace {
+
+/// forall over random (graph, config) pairs for one strategy: distribute on
+/// a fixed 4-processor system and apply the three window invariants.
+void expect_distribution_invariants(const Strategy& strategy, std::uint64_t seed_base) {
+  Pcg32 rng(seed_base);
+  const RandomGraphConfig config = gen_graph_config(rng);
+
+  ForallOptions options;
+  options.seed_base = seed_base;
+  options.cases = 150;
+  options.label = "slicing-" + strategy.label;
+  const ForallReport report =
+      forall_graphs(config, options, [&](const TaskGraph& graph) {
+        const std::unique_ptr<Distributor> distributor = strategy.make(4);
+        return check_distribution(graph, *distributor);
+      });
+  EXPECT_TRUE(report.ok()) << report.describe();
+}
+
+TEST(PropSlicing, PureSatisfiesWindowInvariants) {
+  expect_distribution_invariants(strategy_pure(EstimatorKind::CCNE), 1000);
+  expect_distribution_invariants(strategy_pure(EstimatorKind::CCAA), 1100);
+}
+
+TEST(PropSlicing, NormSatisfiesWindowInvariants) {
+  expect_distribution_invariants(strategy_norm(EstimatorKind::CCNE), 2000);
+  expect_distribution_invariants(strategy_norm(EstimatorKind::CCAA), 2100);
+}
+
+TEST(PropSlicing, ThresSatisfiesWindowInvariants) {
+  expect_distribution_invariants(strategy_thres(0.0), 3000);
+  expect_distribution_invariants(strategy_thres(1.0, 1.25), 3100);
+}
+
+TEST(PropSlicing, AdaptSatisfiesWindowInvariants) {
+  expect_distribution_invariants(strategy_adapt(1.25), 4000);
+}
+
+/// Zero-slack instances: OLR = 1 on the critical-path basis leaves the
+/// longest path no laxity at all, so the full-coverage invariant pins the
+/// strongest paper claim — the critical path receives its entire
+/// critical-path share, no window is shortchanged.
+TEST(PropSlicing, ZeroSlackPathsReceiveTheFullCriticalPathShare) {
+  RandomGraphConfig config;
+  config.min_subtasks = 6;
+  config.max_subtasks = 20;
+  config.olr = 1.0;
+  config.olr_basis = OlrBasis::CriticalPath;
+  config.ccr = 0.5;
+
+  for (const Strategy& strategy :
+       {strategy_pure(EstimatorKind::CCNE), strategy_norm(EstimatorKind::CCNE),
+        strategy_thres(1.0), strategy_adapt()}) {
+    ForallOptions options;
+    options.seed_base = 5000;
+    options.cases = 100;
+    options.label = "zero-slack-" + strategy.label;
+    const ForallReport report =
+        forall_graphs(config, options, [&](const TaskGraph& graph) {
+          const std::unique_ptr<Distributor> distributor = strategy.make(4);
+          return check_distribution(graph, *distributor);
+        });
+    EXPECT_TRUE(report.ok()) << report.describe();
+  }
+}
+
+}  // namespace
+}  // namespace feast::check

@@ -1,0 +1,90 @@
+/// \file test_serialize_fuzz.cpp
+/// \brief Fuzz round-trips of the task-graph text format and DOT export.
+///
+/// 200 seeded random graphs serialize -> parse -> re-serialize
+/// byte-identically, and the parser survives truncation at *every* prefix
+/// length of a serialized graph: each prefix either parses (a clean cut at
+/// a line boundary can be a smaller valid graph) or throws ParseError —
+/// never another exception type, never a crash.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "check/gen.hpp"
+#include "taskgraph/dot.hpp"
+#include "taskgraph/serialize.hpp"
+#include "taskgraph/validate.hpp"
+#include "util/rng.hpp"
+
+namespace feast {
+namespace {
+
+TEST(SerializeFuzz, RoundTripIsByteIdenticalFor200SeededGraphs) {
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    Pcg32 rng(seed);
+    const TaskGraph graph = check::gen_graph(rng);
+    const std::string text = task_graph_to_string(graph);
+
+    TaskGraph reparsed;
+    ASSERT_NO_THROW(reparsed = task_graph_from_string(text)) << "seed " << seed;
+    EXPECT_EQ(task_graph_to_string(reparsed), text) << "seed " << seed;
+    EXPECT_TRUE(validate_structure(reparsed).ok()) << "seed " << seed;
+  }
+}
+
+TEST(SerializeFuzz, ParserSurvivesTruncationAtEveryPrefixLength) {
+  // A handful of graphs is enough: every byte offset of each serialization
+  // is exercised, which covers cuts inside the header, inside subtask and
+  // arc lines, and at line boundaries.
+  for (const std::uint64_t seed : {3u, 17u, 91u}) {
+    Pcg32 rng(seed);
+    const std::string text = task_graph_to_string(check::gen_graph(rng));
+    for (std::size_t len = 0; len < text.size(); ++len) {
+      const std::string prefix = text.substr(0, len);
+      try {
+        const TaskGraph graph = task_graph_from_string(prefix);
+        // A prefix that parses must still be a structurally valid graph.
+        EXPECT_TRUE(validate_structure(graph).ok())
+            << "seed " << seed << " prefix " << len;
+      } catch (const ParseError&) {
+        // Rejected cleanly: the expected outcome for most prefixes.
+      } catch (const std::exception& e) {
+        FAIL() << "seed " << seed << " prefix " << len
+               << " threw a non-ParseError: " << e.what();
+      }
+    }
+  }
+}
+
+TEST(SerializeFuzz, ParserRejectsGarbageWithoutCrashing) {
+  for (const char* garbage :
+       {"", "\n\n\n", "feast-taskgraph v999\n", "not a graph at all",
+        "feast-taskgraph v1\nsubtask", "feast-taskgraph v1\narc 0 1\n"}) {
+    try {
+      (void)task_graph_from_string(garbage);
+    } catch (const ParseError&) {
+      // Fine.
+    } catch (const std::exception& e) {
+      FAIL() << "garbage input threw a non-ParseError: " << e.what();
+    }
+  }
+}
+
+TEST(SerializeFuzz, DotExportCoversEverySubtask) {
+  for (const std::uint64_t seed : {5u, 55u}) {
+    Pcg32 rng(seed);
+    const TaskGraph graph = check::gen_graph(rng);
+    std::ostringstream out;
+    write_dot(out, graph);
+    const std::string dot = out.str();
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    for (const NodeId id : graph.computation_nodes()) {
+      EXPECT_NE(dot.find(graph.node(id).name), std::string::npos)
+          << "seed " << seed << " node " << graph.node(id).name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace feast
