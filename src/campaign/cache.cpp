@@ -9,6 +9,7 @@
 #include "check/fault.hpp"
 #include "obs/obs.hpp"
 #include "util/contracts.hpp"
+#include "util/fsio.hpp"
 #include "util/log.hpp"
 
 namespace feast {
@@ -50,13 +51,6 @@ bool read_summary(std::istream& in, const char* name, StatSummary& s) {
   return read_double(in, s.mean) && read_double(in, s.stddev) &&
          read_double(in, s.min) && read_double(in, s.max) &&
          read_double(in, s.ci95_half_width);
-}
-
-/// Distinct temporary names so concurrent stores of the same key never write
-/// the same file before the atomic rename.
-std::string unique_suffix() {
-  static std::atomic<std::uint64_t> counter{0};
-  return ".tmp" + std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
 }
 
 /// The record body (everything up to and including the newline before the
@@ -228,20 +222,24 @@ void ResultCache::store(const std::string& canonical_key, const CellStats& stats
   }
 
   const std::filesystem::path path = record_path(canonical_key);
-  const std::filesystem::path tmp = path.string() + unique_suffix();
-  {
+  // Serialize writers of the same record across *processes* (two feastc
+  // runs sharing a --cache-dir); unique_tmp_path makes the scratch name
+  // collision-free even when the lock degrades to unlocked.
+  FileLock write_lock(path);
+  const std::filesystem::path tmp = unique_tmp_path(path);
+  if (die_mid_write) {
+    // A crash mid-write leaves a torn temporary and no renamed record.
     std::ofstream file(tmp, std::ios::binary);
-    if (!file) {
-      FEAST_LOG_WARN << "cell cache: cannot write " << tmp.string();
-      return;
-    }
-    if (die_mid_write) {
-      // A crash mid-write leaves a torn temporary and no renamed record.
+    if (file) {
       file << record.substr(0, record.size() / 2);
       file.flush();
-      std::_Exit(check::kFaultExitCode);
     }
-    file << record;
+    std::_Exit(check::kFaultExitCode);
+  }
+  std::string error;
+  if (!write_file_synced(tmp, record, &error)) {
+    FEAST_LOG_WARN << "cell cache: cannot write " << tmp.string() << ": " << error;
+    return;
   }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
@@ -250,6 +248,7 @@ void ResultCache::store(const std::string& canonical_key, const CellStats& stats
     std::filesystem::remove(tmp, ec);
     return;
   }
+  fsync_parent_dir(path);
   std::lock_guard<std::mutex> lock(mutex_);
   ++stores_;
 }

@@ -18,6 +18,7 @@
 
 #include "campaign/pool.hpp"
 #include "check/fault.hpp"
+#include "util/fsio.hpp"
 #include "util/json.hpp"
 #include "util/parallel.hpp"
 #include "util/strings.hpp"
@@ -166,6 +167,7 @@ CellState cell_state_from(const std::string& text) {
   if (text == "computed") return CellState::Computed;
   if (text == "cached") return CellState::Cached;
   if (text == "failed") return CellState::Failed;
+  if (text == "quarantined") return CellState::Quarantined;
   return CellState::Pending;
 }
 
@@ -425,14 +427,17 @@ const char* to_string(CellState state) noexcept {
     case CellState::Computed: return "computed";
     case CellState::Cached: return "cached";
     case CellState::Failed: return "failed";
+    case CellState::Quarantined: return "quarantined";
   }
   return "?";
 }
 
 void write_manifest(std::ostream& out, const CampaignSpec& spec,
                     const CampaignResult& result) {
+  // Schema v2 (docs/CAMPAIGN.md): v1 plus per-cell attempt/error-taxonomy
+  // records and a quarantined total.  read_manifest accepts both versions.
   out << "{\n";
-  out << "  \"feast_manifest_version\": 1,\n";
+  out << "  \"feast_manifest_version\": 2,\n";
   out << "  \"name\": \"" << json_escape(result.name) << "\",\n";
   out << "  \"spec_hash\": \"" << result.spec_hash_hex << "\",\n";
   out << "  \"samples\": " << result.samples << ",\n";
@@ -443,7 +448,8 @@ void write_manifest(std::ostream& out, const CampaignSpec& spec,
   }
   out << "  \"totals\": {\"cells\": " << result.cells.size()
       << ", \"computed\": " << result.computed << ", \"cached\": " << result.cached
-      << ", \"failed\": " << result.failed << ", \"pending\": " << pending
+      << ", \"failed\": " << result.failed << ", \"quarantined\": "
+      << result.quarantined << ", \"pending\": " << pending
       << ", \"wall_ms\": " << json_number(result.wall_ms)
       << ", \"cells_per_sec\": " << json_number(result.cells_per_sec)
       << ", \"runs_per_sec\": " << json_number(result.runs_per_sec) << "},\n";
@@ -454,7 +460,9 @@ void write_manifest(std::ostream& out, const CampaignSpec& spec,
         << "\", \"spec\": \"" << json_escape(cell.strategy_spec)
         << "\", \"procs\": " << cell.n_procs << ", \"key\": \"" << cell.key_hex
         << "\", \"state\": \"" << to_string(cell.state)
-        << "\", \"wall_ms\": " << json_number(cell.wall_ms) << ",\n     ";
+        << "\", \"wall_ms\": " << json_number(cell.wall_ms)
+        << ", \"attempts\": " << cell.attempts << ", \"error_kind\": \""
+        << json_escape(cell.error_kind) << "\",\n     ";
     write_summary_json(out, "max_lateness", cell.stats.max_lateness);
     out << ", ";
     write_summary_json(out, "end_to_end", cell.stats.end_to_end);
@@ -480,7 +488,7 @@ Manifest read_manifest(std::istream& in) {
   }
   Manifest manifest;
   manifest.version = static_cast<int>(number_at(root, "feast_manifest_version"));
-  if (manifest.version != 1) {
+  if (manifest.version != 1 && manifest.version != 2) {
     throw std::runtime_error("manifest: unsupported version " +
                              std::to_string(manifest.version));
   }
@@ -493,6 +501,7 @@ Manifest read_manifest(std::istream& in) {
     manifest.computed = static_cast<std::size_t>(number_at(*totals, "computed"));
     manifest.cached = static_cast<std::size_t>(number_at(*totals, "cached"));
     manifest.failed = static_cast<std::size_t>(number_at(*totals, "failed"));
+    manifest.quarantined = static_cast<std::size_t>(number_at(*totals, "quarantined"));
   }
   const JsonValue* cells = root.find("cells");
   if (cells == nullptr || cells->type != JsonValue::Type::Array) {
@@ -517,6 +526,8 @@ Manifest read_manifest(std::istream& in) {
     cell.stats.infeasible_runs =
         static_cast<std::size_t>(number_at(entry, "infeasible_runs"));
     cell.error = string_at(entry, "error");
+    cell.attempts = static_cast<int>(number_at(entry, "attempts"));  // v2; 0 in v1.
+    cell.error_kind = string_at(entry, "error_kind");
     manifest.cells.push_back(std::move(cell));
   }
   return manifest;
@@ -552,10 +563,8 @@ Manifest read_manifest_file(const std::string& path) {
 
 // ------------------------------------------------------------------- runner
 
-namespace {
-
-void checkpoint_manifest(const std::string& path, const CampaignSpec& spec,
-                         const CampaignResult& result) {
+void checkpoint_manifest_file(const std::string& path, const CampaignSpec& spec,
+                              const CampaignResult& result) {
   if (path.empty()) return;
 
   std::ostringstream rendered;
@@ -584,23 +593,34 @@ void checkpoint_manifest(const std::string& path, const CampaignSpec& spec,
     }
   }
 
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp);
-    if (!out) throw std::runtime_error("campaign: cannot write manifest '" + path + "'");
-    out << text;
+  if (die_before_rename) {
+    // The fully written, fsynced temporary exists but was never published:
+    // exactly the crash window the atomic protocol must tolerate.
+    std::string error;
+    if (!write_file_synced(unique_tmp_path(path), text, &error)) {
+      throw std::runtime_error("campaign: " + error);
+    }
+    std::_Exit(check::kFaultExitCode);
   }
-  if (die_before_rename) std::_Exit(check::kFaultExitCode);
-  std::filesystem::rename(tmp, path);
+
+  // Durable publication: fsynced unique tmp + rename + directory fsync, so
+  // a crash (or power cut) right after this call can never surface an
+  // empty or torn manifest under the final name, and concurrent feastc
+  // processes sharing a manifest path never clobber each other's tmp.
+  std::string error;
+  if (!atomic_write_file(path, text, &error)) {
+    throw std::runtime_error("campaign: cannot write manifest: " + error);
+  }
 }
 
-void refresh_totals(CampaignResult& result, double wall_ms) {
-  result.computed = result.cached = result.failed = 0;
+void refresh_campaign_totals(CampaignResult& result, double wall_ms) {
+  result.computed = result.cached = result.failed = result.quarantined = 0;
   for (const CellOutcome& cell : result.cells) {
     switch (cell.state) {
       case CellState::Computed: ++result.computed; break;
       case CellState::Cached: ++result.cached; break;
       case CellState::Failed: ++result.failed; break;
+      case CellState::Quarantined: ++result.quarantined; break;
       case CellState::Pending: break;
     }
   }
@@ -613,7 +633,67 @@ void refresh_totals(CampaignResult& result, double wall_ms) {
   }
 }
 
-}  // namespace
+std::vector<PlannedCell> plan_cells(const CampaignSpec& spec,
+                                    const std::vector<Strategy>& strategies) {
+  std::vector<PlannedCell> plan;
+  plan.reserve(spec.cell_count());
+  for (std::size_t si = 0; si < strategies.size(); ++si) {
+    for (const int n_procs : spec.sizes) {
+      PlannedCell p;
+      p.index = plan.size();
+      p.strategy_index = si;
+      p.n_procs = n_procs;
+      p.canonical = describe_cell(spec.workload, strategies[si].label, n_procs,
+                                  spec.batch, spec.context);
+      plan.push_back(std::move(p));
+    }
+  }
+  return plan;
+}
+
+std::vector<CellOutcome> plan_outcomes(const CampaignSpec& spec,
+                                       const std::vector<Strategy>& strategies,
+                                       const std::vector<PlannedCell>& plan) {
+  std::vector<CellOutcome> cells;
+  cells.reserve(plan.size());
+  for (const PlannedCell& p : plan) {
+    CellOutcome cell;
+    cell.strategy_spec = spec.strategies[p.strategy_index];
+    cell.strategy_label = strategies[p.strategy_index].label;
+    cell.n_procs = p.n_procs;
+    if (!p.canonical.empty()) cell.key_hex = hash_hex(fnv1a64(p.canonical));
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+std::size_t restore_finished_cells(const std::string& manifest_path,
+                                   const std::string& spec_hash_hex,
+                                   std::vector<CellOutcome>& cells) {
+  if (manifest_path.empty()) return 0;
+  std::size_t restored = 0;
+  try {
+    const Manifest manifest = read_manifest_file(manifest_path);
+    if (manifest.spec_hash_hex != spec_hash_hex) return 0;
+    std::map<std::pair<std::string, int>, const CellOutcome*> done;
+    for (const CellOutcome& cell : manifest.cells) {
+      if (cell.state == CellState::Computed || cell.state == CellState::Cached) {
+        done[{cell.strategy_label, cell.n_procs}] = &cell;
+      }
+    }
+    for (CellOutcome& cell : cells) {
+      const auto it = done.find({cell.strategy_label, cell.n_procs});
+      if (it == done.end()) continue;
+      cell.state = CellState::Cached;  // Restored, not recomputed.
+      cell.stats = it->second->stats;
+      cell.wall_ms = 0.0;
+      ++restored;
+    }
+  } catch (const std::exception&) {
+    // Missing/torn/foreign manifest: start fresh.
+  }
+  return restored;
+}
 
 CampaignResult run_campaign(const CampaignSpec& spec, const CampaignOptions& options) {
   if (spec.strategies.empty()) throw std::invalid_argument("campaign: no strategies");
@@ -649,60 +729,19 @@ CampaignResult run_campaign(const CampaignSpec& spec, const CampaignOptions& opt
   result.spec_hash_hex = hash_hex(fnv1a64(spec_text));
   result.samples = spec.batch.samples;
 
-  struct CellPlan {
-    std::size_t strategy_index = 0;
-    int n_procs = 0;
-    std::string canonical;
-  };
-  std::vector<CellPlan> plan;
-  plan.reserve(spec.cell_count());
-  result.cells.reserve(spec.cell_count());
-  for (std::size_t si = 0; si < strategies.size(); ++si) {
-    for (const int n_procs : spec.sizes) {
-      CellPlan p;
-      p.strategy_index = si;
-      p.n_procs = n_procs;
-      p.canonical = describe_cell(spec.workload, strategies[si].label, n_procs,
-                                  spec.batch, spec.context);
-      CellOutcome cell;
-      cell.strategy_spec = spec.strategies[si];
-      cell.strategy_label = strategies[si].label;
-      cell.n_procs = n_procs;
-      if (!p.canonical.empty()) cell.key_hex = hash_hex(fnv1a64(p.canonical));
-      plan.push_back(std::move(p));
-      result.cells.push_back(std::move(cell));
-    }
-  }
+  const std::vector<PlannedCell> plan = plan_cells(spec, strategies);
+  result.cells = plan_outcomes(spec, strategies, plan);
 
   // Resume: restore the cells an earlier (interrupted) run of this exact
   // spec already finished.  A missing, torn or foreign manifest simply means
   // nothing is restored — the cache still absorbs most of the rework.
-  if (options.resume && !options.manifest_path.empty()) {
-    try {
-      const Manifest manifest = read_manifest_file(options.manifest_path);
-      if (manifest.spec_hash_hex == result.spec_hash_hex) {
-        std::map<std::pair<std::string, int>, const CellOutcome*> done;
-        for (const CellOutcome& cell : manifest.cells) {
-          if (cell.state == CellState::Computed || cell.state == CellState::Cached) {
-            done[{cell.strategy_label, cell.n_procs}] = &cell;
-          }
-        }
-        for (CellOutcome& cell : result.cells) {
-          const auto it = done.find({cell.strategy_label, cell.n_procs});
-          if (it == done.end()) continue;
-          cell.state = CellState::Cached;  // Restored, not recomputed.
-          cell.stats = it->second->stats;
-          cell.wall_ms = 0.0;
-        }
-      }
-    } catch (const std::exception&) {
-      // Start fresh below.
-    }
+  if (options.resume) {
+    restore_finished_cells(options.manifest_path, result.spec_hash_hex, result.cells);
   }
 
   const auto start = std::chrono::steady_clock::now();
-  refresh_totals(result, 0.0);
-  checkpoint_manifest(options.manifest_path, spec, result);
+  refresh_campaign_totals(result, 0.0);
+  checkpoint_manifest_file(options.manifest_path, spec, result);
 
   // Cells are harvested in COMPLETION order, not submission order: finished
   // outcomes arrive on a queue and the manifest is checkpointed after each
@@ -721,7 +760,7 @@ CampaignResult run_campaign(const CampaignSpec& spec, const CampaignOptions& opt
                  &done_queue, i]() {
       // The main thread does not touch cells[i] until this task reports done.
       CellOutcome cell = result.cells[i];
-      const CellPlan& p = plan[i];
+      const PlannedCell& p = plan[i];
       const auto cell_start = std::chrono::steady_clock::now();
       try {
         const ExecutedCell executed =
@@ -757,8 +796,8 @@ CampaignResult run_campaign(const CampaignSpec& spec, const CampaignOptions& opt
     done_queue.pop_front();
     lock.unlock();
 
-    refresh_totals(result, ms_since(start));
-    checkpoint_manifest(options.manifest_path, spec, result);
+    refresh_campaign_totals(result, ms_since(start));
+    checkpoint_manifest_file(options.manifest_path, spec, result);
     if (options.progress != nullptr) {
       const CellOutcome& cell = result.cells[i];
       *options.progress << "[" << (harvested + 1 + total - submitted) << "/" << total
@@ -770,8 +809,8 @@ CampaignResult run_campaign(const CampaignSpec& spec, const CampaignOptions& opt
     }
   }
 
-  refresh_totals(result, ms_since(start));
-  checkpoint_manifest(options.manifest_path, spec, result);
+  refresh_campaign_totals(result, ms_since(start));
+  checkpoint_manifest_file(options.manifest_path, spec, result);
   return result;
 }
 
@@ -783,7 +822,13 @@ void print_manifest_status(std::ostream& out, const Manifest& manifest) {
   out << "campaign:  " << manifest.name << " (spec " << manifest.spec_hash_hex << ")\n";
   out << "cells:     " << manifest.cells.size() << " total — " << manifest.computed
       << " computed, " << manifest.cached << " cached, " << manifest.failed
-      << " failed, " << pending << " pending\n";
+      << " failed, " << manifest.quarantined << " quarantined, " << pending
+      << " pending\n";
+  if (manifest.quarantined > 0) {
+    out << "DEGRADED:  " << manifest.quarantined
+        << " poison cell(s) excluded by the supervisor; `campaign resume` "
+           "retries them\n";
+  }
   out << "samples:   " << manifest.samples << " per cell\n";
   const double wall_s = manifest.wall_ms / 1000.0;
   out << "wall:      " << format_compact(manifest.wall_ms, 1) << " ms";
@@ -797,15 +842,29 @@ void print_manifest_status(std::ostream& out, const Manifest& manifest) {
   }
   out << "\n\n";
   TextTable table;
-  table.set_header({"strategy", "procs", "state", "wall ms", "mean max lateness",
-                    "infeasible"});
+  table.set_header({"strategy", "procs", "state", "attempts", "error", "wall ms",
+                    "mean max lateness", "infeasible"});
+  bool any_error = false;
   for (const CellOutcome& cell : manifest.cells) {
     table.add_row({cell.strategy_label, std::to_string(cell.n_procs),
-                   to_string(cell.state), format_compact(cell.wall_ms, 1),
+                   to_string(cell.state),
+                   cell.attempts > 0 ? std::to_string(cell.attempts) : "-",
+                   cell.error_kind.empty() ? "-" : cell.error_kind,
+                   format_compact(cell.wall_ms, 1),
                    format_compact(cell.stats.max_lateness.mean, 4),
                    std::to_string(cell.stats.infeasible_runs)});
+    if (!cell.error.empty()) any_error = true;
   }
   table.render(out);
+  if (any_error) {
+    out << "\nerrors\n";
+    for (std::size_t i = 0; i < manifest.cells.size(); ++i) {
+      const CellOutcome& cell = manifest.cells[i];
+      if (cell.error.empty()) continue;
+      out << "  cell " << i << " (" << cell.strategy_label << " procs="
+          << cell.n_procs << "): " << cell.error << "\n";
+    }
+  }
 }
 
 }  // namespace feast

@@ -59,8 +59,11 @@ struct CampaignSpec {
   static CampaignSpec parse_file(const std::string& path);
 };
 
-/// Lifecycle of one cell within a campaign run.
-enum class CellState { Pending, Computed, Cached, Failed };
+/// Lifecycle of one cell within a campaign run.  Quarantined is the
+/// supervised runner's poison-cell verdict: the cell failed its full retry
+/// budget and was excluded so the rest of the campaign could complete
+/// (degraded mode); a later `campaign resume` retries it from scratch.
+enum class CellState { Pending, Computed, Cached, Failed, Quarantined };
 
 const char* to_string(CellState state) noexcept;
 
@@ -73,7 +76,12 @@ struct CellOutcome {
   CellState state = CellState::Pending;
   double wall_ms = 0.0;
   CellStats stats;
-  std::string error;  ///< Set when state == Failed.
+  std::string error;  ///< Set when state == Failed/Quarantined.
+  /// Supervised runs only: how many worker attempts this cell consumed and,
+  /// for Failed/Quarantined cells, the structured error taxonomy —
+  /// timeout | crash | signal | oom | io (docs/ROBUSTNESS.md).
+  int attempts = 0;
+  std::string error_kind;
 };
 
 /// Aggregate result of one campaign run.
@@ -86,10 +94,16 @@ struct CampaignResult {
   std::size_t computed = 0;
   std::size_t cached = 0;  ///< Served from cache or restored from manifest.
   std::size_t failed = 0;
+  std::size_t quarantined = 0;  ///< Poison cells excluded by the supervisor.
   double cells_per_sec = 0.0;  ///< All cells over the campaign wall time.
   double runs_per_sec = 0.0;   ///< Computed runs only (compute throughput).
+  /// A drain (SIGINT/SIGTERM) stopped the run before every cell finished;
+  /// the manifest on disk is a resumable checkpoint.
+  bool interrupted = false;
 
-  bool ok() const noexcept { return failed == 0; }
+  bool ok() const noexcept { return failed == 0 && quarantined == 0 && !interrupted; }
+  /// Every cell ran, but some were quarantined: usable, incomplete results.
+  bool degraded() const noexcept { return quarantined > 0 && !interrupted; }
 };
 
 /// Knobs of run_campaign.
@@ -108,6 +122,47 @@ struct CampaignOptions {
 CampaignResult run_campaign(const CampaignSpec& spec,
                             const CampaignOptions& options = {});
 
+/// One planned cell of a campaign, in manifest order (strategy-major, then
+/// size).  The index is the cell's identity in the shard protocol between
+/// the supervisor and `feastc campaign exec-cell` workers.
+struct PlannedCell {
+  std::size_t index = 0;
+  std::size_t strategy_index = 0;
+  int n_procs = 0;
+  std::string canonical;  ///< Cache identity; "" when uncacheable.
+};
+
+/// The canonical cell grid of \p spec: strategies × sizes in spec order.
+/// \p strategies must be the parsed spec.strategies (the caller usually has
+/// them already; parsing here would re-throw on specs run_campaign accepts).
+std::vector<PlannedCell> plan_cells(const CampaignSpec& spec,
+                                    const std::vector<Strategy>& strategies);
+
+/// Fresh CellOutcome skeletons (state Pending, identity filled) for the
+/// plan — the shape both runners start from and the manifest serializes.
+std::vector<CellOutcome> plan_outcomes(const CampaignSpec& spec,
+                                       const std::vector<Strategy>& strategies,
+                                       const std::vector<PlannedCell>& plan);
+
+/// Restores finished (Computed/Cached) cells of a previous run of the same
+/// spec from \p manifest_path into \p cells, marking them Cached.  Failed,
+/// Quarantined and Pending cells stay Pending (they are retried).  A
+/// missing, torn or foreign manifest restores nothing.  Returns the number
+/// of restored cells.
+std::size_t restore_finished_cells(const std::string& manifest_path,
+                                   const std::string& spec_hash_hex,
+                                   std::vector<CellOutcome>& cells);
+
+/// Recomputes the computed/cached/failed/quarantined totals and the
+/// throughput numbers of \p result from its cells and \p wall_ms.
+void refresh_campaign_totals(CampaignResult& result, double wall_ms);
+
+/// Atomically checkpoints the manifest to \p path ("" = no checkpointing)
+/// via util::atomic_write_file (durable: fsynced tmp + rename + dir fsync).
+/// Carries the manifest-write fault-injection site.
+void checkpoint_manifest_file(const std::string& path, const CampaignSpec& spec,
+                              const CampaignResult& result);
+
 /// Serializes a manifest (JSON, schema in docs/CAMPAIGN.md).
 void write_manifest(std::ostream& out, const CampaignSpec& spec,
                     const CampaignResult& result);
@@ -124,6 +179,7 @@ struct Manifest {
   std::size_t computed = 0;
   std::size_t cached = 0;
   std::size_t failed = 0;
+  std::size_t quarantined = 0;
 };
 
 /// Parses a manifest produced by write_manifest (minimal JSON reader).

@@ -20,6 +20,8 @@ constexpr SiteName kSiteNames[] = {
     {FaultSite::CacheLookup, "cache-lookup"},
     {FaultSite::CacheStore, "cache-store"},
     {FaultSite::ManifestWrite, "manifest-write"},
+    {FaultSite::SuperviseSpawn, "supervise-spawn"},
+    {FaultSite::SuperviseHeartbeat, "supervise-heartbeat"},
 };
 static_assert(std::size(kSiteNames) == kFaultSiteCount);
 

@@ -18,7 +18,8 @@
 ///
 ///   plan   := rule (',' rule)*
 ///   rule   := site ':' nth ':' action      // nth is 1-based
-///   site   := pool-task | cache-lookup | cache-store | manifest-write
+///   site   := pool-task | cache-lookup | cache-store | manifest-write |
+///             supervise-spawn | supervise-heartbeat
 ///   action := throw | die | truncate | bad-magic | short-read |
 ///             fail-write | partial-write
 ///
@@ -51,8 +52,16 @@ enum class FaultSite : std::uint8_t {
                   ///< Actions: FailWrite (checkpoint skipped → stale),
                   ///< PartialWrite (publish a torn manifest), Die (killed
                   ///< before the atomic rename → stale checkpoint).
+  SuperviseSpawn,      ///< Supervisor, about to spawn a worker subprocess.
+                       ///< Actions: Throw (spawn reported failed → the
+                       ///< attempt is charged and retried), Die (the
+                       ///< supervisor itself crashes mid-campaign).
+  SuperviseHeartbeat,  ///< Supervisor heartbeat, harvesting one worker
+                       ///< attempt.  Actions: Throw (the attempt's result
+                       ///< is discarded as if the watchdog had killed it →
+                       ///< retry), Die (supervisor crashes mid-harvest).
 };
-inline constexpr std::size_t kFaultSiteCount = 4;
+inline constexpr std::size_t kFaultSiteCount = 6;
 
 /// What happens when an armed rule fires.
 enum class FaultAction : std::uint8_t {

@@ -1,7 +1,5 @@
 #include "check/torture.hpp"
 
-#include <sys/wait.h>
-
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -11,6 +9,7 @@
 #include "campaign/campaign.hpp"
 #include "check/fault.hpp"
 #include "check/gen.hpp"
+#include "supervise/subprocess.hpp"
 #include "util/rng.hpp"
 
 namespace feast::check {
@@ -26,49 +25,66 @@ std::string self_exe_path() {
   return exe.string();
 }
 
-/// Runs one feastc subprocess, stdout+stderr into \p log_path.  Returns the
-/// exit code, or -1 when the process did not exit normally.
-int run_subprocess(const std::string& command_line, const std::string& log_path) {
-  const std::string full = command_line + " > \"" + log_path + "\" 2>&1";
-  const int status = std::system(full.c_str());
-  if (status == -1) return -1;
-  if (!WIFEXITED(status)) return -1;
-  return WEXITSTATUS(status);
+/// Runs one feastc subprocess (argv, no shell), stdout+stderr into
+/// \p log_path, under a defensive wall-clock deadline.  The decoded status
+/// distinguishes normal exits from signal kills — a worker that died on
+/// SIGSEGV reports as "signal 11 (SIGSEGV)", never as a bogus exit code.
+supervise::ExitStatus run_feastc(const std::vector<std::string>& argv,
+                                 const std::string& log_path, double timeout_s,
+                                 std::string* error) {
+  supervise::SubprocessOptions options;
+  options.stdout_path = log_path;
+  options.stderr_path = "+stdout";
+  return supervise::run_command(argv, options, timeout_s, error);
 }
 
-/// The fault armed for trial family \p family over a campaign of
-/// \p cells cells.  Every returned plan is guaranteed to fire (and kill)
-/// within the faulted run.
-std::string fault_spec_for(int family, std::size_t cells, Pcg32& rng) {
+/// The fault armed for one trial family over a campaign of \p cells cells,
+/// and whether the faulted+resumed runs go through the supervised runner
+/// (--isolate=process).  Every returned plan is guaranteed to fire (and
+/// kill) within the faulted run.
+struct TrialFault {
+  std::string spec;
+  bool supervised = false;
+};
+
+TrialFault fault_for(int family, std::size_t cells, Pcg32& rng) {
   const auto nth = [&](std::size_t upper) {
     return std::to_string(1 + rng.uniform_index(upper));
   };
-  switch (family % 5) {
+  switch (family % 7) {
     case 0:
       // Worker dies at the start of a cell task.
-      return "pool-task:" + nth(cells) + ":die";
+      return {"pool-task:" + nth(cells) + ":die"};
     case 1:
       // Killed mid-record-write: torn cache temporary, no renamed record.
-      return "cache-store:" + nth(cells) + ":die";
+      return {"cache-store:" + nth(cells) + ":die"};
     case 2:
       // Killed between the manifest tmp write and its rename: the
       // checkpoint on disk goes stale.  cells + 1 occurrences are
       // guaranteed (initial + one per cell).
-      return "manifest-write:" + nth(cells + 1) + ":die";
+      return {"manifest-write:" + nth(cells + 1) + ":die"};
     case 3: {
       // A torn manifest published in place, then death on the next
       // checkpoint: resume faces unparseable JSON and must start over.
       const std::size_t k = 1 + rng.uniform_index(cells);
-      return "manifest-write:" + std::to_string(k) +
-             ":partial-write,manifest-write:" + std::to_string(k + 1) + ":die";
+      return {"manifest-write:" + std::to_string(k) +
+              ":partial-write,manifest-write:" + std::to_string(k + 1) + ":die"};
     }
-    default: {
-      if (cells < 2) return "cache-store:1:die";
+    case 4: {
+      if (cells < 2) return {"cache-store:1:die"};
       // A truncated record persisted into the cache, then death at a later
       // cell: resume must read the corrupt record as a miss and recompute.
       const std::size_t k = 2 + rng.uniform_index(cells - 1);
-      return "cache-store:1:truncate,pool-task:" + std::to_string(k) + ":die";
+      return {"cache-store:1:truncate,pool-task:" + std::to_string(k) + ":die"};
     }
+    case 5:
+      // Supervisor dies while spawning a worker (at least one spawn per
+      // pending cell is guaranteed).
+      return {"supervise-spawn:" + nth(cells) + ":die", true};
+    default:
+      // Supervisor dies mid-harvest, after the worker finished but before
+      // its shard was merged (one heartbeat-harvest per attempt).
+      return {"supervise-heartbeat:" + nth(cells) + ":die", true};
   }
 }
 
@@ -80,7 +96,9 @@ TortureTrial run_trial(const TortureOptions& options, const std::string& feastc,
 
   const CampaignSpec spec = gen_campaign_spec(rng);
   trial.cells = spec.cell_count();
-  trial.fault_spec = fault_spec_for(index, trial.cells, rng);
+  const TrialFault fault = fault_for(index, trial.cells, rng);
+  trial.fault_spec = fault.spec;
+  trial.supervised = fault.supervised;
 
   const fs::path dir = fs::path(options.work_dir) / ("trial-" + std::to_string(index));
   std::error_code ec;
@@ -97,39 +115,68 @@ TortureTrial run_trial(const TortureOptions& options, const std::string& feastc,
     out << spec.canonical_text();
   }
 
-  const std::string base = "\"" + feastc + "\" campaign";
   const fs::path baseline_manifest = dir / "baseline.manifest.json";
   const fs::path torture_manifest = dir / "torture.manifest.json";
+  const double timeout_s = options.subprocess_timeout_s;
+  std::string spawn_error;
 
-  const std::string baseline_cmd = base + " run \"" + spec_path.string() +
-                                   "\" --manifest \"" + baseline_manifest.string() +
-                                   "\" --cache-dir \"" + (dir / "cache-base").string() +
-                                   "\" --threads 2 --quiet";
-  const int baseline_exit = run_subprocess(baseline_cmd, (dir / "baseline.log").string());
-  if (baseline_exit != 0) {
-    trial.error = "baseline run exited " + std::to_string(baseline_exit);
+  // Baseline: always the plain in-process runner, so a supervised trial's
+  // fingerprint match also proves supervised == unsupervised results.
+  const std::vector<std::string> baseline_argv = {
+      feastc,       "campaign",
+      "run",        spec_path.string(),
+      "--manifest", baseline_manifest.string(),
+      "--cache-dir", (dir / "cache-base").string(),
+      "--threads",  "2",
+      "--quiet"};
+  const supervise::ExitStatus baseline =
+      run_feastc(baseline_argv, (dir / "baseline.log").string(), timeout_s,
+                 &spawn_error);
+  if (!baseline.success()) {
+    trial.error = "baseline run: " +
+                  (baseline.kind == supervise::ExitStatus::Kind::None
+                       ? spawn_error
+                       : baseline.describe());
     return trial;
   }
 
-  const std::string torture_args = " \"" + spec_path.string() + "\" --manifest \"" +
-                                   torture_manifest.string() + "\" --cache-dir \"" +
-                                   (dir / "cache").string() + "\" --threads 2 --quiet";
-  const int faulted_exit =
-      run_subprocess(base + " run" + torture_args + " --faults \"" + trial.fault_spec +
-                         "\"",
-                     (dir / "faulted.log").string());
-  trial.killed = faulted_exit == kFaultExitCode;
+  std::vector<std::string> torture_args = {
+      spec_path.string(), "--manifest",  torture_manifest.string(),
+      "--cache-dir",      (dir / "cache").string(),
+      "--threads",        "2",
+      "--quiet"};
+  if (fault.supervised) {
+    torture_args.emplace_back("--isolate=process");
+    torture_args.emplace_back("--workers");
+    torture_args.emplace_back("2");
+  }
+
+  std::vector<std::string> faulted_argv = {feastc, "campaign", "run"};
+  faulted_argv.insert(faulted_argv.end(), torture_args.begin(), torture_args.end());
+  faulted_argv.emplace_back("--faults");
+  faulted_argv.push_back(trial.fault_spec);
+  const supervise::ExitStatus faulted = run_feastc(
+      faulted_argv, (dir / "faulted.log").string(), timeout_s, &spawn_error);
+  trial.killed = faulted.exited(kFaultExitCode) && !faulted.timed_out;
   if (!trial.killed) {
-    trial.error = "faulted run exited " + std::to_string(faulted_exit) +
-                  " instead of dying with " + std::to_string(kFaultExitCode) +
+    trial.error = "faulted run finished with " +
+                  (faulted.kind == supervise::ExitStatus::Kind::None
+                       ? spawn_error
+                       : faulted.describe()) +
+                  " instead of dying with exit " + std::to_string(kFaultExitCode) +
                   " (fault " + trial.fault_spec + ")";
     return trial;
   }
 
-  const int resumed_exit =
-      run_subprocess(base + " resume" + torture_args, (dir / "resumed.log").string());
-  if (resumed_exit != 0) {
-    trial.error = "resumed run exited " + std::to_string(resumed_exit);
+  std::vector<std::string> resumed_argv = {feastc, "campaign", "resume"};
+  resumed_argv.insert(resumed_argv.end(), torture_args.begin(), torture_args.end());
+  const supervise::ExitStatus resumed = run_feastc(
+      resumed_argv, (dir / "resumed.log").string(), timeout_s, &spawn_error);
+  if (!resumed.success()) {
+    trial.error = "resumed run: " +
+                  (resumed.kind == supervise::ExitStatus::Kind::None
+                       ? spawn_error
+                       : resumed.describe());
     return trial;
   }
 
@@ -174,7 +221,8 @@ TortureResult run_torture(const TortureOptions& options) {
     if (options.log != nullptr) {
       *options.log << "trial " << (t + 1) << "/" << options.trials << " seed "
                    << trial.seed << " cells " << trial.cells << " fault "
-                   << trial.fault_spec << ": "
+                   << trial.fault_spec
+                   << (trial.supervised ? " (supervised)" : "") << ": "
                    << (trial.ok() ? "ok" : trial.error) << std::endl;
     }
     result.trials.push_back(std::move(trial));

@@ -7,14 +7,19 @@
 ///   1. *baseline* — clean run, its own manifest and cache;
 ///   2. *faulted* — fresh manifest/cache with an armed FaultPlan that kills
 ///      the process (exit code check::kFaultExitCode) at a seeded injection
-///      point in the pool, the cell cache or the manifest writer;
+///      point in the pool, the cell cache, the manifest writer or the
+///      supervisor (supervised families run under --isolate=process);
 ///   3. *resumed* — `campaign resume` over the faulted run's manifest and
 ///      cache, no faults;
 ///
 /// and asserts the resumed manifest's stats fingerprint is byte-identical
 /// to the baseline's (manifest_fingerprint: full-precision stats, no
-/// wall-clock times).  Subprocesses rather than fork(): the parent owns a
-/// global thread pool whose workers a forked child would inherit dead.
+/// wall-clock times).  The baseline is always the in-process runner, so a
+/// supervised family's match additionally proves supervised == unsupervised
+/// results.  Subprocesses are driven through supervise::Subprocess (argv,
+/// wall-clock deadline, WIFEXITED/WIFSIGNALED decoding) rather than
+/// std::system — and rather than fork(): the parent owns a global thread
+/// pool whose workers a forked child would inherit dead.
 ///
 /// CLI: `feastc torture --trials N`; tests drive run_torture directly.
 #pragma once
@@ -37,11 +42,16 @@ struct TortureOptions {
   std::string feastc_path;
   std::ostream* log = nullptr;  ///< Per-trial progress lines when set.
   bool keep_work_dir = false;   ///< Keep scratch even on success.
+  /// Defensive wall-clock deadline per driven subprocess; a run that
+  /// overruns it is SIGTERM→SIGKILL escalated and the trial fails loudly
+  /// instead of hanging the harness.
+  double subprocess_timeout_s = 300.0;
 };
 
 struct TortureTrial {
   std::uint64_t seed = 0;       ///< Replays this trial's spec and fault.
   std::string fault_spec;       ///< The armed FaultPlan.
+  bool supervised = false;      ///< Ran under --isolate=process.
   std::size_t cells = 0;
   bool killed = false;          ///< Faulted run exited with kFaultExitCode.
   bool match = false;           ///< Resumed fingerprint == baseline's.
@@ -64,7 +74,8 @@ struct TortureResult {
 };
 
 /// Runs the kill/resume/compare cycle options.trials times, rotating the
-/// injected fault across the pool, cache and manifest sites.
+/// injected fault across the pool, cache, manifest and supervisor sites
+/// (seven families; trials beyond seven wrap around).
 TortureResult run_torture(const TortureOptions& options);
 
 }  // namespace feast::check

@@ -21,6 +21,7 @@
 #include "core/metrics.hpp"
 #include "core/slicing.hpp"
 #include "sim/runtime_sim.hpp"
+#include "supervise/supervisor.hpp"
 #include "sched/diffsched.hpp"
 #include "sched/gantt.hpp"
 #include "sched/lateness.hpp"
@@ -47,6 +48,11 @@ namespace {
 constexpr int kOk = 0;
 constexpr int kFailure = 1;
 constexpr int kUsage = 2;
+/// Supervised campaign completed but quarantined poison cells (degraded).
+constexpr int kDegraded = 3;
+/// A drain signal (SIGINT/SIGTERM) stopped a supervised campaign; the
+/// manifest on disk is a resumable checkpoint.  128+SIGINT by convention.
+constexpr int kInterrupted = 130;
 
 /// Thrown on malformed command lines; carries the message for stderr.
 class UsageError : public std::runtime_error {
@@ -119,6 +125,21 @@ campaign subcommands (spec format and manifest schema: docs/CAMPAIGN.md):
   --trace-out FILE        write a Chrome trace of the run (docs/OBSERVABILITY.md)
   --faults SPEC           arm deterministic fault injection, e.g.
                           'cache-store:3:die' (docs/TESTING.md)
+
+campaign supervision (docs/ROBUSTNESS.md; exit 3 = completed degraded,
+130 = drained on SIGINT/SIGTERM with a resumable checkpoint):
+  --isolate=process       run cells in supervised worker subprocesses
+  --workers K             concurrent workers             (default 2)
+  --cell-timeout S        watchdog deadline per attempt  (default 0 = off)
+  --term-grace S          SIGTERM -> SIGKILL escalation  (default 2)
+  --drain-grace S         drain wait for in-flight work  (default 10)
+  --max-attempts N        retries before quarantine      (default 3)
+  --backoff-base MS       retry backoff base             (default 250)
+  --backoff-cap MS        retry backoff cap              (default 10000)
+  --mem-limit MB          RLIMIT_AS per worker           (default 0 = off)
+  --work-dir DIR          shard/log scratch              (default <manifest>.work)
+  --keep-work             keep the scratch directory
+  --inject SPEC           poison cells for testing, e.g. '0:hang,2:crash@1'
 
 profile options (span taxonomy: docs/OBSERVABILITY.md):
   --samples N             graphs per cell                (default 32)
@@ -602,10 +623,60 @@ int cmd_simulate(Args& args, std::istream& in, std::ostream& out) {
 
 // ----------------------------------------------------------------- campaign
 
+/// Worker verb of the supervised runner (spawned by the supervisor, not
+/// documented in the usage text): executes exactly one cell and writes the
+/// shard-result file the supervisor merges.
+int cmd_campaign_exec_cell(Args& args) {
+  std::optional<std::string> spec_path;
+  std::optional<std::string> out_path;
+  std::optional<std::size_t> cell;
+  std::string cache_dir = ".feast-cache";
+  std::string inject;
+  bool no_cache = false;
+  unsigned threads = 0;
+
+  while (!args.done()) {
+    const std::string flag = args.pop();
+    if (flag == "--cell") {
+      const long long n = parse_int_arg(flag, args.value_for(flag));
+      if (n < 0) throw UsageError("--cell must be non-negative");
+      cell = static_cast<std::size_t>(n);
+    } else if (flag == "--out") {
+      out_path = args.value_for(flag);
+    } else if (flag == "--cache-dir") {
+      cache_dir = args.value_for(flag);
+    } else if (flag == "--no-cache") {
+      no_cache = true;
+    } else if (flag == "--threads") {
+      const long long n = parse_int_arg(flag, args.value_for(flag));
+      if (n < 1) throw UsageError("--threads must be positive");
+      threads = static_cast<unsigned>(n);
+    } else if (flag == "--inject") {
+      inject = args.value_for(flag);
+    } else if (!spec_path && (flag.empty() || flag[0] != '-')) {
+      spec_path = flag;
+    } else {
+      throw UsageError("campaign exec-cell: unknown option '" + flag + "'");
+    }
+  }
+  if (!spec_path) throw UsageError("campaign exec-cell: missing spec argument");
+  if (!cell) throw UsageError("campaign exec-cell: missing --cell");
+  if (!out_path) throw UsageError("campaign exec-cell: missing --out");
+
+  if (threads > 0) set_parallelism(threads);
+  const CampaignSpec spec = CampaignSpec::parse_file(*spec_path);
+  return supervise::run_worker_cell(spec, *cell, *out_path,
+                                    no_cache ? std::string() : cache_dir, inject,
+                                    std::cerr) == 0
+             ? kOk
+             : kFailure;
+}
+
 int cmd_campaign(Args& args, std::ostream& out) {
   if (args.done()) throw UsageError("campaign: expected run, resume or status");
   const std::string verb = args.pop();
 
+  if (verb == "exec-cell") return cmd_campaign_exec_cell(args);
   if (verb == "status") {
     std::optional<std::string> manifest_path;
     while (!args.done()) {
@@ -629,6 +700,8 @@ int cmd_campaign(Args& args, std::ostream& out) {
   bool no_cache = false;
   bool quiet = false;
   unsigned threads = 0;
+  bool isolate = false;
+  supervise::SupervisorOptions sup;
 
   while (!args.done()) {
     const std::string flag = args.pop();
@@ -648,6 +721,49 @@ int cmd_campaign(Args& args, std::ostream& out) {
       trace_path = args.value_for(flag);
     } else if (flag == "--faults") {
       fault_spec = args.value_for(flag);
+    } else if (flag == "--isolate" || flag.rfind("--isolate=", 0) == 0) {
+      const std::string mode =
+          flag == "--isolate" ? args.value_for(flag) : flag.substr(10);
+      if (mode == "process") isolate = true;
+      else if (mode == "none") isolate = false;
+      else throw UsageError("--isolate wants process|none, got '" + mode + "'");
+    } else if (flag == "--workers") {
+      const long long n = parse_int_arg(flag, args.value_for(flag));
+      if (n < 1) throw UsageError("--workers must be positive");
+      sup.workers = static_cast<int>(n);
+    } else if (flag == "--cell-timeout") {
+      sup.cell_timeout_s = parse_double_arg(flag, args.value_for(flag));
+      if (sup.cell_timeout_s < 0.0) throw UsageError("--cell-timeout must be >= 0");
+    } else if (flag == "--term-grace") {
+      sup.term_grace_s = parse_double_arg(flag, args.value_for(flag));
+      if (sup.term_grace_s < 0.0) throw UsageError("--term-grace must be >= 0");
+    } else if (flag == "--drain-grace") {
+      sup.drain_grace_s = parse_double_arg(flag, args.value_for(flag));
+      if (sup.drain_grace_s < 0.0) throw UsageError("--drain-grace must be >= 0");
+    } else if (flag == "--max-attempts") {
+      const long long n = parse_int_arg(flag, args.value_for(flag));
+      if (n < 1) throw UsageError("--max-attempts must be positive");
+      sup.max_attempts = static_cast<int>(n);
+    } else if (flag == "--backoff-base") {
+      sup.backoff.base_ms = parse_double_arg(flag, args.value_for(flag));
+      if (sup.backoff.base_ms < 0.0) throw UsageError("--backoff-base must be >= 0");
+    } else if (flag == "--backoff-cap") {
+      sup.backoff.cap_ms = parse_double_arg(flag, args.value_for(flag));
+      if (sup.backoff.cap_ms < 0.0) throw UsageError("--backoff-cap must be >= 0");
+    } else if (flag == "--mem-limit") {
+      const long long n = parse_int_arg(flag, args.value_for(flag));
+      if (n < 0) throw UsageError("--mem-limit must be non-negative");
+      sup.memory_limit_mb = static_cast<std::uint64_t>(n);
+    } else if (flag == "--work-dir") {
+      sup.work_dir = args.value_for(flag);
+    } else if (flag == "--keep-work") {
+      sup.keep_work_dir = true;
+    } else if (flag == "--inject") {
+      try {
+        sup.inject = supervise::parse_inject_spec(args.value_for(flag));
+      } catch (const std::invalid_argument& e) {
+        throw UsageError(std::string("--inject: ") + e.what());
+      }
     } else if (!spec_path && (flag.empty() || flag[0] != '-')) {
       spec_path = flag;
     } else {
@@ -677,13 +793,21 @@ int cmd_campaign(Args& args, std::ostream& out) {
   }
   if (!quiet) options.progress = &out;
 
+  if (isolate) {
+    sup.spec_path = *spec_path;
+    sup.cache_dir = cache_dir;
+    sup.no_cache = no_cache;
+    if (threads > 0) sup.worker_threads = threads;
+  }
+
   obs::Sink sink(/*capture_events=*/trace_path.has_value());
   const CampaignResult result = [&] {
     obs::ScopedSink scoped(sink);
-    return run_campaign(spec, options);
+    return isolate ? supervise::run_supervised_campaign(spec, options, sup)
+                   : run_campaign(spec, options);
   }();
   if (trace_path) {
-    // run_campaign has harvested every cell, so the sink is quiescent.
+    // Every cell has been harvested, so the sink is quiescent.
     std::ofstream trace(*trace_path);
     if (!trace) throw std::runtime_error("cannot open '" + *trace_path + "'");
     sink.write_chrome_trace(trace);
@@ -691,7 +815,8 @@ int cmd_campaign(Args& args, std::ostream& out) {
 
   out << "\ncampaign:   " << result.name << " (spec " << result.spec_hash_hex << ")\n";
   out << "cells:      " << result.cells.size() << " — " << result.computed
-      << " computed, " << result.cached << " cached, " << result.failed << " failed\n";
+      << " computed, " << result.cached << " cached, " << result.failed
+      << " failed, " << result.quarantined << " quarantined\n";
   out << "wall:       " << format_compact(result.wall_ms, 1) << " ms ("
       << format_compact(result.cells_per_sec, 2) << " cells/s, "
       << format_compact(result.runs_per_sec, 2) << " computed runs/s)\n";
@@ -700,6 +825,17 @@ int cmd_campaign(Args& args, std::ostream& out) {
         << " misses, " << cache->stores() << " stores (" << cache_dir << ")\n";
   }
   out << "manifest:   " << options.manifest_path << "\n";
+  if (result.interrupted) {
+    out << "interrupted: drained on signal; resume with `feastc campaign "
+           "resume`\n";
+    return kInterrupted;
+  }
+  if (result.degraded()) {
+    out << "DEGRADED:   " << result.quarantined
+        << " poison cell(s) quarantined; see `feastc campaign status` and "
+           "docs/ROBUSTNESS.md\n";
+    return kDegraded;
+  }
   return result.ok() ? kOk : kFailure;
 }
 

@@ -21,6 +21,7 @@ const char* to_string(Span span) noexcept {
     case Span::CacheLookup: return "cache/lookup";
     case Span::CacheStore: return "cache/store";
     case Span::PoolTask: return "pool/task";
+    case Span::SuperviseAttempt: return "supervise/attempt";
   }
   return "?";
 }
@@ -36,6 +37,10 @@ const char* to_string(Counter counter) noexcept {
     case Counter::BusReserve: return "sched.reserve";
     case Counter::PoolSteal: return "pool.steal";
     case Counter::PoolSleep: return "pool.sleep";
+    case Counter::SuperviseSpawn: return "supervise.spawn";
+    case Counter::SuperviseRetry: return "supervise.retry";
+    case Counter::SuperviseKill: return "supervise.kill";
+    case Counter::SuperviseQuarantine: return "supervise.quarantine";
   }
   return "?";
 }

@@ -49,8 +49,9 @@ enum class Span : std::uint8_t {
   CacheLookup,  ///< Cell-cache consult.
   CacheStore,   ///< Cell-cache store.
   PoolTask,     ///< One work-stealing-pool task execution.
+  SuperviseAttempt,  ///< One worker-subprocess attempt (spawn → harvest).
 };
-inline constexpr std::size_t kSpanCount = 11;
+inline constexpr std::size_t kSpanCount = 12;
 
 /// Named event counters for decisions that have no duration.
 enum class Counter : std::uint8_t {
@@ -63,8 +64,12 @@ enum class Counter : std::uint8_t {
   BusReserve,   ///< Fast core: timeline reservation committed.
   PoolSteal,    ///< Pool: task acquired from another worker's deque.
   PoolSleep,    ///< Pool: worker went idle (blocked on the sleep cv).
+  SuperviseSpawn,       ///< Supervisor: worker subprocess spawned.
+  SuperviseRetry,       ///< Supervisor: failed attempt requeued (backoff).
+  SuperviseKill,        ///< Supervisor: watchdog SIGTERM/SIGKILL issued.
+  SuperviseQuarantine,  ///< Supervisor: cell quarantined (retry budget spent).
 };
-inline constexpr std::size_t kCounterCount = 9;
+inline constexpr std::size_t kCounterCount = 13;
 
 const char* to_string(Span span) noexcept;
 const char* to_string(Counter counter) noexcept;

@@ -1,0 +1,672 @@
+#include "supervise/supervisor.hpp"
+
+#include <csignal>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "campaign/cache.hpp"
+#include "check/fault.hpp"
+#include "obs/obs.hpp"
+#include "supervise/subprocess.hpp"
+#include "util/fsio.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace feast::supervise {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+const char* to_string(ErrorKind kind) noexcept {
+  switch (kind) {
+    case ErrorKind::None: return "";
+    case ErrorKind::Timeout: return "timeout";
+    case ErrorKind::Crash: return "crash";
+    case ErrorKind::Signal: return "signal";
+    case ErrorKind::Oom: return "oom";
+    case ErrorKind::Io: return "io";
+  }
+  return "?";
+}
+
+double backoff_delay_ms(const BackoffPolicy& policy, std::size_t cell_index,
+                        int attempt) {
+  const int n = attempt < 1 ? 1 : attempt;
+  double delay = policy.base_ms * std::pow(2.0, n - 1);
+  if (!(delay < policy.cap_ms)) delay = policy.cap_ms;
+  // Jitter stream: independent of the batch's sample streams (distinct
+  // leading path element) and fully determined by (seed, cell, attempt).
+  Pcg32 rng(seed_for(policy.seed,
+                     {0x5355504552ULL /* "SUPER" */, cell_index,
+                      static_cast<std::uint64_t>(n)}));
+  return delay * rng.uniform_real(0.75, 1.25);
+}
+
+namespace {
+
+bool known_inject_action(const std::string& action) {
+  return action == "hang" || action == "crash" || action == "signal";
+}
+
+/// Resolves an inject value ("action" or "action@N") against one attempt.
+std::string inject_for_attempt(const std::string& value, int attempt) {
+  const std::size_t at = value.find('@');
+  if (at == std::string::npos) return value;
+  const int only = std::atoi(value.c_str() + at + 1);
+  return attempt == only ? value.substr(0, at) : std::string();
+}
+
+std::string self_exe_path() {
+  char buffer[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buffer, sizeof buffer - 1);
+  if (n <= 0) return "feastc";  // PATH lookup as a last resort.
+  buffer[n] = '\0';
+  return buffer;
+}
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+/// The last few lines of a worker log, squeezed onto one line for the
+/// manifest error field ("" when the log is missing or empty).
+std::string log_tail(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  while (!data.empty() && (data.back() == '\n' || data.back() == '\r')) {
+    data.pop_back();
+  }
+  if (data.empty()) return {};
+  constexpr std::size_t kMaxBytes = 320;
+  if (data.size() > kMaxBytes) data.erase(0, data.size() - kMaxBytes);
+  std::string tail;
+  tail.reserve(data.size());
+  for (const char c : data) tail += (c == '\n' || c == '\r') ? ' ' : c;
+  return tail;
+}
+
+// Drain flag set from the SIGINT/SIGTERM handler; the supervisor loop
+// polls it between heartbeats (async-signal-safe by construction).
+volatile std::sig_atomic_t g_drain_signal = 0;
+
+void drain_handler(int sig) { g_drain_signal = sig; }
+
+/// Installs the drain handlers for the supervisor's lifetime and restores
+/// the previous dispositions afterwards (the CLI's own handlers, or the
+/// default, must win again once the campaign has returned).
+class DrainGuard {
+ public:
+  DrainGuard() {
+    g_drain_signal = 0;
+    struct sigaction action {};
+    action.sa_handler = drain_handler;
+    sigemptyset(&action.sa_mask);
+    sigaction(SIGINT, &action, &old_int_);
+    sigaction(SIGTERM, &action, &old_term_);
+  }
+  ~DrainGuard() {
+    sigaction(SIGINT, &old_int_, nullptr);
+    sigaction(SIGTERM, &old_term_, nullptr);
+  }
+  DrainGuard(const DrainGuard&) = delete;
+  DrainGuard& operator=(const DrainGuard&) = delete;
+
+  int signal() const noexcept { return static_cast<int>(g_drain_signal); }
+
+ private:
+  struct sigaction old_int_ {};
+  struct sigaction old_term_ {};
+};
+
+}  // namespace
+
+std::map<std::size_t, std::string> parse_inject_spec(const std::string& spec) {
+  std::map<std::size_t, std::string> inject;
+  for (const std::string& rule : split(spec, ',')) {
+    const std::string trimmed = trim(rule);
+    if (trimmed.empty()) continue;
+    const std::size_t colon = trimmed.find(':');
+    if (colon == std::string::npos) {
+      throw std::invalid_argument(
+          "inject rule must be CELL:ACTION[@ATTEMPT], got '" + trimmed + "'");
+    }
+    std::size_t cell = 0;
+    try {
+      cell = std::stoull(trim(trimmed.substr(0, colon)));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("inject rule cell must be a number in '" +
+                                  trimmed + "'");
+    }
+    const std::string value = trim(trimmed.substr(colon + 1));
+    const std::string action = value.substr(0, value.find('@'));
+    if (!known_inject_action(action)) {
+      throw std::invalid_argument(
+          "inject action must be hang|crash|signal, got '" + action + "'");
+    }
+    inject[cell] = value;
+  }
+  return inject;
+}
+
+// --------------------------------------------------------- shard protocol
+
+std::string render_shard_result(const ShardResult& result,
+                                const std::string& canonical_key) {
+  std::ostringstream out;
+  out << "feast-shard v1\n";
+  out << "cell " << result.cell_index << "\n";
+  out << "origin " << (result.from_cache ? "cached" : "computed") << "\n";
+  out << "wall_ms " << format_compact(result.wall_ms, 17) << "\n";
+  // The payload reuses the cache record format — stats at full precision
+  // with the whole-record checksum line, so a torn shard reads as corrupt.
+  write_cell_record(out,
+                    canonical_key.empty() ? "cell:" + std::to_string(result.cell_index)
+                                          : canonical_key,
+                    result.stats);
+  return out.str();
+}
+
+std::optional<ShardResult> parse_shard_result(const std::string& data) {
+  std::istringstream in(data);
+  std::string line;
+  if (!std::getline(in, line) || line != "feast-shard v1") return std::nullopt;
+  ShardResult result;
+  if (!std::getline(in, line) || line.rfind("cell ", 0) != 0) return std::nullopt;
+  try {
+    result.cell_index = std::stoull(line.substr(5));
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (!std::getline(in, line) || line.rfind("origin ", 0) != 0) return std::nullopt;
+  const std::string origin = line.substr(7);
+  if (origin != "computed" && origin != "cached") return std::nullopt;
+  result.from_cache = origin == "cached";
+  if (!std::getline(in, line) || line.rfind("wall_ms ", 0) != 0) return std::nullopt;
+  try {
+    result.wall_ms = std::stod(line.substr(8));
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  const std::string record((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+  if (!read_cell_record(record, result.stats).has_value()) return std::nullopt;
+  return result;
+}
+
+// ------------------------------------------------------------ worker side
+
+int run_worker_cell(const CampaignSpec& spec, std::size_t cell_index,
+                    const std::string& out_path, const std::string& cache_dir,
+                    const std::string& inject, std::ostream& err) {
+  if (inject == "hang") {
+    // Poison action for watchdog tests: wedge until killed.  Sleep in a
+    // loop (not one long sleep) so a SIGTERM-ignoring hang stays wedged
+    // through EINTR too.
+    for (;;) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  if (inject == "crash") {
+    err << "exec-cell: injected crash" << std::endl;
+    return 1;
+  }
+  if (inject == "signal") {
+    // SIGUSR1: default disposition terminates, is never sent by the
+    // watchdog (SIGTERM/SIGKILL) and does not trip sanitizer abort hooks.
+    std::raise(SIGUSR1);
+  }
+  if (!inject.empty()) {
+    err << "exec-cell: unknown inject action '" << inject << "'" << std::endl;
+    return 1;
+  }
+
+  std::vector<Strategy> strategies;
+  std::vector<PlannedCell> plan;
+  try {
+    strategies.reserve(spec.strategies.size());
+    for (const std::string& s : spec.strategies) {
+      strategies.push_back(parse_strategy_spec(s));
+    }
+    plan = plan_cells(spec, strategies);
+  } catch (const std::exception& e) {
+    err << "exec-cell: bad spec: " << e.what() << std::endl;
+    return 1;
+  }
+  if (cell_index >= plan.size()) {
+    err << "exec-cell: cell " << cell_index << " out of range (campaign has "
+        << plan.size() << " cells)" << std::endl;
+    return 1;
+  }
+
+  const PlannedCell& cell = plan[cell_index];
+  std::optional<ResultCache> cache;
+  if (!cache_dir.empty()) {
+    try {
+      cache.emplace(cache_dir);
+    } catch (const std::exception& e) {
+      err << "exec-cell: cannot open cache: " << e.what() << std::endl;
+      return 1;
+    }
+  }
+
+  ShardResult shard;
+  shard.cell_index = cell_index;
+  const auto start = Clock::now();
+  try {
+    const ExecutedCell executed = execute_cell(
+        spec.workload, strategies[cell.strategy_index], cell.n_procs, spec.batch,
+        spec.context, cache ? &*cache : nullptr);
+    shard.stats = executed.stats;
+    shard.from_cache = executed.from_cache;
+  } catch (const std::exception& e) {
+    err << "exec-cell: cell " << cell_index << " failed: " << e.what()
+        << std::endl;
+    return 1;
+  }
+  shard.wall_ms = ms_since(start);
+
+  std::string error;
+  if (!atomic_write_file(out_path, render_shard_result(shard, cell.canonical),
+                         &error)) {
+    err << "exec-cell: cannot write result: " << error << std::endl;
+    return 1;
+  }
+  return 0;
+}
+
+// -------------------------------------------------------- supervisor side
+
+namespace {
+
+/// A pending attempt: cell + attempt number, runnable once `due` passes
+/// (backoff delays land here).
+struct ReadyEntry {
+  std::size_t cell = 0;
+  int attempt = 1;
+  Clock::time_point due;
+};
+
+/// One live worker subprocess.
+struct Slot {
+  Subprocess proc;
+  std::size_t cell = 0;
+  int attempt = 1;
+  Clock::time_point started;
+  fs::path result_path;
+  fs::path log_path;
+  obs::Sink* sink = nullptr;  ///< Captured at spawn for the attempt span.
+  std::uint64_t span_start_ns = 0;
+};
+
+}  // namespace
+
+CampaignResult run_supervised_campaign(const CampaignSpec& spec,
+                                       const CampaignOptions& options,
+                                       const SupervisorOptions& sup) {
+  if (spec.strategies.empty()) throw std::invalid_argument("campaign: no strategies");
+  if (spec.sizes.empty()) throw std::invalid_argument("campaign: no sizes");
+  if (spec.batch.samples < 1) throw std::invalid_argument("campaign: samples < 1");
+  for (const int n : spec.sizes) {
+    if (n < 1) throw std::invalid_argument("campaign: sizes must be positive");
+  }
+  if (sup.workers < 1) throw std::invalid_argument("supervise: workers < 1");
+  if (sup.max_attempts < 1) throw std::invalid_argument("supervise: max attempts < 1");
+  for (const auto& [cell, value] : sup.inject) {
+    if (!known_inject_action(value.substr(0, value.find('@')))) {
+      throw std::invalid_argument("supervise: bad inject action '" + value + "'");
+    }
+  }
+
+  // The supervisor's own fault sites (spawn/heartbeat/manifest-write) fire
+  // in this process; workers are separate processes and see no plan.
+  check::ScopedFaultPlan scoped_faults(spec.context.faults);
+
+  std::vector<Strategy> strategies;
+  strategies.reserve(spec.strategies.size());
+  for (const std::string& s : spec.strategies) {
+    strategies.push_back(parse_strategy_spec(s));
+  }
+
+  const std::string spec_text = spec.canonical_text();
+
+  CampaignResult result;
+  result.name = spec.name;
+  result.spec_hash_hex = hash_hex(fnv1a64(spec_text));
+  result.samples = spec.batch.samples;
+
+  const std::vector<PlannedCell> plan = plan_cells(spec, strategies);
+  result.cells = plan_outcomes(spec, strategies, plan);
+
+  if (options.resume) {
+    restore_finished_cells(options.manifest_path, result.spec_hash_hex,
+                           result.cells);
+  }
+
+  BackoffPolicy backoff = sup.backoff;
+  if (backoff.seed == 0) backoff.seed = spec.batch.seed;
+
+  // Scratch directory for shard results, worker logs and (when the caller
+  // did not hand us a spec file) the canonical spec workers re-parse.
+  const fs::path work_dir =
+      !sup.work_dir.empty() ? fs::path(sup.work_dir)
+      : !options.manifest_path.empty()
+          ? fs::path(options.manifest_path + ".work")
+          : fs::path(spec.name + ".feast-work");
+  fs::create_directories(work_dir);
+  std::string spec_path = sup.spec_path;
+  if (spec_path.empty()) {
+    spec_path = (work_dir / "spec.feast").string();
+    std::string error;
+    if (!atomic_write_file(spec_path, spec_text, &error)) {
+      throw std::runtime_error("supervise: cannot write worker spec: " + error);
+    }
+  }
+  const std::string feastc =
+      sup.feastc_path.empty() ? self_exe_path() : sup.feastc_path;
+
+  const auto start = Clock::now();
+  refresh_campaign_totals(result, 0.0);
+  checkpoint_manifest_file(options.manifest_path, spec, result);
+
+  std::deque<ReadyEntry> ready;
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    if (result.cells[i].state == CellState::Pending) {
+      ready.push_back({i, 1, start});
+    }
+  }
+  const std::size_t total = result.cells.size();
+  std::size_t finished = total - ready.size();  // Restored cells count as done.
+
+  std::vector<Slot> running;
+  running.reserve(static_cast<std::size_t>(sup.workers));
+
+  DrainGuard drain_guard;
+  bool draining = false;
+  Clock::time_point drain_deadline{};
+
+  const auto progress_prefix = [&](std::ostream& out) -> std::ostream& {
+    return out << "[" << finished << "/" << total << "] ";
+  };
+
+  const auto checkpoint = [&] {
+    refresh_campaign_totals(result, ms_since(start));
+    checkpoint_manifest_file(options.manifest_path, spec, result);
+  };
+
+  // Records a cell's terminal success from a parsed shard result.
+  const auto complete_cell = [&](const Slot& slot, const ShardResult& shard) {
+    CellOutcome& cell = result.cells[slot.cell];
+    cell.state = shard.from_cache ? CellState::Cached : CellState::Computed;
+    cell.stats = shard.stats;
+    cell.wall_ms = shard.wall_ms;
+    cell.attempts = slot.attempt;
+    cell.error.clear();
+    cell.error_kind.clear();
+    ++finished;
+    checkpoint();
+    if (options.progress != nullptr) {
+      progress_prefix(*options.progress)
+          << cell.strategy_label << " procs=" << cell.n_procs << " "
+          << to_string(cell.state) << " (" << format_compact(cell.wall_ms, 1)
+          << " ms, attempt " << slot.attempt << ")" << std::endl;
+    }
+  };
+
+  // Charges a failed attempt: requeues it under backoff, or quarantines the
+  // cell once the retry budget is spent.
+  const auto fail_attempt = [&](std::size_t cell_index, int attempt,
+                                ErrorKind kind, std::string message) {
+    CellOutcome& cell = result.cells[cell_index];
+    cell.attempts = attempt;
+    if (attempt >= sup.max_attempts) {
+      cell.state = CellState::Quarantined;
+      cell.error_kind = to_string(kind);
+      cell.error = std::move(message);
+      obs::count(obs::Counter::SuperviseQuarantine);
+      ++finished;
+      checkpoint();
+      if (options.progress != nullptr) {
+        progress_prefix(*options.progress)
+            << cell.strategy_label << " procs=" << cell.n_procs
+            << " quarantined after " << attempt << " attempts ["
+            << cell.error_kind << "] — " << cell.error << std::endl;
+      }
+      return;
+    }
+    const double delay = backoff_delay_ms(backoff, cell_index, attempt);
+    ready.push_back({cell_index, attempt + 1,
+                     Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                        std::chrono::duration<double, std::milli>(
+                                            delay))});
+    obs::count(obs::Counter::SuperviseRetry);
+    if (options.progress != nullptr) {
+      progress_prefix(*options.progress)
+          << cell.strategy_label << " procs=" << cell.n_procs << " attempt "
+          << attempt << "/" << sup.max_attempts << " failed [" << to_string(kind)
+          << "], retry in " << format_compact(delay, 0) << " ms — " << message
+          << std::endl;
+    }
+  };
+
+  // Classifies and records one finished (or watchdog-killed) attempt.
+  const auto harvest = [&](Slot& slot, const ExitStatus& status) {
+    if (slot.sink != nullptr) {
+      obs::detail::record_span(*slot.sink, obs::Span::SuperviseAttempt,
+                               slot.span_start_ns);
+    }
+    if (const auto fault = check::fire(check::FaultSite::SuperviseHeartbeat)) {
+      if (*fault == check::FaultAction::Die) std::_Exit(check::kFaultExitCode);
+      // Any other action: the heartbeat "lost" this worker — discard its
+      // result exactly as if the watchdog had killed it.
+      fail_attempt(slot.cell, slot.attempt, ErrorKind::Timeout,
+                   "injected heartbeat fault: attempt discarded");
+      return;
+    }
+    const std::string tail = log_tail(slot.log_path);
+    const std::string suffix = tail.empty() ? "" : " — " + tail;
+    if (status.timed_out) {
+      fail_attempt(slot.cell, slot.attempt, ErrorKind::Timeout,
+                   "watchdog: exceeded " + format_compact(sup.cell_timeout_s, 3) +
+                       " s deadline (" + status.describe() + ")" + suffix);
+      return;
+    }
+    if (status.kind == ExitStatus::Kind::Signaled) {
+      // Under an address-space cap the kernel's reply to an unservable
+      // allocation is SIGKILL; classify that as oom, anything else as the
+      // signal it was.
+      const ErrorKind kind =
+          (sup.memory_limit_mb > 0 && status.term_signal == SIGKILL)
+              ? ErrorKind::Oom
+              : ErrorKind::Signal;
+      fail_attempt(slot.cell, slot.attempt, kind,
+                   "worker " + status.describe() + suffix);
+      return;
+    }
+    if (!status.exited(0)) {
+      fail_attempt(slot.cell, slot.attempt, ErrorKind::Crash,
+                   "worker " + status.describe() + suffix);
+      return;
+    }
+    std::ifstream in(slot.result_path, std::ios::binary);
+    if (!in) {
+      fail_attempt(slot.cell, slot.attempt, ErrorKind::Io,
+                   "worker exited 0 but left no result file" + suffix);
+      return;
+    }
+    const std::string data((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    const std::optional<ShardResult> shard = parse_shard_result(data);
+    if (!shard.has_value() || shard->cell_index != slot.cell) {
+      fail_attempt(slot.cell, slot.attempt, ErrorKind::Io,
+                   "worker result unreadable: " + slot.result_path.string());
+      return;
+    }
+    complete_cell(slot, *shard);
+    if (!sup.keep_work_dir) {
+      std::error_code ec;
+      fs::remove(slot.result_path, ec);
+      fs::remove(slot.log_path, ec);
+    }
+  };
+
+  const auto spawn_attempt = [&](std::size_t cell_index, int attempt) {
+    obs::count(obs::Counter::SuperviseSpawn);
+    if (const auto fault = check::fire(check::FaultSite::SuperviseSpawn)) {
+      if (*fault == check::FaultAction::Die) std::_Exit(check::kFaultExitCode);
+      fail_attempt(cell_index, attempt, ErrorKind::Io,
+                   "injected spawn failure");
+      return;
+    }
+    Slot slot;
+    slot.cell = cell_index;
+    slot.attempt = attempt;
+    const std::string stem = "cell-" + std::to_string(cell_index) + ".attempt-" +
+                             std::to_string(attempt);
+    slot.result_path = work_dir / (stem + ".result");
+    slot.log_path = work_dir / (stem + ".log");
+    std::error_code ec;
+    fs::remove(slot.result_path, ec);  // Never harvest a stale shard.
+
+    std::vector<std::string> argv = {feastc,
+                                     "campaign",
+                                     "exec-cell",
+                                     spec_path,
+                                     "--cell",
+                                     std::to_string(cell_index),
+                                     "--out",
+                                     slot.result_path.string(),
+                                     "--threads",
+                                     std::to_string(sup.worker_threads)};
+    if (sup.no_cache) {
+      argv.emplace_back("--no-cache");
+    } else if (!sup.cache_dir.empty()) {
+      argv.emplace_back("--cache-dir");
+      argv.push_back(sup.cache_dir);
+    }
+    if (const auto it = sup.inject.find(cell_index); it != sup.inject.end()) {
+      const std::string action = inject_for_attempt(it->second, attempt);
+      if (!action.empty()) {
+        argv.emplace_back("--inject");
+        argv.push_back(action);
+      }
+    }
+
+    SubprocessOptions opts;
+    opts.stdout_path = slot.log_path.string();
+    opts.stderr_path = "+stdout";
+    opts.memory_limit_bytes = sup.memory_limit_mb << 20;
+    try {
+      slot.proc = Subprocess::spawn(argv, opts);
+    } catch (const std::exception& e) {
+      fail_attempt(cell_index, attempt, ErrorKind::Io,
+                   std::string("spawn failed: ") + e.what());
+      return;
+    }
+    slot.started = Clock::now();
+    if ((slot.sink = obs::active()) != nullptr) {
+      slot.span_start_ns = obs::detail::now_ns(*slot.sink);
+    }
+    running.push_back(std::move(slot));
+  };
+
+  // ------------------------------------------------------- the event loop
+  while (true) {
+    const auto now = Clock::now();
+
+    if (!draining && drain_guard.signal() != 0) {
+      draining = true;
+      drain_deadline = now + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(sup.drain_grace_s));
+      // Undispatched cells stay Pending in the checkpoint; in-flight
+      // workers get the grace window to finish and be harvested.
+      ready.clear();
+      if (options.progress != nullptr) {
+        *options.progress << "drain: signal " << drain_guard.signal()
+                          << " received; waiting up to "
+                          << format_compact(sup.drain_grace_s, 1) << " s for "
+                          << running.size() << " running worker(s)" << std::endl;
+      }
+    }
+
+    if (!draining) {
+      for (auto it = ready.begin();
+           it != ready.end() && running.size() < static_cast<std::size_t>(sup.workers);) {
+        if (it->due <= now) {
+          const ReadyEntry entry = *it;
+          it = ready.erase(it);
+          spawn_attempt(entry.cell, entry.attempt);
+        } else {
+          ++it;
+        }
+      }
+    }
+
+    for (auto it = running.begin(); it != running.end();) {
+      Slot& slot = *it;
+      if (slot.proc.poll()) {
+        const ExitStatus status = slot.proc.status();
+        harvest(slot, status);
+        it = running.erase(it);
+        continue;
+      }
+      const double age_s =
+          std::chrono::duration<double>(Clock::now() - slot.started).count();
+      if (sup.cell_timeout_s > 0.0 && age_s > sup.cell_timeout_s) {
+        obs::count(obs::Counter::SuperviseKill);
+        const ExitStatus status = slot.proc.kill_and_reap(sup.term_grace_s);
+        harvest(slot, status);
+        it = running.erase(it);
+        continue;
+      }
+      if (draining && Clock::now() >= drain_deadline) {
+        // Past the drain grace: kill the straggler and leave its cell
+        // Pending — resume retries it, the attempt is not charged.
+        obs::count(obs::Counter::SuperviseKill);
+        slot.proc.kill_and_reap(1.0);
+        std::error_code ec;
+        fs::remove(slot.result_path, ec);
+        it = running.erase(it);
+        continue;
+      }
+      ++it;
+    }
+
+    if (running.empty() && (draining || ready.empty())) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  result.interrupted =
+      draining && std::any_of(result.cells.begin(), result.cells.end(),
+                              [](const CellOutcome& c) {
+                                return c.state == CellState::Pending;
+                              });
+
+  refresh_campaign_totals(result, ms_since(start));
+  checkpoint_manifest_file(options.manifest_path, spec, result);
+
+  if (!sup.keep_work_dir && sup.work_dir.empty() && result.failed == 0 &&
+      result.quarantined == 0 && !result.interrupted) {
+    // Fully healthy run on a work dir we invented: nothing in it is worth
+    // keeping.  Degraded/interrupted runs keep their logs — the manifest
+    // error fields reference them.
+    std::error_code ec;
+    fs::remove_all(work_dir, ec);
+  }
+  return result;
+}
+
+}  // namespace feast::supervise

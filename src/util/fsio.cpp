@@ -1,0 +1,109 @@
+#include "util/fsio.hpp"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+namespace feast {
+
+namespace {
+
+std::string errno_message(const char* what, const std::filesystem::path& path) {
+  return std::string(what) + " '" + path.string() + "': " + std::strerror(errno);
+}
+
+void set_error(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+/// write() the whole buffer, retrying on short writes and EINTR.
+bool write_all(int fd, std::string_view contents) {
+  const char* data = contents.data();
+  std::size_t left = contents.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::filesystem::path unique_tmp_path(const std::filesystem::path& path) {
+  static std::atomic<std::uint64_t> counter{0};
+  return path.string() + ".tmp." + std::to_string(::getpid()) + "." +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+bool write_file_synced(const std::filesystem::path& path, std::string_view contents,
+                       std::string* error) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    set_error(error, errno_message("cannot open", path));
+    return false;
+  }
+  bool ok = write_all(fd, contents);
+  if (!ok) set_error(error, errno_message("cannot write", path));
+  if (ok && ::fsync(fd) != 0) {
+    set_error(error, errno_message("cannot fsync", path));
+    ok = false;
+  }
+  ::close(fd);
+  if (!ok) ::unlink(path.c_str());
+  return ok;
+}
+
+bool fsync_parent_dir(const std::filesystem::path& path) {
+  std::filesystem::path dir = path.parent_path();
+  if (dir.empty()) dir = ".";
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+bool atomic_write_file(const std::filesystem::path& path, std::string_view contents,
+                       std::string* error) {
+  const std::filesystem::path tmp = unique_tmp_path(path);
+  if (!write_file_synced(tmp, contents, error)) return false;
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    set_error(error, errno_message("cannot rename", tmp));
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  // Make the rename itself durable.  Failure here (exotic filesystems) does
+  // not un-publish the file, so it is not reported as a write failure.
+  (void)fsync_parent_dir(path);
+  return true;
+}
+
+FileLock::FileLock(const std::filesystem::path& target) {
+  const std::string lock_path = target.string() + ".lock";
+  fd_ = ::open(lock_path.c_str(), O_RDONLY | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) return;
+  if (::flock(fd_, LOCK_EX) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+FileLock::~FileLock() {
+  if (fd_ >= 0) {
+    ::flock(fd_, LOCK_UN);
+    ::close(fd_);
+  }
+}
+
+}  // namespace feast

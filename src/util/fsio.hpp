@@ -1,0 +1,72 @@
+/// \file fsio.hpp
+/// \brief Durable, collision-free file publication.
+///
+/// The campaign manifest and the cell cache both publish files with the
+/// classic tmp+rename idiom.  Two failure modes survive the naive version:
+///
+///   * **Durability** — rename() orders metadata but not data on ext4/btrfs;
+///     a power cut shortly after the rename can surface the *new* name with
+///     *empty* contents.  atomic_write_file() fsyncs the temporary file and
+///     then the containing directory, so once the call returns the bytes are
+///     on stable storage under the final name.
+///   * **Cross-process collision** — a fixed `path + ".tmp"` scratch name is
+///     clobbered when two processes (e.g. two `feastc` runs sharing a
+///     --cache-dir) write the same target concurrently.  unique_tmp_path()
+///     embeds the pid plus a process-local counter, so concurrent writers
+///     never share a temporary.
+///
+/// These helpers are deliberately split so callers that need to interleave
+/// work between the write and the rename (the fault-injected manifest
+/// writer) can compose the same guarantees by hand.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+namespace feast {
+
+/// A scratch name next to \p path that no concurrent process or thread
+/// shares: `<path>.tmp.<pid>.<counter>`.
+std::filesystem::path unique_tmp_path(const std::filesystem::path& path);
+
+/// Writes \p contents to \p path, then fsyncs it (data reaches the disk
+/// before the function returns).  Returns false and fills \p error (when
+/// non-null) on any failure; the partially written file is removed.
+bool write_file_synced(const std::filesystem::path& path, std::string_view contents,
+                       std::string* error = nullptr);
+
+/// fsyncs the directory containing \p path, making a preceding rename()
+/// durable.  Returns false on failure (non-fatal on filesystems that reject
+/// directory fsync; callers normally ignore the result).
+bool fsync_parent_dir(const std::filesystem::path& path);
+
+/// Durable atomic publication: writes \p contents to a unique temporary
+/// next to \p path (fsynced), renames it over \p path, and fsyncs the
+/// directory.  After a true return the file is complete and durable under
+/// its final name; on failure the temporary is cleaned up and \p error
+/// (when non-null) describes the first problem.  Concurrent callers — in
+/// this process or another — never tear each other's writes.
+bool atomic_write_file(const std::filesystem::path& path, std::string_view contents,
+                       std::string* error = nullptr);
+
+/// Advisory exclusive lock (flock) held for the object's lifetime on a
+/// sidecar `<path>.lock` file.  Serializes cross-process writers of the
+/// same target — e.g. two `feastc` processes storing the same cache record.
+/// Failure to acquire (unsupported filesystem) degrades to unlocked rather
+/// than failing the write: the rename is still atomic, the lock only
+/// removes needless duplicate work and tmp-file churn.
+class FileLock {
+ public:
+  explicit FileLock(const std::filesystem::path& target);
+  ~FileLock();
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+  bool locked() const noexcept { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace feast

@@ -339,7 +339,8 @@ TEST(Campaign, ManifestRoundTrips) {
   const CampaignResult result = run_campaign(spec, options);
 
   const Manifest manifest = read_manifest_file(options.manifest_path);
-  EXPECT_EQ(manifest.version, 1);
+  // v2 added the quarantined total and per-cell attempts/error_kind.
+  EXPECT_EQ(manifest.version, 2);
   EXPECT_EQ(manifest.name, spec.name);
   EXPECT_EQ(manifest.spec_hash_hex, result.spec_hash_hex);
   EXPECT_EQ(manifest.samples, spec.batch.samples);

@@ -1,0 +1,392 @@
+/// \file test_supervise.cpp
+/// \brief Supervised process isolation: subprocess decoding and watchdog
+///        escalation, deterministic retry backoff, poison-cell quarantine
+///        with degraded-manifest round-trip, and SIGTERM drain + resume.
+///
+/// The campaign-level tests drive the real feastc binary (path baked in by
+/// CMake as FEAST_FEASTC_PATH) through run_supervised_campaign and the CLI,
+/// using the deterministic --inject poison actions so every failure mode is
+/// reproduced on purpose, never by luck.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "campaign/campaign.hpp"
+#include "supervise/subprocess.hpp"
+#include "supervise/supervisor.hpp"
+#include "util/fsio.hpp"
+
+namespace feast::supervise {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test scratch directory under the system temp dir.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag)
+      : path_(fs::temp_directory_path() /
+              (tag + "-" + std::to_string(::getpid()))) {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+    fs::create_directories(path_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const fs::path& path() const noexcept { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// A small campaign spec file: 2 strategies x 2 sizes = 4 cells.
+fs::path write_spec(const fs::path& dir, int samples) {
+  const fs::path path = dir / "spec.feast";
+  std::ofstream out(path);
+  out << "name = supervise-test\n"
+      << "samples = " << samples << "\n"
+      << "seed = 1234\n"
+      << "strategies = pure, norm\n"
+      << "sizes = 2, 4\n";
+  return path;
+}
+
+// ------------------------------------------------------------- Subprocess
+
+TEST(Subprocess, DecodesExitCodesAndSignalsDistinctly) {
+  const ExitStatus exited =
+      Subprocess::spawn({"/bin/sh", "-c", "exit 7"}).wait();
+  EXPECT_EQ(exited.kind, ExitStatus::Kind::Exited);
+  EXPECT_TRUE(exited.exited(7));
+  EXPECT_FALSE(exited.success());
+
+  const ExitStatus signaled =
+      Subprocess::spawn({"/bin/sh", "-c", "kill -USR1 $$"}).wait();
+  EXPECT_EQ(signaled.kind, ExitStatus::Kind::Signaled);
+  EXPECT_EQ(signaled.term_signal, SIGUSR1);
+  EXPECT_FALSE(signaled.success());
+  EXPECT_NE(signaled.describe().find("signal"), std::string::npos);
+}
+
+TEST(Subprocess, SpawnFailureThrowsInsteadOfFakingAnExitCode) {
+  EXPECT_THROW(Subprocess::spawn({"/nonexistent/feast-no-such-binary"}),
+               std::runtime_error);
+}
+
+TEST(Subprocess, CapturesOutputToFile) {
+  ScratchDir dir("feast-subproc-capture");
+  const fs::path log = dir.path() / "out.log";
+  SubprocessOptions options;
+  options.stdout_path = log.string();
+  options.stderr_path = "+stdout";
+  const ExitStatus status =
+      Subprocess::spawn({"/bin/sh", "-c", "echo to-out; echo to-err 1>&2"},
+                        options)
+          .wait();
+  EXPECT_TRUE(status.success());
+  const std::string text = read_file(log);
+  EXPECT_NE(text.find("to-out"), std::string::npos);
+  EXPECT_NE(text.find("to-err"), std::string::npos);
+}
+
+TEST(Subprocess, WatchdogEscalatesSigtermIgnoringChildToSigkill) {
+  // The child ignores SIGTERM and loops; only the SIGKILL escalation can
+  // end it.  kill_and_reap must report a signal kill with timed_out set.
+  // The child announces readiness *after* installing the trap so the test
+  // never races SIGTERM against the trap setup.
+  ScratchDir dir("feast-subproc-escalate");
+  const fs::path ready = dir.path() / "ready";
+  Subprocess child = Subprocess::spawn(
+      {"/bin/sh", "-c",
+       "trap '' TERM; : > " + ready.string() + "; while :; do sleep 0.05; done"});
+  ASSERT_TRUE(child.spawned());
+  for (int i = 0; i < 500 && !fs::exists(ready); ++i) ::usleep(10 * 1000);
+  ASSERT_TRUE(fs::exists(ready)) << "child never became ready";
+  EXPECT_FALSE(child.poll());
+  const ExitStatus status = child.kill_and_reap(/*term_grace_s=*/0.3);
+  EXPECT_TRUE(status.timed_out);
+  EXPECT_EQ(status.kind, ExitStatus::Kind::Signaled);
+  EXPECT_EQ(status.term_signal, SIGKILL);
+}
+
+TEST(Subprocess, RunCommandEnforcesDeadline) {
+  const ExitStatus status =
+      run_command({"/bin/sh", "-c", "sleep 30"}, {}, /*timeout_s=*/0.3);
+  EXPECT_TRUE(status.timed_out);
+  EXPECT_FALSE(status.success());
+}
+
+// ---------------------------------------------------------------- backoff
+
+TEST(Backoff, DeterministicDoublingWithBoundedJitter) {
+  BackoffPolicy policy;
+  policy.base_ms = 100.0;
+  policy.cap_ms = 800.0;
+  policy.seed = 99;
+
+  // Identical (seed, cell, attempt) -> identical delay, every time.
+  EXPECT_EQ(backoff_delay_ms(policy, 3, 1), backoff_delay_ms(policy, 3, 1));
+  EXPECT_EQ(backoff_delay_ms(policy, 0, 4), backoff_delay_ms(policy, 0, 4));
+
+  // Nominal schedule 100, 200, 400, 800, 800 (capped), each scaled by a
+  // jitter in [0.75, 1.25).
+  const double nominal[] = {100.0, 200.0, 400.0, 800.0, 800.0};
+  for (int attempt = 1; attempt <= 5; ++attempt) {
+    const double delay = backoff_delay_ms(policy, 7, attempt);
+    const double base = nominal[attempt - 1];
+    EXPECT_GE(delay, 0.75 * base) << "attempt " << attempt;
+    EXPECT_LT(delay, 1.25 * base) << "attempt " << attempt;
+  }
+
+  // The jitter stream depends on the seed and the cell.
+  BackoffPolicy other = policy;
+  other.seed = 100;
+  EXPECT_NE(backoff_delay_ms(policy, 3, 1), backoff_delay_ms(other, 3, 1));
+  EXPECT_NE(backoff_delay_ms(policy, 3, 1), backoff_delay_ms(policy, 4, 1));
+}
+
+// ---------------------------------------------------------- shard results
+
+TEST(ShardResult, RoundTripsAndRejectsCorruption) {
+  ShardResult shard;
+  shard.cell_index = 5;
+  shard.from_cache = true;
+  shard.wall_ms = 123.25;
+  shard.stats.max_lateness.count = 8;
+  shard.stats.max_lateness.mean = -3.5;
+  shard.stats.infeasible_runs = 2;
+
+  const std::string text = render_shard_result(shard, "some-canonical-key");
+  const auto parsed = parse_shard_result(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->cell_index, 5u);
+  EXPECT_TRUE(parsed->from_cache);
+  EXPECT_DOUBLE_EQ(parsed->wall_ms, 123.25);
+  EXPECT_DOUBLE_EQ(parsed->stats.max_lateness.mean, -3.5);
+  EXPECT_EQ(parsed->stats.infeasible_runs, 2u);
+
+  EXPECT_FALSE(parse_shard_result("").has_value());
+  EXPECT_FALSE(parse_shard_result("garbage\n").has_value());
+  // Truncation tears the embedded cell record; its checksum rejects it.
+  EXPECT_FALSE(parse_shard_result(text.substr(0, text.size() - 10)).has_value());
+  // A flipped stats byte breaks the whole-record checksum.
+  std::string flipped = text;
+  flipped[flipped.find("-3.5") + 1] = '4';
+  EXPECT_FALSE(parse_shard_result(flipped).has_value());
+}
+
+TEST(InjectSpec, ParsesAndValidates) {
+  const auto inject = parse_inject_spec("0:hang, 2:crash@1,7:signal");
+  ASSERT_EQ(inject.size(), 3u);
+  EXPECT_EQ(inject.at(0), "hang");
+  EXPECT_EQ(inject.at(2), "crash@1");
+  EXPECT_EQ(inject.at(7), "signal");
+  EXPECT_TRUE(parse_inject_spec("").empty());
+  EXPECT_THROW(parse_inject_spec("0"), std::invalid_argument);
+  EXPECT_THROW(parse_inject_spec("x:hang"), std::invalid_argument);
+  EXPECT_THROW(parse_inject_spec("0:explode"), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- fsio
+
+TEST(FsIo, UniqueTmpPathsNeverCollide) {
+  const fs::path a = unique_tmp_path("/tmp/x.json");
+  const fs::path b = unique_tmp_path("/tmp/x.json");
+  EXPECT_NE(a, b);
+  // Both embed the pid, so two processes cannot collide either.
+  EXPECT_NE(a.string().find(std::to_string(::getpid())), std::string::npos);
+}
+
+TEST(FsIo, AtomicWriteFilePublishesDurably) {
+  ScratchDir dir("feast-fsio");
+  const fs::path target = dir.path() / "out.txt";
+  std::string error;
+  ASSERT_TRUE(atomic_write_file(target, "first", &error)) << error;
+  EXPECT_EQ(read_file(target), "first");
+  ASSERT_TRUE(atomic_write_file(target, "second", &error)) << error;
+  EXPECT_EQ(read_file(target), "second");
+  // No stray temporaries left behind.
+  std::size_t entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir.path())) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
+
+  EXPECT_FALSE(
+      atomic_write_file(dir.path() / "missing-dir" / "out.txt", "x", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// ------------------------------------------------- supervised campaigns
+
+SupervisorOptions fast_supervisor(const fs::path& spec_path) {
+  SupervisorOptions sup;
+  sup.workers = 2;
+  sup.max_attempts = 2;
+  sup.backoff.base_ms = 5.0;
+  sup.backoff.cap_ms = 20.0;
+  sup.feastc_path = FEAST_FEASTC_PATH;
+  sup.spec_path = spec_path.string();
+  sup.no_cache = true;
+  return sup;
+}
+
+TEST(Supervise, QuarantinesPoisonCellAndCompletesDegraded) {
+  ScratchDir dir("feast-supervise-quarantine");
+  const fs::path spec_path = write_spec(dir.path(), /*samples=*/4);
+  const CampaignSpec spec = CampaignSpec::parse_file(spec_path.string());
+
+  CampaignOptions options;
+  options.manifest_path = (dir.path() / "m.json").string();
+
+  SupervisorOptions sup = fast_supervisor(spec_path);
+  sup.work_dir = (dir.path() / "work").string();
+  sup.inject[0] = "crash";    // Every attempt of cell 0 crashes.
+  sup.inject[2] = "crash@1";  // Cell 2 crashes once, then recovers.
+
+  const CampaignResult result = run_supervised_campaign(spec, options, sup);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.degraded());
+  EXPECT_FALSE(result.interrupted);
+  EXPECT_EQ(result.quarantined, 1u);
+  EXPECT_EQ(result.failed, 0u);
+
+  ASSERT_EQ(result.cells.size(), 4u);
+  EXPECT_EQ(result.cells[0].state, CellState::Quarantined);
+  EXPECT_EQ(result.cells[0].attempts, 2);
+  EXPECT_EQ(result.cells[0].error_kind, "crash");
+  EXPECT_NE(result.cells[0].error.find("injected crash"), std::string::npos);
+  EXPECT_EQ(result.cells[2].state, CellState::Computed);
+  EXPECT_EQ(result.cells[2].attempts, 2);  // Failed once, retried, recovered.
+  EXPECT_EQ(result.cells[1].state, CellState::Computed);
+  EXPECT_EQ(result.cells[3].state, CellState::Computed);
+
+  // The degraded manifest round-trips: schema v2 carries the attempt counts
+  // and the error taxonomy.
+  const Manifest manifest = read_manifest_file(options.manifest_path);
+  EXPECT_EQ(manifest.quarantined, 1u);
+  ASSERT_EQ(manifest.cells.size(), 4u);
+  EXPECT_EQ(manifest.cells[0].state, CellState::Quarantined);
+  EXPECT_EQ(manifest.cells[0].attempts, 2);
+  EXPECT_EQ(manifest.cells[0].error_kind, "crash");
+  EXPECT_EQ(manifest.cells[2].attempts, 2);
+
+  // Resume without the poison: the quarantined cell is retried, the healthy
+  // cells restore, and the final results are byte-identical to a clean
+  // in-process run of the same spec.
+  CampaignOptions resume = options;
+  resume.resume = true;
+  SupervisorOptions clean = fast_supervisor(spec_path);
+  clean.work_dir = (dir.path() / "work2").string();
+  const CampaignResult resumed = run_supervised_campaign(spec, resume, clean);
+  EXPECT_TRUE(resumed.ok());
+  EXPECT_EQ(resumed.quarantined, 0u);
+
+  CampaignOptions base_options;
+  base_options.manifest_path = (dir.path() / "base.json").string();
+  const CampaignResult baseline = run_campaign(spec, base_options);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(manifest_fingerprint(read_manifest_file(options.manifest_path)),
+            manifest_fingerprint(read_manifest_file(base_options.manifest_path)));
+}
+
+TEST(Supervise, WatchdogKillsHangingCellAndTaxonomizesTimeout) {
+  ScratchDir dir("feast-supervise-watchdog");
+  const fs::path spec_path = write_spec(dir.path(), /*samples=*/4);
+  const CampaignSpec spec = CampaignSpec::parse_file(spec_path.string());
+
+  CampaignOptions options;
+  options.manifest_path = (dir.path() / "m.json").string();
+
+  SupervisorOptions sup = fast_supervisor(spec_path);
+  sup.work_dir = (dir.path() / "work").string();
+  sup.cell_timeout_s = 0.5;
+  sup.term_grace_s = 0.5;
+  sup.inject[1] = "hang";    // Wedges every attempt; the watchdog must kill.
+  sup.inject[3] = "signal";  // Dies on SIGUSR1 every attempt.
+
+  const CampaignResult result = run_supervised_campaign(spec, options, sup);
+  EXPECT_TRUE(result.degraded());
+  EXPECT_EQ(result.quarantined, 2u);
+  EXPECT_EQ(result.cells[1].state, CellState::Quarantined);
+  EXPECT_EQ(result.cells[1].error_kind, "timeout");
+  EXPECT_EQ(result.cells[3].state, CellState::Quarantined);
+  EXPECT_EQ(result.cells[3].error_kind, "signal");
+  EXPECT_EQ(result.cells[0].state, CellState::Computed);
+  EXPECT_EQ(result.cells[2].state, CellState::Computed);
+}
+
+TEST(Supervise, SigtermDrainsToResumableCheckpoint) {
+  ScratchDir dir("feast-supervise-drain");
+  const fs::path spec_path = write_spec(dir.path(), /*samples=*/8);
+  const CampaignSpec spec = CampaignSpec::parse_file(spec_path.string());
+  const fs::path manifest = dir.path() / "m.json";
+
+  // Baseline: clean in-process run for the fingerprint comparison.
+  CampaignOptions base_options;
+  base_options.manifest_path = (dir.path() / "base.json").string();
+  ASSERT_TRUE(run_campaign(spec, base_options).ok());
+
+  // Supervised run through the real CLI with cell 0 wedged forever (the
+  // watchdog is off) so the run deterministically never finishes on its
+  // own: worker A hangs on cell 0 while worker B completes the rest.
+  SubprocessOptions capture;
+  capture.stdout_path = (dir.path() / "run.log").string();
+  capture.stderr_path = "+stdout";
+  Subprocess run = Subprocess::spawn(
+      {FEAST_FEASTC_PATH, "campaign", "run", spec_path.string(), "--manifest",
+       manifest.string(), "--no-cache", "--isolate=process", "--workers", "2",
+       "--work-dir", (dir.path() / "work").string(), "--inject", "0:hang",
+       "--drain-grace", "0.5", "--quiet"},
+      capture);
+  ASSERT_TRUE(run.spawned());
+
+  // Wait until the healthy cells are checkpointed, then pull the plug.
+  for (int i = 0; i < 600; ++i) {
+    if (read_file(manifest).find("\"computed\": 3") != std::string::npos) break;
+    ASSERT_FALSE(run.poll()) << "campaign finished early: " << run.status().describe()
+                             << "\n" << read_file(capture.stdout_path);
+    ::usleep(50 * 1000);
+  }
+  run.send_signal(SIGTERM);
+  const auto status = run.wait_for(/*seconds=*/30.0);
+  ASSERT_TRUE(status.has_value()) << "drain did not finish";
+  EXPECT_TRUE(status->exited(130)) << status->describe() << "\n"
+                                   << read_file(capture.stdout_path);
+
+  // The checkpoint holds the three finished cells; the wedged cell is still
+  // pending (an attempt killed by drain is not charged).
+  const Manifest drained = read_manifest_file(manifest.string());
+  EXPECT_EQ(drained.computed + drained.cached, 3u);
+  EXPECT_EQ(drained.quarantined, 0u);
+
+  // Resume without the poison: completes and reproduces the baseline
+  // fingerprint byte-for-byte.
+  const ExitStatus resumed = run_command(
+      {FEAST_FEASTC_PATH, "campaign", "resume", spec_path.string(), "--manifest",
+       manifest.string(), "--no-cache", "--isolate=process", "--workers", "2",
+       "--work-dir", (dir.path() / "work2").string(), "--quiet"},
+      capture, /*timeout_s=*/120.0);
+  ASSERT_TRUE(resumed.success()) << resumed.describe() << "\n"
+                                 << read_file(capture.stdout_path);
+  EXPECT_EQ(manifest_fingerprint(read_manifest_file(manifest.string())),
+            manifest_fingerprint(read_manifest_file(base_options.manifest_path)));
+}
+
+}  // namespace
+}  // namespace feast::supervise
