@@ -57,6 +57,8 @@ std::string ExitStatus::describe() const {
       if (name != nullptr) text += std::string(" ") + name;
       return text + (timed_out ? ")" : "");
     }
+    case Kind::Lost:
+      return timed_out ? "timeout (lost: waitpid failed)" : "lost: waitpid failed";
   }
   return "?";
 }
@@ -119,6 +121,7 @@ Subprocess Subprocess::spawn(const std::vector<std::string>& argv,
     // Child: async-signal-safe calls only (the parent may be multithreaded).
     ::close(err_pipe[0]);
     int exec_errno = 0;
+    if (options.new_process_group && ::setpgid(0, 0) != 0) exec_errno = errno;
     if (!options.stdout_path.empty()) {
       const int fd = open_redirect(options.stdout_path.c_str());
       if (fd < 0 || ::dup2(fd, STDOUT_FILENO) < 0) exec_errno = errno;
@@ -180,25 +183,39 @@ void Subprocess::reap_blocking() {
   do {
     r = ::waitpid(pid_, &wait_status, 0);
   } while (r < 0 && errno == EINTR);
+  const bool timed_out = status_.timed_out;
   if (r == pid_) {
-    const bool timed_out = status_.timed_out;
     status_ = decode_wait_status(wait_status);
-    status_.timed_out = timed_out;
+  } else if (r < 0) {
+    // ECHILD and friends: the child is unobservable (reaped elsewhere, or
+    // SIGCHLD is SIG_IGN in the hosting process).  Record a terminal
+    // status so callers never treat this slot as still running.
+    status_ = ExitStatus{};
+    status_.kind = ExitStatus::Kind::Lost;
   }
+  status_.timed_out = timed_out;
 }
 
 bool Subprocess::poll() {
   if (!spawned()) return false;
   if (status_.kind != ExitStatus::Kind::None) return true;
   int wait_status = 0;
-  const pid_t r = ::waitpid(pid_, &wait_status, WNOHANG);
+  pid_t r;
+  do {
+    r = ::waitpid(pid_, &wait_status, WNOHANG);
+  } while (r < 0 && errno == EINTR);
+  if (r == 0) return false;
+  const bool timed_out = status_.timed_out;
   if (r == pid_) {
-    const bool timed_out = status_.timed_out;
     status_ = decode_wait_status(wait_status);
-    status_.timed_out = timed_out;
-    return true;
+  } else {
+    // waitpid failed (see reap_blocking): synthesize a terminal status
+    // instead of reporting "still running" forever.
+    status_ = ExitStatus{};
+    status_.kind = ExitStatus::Kind::Lost;
   }
-  return false;
+  status_.timed_out = timed_out;
+  return true;
 }
 
 ExitStatus Subprocess::wait() {

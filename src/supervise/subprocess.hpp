@@ -14,8 +14,8 @@
 /// one-shot callers (the torture driver).
 ///
 /// Fork safety: the parent may own a running thread pool, so the child
-/// executes only async-signal-safe calls (dup2/setrlimit/execvp/_exit)
-/// between fork() and execvp().
+/// executes only async-signal-safe calls (dup2/setpgid/setrlimit/execvp/
+/// _exit) between fork() and execvp().
 #pragma once
 
 #include <sys/types.h>
@@ -33,6 +33,7 @@ struct ExitStatus {
     None,      ///< Not finished (or never spawned).
     Exited,    ///< WIFEXITED: normal termination, exit_code valid.
     Signaled,  ///< WIFSIGNALED: killed by a signal, term_signal valid.
+    Lost,      ///< waitpid failed (reaped elsewhere / SIGCHLD ignored).
   };
 
   Kind kind = Kind::None;
@@ -62,6 +63,10 @@ struct SubprocessOptions {
   /// RLIMIT_AS in bytes (0 = unlimited): allocation failures in the child
   /// surface as bad_alloc/SIGKILL instead of driving the host to OOM.
   std::uint64_t memory_limit_bytes = 0;
+  /// setpgid(0, 0) in the child: terminal-generated signals (Ctrl-C's
+  /// SIGINT) then reach only the parent, which owns the child's fate — the
+  /// supervisor uses this so a drain never looks like worker signal deaths.
+  bool new_process_group = false;
 };
 
 /// One spawned child process.  Movable, not copyable; the destructor of a

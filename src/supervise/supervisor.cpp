@@ -484,6 +484,13 @@ CampaignResult run_supervised_campaign(const CampaignSpec& spec,
                        " s deadline (" + status.describe() + ")" + suffix);
       return;
     }
+    if (status.kind == ExitStatus::Kind::Lost) {
+      // waitpid could not observe the worker (reaped elsewhere): an
+      // infrastructure failure, same bucket as a failed spawn.
+      fail_attempt(slot.cell, slot.attempt, ErrorKind::Io,
+                   "worker " + status.describe() + suffix);
+      return;
+    }
     if (status.kind == ExitStatus::Kind::Signaled) {
       // Under an address-space cap the kernel's reply to an unservable
       // allocation is SIGKILL; classify that as oom, anything else as the
@@ -569,6 +576,11 @@ CampaignResult run_supervised_campaign(const CampaignSpec& spec,
     opts.stdout_path = slot.log_path.string();
     opts.stderr_path = "+stdout";
     opts.memory_limit_bytes = sup.memory_limit_mb << 20;
+    // Own process group: a terminal Ctrl-C must reach only the supervisor
+    // (which drains), never the workers — otherwise every in-flight attempt
+    // harvests as a signal death and gets charged, breaking the "drain
+    // kills are uncharged" guarantee.
+    opts.new_process_group = true;
     try {
       slot.proc = Subprocess::spawn(argv, opts);
     } catch (const std::exception& e) {
@@ -603,16 +615,21 @@ CampaignResult run_supervised_campaign(const CampaignSpec& spec,
     }
 
     if (!draining) {
+      // Pull the due entries out first: a failed spawn re-queues onto
+      // `ready` via fail_attempt, and deque::push_back invalidates every
+      // iterator, so spawning while still walking `ready` is UB.
+      std::vector<ReadyEntry> due;
       for (auto it = ready.begin();
-           it != ready.end() && running.size() < static_cast<std::size_t>(sup.workers);) {
+           it != ready.end() &&
+           running.size() + due.size() < static_cast<std::size_t>(sup.workers);) {
         if (it->due <= now) {
-          const ReadyEntry entry = *it;
+          due.push_back(*it);
           it = ready.erase(it);
-          spawn_attempt(entry.cell, entry.attempt);
         } else {
           ++it;
         }
       }
+      for (const ReadyEntry& entry : due) spawn_attempt(entry.cell, entry.attempt);
     }
 
     for (auto it = running.begin(); it != running.end();) {

@@ -89,18 +89,37 @@ bool atomic_write_file(const std::filesystem::path& path, std::string_view conte
   return true;
 }
 
-FileLock::FileLock(const std::filesystem::path& target) {
-  const std::string lock_path = target.string() + ".lock";
-  fd_ = ::open(lock_path.c_str(), O_RDONLY | O_CREAT | O_CLOEXEC, 0644);
-  if (fd_ < 0) return;
-  if (::flock(fd_, LOCK_EX) != 0) {
-    ::close(fd_);
+FileLock::FileLock(const std::filesystem::path& target)
+    : lock_path_(target.string() + ".lock") {
+  // Bounded retries: each round can lose at most to a holder that unlinked
+  // the sidecar; exhausting them degrades to unlocked, like open/flock
+  // failure.
+  for (int round = 0; round < 16; ++round) {
+    fd_ = ::open(lock_path_.c_str(), O_RDONLY | O_CREAT | O_CLOEXEC, 0644);
+    if (fd_ < 0) return;
+    if (::flock(fd_, LOCK_EX) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      return;
+    }
+    // The previous holder may have unlinked the sidecar between our open()
+    // and the flock landing; a lock on that orphaned inode excludes nobody
+    // who reopens the path.  Keep it only if it is still the published file.
+    struct stat locked {}, published {};
+    if (::fstat(fd_, &locked) == 0 && ::stat(lock_path_.c_str(), &published) == 0 &&
+        locked.st_ino == published.st_ino && locked.st_dev == published.st_dev) {
+      return;
+    }
+    ::close(fd_);  // Releases our flock; reopen the live file and try again.
     fd_ = -1;
   }
 }
 
 FileLock::~FileLock() {
   if (fd_ >= 0) {
+    // Unlink while still holding the lock: contenders either block on this
+    // inode (and re-check identity after acquiring) or create a fresh file.
+    ::unlink(lock_path_.c_str());
     ::flock(fd_, LOCK_UN);
     ::close(fd_);
   }

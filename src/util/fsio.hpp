@@ -56,6 +56,12 @@ bool atomic_write_file(const std::filesystem::path& path, std::string_view conte
 /// Failure to acquire (unsupported filesystem) degrades to unlocked rather
 /// than failing the write: the rename is still atomic, the lock only
 /// removes needless duplicate work and tmp-file churn.
+///
+/// The sidecar is unlinked on release, so a shared directory does not
+/// accumulate one stray `.lock` per record.  Unlink-after-flock has a
+/// classic race (a contender blocked on the old inode would hold a lock
+/// nobody else can see), so acquisition re-checks that the locked fd is
+/// still the file published under the path and retries otherwise.
 class FileLock {
  public:
   explicit FileLock(const std::filesystem::path& target);
@@ -66,6 +72,7 @@ class FileLock {
   bool locked() const noexcept { return fd_ >= 0; }
 
  private:
+  std::string lock_path_;
   int fd_ = -1;
 };
 

@@ -123,9 +123,48 @@ TEST(Subprocess, WatchdogEscalatesSigtermIgnoringChildToSigkill) {
   EXPECT_EQ(status.term_signal, SIGKILL);
 }
 
+TEST(Subprocess, LostChildSurfacesAsTerminalStatus) {
+  // With SIGCHLD set to SIG_IGN the kernel auto-reaps children, so waitpid
+  // fails with ECHILD once the child exits.  poll() must then report a
+  // terminal Lost status — never "still running", or wait_for spins forever.
+  struct sigaction ignore {}, old {};
+  ignore.sa_handler = SIG_IGN;
+  sigemptyset(&ignore.sa_mask);
+  ::sigaction(SIGCHLD, &ignore, &old);
+  Subprocess child = Subprocess::spawn({"/bin/sh", "-c", "exit 0"});
+  const auto status = child.wait_for(/*seconds=*/10.0);
+  ::sigaction(SIGCHLD, &old, nullptr);
+  ASSERT_TRUE(status.has_value()) << "poll never reported the lost child";
+  EXPECT_EQ(status->kind, ExitStatus::Kind::Lost);
+  EXPECT_FALSE(status->success());
+  EXPECT_NE(status->describe().find("lost"), std::string::npos);
+}
+
+TEST(Subprocess, NewProcessGroupDetachesChildFromOurs) {
+  // setpgid happens between fork and exec, and spawn() only returns after
+  // the exec succeeded, so the group is observable immediately.
+  // `sleep` spawned directly (no shell): dash forks single commands, and
+  // the orphaned grandchild would hold our stdout pipe open long after the
+  // kill below, stalling ctest.
+  SubprocessOptions options;
+  options.new_process_group = true;
+  Subprocess child = Subprocess::spawn({"sleep", "30"}, options);
+  ASSERT_TRUE(child.spawned());
+  EXPECT_EQ(::getpgid(child.pid()), child.pid());
+  EXPECT_NE(::getpgid(child.pid()), ::getpgrp());
+  child.kill_and_reap(/*term_grace_s=*/1.0);
+
+  Subprocess inherited = Subprocess::spawn({"sleep", "30"});
+  ASSERT_TRUE(inherited.spawned());
+  EXPECT_EQ(::getpgid(inherited.pid()), ::getpgrp());
+  inherited.kill_and_reap(/*term_grace_s=*/1.0);
+}
+
 TEST(Subprocess, RunCommandEnforcesDeadline) {
-  const ExitStatus status =
-      run_command({"/bin/sh", "-c", "sleep 30"}, {}, /*timeout_s=*/0.3);
+  // Direct argv, no shell: dash forks single commands, so killing the shell
+  // would orphan the sleep, which then holds the test's stdout pipe open
+  // for the full 30 s and stalls ctest's output collection.
+  const ExitStatus status = run_command({"sleep", "30"}, {}, /*timeout_s=*/0.3);
   EXPECT_TRUE(status.timed_out);
   EXPECT_FALSE(status.success());
 }
@@ -232,6 +271,25 @@ TEST(FsIo, AtomicWriteFilePublishesDurably) {
   EXPECT_FALSE(error.empty());
 }
 
+TEST(FsIo, FileLockRemovesSidecarOnRelease) {
+  ScratchDir dir("feast-fsio-lock");
+  const fs::path target = dir.path() / "record";
+  const fs::path sidecar = target.string() + ".lock";
+  {
+    FileLock lock(target);
+    EXPECT_TRUE(lock.locked());
+    EXPECT_TRUE(fs::exists(sidecar));
+  }
+  EXPECT_FALSE(fs::exists(sidecar));
+  {
+    // Re-acquirable after cleanup (the constructor's identity re-check must
+    // accept the freshly created sidecar first try).
+    FileLock lock(target);
+    EXPECT_TRUE(lock.locked());
+  }
+  EXPECT_FALSE(fs::exists(sidecar));
+}
+
 // ------------------------------------------------- supervised campaigns
 
 SupervisorOptions fast_supervisor(const fs::path& spec_path) {
@@ -303,6 +361,34 @@ TEST(Supervise, QuarantinesPoisonCellAndCompletesDegraded) {
   ASSERT_TRUE(baseline.ok());
   EXPECT_EQ(manifest_fingerprint(read_manifest_file(options.manifest_path)),
             manifest_fingerprint(read_manifest_file(base_options.manifest_path)));
+}
+
+TEST(Supervise, SpawnFailuresRetryThenQuarantineAsIo) {
+  // Every spawn throws (nonexistent worker binary), so fail_attempt runs
+  // *inside* the dispatch pass and re-queues onto the ready deque — the
+  // exact path that used to spawn from invalidated deque iterators.  The
+  // run must charge each attempt, quarantine every cell as `io`, and
+  // terminate instead of crashing or spinning.
+  ScratchDir dir("feast-supervise-spawnfail");
+  const fs::path spec_path = write_spec(dir.path(), /*samples=*/2);
+  const CampaignSpec spec = CampaignSpec::parse_file(spec_path.string());
+
+  CampaignOptions options;
+  options.manifest_path = (dir.path() / "m.json").string();
+
+  SupervisorOptions sup = fast_supervisor(spec_path);
+  sup.work_dir = (dir.path() / "work").string();
+  sup.feastc_path = "/nonexistent/feast-no-such-binary";
+
+  const CampaignResult result = run_supervised_campaign(spec, options, sup);
+  EXPECT_TRUE(result.degraded());
+  EXPECT_EQ(result.quarantined, result.cells.size());
+  for (const CellOutcome& cell : result.cells) {
+    EXPECT_EQ(cell.state, CellState::Quarantined);
+    EXPECT_EQ(cell.attempts, sup.max_attempts);
+    EXPECT_EQ(cell.error_kind, "io");
+    EXPECT_NE(cell.error.find("spawn failed"), std::string::npos);
+  }
 }
 
 TEST(Supervise, WatchdogKillsHangingCellAndTaxonomizesTimeout) {
