@@ -1,0 +1,203 @@
+/// \file perf_serve.cpp
+/// \brief Throughput/latency gate for the serve daemon.
+///
+/// Starts an in-process daemon on an ephemeral loopback port, then hammers
+/// it from concurrent client threads with /v1/cell requests cycling over a
+/// small campaign's cells.  The first pass over each cell costs a real
+/// worker subprocess; every later request rides the dedup/memo path — so
+/// the run measures both the dispatch pipeline and the reactor's
+/// request-handling ceiling, and reports the dedup hit rate that makes the
+/// difference.  Emits BENCH_serve.json (cells/sec, p50/p95 latency, dedup
+/// hit rate) for the CI artifact shelf.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace feast;
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+std::string spec_text(int sizes) {
+  std::string text =
+      "name = perf-serve\n"
+      "samples = 3\n"
+      "seed = 4242\n"
+      "strategies = pure, ud\n"
+      "sizes = ";
+  for (int i = 0; i < sizes; ++i) {
+    if (i != 0) text += ", ";
+    text += std::to_string(2 + 2 * i);
+  }
+  text += "\n";
+  return text;
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int clients = 4;
+  int requests = 64;  // Per client.
+  int workers = 2;
+  int sizes = 2;  // Cells = 2 strategies × sizes.
+  std::string out_path = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--clients" && i + 1 < argc) {
+      clients = std::atoi(argv[++i]);
+    } else if (arg == "--requests" && i + 1 < argc) {
+      requests = std::atoi(argv[++i]);
+    } else if (arg == "--workers" && i + 1 < argc) {
+      workers = std::atoi(argv[++i]);
+    } else if (arg == "--sizes" && i + 1 < argc) {
+      sizes = std::atoi(argv[++i]);
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: perf_serve [--clients N] [--requests N]"
+                   " [--workers N] [--sizes N] [--out FILE]\n";
+      return 2;
+    }
+  }
+  if (clients < 1 || requests < 1 || workers < 1 || sizes < 1) {
+    std::cerr << "perf_serve: all counts must be >= 1\n";
+    return 2;
+  }
+
+  const fs::path scratch =
+      fs::temp_directory_path() /
+      ("feast-perf-serve-" + std::to_string(::getpid()));
+  std::error_code ec;
+  fs::remove_all(scratch, ec);
+
+  serve::ServeOptions options;
+  options.work_dir = (scratch / "work").string();
+  options.cache_dir = (scratch / "cache").string();
+  options.feastc_path = FEAST_FEASTC_PATH;
+  options.workers = workers;
+  options.max_queue = 1024;
+  options.max_connections = 1024;
+  serve::Server server(std::move(options));
+  server.start();
+  std::thread reactor([&server] { server.run(); });
+  const std::uint16_t port = server.port();
+
+  const std::string spec = spec_text(sizes);
+  const int cells = 2 * sizes;
+  std::mutex merge_mu;
+  std::vector<double> latencies_ms;
+  std::uint64_t failures = 0;
+
+  const auto started = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<double> local;
+      local.reserve(static_cast<std::size_t>(requests));
+      std::uint64_t local_failures = 0;
+      const std::string client_name = "bench-" + std::to_string(c);
+      for (int r = 0; r < requests; ++r) {
+        const std::string body = "{\"spec\": \"" + json_escape(spec) +
+                                 "\", \"cell\": " +
+                                 std::to_string((c + r) % cells) + "}";
+        const auto t0 = Clock::now();
+        const serve::HttpReply reply = serve::http_request(
+            "127.0.0.1", port, "POST", "/v1/cell", body, client_name, 300.0);
+        const auto t1 = Clock::now();
+        if (reply.ok() && reply.status == 200) {
+          local.push_back(
+              std::chrono::duration<double, std::milli>(t1 - t0).count());
+        } else {
+          ++local_failures;
+        }
+      }
+      std::lock_guard<std::mutex> lock(merge_mu);
+      latencies_ms.insert(latencies_ms.end(), local.begin(), local.end());
+      failures += local_failures;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - started).count();
+
+  const serve::ServeStatsSnapshot stats = server.stats();
+  server.request_stop();
+  reactor.join();
+  fs::remove_all(scratch, ec);
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const std::uint64_t ok = latencies_ms.size();
+  const double cells_per_sec =
+      wall_s > 0.0 ? static_cast<double>(ok) / wall_s : 0.0;
+  const double p50 = percentile(latencies_ms, 0.50);
+  const double p95 = percentile(latencies_ms, 0.95);
+  const double p99 = percentile(latencies_ms, 0.99);
+  const double dedup_rate =
+      stats.requests > 0
+          ? static_cast<double>(stats.dedup_hits) /
+                static_cast<double>(stats.requests)
+          : 0.0;
+
+  char buffer[1024];
+  std::snprintf(
+      buffer, sizeof buffer,
+      "{\n"
+      "  \"bench\": \"serve\",\n"
+      "  \"clients\": %d,\n"
+      "  \"requests_per_client\": %d,\n"
+      "  \"cells\": %d,\n"
+      "  \"workers\": %d,\n"
+      "  \"ok\": %llu,\n"
+      "  \"failures\": %llu,\n"
+      "  \"wall_s\": %.6f,\n"
+      "  \"cells_per_sec\": %.3f,\n"
+      "  \"p50_ms\": %.4f,\n"
+      "  \"p95_ms\": %.4f,\n"
+      "  \"p99_ms\": %.4f,\n"
+      "  \"dispatched\": %llu,\n"
+      "  \"dedup_hits\": %llu,\n"
+      "  \"cache_hits\": %llu,\n"
+      "  \"dedup_hit_rate\": %.4f\n"
+      "}\n",
+      clients, requests, cells, workers,
+      static_cast<unsigned long long>(ok),
+      static_cast<unsigned long long>(failures), wall_s, cells_per_sec, p50,
+      p95, p99, static_cast<unsigned long long>(stats.dispatched),
+      static_cast<unsigned long long>(stats.dedup_hits),
+      static_cast<unsigned long long>(stats.cache_hits), dedup_rate);
+
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  out << buffer;
+  out.close();
+  std::cout << buffer;
+
+  if (failures != 0) {
+    std::cerr << "FAIL: " << failures << " requests did not complete\n";
+    return 1;
+  }
+  return 0;
+}

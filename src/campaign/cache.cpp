@@ -71,19 +71,33 @@ std::string render_record_body(const std::string& canonical_key,
 /// Splits \p data into body + checksum and verifies both.  The sum line must
 /// be the final line of the file: bytes appended after it make the last line
 /// not a sum line, bytes removed break the checksum, so any truncation or
-/// trailing garbage fails here.
-bool verify_record_checksum(const std::string& data, std::string& body) {
-  if (data.size() < 2 || data.back() != '\n') return false;
+/// trailing garbage fails here.  On failure \p why distinguishes a missing
+/// tail (no newline-terminated `sum` line at the end: truncation) from a
+/// complete-but-wrong record (bad hex, checksum mismatch: corruption).
+bool verify_record_checksum(const std::string& data, std::string& body,
+                            RecordError& why) {
+  if (data.size() < 2 || data.back() != '\n') {
+    why = RecordError::Truncated;
+    return false;
+  }
   const std::size_t line_start = data.rfind('\n', data.size() - 2);
-  if (line_start == std::string::npos) return false;
   const std::string last =
-      data.substr(line_start + 1, data.size() - line_start - 2);
-  if (last.rfind("sum ", 0) != 0) return false;
+      line_start == std::string::npos
+          ? data.substr(0, data.size() - 1)
+          : data.substr(line_start + 1, data.size() - line_start - 2);
+  if (last.rfind("sum ", 0) != 0) {
+    // The bytes end mid-body: everything before the sum line is a valid
+    // prefix of a record, so the tail went missing in delivery.
+    why = RecordError::Truncated;
+    return false;
+  }
+  why = RecordError::Corrupt;
   const std::string hex = last.substr(4);
   if (hex.size() != 16) return false;
   char* end = nullptr;
   const std::uint64_t stored = std::strtoull(hex.c_str(), &end, 16);
   if (end != hex.c_str() + hex.size()) return false;
+  if (line_start == std::string::npos) return false;  // Sum line, no body.
   body = data.substr(0, line_start + 1);
   return fnv1a64(body) == stored;
 }
@@ -112,16 +126,32 @@ void write_cell_record(std::ostream& out, const std::string& canonical_key,
   out << body << "sum " << hash_hex(fnv1a64(body)) << '\n';
 }
 
+const char* to_string(RecordError error) noexcept {
+  switch (error) {
+    case RecordError::None: return "";
+    case RecordError::Truncated: return "truncated";
+    case RecordError::Corrupt: return "corrupt";
+  }
+  return "?";
+}
+
 std::optional<std::string> read_cell_record(std::istream& in, CellStats& out) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return read_cell_record(buffer.str(), out);
 }
 
-std::optional<std::string> read_cell_record(const std::string& data,
-                                            CellStats& out) {
+std::optional<std::string> read_cell_record(const std::string& data, CellStats& out,
+                                            RecordError* error) {
+  RecordError why = RecordError::None;
   std::string body;
-  if (!verify_record_checksum(data, body)) return std::nullopt;
+  if (!verify_record_checksum(data, body, why)) {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  }
+  // Past the checksum the bytes are provably the ones the writer hashed;
+  // any parse failure below means a complete-but-incompatible record.
+  if (error != nullptr) *error = RecordError::Corrupt;
 
   std::istringstream in(body);
   std::string line;
@@ -136,6 +166,7 @@ std::optional<std::string> read_cell_record(const std::string& data,
   std::string label;
   if (!(in >> label) || label != "infeasible_runs") return std::nullopt;
   if (!(in >> stats.infeasible_runs)) return std::nullopt;
+  if (error != nullptr) *error = RecordError::None;
   out = stats;
   return key;
 }

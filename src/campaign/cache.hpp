@@ -40,6 +40,16 @@ std::string hash_hex(std::uint64_t hash);
 void write_cell_record(std::ostream& out, const std::string& canonical_key,
                        const CellStats& stats);
 
+/// Why a record was rejected.  `Truncated` means the tail is missing —
+/// the bytes end before the final `sum` line is complete (short read,
+/// fragmented delivery, torn write); `Corrupt` means the record is
+/// structurally complete but wrong — bad magic, a failed checksum, or
+/// unparseable fields.  Remote transports need the distinction: truncation
+/// points at delivery, corruption at the bytes themselves.
+enum class RecordError : std::uint8_t { None, Truncated, Corrupt };
+
+const char* to_string(RecordError error) noexcept;
+
 /// Reads a record written by write_cell_record.  Returns the canonical key
 /// it was stored under, or std::nullopt on malformed/incompatible input —
 /// including any checksum mismatch; never throws on corrupt bytes.
@@ -47,7 +57,10 @@ std::optional<std::string> read_cell_record(std::istream& in, CellStats& out);
 
 /// Same, over an in-memory record (the istream overload reads the whole
 /// stream and delegates here; corruption tests feed mutated bytes directly).
-std::optional<std::string> read_cell_record(const std::string& data, CellStats& out);
+/// \p error (when non-null) reports the truncated-vs-corrupt taxonomy on
+/// rejection (RecordError::None on success).
+std::optional<std::string> read_cell_record(const std::string& data, CellStats& out,
+                                            RecordError* error = nullptr);
 
 /// File-backed CellCache.  Thread-safe: distinct keys touch distinct files,
 /// identical keys race only between atomic renames of identical content.

@@ -16,6 +16,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "campaign/cache.hpp"
 #include "campaign/pool.hpp"
 #include "check/fault.hpp"
 #include "util/fsio.hpp"
@@ -93,29 +94,8 @@ std::pair<int, int> parse_range_field(const std::string& what, const std::string
 }
 
 // ------------------------------------------------------------ JSON writing
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
-          out += buffer;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+// String escaping is feast::json_escape (util/json.hpp), shared with the
+// serve daemon and `feastc submit`.
 
 void write_summary_json(std::ostream& out, const char* name, const StatSummary& s) {
   out << '"' << name << "\": [" << s.count << ", " << json_number(s.mean) << ", "
@@ -865,6 +845,48 @@ void print_manifest_status(std::ostream& out, const Manifest& manifest) {
           << cell.n_procs << "): " << cell.error << "\n";
     }
   }
+}
+
+void write_manifest_status_json(std::ostream& out, const Manifest& manifest) {
+  std::size_t pending = 0;
+  for (const CellOutcome& cell : manifest.cells) {
+    if (cell.state == CellState::Pending) ++pending;
+  }
+  out << "{\n";
+  out << "  \"name\": \"" << json_escape(manifest.name) << "\",\n";
+  out << "  \"spec_hash\": \"" << manifest.spec_hash_hex << "\",\n";
+  out << "  \"samples\": " << manifest.samples << ",\n";
+  // The fingerprint hash is the differential identity scripts compare: two
+  // manifests agree here iff manifest_fingerprint() is byte-identical.
+  out << "  \"fingerprint\": \"" << hash_hex(fnv1a64(manifest_fingerprint(manifest)))
+      << "\",\n";
+  out << "  \"totals\": {\"cells\": " << manifest.cells.size()
+      << ", \"computed\": " << manifest.computed << ", \"cached\": " << manifest.cached
+      << ", \"failed\": " << manifest.failed
+      << ", \"quarantined\": " << manifest.quarantined << ", \"pending\": " << pending
+      << ", \"wall_ms\": " << json_number(manifest.wall_ms) << "},\n";
+  out << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < manifest.cells.size(); ++i) {
+    const CellOutcome& cell = manifest.cells[i];
+    out << "    {\"index\": " << i << ", \"strategy\": \""
+        << json_escape(cell.strategy_label) << "\", \"procs\": " << cell.n_procs
+        << ", \"state\": \"" << to_string(cell.state)
+        << "\", \"attempts\": " << cell.attempts << ", \"error_kind\": \""
+        << json_escape(cell.error_kind) << "\", \"error\": \""
+        << json_escape(cell.error)
+        << "\", \"wall_ms\": " << json_number(cell.wall_ms) << ",\n     ";
+    write_summary_json(out, "max_lateness", cell.stats.max_lateness);
+    out << ", ";
+    write_summary_json(out, "end_to_end", cell.stats.end_to_end);
+    out << ",\n     ";
+    write_summary_json(out, "makespan", cell.stats.makespan);
+    out << ", ";
+    write_summary_json(out, "min_laxity", cell.stats.min_laxity);
+    out << ",\n     \"infeasible_runs\": " << cell.stats.infeasible_runs << "}";
+    out << (i + 1 < manifest.cells.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n";
+  out << "}\n";
 }
 
 }  // namespace feast

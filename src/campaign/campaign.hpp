@@ -196,4 +196,11 @@ std::string manifest_fingerprint(const Manifest& manifest);
 /// Human-readable status table of a manifest.
 void print_manifest_status(std::ostream& out, const Manifest& manifest);
 
+/// Machine-readable status of a manifest: one JSON object with name /
+/// spec_hash / samples / totals (including pending) / the 16-hex-digit
+/// FNV-1a of manifest_fingerprint() / per-cell rows.  Shared between
+/// `feastc campaign status --json` and the serve daemon's `/v1/status`,
+/// so scripts see one schema regardless of which side they ask.
+void write_manifest_status_json(std::ostream& out, const Manifest& manifest);
+
 }  // namespace feast

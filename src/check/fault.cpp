@@ -22,6 +22,8 @@ constexpr SiteName kSiteNames[] = {
     {FaultSite::ManifestWrite, "manifest-write"},
     {FaultSite::SuperviseSpawn, "supervise-spawn"},
     {FaultSite::SuperviseHeartbeat, "supervise-heartbeat"},
+    {FaultSite::ServeClientDisconnect, "serve-client-disconnect"},
+    {FaultSite::ServeSlowLoris, "serve-slow-loris"},
 };
 static_assert(std::size(kSiteNames) == kFaultSiteCount);
 

@@ -19,7 +19,8 @@
 ///   plan   := rule (',' rule)*
 ///   rule   := site ':' nth ':' action      // nth is 1-based
 ///   site   := pool-task | cache-lookup | cache-store | manifest-write |
-///             supervise-spawn | supervise-heartbeat
+///             supervise-spawn | supervise-heartbeat |
+///             serve-client-disconnect | serve-slow-loris
 ///   action := throw | die | truncate | bad-magic | short-read |
 ///             fail-write | partial-write
 ///
@@ -60,8 +61,17 @@ enum class FaultSite : std::uint8_t {
                        ///< attempt.  Actions: Throw (the attempt's result
                        ///< is discarded as if the watchdog had killed it →
                        ///< retry), Die (supervisor crashes mid-harvest).
+  ServeClientDisconnect,  ///< Serve daemon, about to write a reply.  The
+                          ///< armed occurrence simulates the client having
+                          ///< hung up: the connection is torn down instead
+                          ///< of replied to (any action; the site only
+                          ///< needs the trigger).
+  ServeSlowLoris,  ///< Serve daemon, connection accepted.  The armed
+                   ///< occurrence marks the connection as a slow-loris
+                   ///< client: its header deadline is treated as already
+                   ///< expired and the request is rejected with 408.
 };
-inline constexpr std::size_t kFaultSiteCount = 6;
+inline constexpr std::size_t kFaultSiteCount = 8;
 
 /// What happens when an armed rule fires.
 enum class FaultAction : std::uint8_t {

@@ -1,6 +1,7 @@
 #include "cli/cli_app.hpp"
 
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -20,6 +21,8 @@
 #include "core/distribution_validate.hpp"
 #include "core/metrics.hpp"
 #include "core/slicing.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "sim/runtime_sim.hpp"
 #include "supervise/supervisor.hpp"
 #include "sched/diffsched.hpp"
@@ -35,6 +38,7 @@
 #include "taskgraph/shapes.hpp"
 #include "taskgraph/validate.hpp"
 #include "util/csv.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
@@ -73,6 +77,8 @@ commands:
   diffsched   differential test of the optimized vs reference scheduler
   torture     crash-resume torture: kill campaigns at injected faults, resume,
               assert results identical to an uninterrupted run
+  serve       long-lived evaluation daemon (HTTP/1.1 + JSON over TCP)
+  submit      send a campaign or cell to a running serve daemon
   dot         Graphviz export
 
 common options:
@@ -117,6 +123,7 @@ campaign subcommands (spec format and manifest schema: docs/CAMPAIGN.md):
   campaign run <spec>     execute the campaign described by the spec file
   campaign resume <spec>  like run, but restore finished cells from the manifest
   campaign status <manifest>   print the state recorded in a manifest
+  --json                  machine-readable status (same schema as /v1/status)
   --manifest FILE         checkpoint manifest            (default <name>.manifest.json)
   --cache-dir DIR         content-addressed result cache (default .feast-cache)
   --no-cache              disable the result cache
@@ -157,6 +164,34 @@ diffsched options (trace contract: docs/SCHEDULER.md):
                           policy combinations on both cores (default 500)
   --seed S                root RNG seed                  (default 1)
   --quick                 smaller graphs/machines (smoke run)
+
+serve options (protocol and endpoints: docs/SERVE.md; exit 130 = drained on
+SIGINT/SIGTERM with resumable campaign checkpoints):
+  --host H                bind address                   (default 127.0.0.1)
+  --port P                TCP port (0 = ephemeral, printed on startup)
+  --workers K             worker subprocesses            (default 2)
+  --max-queue N           queued cells before 429        (default 64)
+  --max-connections N     open sockets before 503        (default 128)
+  --max-attempts N        worker attempts per cell       (default 3)
+  --cell-timeout S        watchdog deadline per attempt  (default 0 = off)
+  --term-grace S          SIGTERM -> SIGKILL escalation  (default 2)
+  --drain-grace S         drain wait for in-flight work  (default 10)
+  --header-timeout S      slow-loris request deadline    (default 5)
+  --idle-timeout S        keep-alive idle close          (default 60)
+  --mem-limit MB          RLIMIT_AS per worker           (default 0 = off)
+  --threads N             --threads given to each worker (default 1)
+  --work-dir DIR          specs/manifests/shard scratch  (default .feast-serve)
+  --cache-dir DIR         content-addressed result cache (default .feast-cache)
+  --no-cache              disable the result cache
+  --max-body BYTES        request body cap               (default 1048576)
+  --quiet                 suppress progress lines
+
+submit options:
+  submit <spec> [--cell N]   submit a campaign spec file (or one cell of it)
+  --server HOST:PORT      daemon address                 (default 127.0.0.1:7433)
+  --client NAME           fair-queue identity            (default $USER or anon)
+  --status                fetch /v1/status instead of submitting
+  --timeout S             request deadline               (default 600)
 
 torture options (protocol: docs/TESTING.md):
   --trials N              kill/resume/compare cycles     (default 5)
@@ -679,13 +714,17 @@ int cmd_campaign(Args& args, std::ostream& out) {
   if (verb == "exec-cell") return cmd_campaign_exec_cell(args);
   if (verb == "status") {
     std::optional<std::string> manifest_path;
+    bool json = false;
     while (!args.done()) {
       const std::string flag = args.pop();
-      if (!manifest_path && (flag.empty() || flag[0] != '-')) manifest_path = flag;
+      if (flag == "--json") json = true;
+      else if (!manifest_path && (flag.empty() || flag[0] != '-')) manifest_path = flag;
       else throw UsageError("campaign status: unknown option '" + flag + "'");
     }
     if (!manifest_path) throw UsageError("campaign status: missing manifest argument");
-    print_manifest_status(out, read_manifest_file(*manifest_path));
+    const Manifest manifest = read_manifest_file(*manifest_path);
+    if (json) write_manifest_status_json(out, manifest);
+    else print_manifest_status(out, manifest);
     return kOk;
   }
   if (verb != "run" && verb != "resume") {
@@ -837,6 +876,161 @@ int cmd_campaign(Args& args, std::ostream& out) {
     return kDegraded;
   }
   return result.ok() ? kOk : kFailure;
+}
+
+// -------------------------------------------------------------------- serve
+
+int cmd_serve(Args& args, std::ostream& out) {
+  serve::ServeOptions options;
+  options.work_dir = ".feast-serve";
+  bool quiet = false;
+
+  while (!args.done()) {
+    const std::string flag = args.pop();
+    if (flag == "--host") {
+      options.host = args.value_for(flag);
+    } else if (flag == "--port") {
+      const long long n = parse_int_arg(flag, args.value_for(flag));
+      if (n < 0 || n > 65535) throw UsageError("--port wants 0..65535");
+      options.port = static_cast<std::uint16_t>(n);
+    } else if (flag == "--workers") {
+      const long long n = parse_int_arg(flag, args.value_for(flag));
+      if (n < 1) throw UsageError("--workers must be positive");
+      options.workers = static_cast<int>(n);
+    } else if (flag == "--max-queue") {
+      const long long n = parse_int_arg(flag, args.value_for(flag));
+      if (n < 1) throw UsageError("--max-queue must be positive");
+      options.max_queue = static_cast<int>(n);
+    } else if (flag == "--max-connections") {
+      const long long n = parse_int_arg(flag, args.value_for(flag));
+      if (n < 1) throw UsageError("--max-connections must be positive");
+      options.max_connections = static_cast<int>(n);
+    } else if (flag == "--max-attempts") {
+      const long long n = parse_int_arg(flag, args.value_for(flag));
+      if (n < 1) throw UsageError("--max-attempts must be positive");
+      options.max_attempts = static_cast<int>(n);
+    } else if (flag == "--cell-timeout") {
+      options.cell_timeout_s = parse_double_arg(flag, args.value_for(flag));
+      if (options.cell_timeout_s < 0.0) throw UsageError("--cell-timeout must be >= 0");
+    } else if (flag == "--term-grace") {
+      options.term_grace_s = parse_double_arg(flag, args.value_for(flag));
+      if (options.term_grace_s < 0.0) throw UsageError("--term-grace must be >= 0");
+    } else if (flag == "--drain-grace") {
+      options.drain_grace_s = parse_double_arg(flag, args.value_for(flag));
+      if (options.drain_grace_s < 0.0) throw UsageError("--drain-grace must be >= 0");
+    } else if (flag == "--header-timeout") {
+      options.header_timeout_s = parse_double_arg(flag, args.value_for(flag));
+      if (options.header_timeout_s <= 0.0) throw UsageError("--header-timeout must be > 0");
+    } else if (flag == "--idle-timeout") {
+      options.idle_timeout_s = parse_double_arg(flag, args.value_for(flag));
+      if (options.idle_timeout_s <= 0.0) throw UsageError("--idle-timeout must be > 0");
+    } else if (flag == "--mem-limit") {
+      const long long n = parse_int_arg(flag, args.value_for(flag));
+      if (n < 0) throw UsageError("--mem-limit must be non-negative");
+      options.memory_limit_mb = static_cast<std::uint64_t>(n);
+    } else if (flag == "--threads") {
+      const long long n = parse_int_arg(flag, args.value_for(flag));
+      if (n < 1) throw UsageError("--threads must be positive");
+      options.worker_threads = static_cast<unsigned>(n);
+    } else if (flag == "--work-dir") {
+      options.work_dir = args.value_for(flag);
+    } else if (flag == "--cache-dir") {
+      options.cache_dir = args.value_for(flag);
+    } else if (flag == "--no-cache") {
+      options.no_cache = true;
+    } else if (flag == "--max-body") {
+      const long long n = parse_int_arg(flag, args.value_for(flag));
+      if (n < 1) throw UsageError("--max-body must be positive");
+      options.http.max_body_bytes = static_cast<std::size_t>(n);
+    } else if (flag == "--quiet") {
+      quiet = true;
+    } else {
+      throw UsageError("serve: unknown option '" + flag + "'");
+    }
+  }
+  if (!quiet) options.log = &out;
+
+  serve::Server server(std::move(options));
+  server.start();
+  // Scripts scrape this line to discover an ephemeral (--port 0) port, so it
+  // is printed unconditionally and flushed before the reactor starts.
+  out << "feastc serve: listening on " << server.port() << std::endl;
+  return server.run();
+}
+
+// ------------------------------------------------------------------- submit
+
+int cmd_submit(Args& args, std::istream& in, std::ostream& out) {
+  std::string server_addr = "127.0.0.1:7433";
+  std::string client;
+  std::optional<std::string> spec_path;
+  std::optional<long long> cell;
+  bool status_only = false;
+  double timeout_s = 600.0;
+
+  while (!args.done()) {
+    const std::string flag = args.pop();
+    if (flag == "--server") {
+      server_addr = args.value_for(flag);
+    } else if (flag == "--client") {
+      client = args.value_for(flag);
+    } else if (flag == "--cell") {
+      cell = parse_int_arg(flag, args.value_for(flag));
+      if (*cell < 0) throw UsageError("--cell must be non-negative");
+    } else if (flag == "--status") {
+      status_only = true;
+    } else if (flag == "--timeout") {
+      timeout_s = parse_double_arg(flag, args.value_for(flag));
+      if (timeout_s <= 0.0) throw UsageError("--timeout must be > 0");
+    } else if (!spec_path && (flag.empty() || flag[0] != '-')) {
+      spec_path = flag;
+    } else if (flag == "-" && !spec_path) {
+      spec_path = flag;
+    } else {
+      throw UsageError("submit: unknown option '" + flag + "'");
+    }
+  }
+  std::string host;
+  std::uint16_t port = 0;
+  if (!serve::parse_host_port(server_addr, host, port)) {
+    throw UsageError("--server wants HOST:PORT, got '" + server_addr + "'");
+  }
+  if (client.empty()) {
+    const char* user = std::getenv("USER");
+    client = (user != nullptr && *user != '\0') ? user : "anon";
+  }
+
+  serve::HttpReply reply;
+  if (status_only) {
+    reply = serve::http_request(host, port, "GET", "/v1/status", "", client,
+                                timeout_s);
+  } else {
+    if (!spec_path) throw UsageError("submit: missing spec argument");
+    std::string spec_text;
+    if (*spec_path == "-") {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      spec_text = buffer.str();
+    } else {
+      std::ifstream file(*spec_path);
+      if (!file) throw std::runtime_error("cannot open '" + *spec_path + "'");
+      std::ostringstream buffer;
+      buffer << file.rdbuf();
+      spec_text = buffer.str();
+    }
+    std::string body = "{\"spec\": \"" + json_escape(spec_text) + "\"";
+    if (cell) body += ", \"cell\": " + std::to_string(*cell);
+    body += "}";
+    reply = serve::http_request(host, port, "POST",
+                                cell ? "/v1/cell" : "/v1/campaign", body, client,
+                                timeout_s);
+  }
+  if (!reply.ok()) {
+    throw std::runtime_error("submit: " + server_addr + ": " + reply.error);
+  }
+  out << reply.body;
+  if (!reply.body.empty() && reply.body.back() != '\n') out << "\n";
+  return reply.status == 200 ? kOk : kFailure;
 }
 
 // ------------------------------------------------------------------ profile
@@ -1032,6 +1226,8 @@ int run_cli(const std::vector<std::string>& args, std::istream& in, std::ostream
     if (command == "profile") return cmd_profile(rest, out);
     if (command == "diffsched") return cmd_diffsched(rest, out);
     if (command == "torture") return cmd_torture(rest, out);
+    if (command == "serve") return cmd_serve(rest, out);
+    if (command == "submit") return cmd_submit(rest, in, out);
     if (command == "dot") return cmd_dot(rest, in, out);
     throw UsageError("unknown command '" + command + "'");
   } catch (const UsageError& e) {

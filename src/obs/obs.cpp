@@ -22,6 +22,8 @@ const char* to_string(Span span) noexcept {
     case Span::CacheStore: return "cache/store";
     case Span::PoolTask: return "pool/task";
     case Span::SuperviseAttempt: return "supervise/attempt";
+    case Span::ServeRequest: return "serve/request";
+    case Span::ServeDispatch: return "serve/dispatch";
   }
   return "?";
 }
@@ -41,6 +43,15 @@ const char* to_string(Counter counter) noexcept {
     case Counter::SuperviseRetry: return "supervise.retry";
     case Counter::SuperviseKill: return "supervise.kill";
     case Counter::SuperviseQuarantine: return "supervise.quarantine";
+    case Counter::ShardCorrupt: return "shard.corrupt";
+    case Counter::ShardTruncated: return "shard.truncated";
+    case Counter::ServeAccept: return "serve.accept";
+    case Counter::ServeParseError: return "serve.parse_error";
+    case Counter::ServeShed: return "serve.shed";
+    case Counter::ServeDedup: return "serve.dedup";
+    case Counter::ServeDispatch: return "serve.dispatch";
+    case Counter::ServeReply: return "serve.reply";
+    case Counter::ServeDisconnect: return "serve.disconnect";
   }
   return "?";
 }

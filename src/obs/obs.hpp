@@ -50,8 +50,10 @@ enum class Span : std::uint8_t {
   CacheStore,   ///< Cell-cache store.
   PoolTask,     ///< One work-stealing-pool task execution.
   SuperviseAttempt,  ///< One worker-subprocess attempt (spawn → harvest).
+  ServeRequest,      ///< Serve: one HTTP request, accept-parse → reply.
+  ServeDispatch,     ///< Serve: one cell job, enqueue → terminal state.
 };
-inline constexpr std::size_t kSpanCount = 12;
+inline constexpr std::size_t kSpanCount = 14;
 
 /// Named event counters for decisions that have no duration.
 enum class Counter : std::uint8_t {
@@ -68,8 +70,17 @@ enum class Counter : std::uint8_t {
   SuperviseRetry,       ///< Supervisor: failed attempt requeued (backoff).
   SuperviseKill,        ///< Supervisor: watchdog SIGTERM/SIGKILL issued.
   SuperviseQuarantine,  ///< Supervisor: cell quarantined (retry budget spent).
+  ShardCorrupt,    ///< Shard result rejected: checksum/field corruption.
+  ShardTruncated,  ///< Shard result rejected: short read / missing tail.
+  ServeAccept,     ///< Serve: TCP connection accepted.
+  ServeParseError, ///< Serve: request rejected by the HTTP/JSON parser.
+  ServeShed,       ///< Serve: admission control returned 429.
+  ServeDedup,      ///< Serve: request coalesced onto an in-flight cell.
+  ServeDispatch,   ///< Serve: cell handed to a leased worker.
+  ServeReply,      ///< Serve: response written back to a client.
+  ServeDisconnect, ///< Serve: client went away before its reply.
 };
-inline constexpr std::size_t kCounterCount = 13;
+inline constexpr std::size_t kCounterCount = 22;
 
 const char* to_string(Span span) noexcept;
 const char* to_string(Counter counter) noexcept;

@@ -1,0 +1,74 @@
+#include "serve/client.hpp"
+
+#include <cstdlib>
+
+#include "util/net.hpp"
+
+namespace feast::serve {
+
+bool parse_host_port(const std::string& text, std::string& host,
+                     std::uint16_t& port) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos) return false;
+  const std::string port_text = text.substr(colon + 1);
+  if (port_text.empty()) return false;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(port_text.c_str(), &end, 10);
+  if (end != port_text.c_str() + port_text.size() || v == 0 || v > 65535) {
+    return false;
+  }
+  host = text.substr(0, colon);
+  port = static_cast<std::uint16_t>(v);
+  return true;
+}
+
+HttpReply http_request(const std::string& host, std::uint16_t port,
+                       const std::string& method, const std::string& target,
+                       const std::string& body, const std::string& client_name,
+                       double timeout_s) {
+  HttpReply reply;
+  net::Socket sock = net::tcp_connect(host, port, timeout_s, &reply.error);
+  if (!sock.valid()) return reply;
+
+  std::string request = method + " " + target + " HTTP/1.1\r\n";
+  request += "Host: " + (host.empty() ? std::string("localhost") : host) + "\r\n";
+  if (!client_name.empty()) request += "X-Feast-Client: " + client_name + "\r\n";
+  if (!body.empty()) {
+    request += "Content-Type: application/json\r\n";
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  request += "Connection: close\r\n\r\n";
+  request += body;
+  if (!net::write_all(sock.fd(), request, timeout_s, &reply.error)) return reply;
+
+  // Connection: close framing — the response is everything until EOF.
+  std::string raw;
+  if (!net::read_until_eof(sock.fd(), raw, timeout_s, &reply.error)) return reply;
+
+  const std::size_t line_end = raw.find("\r\n");
+  if (line_end == std::string::npos || raw.compare(0, 5, "HTTP/") != 0) {
+    reply.error = "malformed response";
+    return reply;
+  }
+  const std::size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > line_end) {
+    reply.error = "malformed status line";
+    return reply;
+  }
+  reply.status = std::atoi(raw.c_str() + sp + 1);
+  if (reply.status < 100 || reply.status > 599) {
+    reply.status = 0;
+    reply.error = "malformed status line";
+    return reply;
+  }
+  const std::size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    reply.status = 0;
+    reply.error = "truncated response header";
+    return reply;
+  }
+  reply.body = raw.substr(header_end + 4);
+  return reply;
+}
+
+}  // namespace feast::serve

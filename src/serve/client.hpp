@@ -1,0 +1,40 @@
+/// \file client.hpp
+/// \brief Tiny blocking HTTP client for talking to a `feastc serve` daemon.
+///
+/// One request per connection (`Connection: close`), bounded by a wall-clock
+/// deadline — exactly what `feastc submit`, the serve tests and the bench
+/// need.  Not a general HTTP client on purpose.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace feast::serve {
+
+/// Outcome of one request.  `error` empty ⇔ a complete HTTP response was
+/// received (whatever its status); transport failures set `error` and leave
+/// `status` 0.
+struct HttpReply {
+  int status = 0;
+  std::string body;
+  std::string error;
+
+  bool ok() const noexcept { return error.empty(); }
+};
+
+/// Performs one blocking request against `host:port` and returns the reply.
+/// \p body, when non-empty, is sent as application/json.  \p client_name,
+/// when non-empty, is sent as the X-Feast-Client header (the daemon's
+/// fair-queue identity).
+HttpReply http_request(const std::string& host, std::uint16_t port,
+                       const std::string& method, const std::string& target,
+                       const std::string& body = "",
+                       const std::string& client_name = "",
+                       double timeout_s = 60.0);
+
+/// Splits "HOST:PORT" (host may be empty → loopback).  Returns false on a
+/// missing or unparseable port.
+bool parse_host_port(const std::string& text, std::string& host,
+                     std::uint16_t& port);
+
+}  // namespace feast::serve

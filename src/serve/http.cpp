@@ -1,0 +1,173 @@
+#include "serve/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace feast::serve {
+
+namespace {
+
+const std::string kEmpty;
+
+std::string lowercased(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+std::string trimmed(const std::string& s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && (s[begin] == ' ' || s[begin] == '\t')) ++begin;
+  while (end > begin && (s[end - 1] == ' ' || s[end - 1] == '\t')) --end;
+  return s.substr(begin, end - begin);
+}
+
+}  // namespace
+
+const std::string& HttpRequest::header(const std::string& name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return value;
+  }
+  return kEmpty;
+}
+
+std::string HttpRequest::path() const {
+  const std::size_t query = target.find('?');
+  return query == std::string::npos ? target : target.substr(0, query);
+}
+
+HttpRequestParser::Status HttpRequestParser::fail(int status, std::string what) {
+  state_ = Status::Error;
+  error_status_ = status;
+  error_ = std::move(what);
+  return state_;
+}
+
+HttpRequestParser::Status HttpRequestParser::feed(const char* data,
+                                                  std::size_t size) {
+  if (state_ != Status::NeedMore) return state_;
+  buffer_.append(data, size);
+  return parse_buffer();
+}
+
+HttpRequestParser::Status HttpRequestParser::parse_buffer() {
+  if (!headers_done_) {
+    const std::size_t end = buffer_.find("\r\n\r\n");
+    if (end == std::string::npos) {
+      // The cap applies to the *unterminated* prefix too, so a client
+      // dribbling an endless header line cannot grow the buffer forever.
+      if (buffer_.size() > limits_.max_header_bytes) {
+        return fail(431, "header block exceeds " +
+                             std::to_string(limits_.max_header_bytes) + " bytes");
+      }
+      return Status::NeedMore;
+    }
+    if (end > limits_.max_header_bytes) {
+      return fail(431, "header block exceeds " +
+                           std::to_string(limits_.max_header_bytes) + " bytes");
+    }
+    header_end_ = end + 4;
+
+    // Request line.
+    const std::size_t line_end = buffer_.find("\r\n");
+    const std::string line = buffer_.substr(0, line_end);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                                     : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+      return fail(400, "malformed request line");
+    }
+    request_.method = line.substr(0, sp1);
+    request_.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    request_.version = line.substr(sp2 + 1);
+    if (request_.method.empty() || request_.target.empty() ||
+        (request_.version != "HTTP/1.1" && request_.version != "HTTP/1.0")) {
+      return fail(400, "malformed request line");
+    }
+
+    // Header fields.
+    std::size_t pos = line_end + 2;
+    while (pos < end) {
+      const std::size_t eol = buffer_.find("\r\n", pos);
+      const std::string field = buffer_.substr(pos, eol - pos);
+      pos = eol + 2;
+      const std::size_t colon = field.find(':');
+      if (colon == std::string::npos || colon == 0) {
+        return fail(400, "malformed header field");
+      }
+      request_.headers.emplace_back(lowercased(trimmed(field.substr(0, colon))),
+                                    trimmed(field.substr(colon + 1)));
+    }
+
+    if (!request_.header("transfer-encoding").empty()) {
+      return fail(501, "transfer-encoding not supported");
+    }
+    const std::string& length = request_.header("content-length");
+    if (!length.empty()) {
+      char* parse_end = nullptr;
+      const unsigned long long v = std::strtoull(length.c_str(), &parse_end, 10);
+      if (parse_end != length.c_str() + length.size()) {
+        return fail(400, "malformed content-length");
+      }
+      if (v > limits_.max_body_bytes) {
+        return fail(413, "body exceeds " + std::to_string(limits_.max_body_bytes) +
+                             " bytes");
+      }
+      content_length_ = static_cast<std::size_t>(v);
+    }
+    headers_done_ = true;
+  }
+
+  if (buffer_.size() < header_end_ + content_length_) return Status::NeedMore;
+  request_.body = buffer_.substr(header_end_, content_length_);
+  buffer_.erase(0, header_end_ + content_length_);
+  state_ = Status::Done;
+  return state_;
+}
+
+void HttpRequestParser::reset() {
+  request_ = HttpRequest{};
+  header_end_ = 0;
+  headers_done_ = false;
+  content_length_ = 0;
+  state_ = Status::NeedMore;
+  error_status_ = 0;
+  error_.clear();
+  // buffer_ keeps pipelined bytes; re-parse them immediately on next feed.
+}
+
+const char* http_status_reason(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string render_http_response(int status, const std::string& content_type,
+                                 const std::string& body, bool keep_alive) {
+  std::string out;
+  out.reserve(body.size() + 128);
+  out += "HTTP/1.1 " + std::to_string(status) + " " + http_status_reason(status) +
+         "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace feast::serve

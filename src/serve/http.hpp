@@ -1,0 +1,92 @@
+/// \file http.hpp
+/// \brief Minimal HTTP/1.1 request parsing and response rendering.
+///
+/// Exactly the subset the serve daemon needs: an *incremental* request
+/// parser (feed bytes as they arrive off a nonblocking socket, never block
+/// waiting for a complete request), Content-Length bodies only, hard limits
+/// on header and body size so attacker-controlled input bounds memory, and
+/// a response renderer.  Chunked transfer encoding, multipart, continuation
+/// lines and 100-continue are rejected rather than implemented — every
+/// client this daemon serves (`feastc submit`, curl, the bench) speaks the
+/// simple form.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace feast::serve {
+
+/// Input-size caps enforced during parsing.  Exceeding either is a hard
+/// parse error with a distinct status (431 headers / 413 body), not a
+/// truncation — an oversized request never reaches a handler.
+struct HttpLimits {
+  std::size_t max_header_bytes = 8 * 1024;
+  std::size_t max_body_bytes = 1024 * 1024;
+};
+
+/// One parsed request.
+struct HttpRequest {
+  std::string method;
+  std::string target;   ///< Path + optional query, as sent.
+  std::string version;  ///< "HTTP/1.1" or "HTTP/1.0".
+  std::vector<std::pair<std::string, std::string>> headers;  ///< Names lowercased.
+  std::string body;
+
+  /// First header named \p name (lowercase), or "" when absent.
+  const std::string& header(const std::string& name) const;
+
+  /// Path without the query string.
+  std::string path() const;
+};
+
+/// Incremental request parser.  Feed arbitrary byte fragments; the parser
+/// consumes exactly one request and reports NeedMore until it has it.
+/// After Done, reset() rearms it for the next request on a keep-alive
+/// connection (leftover pipelined bytes are retained).
+class HttpRequestParser {
+ public:
+  enum class Status { NeedMore, Done, Error };
+
+  explicit HttpRequestParser(HttpLimits limits = {}) : limits_(limits) {}
+
+  /// Consumes \p bytes.  Returns the parse state after this fragment.
+  Status feed(const char* data, std::size_t size);
+  Status feed(const std::string& data) { return feed(data.data(), data.size()); }
+
+  /// The parsed request (valid after Done).
+  const HttpRequest& request() const noexcept { return request_; }
+
+  /// HTTP status code describing the failure (valid after Error):
+  /// 400 malformed, 413 body too large, 431 headers too large,
+  /// 501 unsupported transfer encoding.
+  int error_status() const noexcept { return error_status_; }
+  const std::string& error() const noexcept { return error_; }
+
+  /// Rearms for the next request, keeping unconsumed pipelined bytes.
+  void reset();
+
+ private:
+  Status fail(int status, std::string what);
+  Status parse_buffer();
+
+  HttpLimits limits_;
+  std::string buffer_;
+  HttpRequest request_;
+  std::size_t header_end_ = 0;  ///< Offset past "\r\n\r\n" once seen.
+  bool headers_done_ = false;
+  std::size_t content_length_ = 0;
+  Status state_ = Status::NeedMore;
+  int error_status_ = 0;
+  std::string error_;
+};
+
+/// Renders a complete response with Content-Length framing.
+std::string render_http_response(int status, const std::string& content_type,
+                                 const std::string& body, bool keep_alive);
+
+/// Canonical reason phrase for the handful of statuses the daemon sends.
+const char* http_status_reason(int status) noexcept;
+
+}  // namespace feast::serve

@@ -1,0 +1,1136 @@
+#include "serve/server.hpp"
+
+#include <csignal>
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "campaign/cache.hpp"
+#include "campaign/campaign.hpp"
+#include "check/fault.hpp"
+#include "obs/obs.hpp"
+#include "supervise/worker_pool.hpp"
+#include "util/fsio.hpp"
+#include "util/json.hpp"
+#include "util/net.hpp"
+
+namespace feast::serve {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+// ------------------------------------------------------------ small helpers
+
+std::string full_digits(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+std::string json_number(double value) {
+  if (std::isfinite(value)) return full_digits(value);
+  if (std::isnan(value)) return "\"nan\"";
+  return value > 0.0 ? "\"inf\"" : "\"-inf\"";
+}
+
+void append_summary_json(std::string& out, const char* name, const StatSummary& s) {
+  out += '"';
+  out += name;
+  out += "\": [" + std::to_string(s.count) + ", " + json_number(s.mean) + ", " +
+         json_number(s.stddev) + ", " + json_number(s.min) + ", " +
+         json_number(s.max) + ", " + json_number(s.ci95_half_width) + "]";
+}
+
+std::string error_body(const std::string& message, const std::string& kind = "") {
+  std::string out = "{\"error\": \"" + json_escape(message) + "\"";
+  if (!kind.empty()) out += ", \"error_kind\": \"" + json_escape(kind) + "\"";
+  out += "}\n";
+  return out;
+}
+
+bool known_inject_action(const std::string& value) {
+  const std::string action = value.substr(0, value.find('@'));
+  return action == "hang" || action == "crash" || action == "signal";
+}
+
+/// Resolves an inject value ("action" or "action@N") against one attempt.
+std::string inject_for_attempt(const std::string& value, int attempt) {
+  const std::size_t at = value.find('@');
+  if (at == std::string::npos) return value;
+  const int only = std::atoi(value.c_str() + at + 1);
+  return attempt == only ? value.substr(0, at) : std::string();
+}
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Drain flag set from the SIGINT/SIGTERM handler; the reactor polls it
+// between ticks (async-signal-safe by construction, same pattern as the
+// supervised campaign runner).
+volatile std::sig_atomic_t g_serve_signal = 0;
+
+void serve_signal_handler(int sig) { g_serve_signal = sig; }
+
+class SignalGuard {
+ public:
+  SignalGuard() {
+    g_serve_signal = 0;
+    struct sigaction action {};
+    action.sa_handler = serve_signal_handler;
+    sigemptyset(&action.sa_mask);
+    sigaction(SIGINT, &action, &old_int_);
+    sigaction(SIGTERM, &action, &old_term_);
+  }
+  ~SignalGuard() {
+    sigaction(SIGINT, &old_int_, nullptr);
+    sigaction(SIGTERM, &old_term_, nullptr);
+  }
+  SignalGuard(const SignalGuard&) = delete;
+  SignalGuard& operator=(const SignalGuard&) = delete;
+
+  int signal() const noexcept { return static_cast<int>(g_serve_signal); }
+
+ private:
+  struct sigaction old_int_ {};
+  struct sigaction old_term_ {};
+};
+
+// --------------------------------------------------------------- the model
+
+/// One open client connection.
+struct Conn {
+  net::Socket sock;
+  std::uint64_t id = 0;
+  HttpRequestParser parser;
+  std::string outbox;
+  std::size_t out_off = 0;
+  bool close_after_write = false;
+  bool waiting = false;     ///< Request handled, reply pending on a job.
+  bool slow_loris = false;  ///< Fault-injected: reject with 408 on first bytes.
+  bool has_partial = false; ///< A request is arriving but incomplete.
+  Clock::time_point last_activity = Clock::now();
+  Clock::time_point request_start = Clock::now();  ///< First byte of request.
+  std::string client = "anon";
+  obs::Sink* sink = nullptr;  ///< Captured per request for the request span.
+  std::uint64_t span_start_ns = 0;
+
+  explicit Conn(HttpLimits limits) : parser(limits) {}
+};
+
+/// A campaign waiting on one cell job: which campaign, which row.
+struct CampaignLink {
+  std::uint64_t campaign = 0;
+  std::size_t pos = 0;
+};
+
+/// One deduplicated unit of work: a cell, keyed by its canonical cache
+/// identity (all requests for the same bytes share this object).
+struct CellJob {
+  enum class State { Queued, Running, Done, Failed };
+
+  std::string key;
+  std::string spec_path;
+  std::size_t cell_index = 0;
+  std::string canonical;
+  std::string inject;
+  std::string client;  ///< Fair-queue owner (first submitter).
+  int attempts = 0;    ///< Worker attempts consumed so far.
+  State state = State::Queued;
+  supervise::ShardResult shard;          ///< Valid once Done.
+  supervise::ErrorKind kind = supervise::ErrorKind::None;
+  std::string error;                     ///< Valid once Failed.
+  std::uint64_t ticket = 0;              ///< Pool lease while Running.
+  std::vector<std::uint64_t> waiters;    ///< Conns wanting a /v1/cell reply.
+  std::vector<CampaignLink> campaigns;   ///< Campaigns wanting this cell.
+  obs::Sink* sink = nullptr;             ///< Dispatch span: enqueue → terminal.
+  std::uint64_t span_start_ns = 0;
+
+  bool terminal() const noexcept {
+    return state == State::Done || state == State::Failed;
+  }
+};
+
+/// One submitted campaign, resolved cell by cell.
+struct CampaignJob {
+  std::uint64_t id = 0;
+  CampaignSpec spec;
+  CampaignResult result;
+  std::string manifest_path;
+  std::size_t outstanding = 0;  ///< Cells not yet terminal.
+  std::vector<std::uint64_t> waiters;
+  Clock::time_point started = Clock::now();
+};
+
+}  // namespace
+
+// ------------------------------------------------------------------- Impl
+
+struct Server::Impl {
+  explicit Impl(ServeOptions options, Server& owner)
+      : opt(std::move(options)), server(owner) {}
+
+  ServeOptions opt;
+  Server& server;
+  net::TcpListener listener;
+  std::optional<ResultCache> cache;
+  std::unique_ptr<supervise::WorkerPool> pool;
+
+  std::map<std::uint64_t, Conn> conns;
+  std::map<std::string, CellJob> jobs;  ///< Keyed by dedup key; Done memoized.
+  std::map<std::uint64_t, CampaignJob> campaigns;
+  std::map<std::string, std::uint64_t> campaign_by_hash;  ///< In-flight only.
+  std::map<std::string, std::string> spec_paths;          ///< spec hash → file.
+
+  // Per-client FIFO queues of queued job keys, drained round-robin.
+  std::map<std::string, std::deque<std::string>> queues;
+  std::vector<std::string> rr_clients;
+  std::size_t rr_cursor = 0;
+
+  std::uint64_t next_conn_id = 1;
+  std::uint64_t next_campaign_id = 1;
+  bool draining = false;
+  Clock::time_point drain_deadline{};
+
+  // Monotonic counters + gauges (atomic: stats() reads cross-thread).
+  std::atomic<std::uint64_t> accepted{0}, requests{0}, parse_errors{0}, shed{0},
+      dedup_hits{0}, cache_hits{0}, dispatched{0}, completed{0}, failed{0},
+      replies{0}, disconnects{0};
+  std::atomic<std::size_t> gauge_queue{0}, gauge_running{0}, gauge_conns{0};
+
+  // ------------------------------------------------------------- plumbing
+  std::size_t queue_depth() const {
+    std::size_t depth = 0;
+    for (const auto& [client, queue] : queues) depth += queue.size();
+    return depth;
+  }
+
+  void log_line(const std::string& line) {
+    if (opt.log != nullptr) *opt.log << "serve: " << line << std::endl;
+  }
+
+  /// Enqueues a job key on its owner's fair queue.
+  void enqueue(const CellJob& job) {
+    auto [it, inserted] = queues.try_emplace(job.client);
+    if (inserted) rr_clients.push_back(job.client);
+    it->second.push_back(job.key);
+  }
+
+  /// Pops the next queued job key round-robin across clients ("" if none).
+  std::string next_queued() {
+    if (rr_clients.empty()) return {};
+    for (std::size_t i = 0; i < rr_clients.size(); ++i) {
+      rr_cursor = (rr_cursor + 1) % rr_clients.size();
+      auto& queue = queues[rr_clients[rr_cursor]];
+      while (!queue.empty()) {
+        std::string key = std::move(queue.front());
+        queue.pop_front();
+        const auto it = jobs.find(key);
+        if (it != jobs.end() && it->second.state == CellJob::State::Queued) {
+          return key;
+        }
+        // Stale entry (job already resolved or re-queued elsewhere): skip.
+      }
+    }
+    return {};
+  }
+
+  /// Writes (once) the canonical spec file workers re-parse; returns its path.
+  std::string spec_file_for(const std::string& spec_hash,
+                            const std::string& canonical_text) {
+    auto it = spec_paths.find(spec_hash);
+    if (it != spec_paths.end()) return it->second;
+    const std::string path =
+        (fs::path(opt.work_dir) / (spec_hash + ".spec")).string();
+    std::string error;
+    if (!atomic_write_file(path, canonical_text, &error)) {
+      throw std::runtime_error("serve: cannot write spec file: " + error);
+    }
+    spec_paths.emplace(spec_hash, path);
+    return path;
+  }
+
+  // --------------------------------------------------------------- replies
+
+  /// Enqueues a response on \p conn_id's outbox.  Honors the injected
+  /// client-disconnect fault (the connection is torn down instead) and
+  /// tolerates the client having already gone away.
+  void enqueue_reply(std::uint64_t conn_id, int status,
+                     const std::string& content_type, const std::string& body) {
+    const auto it = conns.find(conn_id);
+    if (it == conns.end()) {
+      disconnects.fetch_add(1, std::memory_order_relaxed);
+      obs::count(obs::Counter::ServeDisconnect);
+      return;
+    }
+    Conn& conn = it->second;
+    if (check::fire(check::FaultSite::ServeClientDisconnect)) {
+      // The armed occurrence simulates the client hanging up right before
+      // its reply: drop the connection, the daemon must shrug it off.
+      disconnects.fetch_add(1, std::memory_order_relaxed);
+      obs::count(obs::Counter::ServeDisconnect);
+      close_conn(it);
+      return;
+    }
+    conn.outbox +=
+        render_http_response(status, content_type, body, !conn.close_after_write);
+    replies.fetch_add(1, std::memory_order_relaxed);
+    obs::count(obs::Counter::ServeReply);
+    if (conn.sink != nullptr) {
+      obs::detail::record_span(*conn.sink, obs::Span::ServeRequest,
+                               conn.span_start_ns);
+      conn.sink = nullptr;
+    }
+    conn.waiting = false;
+    conn.parser.reset();
+    flush_conn(conn);
+  }
+
+  void reply_json(std::uint64_t conn_id, int status, const std::string& body) {
+    enqueue_reply(conn_id, status, "application/json", body);
+  }
+
+  /// Renders the /v1/cell success body from a terminal Done job.
+  std::string cell_body(const CellJob& job) {
+    std::string out = "{\"cell\": " + std::to_string(job.cell_index) +
+                      ", \"state\": \"" +
+                      (job.shard.from_cache ? "cached" : "computed") +
+                      "\", \"wall_ms\": " + json_number(job.shard.wall_ms) +
+                      ", \"attempts\": " + std::to_string(job.attempts) + ",\n ";
+    append_summary_json(out, "max_lateness", job.shard.stats.max_lateness);
+    out += ", ";
+    append_summary_json(out, "end_to_end", job.shard.stats.end_to_end);
+    out += ",\n ";
+    append_summary_json(out, "makespan", job.shard.stats.makespan);
+    out += ", ";
+    append_summary_json(out, "min_laxity", job.shard.stats.min_laxity);
+    out += ",\n \"infeasible_runs\": " +
+           std::to_string(job.shard.stats.infeasible_runs) + "}\n";
+    return out;
+  }
+
+  /// Builds the status-JSON view of one campaign job.
+  Manifest manifest_view(CampaignJob& campaign) {
+    refresh_campaign_totals(campaign.result,
+                            seconds_since(campaign.started) * 1000.0);
+    Manifest manifest;
+    manifest.version = 2;
+    manifest.name = campaign.result.name;
+    manifest.spec_hash_hex = campaign.result.spec_hash_hex;
+    manifest.spec_text = campaign.spec.canonical_text();
+    manifest.samples = campaign.result.samples;
+    manifest.cells = campaign.result.cells;
+    manifest.wall_ms = campaign.result.wall_ms;
+    manifest.computed = campaign.result.computed;
+    manifest.cached = campaign.result.cached;
+    manifest.failed = campaign.result.failed;
+    manifest.quarantined = campaign.result.quarantined;
+    return manifest;
+  }
+
+  void checkpoint(CampaignJob& campaign) {
+    refresh_campaign_totals(campaign.result,
+                            seconds_since(campaign.started) * 1000.0);
+    checkpoint_manifest_file(campaign.manifest_path, campaign.spec,
+                             campaign.result);
+  }
+
+  /// Replies to a finished campaign's waiters and retires the job.
+  void finish_campaign(std::uint64_t campaign_id) {
+    const auto it = campaigns.find(campaign_id);
+    if (it == campaigns.end()) return;
+    CampaignJob& campaign = it->second;
+    checkpoint(campaign);
+    std::ostringstream body;
+    write_manifest_status_json(body, manifest_view(campaign));
+    for (const std::uint64_t waiter : campaign.waiters) {
+      reply_json(waiter, 200, body.str());
+    }
+    log_line("campaign " + campaign.result.spec_hash_hex + " finished (" +
+             std::to_string(campaign.result.computed) + " computed, " +
+             std::to_string(campaign.result.cached) + " cached, " +
+             std::to_string(campaign.result.quarantined) + " quarantined)");
+    campaign_by_hash.erase(campaign.result.spec_hash_hex);
+    campaigns.erase(it);
+  }
+
+  /// Applies a terminal cell job to every waiter: single-cell replies and
+  /// campaign rows, checkpointing and finishing campaigns as they complete.
+  void settle_job(CellJob& job) {
+    if (job.sink != nullptr) {
+      obs::detail::record_span(*job.sink, obs::Span::ServeDispatch,
+                               job.span_start_ns);
+      job.sink = nullptr;
+    }
+    for (const std::uint64_t waiter : job.waiters) {
+      if (job.state == CellJob::State::Done) {
+        reply_json(waiter, 200, cell_body(job));
+      } else {
+        reply_json(waiter, 500,
+                   error_body(job.error, supervise::to_string(job.kind)));
+      }
+    }
+    job.waiters.clear();
+    std::vector<CampaignLink> links;
+    links.swap(job.campaigns);
+    for (const CampaignLink& link : links) {
+      const auto it = campaigns.find(link.campaign);
+      if (it == campaigns.end()) continue;
+      CampaignJob& campaign = it->second;
+      CellOutcome& cell = campaign.result.cells[link.pos];
+      apply_job_to_cell(job, cell);
+      checkpoint(campaign);
+      if (--campaign.outstanding == 0) finish_campaign(link.campaign);
+    }
+  }
+
+  static void apply_job_to_cell(const CellJob& job, CellOutcome& cell) {
+    cell.attempts = job.attempts;
+    if (job.state == CellJob::State::Done) {
+      cell.state =
+          job.shard.from_cache ? CellState::Cached : CellState::Computed;
+      cell.stats = job.shard.stats;
+      cell.wall_ms = job.shard.wall_ms;
+      cell.error.clear();
+      cell.error_kind.clear();
+    } else {
+      // Retry budget spent: the quarantine verdict, exactly like the
+      // supervised runner — the campaign completes degraded around it.
+      cell.state = CellState::Quarantined;
+      cell.error = job.error;
+      cell.error_kind = supervise::to_string(job.kind);
+    }
+  }
+
+  // ------------------------------------------------------------ dispatching
+
+  void dispatch() {
+    while (pool->free_slots() > 0) {
+      const std::string key = next_queued();
+      if (key.empty()) return;
+      CellJob& job = jobs[key];
+      const std::string inject = inject_for_attempt(job.inject, job.attempts + 1);
+      try {
+        job.ticket = pool->submit(job.spec_path, job.cell_index, inject);
+      } catch (const std::exception& e) {
+        ++job.attempts;
+        fail_or_retry(job, supervise::ErrorKind::Io,
+                      std::string("spawn failed: ") + e.what());
+        continue;
+      }
+      ++job.attempts;
+      job.state = CellJob::State::Running;
+      dispatched.fetch_add(1, std::memory_order_relaxed);
+      obs::count(obs::Counter::ServeDispatch);
+    }
+  }
+
+  void fail_or_retry(CellJob& job, supervise::ErrorKind kind, std::string error) {
+    if (job.attempts < opt.max_attempts && !draining) {
+      job.state = CellJob::State::Queued;
+      enqueue(job);
+      obs::count(obs::Counter::SuperviseRetry);
+      return;
+    }
+    job.state = CellJob::State::Failed;
+    job.kind = kind;
+    job.error = std::move(error);
+    failed.fetch_add(1, std::memory_order_relaxed);
+    obs::count(obs::Counter::SuperviseQuarantine);
+    log_line("cell " + std::to_string(job.cell_index) + " failed after " +
+             std::to_string(job.attempts) + " attempts [" +
+             supervise::to_string(kind) + "] — " + job.error);
+    settle_job(job);
+  }
+
+  void harvest() {
+    for (supervise::WorkerOutcome& outcome : pool->poll()) {
+      CellJob* job = nullptr;
+      for (auto& [key, candidate] : jobs) {
+        if (candidate.state == CellJob::State::Running &&
+            candidate.ticket == outcome.ticket) {
+          job = &candidate;
+          break;
+        }
+      }
+      if (job == nullptr) continue;  // Lease already abandoned (drain).
+      job->ticket = 0;
+      if (outcome.ok) {
+        job->state = CellJob::State::Done;
+        job->shard = outcome.shard;
+        completed.fetch_add(1, std::memory_order_relaxed);
+        settle_job(*job);
+      } else {
+        fail_or_retry(*job, outcome.kind, outcome.error);
+      }
+    }
+  }
+
+  // ------------------------------------------------------- request handling
+
+  /// Resolves one cell of one spec to a job, creating/attaching as needed.
+  /// Returns the terminal job if it can be answered right now (cache hit or
+  /// memoized), nullptr when the caller was attached as a waiter, or throws
+  /// AdmissionShed when the queue is full.
+  struct AdmissionShed {};
+
+  CellJob& resolve_cell(const std::string& spec_hash, const std::string& spec_path,
+                        const PlannedCell& cell, const std::string& inject,
+                        const std::string& client, bool& created) {
+    std::string key = cell.canonical.empty()
+                          ? spec_hash + ":" + std::to_string(cell.index)
+                          : cell.canonical;
+    if (!inject.empty()) key += "#inject=" + inject;
+    const auto it = jobs.find(key);
+    if (it != jobs.end()) {
+      created = false;
+      dedup_hits.fetch_add(1, std::memory_order_relaxed);
+      obs::count(obs::Counter::ServeDedup);
+      return it->second;
+    }
+    if (queue_depth() >= static_cast<std::size_t>(opt.max_queue)) {
+      throw AdmissionShed{};
+    }
+    created = true;
+    CellJob& job = jobs[key];
+    job.key = key;
+    job.spec_path = spec_path;
+    job.cell_index = cell.index;
+    job.canonical = cell.canonical;
+    job.inject = inject;
+    job.client = client;
+    if ((job.sink = obs::active()) != nullptr) {
+      job.span_start_ns = obs::detail::now_ns(*job.sink);
+    }
+    // The cache consult: a stored record resolves the job without a worker.
+    // Inject jobs skip it — their point is to exercise the worker path.
+    if (cache.has_value() && !cell.canonical.empty() && inject.empty()) {
+      CellStats stats;
+      if (cache->lookup(cell.canonical, stats)) {
+        job.state = CellJob::State::Done;
+        job.shard.cell_index = cell.index;
+        job.shard.from_cache = true;
+        job.shard.stats = stats;
+        cache_hits.fetch_add(1, std::memory_order_relaxed);
+        obs::count(obs::Counter::CacheHit);
+        if (job.sink != nullptr) {
+          obs::detail::record_span(*job.sink, obs::Span::ServeDispatch,
+                                   job.span_start_ns);
+          job.sink = nullptr;
+        }
+        return job;
+      }
+      obs::count(obs::Counter::CacheMiss);
+    }
+    job.state = CellJob::State::Queued;
+    enqueue(job);
+    return job;
+  }
+
+  void handle_cell_request(Conn& conn, const JsonValue& root) {
+    const JsonValue* spec_value = root.find("spec");
+    const JsonValue* cell_value = root.find("cell");
+    if (spec_value == nullptr || spec_value->type != JsonValue::Type::String ||
+        cell_value == nullptr || cell_value->type != JsonValue::Type::Number) {
+      reply_json(conn.id, 400,
+                 error_body("body wants {\"spec\": \"...\", \"cell\": N}"));
+      return;
+    }
+    std::string inject;
+    if (const JsonValue* inject_value = root.find("inject")) {
+      if (inject_value->type != JsonValue::Type::String ||
+          !known_inject_action(inject_value->string)) {
+        reply_json(conn.id, 400,
+                   error_body("inject wants hang|crash|signal[@ATTEMPT]"));
+        return;
+      }
+      inject = inject_value->string;
+    }
+
+    CampaignSpec spec;
+    std::vector<Strategy> strategies;
+    std::vector<PlannedCell> plan;
+    try {
+      std::istringstream in(spec_value->string);
+      spec = CampaignSpec::parse(in);
+      strategies.reserve(spec.strategies.size());
+      for (const std::string& s : spec.strategies) {
+        strategies.push_back(parse_strategy_spec(s));
+      }
+      plan = plan_cells(spec, strategies);
+    } catch (const std::exception& e) {
+      reply_json(conn.id, 400, error_body(std::string("bad spec: ") + e.what()));
+      return;
+    }
+    const std::size_t index =
+        static_cast<std::size_t>(cell_value->number < 0 ? 0 : cell_value->number);
+    if (cell_value->number < 0 || index >= plan.size()) {
+      reply_json(conn.id, 400,
+                 error_body("cell out of range (campaign has " +
+                            std::to_string(plan.size()) + " cells)"));
+      return;
+    }
+    const std::string spec_hash = hash_hex(fnv1a64(spec.canonical_text()));
+    const std::string spec_path = spec_file_for(spec_hash, spec.canonical_text());
+
+    bool created = false;
+    try {
+      CellJob& job =
+          resolve_cell(spec_hash, spec_path, plan[index], inject, conn.client,
+                       created);
+      if (job.state == CellJob::State::Done) {
+        reply_json(conn.id, 200, cell_body(job));
+      } else if (job.state == CellJob::State::Failed) {
+        reply_json(conn.id, 500,
+                   error_body(job.error, supervise::to_string(job.kind)));
+      } else {
+        job.waiters.push_back(conn.id);
+        conn.waiting = true;
+      }
+    } catch (const AdmissionShed&) {
+      shed.fetch_add(1, std::memory_order_relaxed);
+      obs::count(obs::Counter::ServeShed);
+      reply_json(conn.id, 429, error_body("queue full, retry later"));
+    }
+  }
+
+  void handle_campaign_request(Conn& conn, const JsonValue& root) {
+    const JsonValue* spec_value = root.find("spec");
+    if (spec_value == nullptr || spec_value->type != JsonValue::Type::String) {
+      reply_json(conn.id, 400, error_body("body wants {\"spec\": \"...\"}"));
+      return;
+    }
+    CampaignSpec spec;
+    std::vector<Strategy> strategies;
+    std::vector<PlannedCell> plan;
+    try {
+      std::istringstream in(spec_value->string);
+      spec = CampaignSpec::parse(in);
+      strategies.reserve(spec.strategies.size());
+      for (const std::string& s : spec.strategies) {
+        strategies.push_back(parse_strategy_spec(s));
+      }
+      plan = plan_cells(spec, strategies);
+    } catch (const std::exception& e) {
+      reply_json(conn.id, 400, error_body(std::string("bad spec: ") + e.what()));
+      return;
+    }
+    const std::string spec_hash = hash_hex(fnv1a64(spec.canonical_text()));
+
+    // A campaign of the same spec already in flight: share it.
+    if (const auto it = campaign_by_hash.find(spec_hash);
+        it != campaign_by_hash.end()) {
+      dedup_hits.fetch_add(1, std::memory_order_relaxed);
+      obs::count(obs::Counter::ServeDedup);
+      campaigns[it->second].waiters.push_back(conn.id);
+      conn.waiting = true;
+      return;
+    }
+
+    const std::string spec_path = spec_file_for(spec_hash, spec.canonical_text());
+    CampaignJob campaign;
+    campaign.id = next_campaign_id++;
+    campaign.spec = spec;
+    campaign.manifest_path =
+        (fs::path(opt.work_dir) / (spec_hash + ".manifest.json")).string();
+    campaign.result.name = spec.name;
+    campaign.result.spec_hash_hex = spec_hash;
+    campaign.result.samples = spec.batch.samples;
+    campaign.result.cells = plan_outcomes(spec, strategies, plan);
+    // Resume semantics across daemon restarts: finished cells of a previous
+    // submission of this spec are restored from its manifest checkpoint.
+    restore_finished_cells(campaign.manifest_path, spec_hash,
+                           campaign.result.cells);
+
+    // Count how many *new* jobs this submission would enqueue, so admission
+    // control sheds the whole request before creating any state.
+    std::size_t new_jobs = 0;
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      if (campaign.result.cells[i].state != CellState::Pending) continue;
+      std::string key = plan[i].canonical.empty()
+                            ? spec_hash + ":" + std::to_string(i)
+                            : plan[i].canonical;
+      const auto it = jobs.find(key);
+      if (it == jobs.end() || it->second.state == CellJob::State::Failed) {
+        ++new_jobs;
+      }
+    }
+    if (queue_depth() + new_jobs > static_cast<std::size_t>(opt.max_queue)) {
+      shed.fetch_add(1, std::memory_order_relaxed);
+      obs::count(obs::Counter::ServeShed);
+      reply_json(conn.id, 429,
+                 error_body("queue full (" + std::to_string(new_jobs) +
+                            " new cells), retry later"));
+      return;
+    }
+
+    const std::uint64_t campaign_id = campaign.id;
+    campaign.waiters.push_back(conn.id);
+    auto [cit, inserted] = campaigns.emplace(campaign_id, std::move(campaign));
+    campaign_by_hash.emplace(spec_hash, campaign_id);
+    CampaignJob& job = cit->second;
+
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      CellOutcome& cell = job.result.cells[i];
+      if (cell.state != CellState::Pending) continue;
+      bool created = false;
+      // Admission was pre-checked above; resolve_cell cannot shed here
+      // except under a racing queue, in which case the cell is quarantined
+      // as shed rather than failing the whole submission.
+      try {
+        CellJob& cell_job = resolve_cell(spec_hash, spec_paths[spec_hash],
+                                         plan[i], "", conn.client, created);
+        if (cell_job.terminal()) {
+          apply_job_to_cell(cell_job, cell);
+        } else {
+          cell_job.campaigns.push_back({campaign_id, i});
+          ++job.outstanding;
+        }
+      } catch (const AdmissionShed&) {
+        cell.state = CellState::Quarantined;
+        cell.error = "shed by admission control";
+        cell.error_kind = "io";
+      }
+    }
+    checkpoint(job);
+    log_line("campaign " + spec_hash + " accepted (" +
+             std::to_string(job.outstanding) + " cells outstanding)");
+    if (job.outstanding == 0) {
+      finish_campaign(campaign_id);
+    } else {
+      conn.waiting = true;
+    }
+  }
+
+  std::string status_body() {
+    std::string out = "{\n  \"server\": {";
+    const ServeStatsSnapshot snapshot = snapshot_stats();
+    out += "\"accepted\": " + std::to_string(snapshot.accepted);
+    out += ", \"requests\": " + std::to_string(snapshot.requests);
+    out += ", \"parse_errors\": " + std::to_string(snapshot.parse_errors);
+    out += ", \"shed\": " + std::to_string(snapshot.shed);
+    out += ", \"dedup_hits\": " + std::to_string(snapshot.dedup_hits);
+    out += ", \"cache_hits\": " + std::to_string(snapshot.cache_hits);
+    out += ", \"dispatched\": " + std::to_string(snapshot.dispatched);
+    out += ", \"completed\": " + std::to_string(snapshot.completed);
+    out += ", \"failed\": " + std::to_string(snapshot.failed);
+    out += ", \"replies\": " + std::to_string(snapshot.replies);
+    out += ", \"disconnects\": " + std::to_string(snapshot.disconnects);
+    out += ", \"queue_depth\": " + std::to_string(queue_depth());
+    out += ", \"running\": " + std::to_string(pool ? pool->running() : 0);
+    out += ", \"connections\": " + std::to_string(conns.size());
+    out += ", \"draining\": ";
+    out += draining ? "true" : "false";
+    out += "},\n  \"campaigns\": [\n";
+    bool first = true;
+    for (auto& [id, campaign] : campaigns) {
+      if (!first) out += ",\n";
+      first = false;
+      std::ostringstream body;
+      write_manifest_status_json(body, manifest_view(campaign));
+      out += body.str();
+    }
+    out += "  ]\n}\n";
+    return out;
+  }
+
+  void handle_request(Conn& conn) {
+    requests.fetch_add(1, std::memory_order_relaxed);
+    if ((conn.sink = obs::active()) != nullptr) {
+      conn.span_start_ns = obs::detail::now_ns(*conn.sink);
+    }
+    const HttpRequest& request = conn.parser.request();
+    const std::string& client_header = request.header("x-feast-client");
+    conn.client = client_header.empty() ? "anon" : client_header;
+    if (request.header("connection") == "close" ||
+        (request.version == "HTTP/1.0" &&
+         request.header("connection") != "keep-alive")) {
+      conn.close_after_write = true;
+    }
+    const std::string path = request.path();
+
+    if (path == "/healthz") {
+      if (request.method != "GET") {
+        enqueue_reply(conn.id, 405, "text/plain", "method not allowed\n");
+        return;
+      }
+      enqueue_reply(conn.id, 200, "text/plain", draining ? "draining\n" : "ok\n");
+      return;
+    }
+    if (path == "/v1/status") {
+      if (request.method != "GET") {
+        reply_json(conn.id, 405, error_body("method not allowed"));
+        return;
+      }
+      reply_json(conn.id, 200, status_body());
+      return;
+    }
+    if (path == "/v1/cell" || path == "/v1/campaign") {
+      if (request.method != "POST") {
+        reply_json(conn.id, 405, error_body("method not allowed"));
+        return;
+      }
+      if (draining) {
+        reply_json(conn.id, 503, error_body("draining"));
+        return;
+      }
+      JsonValue root;
+      try {
+        // Untrusted bytes: tight nesting and byte budgets on top of the
+        // transport-level body cap.
+        JsonLimits limits;
+        limits.max_depth = 32;
+        limits.max_bytes = opt.http.max_body_bytes;
+        root = parse_json(request.body, limits);
+      } catch (const std::exception& e) {
+        parse_errors.fetch_add(1, std::memory_order_relaxed);
+        obs::count(obs::Counter::ServeParseError);
+        reply_json(conn.id, 400, error_body(std::string("bad json: ") + e.what()));
+        return;
+      }
+      if (root.type != JsonValue::Type::Object) {
+        parse_errors.fetch_add(1, std::memory_order_relaxed);
+        obs::count(obs::Counter::ServeParseError);
+        reply_json(conn.id, 400, error_body("body must be a JSON object"));
+        return;
+      }
+      if (path == "/v1/cell") {
+        handle_cell_request(conn, root);
+      } else {
+        handle_campaign_request(conn, root);
+      }
+      return;
+    }
+    reply_json(conn.id, 404, error_body("no such endpoint: " + path));
+  }
+
+  // ----------------------------------------------------------- connections
+
+  void close_conn(std::map<std::uint64_t, Conn>::iterator it) {
+    conns.erase(it);
+  }
+
+  /// True when the connection should be torn down after this read pass.
+  bool read_conn(Conn& conn) {
+    for (;;) {
+      std::string bytes;
+      const int rc = net::read_available(conn.sock.fd(), bytes);
+      if (rc == -1) break;  // Would block: drained the readable data.
+      if (rc == 0 || rc == -2) {
+        // EOF or hard error.  A client that leaves mid-request or while a
+        // reply is pending is a disconnect worth counting.
+        if (conn.waiting || conn.has_partial) {
+          disconnects.fetch_add(1, std::memory_order_relaxed);
+          obs::count(obs::Counter::ServeDisconnect);
+        }
+        return true;
+      }
+      conn.last_activity = Clock::now();
+      if (conn.slow_loris) {
+        // Fault-injected slow-loris client: its header deadline is treated
+        // as already expired — reject and close without parsing.
+        conn.close_after_write = true;
+        enqueue_reply(conn.id, 408, "text/plain", "request timeout\n");
+        return false;
+      }
+      if (conn.waiting) {
+        // One request in flight per connection: buffer pipelined bytes in
+        // the parser after the reply goes out.
+        conn.parser.feed(bytes);
+        continue;
+      }
+      if (!conn.has_partial) {
+        conn.has_partial = true;
+        conn.request_start = Clock::now();
+      }
+      const HttpRequestParser::Status status = conn.parser.feed(bytes);
+      if (status == HttpRequestParser::Status::Done) {
+        conn.has_partial = false;
+        handle_request(conn);
+      } else if (status == HttpRequestParser::Status::Error) {
+        parse_errors.fetch_add(1, std::memory_order_relaxed);
+        obs::count(obs::Counter::ServeParseError);
+        conn.close_after_write = true;
+        enqueue_reply(conn.id, conn.parser.error_status(), "text/plain",
+                      conn.parser.error() + "\n");
+        conn.has_partial = false;
+      }
+    }
+    return false;
+  }
+
+  /// Pushes outbox bytes; returns true when the conn should close.
+  bool flush_conn(Conn& conn) {
+    while (conn.out_off < conn.outbox.size()) {
+      const ssize_t n = ::send(conn.sock.fd(), conn.outbox.data() + conn.out_off,
+                               conn.outbox.size() - conn.out_off, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn.out_off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return false;
+      if (n < 0 && errno == EINTR) continue;
+      return true;  // Broken pipe: the client is gone.
+    }
+    if (conn.out_off > 0) {
+      conn.outbox.erase(0, conn.out_off);
+      conn.out_off = 0;
+    }
+    // Close only once the pending reply (if any) has been produced *and*
+    // flushed — a waiting request's connection must survive until its job
+    // resolves even under Connection: close.
+    return conn.close_after_write && conn.outbox.empty() && !conn.waiting;
+  }
+
+  void accept_ready() {
+    for (;;) {
+      net::Socket sock = listener.accept();
+      if (!sock.valid()) return;
+      accepted.fetch_add(1, std::memory_order_relaxed);
+      obs::count(obs::Counter::ServeAccept);
+      const std::uint64_t id = next_conn_id++;
+      auto [it, inserted] = conns.emplace(id, Conn(opt.http));
+      Conn& conn = it->second;
+      conn.sock = std::move(sock);
+      conn.id = id;
+      if (conns.size() > static_cast<std::size_t>(opt.max_connections)) {
+        conn.close_after_write = true;
+        enqueue_reply(id, 503, "text/plain", "too many connections\n");
+        continue;
+      }
+      if (check::fire(check::FaultSite::ServeSlowLoris)) {
+        conn.slow_loris = true;
+      }
+    }
+  }
+
+  void sweep_timeouts() {
+    const auto now = Clock::now();
+    std::vector<std::uint64_t> expired_partial;
+    std::vector<std::uint64_t> expired_idle;
+    for (auto& [id, conn] : conns) {
+      if (conn.has_partial &&
+          std::chrono::duration<double>(now - conn.request_start).count() >
+              opt.header_timeout_s) {
+        expired_partial.push_back(id);
+      } else if (!conn.waiting && !conn.has_partial && conn.outbox.empty() &&
+                 std::chrono::duration<double>(now - conn.last_activity).count() >
+                     opt.idle_timeout_s) {
+        expired_idle.push_back(id);
+      }
+    }
+    for (const std::uint64_t id : expired_partial) {
+      // The slow-loris guard proper: a request that dribbles in slower than
+      // the header deadline is rejected, freeing its connection slot.
+      const auto it = conns.find(id);
+      if (it == conns.end()) continue;
+      it->second.close_after_write = true;
+      it->second.has_partial = false;
+      enqueue_reply(id, 408, "text/plain", "request timeout\n");
+    }
+    for (const std::uint64_t id : expired_idle) {
+      const auto it = conns.find(id);
+      if (it != conns.end()) close_conn(it);
+    }
+  }
+
+  void update_gauges() {
+    gauge_queue.store(queue_depth(), std::memory_order_relaxed);
+    gauge_running.store(pool ? pool->running() : 0, std::memory_order_relaxed);
+    gauge_conns.store(conns.size(), std::memory_order_relaxed);
+  }
+
+  ServeStatsSnapshot snapshot_stats() const {
+    ServeStatsSnapshot s;
+    s.accepted = accepted.load(std::memory_order_relaxed);
+    s.requests = requests.load(std::memory_order_relaxed);
+    s.parse_errors = parse_errors.load(std::memory_order_relaxed);
+    s.shed = shed.load(std::memory_order_relaxed);
+    s.dedup_hits = dedup_hits.load(std::memory_order_relaxed);
+    s.cache_hits = cache_hits.load(std::memory_order_relaxed);
+    s.dispatched = dispatched.load(std::memory_order_relaxed);
+    s.completed = completed.load(std::memory_order_relaxed);
+    s.failed = failed.load(std::memory_order_relaxed);
+    s.replies = replies.load(std::memory_order_relaxed);
+    s.disconnects = disconnects.load(std::memory_order_relaxed);
+    s.queue_depth = gauge_queue.load(std::memory_order_relaxed);
+    s.running = gauge_running.load(std::memory_order_relaxed);
+    s.connections = gauge_conns.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  // ------------------------------------------------------------- the drain
+
+  void begin_drain() {
+    draining = true;
+    drain_deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                        std::chrono::duration<double>(
+                                            opt.drain_grace_s));
+    listener.close();
+    // Queued (never dispatched) work is abandoned: its waiters get 503 now,
+    // its campaign cells stay Pending in the checkpoint so a resubmission
+    // after restart picks them up — the supervisor's drain contract.
+    queues.clear();
+    rr_clients.clear();
+    std::vector<std::uint64_t> waiters;
+    for (auto& [key, job] : jobs) {
+      if (job.state == CellJob::State::Queued) {
+        for (const std::uint64_t waiter : job.waiters) waiters.push_back(waiter);
+        job.waiters.clear();
+        job.campaigns.clear();
+      }
+    }
+    for (auto& [id, campaign] : campaigns) {
+      checkpoint(campaign);
+      for (const std::uint64_t waiter : campaign.waiters) {
+        waiters.push_back(waiter);
+      }
+      campaign.waiters.clear();
+    }
+    for (const std::uint64_t waiter : waiters) {
+      reply_json(waiter, 503, error_body("draining: resubmit after restart"));
+    }
+    log_line("drain: stopped accepting; waiting up to " +
+             std::to_string(opt.drain_grace_s) + " s for " +
+             std::to_string(pool->running()) + " worker(s)");
+  }
+
+  void finish_drain() {
+    // Stragglers are killed uncharged; their cells stay Pending.
+    pool->kill_all(1.0);
+    for (auto& [id, campaign] : campaigns) checkpoint(campaign);
+    for (auto& [id, conn] : conns) flush_conn(conn);
+    conns.clear();
+    log_line("drain: checkpointed, exiting 130");
+  }
+};
+
+// ------------------------------------------------------------------ Server
+
+Server::Server(ServeOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options), *this)) {}
+
+Server::~Server() = default;
+
+void Server::start() {
+  ServeOptions& opt = impl_->opt;
+  if (opt.work_dir.empty()) throw std::runtime_error("serve: --work-dir required");
+  if (opt.workers < 1) throw std::runtime_error("serve: workers < 1");
+  if (opt.max_queue < 1) throw std::runtime_error("serve: max-queue < 1");
+  if (opt.max_attempts < 1) throw std::runtime_error("serve: max-attempts < 1");
+  fs::create_directories(opt.work_dir);
+  if (!opt.no_cache) {
+    impl_->cache.emplace(opt.cache_dir.empty() ? ".feast-cache" : opt.cache_dir);
+  }
+  supervise::WorkerPoolOptions pool_options;
+  pool_options.slots = opt.workers;
+  pool_options.cell_timeout_s = opt.cell_timeout_s;
+  pool_options.term_grace_s = opt.term_grace_s;
+  pool_options.memory_limit_mb = opt.memory_limit_mb;
+  pool_options.worker_threads = opt.worker_threads;
+  pool_options.feastc_path = opt.feastc_path;
+  pool_options.cache_dir =
+      opt.no_cache ? "" : (opt.cache_dir.empty() ? ".feast-cache" : opt.cache_dir);
+  pool_options.no_cache = opt.no_cache;
+  pool_options.work_dir = (fs::path(opt.work_dir) / "shards").string();
+  impl_->pool = std::make_unique<supervise::WorkerPool>(pool_options);
+  impl_->listener = net::TcpListener::bind_and_listen(opt.host, opt.port);
+}
+
+std::uint16_t Server::port() const noexcept { return impl_->listener.port(); }
+
+int Server::run() {
+  Impl& impl = *impl_;
+  if (!impl.listener.valid()) start();
+  SignalGuard signals;
+  bool drained = false;
+  while (true) {
+    // Assemble this tick's poll set: listener + every connection.
+    std::vector<pollfd> pfds;
+    std::vector<std::uint64_t> pfd_conn;
+    pfds.reserve(impl.conns.size() + 1);
+    if (impl.listener.valid()) {
+      pfds.push_back({impl.listener.fd(), POLLIN, 0});
+      pfd_conn.push_back(0);
+    }
+    for (auto& [id, conn] : impl.conns) {
+      short events = POLLIN;
+      if (!conn.outbox.empty()) events |= POLLOUT;
+      pfds.push_back({conn.sock.fd(), events, 0});
+      pfd_conn.push_back(id);
+    }
+    const int rc = ::poll(pfds.data(), pfds.size(), 20);
+    (void)rc;  // EINTR and timeouts both fall through to the tick body.
+
+    std::vector<std::uint64_t> closing;
+    for (std::size_t i = 0; i < pfds.size(); ++i) {
+      if (pfd_conn[i] == 0) {
+        if ((pfds[i].revents & POLLIN) != 0) impl.accept_ready();
+        continue;
+      }
+      const auto it = impl.conns.find(pfd_conn[i]);
+      if (it == impl.conns.end()) continue;
+      Conn& conn = it->second;
+      if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        if (impl.read_conn(conn)) {
+          closing.push_back(conn.id);
+          continue;
+        }
+      }
+      if (!conn.outbox.empty() || conn.close_after_write) {
+        if (impl.flush_conn(conn)) closing.push_back(conn.id);
+      }
+    }
+    for (const std::uint64_t id : closing) {
+      const auto it = impl.conns.find(id);
+      if (it != impl.conns.end()) impl.close_conn(it);
+    }
+
+    impl.harvest();
+    if (!impl.draining) impl.dispatch();
+    impl.sweep_timeouts();
+    impl.update_gauges();
+
+    const bool stop_requested = stop_.load(std::memory_order_acquire);
+    const bool drain_requested =
+        drain_.load(std::memory_order_acquire) || signals.signal() != 0;
+    if (!impl.draining && drain_requested) {
+      impl.begin_drain();
+      drained = true;
+    }
+    if (impl.draining &&
+        (impl.pool->running() == 0 || Clock::now() >= impl.drain_deadline)) {
+      // Give late harvests one last pass, then cut the stragglers loose.
+      impl.harvest();
+      impl.finish_drain();
+      return drained ? 130 : 0;
+    }
+    if (stop_requested && !impl.draining) {
+      impl.pool->kill_all(1.0);
+      for (auto& [id, campaign] : impl.campaigns) impl.checkpoint(campaign);
+      for (auto& [id, conn] : impl.conns) impl.flush_conn(conn);
+      impl.conns.clear();
+      impl.listener.close();
+      impl.log_line("stopped");
+      return 0;
+    }
+  }
+}
+
+ServeStatsSnapshot Server::stats() const { return impl_->snapshot_stats(); }
+
+}  // namespace feast::serve

@@ -247,6 +247,14 @@ ExitStatus Subprocess::kill_and_reap(double term_grace_s) {
   return status_;
 }
 
+std::string self_exe_path() {
+  char buffer[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buffer, sizeof buffer - 1);
+  if (n <= 0) return "feastc";  // PATH lookup as a last resort.
+  buffer[n] = '\0';
+  return buffer;
+}
+
 ExitStatus run_command(const std::vector<std::string>& argv,
                        const SubprocessOptions& options, double timeout_s,
                        std::string* error) {

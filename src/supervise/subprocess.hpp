@@ -127,4 +127,9 @@ ExitStatus run_command(const std::vector<std::string>& argv,
                        const SubprocessOptions& options, double timeout_s,
                        std::string* error = nullptr);
 
+/// Absolute path of the running executable (/proc/self/exe); falls back to
+/// "feastc" (PATH lookup) when unreadable.  The supervisor and the serve
+/// daemon both use this to re-spawn themselves as `exec-cell` workers.
+std::string self_exe_path();
+
 }  // namespace feast::supervise

@@ -70,14 +70,6 @@ std::string inject_for_attempt(const std::string& value, int attempt) {
   return attempt == only ? value.substr(0, at) : std::string();
 }
 
-std::string self_exe_path() {
-  char buffer[4096];
-  const ssize_t n = ::readlink("/proc/self/exe", buffer, sizeof buffer - 1);
-  if (n <= 0) return "feastc";  // PATH lookup as a last resort.
-  buffer[n] = '\0';
-  return buffer;
-}
-
 double ms_since(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
 }
@@ -182,30 +174,93 @@ std::string render_shard_result(const ShardResult& result,
   return out.str();
 }
 
-std::optional<ShardResult> parse_shard_result(const std::string& data) {
+const char* to_string(ShardError error) noexcept {
+  switch (error) {
+    case ShardError::None: return "";
+    case ShardError::Truncated: return "truncated";
+    case ShardError::Corrupt: return "corrupt";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Rejects \p data with the \p why taxonomy: bumps the matching obs counter
+/// and reports the classification through \p error.
+std::nullopt_t reject_shard(ShardError why, ShardError* error) {
+  obs::count(why == ShardError::Truncated ? obs::Counter::ShardTruncated
+                                          : obs::Counter::ShardCorrupt);
+  if (error != nullptr) *error = why;
+  return std::nullopt;
+}
+
+/// Reads one newline-terminated header line.  False at end of data; a line
+/// the stream ended inside (no '\n') sets \p complete false — the signature
+/// of a truncated delivery rather than corrupt bytes.
+bool shard_header_line(std::istream& in, std::string& line, bool& complete) {
+  if (!std::getline(in, line)) return false;
+  complete = !in.eof();
+  return true;
+}
+
+}  // namespace
+
+std::optional<ShardResult> parse_shard_result(const std::string& data,
+                                              ShardError* error) {
+  if (error != nullptr) *error = ShardError::None;
   std::istringstream in(data);
   std::string line;
-  if (!std::getline(in, line) || line != "feast-shard v1") return std::nullopt;
+  bool complete = false;
+  // Header lines: running out of bytes — or a final line without its
+  // newline — is truncation; a complete line with the wrong shape or an
+  // unparseable value is corruption.
+  if (!shard_header_line(in, line, complete)) {
+    return reject_shard(ShardError::Truncated, error);
+  }
+  if (!complete) return reject_shard(ShardError::Truncated, error);
+  if (line != "feast-shard v1") return reject_shard(ShardError::Corrupt, error);
   ShardResult result;
-  if (!std::getline(in, line) || line.rfind("cell ", 0) != 0) return std::nullopt;
+  if (!shard_header_line(in, line, complete)) {
+    return reject_shard(ShardError::Truncated, error);
+  }
+  if (!complete) return reject_shard(ShardError::Truncated, error);
+  if (line.rfind("cell ", 0) != 0) return reject_shard(ShardError::Corrupt, error);
   try {
     result.cell_index = std::stoull(line.substr(5));
   } catch (const std::exception&) {
-    return std::nullopt;
+    return reject_shard(ShardError::Corrupt, error);
   }
-  if (!std::getline(in, line) || line.rfind("origin ", 0) != 0) return std::nullopt;
+  if (!shard_header_line(in, line, complete)) {
+    return reject_shard(ShardError::Truncated, error);
+  }
+  if (!complete) return reject_shard(ShardError::Truncated, error);
+  if (line.rfind("origin ", 0) != 0) return reject_shard(ShardError::Corrupt, error);
   const std::string origin = line.substr(7);
-  if (origin != "computed" && origin != "cached") return std::nullopt;
+  if (origin != "computed" && origin != "cached") {
+    return reject_shard(ShardError::Corrupt, error);
+  }
   result.from_cache = origin == "cached";
-  if (!std::getline(in, line) || line.rfind("wall_ms ", 0) != 0) return std::nullopt;
+  if (!shard_header_line(in, line, complete)) {
+    return reject_shard(ShardError::Truncated, error);
+  }
+  if (!complete) return reject_shard(ShardError::Truncated, error);
+  if (line.rfind("wall_ms ", 0) != 0) return reject_shard(ShardError::Corrupt, error);
   try {
     result.wall_ms = std::stod(line.substr(8));
   } catch (const std::exception&) {
-    return std::nullopt;
+    return reject_shard(ShardError::Corrupt, error);
   }
   const std::string record((std::istreambuf_iterator<char>(in)),
                            std::istreambuf_iterator<char>());
-  if (!read_cell_record(record, result.stats).has_value()) return std::nullopt;
+  RecordError record_error = RecordError::None;
+  CellStats stats;
+  if (!read_cell_record(record, stats, &record_error).has_value()) {
+    return reject_shard(record_error == RecordError::Truncated
+                            ? ShardError::Truncated
+                            : ShardError::Corrupt,
+                        error);
+  }
+  result.stats = stats;
   return result;
 }
 

@@ -119,12 +119,25 @@ struct ShardResult {
   CellStats stats;
 };
 
+/// Why a shard result was rejected.  `Truncated`: the bytes end before the
+/// record's final checksum line is complete — a short read or fragmented
+/// delivery lost the tail.  `Corrupt`: the shard is structurally complete
+/// but wrong — bad magic/fields or a failed whole-record checksum.  Over a
+/// remote transport the distinction is diagnostic: truncation points at
+/// delivery, corruption at the bytes.  Each rejection bumps the matching
+/// obs counter (`shard.truncated` / `shard.corrupt`).
+enum class ShardError : std::uint8_t { None, Truncated, Corrupt };
+
+const char* to_string(ShardError error) noexcept;
+
 /// Renders/parses the shard-result file format (versioned, ends with the
 /// cell record's whole-record checksum; docs/ROBUSTNESS.md).  parse returns
-/// std::nullopt on any malformed input, never throws on corrupt bytes.
+/// std::nullopt on any malformed input, never throws on corrupt bytes;
+/// \p error (when non-null) reports the truncated-vs-corrupt taxonomy.
 std::string render_shard_result(const ShardResult& result,
                                 const std::string& canonical_key);
-std::optional<ShardResult> parse_shard_result(const std::string& data);
+std::optional<ShardResult> parse_shard_result(const std::string& data,
+                                              ShardError* error = nullptr);
 
 /// Worker side of the protocol (the `feastc campaign exec-cell` body):
 /// executes cell \p cell_index of \p spec (cache on \p cache_dir unless

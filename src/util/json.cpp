@@ -1,11 +1,16 @@
 #include "util/json.hpp"
 
 #include <cctype>
+#include <cstdio>
 #include <stdexcept>
 
 namespace feast {
 
 JsonValue JsonParser::parse() {
+  if (limits_.max_bytes != 0 && text_.size() > limits_.max_bytes) {
+    fail("input exceeds byte budget (" + std::to_string(text_.size()) + " > " +
+         std::to_string(limits_.max_bytes) + ")");
+  }
   JsonValue value = parse_value();
   skip_ws();
   if (pos_ != text_.size()) fail("trailing content");
@@ -75,12 +80,17 @@ JsonValue JsonParser::parse_value() {
 }
 
 JsonValue JsonParser::parse_object() {
+  // Depth is bounded here and in parse_array — the only two recursion
+  // points — so a `[[[[...` or `{"a":{"a":...` bomb fails with an offset
+  // instead of exhausting the call stack.
+  if (++depth_ > limits_.max_depth) fail("nesting exceeds depth limit");
   expect('{');
   JsonValue v;
   v.type = JsonValue::Type::Object;
   skip_ws();
   if (peek() == '}') {
     ++pos_;
+    --depth_;
     return v;
   }
   for (;;) {
@@ -95,17 +105,20 @@ JsonValue JsonParser::parse_object() {
       continue;
     }
     expect('}');
+    --depth_;
     return v;
   }
 }
 
 JsonValue JsonParser::parse_array() {
+  if (++depth_ > limits_.max_depth) fail("nesting exceeds depth limit");
   expect('[');
   JsonValue v;
   v.type = JsonValue::Type::Array;
   skip_ws();
   if (peek() == ']') {
     ++pos_;
+    --depth_;
     return v;
   }
   for (;;) {
@@ -116,6 +129,7 @@ JsonValue JsonParser::parse_array() {
       continue;
     }
     expect(']');
+    --depth_;
     return v;
   }
 }
@@ -183,14 +197,43 @@ JsonValue JsonParser::parse_number() {
   if (start == pos_) fail("expected a value");
   JsonValue v;
   v.type = JsonValue::Type::Number;
+  const std::string token = text_.substr(start, pos_ - start);
+  std::size_t consumed = 0;
   try {
-    v.number = std::stod(text_.substr(start, pos_ - start));
+    v.number = std::stod(token, &consumed);
   } catch (const std::exception&) {
     fail("bad number");
   }
+  // stod parses the longest valid prefix; "1e" or "1.2.3" must not pass.
+  if (consumed != token.size()) fail("bad number");
   return v;
 }
 
-JsonValue parse_json(const std::string& text) { return JsonParser(text).parse(); }
+JsonValue parse_json(const std::string& text, JsonLimits limits) {
+  return JsonParser(text, limits).parse();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
 
 }  // namespace feast

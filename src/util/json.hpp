@@ -33,11 +33,27 @@ struct JsonValue {
   }
 };
 
+/// Resource bounds enforced while parsing.  The defaults are generous
+/// enough for every file this repository writes (manifests, traces, bench
+/// records); the serve daemon passes tighter ones because its input is
+/// attacker-controlled bytes off a socket.
+struct JsonLimits {
+  /// Maximum nesting depth of arrays/objects.  A deeply nested `[[[[...`
+  /// bomb otherwise turns the recursive-descent parser into a stack
+  /// overflow — a remote crash, not a parse error.
+  std::size_t max_depth = 128;
+  /// Maximum input size in bytes; 0 means unlimited.  Checked up front so
+  /// an oversized document is rejected before any work is done.
+  std::size_t max_bytes = 0;
+};
+
 /// Recursive-descent parser over a complete input string.  Throws
-/// std::runtime_error with an offset on malformed input.
+/// std::runtime_error with an offset on malformed input or a violated
+/// limit.
 class JsonParser {
  public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
+  explicit JsonParser(const std::string& text, JsonLimits limits = {})
+      : text_(text), limits_(limits) {}
 
   /// Parses the whole input (trailing content is an error).
   JsonValue parse();
@@ -55,10 +71,16 @@ class JsonParser {
   JsonValue parse_number();
 
   const std::string& text_;
+  JsonLimits limits_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 /// Convenience: parse a complete JSON document.
-JsonValue parse_json(const std::string& text);
+JsonValue parse_json(const std::string& text, JsonLimits limits = {});
+
+/// Escapes \p s for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters as \uXXXX).
+std::string json_escape(const std::string& s);
 
 }  // namespace feast

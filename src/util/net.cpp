@@ -1,0 +1,248 @@
+#include "util/net.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+namespace feast::net {
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void set_error(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what + ": " + std::strerror(errno);
+}
+
+/// "localhost" and the empty string mean loopback; anything else must be an
+/// IPv4 dotted quad.  The daemon binds loopback by default, so a resolver
+/// is deliberately out of scope.
+bool parse_host(const std::string& host, in_addr* out) {
+  if (host.empty() || host == "localhost") {
+    out->s_addr = htonl(INADDR_LOOPBACK);
+    return true;
+  }
+  return inet_pton(AF_INET, host.c_str(), out) == 1;
+}
+
+/// Waits for \p events on \p fd until \p deadline.  Returns true when the
+/// fd is ready, false on timeout or poll error.
+bool wait_ready(int fd, short events, double deadline) {
+  for (;;) {
+    const double remaining = deadline - now_s();
+    if (remaining <= 0.0) return false;
+    pollfd pfd{fd, events, 0};
+    const int timeout_ms = static_cast<int>(remaining * 1000.0) + 1;
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno != EINTR) return false;
+  }
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool set_nonblocking(int fd, bool on) noexcept {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int next = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return fcntl(fd, F_SETFL, next) == 0;
+}
+
+TcpListener TcpListener::bind_and_listen(const std::string& host, std::uint16_t port,
+                                         int backlog) {
+  in_addr addr{};
+  if (!parse_host(host, &addr)) {
+    throw std::runtime_error("net: cannot parse host '" + host +
+                             "' (IPv4 dotted quad or 'localhost')");
+  }
+  Socket sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!sock.valid()) {
+    throw std::runtime_error(std::string("net: socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr = addr;
+  sa.sin_port = htons(port);
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+    throw std::runtime_error("net: bind " + host + ":" + std::to_string(port) + ": " +
+                             std::strerror(errno));
+  }
+  if (::listen(sock.fd(), backlog) != 0) {
+    throw std::runtime_error(std::string("net: listen: ") + std::strerror(errno));
+  }
+  if (!set_nonblocking(sock.fd(), true)) {
+    throw std::runtime_error(std::string("net: fcntl: ") + std::strerror(errno));
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    throw std::runtime_error(std::string("net: getsockname: ") + std::strerror(errno));
+  }
+
+  TcpListener listener;
+  listener.socket_ = std::move(sock);
+  listener.port_ = ntohs(bound.sin_port);
+  return listener;
+}
+
+Socket TcpListener::accept() noexcept {
+  const int fd =
+      ::accept4(socket_.fd(), nullptr, nullptr, SOCK_CLOEXEC | SOCK_NONBLOCK);
+  if (fd < 0) return Socket{};
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Socket(fd);
+}
+
+Socket tcp_connect(const std::string& host, std::uint16_t port, double timeout_s,
+                   std::string* error) {
+  in_addr addr{};
+  if (!parse_host(host, &addr)) {
+    if (error != nullptr) *error = "cannot parse host '" + host + "'";
+    return Socket{};
+  }
+  Socket sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!sock.valid()) {
+    set_error(error, "socket");
+    return Socket{};
+  }
+  // Connect nonblocking so the deadline applies, then flip back to blocking
+  // for the request/response exchange.
+  if (!set_nonblocking(sock.fd(), true)) {
+    set_error(error, "fcntl");
+    return Socket{};
+  }
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr = addr;
+  sa.sin_port = htons(port);
+  const double deadline = now_s() + timeout_s;
+  if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+    if (errno != EINPROGRESS) {
+      set_error(error, "connect");
+      return Socket{};
+    }
+    if (!wait_ready(sock.fd(), POLLOUT, deadline)) {
+      if (error != nullptr) *error = "connect timed out";
+      return Socket{};
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+        so_error != 0) {
+      errno = so_error != 0 ? so_error : errno;
+      set_error(error, "connect");
+      return Socket{};
+    }
+  }
+  if (!set_nonblocking(sock.fd(), false)) {
+    set_error(error, "fcntl");
+    return Socket{};
+  }
+  const int one = 1;
+  setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+int read_available(int fd, std::string& buffer, std::size_t max) {
+  char chunk[16 * 1024];
+  const std::size_t want = max < sizeof(chunk) ? max : sizeof(chunk);
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, want, 0);
+    if (n > 0) {
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      return static_cast<int>(n);
+    }
+    if (n == 0) return 0;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    return -2;
+  }
+}
+
+bool write_all(int fd, std::string_view data, double timeout_s, std::string* error) {
+  const double deadline = now_s() + timeout_s;
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!wait_ready(fd, POLLOUT, deadline)) {
+        if (error != nullptr) *error = "write timed out";
+        return false;
+      }
+      continue;
+    }
+    set_error(error, "write");
+    return false;
+  }
+  return true;
+}
+
+bool read_until_eof(int fd, std::string& out, double timeout_s, std::string* error) {
+  const double deadline = now_s() + timeout_s;
+  for (;;) {
+    if (!wait_ready(fd, POLLIN, deadline)) {
+      if (error != nullptr) *error = "read timed out";
+      return false;
+    }
+    const int rc = read_available(fd, out);
+    if (rc == 0) return true;
+    if (rc == -2) {
+      set_error(error, "read");
+      return false;
+    }
+  }
+}
+
+bool unix_socketpair(Socket& a, Socket& b, std::string* error) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds) != 0) {
+    set_error(error, "socketpair");
+    return false;
+  }
+  a = Socket(fds[0]);
+  b = Socket(fds[1]);
+  return true;
+}
+
+}  // namespace feast::net

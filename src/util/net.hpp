@@ -1,0 +1,95 @@
+/// \file net.hpp
+/// \brief Minimal POSIX TCP socket layer for the serve subsystem.
+///
+/// Wraps exactly what a single-threaded poll()-driven daemon needs — a
+/// nonblocking listener, RAII connection fds, bounded-time connect/read/
+/// write helpers and a socketpair for loopback tests — with no external
+/// dependencies.  Everything reports failure through return values plus an
+/// optional error string; only listener setup throws (a daemon that cannot
+/// bind has nothing to degrade to).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace feast::net {
+
+/// RAII file-descriptor owner (sockets, pipes).  Move-only.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+  /// Releases ownership (caller closes).
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Sets/clears O_NONBLOCK.  Returns false on fcntl failure.
+bool set_nonblocking(int fd, bool on) noexcept;
+
+/// Nonblocking listening TCP socket.  port 0 binds an ephemeral port;
+/// port() reports the resolved one.
+class TcpListener {
+ public:
+  TcpListener() = default;
+
+  /// Binds + listens on \p host:\p port (IPv4 dotted quad or "localhost").
+  /// Throws std::runtime_error on any failure.
+  static TcpListener bind_and_listen(const std::string& host, std::uint16_t port,
+                                     int backlog = 64);
+
+  int fd() const noexcept { return socket_.fd(); }
+  bool valid() const noexcept { return socket_.valid(); }
+  std::uint16_t port() const noexcept { return port_; }
+  void close() noexcept { socket_.close(); }
+
+  /// Accepts one pending connection (CLOEXEC, nonblocking).  Returns an
+  /// invalid Socket when none is pending (or on a transient error).
+  Socket accept() noexcept;
+
+ private:
+  Socket socket_;
+  std::uint16_t port_ = 0;
+};
+
+/// Blocking TCP connect with a deadline.  Returns an invalid Socket and
+/// fills \p error (when non-null) on failure.  The returned socket is
+/// blocking (clients use plain read/write with recv timeouts).
+Socket tcp_connect(const std::string& host, std::uint16_t port, double timeout_s,
+                   std::string* error = nullptr);
+
+/// Reads once into \p buffer (up to \p max bytes), appending.  Returns
+/// > 0 bytes appended, 0 on orderly EOF, -1 on would-block, -2 on error.
+int read_available(int fd, std::string& buffer, std::size_t max = 64 * 1024);
+
+/// Writes the whole buffer with a deadline (EINTR/short-write safe; waits
+/// for writability on a nonblocking fd).  False on error or timeout.
+bool write_all(int fd, std::string_view data, double timeout_s,
+               std::string* error = nullptr);
+
+/// Blocking read of everything until EOF or \p timeout_s of inactivity.
+/// Appends to \p out; false on error/timeout before EOF.
+bool read_until_eof(int fd, std::string& out, double timeout_s,
+                    std::string* error = nullptr);
+
+/// AF_UNIX socketpair (both ends blocking, CLOEXEC) for loopback tests of
+/// byte-stream fragmentation.  False + \p error on failure.
+bool unix_socketpair(Socket& a, Socket& b, std::string* error = nullptr);
+
+}  // namespace feast::net
