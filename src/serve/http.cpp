@@ -47,9 +47,16 @@ HttpRequestParser::Status HttpRequestParser::fail(int status, std::string what) 
 
 HttpRequestParser::Status HttpRequestParser::feed(const char* data,
                                                   std::size_t size) {
-  if (state_ != Status::NeedMore) return state_;
+  if (state_ == Status::Error) return state_;
   buffer_.append(data, size);
+  // In Done state the bytes are pipelined behind an unconsumed request:
+  // retain them (the append above) and parse after reset().
+  if (state_ != Status::NeedMore) return state_;
   return parse_buffer();
+}
+
+HttpRequestParser::Status HttpRequestParser::drive() {
+  return state_ == Status::NeedMore ? parse_buffer() : state_;
 }
 
 HttpRequestParser::Status HttpRequestParser::parse_buffer() {

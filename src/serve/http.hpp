@@ -52,8 +52,17 @@ class HttpRequestParser {
   explicit HttpRequestParser(HttpLimits limits = {}) : limits_(limits) {}
 
   /// Consumes \p bytes.  Returns the parse state after this fragment.
+  /// In Done state the bytes are buffered (pipelined behind the pending
+  /// request) rather than parsed; in Error state they are discarded.
   Status feed(const char* data, std::size_t size);
   Status feed(const std::string& data) { return feed(data.data(), data.size()); }
+
+  /// Re-parses already-buffered bytes without feeding new ones — the
+  /// companion to reset() for draining pipelined requests.
+  Status drive();
+
+  /// Bytes held but not yet consumed into a completed request.
+  std::size_t buffered() const noexcept { return buffer_.size(); }
 
   /// The parsed request (valid after Done).
   const HttpRequest& request() const noexcept { return request_; }

@@ -123,6 +123,8 @@ struct Conn {
   bool waiting = false;     ///< Request handled, reply pending on a job.
   bool slow_loris = false;  ///< Fault-injected: reject with 408 on first bytes.
   bool has_partial = false; ///< A request is arriving but incomplete.
+  bool doomed = false;      ///< Torn down; erased at end of tick (never
+                            ///< mid-callback — callers hold references).
   Clock::time_point last_activity = Clock::now();
   Clock::time_point request_start = Clock::now();  ///< First byte of request.
   std::string client = "anon";
@@ -176,6 +178,13 @@ struct CampaignJob {
   Clock::time_point started = Clock::now();
 };
 
+// Lifetime bounds on the daemon's memo maps.  Terminal cell jobs and spec
+// files are cheap to recreate (the persistent result cache still answers
+// repeats), so a long-lived daemon evicts the oldest beyond these caps
+// instead of growing without bound.
+constexpr std::size_t kMaxTerminalMemo = 4096;
+constexpr std::size_t kMaxSpecMemo = 512;
+
 }  // namespace
 
 // ------------------------------------------------------------------- Impl
@@ -195,6 +204,10 @@ struct Server::Impl {
   std::map<std::uint64_t, CampaignJob> campaigns;
   std::map<std::string, std::uint64_t> campaign_by_hash;  ///< In-flight only.
   std::map<std::string, std::string> spec_paths;          ///< spec hash → file.
+  std::deque<std::string> memo_order;  ///< Terminal job keys, oldest first.
+  std::deque<std::string> spec_order;  ///< Spec memo keys, oldest first.
+  std::deque<std::uint64_t> pump_queue;  ///< Conns with pipelined bytes to
+                                         ///< re-parse after their reply.
 
   // Per-client FIFO queues of queued job keys, drained round-robin.
   std::map<std::string, std::deque<std::string>> queues;
@@ -261,6 +274,14 @@ struct Server::Impl {
       throw std::runtime_error("serve: cannot write spec file: " + error);
     }
     spec_paths.emplace(spec_hash, path);
+    spec_order.push_back(spec_hash);
+    // Only the memo is bounded; the file itself stays on disk, since queued
+    // jobs hold their own copies of the path.  An evicted spec is simply
+    // rewritten on its next submission.
+    while (spec_order.size() > kMaxSpecMemo) {
+      spec_paths.erase(spec_order.front());
+      spec_order.pop_front();
+    }
     return path;
   }
 
@@ -272,7 +293,7 @@ struct Server::Impl {
   void enqueue_reply(std::uint64_t conn_id, int status,
                      const std::string& content_type, const std::string& body) {
     const auto it = conns.find(conn_id);
-    if (it == conns.end()) {
+    if (it == conns.end() || it->second.doomed) {
       disconnects.fetch_add(1, std::memory_order_relaxed);
       obs::count(obs::Counter::ServeDisconnect);
       return;
@@ -280,10 +301,17 @@ struct Server::Impl {
     Conn& conn = it->second;
     if (check::fire(check::FaultSite::ServeClientDisconnect)) {
       // The armed occurrence simulates the client hanging up right before
-      // its reply: drop the connection, the daemon must shrug it off.
+      // its reply.  Erasing the Conn here would free memory our synchronous
+      // callers (read_conn, the poll loop) still hold references into, so
+      // only mark it doomed; the reactor reaps it at the end of the tick.
       disconnects.fetch_add(1, std::memory_order_relaxed);
       obs::count(obs::Counter::ServeDisconnect);
-      close_conn(it);
+      conn.doomed = true;
+      conn.waiting = false;
+      conn.has_partial = false;
+      conn.outbox.clear();
+      conn.out_off = 0;
+      ::shutdown(conn.sock.fd(), SHUT_RDWR);
       return;
     }
     conn.outbox +=
@@ -297,6 +325,9 @@ struct Server::Impl {
     }
     conn.waiting = false;
     conn.parser.reset();
+    // Bytes pipelined behind this reply may already hold a complete next
+    // request; the pump drains them (worklist, not recursion).
+    if (!conn.close_after_write) pump_queue.push_back(conn.id);
     flush_conn(conn);
   }
 
@@ -368,6 +399,24 @@ struct Server::Impl {
     campaigns.erase(it);
   }
 
+  /// Records \p job reaching a terminal state and evicts the oldest
+  /// memoized terminal jobs beyond the cap — never the one just noted,
+  /// whose reference callers still hold.  Evicted results are not lost:
+  /// the persistent cell cache still answers repeats.
+  void note_terminal(const CellJob& job) {
+    memo_order.push_back(job.key);
+    while (memo_order.size() > kMaxTerminalMemo) {
+      const std::string key = std::move(memo_order.front());
+      memo_order.pop_front();
+      if (key == job.key) continue;
+      const auto it = jobs.find(key);
+      if (it != jobs.end() && it->second.terminal() &&
+          it->second.waiters.empty() && it->second.campaigns.empty()) {
+        jobs.erase(it);
+      }
+    }
+  }
+
   /// Applies a terminal cell job to every waiter: single-cell replies and
   /// campaign rows, checkpointing and finishing campaigns as they complete.
   void settle_job(CellJob& job) {
@@ -396,6 +445,7 @@ struct Server::Impl {
       checkpoint(campaign);
       if (--campaign.outstanding == 0) finish_campaign(link.campaign);
     }
+    note_terminal(job);
   }
 
   static void apply_job_to_cell(const CellJob& job, CellOutcome& cell) {
@@ -495,7 +545,15 @@ struct Server::Impl {
                           ? spec_hash + ":" + std::to_string(cell.index)
                           : cell.canonical;
     if (!inject.empty()) key += "#inject=" + inject;
-    const auto it = jobs.find(key);
+    auto it = jobs.find(key);
+    if (it != jobs.end() && it->second.state == CellJob::State::Failed) {
+      // A memoized failure is a verdict on past attempts, not on the bytes:
+      // a resubmission evicts it and retries with a fresh budget.  (This
+      // also keeps the campaign admission pre-count honest — it already
+      // treats Failed jobs as new work.)
+      jobs.erase(it);
+      it = jobs.end();
+    }
     if (it != jobs.end()) {
       created = false;
       dedup_hits.fetch_add(1, std::memory_order_relaxed);
@@ -532,6 +590,7 @@ struct Server::Impl {
                                    job.span_start_ns);
           job.sink = nullptr;
         }
+        note_terminal(job);
         return job;
       }
       obs::count(obs::Counter::CacheMiss);
@@ -576,14 +635,19 @@ struct Server::Impl {
       reply_json(conn.id, 400, error_body(std::string("bad spec: ") + e.what()));
       return;
     }
-    const std::size_t index =
-        static_cast<std::size_t>(cell_value->number < 0 ? 0 : cell_value->number);
-    if (cell_value->number < 0 || index >= plan.size()) {
+    // Validate in double space before any cast: an untrusted value like
+    // 1e300 or 0.5 must never reach the double→size_t conversion (UB when
+    // out of range, silent truncation when fractional).
+    const double cell_number = cell_value->number;
+    if (!std::isfinite(cell_number) || cell_number < 0.0 ||
+        cell_number != std::floor(cell_number) ||
+        cell_number >= static_cast<double>(plan.size())) {
       reply_json(conn.id, 400,
                  error_body("cell out of range (campaign has " +
                             std::to_string(plan.size()) + " cells)"));
       return;
     }
+    const std::size_t index = static_cast<std::size_t>(cell_number);
     const std::string spec_hash = hash_hex(fnv1a64(spec.canonical_text()));
     const std::string spec_path = spec_file_for(spec_hash, spec.canonical_text());
 
@@ -692,8 +756,8 @@ struct Server::Impl {
       // except under a racing queue, in which case the cell is quarantined
       // as shed rather than failing the whole submission.
       try {
-        CellJob& cell_job = resolve_cell(spec_hash, spec_paths[spec_hash],
-                                         plan[i], "", conn.client, created);
+        CellJob& cell_job = resolve_cell(spec_hash, spec_path, plan[i], "",
+                                         conn.client, created);
         if (cell_job.terminal()) {
           apply_job_to_cell(cell_job, cell);
         } else {
@@ -731,6 +795,7 @@ struct Server::Impl {
     out += ", \"replies\": " + std::to_string(snapshot.replies);
     out += ", \"disconnects\": " + std::to_string(snapshot.disconnects);
     out += ", \"queue_depth\": " + std::to_string(queue_depth());
+    out += ", \"clients\": " + std::to_string(queues.size());
     out += ", \"running\": " + std::to_string(pool ? pool->running() : 0);
     out += ", \"connections\": " + std::to_string(conns.size());
     out += ", \"draining\": ";
@@ -827,6 +892,7 @@ struct Server::Impl {
   /// True when the connection should be torn down after this read pass.
   bool read_conn(Conn& conn) {
     for (;;) {
+      if (conn.doomed) return true;
       std::string bytes;
       const int rc = net::read_available(conn.sock.fd(), bytes);
       if (rc == -1) break;  // Would block: drained the readable data.
@@ -845,12 +911,20 @@ struct Server::Impl {
         // as already expired — reject and close without parsing.
         conn.close_after_write = true;
         enqueue_reply(conn.id, 408, "text/plain", "request timeout\n");
-        return false;
+        return conn.doomed;
       }
       if (conn.waiting) {
-        // One request in flight per connection: buffer pipelined bytes in
-        // the parser after the reply goes out.
+        // One request in flight per connection: retain pipelined bytes in
+        // the parser; the reply path re-drives it over them.  A client that
+        // floods while its reply is pending is cut off, not buffered
+        // forever.
         conn.parser.feed(bytes);
+        if (conn.parser.buffered() >
+            opt.http.max_header_bytes + opt.http.max_body_bytes) {
+          parse_errors.fetch_add(1, std::memory_order_relaxed);
+          obs::count(obs::Counter::ServeParseError);
+          return true;
+        }
         continue;
       }
       if (!conn.has_partial) {
@@ -861,6 +935,7 @@ struct Server::Impl {
       if (status == HttpRequestParser::Status::Done) {
         conn.has_partial = false;
         handle_request(conn);
+        if (conn.doomed) return true;
       } else if (status == HttpRequestParser::Status::Error) {
         parse_errors.fetch_add(1, std::memory_order_relaxed);
         obs::count(obs::Counter::ServeParseError);
@@ -868,13 +943,48 @@ struct Server::Impl {
         enqueue_reply(conn.id, conn.parser.error_status(), "text/plain",
                       conn.parser.error() + "\n");
         conn.has_partial = false;
+        if (conn.doomed) return true;
       }
     }
     return false;
   }
 
+  /// Re-drives parsers over bytes that were pipelined behind a reply: each
+  /// entry is a connection whose parser may already hold a complete
+  /// request.  A worklist rather than recursion — handling a request can
+  /// answer it immediately, which re-arms the parser and pushes the
+  /// connection back here for the next buffered request.
+  void pump() {
+    while (!pump_queue.empty()) {
+      const std::uint64_t id = pump_queue.front();
+      pump_queue.pop_front();
+      const auto it = conns.find(id);
+      if (it == conns.end()) continue;
+      Conn& conn = it->second;
+      if (conn.waiting || conn.doomed || conn.close_after_write) continue;
+      const HttpRequestParser::Status status = conn.parser.drive();
+      if (status == HttpRequestParser::Status::Done) {
+        conn.has_partial = false;
+        handle_request(conn);
+      } else if (status == HttpRequestParser::Status::Error) {
+        parse_errors.fetch_add(1, std::memory_order_relaxed);
+        obs::count(obs::Counter::ServeParseError);
+        conn.close_after_write = true;
+        enqueue_reply(conn.id, conn.parser.error_status(), "text/plain",
+                      conn.parser.error() + "\n");
+        conn.has_partial = false;
+      } else if (conn.parser.buffered() > 0) {
+        // A pipelined request arrived incomplete: arm the partial-request
+        // deadline so the slow-loris sweep applies to it too.
+        conn.has_partial = true;
+        conn.request_start = Clock::now();
+      }
+    }
+  }
+
   /// Pushes outbox bytes; returns true when the conn should close.
   bool flush_conn(Conn& conn) {
+    if (conn.doomed) return true;
     while (conn.out_off < conn.outbox.size()) {
       const ssize_t n = ::send(conn.sock.fd(), conn.outbox.data() + conn.out_off,
                                conn.outbox.size() - conn.out_off, MSG_NOSIGNAL);
@@ -945,6 +1055,31 @@ struct Server::Impl {
     for (const std::uint64_t id : expired_idle) {
       const auto it = conns.find(id);
       if (it != conns.end()) close_conn(it);
+    }
+  }
+
+  /// Evicts clients whose fair queues have drained, so queue_depth() scans
+  /// and the round-robin stay proportional to *active* clients rather than
+  /// every x-feast-client value the daemon has ever seen.
+  void prune_clients() {
+    for (std::size_t i = 0; i < rr_clients.size();) {
+      const auto it = queues.find(rr_clients[i]);
+      if (it != queues.end() && !it->second.empty()) {
+        ++i;
+        continue;
+      }
+      if (it != queues.end()) queues.erase(it);
+      rr_clients.erase(rr_clients.begin() + i);
+      if (rr_cursor > i) --rr_cursor;
+      if (rr_cursor >= rr_clients.size()) rr_cursor = 0;
+    }
+  }
+
+  /// Erases connections doomed mid-callback, once no caller can still hold
+  /// a reference into them (end of tick).
+  void reap_doomed() {
+    for (auto it = conns.begin(); it != conns.end();) {
+      it = it->second.doomed ? conns.erase(it) : std::next(it);
     }
   }
 
@@ -1101,8 +1236,11 @@ int Server::run() {
     }
 
     impl.harvest();
+    impl.pump();
     if (!impl.draining) impl.dispatch();
+    impl.prune_clients();
     impl.sweep_timeouts();
+    impl.reap_doomed();
     impl.update_gauges();
 
     const bool stop_requested = stop_.load(std::memory_order_acquire);

@@ -190,6 +190,24 @@ TEST(HttpParser, KeepsPipelinedBytesAcrossReset) {
   EXPECT_EQ(parser.request().path(), "/v1/status");
 }
 
+TEST(HttpParser, BuffersBytesArrivingInDoneStateForTheNextRequest) {
+  serve::HttpRequestParser parser;
+  ASSERT_EQ(parser.feed("GET /healthz HTTP/1.1\r\n\r\n"),
+            serve::HttpRequestParser::Status::Done);
+  // Bytes fed while the parsed request is still unconsumed must be retained
+  // (they are the pipelined next request), not silently dropped.
+  ASSERT_EQ(parser.feed("GET /v1/status HTTP/1.1\r\n\r\n"),
+            serve::HttpRequestParser::Status::Done);
+  EXPECT_EQ(parser.request().path(), "/healthz");
+  parser.reset();
+  // drive() re-parses the retained bytes without any new feed.
+  ASSERT_EQ(parser.drive(), serve::HttpRequestParser::Status::Done);
+  EXPECT_EQ(parser.request().path(), "/v1/status");
+  parser.reset();
+  EXPECT_EQ(parser.drive(), serve::HttpRequestParser::Status::NeedMore);
+  EXPECT_EQ(parser.buffered(), 0u);
+}
+
 TEST(HttpParser, RejectsOversizedMalformedAndUnsupportedRequests) {
   serve::HttpLimits limits;
   limits.max_header_bytes = 128;
@@ -409,6 +427,31 @@ TEST(ServeDaemon, HealthzAndStatusAnswer) {
   EXPECT_EQ(server.stop(), 0);
 }
 
+TEST(ServeDaemon, PipelinedRequestsAreEachAnswered) {
+  ScratchDir dir("feast-serve-pipeline");
+  TestServer server(base_options(dir));
+
+  // Two requests in a single write: the daemon must answer both, including
+  // the one that was fully buffered behind the first reply.
+  net::Socket sock = net::tcp_connect("127.0.0.1", server.port(), 5.0, nullptr);
+  ASSERT_TRUE(sock.valid());
+  const std::string two =
+      "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"
+      "GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+  ASSERT_TRUE(net::write_all(sock.fd(), two, 5.0, nullptr));
+  std::string response;
+  ASSERT_TRUE(net::read_until_eof(sock.fd(), response, 20.0, nullptr));
+
+  std::size_t replies = 0;
+  for (std::size_t at = response.find("HTTP/1.1 200");
+       at != std::string::npos; at = response.find("HTTP/1.1 200", at + 1)) {
+    ++replies;
+  }
+  EXPECT_EQ(replies, 2u) << response;
+  EXPECT_EQ(server.server().stats().replies, 2u);
+  EXPECT_EQ(server.stop(), 0);
+}
+
 TEST(ServeDaemon, SocketCampaignIsFingerprintIdenticalToInProcessRun) {
   ScratchDir dir("feast-serve-differential");
   const std::string spec_text = test_spec_text();
@@ -556,6 +599,13 @@ TEST(ServeDaemon, SurvivesMalformedOversizedAndBombJsonBodies) {
                 .status,
             400);  // Cell out of range.
 
+  // Cell numbers that would make the double→size_t cast UB or truncate.
+  const std::string spec_field =
+      "{\"spec\": \"" + json_escape(test_spec_text()) + "\", \"cell\": ";
+  EXPECT_EQ(post(server.port(), "/v1/cell", spec_field + "1e300}").status, 400);
+  EXPECT_EQ(post(server.port(), "/v1/cell", spec_field + "0.5}").status, 400);
+  EXPECT_EQ(post(server.port(), "/v1/cell", spec_field + "-1}").status, 400);
+
   // After all of that the daemon still serves.
   const serve::HttpReply health =
       serve::http_request("127.0.0.1", server.port(), "GET", "/healthz");
@@ -597,6 +647,41 @@ TEST(ServeDaemon, WorkerCrashesRetryThenQuarantineWithoutKillingTheDaemon) {
       serve::http_request("127.0.0.1", server.port(), "GET", "/healthz");
   ASSERT_TRUE(health.ok()) << health.error;
   EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(server.stop(), 0);
+}
+
+TEST(ServeDaemon, FailedCellsAreRetriedOnResubmissionNotMemoizedForever) {
+  ScratchDir dir("feast-serve-refail");
+  serve::ServeOptions options = base_options(dir);
+  options.workers = 1;
+  options.max_attempts = 1;
+  TestServer server(options);
+  const std::string spec_text = test_spec_text();
+
+  // First submission burns its one attempt and fails.
+  const serve::HttpReply first =
+      post(server.port(), "/v1/cell", cell_request_body(spec_text, 0, "crash"));
+  ASSERT_TRUE(first.ok()) << first.error;
+  EXPECT_EQ(first.status, 500) << first.body;
+  EXPECT_EQ(server.server().stats().failed, 1u);
+
+  // A resubmission must evict the memoized failure and retry with a fresh
+  // budget — a second worker dispatch, not an instant replay of the 500.
+  const serve::HttpReply second =
+      post(server.port(), "/v1/cell", cell_request_body(spec_text, 0, "crash"));
+  ASSERT_TRUE(second.ok()) << second.error;
+  EXPECT_EQ(second.status, 500) << second.body;
+  EXPECT_EQ(server.server().stats().dispatched, 2u)
+      << "resubmitted failed cell must hit a worker again";
+  EXPECT_EQ(server.server().stats().failed, 2u);
+
+  // Drained queues leave no per-client residue behind.
+  const serve::HttpReply status =
+      serve::http_request("127.0.0.1", server.port(), "GET", "/v1/status");
+  ASSERT_TRUE(status.ok()) << status.error;
+  const JsonValue root = parse_json(status.body);
+  ASSERT_NE(root.find("server")->find("clients"), nullptr);
+  EXPECT_DOUBLE_EQ(root.find("server")->find("clients")->number, 0.0);
   EXPECT_EQ(server.stop(), 0);
 }
 
