@@ -1,0 +1,136 @@
+/// \file perf_exact.cpp
+/// \brief Throughput gate for the exact branch-and-bound oracle.
+///
+/// Solves a seeded batch of oracle-sized instances (the gap sweeps'
+/// workload: 8-12 subtasks, 2-3 processors) and reports search throughput
+/// in nodes/sec plus the proven-optimal rate within the node budget.
+/// Emits BENCH_exact.json; gate with --require-nodes N and/or
+/// --require-proven R (e.g. 0.95) to fail the build when a search change
+/// slows the oracle or degrades its ability to close instances.
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exact/exact.hpp"
+#include "sched/machine.hpp"
+#include "taskgraph/generator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace feast;
+
+TaskGraph oracle_instance(std::uint64_t seed) {
+  RandomGraphConfig config;
+  config.min_subtasks = 8;
+  config.max_subtasks = 12;
+  config.min_depth = 3;
+  config.max_depth = 5;
+  config.ccr = 1.0;
+  config.olr = 1.5;
+  Pcg32 rng(seed);
+  return generate_random_graph(config, rng);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int samples = 96;
+  std::uint64_t budget = 250000;
+  double require_nodes = 0.0;
+  double require_proven = 0.0;
+  std::string out_path = "BENCH_exact.json";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "perf_exact: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--samples") samples = std::stoi(next());
+    else if (arg == "--budget") budget = std::stoull(next());
+    else if (arg == "--require-nodes") require_nodes = std::stod(next());
+    else if (arg == "--require-proven") require_proven = std::stod(next());
+    else if (arg == "--out") out_path = next();
+    else if (arg == "--quick") samples = 24;
+    else {
+      std::cerr << "usage: perf_exact [--samples N] [--budget N]"
+                   " [--require-nodes N] [--require-proven R] [--out FILE]"
+                   " [--quick]\n";
+      return 2;
+    }
+  }
+
+  std::cout << "perf_exact: solving " << samples
+            << " oracle-sized instances on 2 and 3 processors (budget " << budget
+            << " nodes)...\n";
+
+  std::uint64_t total_nodes = 0;
+  std::uint64_t total_pruned = 0;
+  std::size_t solves = 0;
+  std::size_t proven = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (const int procs : {2, 3}) {
+    Machine machine;
+    machine.n_procs = procs;
+    for (int s = 0; s < samples; ++s) {
+      const TaskGraph graph = oracle_instance(
+          seed_for(42, {static_cast<std::uint64_t>(procs),
+                        static_cast<std::uint64_t>(s)}));
+      exact::ExactOptions options;
+      options.node_budget = budget;
+      const exact::ExactResult result = exact::solve_exact(graph, machine, options);
+      total_nodes += result.nodes;
+      total_pruned += result.pruned_bound + result.pruned_dominated;
+      ++solves;
+      if (result.proven) ++proven;
+    }
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  const double nodes_per_sec =
+      wall_ms > 0.0 ? static_cast<double>(total_nodes) / (wall_ms / 1000.0) : 0.0;
+  const double proven_rate =
+      solves > 0 ? static_cast<double>(proven) / static_cast<double>(solves) : 0.0;
+
+  std::cout << "solves:    " << solves << " (" << proven << " proven, rate "
+            << proven_rate << ")\n"
+            << "search:    " << total_nodes << " nodes, " << total_pruned
+            << " pruned\n"
+            << "wall:      " << wall_ms << " ms (" << nodes_per_sec
+            << " nodes/s)\n";
+
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"bench\": \"exact\",\n"
+      << "  \"samples\": " << solves << ",\n"
+      << "  \"node_budget\": " << budget << ",\n"
+      << "  \"proven\": " << proven << ",\n"
+      << "  \"proven_rate\": " << proven_rate << ",\n"
+      << "  \"total_nodes\": " << total_nodes << ",\n"
+      << "  \"total_pruned\": " << total_pruned << ",\n"
+      << "  \"nodes_per_sec\": " << nodes_per_sec << ",\n"
+      << "  \"wall_ms\": " << wall_ms << "\n"
+      << "}\n";
+  std::cout << "wrote " << out_path << "\n";
+
+  bool ok = true;
+  if (require_nodes > 0.0 && nodes_per_sec < require_nodes) {
+    std::cerr << "perf_exact: " << nodes_per_sec << " nodes/s is below the required "
+              << require_nodes << "\n";
+    ok = false;
+  }
+  if (require_proven > 0.0 && proven_rate < require_proven) {
+    std::cerr << "perf_exact: proven rate " << proven_rate
+              << " is below the required " << require_proven << "\n";
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -19,6 +19,8 @@
 #include "campaign/cache.hpp"
 #include "campaign/pool.hpp"
 #include "check/fault.hpp"
+#include "exact/gap.hpp"
+#include "util/csv.hpp"
 #include "util/fsio.hpp"
 #include "util/json.hpp"
 #include "util/parallel.hpp"
@@ -262,6 +264,12 @@ std::string CampaignSpec::canonical_text() const {
       << '\n';
   out << "core = " << to_string(context.core) << '\n';
   out << "validate = " << (context.validate ? 1 : 0) << '\n';
+  // Gap-mode keys are emitted only when active so that every pre-existing
+  // Lateness spec keeps its canonical text (and hence its manifest hash).
+  if (mode == CampaignMode::Gap) {
+    out << "mode = gap\n";
+    out << "exact_nodes = " << exact_nodes << '\n';
+  }
   std::vector<std::string> specs = strategies;
   out << "strategies = " << join(specs, ", ") << '\n';
   std::vector<std::string> size_strings;
@@ -364,6 +372,12 @@ CampaignSpec CampaignSpec::parse(std::istream& in) {
       else throw std::invalid_argument("campaign: unknown core '" + value + "'");
     } else if (key == "validate") {
       spec.context.validate = parse_int_field(key, value) != 0;
+    } else if (key == "mode") {
+      if (value == "lateness") spec.mode = CampaignMode::Lateness;
+      else if (value == "gap") spec.mode = CampaignMode::Gap;
+      else throw std::invalid_argument("campaign: unknown mode '" + value + "'");
+    } else if (key == "exact_nodes") {
+      spec.exact_nodes = parse_u64_field(key, value);
     } else if (key == "strategies") {
       for (const std::string& piece : split(value, ',')) {
         const std::string s = trim(piece);
@@ -613,6 +627,23 @@ void refresh_campaign_totals(CampaignResult& result, double wall_ms) {
   }
 }
 
+std::string campaign_strategy_label(const CampaignSpec& spec,
+                                    const std::string& strategy_label) {
+  if (spec.mode == CampaignMode::Gap) {
+    return exact::gap_cell_label(strategy_label, spec.exact_nodes);
+  }
+  return strategy_label;
+}
+
+ExecutedCell execute_campaign_cell(const CampaignSpec& spec, const Strategy& strategy,
+                                   int n_procs, CellCache* cache) {
+  if (spec.mode == CampaignMode::Gap) {
+    return exact::execute_gap_cell(spec.workload, strategy, n_procs, spec.batch,
+                                   spec.context, spec.exact_nodes, cache);
+  }
+  return execute_cell(spec.workload, strategy, n_procs, spec.batch, spec.context, cache);
+}
+
 std::vector<PlannedCell> plan_cells(const CampaignSpec& spec,
                                     const std::vector<Strategy>& strategies) {
   std::vector<PlannedCell> plan;
@@ -623,12 +654,34 @@ std::vector<PlannedCell> plan_cells(const CampaignSpec& spec,
       p.index = plan.size();
       p.strategy_index = si;
       p.n_procs = n_procs;
-      p.canonical = describe_cell(spec.workload, strategies[si].label, n_procs,
-                                  spec.batch, spec.context);
+      p.canonical = describe_cell(spec.workload,
+                                  campaign_strategy_label(spec, strategies[si].label),
+                                  n_procs, spec.batch, spec.context);
       plan.push_back(std::move(p));
     }
   }
   return plan;
+}
+
+void write_gap_csv(std::ostream& out, const CampaignSpec& spec,
+                   const CampaignResult& result) {
+  CsvWriter csv(out);
+  csv.write_row({"strategy", "procs", "samples", "mean_heuristic", "mean_optimal",
+                 "mean_gap", "max_gap", "stddev_gap", "mean_nodes", "unproven"});
+  for (const CellOutcome& cell : result.cells) {
+    if (cell.state != CellState::Computed && cell.state != CellState::Cached) continue;
+    // Field mapping per exact/gap.hpp: max_lateness <- heuristic,
+    // end_to_end <- optimal, makespan <- gap, min_laxity <- oracle nodes.
+    csv.write_row({cell.strategy_spec, std::to_string(cell.n_procs),
+                   std::to_string(spec.batch.samples),
+                   format_compact(cell.stats.max_lateness.mean, 6),
+                   format_compact(cell.stats.end_to_end.mean, 6),
+                   format_compact(cell.stats.makespan.mean, 6),
+                   format_compact(cell.stats.makespan.max, 6),
+                   format_compact(cell.stats.makespan.stddev, 6),
+                   format_compact(cell.stats.min_laxity.mean, 6),
+                   std::to_string(cell.stats.infeasible_runs)});
+  }
 }
 
 std::vector<CellOutcome> plan_outcomes(const CampaignSpec& spec,
@@ -639,7 +692,7 @@ std::vector<CellOutcome> plan_outcomes(const CampaignSpec& spec,
   for (const PlannedCell& p : plan) {
     CellOutcome cell;
     cell.strategy_spec = spec.strategies[p.strategy_index];
-    cell.strategy_label = strategies[p.strategy_index].label;
+    cell.strategy_label = campaign_strategy_label(spec, strategies[p.strategy_index].label);
     cell.n_procs = p.n_procs;
     if (!p.canonical.empty()) cell.key_hex = hash_hex(fnv1a64(p.canonical));
     cells.push_back(std::move(cell));
@@ -743,9 +796,8 @@ CampaignResult run_campaign(const CampaignSpec& spec, const CampaignOptions& opt
       const PlannedCell& p = plan[i];
       const auto cell_start = std::chrono::steady_clock::now();
       try {
-        const ExecutedCell executed =
-            execute_cell(spec.workload, strategies[p.strategy_index], p.n_procs,
-                         spec.batch, spec.context, options.cache);
+        const ExecutedCell executed = execute_campaign_cell(
+            spec, strategies[p.strategy_index], p.n_procs, options.cache);
         cell.stats = executed.stats;
         cell.state = executed.from_cache ? CellState::Cached : CellState::Computed;
       } catch (const std::exception& e) {

@@ -15,6 +15,7 @@
 /// run|resume|status`.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -32,6 +33,12 @@ namespace feast {
 /// Throws std::invalid_argument on malformed specs.
 Strategy parse_strategy_spec(const std::string& spec);
 
+/// What each cell of a campaign evaluates.
+enum class CampaignMode {
+  Lateness,  ///< Heuristic lateness batches (the paper's protocol).
+  Gap,       ///< Heuristic-vs-exact-oracle optimality gaps (src/exact).
+};
+
 /// Declarative description of a campaign: the full cell grid derives from
 /// strategies × sizes.  Round-trips through canonical_text()/parse().
 struct CampaignSpec {
@@ -45,6 +52,14 @@ struct CampaignSpec {
   RunContext context;
   std::vector<std::string> strategies;  ///< Strategy spec strings.
   std::vector<int> sizes;               ///< Processor counts.
+  /// Cell evaluation mode.  Gap cells run each sample through the heuristic
+  /// *and* the exact oracle (see exact/gap.hpp for the stats field
+  /// mapping); `mode = gap` and `exact_nodes = N` spec keys are emitted
+  /// only in Gap mode, so every existing Lateness spec hashes unchanged.
+  CampaignMode mode = CampaignMode::Lateness;
+  /// Oracle node budget per sample (Gap mode only; part of the cell
+  /// identity via the decorated strategy label).
+  std::uint64_t exact_nodes = 250000;
 
   std::size_t cell_count() const noexcept { return strategies.size() * sizes.size(); }
 
@@ -131,6 +146,26 @@ struct PlannedCell {
   int n_procs = 0;
   std::string canonical;  ///< Cache identity; "" when uncacheable.
 };
+
+/// The cache/manifest identity label of one strategy within \p spec: the
+/// bare strategy label in Lateness mode, the gap-decorated label (e.g.
+/// "gap[NORM+CCNE;nodes=250000]") in Gap mode — so gap cells never collide
+/// with lateness cells in the cache or in a resumed manifest.
+std::string campaign_strategy_label(const CampaignSpec& spec,
+                                    const std::string& strategy_label);
+
+/// Executes one cell of \p spec according to its mode: execute_cell for
+/// Lateness, exact::execute_gap_cell for Gap.  The single dispatch point
+/// shared by the in-process pool runner and supervised workers.
+ExecutedCell execute_campaign_cell(const CampaignSpec& spec, const Strategy& strategy,
+                                   int n_procs, CellCache* cache);
+
+/// Writes the optimality-gap table of a Gap-mode campaign: one row per
+/// (strategy, size) cell with mean heuristic/optimal/gap, the gap spread,
+/// mean oracle nodes and the count of unproven samples.  Skips cells that
+/// did not finish (Failed/Quarantined/Pending).
+void write_gap_csv(std::ostream& out, const CampaignSpec& spec,
+                   const CampaignResult& result);
 
 /// The canonical cell grid of \p spec: strategies × sizes in spec order.
 /// \p strategies must be the parsed spec.strategies (the caller usually has

@@ -24,6 +24,7 @@ constexpr SiteName kSiteNames[] = {
     {FaultSite::SuperviseHeartbeat, "supervise-heartbeat"},
     {FaultSite::ServeClientDisconnect, "serve-client-disconnect"},
     {FaultSite::ServeSlowLoris, "serve-slow-loris"},
+    {FaultSite::ExactSolve, "exact-solve"},
 };
 static_assert(std::size(kSiteNames) == kFaultSiteCount);
 

@@ -20,7 +20,7 @@
 ///   rule   := site ':' nth ':' action      // nth is 1-based
 ///   site   := pool-task | cache-lookup | cache-store | manifest-write |
 ///             supervise-spawn | supervise-heartbeat |
-///             serve-client-disconnect | serve-slow-loris
+///             serve-client-disconnect | serve-slow-loris | exact-solve
 ///   action := throw | die | truncate | bad-magic | short-read |
 ///             fail-write | partial-write
 ///
@@ -70,8 +70,11 @@ enum class FaultSite : std::uint8_t {
                    ///< occurrence marks the connection as a slow-loris
                    ///< client: its header deadline is treated as already
                    ///< expired and the request is rejected with 408.
+  ExactSolve,  ///< Exact oracle, about to start a branch-and-bound solve.
+               ///< Actions: Throw (solve reports failure → the gap cell
+               ///< fails), Die (worker killed mid-solve → retry/quarantine).
 };
-inline constexpr std::size_t kFaultSiteCount = 8;
+inline constexpr std::size_t kFaultSiteCount = 9;
 
 /// What happens when an armed rule fires.
 enum class FaultAction : std::uint8_t {

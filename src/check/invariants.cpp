@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
 
 #include "core/distribution_validate.hpp"
+#include "exact/exact.hpp"
+#include "exact/gap.hpp"
+#include "sched/lateness.hpp"
 #include "sched/schedule_validate.hpp"
 #include "util/stats.hpp"
 
@@ -165,6 +169,49 @@ std::optional<std::string> check_stats_against_naive(
   if (summary.min != lo || summary.max != hi) {
     out << "min/max [" << summary.min << ", " << summary.max << "] vs naive ["
         << lo << ", " << hi << "]";
+    return out.str();
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_exact_dominates(
+    const TaskGraph& graph, Distributor& distributor, const Machine& machine,
+    const SchedulerOptions& options, std::uint64_t node_budget) {
+  const DeadlineAssignment assignment = distributor.distribute(graph);
+  const Schedule schedule = list_schedule(graph, assignment, machine, options);
+  const Time heuristic =
+      computation_lateness(graph, assignment, schedule).max_lateness;
+
+  exact::ExactOptions exact_options;
+  exact_options.node_budget = node_budget;
+  exact_options.seeds.push_back(exact::seed_from_schedule(graph, schedule));
+  exact::ExactResult result;
+  try {
+    result = exact::solve_exact(graph, machine, exact_options);
+  } catch (const std::invalid_argument& e) {
+    return distributor.name() + ": instance outside the oracle's size limits: " +
+           e.what();
+  }
+
+  // Certified tolerance, identical to the gap cells (exact/gap.hpp): the
+  // heuristic is measured against assigned deadlines, the oracle against
+  // effective deadlines, and the window checker admits 1e-7 of slack.
+  const std::vector<Time> eds = exact::effective_deadlines(graph);
+  Time slack = 0.0;
+  for (NodeId id : graph.computation_nodes()) {
+    if (!assignment.window(id).assigned()) continue;
+    const Time s = assignment.abs_deadline(id) - eds[id.index()];
+    if (s > slack) slack = s;
+  }
+  const Time tolerance = slack + exact::kGapCheckEps;
+
+  if (result.optimal > heuristic + tolerance) {
+    std::ostringstream out;
+    out.precision(17);
+    out << distributor.name() << ": exact optimal " << result.optimal
+        << " exceeds heuristic " << heuristic << " beyond tolerance " << tolerance
+        << " (" << result.nodes << " nodes, "
+        << (result.proven ? "proven" : "budget-limited") << ")";
     return out.str();
   }
   return std::nullopt;

@@ -8,6 +8,7 @@
 /// 50-node random graphs.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -59,5 +60,21 @@ std::optional<std::string> check_scheduled(const TaskGraph& graph,
 /// match a naive two-pass mean/stddev/min/max within \p tolerance.
 std::optional<std::string> check_stats_against_naive(
     const std::vector<double>& values, double tolerance = 1e-9);
+
+/// Ground-truth optimality: the exact branch-and-bound oracle (src/exact)
+/// never does worse than the heuristic pipeline.  Runs \p distributor,
+/// list-schedules on \p machine, then solves the same instance exactly
+/// (warm-started from the heuristic's own schedule) and fails when
+/// `optimal > heuristic + tolerance`, where the tolerance is the certified
+/// assigned-vs-effective deadline slack of the instance plus a fixed
+/// epsilon (exact/gap.hpp).  \p node_budget bounds the search; a
+/// budget-limited incumbent is still a valid upper bound on the optimum,
+/// so the invariant is sound whether or not the solve proves optimality.
+/// Only meaningful on instances within the oracle's size ceiling
+/// (kMaxExactSubtasks / kMaxExactProcs); larger graphs report a violation
+/// naming the size limit.
+std::optional<std::string> check_exact_dominates(
+    const TaskGraph& graph, Distributor& distributor, const Machine& machine,
+    const SchedulerOptions& options, std::uint64_t node_budget = 250000);
 
 }  // namespace feast::check

@@ -21,6 +21,8 @@
 #include "core/distribution_validate.hpp"
 #include "core/metrics.hpp"
 #include "core/slicing.hpp"
+#include "exact/exact.hpp"
+#include "exact/gap.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "sim/runtime_sim.hpp"
@@ -73,6 +75,7 @@ commands:
   schedule    distribute + schedule + lateness report
   simulate    execute the plan in the discrete-event runtime simulator
   campaign    run a declarative experiment campaign (cache + resume)
+  exact       branch-and-bound optimality oracle (single instance or gap sweep)
   profile     instrumented sweep: per-phase timings, counters, Chrome trace
   diffsched   differential test of the optimized vs reference scheduler
   torture     crash-resume torture: kill campaigns at injected faults, resume,
@@ -147,6 +150,20 @@ campaign supervision (docs/ROBUSTNESS.md; exit 3 = completed degraded,
   --work-dir DIR          shard/log scratch              (default <manifest>.work)
   --keep-work             keep the scratch directory
   --inject SPEC           poison cells for testing, e.g. '0:hang,2:crash@1'
+  --fault-cell CELL:SPEC  arm a fault plan inside one worker cell, e.g.
+                          '0:exact-solve:1:die' (repeatable)
+
+exact subcommands (search design and bound derivations: docs/EXACT.md):
+  exact solve <graph>     heuristic vs oracle on one instance (metric options
+                          apply; exit 1 when optimal > heuristic + tolerance)
+  exact gap <spec>        campaign-driven gap sweep over a spec file (mode is
+                          forced to gap; cache/manifest as campaign run)
+  --budget N              oracle node budget per solve   (default: spec / unlimited)
+  --out FILE              gap table CSV                  (default: stdout)
+  --bench-out FILE        aggregate JSON: nodes/sec, proven-optimal rate
+  --manifest FILE         checkpoint manifest            (default <name>.gap.manifest.json)
+  --resume                restore finished cells from the manifest
+  --time-budget S         wall-clock limit per solve (solve only)
 
 profile options (span taxonomy: docs/OBSERVABILITY.md):
   --samples N             graphs per cell                (default 32)
@@ -667,6 +684,7 @@ int cmd_campaign_exec_cell(Args& args) {
   std::optional<std::size_t> cell;
   std::string cache_dir = ".feast-cache";
   std::string inject;
+  std::string faults;
   bool no_cache = false;
   unsigned threads = 0;
 
@@ -688,6 +706,8 @@ int cmd_campaign_exec_cell(Args& args) {
       threads = static_cast<unsigned>(n);
     } else if (flag == "--inject") {
       inject = args.value_for(flag);
+    } else if (flag == "--faults") {
+      faults = args.value_for(flag);
     } else if (!spec_path && (flag.empty() || flag[0] != '-')) {
       spec_path = flag;
     } else {
@@ -702,7 +722,7 @@ int cmd_campaign_exec_cell(Args& args) {
   const CampaignSpec spec = CampaignSpec::parse_file(*spec_path);
   return supervise::run_worker_cell(spec, *cell, *out_path,
                                     no_cache ? std::string() : cache_dir, inject,
-                                    std::cerr) == 0
+                                    faults, std::cerr) == 0
              ? kOk
              : kFailure;
 }
@@ -803,6 +823,17 @@ int cmd_campaign(Args& args, std::ostream& out) {
       } catch (const std::invalid_argument& e) {
         throw UsageError(std::string("--inject: ") + e.what());
       }
+    } else if (flag == "--fault-cell") {
+      // CELL:FAULT-SPEC — the first ':' splits the cell index from the
+      // fault-plan spec (which itself contains colons).
+      const std::string value = args.value_for(flag);
+      const std::size_t colon = value.find(':');
+      if (colon == std::string::npos || colon == 0 || colon + 1 == value.size()) {
+        throw UsageError("--fault-cell wants CELL:SPEC, got '" + value + "'");
+      }
+      const long long n = parse_int_arg(flag, value.substr(0, colon));
+      if (n < 0) throw UsageError("--fault-cell index must be non-negative");
+      sup.fault_cells[static_cast<std::size_t>(n)] = value.substr(colon + 1);
     } else if (!spec_path && (flag.empty() || flag[0] != '-')) {
       spec_path = flag;
     } else {
@@ -876,6 +907,248 @@ int cmd_campaign(Args& args, std::ostream& out) {
     return kDegraded;
   }
   return result.ok() ? kOk : kFailure;
+}
+
+// -------------------------------------------------------------------- exact
+
+/// `exact solve <graph>`: one instance, heuristic vs the branch-and-bound
+/// oracle (docs/EXACT.md).  Exits non-zero when the oracle beats the
+/// certified `optimal <= heuristic` tolerance — the CLI face of the
+/// property-harness invariant.
+int cmd_exact_solve(Args& args, std::istream& in, std::ostream& out) {
+  std::optional<std::string> path;
+  MetricOptions metric_options;
+  Machine machine;
+  SchedulerOptions sched_options;
+  std::uint64_t budget = 0;
+  double time_budget = 0.0;
+
+  while (!args.done()) {
+    const std::string flag = args.pop();
+    if (metric_options.consume(flag, args)) continue;
+    if (flag == "--contention") {
+      const std::string name = args.value_for(flag);
+      if (name == "free") machine.contention = CommContention::ContentionFree;
+      else if (name == "bus") machine.contention = CommContention::SharedBus;
+      else if (name == "links") machine.contention = CommContention::PointToPointLinks;
+      else throw UsageError("unknown contention model '" + name + "'");
+    } else if (flag == "--release") {
+      const std::string name = args.value_for(flag);
+      if (name == "time-driven") sched_options.release_policy = ReleasePolicy::TimeDriven;
+      else if (name == "eager") sched_options.release_policy = ReleasePolicy::Eager;
+      else throw UsageError("unknown release policy '" + name + "'");
+    } else if (flag == "--budget") {
+      const long long n = parse_int_arg(flag, args.value_for(flag));
+      if (n < 0) throw UsageError("--budget must be non-negative");
+      budget = static_cast<std::uint64_t>(n);
+    } else if (flag == "--time-budget") {
+      time_budget = parse_double_arg(flag, args.value_for(flag));
+      if (time_budget < 0.0) throw UsageError("--time-budget must be >= 0");
+    } else if (!path && (flag == "-" || flag.empty() || flag[0] != '-')) {
+      path = flag;
+    } else {
+      throw UsageError("exact solve: unknown option '" + flag + "'");
+    }
+  }
+  if (!path) throw UsageError("exact solve: missing graph argument");
+
+  const TaskGraph graph = load_graph(*path, in);
+  machine.n_procs = metric_options.procs;
+  const auto metric = metric_options.make_metric();
+  const auto estimator = metric_options.make_estimator();
+  const DeadlineAssignment windows = distribute_deadlines(graph, *metric, *estimator);
+  const Schedule schedule = list_schedule(graph, windows, machine, sched_options);
+  const LatenessStats stats = computation_lateness(graph, windows, schedule);
+
+  exact::ExactOptions options;
+  options.node_budget = budget;
+  options.time_budget_s = time_budget;
+  options.seeds.push_back(exact::seed_from_schedule(graph, schedule));
+  const exact::ExactResult result = exact::solve_exact(graph, machine, options);
+
+  // Same certified tolerance as the gap cells: assigned-vs-effective
+  // deadline slack plus the fixed epsilon (exact/gap.hpp).
+  const std::vector<Time> eds = exact::effective_deadlines(graph);
+  Time slack = 0.0;
+  for (NodeId id : graph.computation_nodes()) {
+    if (!windows.window(id).assigned()) continue;
+    const Time s = windows.abs_deadline(id) - eds[id.index()];
+    if (s > slack) slack = s;
+  }
+  const Time tolerance = slack + exact::kGapCheckEps;
+
+  out << "strategy:         " << metric->name() << "+" << estimator->name() << "\n";
+  out << "machine:          " << machine.n_procs << " procs, "
+      << to_string(machine.contention) << "\n";
+  out << "subtasks:         " << graph.subtask_count() << "\n";
+  out << "heuristic:        " << format_fixed(stats.max_lateness, 4) << " max lateness\n";
+  out << "optimal:          " << format_fixed(result.optimal, 4)
+      << (result.proven ? " (proven)" : " (incumbent)") << "\n";
+  out << "bound:            " << format_fixed(result.bound, 4) << "\n";
+  out << "gap:              " << format_fixed(stats.max_lateness - result.optimal, 4)
+      << "\n";
+  out << "nodes:            " << result.nodes << " (pruned " << result.pruned_bound
+      << " bound, " << result.pruned_dominated << " dominated)\n";
+  out << "wall:             " << format_compact(result.wall_ms, 2) << " ms\n";
+  if (result.contention_relaxed) {
+    out << "note:             contention-free relaxation — optimal is a lower bound "
+           "on the contended optimum\n";
+  }
+  if (result.optimal > stats.max_lateness + tolerance) {
+    out << "VIOLATION:        optimal exceeds heuristic beyond the certified "
+           "tolerance " << format_compact(tolerance, 6) << "\n";
+    return kFailure;
+  }
+  return kOk;
+}
+
+/// `exact gap <spec>`: campaign-driven optimality-gap sweep.  Forces the
+/// spec into Gap mode, rides the ordinary cache/manifest machinery, writes
+/// the gap table (write_gap_csv) and an optional benchmark JSON with the
+/// aggregate nodes/sec and proven-optimal rate.
+int cmd_exact_gap(Args& args, std::ostream& out) {
+  std::optional<std::string> spec_path;
+  std::optional<std::string> manifest_path;
+  std::optional<std::string> csv_path;
+  std::optional<std::string> bench_path;
+  std::optional<std::uint64_t> budget;
+  std::string cache_dir = ".feast-cache";
+  bool no_cache = false;
+  bool quiet = false;
+  bool resume = false;
+  unsigned threads = 0;
+
+  while (!args.done()) {
+    const std::string flag = args.pop();
+    if (flag == "--manifest") {
+      manifest_path = args.value_for(flag);
+    } else if (flag == "--out") {
+      csv_path = args.value_for(flag);
+    } else if (flag == "--bench-out") {
+      bench_path = args.value_for(flag);
+    } else if (flag == "--budget") {
+      const long long n = parse_int_arg(flag, args.value_for(flag));
+      if (n < 0) throw UsageError("--budget must be non-negative");
+      budget = static_cast<std::uint64_t>(n);
+    } else if (flag == "--cache-dir") {
+      cache_dir = args.value_for(flag);
+    } else if (flag == "--no-cache") {
+      no_cache = true;
+    } else if (flag == "--threads") {
+      const long long n = parse_int_arg(flag, args.value_for(flag));
+      if (n < 0) throw UsageError("--threads must be non-negative");
+      threads = static_cast<unsigned>(n);
+    } else if (flag == "--quiet") {
+      quiet = true;
+    } else if (flag == "--resume") {
+      resume = true;
+    } else if (!spec_path && (flag.empty() || flag[0] != '-')) {
+      spec_path = flag;
+    } else {
+      throw UsageError("exact gap: unknown option '" + flag + "'");
+    }
+  }
+  if (!spec_path) throw UsageError("exact gap: missing spec argument");
+
+  CampaignSpec spec = CampaignSpec::parse_file(*spec_path);
+  spec.mode = CampaignMode::Gap;
+  if (budget) spec.exact_nodes = *budget;
+
+  CampaignOptions options;
+  options.manifest_path = manifest_path.value_or(spec.name + ".gap.manifest.json");
+  options.resume = resume;
+  options.threads = threads;
+  std::unique_ptr<ResultCache> cache;
+  if (!no_cache) {
+    cache = std::make_unique<ResultCache>(cache_dir);
+    options.cache = cache.get();
+  }
+  if (!quiet) options.progress = &out;
+
+  const CampaignResult result = run_campaign(spec, options);
+
+  out << "\ngap sweep:  " << result.name << " (spec " << result.spec_hash_hex
+      << ", budget " << spec.exact_nodes << " nodes)\n";
+  out << "cells:      " << result.cells.size() << " — " << result.computed
+      << " computed, " << result.cached << " cached, " << result.failed
+      << " failed\n";
+  out << "wall:       " << format_compact(result.wall_ms, 1) << " ms\n";
+
+  // Aggregate oracle statistics over the finished cells (CellStats field
+  // mapping in exact/gap.hpp: min_laxity <- nodes, infeasible <- unproven).
+  double total_nodes = 0.0;
+  double computed_nodes = 0.0;
+  std::size_t total_samples = 0;
+  std::size_t unproven = 0;
+  double mean_gap = 0.0;
+  double max_gap = 0.0;
+  std::size_t finished = 0;
+  for (const CellOutcome& cell : result.cells) {
+    if (cell.state != CellState::Computed && cell.state != CellState::Cached) continue;
+    ++finished;
+    const double cell_nodes =
+        cell.stats.min_laxity.mean * static_cast<double>(cell.stats.min_laxity.count);
+    total_nodes += cell_nodes;
+    if (cell.state == CellState::Computed) computed_nodes += cell_nodes;
+    total_samples += cell.stats.min_laxity.count;
+    unproven += cell.stats.infeasible_runs;
+    mean_gap += cell.stats.makespan.mean;
+    if (cell.stats.makespan.max > max_gap) max_gap = cell.stats.makespan.max;
+  }
+  if (finished > 0) mean_gap /= static_cast<double>(finished);
+  const double proven_rate =
+      total_samples > 0
+          ? 1.0 - static_cast<double>(unproven) / static_cast<double>(total_samples)
+          : 0.0;
+  const double nodes_per_sec =
+      result.wall_ms > 0.0 ? computed_nodes / (result.wall_ms / 1000.0) : 0.0;
+
+  out << "samples:    " << total_samples << " (" << unproven << " unproven, proven rate "
+      << format_fixed(proven_rate * 100.0, 1) << "%)\n";
+  out << "gap:        mean " << format_compact(mean_gap, 4) << ", worst "
+      << format_compact(max_gap, 4) << "\n";
+  out << "search:     " << format_compact(total_nodes, 0) << " nodes ("
+      << format_compact(nodes_per_sec, 0) << " nodes/s computed)\n";
+
+  if (csv_path) {
+    std::ofstream csv(*csv_path);
+    if (!csv) throw std::runtime_error("cannot open '" + *csv_path + "'");
+    write_gap_csv(csv, spec, result);
+    out << "table:      " << *csv_path << "\n";
+  } else {
+    out << "\n";
+    write_gap_csv(out, spec, result);
+  }
+
+  if (bench_path) {
+    std::ofstream bench(*bench_path);
+    if (!bench) throw std::runtime_error("cannot open '" + *bench_path + "'");
+    bench << "{\n"
+          << "  \"bench\": \"exact\",\n"
+          << "  \"spec\": \"" << result.spec_hash_hex << "\",\n"
+          << "  \"node_budget\": " << spec.exact_nodes << ",\n"
+          << "  \"cells\": " << finished << ",\n"
+          << "  \"samples\": " << total_samples << ",\n"
+          << "  \"unproven\": " << unproven << ",\n"
+          << "  \"proven_rate\": " << format_compact(proven_rate, 6) << ",\n"
+          << "  \"total_nodes\": " << format_compact(total_nodes, 1) << ",\n"
+          << "  \"nodes_per_sec\": " << format_compact(nodes_per_sec, 1) << ",\n"
+          << "  \"mean_gap\": " << format_compact(mean_gap, 6) << ",\n"
+          << "  \"max_gap\": " << format_compact(max_gap, 6) << ",\n"
+          << "  \"wall_ms\": " << format_compact(result.wall_ms, 1) << "\n"
+          << "}\n";
+    out << "bench:      " << *bench_path << "\n";
+  }
+
+  return result.ok() ? kOk : kFailure;
+}
+
+int cmd_exact(Args& args, std::istream& in, std::ostream& out) {
+  if (args.done()) throw UsageError("exact: expected solve or gap");
+  const std::string verb = args.pop();
+  if (verb == "solve") return cmd_exact_solve(args, in, out);
+  if (verb == "gap") return cmd_exact_gap(args, out);
+  throw UsageError("exact: unknown subcommand '" + verb + "'");
 }
 
 // -------------------------------------------------------------------- serve
@@ -1223,6 +1496,7 @@ int run_cli(const std::vector<std::string>& args, std::istream& in, std::ostream
     if (command == "schedule") return cmd_schedule(rest, in, out);
     if (command == "simulate") return cmd_simulate(rest, in, out);
     if (command == "campaign") return cmd_campaign(rest, out);
+    if (command == "exact") return cmd_exact(rest, in, out);
     if (command == "profile") return cmd_profile(rest, out);
     if (command == "diffsched") return cmd_diffsched(rest, out);
     if (command == "torture") return cmd_torture(rest, out);

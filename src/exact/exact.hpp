@@ -1,0 +1,154 @@
+/// \file exact.hpp
+/// \brief Exact branch-and-bound oracle for joint deadline distribution and
+/// list-schedule placement on small instances.
+///
+/// The heuristics in src/core (NORM/PURE/THRES/ADAPT and the baselines)
+/// decompose the problem into two phases: slice the end-to-end deadline into
+/// per-subtask windows, then list-schedule against those windows.  The paper
+/// never reports how far that decomposition sits from optimal because no
+/// exact solver existed for the joint problem.  This module closes that gap
+/// for small instances (<= 20 computation subtasks, <= 16 processors).
+///
+/// ## Model solved
+///
+/// The oracle minimises the *end-to-end maximum lateness*: for every
+/// computation subtask v let ED(v) be its effective deadline — the tightest
+/// boundary deadline reachable from v (min over v's own boundary deadline
+/// and the ED of its successors).  A schedule's objective is
+/// max_v (finish(v) - ED(v)), which equals the classic end-to-end max
+/// lateness over output subtasks because finish times are monotone along
+/// precedence arcs.  Any deadline distribution that satisfies the
+/// precedence-window invariant assigns abs deadlines <= ED pointwise (up to
+/// the checker's epsilon), so the heuristic's computation max-lateness is an
+/// upper bound on the oracle objective — `optimal <= heuristic` is the
+/// ground-truth invariant this module feeds the property harness.
+///
+/// ## Relaxation
+///
+/// Placement is explored in a contention-free, append-only model: a task
+/// starts at the max of its boundary release, its processor's current tail,
+/// and its predecessors' arrival times (finish + latency when crossing
+/// processors, finish when co-located).  For ContentionFree machines this is
+/// exact: any feasible list schedule can be left-shifted into this form
+/// without increasing any finish time.  For SharedBus / PointToPointLinks
+/// machines every contended schedule is still feasible in the relaxation
+/// (bus slots only delay arrivals), so the returned optimum is a certified
+/// *lower bound*; ExactResult::contention_relaxed reports this.
+///
+/// ## Search (McSplit idiom)
+///
+/// Depth-first branch and bound over (task, processor) placements with
+/// bitset domains, incremental lower bounds (critical-path relaxation and a
+/// speed-weighted demand waterfilling bound), dominance pruning over
+/// (scheduled-set, live-placement) states, empty-processor symmetry
+/// breaking on homogeneous machines, and an anytime node/time budget that
+/// returns (incumbent, certified bound, proven flag).  All candidate
+/// orderings are deterministic, so node counts are reproducible for a fixed
+/// instance and node budget.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sched/machine.hpp"
+#include "sched/schedule.hpp"
+#include "taskgraph/task_graph.hpp"
+#include "util/time_types.hpp"
+
+namespace feast::exact {
+
+/// Hard instance-size ceilings.  Beyond these the search space (and the
+/// 32-bit scheduled-set masks) would be meaningless; solve_exact throws.
+inline constexpr int kMaxExactSubtasks = 20;
+inline constexpr int kMaxExactProcs = 16;
+
+/// A warm-start: computation subtasks in placement order with their target
+/// processors.  Seeds are replayed through the oracle's own placement rule
+/// (left-shifted), so a seed derived from any contention-free-feasible
+/// schedule yields an incumbent no worse than that schedule's lateness.
+struct ExactSeed {
+  std::vector<std::pair<NodeId, ProcId>> order;
+};
+
+/// Search limits and warm starts.
+struct ExactOptions {
+  /// Maximum number of search-tree nodes to expand; 0 means unlimited.
+  /// Node counts (and hence results) are deterministic for a fixed budget.
+  std::uint64_t node_budget = 0;
+  /// Wall-clock limit in seconds; 0 disables.  Nondeterministic — intended
+  /// for interactive use, not tests.
+  double time_budget_s = 0.0;
+  /// Cap on dominance-memo entries before insertion stops (lookups continue).
+  std::size_t memo_limit = 1u << 20;
+  /// Warm-start placements (e.g. from seed_from_schedule).  Invalid seeds
+  /// (wrong node set, precedence violation, disallowed processor) throw.
+  std::vector<ExactSeed> seeds;
+};
+
+/// One placed computation subtask of the incumbent schedule.
+struct ExactPlacement {
+  NodeId node;
+  ProcId proc;
+  Time start = 0.0;
+  Time finish = 0.0;
+};
+
+/// Outcome of a solve: the incumbent objective, a certified lower bound on
+/// the true optimum, and search statistics.
+struct ExactResult {
+  /// Best (smallest) max lateness found.  With at least one computation
+  /// subtask this is always a real schedule's objective (the greedy seed
+  /// runs before the search); for an empty graph it is -infinity.
+  Time optimal = -kInfiniteTime;
+  /// Certified lower bound on the true optimal max lateness.  Equals
+  /// `optimal` when `proven`; otherwise min(incumbent, smallest lower bound
+  /// of any unexplored frontier branch).  Never worsens as node_budget
+  /// grows.
+  Time bound = -kInfiniteTime;
+  /// True when the search completed within budget: `optimal` is the true
+  /// optimum of the (possibly relaxed) model.
+  bool proven = false;
+  /// True when the machine has contention (SharedBus/PointToPointLinks) and
+  /// the oracle therefore solved the contention-free relaxation: `optimal`
+  /// is then a lower bound on the contended optimum, not attainable per se.
+  bool contention_relaxed = false;
+  /// Search-tree nodes expanded (deterministic for fixed node_budget).
+  std::uint64_t nodes = 0;
+  /// Branches cut by the lower bounds (critical path / demand / partial).
+  std::uint64_t pruned_bound = 0;
+  /// Branches cut by dominance against the memo.
+  std::uint64_t pruned_dominated = 0;
+  /// Wall-clock time of the solve.
+  double wall_ms = 0.0;
+  /// Incumbent placements in the order the search placed them.
+  std::vector<ExactPlacement> placement;
+};
+
+/// Effective deadline per node: ED(v) = min(v's boundary deadline if set,
+/// min over successors ED(succ)); +infinity for nodes with no deadline on
+/// any path.  Indexed by NodeId::index() over all nodes (communication
+/// nodes are transparent carriers).  Public so the check layer can certify
+/// the `optimal <= heuristic` tolerance against the same quantity the
+/// oracle optimises.
+std::vector<Time> effective_deadlines(const TaskGraph& graph);
+
+/// Derives a warm-start seed from a schedule produced by the list scheduler:
+/// computation subtasks ordered by (start time, node id).
+ExactSeed seed_from_schedule(const TaskGraph& graph, const Schedule& schedule);
+
+/// Runs the branch-and-bound search.  Throws std::invalid_argument when the
+/// instance exceeds kMaxExactSubtasks/kMaxExactProcs, when a pinned node
+/// references an out-of-range processor, or when a seed is malformed.
+ExactResult solve_exact(const TaskGraph& graph, const Machine& machine,
+                        const ExactOptions& options = {});
+
+/// Exhaustively enumerates every placement order and processor choice (no
+/// pruning, no symmetry breaking, no budget) and returns the true optimum.
+/// The oracle's own oracle: shares the placement arithmetic with
+/// solve_exact, so on identical instances the two agree bitwise.  Guarded
+/// to <= 10 subtasks and <= 4 processors; throws beyond that.
+ExactResult enumerate_optimal(const TaskGraph& graph, const Machine& machine);
+
+}  // namespace feast::exact

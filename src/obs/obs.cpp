@@ -24,6 +24,7 @@ const char* to_string(Span span) noexcept {
     case Span::SuperviseAttempt: return "supervise/attempt";
     case Span::ServeRequest: return "serve/request";
     case Span::ServeDispatch: return "serve/dispatch";
+    case Span::ExactSolve: return "exact/solve";
   }
   return "?";
 }
@@ -52,6 +53,8 @@ const char* to_string(Counter counter) noexcept {
     case Counter::ServeDispatch: return "serve.dispatch";
     case Counter::ServeReply: return "serve.reply";
     case Counter::ServeDisconnect: return "serve.disconnect";
+    case Counter::ExactNode: return "exact.nodes";
+    case Counter::ExactPruned: return "exact.pruned";
   }
   return "?";
 }

@@ -52,8 +52,9 @@ enum class Span : std::uint8_t {
   SuperviseAttempt,  ///< One worker-subprocess attempt (spawn → harvest).
   ServeRequest,      ///< Serve: one HTTP request, accept-parse → reply.
   ServeDispatch,     ///< Serve: one cell job, enqueue → terminal state.
+  ExactSolve,        ///< One exact branch-and-bound solve (src/exact).
 };
-inline constexpr std::size_t kSpanCount = 14;
+inline constexpr std::size_t kSpanCount = 15;
 
 /// Named event counters for decisions that have no duration.
 enum class Counter : std::uint8_t {
@@ -79,8 +80,10 @@ enum class Counter : std::uint8_t {
   ServeDispatch,   ///< Serve: cell handed to a leased worker.
   ServeReply,      ///< Serve: response written back to a client.
   ServeDisconnect, ///< Serve: client went away before its reply.
+  ExactNode,       ///< Exact oracle: search-tree nodes expanded.
+  ExactPruned,     ///< Exact oracle: branches cut by bounds or dominance.
 };
-inline constexpr std::size_t kCounterCount = 22;
+inline constexpr std::size_t kCounterCount = 24;
 
 const char* to_string(Span span) noexcept;
 const char* to_string(Counter counter) noexcept;

@@ -268,7 +268,8 @@ std::optional<ShardResult> parse_shard_result(const std::string& data,
 
 int run_worker_cell(const CampaignSpec& spec, std::size_t cell_index,
                     const std::string& out_path, const std::string& cache_dir,
-                    const std::string& inject, std::ostream& err) {
+                    const std::string& inject, const std::string& faults,
+                    std::ostream& err) {
   if (inject == "hang") {
     // Poison action for watchdog tests: wedge until killed.  Sleep in a
     // loop (not one long sleep) so a SIGTERM-ignoring hang stays wedged
@@ -318,13 +319,25 @@ int run_worker_cell(const CampaignSpec& spec, std::size_t cell_index,
     }
   }
 
+  // Arm a per-cell fault plan (supervisor-forwarded --faults) inside this
+  // worker: the supervisor's own plan does not cross the process boundary.
+  std::optional<check::FaultPlan> fault_plan;
+  if (!faults.empty()) {
+    try {
+      fault_plan.emplace(faults);
+    } catch (const std::exception& e) {
+      err << "exec-cell: bad fault spec: " << e.what() << std::endl;
+      return 1;
+    }
+  }
+  check::ScopedFaultPlan scoped_faults(fault_plan ? &*fault_plan : nullptr);
+
   ShardResult shard;
   shard.cell_index = cell_index;
   const auto start = Clock::now();
   try {
-    const ExecutedCell executed = execute_cell(
-        spec.workload, strategies[cell.strategy_index], cell.n_procs, spec.batch,
-        spec.context, cache ? &*cache : nullptr);
+    const ExecutedCell executed = execute_campaign_cell(
+        spec, strategies[cell.strategy_index], cell.n_procs, cache ? &*cache : nullptr);
     shard.stats = executed.stats;
     shard.from_cache = executed.from_cache;
   } catch (const std::exception& e) {
@@ -384,6 +397,9 @@ CampaignResult run_supervised_campaign(const CampaignSpec& spec,
     if (!known_inject_action(value.substr(0, value.find('@')))) {
       throw std::invalid_argument("supervise: bad inject action '" + value + "'");
     }
+  }
+  for (const auto& [cell, value] : sup.fault_cells) {
+    check::FaultPlan probe(value);  // Fail fast on malformed fault specs.
   }
 
   // The supervisor's own fault sites (spawn/heartbeat/manifest-write) fire
@@ -625,6 +641,10 @@ CampaignResult run_supervised_campaign(const CampaignSpec& spec,
         argv.emplace_back("--inject");
         argv.push_back(action);
       }
+    }
+    if (const auto it = sup.fault_cells.find(cell_index); it != sup.fault_cells.end()) {
+      argv.emplace_back("--faults");
+      argv.push_back(it->second);
     }
 
     SubprocessOptions opts;

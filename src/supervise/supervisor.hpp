@@ -93,6 +93,12 @@ struct SupervisorOptions {
   /// N (e.g. "crash@1" fails once, then the retry succeeds).  Forwarded to
   /// the matching worker as `exec-cell --inject`.
   std::map<std::size_t, std::string> inject;
+  /// Per-cell fault-injection plans (check/fault.hpp spec grammar, e.g.
+  /// "exact-solve:1:die"), armed inside the matching worker subprocess via
+  /// `exec-cell --faults`.  Unlike `inject` (which fakes worker-level
+  /// crashes before the cell runs), these fire at real library injection
+  /// sites mid-execution; every attempt re-arms the same plan.
+  std::map<std::size_t, std::string> fault_cells;
 };
 
 /// Parses a comma-separated `--inject CELL:ACTION[@ATTEMPT]` list.  Throws
@@ -143,9 +149,12 @@ std::optional<ShardResult> parse_shard_result(const std::string& data,
 /// executes cell \p cell_index of \p spec (cache on \p cache_dir unless
 /// empty), writes the shard result atomically to \p out_path and returns 0.
 /// On failure writes the reason to \p err and returns 1.  \p inject is the
-/// poison action to honor before executing ("" = none).
+/// poison action to honor before executing ("" = none); \p faults is a
+/// fault-plan spec (check/fault.hpp grammar) armed for the cell's duration
+/// ("" = none).
 int run_worker_cell(const CampaignSpec& spec, std::size_t cell_index,
                     const std::string& out_path, const std::string& cache_dir,
-                    const std::string& inject, std::ostream& err);
+                    const std::string& inject, const std::string& faults,
+                    std::ostream& err);
 
 }  // namespace feast::supervise

@@ -1,0 +1,265 @@
+/// \file test_exact_oracle.cpp
+/// \brief The oracle's own oracle: exhaustive enumeration must agree with
+///        the branch-and-bound search bitwise.
+///
+/// enumerate_optimal walks every placement order and processor choice with
+/// no pruning, no symmetry breaking and no budget; solve_exact explores the
+/// same space with all its machinery armed.  Both share one placement
+/// arithmetic (src/exact/exact.cpp), so on every instance within the
+/// enumeration guard the two must return the *identical* optimal max
+/// lateness — EXPECT_EQ on doubles, not EXPECT_NEAR.  A pruning rule,
+/// dominance key or bound that ever cuts the true optimum fails here on a
+/// seeded, replayable instance.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "exact/exact.hpp"
+#include "sched/machine.hpp"
+#include "taskgraph/generator.hpp"
+#include "taskgraph/task_graph.hpp"
+#include "util/rng.hpp"
+
+namespace feast::exact {
+namespace {
+
+/// Small generated instances: real precedence depth keeps the order
+/// enumeration tractable (independent tasks would explode to n! orders).
+RandomGraphConfig small_config() {
+  RandomGraphConfig config;
+  config.min_subtasks = 4;
+  config.max_subtasks = 8;
+  config.min_depth = 2;
+  config.max_depth = 4;
+  config.ccr = 0.8;
+  config.olr = 1.3;
+  return config;
+}
+
+void expect_bnb_matches_enumeration(const TaskGraph& graph, const Machine& machine,
+                                    std::uint64_t seed) {
+  const ExactResult bnb = solve_exact(graph, machine);
+  const ExactResult brute = enumerate_optimal(graph, machine);
+  ASSERT_TRUE(bnb.proven) << "unbudgeted solve must prove (seed " << seed << ")";
+  // Bitwise agreement: shared placement arithmetic, no epsilon.
+  EXPECT_EQ(bnb.optimal, brute.optimal) << "seed " << seed;
+  EXPECT_EQ(bnb.bound, bnb.optimal) << "seed " << seed;
+  EXPECT_EQ(bnb.placement.size(),
+            static_cast<std::size_t>(graph.subtask_count()))
+      << "seed " << seed;
+}
+
+TEST(ExactOracle, SingleTaskIsItsOwnOptimum) {
+  TaskGraph g;
+  const NodeId a = g.add_subtask("a", 10.0);
+  g.set_boundary_release(a, 0.0);
+  g.set_boundary_deadline(a, 15.0);
+
+  Machine machine;
+  machine.n_procs = 2;
+  const ExactResult result = solve_exact(g, machine);
+  EXPECT_TRUE(result.proven);
+  EXPECT_EQ(result.optimal, -5.0);  // finishes at 10 against deadline 15
+  ASSERT_EQ(result.placement.size(), 1u);
+  EXPECT_EQ(result.placement[0].start, 0.0);
+  EXPECT_EQ(result.placement[0].finish, 10.0);
+}
+
+TEST(ExactOracle, IndependentTasksSpreadAcrossProcessors) {
+  TaskGraph g;
+  const NodeId a = g.add_subtask("a", 10.0);
+  const NodeId b = g.add_subtask("b", 10.0);
+  g.set_boundary_release(a, 0.0);
+  g.set_boundary_release(b, 0.0);
+  g.set_boundary_deadline(a, 12.0);
+  g.set_boundary_deadline(b, 12.0);
+
+  Machine two;
+  two.n_procs = 2;
+  EXPECT_EQ(solve_exact(g, two).optimal, -2.0);  // one task per processor
+
+  Machine one;
+  one.n_procs = 1;
+  EXPECT_EQ(solve_exact(g, one).optimal, 8.0);  // second finishes at 20
+}
+
+TEST(ExactOracle, ChainColocatesToAvoidTransferLatency) {
+  // a(10) -> b(20) with a 4-item message: co-located the chain finishes at
+  // 30; split across processors the message adds 4.  The oracle must place
+  // both on one processor even though a second one is free.
+  TaskGraph g;
+  const NodeId a = g.add_subtask("a", 10.0);
+  const NodeId b = g.add_subtask("b", 20.0);
+  g.add_precedence(a, b, 4.0);
+  g.set_boundary_release(a, 0.0);
+  g.set_boundary_deadline(b, 45.0);
+
+  Machine machine;
+  machine.n_procs = 2;
+  const ExactResult result = solve_exact(g, machine);
+  EXPECT_EQ(result.optimal, -15.0);  // 30 - 45
+  ASSERT_EQ(result.placement.size(), 2u);
+  EXPECT_EQ(result.placement[0].proc, result.placement[1].proc);
+}
+
+TEST(ExactOracle, PinsForceTheTransferLatency) {
+  // Same chain, but the endpoints are pinned to different processors: the
+  // 4-item message is unavoidable and the optimum degrades by exactly the
+  // transfer latency.
+  TaskGraph g;
+  const NodeId a = g.add_subtask("a", 10.0);
+  const NodeId b = g.add_subtask("b", 20.0);
+  g.add_precedence(a, b, 4.0);
+  g.set_boundary_release(a, 0.0);
+  g.set_boundary_deadline(b, 45.0);
+  g.pin(a, ProcId(0));
+  g.pin(b, ProcId(1));
+
+  Machine machine;
+  machine.n_procs = 2;
+  EXPECT_EQ(solve_exact(g, machine).optimal, -11.0);  // 34 - 45
+}
+
+TEST(ExactOracle, HeterogeneousSpeedsPickTheFastProcessor) {
+  TaskGraph g;
+  const NodeId a = g.add_subtask("a", 10.0);
+  g.set_boundary_release(a, 0.0);
+  g.set_boundary_deadline(a, 15.0);
+
+  Machine machine;
+  machine.n_procs = 2;
+  machine.speeds = {1.0, 2.0};  // processor 1 runs twice as fast
+  const ExactResult result = solve_exact(g, machine);
+  EXPECT_EQ(result.optimal, -10.0);  // 10 / 2 = 5 against deadline 15
+  ASSERT_EQ(result.placement.size(), 1u);
+  EXPECT_EQ(result.placement[0].proc, ProcId(1));
+}
+
+TEST(ExactOracle, MatchesEnumerationOnSeededInstances) {
+  const RandomGraphConfig config = small_config();
+  for (const int procs : {2, 3}) {
+    Machine machine;
+    machine.n_procs = procs;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      Pcg32 rng(seed_for(7100, {static_cast<std::uint64_t>(procs), seed}));
+      const TaskGraph graph = generate_random_graph(config, rng);
+      expect_bnb_matches_enumeration(graph, machine, seed);
+    }
+  }
+}
+
+TEST(ExactOracle, MatchesEnumerationWithPinnedSubtasks) {
+  const RandomGraphConfig config = small_config();
+  Machine machine;
+  machine.n_procs = 3;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Pcg32 rng(seed_for(7200, {seed}));
+    TaskGraph graph = generate_random_graph(config, rng);
+    Pcg32 pin_rng(seed_for(7201, {seed}));
+    pin_random_fraction(graph, 0.4, machine.n_procs, pin_rng);
+    expect_bnb_matches_enumeration(graph, machine, seed);
+  }
+}
+
+TEST(ExactOracle, MatchesEnumerationOnHeterogeneousMachines) {
+  const RandomGraphConfig config = small_config();
+  Machine machine;
+  machine.n_procs = 3;
+  machine.speeds = {1.0, 0.5, 2.0};
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Pcg32 rng(seed_for(7300, {seed}));
+    const TaskGraph graph = generate_random_graph(config, rng);
+    expect_bnb_matches_enumeration(graph, machine, seed);
+  }
+}
+
+TEST(ExactOracle, MatchesEnumerationUnderContentionRelaxation) {
+  // SharedBus machines are solved in the contention-free relaxation; both
+  // solvers share that model, so they must still agree bitwise — and both
+  // must flag the relaxation.
+  const RandomGraphConfig config = small_config();
+  Machine machine;
+  machine.n_procs = 2;
+  machine.contention = CommContention::SharedBus;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Pcg32 rng(seed_for(7400, {seed}));
+    const TaskGraph graph = generate_random_graph(config, rng);
+    const ExactResult bnb = solve_exact(graph, machine);
+    EXPECT_TRUE(bnb.contention_relaxed);
+    expect_bnb_matches_enumeration(graph, machine, seed);
+  }
+}
+
+TEST(ExactOracle, SizeLimitsThrow) {
+  TaskGraph big;
+  for (int i = 0; i <= kMaxExactSubtasks; ++i) {
+    const NodeId v = big.add_subtask("t" + std::to_string(i), 1.0);
+    big.set_boundary_release(v, 0.0);
+    big.set_boundary_deadline(v, 100.0);
+  }
+  Machine machine;
+  machine.n_procs = 2;
+  EXPECT_THROW(solve_exact(big, machine), std::invalid_argument);
+
+  TaskGraph small;
+  const NodeId a = small.add_subtask("a", 1.0);
+  small.set_boundary_release(a, 0.0);
+  small.set_boundary_deadline(a, 10.0);
+  Machine wide;
+  wide.n_procs = kMaxExactProcs + 1;
+  EXPECT_THROW(solve_exact(small, wide), std::invalid_argument);
+
+  // The enumeration guard is tighter than the solver's.
+  Machine five;
+  five.n_procs = 5;
+  EXPECT_THROW(enumerate_optimal(small, five), std::invalid_argument);
+}
+
+TEST(ExactOracle, MalformedSeedsThrow) {
+  TaskGraph g;
+  const NodeId a = g.add_subtask("a", 10.0);
+  const NodeId b = g.add_subtask("b", 20.0);
+  g.add_precedence(a, b, 2.0);
+  g.set_boundary_release(a, 0.0);
+  g.set_boundary_deadline(b, 45.0);
+
+  Machine machine;
+  machine.n_procs = 2;
+
+  // Precedence violation: b placed before its predecessor.
+  ExactOptions bad_order;
+  bad_order.seeds.push_back({{{b, ProcId(0)}, {a, ProcId(0)}}});
+  EXPECT_THROW(solve_exact(g, machine, bad_order), std::invalid_argument);
+
+  // Out-of-range processor.
+  ExactOptions bad_proc;
+  bad_proc.seeds.push_back({{{a, ProcId(7)}, {b, ProcId(0)}}});
+  EXPECT_THROW(solve_exact(g, machine, bad_proc), std::invalid_argument);
+
+  // Incomplete placement (missing b).
+  ExactOptions incomplete;
+  incomplete.seeds.push_back({{{a, ProcId(0)}}});
+  EXPECT_THROW(solve_exact(g, machine, incomplete), std::invalid_argument);
+}
+
+TEST(ExactOracle, EffectiveDeadlinesPropagateBackwards) {
+  // a -> b -> c with deadlines only on b (30) and c (50): ED(c) = 50,
+  // ED(b) = 30, ED(a) = 30 (through b — tighter than through c alone).
+  TaskGraph g;
+  const NodeId a = g.add_subtask("a", 5.0);
+  const NodeId b = g.add_subtask("b", 5.0);
+  const NodeId c = g.add_subtask("c", 5.0);
+  g.add_precedence(a, b, 1.0);
+  g.add_precedence(b, c, 1.0);
+  g.set_boundary_release(a, 0.0);
+  g.set_boundary_deadline(b, 30.0);
+  g.set_boundary_deadline(c, 50.0);
+
+  const std::vector<Time> eds = effective_deadlines(g);
+  EXPECT_EQ(eds[c.index()], 50.0);
+  EXPECT_EQ(eds[b.index()], 30.0);
+  EXPECT_EQ(eds[a.index()], 30.0);
+}
+
+}  // namespace
+}  // namespace feast::exact

@@ -1,0 +1,100 @@
+/// \file test_golden_gap.cpp
+/// \brief Golden-file regression pin of the optimality-gap table.
+///
+/// Runs the headline gap sweep — seed 42, the four paper strategies
+/// NORM / PURE / THRES / ADAPT on oracle-sized instances over 2 and 3
+/// processors — through the real campaign machinery (Gap mode) and diffs
+/// write_gap_csv's output against tests/golden/gap_seed42.csv.  Any change
+/// to the oracle's search, bounds, seeding or the gap-cell protocol that
+/// shifts a single statistic fails here with the first differing line and
+/// the replayable spec.
+///
+/// To regenerate after an *intentional* semantic change:
+///   FEAST_REGEN_GOLDEN=1 ./test_golden_gap
+/// then review the diff of tests/golden/gap_seed42.csv like any other code
+/// change.  results/gap_seed42.csv is the same table produced by
+/// `feastc exact gap` (docs/EXACT.md) — regenerate both together.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+
+namespace feast {
+namespace {
+
+const char* kGoldenPath = FEAST_GOLDEN_DIR "/gap_seed42.csv";
+
+/// The headline sweep, kept identical to results/gap_seed42.csv (see
+/// results/README note in docs/EXACT.md): 16 samples per cell, 8 cells.
+CampaignSpec golden_spec() {
+  std::istringstream in(
+      "name = gap-seed42\n"
+      "samples = 16\n"
+      "seed = 42\n"
+      "scenario = MDET\n"
+      "subtasks = 8:12\n"
+      "depth = 3:5\n"
+      "mode = gap\n"
+      "exact_nodes = 250000\n"
+      "strategies = norm:ccne, pure:ccne, thres:1:1.25, adapt:1.25\n"
+      "sizes = 2,3\n");
+  return CampaignSpec::parse(in);
+}
+
+std::string current_csv() {
+  const CampaignSpec spec = golden_spec();
+  const CampaignResult result = run_campaign(spec);  // no cache, no manifest
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.failed, 0u) << "a gap cell failed: optimal > heuristic?";
+  std::ostringstream out;
+  write_gap_csv(out, spec, result);
+  return out.str();
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(GoldenGap, MatchesCheckedInCsv) {
+  const std::string current = current_csv();
+
+  if (std::getenv("FEAST_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(kGoldenPath, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << kGoldenPath;
+    out << current;
+    GTEST_SKIP() << "regenerated " << kGoldenPath << "; review the diff";
+  }
+
+  std::ifstream in(kGoldenPath, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << kGoldenPath
+                         << " (run with FEAST_REGEN_GOLDEN=1 to create it)";
+  std::ostringstream golden_stream;
+  golden_stream << in.rdbuf();
+  const std::string golden = golden_stream.str();
+
+  if (current == golden) return;
+
+  const std::vector<std::string> cur_lines = split_lines(current);
+  const std::vector<std::string> gold_lines = split_lines(golden);
+  const std::size_t n = std::min(cur_lines.size(), gold_lines.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(gold_lines[i], cur_lines[i])
+        << "first divergence at line " << (i + 1) << " of " << kGoldenPath
+        << " — replay with FEAST_PROP_REPLAY-style seeding: batch seed 42, "
+           "graph seed = seed_for(42, {0, sample})";
+  }
+  FAIL() << "line count differs: golden " << gold_lines.size() << ", current "
+         << cur_lines.size();
+}
+
+}  // namespace
+}  // namespace feast

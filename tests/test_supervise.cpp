@@ -474,5 +474,77 @@ TEST(Supervise, SigtermDrainsToResumableCheckpoint) {
             manifest_fingerprint(read_manifest_file(base_options.manifest_path)));
 }
 
+TEST(Supervise, ExactSolveFaultIsQuarantinedEndToEnd) {
+  // A Gap-mode campaign with the `exact-solve:1:die` fault armed inside
+  // cell 0's worker: unlike --inject (which fakes a crash before the cell
+  // runs), this kills the worker at a real library injection site in the
+  // middle of the oracle solve.  The supervisor must taxonomize the death
+  // as a crash, re-arm the fault on the retry, quarantine the cell after
+  // its attempt budget, and finish the sibling gap cell normally.
+  ScratchDir dir("feast-supervise-exact-fault");
+  const fs::path spec_path = dir.path() / "gap.feast";
+  {
+    std::ofstream out(spec_path);
+    out << "name = supervise-exact-fault\n"
+        << "samples = 4\n"
+        << "seed = 42\n"
+        << "subtasks = 8:10\n"
+        << "depth = 3:4\n"
+        << "mode = gap\n"
+        << "exact_nodes = 100000\n"
+        << "strategies = norm, pure\n"
+        << "sizes = 2\n";
+  }
+  const CampaignSpec spec = CampaignSpec::parse_file(spec_path.string());
+  ASSERT_EQ(spec.mode, CampaignMode::Gap);
+  ASSERT_EQ(spec.cell_count(), 2u);
+
+  CampaignOptions options;
+  options.manifest_path = (dir.path() / "m.json").string();
+
+  SupervisorOptions sup = fast_supervisor(spec_path);
+  sup.work_dir = (dir.path() / "work").string();
+  sup.fault_cells[0] = "exact-solve:1:die";
+
+  const CampaignResult result = run_supervised_campaign(spec, options, sup);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.degraded());
+  EXPECT_EQ(result.quarantined, 1u);
+
+  ASSERT_EQ(result.cells.size(), 2u);
+  EXPECT_EQ(result.cells[0].state, CellState::Quarantined);
+  EXPECT_EQ(result.cells[0].attempts, 2);  // The fault re-arms every attempt.
+  EXPECT_EQ(result.cells[0].error_kind, "crash");
+  EXPECT_EQ(result.cells[1].state, CellState::Computed);
+  // The healthy gap cell carries real oracle statistics (field mapping in
+  // exact/gap.hpp): every sample searched nodes, and unproven samples are
+  // reported, not hidden (the proven-rate gate itself lives in CI's
+  // gap-sweep smoke, not here).
+  EXPECT_GT(result.cells[1].stats.min_laxity.mean, 0.0);
+  EXPECT_LE(result.cells[1].stats.infeasible_runs,
+            static_cast<std::size_t>(result.samples));
+
+  // A malformed fault spec is rejected before any worker spawns.
+  SupervisorOptions bad = fast_supervisor(spec_path);
+  bad.work_dir = (dir.path() / "work-bad").string();
+  bad.fault_cells[0] = "no-such-site:1:die";
+  EXPECT_THROW(run_supervised_campaign(spec, options, bad), std::invalid_argument);
+
+  // Resume without the fault: the quarantined cell recovers and the final
+  // manifest matches a clean in-process run of the same Gap spec.
+  CampaignOptions resume = options;
+  resume.resume = true;
+  SupervisorOptions clean = fast_supervisor(spec_path);
+  clean.work_dir = (dir.path() / "work2").string();
+  const CampaignResult resumed = run_supervised_campaign(spec, resume, clean);
+  EXPECT_TRUE(resumed.ok());
+
+  CampaignOptions base_options;
+  base_options.manifest_path = (dir.path() / "base.json").string();
+  ASSERT_TRUE(run_campaign(spec, base_options).ok());
+  EXPECT_EQ(manifest_fingerprint(read_manifest_file(options.manifest_path)),
+            manifest_fingerprint(read_manifest_file(base_options.manifest_path)));
+}
+
 }  // namespace
 }  // namespace feast::supervise
