@@ -4,11 +4,6 @@
 
 namespace feast {
 
-bool DeadlineAssignment::complete() const noexcept {
-  return std::all_of(windows_.begin(), windows_.end(),
-                     [](const NodeWindow& w) { return w.assigned(); });
-}
-
 void DeadlineAssignment::assign(NodeId id, Time release, Time rel_deadline,
                                 int iteration) {
   FEAST_REQUIRE(id.index() < windows_.size());
@@ -16,6 +11,7 @@ void DeadlineAssignment::assign(NodeId id, Time release, Time rel_deadline,
   FEAST_REQUIRE(is_set(release));
   FEAST_REQUIRE_MSG(rel_deadline >= 0.0, "relative deadline must be non-negative");
   windows_[id.index()] = NodeWindow{release, rel_deadline, iteration};
+  ++assigned_count_;
 }
 
 Time DeadlineAssignment::laxity(const TaskGraph& graph, NodeId id) const {

@@ -55,8 +55,20 @@ class DeadlineAssignment {
     return windows_[id.index()];
   }
 
-  /// True when every node has a window.
-  bool complete() const noexcept;
+  /// window() without the bounds check, for the scheduler hot path:
+  /// list_schedule requires complete() once per run, after which every
+  /// in-range window is assigned and per-node re-checking (two contract
+  /// branches per read, ~180 reads per run) only costs.
+  const NodeWindow& window_unchecked(NodeId id) const noexcept {
+    return windows_[id.index()];
+  }
+
+  /// True when every node has a window.  O(1): assign() rejects double
+  /// assignment, so counting assignments counts assigned nodes exactly
+  /// (the check runs as a precondition on every scheduled graph).
+  bool complete() const noexcept {
+    return assigned_count_ == windows_.size();
+  }
 
   /// Assigns a window; \p rel_deadline must be non-negative.
   void assign(NodeId id, Time release, Time rel_deadline, int iteration);
@@ -93,6 +105,7 @@ class DeadlineAssignment {
 
   std::vector<NodeWindow> windows_;
   std::vector<SlicedPath> paths_;
+  std::size_t assigned_count_ = 0;  ///< Distinct assigned nodes (see complete()).
 };
 
 }  // namespace feast

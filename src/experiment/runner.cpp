@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "core/distribution_validate.hpp"
+#include "sched/batch.hpp"
 #include "sched/schedule_validate.hpp"
 
 namespace feast {
@@ -17,6 +18,12 @@ RunResult run_once(const TaskGraph& graph, Distributor& distributor,
   // running concurrent runs with distinct explicit sinks are on their own.
   std::optional<obs::ScopedSink> scoped;
   if (sink != nullptr && sink != obs::active()) scoped.emplace(*sink);
+  // A non-Auto backend rides the whole run, so the scheduler's hot loops
+  // and the lateness reduction resolve the same kernel table.
+  std::optional<kernels::ScopedBackend> backend;
+  if (context.backend != kernels::Backend::Auto) {
+    backend.emplace(context.backend);
+  }
 
   const DeadlineAssignment assignment = [&] {
     obs::SpanScope span(sink, obs::Span::Distribute);
@@ -27,23 +34,39 @@ RunResult run_once(const TaskGraph& graph, Distributor& distributor,
     require_valid(check_assignment_basic(graph, assignment));
   }
 
-  const Schedule schedule = [&] {
+  // The fast core runs through the thread-local batch arena: one
+  // BatchScheduler per worker thread, so every run_once caller — run_cell
+  // samples on the parallel pool, campaign cells, serve workers — reuses
+  // prepared-topology, scratch and schedule storage with no per-run
+  // allocation and no Schedule copy out.  The reference core keeps the
+  // plain value path: it is the oracle and must not ride the machinery it
+  // certifies.
+  thread_local BatchScheduler batch;
+  std::optional<Schedule> ref_schedule;
+  const Schedule* schedule = nullptr;
+  {
     obs::SpanScope span(sink, obs::Span::Schedule);
-    return list_schedule_with(context.core, graph, assignment, context.machine,
-                              context.scheduler);
-  }();
+    if (context.core == SchedulerCore::Reference) {
+      ref_schedule.emplace(list_schedule_ref(graph, assignment, context.machine,
+                                             context.scheduler));
+      schedule = &*ref_schedule;
+    } else {
+      schedule =
+          &batch.run_one(graph, assignment, context.machine, context.scheduler);
+    }
+  }
   if (context.validate) {
     obs::SpanScope span(sink, obs::Span::Validate);
-    require_valid(validate_schedule(graph, assignment, context.machine, schedule,
-                                    context.scheduler));
+    require_valid(validate_schedule(graph, assignment, context.machine,
+                                    *schedule, context.scheduler));
   }
 
   obs::SpanScope span(sink, obs::Span::Stats);
   RunResult result;
-  result.lateness = computation_lateness(graph, assignment, schedule);
-  result.end_to_end = end_to_end_lateness(graph, schedule);
-  result.makespan = schedule.makespan();
-  result.utilization = schedule.average_utilization();
+  result.lateness = computation_lateness(graph, assignment, *schedule);
+  result.end_to_end = end_to_end_lateness(graph, *schedule);
+  result.makespan = schedule->makespan();
+  result.utilization = schedule->average_utilization();
   result.min_laxity = assignment.min_laxity(graph);
   return result;
 }

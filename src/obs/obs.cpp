@@ -25,6 +25,7 @@ const char* to_string(Span span) noexcept {
     case Span::ServeRequest: return "serve/request";
     case Span::ServeDispatch: return "serve/dispatch";
     case Span::ExactSolve: return "exact/solve";
+    case Span::SchedBatch: return "sched/batch";
   }
   return "?";
 }
@@ -55,6 +56,8 @@ const char* to_string(Counter counter) noexcept {
     case Counter::ServeDisconnect: return "serve.disconnect";
     case Counter::ExactNode: return "exact.nodes";
     case Counter::ExactPruned: return "exact.pruned";
+    case Counter::KernelScalarRun: return "kernel.scalar_runs";
+    case Counter::KernelAvx2Run: return "kernel.avx2_runs";
   }
   return "?";
 }

@@ -53,8 +53,9 @@ enum class Span : std::uint8_t {
   ServeRequest,      ///< Serve: one HTTP request, accept-parse → reply.
   ServeDispatch,     ///< Serve: one cell job, enqueue → terminal state.
   ExactSolve,        ///< One exact branch-and-bound solve (src/exact).
+  SchedBatch,        ///< One BatchScheduler::run over a graph batch.
 };
-inline constexpr std::size_t kSpanCount = 15;
+inline constexpr std::size_t kSpanCount = 16;
 
 /// Named event counters for decisions that have no duration.
 enum class Counter : std::uint8_t {
@@ -82,8 +83,10 @@ enum class Counter : std::uint8_t {
   ServeDisconnect, ///< Serve: client went away before its reply.
   ExactNode,       ///< Exact oracle: search-tree nodes expanded.
   ExactPruned,     ///< Exact oracle: branches cut by bounds or dominance.
+  KernelScalarRun, ///< Fast core: run executed on the scalar kernel backend.
+  KernelAvx2Run,   ///< Fast core: run executed on the AVX2 kernel backend.
 };
-inline constexpr std::size_t kCounterCount = 24;
+inline constexpr std::size_t kCounterCount = 26;
 
 const char* to_string(Span span) noexcept;
 const char* to_string(Counter counter) noexcept;

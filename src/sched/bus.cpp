@@ -1,9 +1,5 @@
 #include "sched/bus.hpp"
 
-#include <algorithm>
-
-#include "util/contracts.hpp"
-
 namespace feast {
 
 Time BusTimeline::reserve(Time earliest, Time duration) {
@@ -14,7 +10,7 @@ Time BusTimeline::reserve(Time earliest, Time duration) {
 
 Time BusTimeline::total_busy() const noexcept {
   Time busy = 0.0;
-  for (const BusSlot& slot : slots_) busy += slot.end - slot.start;
+  for (std::size_t i = 0; i < starts_.size(); ++i) busy += ends_[i] - starts_[i];
   return busy;
 }
 

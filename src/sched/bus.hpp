@@ -7,21 +7,23 @@
 /// at which a slot of `duration` fits into a gap.  Queries are side-effect
 /// free so the scheduler can evaluate candidate processors before
 /// committing one.
+///
+/// Storage is SoA — parallel `starts[]` / `ends[]` arrays rather than an
+/// array of slot structs — so a gap probe walks one contiguous double
+/// stream per comparison and the kernel backends (sched/kernels) can scan
+/// it four lanes at a time.  The first-fit walk itself is the gap_scan
+/// kernel; see kernels.hpp for the exactness contract that keeps every
+/// backend's answer bit-identical to the naive walk.
 #pragma once
 
 #include <algorithm>
 #include <vector>
 
+#include "sched/kernels/kernels.hpp"
 #include "util/contracts.hpp"
 #include "util/time_types.hpp"
 
 namespace feast {
-
-/// One committed transfer slot.
-struct BusSlot {
-  Time start = 0.0;
-  Time end = 0.0;
-};
 
 /// Single-resource timeline with first-fit gap allocation.
 ///
@@ -34,58 +36,91 @@ struct BusSlot {
 /// front-to-back first-fit walk.
 class BusTimeline {
  public:
-  /// Earliest start >= \p earliest at which \p duration fits.  A zero
-  /// duration always fits at \p earliest.  Defined inline: the scheduler
-  /// issues one query per candidate processor per placement, and the call
-  /// dominated its profile when out of line.
-  Time query(Time earliest, Time duration) const {
+  /// Earliest start >= \p earliest at which \p duration fits, scanning
+  /// with \p ops (the scheduler passes its per-run kernel table so the
+  /// dispatch lookup is not repeated per probe).  A zero duration always
+  /// fits at \p earliest.  Defined inline: the scheduler issues one query
+  /// per candidate processor per placement, and the call dominated its
+  /// profile when out of line.
+  Time query_with(const kernels::KernelOps& ops, Time earliest,
+                  Time duration) const {
     FEAST_REQUIRE(duration >= 0.0);
     if (duration <= 0.0) return earliest;
+    const std::size_t n = starts_.size();
     // Tail hint: past the last committed slot every request fits at once.
-    if (slots_.empty() || slots_.back().end <= earliest + kTimeEps) return earliest;
-    // Short timelines (the per-processor busy lists of paper-sized runs
-    // hold a handful of slots) beat the binary search with the plain walk:
-    // same algorithm as query_linear, so results are trivially identical.
-    if (slots_.size() <= 16) {
+    if (n == 0 || ends_[n - 1] <= earliest + kTimeEps) return earliest;
+    // Short timelines run the walk inline: the per-processor busy lists of
+    // paper-sized runs hold a handful of slots, and at those lengths the
+    // indirect kernel call costs more than the scan it would accelerate
+    // (measured ~180 gap probes per run, most against 2-5 slot lists).
+    // The loop is character-for-character the scalar kernel's, so the
+    // answer is bit-identical regardless of which path a probe takes.
+    if (n <= 16) {
       Time candidate = earliest;
-      for (const BusSlot& slot : slots_) {
-        if (slot.end <= candidate + kTimeEps) continue;
-        if (slot.start >= candidate + duration - kTimeEps) break;
-        candidate = slot.end;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (ends_[i] <= candidate + kTimeEps) continue;
+        if (starts_[i] >= candidate + duration - kTimeEps) break;
+        candidate = ends_[i];
       }
       return candidate;
     }
-    // Only the slot straddling `earliest` and those after it can collide.
-    // Slot starts are strictly increasing and slots are disjoint up to
-    // kTimeEps, so every slot before the predecessor of the first slot
-    // starting at or after `earliest` ends by `earliest + kTimeEps` — the
-    // first-fit walk would skip it without moving the candidate.
-    auto it = std::lower_bound(
-        slots_.begin(), slots_.end(), earliest,
-        [](const BusSlot& slot, Time t) { return slot.start < t; });
-    if (it != slots_.begin()) --it;
-    Time candidate = earliest;
-    for (; it != slots_.end(); ++it) {
-      if (it->end <= candidate + kTimeEps) continue;  // gap is past this slot
-      if (it->start >= candidate + duration - kTimeEps) break;  // fits before it
-      candidate = it->end;  // collision: try right after this slot
+    // Long timelines (the shared bus) position the scan past the prefix a
+    // query can never interact with.  Only the slot straddling `earliest`
+    // and those after it can collide: slot starts are strictly increasing
+    // and slots are disjoint up to kTimeEps, so every slot before the
+    // predecessor of the first slot starting at or after `earliest` ends
+    // by `earliest + kTimeEps` — the first-fit walk would skip it without
+    // moving the candidate.  Queries arrive with earliest bounds near the
+    // committed tail (producer finishes grow with scheduling progress), so
+    // a short backward gallop finds that position without the binary
+    // search's data-dependent branches; the search remains the fallback
+    // for the rare query landing deep in the prefix.
+    std::size_t from;
+    if (starts_[n - 8] <= earliest) {
+      std::size_t i = n;  // <= 8 steps: starts_[n - 8] <= earliest bounds it
+      while (i > 0 && starts_[i - 1] > earliest) --i;
+      from = i > 0 ? i - 1 : 0;
+    } else {
+      from = static_cast<std::size_t>(
+          std::lower_bound(starts_.begin(), starts_.end(), earliest) -
+          starts_.begin());
+      if (from > 0) --from;
     }
-    return candidate;
+    // With few slots left past the position, the walk is again cheaper
+    // inline than through the kernel call (same loop, same answer).
+    if (n - from <= 16) {
+      Time candidate = earliest;
+      for (std::size_t i = from; i < n; ++i) {
+        if (ends_[i] <= candidate + kTimeEps) continue;
+        if (starts_[i] >= candidate + duration - kTimeEps) break;
+        candidate = ends_[i];
+      }
+      return candidate;
+    }
+    return ops.gap_scan(starts_.data(), ends_.data(), n, from, earliest,
+                        duration, kTimeEps);
+  }
+
+  /// query_with on the active kernel backend.
+  Time query(Time earliest, Time duration) const {
+    return query_with(kernels::active(), earliest, duration);
   }
 
   /// The naive front-to-back first-fit walk — the reference semantics the
   /// accelerated query() must reproduce exactly.  Kept (a) for the
   /// reference scheduler core, so differential runs exercise both
   /// implementations against each other on every workload, and (b) as the
-  /// oracle for BusTimeline's own equivalence tests.
+  /// oracle for BusTimeline's own equivalence tests.  Deliberately a plain
+  /// scalar loop, not a kernel call: the reference path must not ride the
+  /// machinery it is the oracle for.
   Time query_linear(Time earliest, Time duration) const {
     FEAST_REQUIRE(duration >= 0.0);
     if (duration <= 0.0) return earliest;
     Time candidate = earliest;
-    for (const BusSlot& slot : slots_) {
-      if (slot.end <= candidate + kTimeEps) continue;      // gap is past this slot
-      if (slot.start >= candidate + duration - kTimeEps) break;  // fits before it
-      candidate = slot.end;  // collision: try right after this slot
+    for (std::size_t i = 0; i < starts_.size(); ++i) {
+      if (ends_[i] <= candidate + kTimeEps) continue;  // gap is past this slot
+      if (starts_[i] >= candidate + duration - kTimeEps) break;  // fits before it
+      candidate = ends_[i];  // collision: try right after this slot
     }
     return candidate;
   }
@@ -94,6 +129,13 @@ class BusTimeline {
   /// not collide with committed slots (checked).
   Time reserve(Time earliest, Time duration);
 
+  /// reserve() scanning with \p ops (see query_with).
+  Time reserve_with(const kernels::KernelOps& ops, Time earliest, Time duration) {
+    const Time start = query_with(ops, earliest, duration);
+    reserve_at(start, duration);
+    return start;
+  }
+
   /// reserve() in the growth seed's form: the naive front-to-back gap walk
   /// followed by a sorted insert with no tail fast path.  Kept for the
   /// reference scheduler core, whose performance baseline must not ride
@@ -101,21 +143,7 @@ class BusTimeline {
   /// state-identical to reserve().
   Time reserve_linear(Time earliest, Time duration) {
     const Time start = query_linear(earliest, duration);
-    if (duration > 0.0) {
-      const BusSlot slot{start, start + duration};
-      auto it = std::lower_bound(slots_.begin(), slots_.end(), slot,
-                                 [](const BusSlot& a, const BusSlot& b) {
-                                   return a.start < b.start;
-                                 });
-      if (it != slots_.begin()) {
-        FEAST_ASSERT_MSG(time_le(std::prev(it)->end, slot.start),
-                         "bus slot collision");
-      }
-      if (it != slots_.end()) {
-        FEAST_ASSERT_MSG(time_le(slot.end, it->start), "bus slot collision");
-      }
-      slots_.insert(it, slot);
-    }
+    if (duration > 0.0) insert_slot(start, start + duration);
     return start;
   }
 
@@ -128,35 +156,55 @@ class BusTimeline {
   /// starts grow with scheduling progress).
   void reserve_at(Time start, Time duration) {
     if (duration <= 0.0) return;
-    const BusSlot slot{start, start + duration};
-    if (slots_.empty() || slots_.back().end <= start + kTimeEps) {
-      slots_.push_back(slot);
+    if (starts_.empty() || ends_.back() <= start + kTimeEps) {
+      starts_.push_back(start);
+      ends_.push_back(start + duration);
       return;
     }
-    auto it = std::lower_bound(slots_.begin(), slots_.end(), slot,
-                               [](const BusSlot& a, const BusSlot& b) {
-                                 return a.start < b.start;
-                               });
-    if (it != slots_.begin()) {
-      FEAST_ASSERT_MSG(time_le(std::prev(it)->end, slot.start), "bus slot collision");
-    }
-    if (it != slots_.end()) {
-      FEAST_ASSERT_MSG(time_le(slot.end, it->start), "bus slot collision");
-    }
-    slots_.insert(it, slot);
+    insert_slot(start, start + duration);
   }
 
-  /// Committed slots in time order.
-  const std::vector<BusSlot>& slots() const noexcept { return slots_; }
+  /// Number of committed slots.
+  std::size_t size() const noexcept { return starts_.size(); }
+
+  /// True when no slot is committed.
+  bool empty() const noexcept { return starts_.empty(); }
+
+  /// Committed slot starts, ascending (parallel to ends()).
+  const std::vector<Time>& starts() const noexcept { return starts_; }
+
+  /// Committed slot ends, ascending (parallel to starts()).
+  const std::vector<Time>& ends() const noexcept { return ends_; }
 
   /// Total committed transfer time.
   Time total_busy() const noexcept;
 
   /// Drops all committed slots but keeps the allocation (scratch reuse).
-  void clear() noexcept { slots_.clear(); }
+  void clear() noexcept {
+    starts_.clear();
+    ends_.clear();
+  }
 
  private:
-  std::vector<BusSlot> slots_;  ///< Sorted by start, pairwise disjoint.
+  /// Sorted insert with collision checks (the non-tail path).
+  void insert_slot(Time start, Time end) {
+    const std::size_t pos = static_cast<std::size_t>(
+        std::lower_bound(starts_.begin(), starts_.end(), start) -
+        starts_.begin());
+    if (pos > 0) {
+      FEAST_ASSERT_MSG(time_le(ends_[pos - 1], start), "bus slot collision");
+    }
+    if (pos < starts_.size()) {
+      FEAST_ASSERT_MSG(time_le(end, starts_[pos]), "bus slot collision");
+    }
+    starts_.insert(starts_.begin() + static_cast<std::ptrdiff_t>(pos), start);
+    ends_.insert(ends_.begin() + static_cast<std::ptrdiff_t>(pos), end);
+  }
+
+  // Parallel SoA arrays: slot i occupies [starts_[i], ends_[i]).  Sorted
+  // by start, pairwise disjoint (up to kTimeEps).
+  std::vector<Time> starts_;
+  std::vector<Time> ends_;
 };
 
 }  // namespace feast

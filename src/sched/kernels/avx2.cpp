@@ -1,0 +1,243 @@
+/// \file avx2.cpp
+/// \brief The AVX2 kernel backend.
+///
+/// Compiled only when the toolchain accepts -mavx2 (see the FEAST_KERNEL_AVX2
+/// gate in src/sched/CMakeLists.txt); selected at runtime only when cpuid
+/// reports AVX2, so a binary carrying this TU still runs everywhere.
+///
+/// Every kernel is an *exact transformation* of its scalar counterpart: the
+/// vector lanes evaluate the same comparisons on the same doubles, and the
+/// data-dependent decisions (which slot collides first, which index holds the
+/// maximum) are resolved with the scalar tie rules.  Where a vectorized
+/// reduction would reassociate floating-point arithmetic, the operation is
+/// either associative bit-for-bit (max over non-NaN, no -0.0 inputs — see
+/// kernels.hpp) or excluded from the kernel contract (sums stay with the
+/// caller).  tests/test_kernels.cpp pins scalar ≡ avx2 on adversarial
+/// inputs; `feastc diffsched` certifies whole-scheduler traces.
+#include "sched/kernels/kernels.hpp"
+
+#if defined(FEAST_KERNEL_AVX2)
+
+#include <immintrin.h>
+
+#include <bit>
+
+namespace feast::kernels {
+
+namespace {
+
+std::size_t avx2_first_set(const std::uint64_t* words, std::size_t nwords) {
+  std::size_t w = 0;
+  // 4 words (256 bits of ranks) per step: vptest sets ZF when the whole
+  // block is zero, so dense prefixes of empty ready words are skipped at
+  // 4x the scalar rate.  The first non-zero block falls through to the
+  // scalar word walk, which applies the exact same "lowest set bit" rule.
+  for (; w + 4 <= nwords; w += 4) {
+    const __m256i block =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + w));
+    if (!_mm256_testz_si256(block, block)) break;
+  }
+  for (;; ++w) {
+    if (w >= nwords) return nwords * 64;  // defensive; contract says set bit exists
+    const std::uint64_t word = words[w];
+    if (word != 0) {
+      return w * 64 + static_cast<std::size_t>(std::countr_zero(word));
+    }
+  }
+}
+
+std::size_t avx2_first_above(const double* values, std::size_t n,
+                             std::size_t from, double bound) {
+  std::size_t i = from;
+  const __m256d vbound = _mm256_set1_pd(bound);
+  // _CMP_GT_OQ is IEEE `>` (ordered, quiet): lane k is all-ones exactly
+  // when values[i+k] > bound, the scalar predicate.  The first set lane of
+  // the first non-zero mask is the scalar loop's first hit.
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(values + i);
+    const int mask =
+        _mm256_movemask_pd(_mm256_cmp_pd(v, vbound, _CMP_GT_OQ));
+    if (mask != 0) {
+      return i + static_cast<std::size_t>(std::countr_zero(
+                     static_cast<unsigned>(mask)));
+    }
+  }
+  for (; i < n; ++i) {
+    if (values[i] > bound) return i;
+  }
+  return n;
+}
+
+double avx2_gap_scan(const double* starts, const double* ends, std::size_t n,
+                     std::size_t from, double candidate, double duration,
+                     double eps) {
+  // The scalar walk in an equivalent form that exposes its two scans:
+  //
+  //   loop:
+  //     i = first index >= i with ends[i] > candidate + eps   (skip scan)
+  //     if i == n: return candidate
+  //     if starts[i] >= candidate + duration - eps: return candidate
+  //     candidate = ends[i]; ++i                              (collision)
+  //     dense walk: while the chain invariant candidate == ends[i-1]
+  //     holds, each step either skips (ends[i] <= ends[i-1] + eps),
+  //     breaks (starts[i] - ends[i-1] >= duration - eps: a wide-enough
+  //     inter-slot gap), or collides again (candidate = ends[i]).
+  //
+  // The skip scan vectorizes directly (the candidate does not move), and
+  // the dense walk — the serial part that dominates on a congested bus,
+  // where back-to-back slots force the candidate through every slot until
+  // the first wide-enough gap — vectorizes against *consecutive* slots:
+  // while the chain invariant holds the step at index i compares
+  // starts[i] and ends[i] against ends[i-1] only, so four steps evaluate
+  // at once from unaligned loads at i-1 and i.  The first lane where
+  // either condition fires is located exactly, and its condition is
+  // re-dispatched with the scalar rules in scalar order (skip before
+  // break), so the walk is decision-for-decision the scalar walk's.
+  std::size_t i = from;
+  for (;;) {
+    i = avx2_first_above(ends, n, i, candidate + eps);
+    if (i == n) return candidate;
+    if (starts[i] >= candidate + duration - eps) return candidate;
+    candidate = ends[i];
+    ++i;
+    // Dense walk with candidate == ends[i - 1].
+    const __m256d veps = _mm256_set1_pd(eps);
+    const __m256d vdur = _mm256_set1_pd(duration);
+    while (i + 4 <= n) {
+      const __m256d prev_end = _mm256_loadu_pd(ends + i - 1);
+      const __m256d cur_end = _mm256_loadu_pd(ends + i);
+      const __m256d cur_start = _mm256_loadu_pd(starts + i);
+      // Lane k stops the chain when ends[i+k] <= ends[i+k-1] + eps (the
+      // scalar skip) or starts[i+k] >= ends[i+k-1] + duration - eps (the
+      // scalar break).  The break bound is formed left-to-right exactly as
+      // the scalar expression — (candidate + duration) - eps — so every
+      // intermediate rounding matches; _CMP_LE_OQ / _CMP_GE_OQ are the
+      // IEEE comparisons of the scalar predicates on the same doubles.
+      const __m256d skip = _mm256_cmp_pd(
+          cur_end, _mm256_add_pd(prev_end, veps), _CMP_LE_OQ);
+      const __m256d wide = _mm256_cmp_pd(
+          cur_start,
+          _mm256_sub_pd(_mm256_add_pd(prev_end, vdur), veps), _CMP_GE_OQ);
+      const int stop = _mm256_movemask_pd(_mm256_or_pd(skip, wide));
+      if (stop == 0) {
+        candidate = ends[i + 3];
+        i += 4;
+        continue;
+      }
+      const std::size_t j =
+          i + static_cast<std::size_t>(std::countr_zero(
+                  static_cast<unsigned>(stop)));
+      candidate = ends[j - 1];  // chain advanced through every prior lane
+      // Scalar order: the skip test runs before the break test.
+      if (ends[j] <= candidate + eps) {
+        i = j + 1;  // skip; the chain invariant is broken, rescan
+        goto rescan;
+      }
+      return candidate;  // starts[j] opened a wide-enough gap
+    }
+    // Scalar tail of the dense walk (fewer than 4 slots left).
+    for (; i < n; ++i) {
+      if (ends[i] <= candidate + eps) continue;
+      if (starts[i] >= candidate + duration - eps) break;
+      candidate = ends[i];
+    }
+    return candidate;
+  rescan:;
+  }
+}
+
+void avx2_scale(const double* values, std::size_t n, double factor,
+                double* out) {
+  const __m256d vfactor = _mm256_set1_pd(factor);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i,
+                     _mm256_mul_pd(_mm256_loadu_pd(values + i), vfactor));
+  }
+  for (; i < n; ++i) out[i] = values[i] * factor;
+}
+
+void avx2_lateness(const double* finish, const double* deadline, std::size_t n,
+                   double eps, double* lateness, LatenessReduce* out) {
+  // Pass 1 (vector): lateness[i] = finish[i] − deadline[i] (elementwise,
+  // exact), lane-max running reduction, and missed counting via compare
+  // masks.  max over non-NaN doubles with no -0.0 (see kernels.hpp) is
+  // associative bit-for-bit, so the lane fold equals the scalar fold.
+  const __m256d veps = _mm256_set1_pd(eps);
+  __m256d vmax = _mm256_set1_pd(-__builtin_huge_val());
+  std::uint64_t missed = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d late = _mm256_sub_pd(_mm256_loadu_pd(finish + i),
+                                       _mm256_loadu_pd(deadline + i));
+    _mm256_storeu_pd(lateness + i, late);
+    vmax = _mm256_max_pd(vmax, late);
+    const int mask =
+        _mm256_movemask_pd(_mm256_cmp_pd(late, veps, _CMP_GT_OQ));
+    missed += static_cast<std::uint64_t>(
+        std::popcount(static_cast<unsigned>(mask)));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, vmax);
+  double max = lanes[0];
+  if (lanes[1] > max) max = lanes[1];
+  if (lanes[2] > max) max = lanes[2];
+  if (lanes[3] > max) max = lanes[3];
+  bool any_vector = i != 0;
+  for (; i < n; ++i) {
+    const double late = finish[i] - deadline[i];
+    lateness[i] = late;
+    if (late > max || (!any_vector && i == 0)) max = late;
+    any_vector = true;
+    if (late > eps) ++missed;
+  }
+  // Pass 2 (vector): the scalar rule is *first* index strictly greater than
+  // every predecessor — i.e. the first index whose lateness equals the
+  // maximum.  Equality search is order-safe, so it vectorizes exactly.
+  std::uint32_t argmax = 0;
+  const __m256d vtarget = _mm256_set1_pd(max);
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const int mask = _mm256_movemask_pd(_mm256_cmp_pd(
+        _mm256_loadu_pd(lateness + j), vtarget, _CMP_EQ_OQ));
+    if (mask != 0) {
+      argmax = static_cast<std::uint32_t>(
+          j + static_cast<std::size_t>(
+                  std::countr_zero(static_cast<unsigned>(mask))));
+      out->max = max;
+      out->argmax = argmax;
+      out->missed = missed;
+      return;
+    }
+  }
+  for (; j < n; ++j) {
+    if (lateness[j] == max) {
+      argmax = static_cast<std::uint32_t>(j);
+      break;
+    }
+  }
+  out->max = max;
+  out->argmax = argmax;
+  out->missed = missed;
+}
+
+constexpr KernelOps kAvx2Ops = {
+    "avx2",        avx2_first_set, avx2_first_above,
+    avx2_gap_scan, avx2_scale,     avx2_lateness,
+};
+
+}  // namespace
+
+namespace detail {
+const KernelOps* avx2_ops() noexcept { return &kAvx2Ops; }
+}  // namespace detail
+
+}  // namespace feast::kernels
+
+#else  // !FEAST_KERNEL_AVX2
+
+namespace feast::kernels::detail {
+const KernelOps* avx2_ops() noexcept { return nullptr; }
+}  // namespace feast::kernels::detail
+
+#endif

@@ -1,0 +1,176 @@
+/// \file kernels.cpp
+/// \brief Backend registry and runtime dispatch for the scheduler kernels.
+#include "sched/kernels/kernels.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace feast::kernels {
+
+namespace detail {
+// Defined in avx2.cpp: the AVX2 table when FEAST_KERNEL_AVX2 was compiled
+// in, nullptr otherwise (the TU is always in the build so linking never
+// depends on the gate).
+const KernelOps* avx2_ops() noexcept;
+}  // namespace detail
+
+namespace {
+
+bool host_has_avx2() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+const KernelOps* ops_for(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::Scalar:
+      return &scalar_ops();
+    case Backend::Avx2:
+      return detail::avx2_ops();
+    case Backend::Auto:
+      break;
+  }
+  return nullptr;
+}
+
+/// Resolves Auto: FEAST_SCHED_BACKEND env if set, else cpuid.  Unknown
+/// env values and unavailable forced backends warn once and fall back.
+Backend resolve_auto() noexcept {
+  const char* env = std::getenv("FEAST_SCHED_BACKEND");
+  if (env != nullptr && *env != '\0' && std::strcmp(env, "auto") != 0) {
+    Backend requested = Backend::Auto;
+    if (std::strcmp(env, "scalar") == 0) {
+      requested = Backend::Scalar;
+    } else if (std::strcmp(env, "avx2") == 0) {
+      requested = Backend::Avx2;
+    } else {
+      std::fprintf(stderr,
+                   "feast: FEAST_SCHED_BACKEND=%s is not a backend "
+                   "(scalar, avx2, auto); using auto detection\n",
+                   env);
+    }
+    if (requested != Backend::Auto) {
+      if (available(requested)) return requested;
+      std::fprintf(stderr,
+                   "feast: FEAST_SCHED_BACKEND=%s is unavailable on this "
+                   "%s; falling back to scalar\n",
+                   env,
+                   built_with_avx2() ? "host" : "build (no AVX2 compiled in)");
+      return Backend::Scalar;
+    }
+  }
+  return available(Backend::Avx2) ? Backend::Avx2 : Backend::Scalar;
+}
+
+/// Process-wide active table.  Resolved lazily on first use so the env
+/// variable is honored no matter how early the first scheduler run is.
+std::atomic<const KernelOps*> g_active{nullptr};
+
+const KernelOps* process_ops() noexcept {
+  const KernelOps* ops = g_active.load(std::memory_order_acquire);
+  if (ops == nullptr) {
+    ops = ops_for(resolve_auto());
+    // Another thread may have resolved concurrently; both compute a valid
+    // table, so a lost race is harmless.
+    g_active.store(ops, std::memory_order_release);
+  }
+  return ops;
+}
+
+/// Thread-local override stack (ScopedBackend).  A raw pointer: nullptr
+/// means "no override, use the process-wide table".
+thread_local const KernelOps* t_override = nullptr;
+
+}  // namespace
+
+const char* to_string(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::Auto:
+      return "auto";
+    case Backend::Scalar:
+      return "scalar";
+    case Backend::Avx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+bool available(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::Auto:
+    case Backend::Scalar:
+      return true;
+    case Backend::Avx2:
+      return detail::avx2_ops() != nullptr && host_has_avx2();
+  }
+  return false;
+}
+
+const KernelOps& active() noexcept {
+  if (t_override != nullptr) return *t_override;
+  return *process_ops();
+}
+
+Backend active_backend() noexcept {
+  const KernelOps& ops = active();
+  if (&ops == detail::avx2_ops()) return Backend::Avx2;
+  return Backend::Scalar;
+}
+
+Backend set_backend(Backend backend) noexcept {
+  if (backend == Backend::Auto) {
+    backend = resolve_auto();
+  } else if (!available(backend)) {
+    std::fprintf(stderr,
+                 "feast: kernel backend %s is unavailable on this %s; "
+                 "falling back to scalar\n",
+                 to_string(backend),
+                 built_with_avx2() ? "host" : "build (no AVX2 compiled in)");
+    backend = Backend::Scalar;
+  }
+  g_active.store(ops_for(backend), std::memory_order_release);
+  return backend;
+}
+
+ScopedBackend::ScopedBackend(Backend backend) noexcept
+    : previous_(t_override) {
+  if (backend == Backend::Auto) {
+    t_override = nullptr;  // fall through to the process-wide table
+    return;
+  }
+  if (!available(backend)) {
+    std::fprintf(stderr,
+                 "feast: kernel backend %s is unavailable on this %s; "
+                 "falling back to scalar\n",
+                 to_string(backend),
+                 built_with_avx2() ? "host" : "build (no AVX2 compiled in)");
+    backend = Backend::Scalar;
+  }
+  t_override = ops_for(backend);
+}
+
+ScopedBackend::~ScopedBackend() { t_override = previous_; }
+
+const char* cpu_features() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  static const char* features = [] {
+    const bool avx2 = __builtin_cpu_supports("avx2");
+    const bool avx512 = __builtin_cpu_supports("avx512f");
+    if (avx2 && avx512) return "avx2,avx512f";
+    if (avx2) return "avx2";
+    return "none";
+  }();
+  return features;
+#else
+  return "none";
+#endif
+}
+
+bool built_with_avx2() noexcept { return detail::avx2_ops() != nullptr; }
+
+}  // namespace feast::kernels

@@ -1,0 +1,146 @@
+/// \file kernels.hpp
+/// \brief Pluggable SIMD kernel backends for the scheduler hot loops.
+///
+/// The optimized scheduler core spends its time in three loop shapes:
+///
+///  1. **ready-queue eligibility scans** — find-first-set over the ready
+///     rank bitset (one word per 64 subtasks);
+///  2. **bus-timeline gap probes** — first-fit scans over the SoA slot
+///     arrays of a BusTimeline (starts[] / ends[], sorted, disjoint);
+///  3. **lateness / stats reductions** — elementwise finish − deadline
+///     over the packed per-run arrays plus max/argmax/missed reduction.
+///
+/// Each shape is a function pointer in KernelOps, so a backend is one
+/// table.  Two backends exist: `scalar` (plain loops, always built, the
+/// reference semantics) and `avx2` (AVX2 intrinsics, compiled only when
+/// the toolchain supports -mavx2, dispatched at runtime via cpuid).  The
+/// contract is *bit-exactness*: for every input, every backend returns
+/// byte-identical results — the AVX2 loops are exact transformations of
+/// the scalar ones (same comparisons, same update order; reductions that
+/// would reassociate floating-point arithmetic are either associative
+/// (max) or left to the caller (sums)).  `feastc diffsched` certifies the
+/// contract end to end by replaying every (scheduler core × backend) pair
+/// on randomized workloads; tests/test_kernels.cpp pins the kernels
+/// themselves on adversarial inputs.
+///
+/// Backend selection, in precedence order:
+///  - a thread-local ScopedBackend override (tests, RunContext::backend);
+///  - the FEAST_SCHED_BACKEND environment variable (`scalar`, `avx2`,
+///    `auto`), read once at first use;
+///  - cpuid auto-detection (AVX2 when the host and build support it).
+///
+/// Grounding: the swappable-SIMD-backend-behind-one-interface pattern of
+/// marian-lite's intgemm_interface.h / prod_blas.h.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace feast::kernels {
+
+/// Which kernel table executes the scheduler hot loops.
+enum class Backend : std::uint8_t {
+  Auto,    ///< Resolve via env / cpuid (never the active() result).
+  Scalar,  ///< Plain loops; always available.
+  Avx2,    ///< AVX2 intrinsics; requires build + host support.
+};
+
+const char* to_string(Backend backend) noexcept;
+
+/// Result of the lateness reduction kernel.
+struct LatenessReduce {
+  double max = 0.0;          ///< Maximum lateness (n >= 1 required).
+  std::uint32_t argmax = 0;  ///< First index attaining the maximum.
+  std::uint64_t missed = 0;  ///< Entries with lateness > eps.
+};
+
+/// One backend: a table of the hot-loop kernels.  All pointers are
+/// non-null in a registered backend.
+struct KernelOps {
+  const char* name;  ///< "scalar" or "avx2" (stable; used in bench JSON).
+
+  /// Bit index of the lowest set bit across \p words[0..nwords).  At
+  /// least one bit must be set.
+  std::size_t (*first_set)(const std::uint64_t* words, std::size_t nwords);
+
+  /// First index i in [\p from, \p n) with values[i] > \p bound under
+  /// exact double comparison; returns \p n when none.
+  std::size_t (*first_above)(const double* values, std::size_t n,
+                             std::size_t from, double bound);
+
+  /// First-fit gap walk over the SoA slot arrays, starting at slot
+  /// \p from with the given \p candidate start:
+  ///
+  ///   for i in [from, n):
+  ///     if ends[i] <= candidate + eps: continue        (gap past slot)
+  ///     if starts[i] >= candidate + duration - eps: break  (fits before)
+  ///     candidate = ends[i]                            (collision)
+  ///   return candidate
+  ///
+  /// Backends must reproduce this walk exactly (same comparisons on the
+  /// same doubles), so every backend returns the identical start.
+  double (*gap_scan)(const double* starts, const double* ends, std::size_t n,
+                     std::size_t from, double candidate, double duration,
+                     double eps);
+
+  /// out[i] = values[i] * factor for i in [0, n).  Exact: one IEEE
+  /// multiply per element in every backend.
+  void (*scale)(const double* values, std::size_t n, double factor,
+                double* out);
+
+  /// lateness[i] = finish[i] − deadline[i] for i in [0, n), plus the
+  /// reduction: max with *first-index* argmax (an entry replaces the
+  /// incumbent only when strictly greater) and the count of entries
+  /// > \p eps.  Requires n >= 1.  Exact: the subtraction is elementwise,
+  /// max is associative over non-NaN doubles, and the subtraction never
+  /// produces -0.0 (IEEE a−b is +0.0 whenever a == b), so the reduction
+  /// is order-insensitive bit-for-bit.  Sums are intentionally *not*
+  /// part of the kernel: they reassociate, so callers keep them scalar.
+  void (*lateness)(const double* finish, const double* deadline,
+                   std::size_t n, double eps, double* lateness,
+                   LatenessReduce* out);
+};
+
+/// The scalar backend table (always available; the reference semantics).
+const KernelOps& scalar_ops() noexcept;
+
+/// True when \p backend can execute on this build + host.
+bool available(Backend backend) noexcept;
+
+/// The backend active() currently resolves to (never Auto).
+Backend active_backend() noexcept;
+
+/// The active kernel table: thread-local override if any, else the
+/// process-wide table (env / cpuid resolved once).  One TLS load and one
+/// atomic load; scheduler runs cache the reference for their duration.
+const KernelOps& active() noexcept;
+
+/// Installs \p backend process-wide.  Auto re-resolves env / cpuid.
+/// Requesting an unavailable backend falls back to Scalar and emits one
+/// stderr warning (a daemon forced onto missing hardware must keep
+/// serving, not die).  Returns the backend actually installed.
+Backend set_backend(Backend backend) noexcept;
+
+/// Scoped thread-local backend override (tests, RunContext::backend).
+/// Nestable; restores the previous override on destruction.  An
+/// unavailable request falls back to Scalar, as with set_backend.
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(Backend backend) noexcept;
+  ~ScopedBackend();
+  ScopedBackend(const ScopedBackend&) = delete;
+  ScopedBackend& operator=(const ScopedBackend&) = delete;
+
+ private:
+  const KernelOps* previous_;
+};
+
+/// Comma-separated CPU feature flags relevant to kernel dispatch, e.g.
+/// "avx2,avx512f" — recorded in BENCH_scheduler.json so speedup
+/// trajectories stay interpretable across machines.
+const char* cpu_features() noexcept;
+
+/// True when this build contains the AVX2 backend (compile-time gate).
+bool built_with_avx2() noexcept;
+
+}  // namespace feast::kernels

@@ -1,0 +1,74 @@
+/// \file scalar.cpp
+/// \brief The scalar kernel backend: plain loops, the reference semantics
+///        every other backend must reproduce bit-for-bit.
+#include <bit>
+
+#include "sched/kernels/kernels.hpp"
+
+namespace feast::kernels {
+
+namespace {
+
+std::size_t scalar_first_set(const std::uint64_t* words, std::size_t nwords) {
+  for (std::size_t w = 0;; ++w) {
+    if (w >= nwords) return nwords * 64;  // defensive; contract says set bit exists
+    const std::uint64_t word = words[w];
+    if (word != 0) {
+      return w * 64 + static_cast<std::size_t>(std::countr_zero(word));
+    }
+  }
+}
+
+std::size_t scalar_first_above(const double* values, std::size_t n,
+                               std::size_t from, double bound) {
+  for (std::size_t i = from; i < n; ++i) {
+    if (values[i] > bound) return i;
+  }
+  return n;
+}
+
+double scalar_gap_scan(const double* starts, const double* ends, std::size_t n,
+                       std::size_t from, double candidate, double duration,
+                       double eps) {
+  for (std::size_t i = from; i < n; ++i) {
+    if (ends[i] <= candidate + eps) continue;               // gap is past this slot
+    if (starts[i] >= candidate + duration - eps) break;     // fits before it
+    candidate = ends[i];                                    // collision: try after
+  }
+  return candidate;
+}
+
+void scalar_scale(const double* values, std::size_t n, double factor,
+                  double* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = values[i] * factor;
+}
+
+void scalar_lateness(const double* finish, const double* deadline, std::size_t n,
+                     double eps, double* lateness, LatenessReduce* out) {
+  double max = finish[0] - deadline[0];
+  std::uint32_t argmax = 0;
+  std::uint64_t missed = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double late = finish[i] - deadline[i];
+    lateness[i] = late;
+    if (late > max) {
+      max = late;
+      argmax = static_cast<std::uint32_t>(i);
+    }
+    if (late > eps) ++missed;
+  }
+  out->max = max;
+  out->argmax = argmax;
+  out->missed = missed;
+}
+
+constexpr KernelOps kScalarOps = {
+    "scalar",         scalar_first_set, scalar_first_above,
+    scalar_gap_scan,  scalar_scale,     scalar_lateness,
+};
+
+}  // namespace
+
+const KernelOps& scalar_ops() noexcept { return kScalarOps; }
+
+}  // namespace feast::kernels

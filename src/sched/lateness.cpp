@@ -1,6 +1,9 @@
 #include "sched/lateness.hpp"
 
 #include <algorithm>
+#include <vector>
+
+#include "sched/kernels/kernels.hpp"
 
 namespace feast {
 
@@ -13,22 +16,38 @@ LatenessStats computation_lateness(const TaskGraph& graph,
                                    const DeadlineAssignment& assignment,
                                    const Schedule& schedule) {
   LatenessStats stats;
-  Time sum = 0.0;
-  for (const NodeId id : graph.computation_nodes()) {
-    const Time lateness = lateness_of(assignment, schedule, id);
-    sum += lateness;
-    if (lateness > stats.max_lateness) {
-      stats.max_lateness = lateness;
-      stats.argmax = id;
-    }
-    if (lateness > kTimeEps) ++stats.missed;
-    ++stats.count;
-  }
-  if (stats.count > 0) {
-    stats.mean_lateness = sum / static_cast<double>(stats.count);
-  } else {
+  const auto& comps = graph.computation_nodes();
+  const std::size_t n = comps.size();
+  if (n == 0) {
     stats.max_lateness = 0.0;
+    return stats;
   }
+  // Stage finishes and deadlines into packed arrays and run the reduction
+  // on the kernel backend (sched/kernels): elementwise subtraction plus
+  // max / first-argmax / missed-count, bit-exact across backends.  The
+  // mean stays a scalar left-to-right sum — kernel backends must not
+  // reassociate it (see KernelOps::lateness), so it is folded here over
+  // the kernel's elementwise output in the original node order.
+  thread_local std::vector<double> finish, deadline, late;
+  if (finish.size() < n) {
+    finish.resize(n);
+    deadline.resize(n);
+    late.resize(n);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    finish[i] = schedule.placement(comps[i]).finish;
+    deadline[i] = assignment.abs_deadline(comps[i]);
+  }
+  kernels::LatenessReduce reduce;
+  kernels::active().lateness(finish.data(), deadline.data(), n, kTimeEps,
+                             late.data(), &reduce);
+  Time sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += late[i];
+  stats.max_lateness = reduce.max;
+  stats.argmax = comps[reduce.argmax];
+  stats.missed = static_cast<std::size_t>(reduce.missed);
+  stats.count = n;
+  stats.mean_lateness = sum / static_cast<double>(n);
   return stats;
 }
 

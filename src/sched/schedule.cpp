@@ -19,6 +19,20 @@ const TransferRecord& Schedule::transfer(NodeId id) const {
 }
 
 bool Schedule::complete(const TaskGraph& graph) const {
+  // O(1) fast path: the counters track *distinct* placed/recorded nodes
+  // (writers only count a slot's first write), so requiring the placed
+  // count to equal the subtask count and the two together to cover every
+  // node rules out the unchecked writers' realistic failure modes — a
+  // double write or a missed node.  (A writer addressing a node of the
+  // wrong kind could still satisfy the counts; that corrupts the trace
+  // itself and is caught by the validator and the differential oracle.)
+  // This runs as a postcondition on every scheduled graph on the batch
+  // hot path, where the full walk was measurable.
+  if (placements_.size() == graph.node_count() &&
+      placed_count_ + transfer_count_ == graph.node_count() &&
+      placed_count_ == graph.subtask_count()) {
+    return true;
+  }
   // Walk node ids directly: computation_nodes()/communication_nodes()
   // materialize fresh vectors, and this check runs once per scheduled
   // graph on the experiment hot path.

@@ -57,6 +57,7 @@ class Schedule {
     FEAST_REQUIRE(is_set(start) && is_set(finish));
     FEAST_REQUIRE_MSG(time_le(start, finish), "finish precedes start");
     FEAST_REQUIRE_MSG(!placements_[id.index()].placed(), "subtask already placed");
+    ++placed_count_;
     placements_[id.index()] = TaskPlacement{proc, start, finish};
     if (finish > makespan_) makespan_ = finish;
   }
@@ -67,7 +68,51 @@ class Schedule {
     FEAST_REQUIRE(is_set(start) && is_set(finish));
     FEAST_REQUIRE_MSG(time_le(start, finish), "transfer finish precedes start");
     FEAST_REQUIRE_MSG(!transfers_[id.index()].recorded(), "transfer already recorded");
+    ++transfer_count_;
     transfers_[id.index()] = TransferRecord{start, finish, crossed_bus};
+  }
+
+  /// place() without the per-call contract checks — the optimized core's
+  /// commit path, where ids and intervals come from the scheduler's own
+  /// arrays and ~200 checked writes per run were measurable.  Safety is
+  /// retained one level up: list_schedule postconditions complete(), the
+  /// validator re-derives every interval, and the differential oracle
+  /// pins the whole trace against the checked reference core.
+  void place_unchecked(NodeId id, ProcId proc, Time start, Time finish) noexcept {
+    // Count only first placements (branchless), so the O(1) complete()
+    // below cannot be fooled by a double write to one slot.
+    placed_count_ += placements_[id.index()].placed() ? 0 : 1;
+    placements_[id.index()] = TaskPlacement{proc, start, finish};
+    if (finish > makespan_) makespan_ = finish;
+  }
+
+  /// record_transfer() without the per-call contract checks (see
+  /// place_unchecked).
+  void record_transfer_unchecked(NodeId id, Time start, Time finish,
+                                 bool crossed_bus) noexcept {
+    transfer_count_ += transfers_[id.index()].recorded() ? 0 : 1;
+    transfers_[id.index()] = TransferRecord{start, finish, crossed_bus};
+  }
+
+  /// Re-empties the schedule for \p graph on \p machine, reusing the
+  /// existing allocations (batch arenas reschedule through one Schedule
+  /// with zero steady-state allocation).  Observationally the post-state
+  /// is that of Schedule(graph, machine): when the node count is unchanged
+  /// only the placed()/recorded() markers are cleared, and every accessor
+  /// gates on those markers, so the stale interval fields of a previous
+  /// run are unreachable until overwritten.
+  void reset(const TaskGraph& graph, const Machine& machine) {
+    if (placements_.size() == graph.node_count()) {
+      for (TaskPlacement& p : placements_) p.proc = ProcId();
+      for (TransferRecord& t : transfers_) t.start = kUnsetTime;
+    } else {
+      placements_.assign(graph.node_count(), TaskPlacement{});
+      transfers_.assign(graph.node_count(), TransferRecord{});
+    }
+    n_procs_ = machine.n_procs;
+    makespan_ = 0.0;
+    placed_count_ = 0;
+    transfer_count_ = 0;
   }
 
   /// Placement of a computation subtask (must be placed).
@@ -104,6 +149,11 @@ class Schedule {
   std::vector<TransferRecord> transfers_;
   int n_procs_ = 0;
   Time makespan_ = 0.0;  ///< Running max of placed finishes.
+  // Distinct placed/recorded nodes, for the O(1) complete() fast path
+  // (complete() runs as a postcondition on every scheduled graph, and the
+  // full walk was measurable on the batch hot path).
+  std::size_t placed_count_ = 0;
+  std::size_t transfer_count_ = 0;
 };
 
 }  // namespace feast

@@ -2,31 +2,25 @@
 
 namespace feast {
 
-void SchedulerScratch::bind(std::size_t node_count, std::size_t n_procs,
-                            bool with_links) {
-  // No fill for the per-node arrays either: prepare() writes waiting,
-  // floor and exec for every computation node before the run loop reads
-  // them, and communication-node entries are never read.
+void SchedulerScratch::bind(std::size_t node_count, std::size_t rank_count,
+                            std::size_t n_procs, bool with_links) {
+  // No fill: prepare() writes waiting for every computation node before
+  // the run loop reads it, and communication-node entries are never read.
   if (waiting.size() < node_count) waiting.resize(node_count);
-  if (floor.size() < node_count) floor.resize(node_count);
-  if (exec.size() < node_count) exec.resize(node_count);
 
   // No fill: latency is written for every comm node in prepare(), and
   // finish/proc only become readable once the producer commits (a consumer
   // is evaluated only after all its producers placed).
   if (comm.size() < node_count) comm.resize(node_count);
 
-  sort_buf.clear();
-  order.clear();
-  // rank is fully written in prepare() before any read, so no fill.
-  if (rank.size() < node_count) rank.resize(node_count);
-  ready_words.assign((node_count + 63) / 64, 0);
+  // sort_buf is fully written in prepare() before any read (prepare loops
+  // run over the graph's computation count, not the buffer size), so
+  // binding only guarantees capacity — no clear, no fill.
+  if (sort_buf.size() < node_count) sort_buf.resize(node_count);
+  // Ranks only span the computation subtasks, not all nodes — the bitset
+  // is a word or two at paper sizes, which keeps the pop scan inline.
+  ready_words.assign((rank_count + 63) / 64, 0);
 
-  // prepare() writes pred_offset[v + 1] for every node; only [0] needs
-  // presetting.
-  if (pred_offset.size() < node_count + 1) pred_offset.resize(node_count + 1);
-  pred_offset[0] = 0;
-  pred_comms.clear();
   commit_order.clear();
 
   // Timelines keep their slot capacity across runs: resize only adds or
@@ -38,10 +32,6 @@ void SchedulerScratch::bind(std::size_t node_count, std::size_t n_procs,
   const std::size_t n_links = with_links ? n_procs * n_procs : 0;
   if (links.size() < n_links) links.resize(n_links);
   for (std::size_t l = 0; l < n_links; ++l) links[l].clear();
-
-  local_produced.assign(n_procs, 0.0);
-  local_epoch.assign(n_procs, 0);
-  epoch = 0;
 }
 
 }  // namespace feast

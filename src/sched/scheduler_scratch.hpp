@@ -36,9 +36,12 @@ namespace feast {
 /// implementation can reach them without friend boilerplate.
 struct SchedulerScratch {
   // --- per-node state (sized node_count) -------------------------------
+  // Static per-graph state (execution times, CSR comm lists, pinning)
+  // lives in PreparedTopology (sched/batch.hpp), not here: it survives
+  // across runs of the same graph, while everything below is per-run.
   std::vector<std::uint32_t> waiting;  ///< Unplaced-predecessor counts.
-  std::vector<Time> floor;             ///< Release floor under the policy.
-  std::vector<Time> exec;              ///< Nominal execution times.
+  // Release floors live in the topology's SelectionCache (sched/batch.hpp)
+  // with the rest of the memoized per-assignment derivation, not here.
 
   // --- per-communication-node state (sized node_count; comm slots used).
   // Producer data is mirrored here when the producer commits, so the
@@ -48,6 +51,9 @@ struct SchedulerScratch {
   struct CommMirror {
     Time finish;         ///< Producer finish (valid once the producer placed).
     Time latency;        ///< Transfer latency (written every prepare()).
+    Time depart;         ///< Bus-query result cached by the consumer's
+                         ///< choose pass (valid only until the first
+                         ///< reserve of the same placement; see commit()).
     std::uint32_t proc;  ///< Producer processor (with finish).
   };
   std::vector<CommMirror> comm;  ///< Per-comm mirror, indexed by node id.
@@ -66,15 +72,14 @@ struct SchedulerScratch {
     std::uint64_t release;  ///< Assigned release (first tie-break).
     NodeId id;              ///< Node id (final tie-break).
   };
+  // The sorted permutation itself (rank -> id, id -> rank) lives in the
+  // topology's SelectionCache (sched/batch.hpp), where it is memoized
+  // across runs; only the sort input is per-run scratch.
   std::vector<ReadyEntry> sort_buf;        ///< Per-run priority sort input.
-  std::vector<NodeId> order;               ///< Subtask at each rank.
-  std::vector<std::uint32_t> rank;         ///< Rank of each subtask node.
   std::vector<std::uint64_t> ready_words;  ///< Ready bitset over ranks.
 
-  // --- predecessor communication lists (CSR, ascending node id) ---------
-  std::vector<std::uint32_t> pred_offset;  ///< node_count + 1 offsets.
-  std::vector<NodeId> pred_comms;          ///< Flattened, id-sorted lists.
-  std::vector<NodeId> commit_order;        ///< Per-commit ordering buffer.
+  // --- per-commit ordering buffer (CSR lists live in PreparedTopology) --
+  std::vector<NodeId> commit_order;
 
   // --- machine timelines (sized n_procs / n_procs^2) --------------------
   std::vector<BusTimeline> procs;  ///< Per-processor busy timelines.
@@ -82,15 +87,12 @@ struct SchedulerScratch {
   BusTimeline bus;                 ///< Shared-bus timeline.
   std::vector<BusTimeline> links;  ///< Per-pair link timelines.
 
-  // --- contention-free ready-time fast path (sized n_procs) -------------
-  std::vector<Time> local_produced;        ///< Max producer finish per proc.
-  std::vector<std::uint32_t> local_epoch;  ///< Validity marks for the above.
-  std::uint32_t epoch = 0;                 ///< Current evaluation epoch.
-
-  /// Rebinds the arena to a run over \p node_count nodes on \p n_procs
-  /// processors (\p with_links: point-to-point pair timelines needed).
-  /// Grows capacity as required, clears contents, keeps allocations.
-  void bind(std::size_t node_count, std::size_t n_procs, bool with_links);
+  /// Rebinds the arena to a run over \p node_count nodes with
+  /// \p rank_count computation subtasks on \p n_procs processors
+  /// (\p with_links: point-to-point pair timelines needed).  Grows
+  /// capacity as required, clears contents, keeps allocations.
+  void bind(std::size_t node_count, std::size_t rank_count, std::size_t n_procs,
+            bool with_links);
 };
 
 }  // namespace feast

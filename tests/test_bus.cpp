@@ -24,7 +24,7 @@ TEST(BusTimeline, ReserveCommitsAndSerializes) {
   EXPECT_DOUBLE_EQ(bus.query(5.0, 10.0), 10.0);
   EXPECT_DOUBLE_EQ(bus.reserve(5.0, 10.0), 10.0);
   EXPECT_DOUBLE_EQ(bus.total_busy(), 20.0);
-  ASSERT_EQ(bus.slots().size(), 2u);
+  ASSERT_EQ(bus.size(), 2u);
 }
 
 TEST(BusTimeline, GapIsUsedWhenItFits) {
@@ -53,7 +53,7 @@ TEST(BusTimeline, ZeroDurationAlwaysFits) {
   bus.reserve(0.0, 10.0);
   EXPECT_DOUBLE_EQ(bus.query(5.0, 0.0), 5.0);
   EXPECT_DOUBLE_EQ(bus.reserve(5.0, 0.0), 5.0);
-  EXPECT_EQ(bus.slots().size(), 1u);  // zero-width slots are not stored
+  EXPECT_EQ(bus.size(), 1u);  // zero-width slots are not stored
 }
 
 TEST(BusTimeline, NegativeDurationRejected) {
@@ -67,10 +67,12 @@ TEST(BusTimeline, ManyReservationsStaySorted) {
   for (const double earliest : {50.0, 0.0, 25.0, 10.0, 70.0, 5.0}) {
     bus.reserve(earliest, 8.0);
   }
-  const auto& slots = bus.slots();
-  for (std::size_t i = 1; i < slots.size(); ++i) {
-    EXPECT_LE(slots[i - 1].end, slots[i].start + kTimeEps);
-    EXPECT_LT(slots[i - 1].start, slots[i].start);
+  const auto& starts = bus.starts();
+  const auto& ends = bus.ends();
+  ASSERT_EQ(starts.size(), ends.size());
+  for (std::size_t i = 1; i < starts.size(); ++i) {
+    EXPECT_LE(ends[i - 1], starts[i] + kTimeEps);
+    EXPECT_LT(starts[i - 1], starts[i]);
   }
   EXPECT_DOUBLE_EQ(bus.total_busy(), 48.0);
 }
@@ -80,7 +82,7 @@ TEST(BusTimeline, BackToBackSlotsAllowed) {
   bus.reserve(0.0, 10.0);
   // Exactly adjacent slot starting at 10 is legal.
   EXPECT_DOUBLE_EQ(bus.reserve(10.0, 10.0), 10.0);
-  EXPECT_EQ(bus.slots().size(), 2u);
+  EXPECT_EQ(bus.size(), 2u);
 }
 
 // The accelerated query (tail hint, short linear walk, binary search on
@@ -106,7 +108,7 @@ TEST(BusTimeline, AcceleratedPathsMatchLinearOracle) {
 
     ASSERT_DOUBLE_EQ(fast.query(earliest, duration),
                      oracle.query_linear(earliest, duration))
-        << "query divergence at request " << i << " (" << fast.slots().size()
+        << "query divergence at request " << i << " (" << fast.size()
         << " slots)";
 
     if (next() % 2 == 0) {
@@ -115,15 +117,15 @@ TEST(BusTimeline, AcceleratedPathsMatchLinearOracle) {
           << "reserve divergence at request " << i;
     }
 
-    ASSERT_EQ(fast.slots().size(), oracle.slots().size());
-    for (std::size_t s = 0; s < fast.slots().size(); ++s) {
-      ASSERT_DOUBLE_EQ(fast.slots()[s].start, oracle.slots()[s].start);
-      ASSERT_DOUBLE_EQ(fast.slots()[s].end, oracle.slots()[s].end);
+    ASSERT_EQ(fast.size(), oracle.size());
+    for (std::size_t s = 0; s < fast.size(); ++s) {
+      ASSERT_DOUBLE_EQ(fast.starts()[s], oracle.starts()[s]);
+      ASSERT_DOUBLE_EQ(fast.ends()[s], oracle.ends()[s]);
     }
   }
   // The stream must have pushed the timeline past the small-list linear
   // path, or the binary-search branch went untested.
-  EXPECT_GT(fast.slots().size(), 16u);
+  EXPECT_GT(fast.size(), 16u);
 }
 
 }  // namespace

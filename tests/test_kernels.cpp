@@ -1,0 +1,332 @@
+/// \file test_kernels.cpp
+/// \brief Bit-exactness tests for the scheduler kernel backends.
+///
+/// The kernel contract (sched/kernels/kernels.hpp) is that every backend
+/// returns byte-identical results on every input.  `feastc diffsched`
+/// certifies that end to end through whole scheduling runs; this file pins
+/// the kernels themselves on adversarial inputs — non-multiple-of-lane
+/// tail lengths, all-zero prefixes and all-set words in the bitsets,
+/// single-element arrays, extreme and negative values, exact eps
+/// boundaries — plus randomized fuzz sweeps, always comparing each
+/// available backend against the scalar table (the reference semantics).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "sched/kernels/kernels.hpp"
+#include "util/rng.hpp"
+#include "util/time_types.hpp"
+
+namespace feast {
+namespace {
+
+using kernels::Backend;
+using kernels::KernelOps;
+
+/// The kernel tables under test: scalar always, AVX2 when this build and
+/// host support it.  Tables are static, so the pointers outlive the
+/// scoped override used to fetch them.
+std::vector<const KernelOps*> tables() {
+  std::vector<const KernelOps*> out;
+  {
+    kernels::ScopedBackend forced(Backend::Scalar);
+    out.push_back(&kernels::active());
+  }
+  if (kernels::available(Backend::Avx2)) {
+    kernels::ScopedBackend forced(Backend::Avx2);
+    out.push_back(&kernels::active());
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- first_set
+
+TEST(Kernels, FirstSetSingleWordEdges) {
+  for (const KernelOps* ops : tables()) {
+    for (const std::size_t bit : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{31}, std::size_t{62},
+                                  std::size_t{63}}) {
+      const std::uint64_t word = std::uint64_t{1} << bit;
+      EXPECT_EQ(ops->first_set(&word, 1), bit) << ops->name;
+    }
+    const std::uint64_t all = ~std::uint64_t{0};
+    EXPECT_EQ(ops->first_set(&all, 1), 0u) << ops->name;
+  }
+}
+
+TEST(Kernels, FirstSetLeadingZeroWordsAndLaneTails) {
+  // Lengths that are not multiples of the AVX2 4-word lane, with the only
+  // set bit in the last word — the tail path must find it.
+  for (const KernelOps* ops : tables()) {
+    for (std::size_t nwords = 1; nwords <= 11; ++nwords) {
+      std::vector<std::uint64_t> words(nwords, 0);
+      words[nwords - 1] = std::uint64_t{1} << 17;
+      EXPECT_EQ(ops->first_set(words.data(), nwords), (nwords - 1) * 64 + 17)
+          << ops->name << " nwords=" << nwords;
+      // All-set tail after the first set bit must not disturb the answer.
+      for (std::size_t w = nwords - 1; w < nwords; ++w) words[w] = ~std::uint64_t{0};
+      EXPECT_EQ(ops->first_set(words.data(), nwords), (nwords - 1) * 64)
+          << ops->name << " nwords=" << nwords;
+    }
+  }
+}
+
+TEST(Kernels, FirstSetFuzzAgainstScalar) {
+  const auto all = tables();
+  const KernelOps* scalar = all[0];
+  Pcg32 rng(101);
+  for (int round = 0; round < 2000; ++round) {
+    const std::size_t nwords = static_cast<std::size_t>(rng.uniform_int(1, 12));
+    std::vector<std::uint64_t> words(nwords, 0);
+    // Sparse: most words zero, one guaranteed set bit.
+    const std::size_t bit_word = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(nwords) - 1));
+    words[bit_word] |= std::uint64_t{1} << rng.uniform_int(0, 63);
+    if (rng.uniform_int(0, 1) == 1) {
+      words[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(nwords) - 1))] |=
+          std::uint64_t{1} << rng.uniform_int(0, 63);
+    }
+    const std::size_t expected = scalar->first_set(words.data(), nwords);
+    for (const KernelOps* ops : all) {
+      EXPECT_EQ(ops->first_set(words.data(), nwords), expected) << ops->name;
+    }
+  }
+}
+
+// ----------------------------------------------------------- first_above
+
+TEST(Kernels, FirstAboveSingleElementAndStrictness) {
+  for (const KernelOps* ops : tables()) {
+    const double one = 1.0;
+    EXPECT_EQ(ops->first_above(&one, 1, 0, 0.5), 0u) << ops->name;
+    // Strictly greater: an exact tie is not "above".
+    EXPECT_EQ(ops->first_above(&one, 1, 0, 1.0), 1u) << ops->name;
+    EXPECT_EQ(ops->first_above(&one, 1, 1, -10.0), 1u) << ops->name;
+  }
+}
+
+TEST(Kernels, FirstAboveExtremesAndTails) {
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  for (const KernelOps* ops : tables()) {
+    for (std::size_t n = 1; n <= 9; ++n) {
+      std::vector<double> values(n, -inf);
+      values[n - 1] = 1e300;  // found only at the very tail
+      EXPECT_EQ(ops->first_above(values.data(), n, 0, -1e300), n - 1)
+          << ops->name << " n=" << n;
+      EXPECT_EQ(ops->first_above(values.data(), n, 0, inf), n)
+          << ops->name << " n=" << n;
+    }
+  }
+}
+
+TEST(Kernels, FirstAboveFuzzAgainstScalar) {
+  const auto all = tables();
+  const KernelOps* scalar = all[0];
+  Pcg32 rng(202);
+  for (int round = 0; round < 2000; ++round) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 33));
+    std::vector<double> values(n);
+    for (double& v : values) v = rng.uniform_real(-100.0, 100.0);
+    const std::size_t from =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(n)));
+    const double bound = rng.uniform_real(-120.0, 120.0);
+    const std::size_t expected = scalar->first_above(values.data(), n, from, bound);
+    for (const KernelOps* ops : all) {
+      EXPECT_EQ(ops->first_above(values.data(), n, from, bound), expected)
+          << ops->name;
+    }
+  }
+}
+
+// -------------------------------------------------------------- gap_scan
+
+/// The contract's walk, written out locally so the scalar table is tested
+/// against independent text, not itself.
+double naive_gap(const std::vector<double>& starts, const std::vector<double>& ends,
+                 std::size_t from, double candidate, double duration, double eps) {
+  for (std::size_t i = from; i < starts.size(); ++i) {
+    if (ends[i] <= candidate + eps) continue;
+    if (starts[i] >= candidate + duration - eps) break;
+    candidate = ends[i];
+  }
+  return candidate;
+}
+
+TEST(Kernels, GapScanSingleSlotAndEpsBoundaries) {
+  const std::vector<double> starts = {10.0};
+  const std::vector<double> ends = {20.0};
+  for (const KernelOps* ops : tables()) {
+    // Fits before the slot exactly (start boundary within eps).
+    EXPECT_EQ(ops->gap_scan(starts.data(), ends.data(), 1, 0, 0.0,
+                            10.0 + kTimeEps, kTimeEps),
+              0.0)
+        << ops->name;
+    // Collides: pushed to the slot end.
+    EXPECT_EQ(ops->gap_scan(starts.data(), ends.data(), 1, 0, 5.0, 6.0, kTimeEps),
+              20.0)
+        << ops->name;
+    // Candidate already past the slot end (within eps): slot skipped.
+    EXPECT_EQ(ops->gap_scan(starts.data(), ends.data(), 1, 0, 20.0 - kTimeEps,
+                            100.0, kTimeEps),
+              20.0 - kTimeEps)
+        << ops->name;
+  }
+}
+
+TEST(Kernels, GapScanDenseChainsPushThroughEverySlot) {
+  // Back-to-back slots: a too-large request must cascade to the tail; the
+  // chained candidate updates exercise the dense path at every length,
+  // including non-multiples of the lane width.
+  for (std::size_t n = 1; n <= 19; ++n) {
+    std::vector<double> starts(n), ends(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      starts[i] = static_cast<double>(i) * 10.0;
+      ends[i] = starts[i] + 10.0;
+    }
+    const double expected =
+        naive_gap(starts, ends, 0, 0.0, 5.0, kTimeEps);  // == 10n: no gaps
+    EXPECT_EQ(expected, static_cast<double>(n) * 10.0);
+    for (const KernelOps* ops : tables()) {
+      EXPECT_EQ(ops->gap_scan(starts.data(), ends.data(), n, 0, 0.0, 5.0, kTimeEps),
+                expected)
+          << ops->name << " n=" << n;
+    }
+  }
+}
+
+TEST(Kernels, GapScanFuzzAgainstNaiveWalk) {
+  Pcg32 rng(303);
+  const auto all = tables();
+  for (int round = 0; round < 4000; ++round) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 24));
+    std::vector<double> starts(n), ends(n);
+    double t = rng.uniform_real(0.0, 5.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Mostly dense (zero-width inter-slot gaps), sometimes roomy — the
+      // dense case is the adversarial one for a vectorized walk.
+      t += rng.uniform_int(0, 2) == 0 ? rng.uniform_real(0.0, 8.0) : 0.0;
+      starts[i] = t;
+      t += rng.uniform_real(0.1, 6.0);
+      ends[i] = t;
+    }
+    const std::size_t from =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(n) - 1));
+    const double earliest = rng.uniform_real(-2.0, t + 4.0);
+    const double duration = rng.uniform_real(0.05, 9.0);
+    const double expected = naive_gap(starts, ends, from, earliest, duration, kTimeEps);
+    for (const KernelOps* ops : all) {
+      EXPECT_EQ(ops->gap_scan(starts.data(), ends.data(), n, from, earliest,
+                              duration, kTimeEps),
+                expected)
+          << ops->name << " round=" << round;
+    }
+  }
+}
+
+// ----------------------------------------------------------------- scale
+
+TEST(Kernels, ScaleExactAtAllTailLengthsAndExtremes) {
+  Pcg32 rng(404);
+  for (std::size_t n = 1; n <= 13; ++n) {
+    std::vector<double> values(n), expected(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      values[i] = rng.uniform_real(-1e12, 1e12);
+      if (i == 0) values[i] = 0.0;
+      if (i == 1 && n > 1) values[i] = -1e300;
+    }
+    const double factor = 3.7e-3;
+    for (std::size_t i = 0; i < n; ++i) expected[i] = values[i] * factor;
+    for (const KernelOps* ops : tables()) {
+      std::vector<double> out(n, -1.0);
+      ops->scale(values.data(), n, factor, out.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(out[i], expected[i]) << ops->name << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------------- lateness
+
+TEST(Kernels, LatenessSingleElementAndEpsBoundary) {
+  for (const KernelOps* ops : tables()) {
+    double finish = 10.0, deadline = 10.0, late = 0.0;
+    kernels::LatenessReduce reduce;
+    ops->lateness(&finish, &deadline, 1, kTimeEps, &late, &reduce);
+    EXPECT_EQ(late, 0.0) << ops->name;
+    EXPECT_EQ(reduce.max, 0.0) << ops->name;
+    EXPECT_EQ(reduce.argmax, 0u) << ops->name;
+    EXPECT_EQ(reduce.missed, 0u) << ops->name;
+
+    // Exactly eps late is not a miss (strictly greater); just above is.
+    // Deadline 0 keeps finish - deadline exact in floating point.
+    deadline = 0.0;
+    finish = kTimeEps;
+    ops->lateness(&finish, &deadline, 1, kTimeEps, &late, &reduce);
+    EXPECT_EQ(late, kTimeEps) << ops->name;
+    EXPECT_EQ(reduce.missed, 0u) << ops->name;
+    finish = 2.0 * kTimeEps;
+    ops->lateness(&finish, &deadline, 1, kTimeEps, &late, &reduce);
+    EXPECT_EQ(reduce.missed, 1u) << ops->name;
+  }
+}
+
+TEST(Kernels, LatenessFirstArgmaxOnTies) {
+  // Equal maxima everywhere: the first index must win in every backend
+  // (an entry replaces the incumbent only when strictly greater).
+  for (std::size_t n : {std::size_t{2}, std::size_t{5}, std::size_t{8},
+                        std::size_t{9}}) {
+    std::vector<double> finish(n, 7.0), deadline(n, 3.0), late(n);
+    for (const KernelOps* ops : tables()) {
+      kernels::LatenessReduce reduce;
+      ops->lateness(finish.data(), deadline.data(), n, kTimeEps, late.data(),
+                    &reduce);
+      EXPECT_EQ(reduce.max, 4.0) << ops->name;
+      EXPECT_EQ(reduce.argmax, 0u) << ops->name << " n=" << n;
+      EXPECT_EQ(reduce.missed, n) << ops->name;
+    }
+  }
+}
+
+TEST(Kernels, LatenessExtremeNegativeDeadlinesFuzz) {
+  Pcg32 rng(505);
+  const auto all = tables();
+  const KernelOps* scalar = all[0];
+  for (int round = 0; round < 2000; ++round) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 41));
+    std::vector<double> finish(n), deadline(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      finish[i] = rng.uniform_real(0.0, 1e6);
+      // Negative and extreme deadlines: lateness spans a huge dynamic
+      // range, including values near ±1e300.
+      deadline[i] = rng.uniform_int(0, 9) == 0
+                        ? rng.uniform_real(-1e300, 1e300)
+                        : rng.uniform_real(-1e6, 1e6);
+    }
+    std::vector<double> expect_late(n), late(n);
+    kernels::LatenessReduce expected;
+    scalar->lateness(finish.data(), deadline.data(), n, kTimeEps,
+                     expect_late.data(), &expected);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(expect_late[i], finish[i] - deadline[i]);
+      EXPECT_FALSE(std::isnan(expect_late[i]));
+    }
+    for (const KernelOps* ops : all) {
+      kernels::LatenessReduce reduce;
+      ops->lateness(finish.data(), deadline.data(), n, kTimeEps, late.data(),
+                    &reduce);
+      EXPECT_EQ(reduce.max, expected.max) << ops->name;
+      EXPECT_EQ(reduce.argmax, expected.argmax) << ops->name;
+      EXPECT_EQ(reduce.missed, expected.missed) << ops->name;
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(late[i], expect_late[i]) << ops->name << " i=" << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace feast

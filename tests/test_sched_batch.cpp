@@ -1,0 +1,214 @@
+/// \file test_sched_batch.cpp
+/// \brief Property tests for the batch scheduling entry point.
+///
+/// BatchScheduler's contract is purely observational: scheduling N graphs
+/// through the shared arenas — with pipelined preparation, memoized
+/// selection orders and marker-only Schedule resets — must produce traces
+/// fingerprint-identical to N independent single-graph runs, and a
+/// repeated pass over the same batch (the sweep/bench pattern) must run
+/// with zero heap allocation.  The first property runs both directly over
+/// a seeded batch and through the check harness (which shrinks any
+/// divergent graph to a minimal counterexample); the second reuses the
+/// nothrow-operator-new counting idiom of test_obs.cpp.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <vector>
+
+#include "check/prop.hpp"
+#include "core/comm_estimator.hpp"
+#include "core/metrics.hpp"
+#include "core/slicing.hpp"
+#include "sched/batch.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/trace.hpp"
+#include "taskgraph/generator.hpp"
+#include "util/rng.hpp"
+
+// ---------------------------------------------------------------------------
+// Allocation counting for the steady-state test (same idiom as
+// test_obs.cpp): thread-local counter, pairwise new/delete replacement so
+// worker threads and gtest internals cannot perturb the measurement.
+// ---------------------------------------------------------------------------
+namespace {
+thread_local std::uint64_t tl_alloc_count = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++tl_alloc_count;
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++tl_alloc_count;
+  return std::malloc(size != 0 ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return operator new(size, tag);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace feast {
+namespace {
+
+/// A seeded batch: graphs plus slicing assignments, kept alive together
+/// (BatchScheduler borrows both).
+struct SeededBatch {
+  std::vector<TaskGraph> graphs;
+  std::vector<DeadlineAssignment> assignments;
+  std::vector<const TaskGraph*> graph_ptrs;
+  std::vector<const DeadlineAssignment*> assignment_ptrs;
+};
+
+SeededBatch make_batch(std::size_t count, std::uint64_t seed) {
+  SeededBatch batch;
+  Pcg32 rng(seed);
+  const auto metric = make_pure();
+  const auto estimator = make_ccne();
+  RandomGraphConfig config;  // paper-sized: 40-60 subtasks
+  batch.graphs.reserve(count);
+  batch.assignments.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    batch.graphs.push_back(generate_random_graph(config, rng));
+    batch.assignments.push_back(
+        distribute_deadlines(batch.graphs.back(), *metric, *estimator));
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    batch.graph_ptrs.push_back(&batch.graphs[i]);
+    batch.assignment_ptrs.push_back(&batch.assignments[i]);
+  }
+  return batch;
+}
+
+TEST(SchedBatch, BatchOfSeededGraphsMatchesSequentialRuns) {
+  constexpr std::size_t kCount = 32;
+  SeededBatch batch = make_batch(kCount, 20260808);
+  Machine machine;
+  machine.n_procs = 8;
+  machine.contention = CommContention::SharedBus;
+  const SchedulerOptions options;
+
+  // N independent single-graph runs: the established entry point.
+  std::vector<std::uint64_t> sequential(kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    const Schedule s =
+        list_schedule(batch.graphs[i], batch.assignments[i], machine, options);
+    sequential[i] = schedule_trace_digest(batch.graphs[i], s);
+  }
+
+  // One batch pass through the shared arenas, then a second pass over the
+  // same batch — the repeat skips every graph preparation and replays the
+  // memoized selection orders, and must still reproduce every fingerprint.
+  BatchScheduler scheduler;
+  for (int pass = 0; pass < 2; ++pass) {
+    std::vector<std::uint64_t> batched(kCount, 0);
+    scheduler.run(batch.graph_ptrs.data(), batch.assignment_ptrs.data(), kCount,
+                  machine, options,
+                  [&](std::size_t i, const Schedule& s) {
+                    batched[i] = schedule_trace_digest(batch.graphs[i], s);
+                  });
+    for (std::size_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(batched[i], sequential[i]) << "pass " << pass << " sample " << i;
+    }
+  }
+}
+
+/// The same property through the check harness: any graph whose batch
+/// trace diverges from its sequential trace is shrunk to a minimal
+/// counterexample.  Both contention models run, and the batch side runs
+/// twice so a stale memoized selection order (a cache-validation bug)
+/// diverges here too.
+TEST(SchedBatch, PropertyBatchEqualsSequentialWithShrinking) {
+  RandomGraphConfig config;
+  config.min_subtasks = 8;
+  config.max_subtasks = 30;
+  config.min_depth = 3;
+  config.max_depth = 8;
+  check::ForallOptions options;
+  options.seed_base = 9000;
+  options.cases = 40;
+  options.label = "sched-batch-vs-sequential";
+
+  const auto metric = make_norm();
+  const auto estimator = make_ccne();
+  const check::ForallReport report = check::forall_graphs(
+      config, options, [&](const TaskGraph& graph) -> std::optional<std::string> {
+        const DeadlineAssignment assignment =
+            distribute_deadlines(graph, *metric, *estimator);
+        const SchedulerOptions sched_options;
+        for (const CommContention contention :
+             {CommContention::ContentionFree, CommContention::SharedBus}) {
+          Machine machine;
+          machine.n_procs = 6;
+          machine.contention = contention;
+          const Schedule seq =
+              list_schedule(graph, assignment, machine, sched_options);
+          const std::uint64_t expected = schedule_trace_digest(graph, seq);
+
+          BatchScheduler scheduler;
+          const TaskGraph* g = &graph;
+          const DeadlineAssignment* a = &assignment;
+          for (int pass = 0; pass < 2; ++pass) {
+            std::uint64_t got = 0;
+            scheduler.run(&g, &a, 1, machine, sched_options,
+                          [&](std::size_t, const Schedule& s) {
+                            got = schedule_trace_digest(graph, s);
+                          });
+            if (got != expected) {
+              std::ostringstream os;
+              os << "batch trace diverges from sequential ("
+                 << to_string(contention) << ", pass " << pass << "): digest "
+                 << got << " != " << expected;
+              return os.str();
+            }
+          }
+        }
+        return std::nullopt;
+      });
+  ASSERT_TRUE(report.ok()) << report.describe();
+}
+
+/// Steady state allocates nothing: after one warm pass (which grows the
+/// arenas and fills the memoized selection caches), a full repeat pass
+/// over the batch — preparation checks, placement, schedule resets, sink
+/// calls — must perform zero heap allocations on this thread.
+TEST(SchedBatch, SteadyStateBatchRunsAllocationFree) {
+  constexpr std::size_t kCount = 16;
+  SeededBatch batch = make_batch(kCount, 7);
+  const SchedulerOptions options;
+  std::vector<Time> makespans(kCount, 0.0);
+  // The sink is built once up front: constructing a std::function may
+  // allocate, running it must not.
+  const std::function<void(std::size_t, const Schedule&)> sink =
+      [&](std::size_t i, const Schedule& s) { makespans[i] = s.makespan(); };
+
+  for (const CommContention contention :
+       {CommContention::ContentionFree, CommContention::SharedBus}) {
+    Machine machine;
+    machine.n_procs = 8;
+    machine.contention = contention;
+    BatchScheduler scheduler;
+    scheduler.run(batch.graph_ptrs.data(), batch.assignment_ptrs.data(), kCount,
+                  machine, options, sink);  // warm: grows arenas, fills caches
+
+    const std::uint64_t before = tl_alloc_count;
+    scheduler.run(batch.graph_ptrs.data(), batch.assignment_ptrs.data(), kCount,
+                  machine, options, sink);
+    const std::uint64_t allocations = tl_alloc_count - before;
+    EXPECT_EQ(allocations, 0u)
+        << to_string(contention) << ": steady-state batch pass allocated";
+    for (const Time m : makespans) EXPECT_GT(m, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace feast

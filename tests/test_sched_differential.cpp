@@ -6,13 +6,21 @@
 /// the ctest slice — enough randomized workloads to catch a contract
 /// regression in a local edit-compile-test loop, plus directed cases for
 /// the optimized core's special paths (heap ties, scratch reuse across
-/// mismatched shapes, the contention-free top-two fast path).
+/// mismatched shapes, the contention-free top-two fast path) and the
+/// kernel-backend sweep (every available backend forced via ScopedBackend,
+/// the RunContext override and the FEAST_SCHED_BACKEND resolution).
 #include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
 
 #include "core/comm_estimator.hpp"
 #include "core/metrics.hpp"
 #include "core/slicing.hpp"
+#include "experiment/runner.hpp"
+#include "experiment/strategy.hpp"
 #include "sched/diffsched.hpp"
+#include "sched/kernels/kernels.hpp"
 #include "sched/list_scheduler.hpp"
 #include "sched/trace.hpp"
 #include "taskgraph/generator.hpp"
@@ -20,6 +28,17 @@
 
 namespace feast {
 namespace {
+
+/// Every backend this build + host can force (Scalar always; Avx2 when
+/// compiled in and the host reports it) — the same set run_diffsched
+/// certifies internally.
+std::vector<kernels::Backend> available_backends() {
+  std::vector<kernels::Backend> backends = {kernels::Backend::Scalar};
+  if (kernels::available(kernels::Backend::Avx2)) {
+    backends.push_back(kernels::Backend::Avx2);
+  }
+  return backends;
+}
 
 TEST(DiffSched, QuickRandomizedWorkloadsAgreeOnAllPolicyCombos) {
   DiffSchedConfig config;
@@ -29,9 +48,29 @@ TEST(DiffSched, QuickRandomizedWorkloadsAgreeOnAllPolicyCombos) {
   const DiffSchedResult result = run_diffsched(config);
   EXPECT_EQ(result.trials, 40);
   EXPECT_EQ(result.combos, 12);
-  EXPECT_EQ(result.schedules, 40LL * 12 * 2);
+  EXPECT_EQ(result.backends,
+            static_cast<int>(available_backends().size()));
+  // One reference run plus one fast run per backend, per combo.
+  EXPECT_EQ(result.schedules, 40LL * 12 * (1 + result.backends));
   EXPECT_EQ(result.mismatches, 0) << result.first_problem;
   EXPECT_EQ(result.invalid, 0) << result.first_problem;
+}
+
+/// The diffsched harness sweeps backends internally; this pins the same
+/// property from the outside — the full quick matrix replayed under each
+/// backend forced thread-locally must report identical certificates —
+/// so a backend that leaked through ScopedBackend would diverge here.
+TEST(DiffSched, ForcedBackendsReplayIdentically) {
+  for (const kernels::Backend backend : available_backends()) {
+    const kernels::ScopedBackend forced(backend);
+    DiffSchedConfig config;
+    config.seed = 20260807;
+    config.trials = 10;
+    config.quick = true;
+    const DiffSchedResult result = run_diffsched(config);
+    EXPECT_TRUE(result.ok())
+        << kernels::to_string(backend) << ": " << result.first_problem;
+  }
 }
 
 TEST(DiffSched, PaperSizedWorkloadsAgree) {
@@ -156,6 +195,60 @@ TEST(DiffSched, DispatcherSelectsCores) {
   std::string why;
   EXPECT_TRUE(schedule_trace_equal(graph, a, b, &why)) << why;
   EXPECT_EQ(schedule_trace_digest(graph, a), schedule_trace_digest(graph, b));
+}
+
+/// RunContext::backend is the pipeline-level forcing knob: a full run_once
+/// (distribute → schedule → validate → stats) must produce bit-identical
+/// measurements under every backend, because both the scheduler hot loops
+/// and the lateness reduction are bit-exact by kernel contract.
+TEST(DiffSched, RunContextBackendOverrideChangesNothing) {
+  RandomGraphConfig config;
+  Pcg32 rng(20260808);
+  const TaskGraph graph = generate_random_graph(config, rng);
+  const auto distributor = strategy_pure(EstimatorKind::CCNE).make(6);
+
+  RunContext context;
+  context.machine.n_procs = 6;
+  context.machine.contention = CommContention::SharedBus;
+  context.backend = kernels::Backend::Scalar;
+  const RunResult base = run_once(graph, *distributor, context);
+
+  for (const kernels::Backend backend : available_backends()) {
+    context.backend = backend;
+    const RunResult result = run_once(graph, *distributor, context);
+    const char* name = kernels::to_string(backend);
+    EXPECT_EQ(result.makespan, base.makespan) << name;
+    EXPECT_EQ(result.lateness.max_lateness, base.lateness.max_lateness) << name;
+    EXPECT_EQ(result.lateness.mean_lateness, base.lateness.mean_lateness) << name;
+    EXPECT_EQ(result.lateness.argmax, base.lateness.argmax) << name;
+    EXPECT_EQ(result.lateness.missed, base.lateness.missed) << name;
+    EXPECT_EQ(result.end_to_end, base.end_to_end) << name;
+    EXPECT_EQ(result.utilization, base.utilization) << name;
+  }
+}
+
+/// FEAST_SCHED_BACKEND is resolved from the environment whenever Auto is
+/// (re-)installed process-wide; set_backend(Auto) re-reads it, which is
+/// how a forced-scalar CI job pins the fallback path on AVX2 hosts.
+TEST(DiffSched, EnvBackendResolution) {
+  ASSERT_EQ(setenv("FEAST_SCHED_BACKEND", "scalar", /*overwrite=*/1), 0);
+  EXPECT_EQ(kernels::set_backend(kernels::Backend::Auto),
+            kernels::Backend::Scalar);
+  EXPECT_EQ(kernels::active_backend(), kernels::Backend::Scalar);
+
+  // Forced scalar, the full quick differential matrix must still pass —
+  // this is exactly what the CI fallback job runs.
+  DiffSchedConfig config;
+  config.seed = 20260806;
+  config.trials = 5;
+  config.quick = true;
+  EXPECT_TRUE(run_diffsched(config).ok());
+
+  ASSERT_EQ(unsetenv("FEAST_SCHED_BACKEND"), 0);
+  const kernels::Backend resolved = kernels::set_backend(kernels::Backend::Auto);
+  EXPECT_EQ(resolved, kernels::available(kernels::Backend::Avx2)
+                          ? kernels::Backend::Avx2
+                          : kernels::Backend::Scalar);
 }
 
 TEST(DiffSched, TraceDigestDetectsDivergence) {
