@@ -7,9 +7,16 @@
 /// worker subprocess; every later request rides the dedup/memo path — so
 /// the run measures both the dispatch pipeline and the reactor's
 /// request-handling ceiling, and reports the dedup hit rate that makes the
-/// difference.  Emits BENCH_serve.json (cells/sec, p50/p95 latency, dedup
-/// hit rate) for the CI artifact shelf.
+/// difference.
+///
+/// A second phase measures the remote-dispatch path: a remote-only daemon
+/// (workers = 0) served by a real `feastc worker` loop, with one scripted
+/// worker that leases a cell and dies holding it — so the numbers include
+/// the lease-expiry requeue a worker kill costs.  Emits BENCH_serve.json
+/// (both phases: cells/sec, p50/p95/p99 latency, dedup hit rate, requeue
+/// count) for the CI artifact shelf.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -23,6 +30,7 @@
 #include <vector>
 
 #include "serve/client.hpp"
+#include "serve/remote_worker.hpp"
 #include "serve/server.hpp"
 #include "util/json.hpp"
 
@@ -149,6 +157,117 @@ int main(int argc, char** argv) {
   reactor.join();
   fs::remove_all(scratch, ec);
 
+  // ----------------------------------------------------------- remote phase
+  // The same hammering against a remote-only daemon (workers = 0) served by
+  // a real `feastc worker` loop over loopback.  One scripted worker leases a
+  // cell first and dies holding it, so the measured numbers include the
+  // lease-expiry requeue a SIGKILLed peer costs the fabric.
+  const fs::path remote_scratch =
+      fs::temp_directory_path() /
+      ("feast-perf-serve-remote-" + std::to_string(::getpid()));
+  fs::remove_all(remote_scratch, ec);
+
+  serve::ServeOptions remote_options;
+  remote_options.work_dir = (remote_scratch / "work").string();
+  remote_options.cache_dir = (remote_scratch / "cache").string();
+  remote_options.feastc_path = FEAST_FEASTC_PATH;
+  remote_options.workers = 0;
+  remote_options.max_queue = 1024;
+  remote_options.max_connections = 1024;
+  remote_options.lease_timeout_s = 1.0;
+  remote_options.heartbeat_timeout_s = 30.0;
+  serve::Server remote_server(std::move(remote_options));
+  remote_server.start();
+  std::thread remote_reactor([&remote_server] { remote_server.run(); });
+  const std::uint16_t remote_port = remote_server.port();
+
+  std::string ghost_id;
+  {
+    const serve::HttpReply reply = serve::http_request(
+        "127.0.0.1", remote_port, "POST", "/v1/worker/register",
+        "{\"name\": \"bench-ghost\"}", "", 30.0);
+    if (reply.status == 200) {
+      const JsonValue root = parse_json(reply.body);
+      if (const JsonValue* id = root.find("worker")) ghost_id = id->string;
+    }
+  }
+  std::thread ghost_feeder([&] {
+    serve::http_request("127.0.0.1", remote_port, "POST", "/v1/cell",
+                        "{\"spec\": \"" + json_escape(spec) +
+                            "\", \"cell\": 0}",
+                        "bench-feeder", 300.0);
+  });
+  // Wait for the ghost's lease grant before the healthy worker exists, so
+  // the kill provably abandons a held lease.
+  for (int i = 0; i < 2000 && !ghost_id.empty(); ++i) {
+    const serve::HttpReply reply = serve::http_request(
+        "127.0.0.1", remote_port, "POST", "/v1/worker/lease",
+        "{\"worker\": \"" + ghost_id + "\"}", "", 30.0);
+    if (reply.status == 200 &&
+        reply.body.find("\"lease\"") != std::string::npos) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  std::atomic<bool> worker_stop{false};
+  serve::RemoteWorkerStats worker_stats;
+  serve::RemoteWorkerOptions worker_options;
+  worker_options.port = remote_port;
+  worker_options.name = "bench-remote-w0";
+  worker_options.work_dir = (remote_scratch / "worker").string();
+  worker_options.no_cache = true;
+  worker_options.feastc_path = FEAST_FEASTC_PATH;
+  worker_options.poll_ms = 5;
+  std::thread worker_thread([&] {
+    serve::run_remote_worker(worker_options, &worker_stop, &worker_stats);
+  });
+
+  std::vector<double> remote_latencies_ms;
+  std::uint64_t remote_failures = 0;
+  const auto remote_started = Clock::now();
+  std::vector<std::thread> remote_threads;
+  remote_threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    remote_threads.emplace_back([&, c] {
+      std::vector<double> local;
+      local.reserve(static_cast<std::size_t>(requests));
+      std::uint64_t local_failures = 0;
+      const std::string client_name = "bench-remote-" + std::to_string(c);
+      for (int r = 0; r < requests; ++r) {
+        const std::string body = "{\"spec\": \"" + json_escape(spec) +
+                                 "\", \"cell\": " +
+                                 std::to_string((c + r) % cells) + "}";
+        const auto t0 = Clock::now();
+        const serve::HttpReply reply =
+            serve::http_request("127.0.0.1", remote_port, "POST", "/v1/cell",
+                                body, client_name, 300.0);
+        const auto t1 = Clock::now();
+        if (reply.ok() && reply.status == 200) {
+          local.push_back(
+              std::chrono::duration<double, std::milli>(t1 - t0).count());
+        } else {
+          ++local_failures;
+        }
+      }
+      std::lock_guard<std::mutex> lock(merge_mu);
+      remote_latencies_ms.insert(remote_latencies_ms.end(), local.begin(),
+                                 local.end());
+      remote_failures += local_failures;
+    });
+  }
+  for (std::thread& t : remote_threads) t.join();
+  ghost_feeder.join();
+  const double remote_wall_s =
+      std::chrono::duration<double>(Clock::now() - remote_started).count();
+
+  const serve::ServeStatsSnapshot remote_stats = remote_server.stats();
+  worker_stop.store(true);
+  worker_thread.join();
+  remote_server.request_stop();
+  remote_reactor.join();
+  fs::remove_all(remote_scratch, ec);
+
   std::sort(latencies_ms.begin(), latencies_ms.end());
   const std::uint64_t ok = latencies_ms.size();
   const double cells_per_sec =
@@ -162,7 +281,16 @@ int main(int argc, char** argv) {
                 static_cast<double>(stats.requests)
           : 0.0;
 
-  char buffer[1024];
+  std::sort(remote_latencies_ms.begin(), remote_latencies_ms.end());
+  const std::uint64_t remote_ok = remote_latencies_ms.size();
+  const double remote_cells_per_sec =
+      remote_wall_s > 0.0 ? static_cast<double>(remote_ok) / remote_wall_s
+                          : 0.0;
+  const double remote_p50 = percentile(remote_latencies_ms, 0.50);
+  const double remote_p95 = percentile(remote_latencies_ms, 0.95);
+  const double remote_p99 = percentile(remote_latencies_ms, 0.99);
+
+  char buffer[2048];
   std::snprintf(
       buffer, sizeof buffer,
       "{\n"
@@ -181,22 +309,47 @@ int main(int argc, char** argv) {
       "  \"dispatched\": %llu,\n"
       "  \"dedup_hits\": %llu,\n"
       "  \"cache_hits\": %llu,\n"
-      "  \"dedup_hit_rate\": %.4f\n"
+      "  \"dedup_hit_rate\": %.4f,\n"
+      "  \"remote\": {\n"
+      "    \"ok\": %llu,\n"
+      "    \"failures\": %llu,\n"
+      "    \"wall_s\": %.6f,\n"
+      "    \"cells_per_sec\": %.3f,\n"
+      "    \"p50_ms\": %.4f,\n"
+      "    \"p95_ms\": %.4f,\n"
+      "    \"p99_ms\": %.4f,\n"
+      "    \"dispatched\": %llu,\n"
+      "    \"requeued\": %llu,\n"
+      "    \"workers_lost\": %llu,\n"
+      "    \"worker_cells_ok\": %llu\n"
+      "  }\n"
       "}\n",
       clients, requests, cells, workers,
       static_cast<unsigned long long>(ok),
       static_cast<unsigned long long>(failures), wall_s, cells_per_sec, p50,
       p95, p99, static_cast<unsigned long long>(stats.dispatched),
       static_cast<unsigned long long>(stats.dedup_hits),
-      static_cast<unsigned long long>(stats.cache_hits), dedup_rate);
+      static_cast<unsigned long long>(stats.cache_hits), dedup_rate,
+      static_cast<unsigned long long>(remote_ok),
+      static_cast<unsigned long long>(remote_failures), remote_wall_s,
+      remote_cells_per_sec, remote_p50, remote_p95, remote_p99,
+      static_cast<unsigned long long>(remote_stats.dispatched),
+      static_cast<unsigned long long>(remote_stats.requeued),
+      static_cast<unsigned long long>(remote_stats.workers_lost),
+      static_cast<unsigned long long>(worker_stats.cells_ok));
 
   std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
   out << buffer;
   out.close();
   std::cout << buffer;
 
-  if (failures != 0) {
-    std::cerr << "FAIL: " << failures << " requests did not complete\n";
+  if (failures != 0 || remote_failures != 0) {
+    std::cerr << "FAIL: " << (failures + remote_failures)
+              << " requests did not complete\n";
+    return 1;
+  }
+  if (remote_stats.workers_lost < 1 || remote_stats.requeued < 1) {
+    std::cerr << "FAIL: the scripted worker kill produced no requeue\n";
     return 1;
   }
   return 0;

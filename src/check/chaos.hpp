@@ -1,0 +1,78 @@
+/// \file chaos.hpp
+/// \brief Networked torture for the distributed worker fabric.
+///
+/// Each trial generates a small random campaign spec and runs it twice:
+///
+///   1. *baseline* — a clean in-process `feastc campaign run` subprocess;
+///   2. *distributed* — a remote-only serve daemon (in this process, over a
+///      real loopback socket) with K `feastc worker` subprocesses leasing
+///      cells, a `feastc submit` subprocess driving the campaign, and a
+///      trial-family fault armed mid-run: SIGKILLed workers, torn frames,
+///      short reads, blackholed connects, duplicated result delivery,
+///      reconnect storms, and cross-worker poison (`worker-die` injects).
+///
+/// The assertion is the supervised-drain contract extended over the
+/// network: whatever the fault, the campaign completes and the daemon's
+/// manifest fingerprint is byte-identical to the baseline's — except the
+/// poison family, which must instead quarantine the poisoned cell (error
+/// kind `net`, submit exit 3) after a bounded number of worker deaths,
+/// with every healthy cell still matching.
+///
+/// CLI: `feastc chaos --trials N`; tests drive run_chaos directly.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace feast::check {
+
+struct ChaosOptions {
+  int trials = 8;
+  std::uint64_t seed = 42;
+  std::string work_dir = ".feast-chaos";  ///< Per-trial dirs underneath.
+  /// The feastc binary to drive (workers, submit, baseline).  Empty:
+  /// /proc/self/exe (correct when the caller *is* feastc).
+  std::string feastc_path;
+  int workers = 2;              ///< Remote worker subprocesses per trial.
+  std::ostream* log = nullptr;  ///< Per-trial progress lines when set.
+  bool keep_work_dir = false;   ///< Keep scratch even on success.
+  /// Defensive wall-clock deadline for the whole distributed phase of one
+  /// trial; overruns kill the submit subprocess and fail loudly.
+  double subprocess_timeout_s = 300.0;
+};
+
+struct ChaosTrial {
+  std::uint64_t seed = 0;    ///< Replays this trial's spec and fault.
+  std::string family;        ///< Fault family name ("clean", "poison", ...).
+  std::string fault_spec;    ///< FaultPlan armed in worker 0 ("" = none).
+  std::size_t cells = 0;
+  int submit_exit = -1;      ///< `feastc submit` exit code.
+  int workers_respawned = 0; ///< Dead workers replaced mid-run.
+  std::size_t quarantined = 0;  ///< Quarantined cells in the final manifest.
+  bool match = false;        ///< Fingerprint == baseline (poison: healthy
+                             ///< cells quarantine-adjusted, see .cpp).
+  std::string error;         ///< First problem, empty when ok.
+
+  bool ok() const noexcept { return match && error.empty(); }
+};
+
+struct ChaosResult {
+  std::vector<ChaosTrial> trials;
+
+  std::size_t failures() const noexcept {
+    std::size_t n = 0;
+    for (const ChaosTrial& t : trials) {
+      if (!t.ok()) ++n;
+    }
+    return n;
+  }
+  bool ok() const noexcept { return failures() == 0; }
+};
+
+/// Runs the networked kill/fault/compare cycle options.trials times,
+/// rotating across eight fault families (trials beyond eight wrap around).
+ChaosResult run_chaos(const ChaosOptions& options);
+
+}  // namespace feast::check

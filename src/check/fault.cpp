@@ -25,6 +25,11 @@ constexpr SiteName kSiteNames[] = {
     {FaultSite::ServeClientDisconnect, "serve-client-disconnect"},
     {FaultSite::ServeSlowLoris, "serve-slow-loris"},
     {FaultSite::ExactSolve, "exact-solve"},
+    {FaultSite::NetConnect, "net-connect"},
+    {FaultSite::NetSend, "net-send"},
+    {FaultSite::NetRecv, "net-recv"},
+    {FaultSite::WorkerResultDup, "worker-result-dup"},
+    {FaultSite::WorkerReconnect, "worker-reconnect"},
 };
 static_assert(std::size(kSiteNames) == kFaultSiteCount);
 
@@ -40,6 +45,7 @@ constexpr ActionName kActionNames[] = {
     {FaultAction::ShortRead, "short-read"},
     {FaultAction::FailWrite, "fail-write"},
     {FaultAction::PartialWrite, "partial-write"},
+    {FaultAction::Stall, "stall"},
 };
 
 FaultSite parse_site(const std::string& token) {

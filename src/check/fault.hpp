@@ -20,9 +20,11 @@
 ///   rule   := site ':' nth ':' action      // nth is 1-based
 ///   site   := pool-task | cache-lookup | cache-store | manifest-write |
 ///             supervise-spawn | supervise-heartbeat |
-///             serve-client-disconnect | serve-slow-loris | exact-solve
+///             serve-client-disconnect | serve-slow-loris | exact-solve |
+///             net-connect | net-send | net-recv | worker-result-dup |
+///             worker-reconnect
 ///   action := throw | die | truncate | bad-magic | short-read |
-///             fail-write | partial-write
+///             fail-write | partial-write | stall
 ///
 /// Which actions are meaningful at which site is documented on FaultSite;
 /// sites ignore actions they cannot express (armed but inapplicable rules
@@ -73,8 +75,25 @@ enum class FaultSite : std::uint8_t {
   ExactSolve,  ///< Exact oracle, about to start a branch-and-bound solve.
                ///< Actions: Throw (solve reports failure → the gap cell
                ///< fails), Die (worker killed mid-solve → retry/quarantine).
+  NetConnect,  ///< util/net tcp_connect, before the connect(2).
+               ///< Actions: Throw (connection refused — a partitioned /
+               ///< blackholed peer), Stall (connect delayed ~1.2 s — a
+               ///< congested link), Die (caller killed mid-dial).
+  NetSend,  ///< util/net write_all, before pushing bytes.
+            ///< Actions: FailWrite (link dropped, nothing sent),
+            ///< PartialWrite (torn frame: a prefix reaches the peer, then
+            ///< the link dies), Stall (stalled link, then delivery), Die.
+  NetRecv,  ///< util/net read_available, before the recv(2).
+            ///< Actions: ShortRead (stream cut short: reader sees EOF
+            ///< mid-frame), Stall (delayed delivery), Die.
+  WorkerResultDup,  ///< Remote worker, about to post a result.  The armed
+                    ///< occurrence posts the frame twice — duplicated
+                    ///< delivery the daemon must deduplicate by lease.
+  WorkerReconnect,  ///< Remote worker, holding a live registration.  The
+                    ///< armed occurrence drops it and re-registers — a
+                    ///< reconnect storm from the daemon's perspective.
 };
-inline constexpr std::size_t kFaultSiteCount = 9;
+inline constexpr std::size_t kFaultSiteCount = 14;
 
 /// What happens when an armed rule fires.
 enum class FaultAction : std::uint8_t {
@@ -86,6 +105,8 @@ enum class FaultAction : std::uint8_t {
   FailWrite,     ///< Simulate an unwritable target (operation skipped).
   PartialWrite,  ///< Publish a torn (prefix-only) file where the real
                  ///< writer would have renamed atomically.
+  Stall,         ///< Delay the operation (~1.2 s), then let it proceed —
+                 ///< a congested or flapping link, not a dead one.
 };
 
 /// Exit code of a Die fault, chosen to be distinguishable from ordinary

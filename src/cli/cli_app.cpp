@@ -1,5 +1,6 @@
 #include "cli/cli_app.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -7,9 +8,11 @@
 #include <memory>
 #include <optional>
 #include <sstream>
+#include <thread>
 
 #include "campaign/campaign.hpp"
 
+#include "check/chaos.hpp"
 #include "check/fault.hpp"
 #include "check/torture.hpp"
 #include "core/annotation_io.hpp"
@@ -24,6 +27,7 @@
 #include "exact/exact.hpp"
 #include "exact/gap.hpp"
 #include "serve/client.hpp"
+#include "serve/remote_worker.hpp"
 #include "serve/server.hpp"
 #include "sim/runtime_sim.hpp"
 #include "supervise/supervisor.hpp"
@@ -82,6 +86,9 @@ commands:
               assert results identical to an uninterrupted run
   serve       long-lived evaluation daemon (HTTP/1.1 + JSON over TCP)
   submit      send a campaign or cell to a running serve daemon
+  worker      remote worker: lease cells from a serve daemon over TCP
+  chaos       networked torture of the distributed worker fabric: injected
+              partitions, torn frames, worker kills and cross-worker poison
   dot         Graphviz export
 
 common options:
@@ -187,7 +194,8 @@ serve options (protocol and endpoints: docs/SERVE.md; exit 130 = drained on
 SIGINT/SIGTERM with resumable campaign checkpoints):
   --host H                bind address                   (default 127.0.0.1)
   --port P                TCP port (0 = ephemeral, printed on startup)
-  --workers K             worker subprocesses            (default 2)
+  --workers K             local worker subprocesses; 0 = remote-only, cells
+                          wait for `feastc worker` peers  (default 2)
   --max-queue N           queued cells before 429        (default 64)
   --max-connections N     open sockets before 503        (default 128)
   --max-attempts N        worker attempts per cell       (default 3)
@@ -204,18 +212,59 @@ SIGINT/SIGTERM with resumable campaign checkpoints):
   --max-body BYTES        request body cap               (default 1048576)
   --quiet                 suppress progress lines
 
-submit options:
+serve distributed-worker fabric (docs/SERVE.md, "Distributed workers"):
+  --heartbeat-timeout S   drop idle remote workers after (default 15)
+  --lease-timeout S       per-lease deadline before the cell is requeued
+                          uncharged (default 0 = cell-timeout + grace, or 60)
+  --poison-deaths N       distinct dead workers before a cell is quarantined
+                          as cross-worker poison [net]   (default 2)
+  --retry-after S         Retry-After hint on 429/503    (default 1)
+  --faults SPEC           arm daemon-side fault injection (docs/TESTING.md)
+
+submit options (exit 3 = campaign completed degraded):
   submit <spec> [--cell N]   submit a campaign spec file (or one cell of it)
   --server HOST:PORT      daemon address                 (default 127.0.0.1:7433)
   --client NAME           fair-queue identity            (default $USER or anon)
   --status                fetch /v1/status instead of submitting
   --timeout S             request deadline               (default 600)
+  --retries N             deterministic retry budget on 429/503, honoring
+                          Retry-After                    (default 0 = none)
+  --retry-base MS         retry backoff base             (default 250)
+  --retry-cap MS          retry backoff cap              (default 10000)
+  --retry-seed S          retry jitter seed              (default 0)
+  --inject SPEC           poison campaign cells, e.g. '0:worker-die,2:crash'
+
+worker options (remote peer of a serve daemon; docs/SERVE.md):
+  --connect HOST:PORT     daemon address                 (required)
+  --name NAME             stable worker identity         (default worker-<pid>)
+  --slots N               concurrent leases              (default 1)
+  --work-dir DIR          spec/shard scratch             (default .feast-worker)
+  --cache-dir DIR         exec-cell result cache         (default .feast-cache)
+  --no-cache              disable the result cache
+  --threads N             --threads given to exec-cell   (default 1)
+  --poll-ms MS            idle lease-poll interval       (default 50)
+  --backoff-base MS       reconnect backoff base         (default 250)
+  --backoff-cap MS        reconnect backoff cap          (default 10000)
+  --max-reconnects N      give up after N reconnects     (default 0 = never)
+  --max-cells N           exit after N results           (default 0 = never)
+  --request-timeout S     per-HTTP-request deadline      (default 10)
+  --feastc PATH           exec-cell binary               (default: this binary)
+  --faults SPEC           arm worker-side fault injection (docs/TESTING.md)
 
 torture options (protocol: docs/TESTING.md):
   --trials N              kill/resume/compare cycles     (default 5)
   --seed S                root RNG seed                  (default 42)
   --work-dir DIR          scratch directory              (default .feast-torture)
   --feastc PATH           binary to drive                (default: this binary)
+  --keep                  keep the scratch directory on success
+
+chaos options (networked fabric torture; docs/ROBUSTNESS.md):
+  --trials N              fault-family trials            (default 8)
+  --seed S                root RNG seed                  (default 42)
+  --workers K             remote workers per trial       (default 2)
+  --work-dir DIR          scratch directory              (default .feast-chaos)
+  --feastc PATH           binary to drive                (default: this binary)
+  --timeout S             deadline per distributed run   (default 300)
   --keep                  keep the scratch directory on success
 
 run 'feastc <command> --help' for the relevant subset.
@@ -1158,6 +1207,7 @@ int cmd_serve(Args& args, std::ostream& out) {
   serve::ServeOptions options;
   options.work_dir = ".feast-serve";
   bool quiet = false;
+  std::string fault_spec;
 
   while (!args.done()) {
     const std::string flag = args.pop();
@@ -1169,7 +1219,7 @@ int cmd_serve(Args& args, std::ostream& out) {
       options.port = static_cast<std::uint16_t>(n);
     } else if (flag == "--workers") {
       const long long n = parse_int_arg(flag, args.value_for(flag));
-      if (n < 1) throw UsageError("--workers must be positive");
+      if (n < 0) throw UsageError("--workers must be >= 0 (0 = remote-only)");
       options.workers = static_cast<int>(n);
     } else if (flag == "--max-queue") {
       const long long n = parse_int_arg(flag, args.value_for(flag));
@@ -1216,6 +1266,26 @@ int cmd_serve(Args& args, std::ostream& out) {
       const long long n = parse_int_arg(flag, args.value_for(flag));
       if (n < 1) throw UsageError("--max-body must be positive");
       options.http.max_body_bytes = static_cast<std::size_t>(n);
+    } else if (flag == "--heartbeat-timeout") {
+      options.heartbeat_timeout_s = parse_double_arg(flag, args.value_for(flag));
+      if (options.heartbeat_timeout_s <= 0.0) {
+        throw UsageError("--heartbeat-timeout must be > 0");
+      }
+    } else if (flag == "--lease-timeout") {
+      options.lease_timeout_s = parse_double_arg(flag, args.value_for(flag));
+      if (options.lease_timeout_s < 0.0) {
+        throw UsageError("--lease-timeout must be >= 0");
+      }
+    } else if (flag == "--poison-deaths") {
+      const long long n = parse_int_arg(flag, args.value_for(flag));
+      if (n < 1) throw UsageError("--poison-deaths must be positive");
+      options.poison_worker_deaths = static_cast<int>(n);
+    } else if (flag == "--retry-after") {
+      const long long n = parse_int_arg(flag, args.value_for(flag));
+      if (n < 0) throw UsageError("--retry-after must be non-negative");
+      options.retry_after_s = static_cast<int>(n);
+    } else if (flag == "--faults") {
+      fault_spec = args.value_for(flag);
     } else if (flag == "--quiet") {
       quiet = true;
     } else {
@@ -1223,6 +1293,17 @@ int cmd_serve(Args& args, std::ostream& out) {
     }
   }
   if (!quiet) options.log = &out;
+
+  std::optional<check::FaultPlan> faults;
+  std::optional<check::ScopedFaultPlan> scoped_faults;
+  if (!fault_spec.empty()) {
+    try {
+      faults.emplace(fault_spec);
+    } catch (const std::invalid_argument& e) {
+      throw UsageError(std::string("--faults: ") + e.what());
+    }
+    scoped_faults.emplace(&*faults);
+  }
 
   serve::Server server(std::move(options));
   server.start();
@@ -1234,6 +1315,15 @@ int cmd_serve(Args& args, std::ostream& out) {
 
 // ------------------------------------------------------------------- submit
 
+/// Pulls `"quarantined": N` out of a campaign manifest reply.  Returns 0
+/// when the field is absent (cell replies, status bodies).
+long long parse_quarantined_count(const std::string& body) {
+  const std::string needle = "\"quarantined\":";
+  const std::size_t at = body.find(needle);
+  if (at == std::string::npos) return 0;
+  return std::strtoll(body.c_str() + at + needle.size(), nullptr, 10);
+}
+
 int cmd_submit(Args& args, std::istream& in, std::ostream& out) {
   std::string server_addr = "127.0.0.1:7433";
   std::string client;
@@ -1241,6 +1331,9 @@ int cmd_submit(Args& args, std::istream& in, std::ostream& out) {
   std::optional<long long> cell;
   bool status_only = false;
   double timeout_s = 600.0;
+  int retries = 0;
+  supervise::BackoffPolicy retry_backoff;
+  std::string inject;
 
   while (!args.done()) {
     const std::string flag = args.pop();
@@ -1256,6 +1349,21 @@ int cmd_submit(Args& args, std::istream& in, std::ostream& out) {
     } else if (flag == "--timeout") {
       timeout_s = parse_double_arg(flag, args.value_for(flag));
       if (timeout_s <= 0.0) throw UsageError("--timeout must be > 0");
+    } else if (flag == "--retries") {
+      const long long n = parse_int_arg(flag, args.value_for(flag));
+      if (n < 0) throw UsageError("--retries must be non-negative");
+      retries = static_cast<int>(n);
+    } else if (flag == "--retry-base") {
+      retry_backoff.base_ms = parse_double_arg(flag, args.value_for(flag));
+      if (retry_backoff.base_ms <= 0.0) throw UsageError("--retry-base must be > 0");
+    } else if (flag == "--retry-cap") {
+      retry_backoff.cap_ms = parse_double_arg(flag, args.value_for(flag));
+      if (retry_backoff.cap_ms <= 0.0) throw UsageError("--retry-cap must be > 0");
+    } else if (flag == "--retry-seed") {
+      retry_backoff.seed =
+          static_cast<std::uint64_t>(parse_int_arg(flag, args.value_for(flag)));
+    } else if (flag == "--inject") {
+      inject = args.value_for(flag);
     } else if (!spec_path && (flag.empty() || flag[0] != '-')) {
       spec_path = flag;
     } else if (flag == "-" && !spec_path) {
@@ -1274,11 +1382,10 @@ int cmd_submit(Args& args, std::istream& in, std::ostream& out) {
     client = (user != nullptr && *user != '\0') ? user : "anon";
   }
 
-  serve::HttpReply reply;
-  if (status_only) {
-    reply = serve::http_request(host, port, "GET", "/v1/status", "", client,
-                                timeout_s);
-  } else {
+  std::string method = "GET";
+  std::string target = "/v1/status";
+  std::string body;
+  if (!status_only) {
     if (!spec_path) throw UsageError("submit: missing spec argument");
     std::string spec_text;
     if (*spec_path == "-") {
@@ -1292,19 +1399,125 @@ int cmd_submit(Args& args, std::istream& in, std::ostream& out) {
       buffer << file.rdbuf();
       spec_text = buffer.str();
     }
-    std::string body = "{\"spec\": \"" + json_escape(spec_text) + "\"";
+    method = "POST";
+    target = cell ? "/v1/cell" : "/v1/campaign";
+    body = "{\"spec\": \"" + json_escape(spec_text) + "\"";
     if (cell) body += ", \"cell\": " + std::to_string(*cell);
+    if (!inject.empty()) body += ", \"inject\": \"" + json_escape(inject) + "\"";
     body += "}";
-    reply = serve::http_request(host, port, "POST",
-                                cell ? "/v1/cell" : "/v1/campaign", body, client,
+  }
+
+  serve::HttpReply reply;
+  for (int attempt = 1;; ++attempt) {
+    reply = serve::http_request(host, port, method, target, body, client,
                                 timeout_s);
+    const bool busy =
+        reply.ok() && (reply.status == 429 || reply.status == 503);
+    if (!busy || attempt > retries) break;
+    // Deterministic exponential backoff with seeded jitter, floored by the
+    // daemon's own Retry-After hint when it sent one.
+    double delay_ms = supervise::backoff_delay_ms(retry_backoff, 0, attempt);
+    if (reply.retry_after_s >= 0) {
+      delay_ms = std::max(delay_ms, reply.retry_after_s * 1000.0);
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<long long>(delay_ms)));
   }
   if (!reply.ok()) {
     throw std::runtime_error("submit: " + server_addr + ": " + reply.error);
   }
   out << reply.body;
   if (!reply.body.empty() && reply.body.back() != '\n') out << "\n";
-  return reply.status == 200 ? kOk : kFailure;
+  if (reply.status != 200) return kFailure;
+  // A campaign that settled with quarantined cells completed, but degraded:
+  // exit 3 so scripts (and the chaos driver) can tell poison from success.
+  if (!status_only && !cell && parse_quarantined_count(reply.body) > 0) {
+    return kDegraded;
+  }
+  return kOk;
+}
+
+// ------------------------------------------------------------------- worker
+
+int cmd_worker(Args& args, std::ostream& out) {
+  serve::RemoteWorkerOptions options;
+  options.work_dir = ".feast-worker";
+  options.allow_process_exit = true;
+  std::string connect;
+  std::string fault_spec;
+  bool quiet = false;
+
+  while (!args.done()) {
+    const std::string flag = args.pop();
+    if (flag == "--connect") {
+      connect = args.value_for(flag);
+    } else if (flag == "--name") {
+      options.name = args.value_for(flag);
+    } else if (flag == "--slots") {
+      const long long n = parse_int_arg(flag, args.value_for(flag));
+      if (n < 1 || n > 64) throw UsageError("--slots wants 1..64");
+      options.slots = static_cast<int>(n);
+    } else if (flag == "--work-dir") {
+      options.work_dir = args.value_for(flag);
+    } else if (flag == "--cache-dir") {
+      options.cache_dir = args.value_for(flag);
+    } else if (flag == "--no-cache") {
+      options.no_cache = true;
+    } else if (flag == "--feastc") {
+      options.feastc_path = args.value_for(flag);
+    } else if (flag == "--threads") {
+      const long long n = parse_int_arg(flag, args.value_for(flag));
+      if (n < 1) throw UsageError("--threads must be positive");
+      options.threads = static_cast<unsigned>(n);
+    } else if (flag == "--poll-ms") {
+      const long long n = parse_int_arg(flag, args.value_for(flag));
+      if (n < 1) throw UsageError("--poll-ms must be positive");
+      options.poll_ms = static_cast<int>(n);
+    } else if (flag == "--backoff-base") {
+      options.backoff.base_ms = parse_double_arg(flag, args.value_for(flag));
+      if (options.backoff.base_ms <= 0.0) throw UsageError("--backoff-base must be > 0");
+    } else if (flag == "--backoff-cap") {
+      options.backoff.cap_ms = parse_double_arg(flag, args.value_for(flag));
+      if (options.backoff.cap_ms <= 0.0) throw UsageError("--backoff-cap must be > 0");
+    } else if (flag == "--max-reconnects") {
+      const long long n = parse_int_arg(flag, args.value_for(flag));
+      if (n < 0) throw UsageError("--max-reconnects must be non-negative");
+      options.max_reconnects = static_cast<int>(n);
+    } else if (flag == "--max-cells") {
+      const long long n = parse_int_arg(flag, args.value_for(flag));
+      if (n < 0) throw UsageError("--max-cells must be non-negative");
+      options.max_cells = static_cast<std::uint64_t>(n);
+    } else if (flag == "--request-timeout") {
+      options.request_timeout_s = parse_double_arg(flag, args.value_for(flag));
+      if (options.request_timeout_s <= 0.0) {
+        throw UsageError("--request-timeout must be > 0");
+      }
+    } else if (flag == "--faults") {
+      fault_spec = args.value_for(flag);
+    } else if (flag == "--quiet") {
+      quiet = true;
+    } else {
+      throw UsageError("worker: unknown option '" + flag + "'");
+    }
+  }
+  if (connect.empty()) throw UsageError("worker: --connect HOST:PORT is required");
+  if (!serve::parse_host_port(connect, options.host, options.port)) {
+    throw UsageError("--connect wants HOST:PORT, got '" + connect + "'");
+  }
+  if (!quiet) options.log = &out;
+
+  std::optional<check::FaultPlan> faults;
+  std::optional<check::ScopedFaultPlan> scoped_faults;
+  if (!fault_spec.empty()) {
+    try {
+      faults.emplace(fault_spec);
+    } catch (const std::invalid_argument& e) {
+      throw UsageError(std::string("--faults: ") + e.what());
+    }
+    scoped_faults.emplace(&*faults);
+  }
+
+  return serve::run_remote_worker(options);
 }
 
 // ------------------------------------------------------------------ profile
@@ -1473,6 +1686,45 @@ int cmd_torture(Args& args, std::ostream& out) {
   return result.ok() ? kOk : kFailure;
 }
 
+// -------------------------------------------------------------------- chaos
+
+int cmd_chaos(Args& args, std::ostream& out) {
+  check::ChaosOptions options;
+  while (!args.done()) {
+    const std::string flag = args.pop();
+    if (flag == "--trials") {
+      options.trials = static_cast<int>(parse_int_arg(flag, args.value_for(flag)));
+      if (options.trials < 1) throw UsageError("--trials must be positive");
+    } else if (flag == "--seed") {
+      options.seed =
+          static_cast<std::uint64_t>(parse_int_arg(flag, args.value_for(flag)));
+    } else if (flag == "--workers") {
+      options.workers = static_cast<int>(parse_int_arg(flag, args.value_for(flag)));
+      if (options.workers < 1) throw UsageError("--workers must be positive");
+    } else if (flag == "--work-dir") {
+      options.work_dir = args.value_for(flag);
+    } else if (flag == "--feastc") {
+      options.feastc_path = args.value_for(flag);
+    } else if (flag == "--timeout") {
+      options.subprocess_timeout_s = parse_double_arg(flag, args.value_for(flag));
+      if (options.subprocess_timeout_s <= 0.0) {
+        throw UsageError("--timeout must be > 0");
+      }
+    } else if (flag == "--keep") {
+      options.keep_work_dir = true;
+    } else {
+      throw UsageError("chaos: unknown option '" + flag + "'");
+    }
+  }
+
+  options.log = &out;
+  const check::ChaosResult result = check::run_chaos(options);
+  out << "chaos: " << (result.trials.size() - result.failures()) << "/"
+      << result.trials.size()
+      << " trials matched the in-process baseline under network faults\n";
+  return result.ok() ? kOk : kFailure;
+}
+
 }  // namespace
 
 int run_cli(const std::vector<std::string>& args, std::istream& in, std::ostream& out,
@@ -1501,8 +1753,10 @@ int run_cli(const std::vector<std::string>& args, std::istream& in, std::ostream
     if (command == "profile") return cmd_profile(rest, out);
     if (command == "diffsched") return cmd_diffsched(rest, out);
     if (command == "torture") return cmd_torture(rest, out);
+    if (command == "chaos") return cmd_chaos(rest, out);
     if (command == "serve") return cmd_serve(rest, out);
     if (command == "submit") return cmd_submit(rest, in, out);
+    if (command == "worker") return cmd_worker(rest, out);
     if (command == "dot") return cmd_dot(rest, in, out);
     throw UsageError("unknown command '" + command + "'");
   } catch (const UsageError& e) {

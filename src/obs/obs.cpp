@@ -26,6 +26,7 @@ const char* to_string(Span span) noexcept {
     case Span::ServeDispatch: return "serve/dispatch";
     case Span::ExactSolve: return "exact/solve";
     case Span::SchedBatch: return "sched/batch";
+    case Span::ServeLease: return "serve/lease";
   }
   return "?";
 }
@@ -58,6 +59,10 @@ const char* to_string(Counter counter) noexcept {
     case Counter::ExactPruned: return "exact.pruned";
     case Counter::KernelScalarRun: return "kernel.scalar_runs";
     case Counter::KernelAvx2Run: return "kernel.avx2_runs";
+    case Counter::ServeWorkerRegister: return "serve.worker.register";
+    case Counter::ServeWorkerLease: return "serve.worker.lease";
+    case Counter::ServeWorkerResult: return "serve.worker.result";
+    case Counter::ServeWorkerLost: return "serve.worker.lost";
   }
   return "?";
 }

@@ -54,8 +54,9 @@ enum class Span : std::uint8_t {
   ServeDispatch,     ///< Serve: one cell job, enqueue → terminal state.
   ExactSolve,        ///< One exact branch-and-bound solve (src/exact).
   SchedBatch,        ///< One BatchScheduler::run over a graph batch.
+  ServeLease,        ///< Serve: one remote-worker lease, grant → settle.
 };
-inline constexpr std::size_t kSpanCount = 16;
+inline constexpr std::size_t kSpanCount = 17;
 
 /// Named event counters for decisions that have no duration.
 enum class Counter : std::uint8_t {
@@ -85,8 +86,13 @@ enum class Counter : std::uint8_t {
   ExactPruned,     ///< Exact oracle: branches cut by bounds or dominance.
   KernelScalarRun, ///< Fast core: run executed on the scalar kernel backend.
   KernelAvx2Run,   ///< Fast core: run executed on the AVX2 kernel backend.
+  ServeWorkerRegister, ///< Serve: remote worker registered (or re-registered).
+  ServeWorkerLease,    ///< Serve: cell leased to a remote worker.
+  ServeWorkerResult,   ///< Serve: remote worker result frame accepted.
+  ServeWorkerLost,     ///< Serve: remote worker declared lost (heartbeat or
+                       ///< lease deadline missed; its cells requeue uncharged).
 };
-inline constexpr std::size_t kCounterCount = 26;
+inline constexpr std::size_t kCounterCount = 30;
 
 const char* to_string(Span span) noexcept;
 const char* to_string(Counter counter) noexcept;

@@ -1,5 +1,6 @@
 #include "serve/client.hpp"
 
+#include <cctype>
 #include <cstdlib>
 
 #include "util/net.hpp"
@@ -66,6 +67,25 @@ HttpReply http_request(const std::string& host, std::uint16_t port,
     reply.status = 0;
     reply.error = "truncated response header";
     return reply;
+  }
+  // Scan the header block for Retry-After (delay-seconds form only); the
+  // client otherwise ignores response headers.
+  std::size_t pos = line_end + 2;
+  while (pos < header_end) {
+    std::size_t eol = raw.find("\r\n", pos);
+    if (eol == std::string::npos || eol > header_end) eol = header_end;
+    const std::size_t colon = raw.find(':', pos);
+    if (colon != std::string::npos && colon < eol) {
+      std::string name = raw.substr(pos, colon - pos);
+      for (char& c : name) c = static_cast<char>(std::tolower(c));
+      if (name == "retry-after") {
+        std::size_t value = colon + 1;
+        while (value < eol && raw[value] == ' ') ++value;
+        const int seconds = std::atoi(raw.c_str() + value);
+        if (seconds >= 0) reply.retry_after_s = seconds;
+      }
+    }
+    pos = eol + 2;
   }
   reply.body = raw.substr(header_end + 4);
   return reply;

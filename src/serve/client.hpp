@@ -18,6 +18,10 @@ struct HttpReply {
   int status = 0;
   std::string body;
   std::string error;
+  /// Parsed Retry-After header in seconds, -1 when absent.  The daemon's
+  /// admission-control 429/503 replies carry it; `feastc submit` folds it
+  /// into its retry backoff.
+  int retry_after_s = -1;
 
   bool ok() const noexcept { return error.empty(); }
 };

@@ -165,12 +165,22 @@ const char* http_status_reason(int status) noexcept {
 
 std::string render_http_response(int status, const std::string& content_type,
                                  const std::string& body, bool keep_alive) {
+  return render_http_response(status, content_type, body, keep_alive, {});
+}
+
+std::string render_http_response(
+    int status, const std::string& content_type, const std::string& body,
+    bool keep_alive,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
   std::string out;
-  out.reserve(body.size() + 128);
+  out.reserve(body.size() + 160);
   out += "HTTP/1.1 " + std::to_string(status) + " " + http_status_reason(status) +
          "\r\n";
   out += "Content-Type: " + content_type + "\r\n";
   out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  for (const auto& [name, value] : extra_headers) {
+    out += name + ": " + value + "\r\n";
+  }
   out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
   out += "\r\n";
   out += body;

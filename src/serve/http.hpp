@@ -95,6 +95,14 @@ class HttpRequestParser {
 std::string render_http_response(int status, const std::string& content_type,
                                  const std::string& body, bool keep_alive);
 
+/// Same, with extra response headers (name, value) — e.g. the Retry-After
+/// hint on admission-control 429/503 replies.  Names/values are emitted
+/// verbatim; callers pass only trusted, CRLF-free strings.
+std::string render_http_response(
+    int status, const std::string& content_type, const std::string& body,
+    bool keep_alive,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers);
+
 /// Canonical reason phrase for the handful of statuses the daemon sends.
 const char* http_status_reason(int status) noexcept;
 

@@ -6,13 +6,17 @@
 
 #include <cerrno>
 
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -22,6 +26,7 @@
 #include "check/fault.hpp"
 #include "obs/obs.hpp"
 #include "sched/kernels/kernels.hpp"
+#include "supervise/supervisor.hpp"
 #include "supervise/worker_pool.hpp"
 #include "util/fsio.hpp"
 #include "util/json.hpp"
@@ -65,7 +70,10 @@ std::string error_body(const std::string& message, const std::string& kind = "")
 
 bool known_inject_action(const std::string& value) {
   const std::string action = value.substr(0, value.find('@'));
-  return action == "hang" || action == "crash" || action == "signal";
+  // "worker-die" is the distributed-fabric poison: a remote worker leasing
+  // the cell dies on the spot instead of executing it (docs/SERVE.md).
+  return action == "hang" || action == "crash" || action == "signal" ||
+         action == "worker-die";
 }
 
 /// Resolves an inject value ("action" or "action@N") against one attempt.
@@ -163,9 +171,30 @@ struct CellJob {
   obs::Sink* sink = nullptr;             ///< Dispatch span: enqueue → terminal.
   std::uint64_t span_start_ns = 0;
 
+  // Remote-lease state (empty lease token ⇔ local pool or not leased).
+  std::string lease;            ///< Lease token while Running on a remote.
+  std::string lease_worker;     ///< Worker id holding the lease.
+  Clock::time_point lease_deadline{};  ///< Requeue uncharged past this.
+  std::set<std::string> dead_workers;  ///< Distinct worker names that died
+                                       ///< holding this cell (poison count).
+  obs::Sink* lease_sink = nullptr;     ///< serve/lease span: grant → settle.
+  std::uint64_t lease_span_start_ns = 0;
+
   bool terminal() const noexcept {
     return state == State::Done || state == State::Failed;
   }
+};
+
+/// One registered remote worker (a `feastc worker` process on some host).
+struct RemoteWorker {
+  std::string id;    ///< Daemon-assigned token; the worker echoes it back.
+  std::string name;  ///< Operator-chosen identity; poison counts names.
+  int slots = 1;
+  std::size_t leases = 0;  ///< Cells currently out on lease.
+  Clock::time_point last_seen = Clock::now();
+  std::uint64_t cells_ok = 0;
+  /// Failure tallies indexed by supervise::ErrorKind (None..Net).
+  std::array<std::uint64_t, 7> errors{};
 };
 
 /// One submitted campaign, resolved cell by cell.
@@ -215,16 +244,36 @@ struct Server::Impl {
   std::vector<std::string> rr_clients;
   std::size_t rr_cursor = 0;
 
+  // The remote worker fabric: registered `feastc worker` peers by id, and
+  // the name → id map that makes a re-registration replace (and implicitly
+  // declare dead) the previous incarnation of the same name.
+  std::map<std::string, RemoteWorker> workers;
+  std::map<std::string, std::string> worker_ids;  ///< name → id.
+
   std::uint64_t next_conn_id = 1;
   std::uint64_t next_campaign_id = 1;
+  std::uint64_t next_worker_id = 1;
+  std::uint64_t next_lease_id = 1;
   bool draining = false;
   Clock::time_point drain_deadline{};
 
   // Monotonic counters + gauges (atomic: stats() reads cross-thread).
   std::atomic<std::uint64_t> accepted{0}, requests{0}, parse_errors{0}, shed{0},
       dedup_hits{0}, cache_hits{0}, dispatched{0}, completed{0}, failed{0},
-      replies{0}, disconnects{0};
-  std::atomic<std::size_t> gauge_queue{0}, gauge_running{0}, gauge_conns{0};
+      replies{0}, disconnects{0}, workers_lost{0}, requeued{0};
+  std::atomic<std::size_t> gauge_queue{0}, gauge_running{0}, gauge_conns{0},
+      gauge_workers{0}, gauge_leases{0};
+
+  /// Effective per-lease deadline: explicit knob, else derived from the
+  /// worker watchdog (the remote runs the same exec-cell under the same
+  /// timeout, plus escalation grace and network slack), else a minute.
+  double lease_timeout() const {
+    if (opt.lease_timeout_s > 0.0) return opt.lease_timeout_s;
+    if (opt.cell_timeout_s > 0.0) {
+      return opt.cell_timeout_s + opt.term_grace_s + 5.0;
+    }
+    return 60.0;
+  }
 
   // ------------------------------------------------------------- plumbing
   std::size_t queue_depth() const {
@@ -292,7 +341,9 @@ struct Server::Impl {
   /// client-disconnect fault (the connection is torn down instead) and
   /// tolerates the client having already gone away.
   void enqueue_reply(std::uint64_t conn_id, int status,
-                     const std::string& content_type, const std::string& body) {
+                     const std::string& content_type, const std::string& body,
+                     const std::vector<std::pair<std::string, std::string>>&
+                         extra_headers = {}) {
     const auto it = conns.find(conn_id);
     if (it == conns.end() || it->second.doomed) {
       disconnects.fetch_add(1, std::memory_order_relaxed);
@@ -315,8 +366,8 @@ struct Server::Impl {
       ::shutdown(conn.sock.fd(), SHUT_RDWR);
       return;
     }
-    conn.outbox +=
-        render_http_response(status, content_type, body, !conn.close_after_write);
+    conn.outbox += render_http_response(status, content_type, body,
+                                        !conn.close_after_write, extra_headers);
     replies.fetch_add(1, std::memory_order_relaxed);
     obs::count(obs::Counter::ServeReply);
     if (conn.sink != nullptr) {
@@ -334,6 +385,13 @@ struct Server::Impl {
 
   void reply_json(std::uint64_t conn_id, int status, const std::string& body) {
     enqueue_reply(conn_id, status, "application/json", body);
+  }
+
+  /// 429/503 admission replies: same as reply_json plus the Retry-After
+  /// hint that `feastc submit` and remote workers fold into their backoff.
+  void reply_busy(std::uint64_t conn_id, int status, const std::string& body) {
+    enqueue_reply(conn_id, status, "application/json", body,
+                  {{"Retry-After", std::to_string(opt.retry_after_s)}});
   }
 
   /// Renders the /v1/cell success body from a terminal Done job.
@@ -396,7 +454,12 @@ struct Server::Impl {
              std::to_string(campaign.result.computed) + " computed, " +
              std::to_string(campaign.result.cached) + " cached, " +
              std::to_string(campaign.result.quarantined) + " quarantined)");
-    campaign_by_hash.erase(campaign.result.spec_hash_hex);
+    // Injected campaigns never enter the share map; only drop the entry
+    // when it actually points at this campaign.
+    if (const auto hit = campaign_by_hash.find(campaign.result.spec_hash_hex);
+        hit != campaign_by_hash.end() && hit->second == campaign_id) {
+      campaign_by_hash.erase(hit);
+    }
     campaigns.erase(it);
   }
 
@@ -470,6 +533,7 @@ struct Server::Impl {
   // ------------------------------------------------------------ dispatching
 
   void dispatch() {
+    if (!pool) return;  // Remote-only daemon: cells wait for worker leases.
     while (pool->free_slots() > 0) {
       const std::string key = next_queued();
       if (key.empty()) return;
@@ -509,6 +573,7 @@ struct Server::Impl {
   }
 
   void harvest() {
+    if (!pool) return;
     for (supervise::WorkerOutcome& outcome : pool->poll()) {
       CellJob* job = nullptr;
       for (auto& [key, candidate] : jobs) {
@@ -528,6 +593,110 @@ struct Server::Impl {
       } else {
         fail_or_retry(*job, outcome.kind, outcome.error);
       }
+    }
+  }
+
+  // ------------------------------------------------------ remote worker fabric
+
+  /// Returns the remote lease and closes its span; the job stays in
+  /// whatever state the caller assigns next.
+  void release_lease(CellJob& job) {
+    if (!job.lease.empty()) {
+      const auto it = workers.find(job.lease_worker);
+      if (it != workers.end() && it->second.leases > 0) --it->second.leases;
+      job.lease.clear();
+      job.lease_worker.clear();
+    }
+    if (job.lease_sink != nullptr) {
+      obs::detail::record_span(*job.lease_sink, obs::Span::ServeLease,
+                               job.lease_span_start_ns);
+      job.lease_sink = nullptr;
+    }
+  }
+
+  /// A worker died (or vanished) while holding \p job: requeue it
+  /// *uncharged* — the attempt never produced a verdict on the cell, same
+  /// as drain-killed local attempts — unless enough distinct workers have
+  /// now died holding it, in which case the cell itself is the suspect:
+  /// cross-worker poison, quarantined under the `net` taxonomy.
+  void abandon_lease(CellJob& job, const std::string& worker_name,
+                     const std::string& why) {
+    release_lease(job);
+    if (job.attempts > 0) --job.attempts;  // Uncharged requeue.
+    requeued.fetch_add(1, std::memory_order_relaxed);
+    job.dead_workers.insert(worker_name);
+    if (static_cast<int>(job.dead_workers.size()) >= opt.poison_worker_deaths) {
+      job.state = CellJob::State::Failed;
+      job.kind = supervise::ErrorKind::Net;
+      job.error = "cross-worker poison: " +
+                  std::to_string(job.dead_workers.size()) +
+                  " distinct workers lost while running this cell (last '" +
+                  worker_name + "': " + why + ")";
+      failed.fetch_add(1, std::memory_order_relaxed);
+      obs::count(obs::Counter::SuperviseQuarantine);
+      log_line("cell " + std::to_string(job.cell_index) +
+               " quarantined [net] — " + job.error);
+      settle_job(job);
+      return;
+    }
+    job.state = CellJob::State::Queued;
+    enqueue(job);
+    log_line("cell " + std::to_string(job.cell_index) +
+             " requeued uncharged (" + why + ")");
+  }
+
+  /// Deregisters \p worker_id and requeues every cell it held.
+  void drop_worker(const std::string& worker_id, const std::string& why) {
+    const auto it = workers.find(worker_id);
+    if (it == workers.end()) return;
+    const std::string name = it->second.name;
+    const auto name_it = worker_ids.find(name);
+    if (name_it != worker_ids.end() && name_it->second == worker_id) {
+      worker_ids.erase(name_it);
+    }
+    workers.erase(it);
+    workers_lost.fetch_add(1, std::memory_order_relaxed);
+    obs::count(obs::Counter::ServeWorkerLost);
+    log_line("worker '" + name + "' lost (" + why + ")");
+    // Collect first: abandon_lease can settle jobs, which may evict other
+    // terminal jobs from the map mid-iteration.
+    std::vector<std::string> held;
+    for (const auto& [key, job] : jobs) {
+      if (job.state == CellJob::State::Running && job.lease_worker == worker_id) {
+        held.push_back(key);
+      }
+    }
+    for (const std::string& key : held) {
+      const auto job_it = jobs.find(key);
+      if (job_it != jobs.end()) abandon_lease(job_it->second, name, why);
+    }
+  }
+
+  /// Failure detection, one poll tick: leases past their deadline take
+  /// their worker down (it is dead, partitioned, or hopelessly slow —
+  /// indistinguishable from here, treated identically); idle workers that
+  /// stopped polling are dropped on heartbeat age.
+  void sweep_workers() {
+    const auto now = Clock::now();
+    std::vector<std::string> lost;
+    for (const auto& [key, job] : jobs) {
+      if (job.state == CellJob::State::Running && !job.lease.empty() &&
+          now >= job.lease_deadline) {
+        lost.push_back(job.lease_worker);
+      }
+    }
+    for (const std::string& worker_id : lost) {
+      drop_worker(worker_id, "lease deadline missed");
+    }
+    lost.clear();
+    for (const auto& [worker_id, worker] : workers) {
+      if (worker.leases == 0 &&
+          seconds_since(worker.last_seen) > opt.heartbeat_timeout_s) {
+        lost.push_back(worker_id);
+      }
+    }
+    for (const std::string& worker_id : lost) {
+      drop_worker(worker_id, "heartbeat missed");
     }
   }
 
@@ -669,8 +838,30 @@ struct Server::Impl {
     } catch (const AdmissionShed&) {
       shed.fetch_add(1, std::memory_order_relaxed);
       obs::count(obs::Counter::ServeShed);
-      reply_json(conn.id, 429, error_body("queue full, retry later"));
+      reply_busy(conn.id, 429, error_body("queue full, retry later"));
     }
+  }
+
+  /// Parses the /v1/campaign "inject" field: "CELL:ACTION[@ATTEMPT]" entries
+  /// joined by commas.  Returns false on any malformed entry.
+  static bool parse_campaign_injects(const std::string& text,
+                                     std::map<std::size_t, std::string>& out) {
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+      std::size_t comma = text.find(',', pos);
+      if (comma == std::string::npos) comma = text.size();
+      const std::string entry = text.substr(pos, comma - pos);
+      pos = comma + 1;
+      const std::size_t colon = entry.find(':');
+      if (colon == 0 || colon == std::string::npos) return false;
+      char* end = nullptr;
+      const unsigned long cell = std::strtoul(entry.c_str(), &end, 10);
+      if (end != entry.c_str() + colon) return false;
+      const std::string action = entry.substr(colon + 1);
+      if (!known_inject_action(action)) return false;
+      out[static_cast<std::size_t>(cell)] = action;
+    }
+    return true;
   }
 
   void handle_campaign_request(Conn& conn, const JsonValue& root) {
@@ -678,6 +869,15 @@ struct Server::Impl {
     if (spec_value == nullptr || spec_value->type != JsonValue::Type::String) {
       reply_json(conn.id, 400, error_body("body wants {\"spec\": \"...\"}"));
       return;
+    }
+    std::map<std::size_t, std::string> injects;
+    if (const JsonValue* inject_value = root.find("inject")) {
+      if (inject_value->type != JsonValue::Type::String ||
+          !parse_campaign_injects(inject_value->string, injects)) {
+        reply_json(conn.id, 400,
+                   error_body("inject wants CELL:ACTION[@ATTEMPT][,...]"));
+        return;
+      }
     }
     CampaignSpec spec;
     std::vector<Strategy> strategies;
@@ -696,9 +896,10 @@ struct Server::Impl {
     }
     const std::string spec_hash = hash_hex(fnv1a64(spec.canonical_text()));
 
-    // A campaign of the same spec already in flight: share it.
+    // A campaign of the same spec already in flight: share it.  Injected
+    // campaigns are never shared — their point is the fault, not the result.
     if (const auto it = campaign_by_hash.find(spec_hash);
-        it != campaign_by_hash.end()) {
+        injects.empty() && it != campaign_by_hash.end()) {
       dedup_hits.fetch_add(1, std::memory_order_relaxed);
       obs::count(obs::Counter::ServeDedup);
       campaigns[it->second].waiters.push_back(conn.id);
@@ -729,6 +930,9 @@ struct Server::Impl {
       std::string key = plan[i].canonical.empty()
                             ? spec_hash + ":" + std::to_string(i)
                             : plan[i].canonical;
+      if (const auto inj = injects.find(i); inj != injects.end()) {
+        key += "#inject=" + inj->second;
+      }
       const auto it = jobs.find(key);
       if (it == jobs.end() || it->second.state == CellJob::State::Failed) {
         ++new_jobs;
@@ -737,7 +941,7 @@ struct Server::Impl {
     if (queue_depth() + new_jobs > static_cast<std::size_t>(opt.max_queue)) {
       shed.fetch_add(1, std::memory_order_relaxed);
       obs::count(obs::Counter::ServeShed);
-      reply_json(conn.id, 429,
+      reply_busy(conn.id, 429,
                  error_body("queue full (" + std::to_string(new_jobs) +
                             " new cells), retry later"));
       return;
@@ -746,18 +950,22 @@ struct Server::Impl {
     const std::uint64_t campaign_id = campaign.id;
     campaign.waiters.push_back(conn.id);
     auto [cit, inserted] = campaigns.emplace(campaign_id, std::move(campaign));
-    campaign_by_hash.emplace(spec_hash, campaign_id);
+    if (injects.empty()) campaign_by_hash.emplace(spec_hash, campaign_id);
     CampaignJob& job = cit->second;
 
     for (std::size_t i = 0; i < plan.size(); ++i) {
       CellOutcome& cell = job.result.cells[i];
       if (cell.state != CellState::Pending) continue;
       bool created = false;
+      std::string inject;
+      if (const auto inj = injects.find(i); inj != injects.end()) {
+        inject = inj->second;
+      }
       // Admission was pre-checked above; resolve_cell cannot shed here
       // except under a racing queue, in which case the cell is quarantined
       // as shed rather than failing the whole submission.
       try {
-        CellJob& cell_job = resolve_cell(spec_hash, spec_path, plan[i], "",
+        CellJob& cell_job = resolve_cell(spec_hash, spec_path, plan[i], inject,
                                          conn.client, created);
         if (cell_job.terminal()) {
           apply_job_to_cell(cell_job, cell);
@@ -779,6 +987,208 @@ struct Server::Impl {
     } else {
       conn.waiting = true;
     }
+  }
+
+  // ---- /v1/worker/*: the lease protocol spoken by `feastc worker` peers.
+
+  void handle_worker_register(Conn& conn, const JsonValue& root) {
+    const JsonValue* name_value = root.find("name");
+    if (name_value == nullptr || name_value->type != JsonValue::Type::String ||
+        name_value->string.empty() || name_value->string.size() > 64) {
+      reply_json(conn.id, 400,
+                 error_body("body wants {\"name\": \"...\"} (1..64 chars)"));
+      return;
+    }
+    int slots = 1;
+    if (const JsonValue* slots_value = root.find("slots")) {
+      if (slots_value->type != JsonValue::Type::Number ||
+          !std::isfinite(slots_value->number) || slots_value->number < 1.0 ||
+          slots_value->number > 64.0 ||
+          slots_value->number != std::floor(slots_value->number)) {
+        reply_json(conn.id, 400, error_body("slots wants an integer in 1..64"));
+        return;
+      }
+      slots = static_cast<int>(slots_value->number);
+    }
+    const std::string name = name_value->string;
+    // A returning name is a new incarnation of the same worker: the previous
+    // registration is dead by definition, its leases requeue uncharged, and
+    // its death is charged to the poison tally of any cell it held.
+    if (const auto it = worker_ids.find(name); it != worker_ids.end()) {
+      drop_worker(it->second, "replaced by re-registration");
+    }
+    RemoteWorker worker;
+    worker.id = "w" + std::to_string(next_worker_id++);
+    worker.name = name;
+    worker.slots = slots;
+    worker.last_seen = Clock::now();
+    const std::string id = worker.id;
+    worker_ids[name] = id;
+    workers.emplace(id, std::move(worker));
+    obs::count(obs::Counter::ServeWorkerRegister);
+    log_line("worker '" + name + "' registered as " + id + " (" +
+             std::to_string(slots) + " slot(s))");
+    reply_json(conn.id, 200,
+               "{\"worker\": \"" + id + "\", \"poll_ms\": 50, "
+               "\"lease_timeout_s\": " + json_number(lease_timeout()) +
+               ", \"heartbeat_timeout_s\": " +
+               json_number(opt.heartbeat_timeout_s) + "}\n");
+  }
+
+  void handle_worker_lease(Conn& conn, const JsonValue& root) {
+    const JsonValue* worker_value = root.find("worker");
+    if (worker_value == nullptr ||
+        worker_value->type != JsonValue::Type::String) {
+      reply_json(conn.id, 400, error_body("body wants {\"worker\": \"...\"}"));
+      return;
+    }
+    const auto it = workers.find(worker_value->string);
+    if (it == workers.end()) {
+      reply_json(conn.id, 404, error_body("unknown worker (re-register)"));
+      return;
+    }
+    RemoteWorker& worker = it->second;
+    worker.last_seen = Clock::now();  // The lease poll doubles as heartbeat.
+    std::string key;
+    if (worker.leases < static_cast<std::size_t>(worker.slots)) {
+      key = next_queued();
+    }
+    if (key.empty()) {
+      reply_json(conn.id, 200, "{\"idle\": true, \"poll_ms\": 50}\n");
+      return;
+    }
+    CellJob& job = jobs.find(key)->second;
+    const std::string inject = inject_for_attempt(job.inject, job.attempts + 1);
+    ++job.attempts;
+    std::ifstream spec_in(job.spec_path, std::ios::binary);
+    std::ostringstream spec_text;
+    spec_text << spec_in.rdbuf();
+    if (!spec_in) {
+      fail_or_retry(job, supervise::ErrorKind::Io,
+                    "cannot read spec file " + job.spec_path);
+      reply_json(conn.id, 200, "{\"idle\": true, \"poll_ms\": 50}\n");
+      return;
+    }
+    job.state = CellJob::State::Running;
+    job.lease = "L" + std::to_string(next_lease_id++);
+    job.lease_worker = worker.id;
+    job.lease_deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(lease_timeout()));
+    if ((job.lease_sink = obs::active()) != nullptr) {
+      job.lease_span_start_ns = obs::detail::now_ns(*job.lease_sink);
+    }
+    ++worker.leases;
+    dispatched.fetch_add(1, std::memory_order_relaxed);
+    obs::count(obs::Counter::ServeDispatch);
+    obs::count(obs::Counter::ServeWorkerLease);
+    std::string body = "{\"lease\": \"" + job.lease +
+                       "\", \"cell\": " + std::to_string(job.cell_index) +
+                       ", \"spec\": \"" + json_escape(spec_text.str()) + "\"";
+    if (!inject.empty()) {
+      body += ", \"inject\": \"" + json_escape(inject) + "\"";
+    }
+    body += ", \"timeout_s\": " + json_number(opt.cell_timeout_s) +
+            ", \"threads\": " + std::to_string(opt.worker_threads) + "}\n";
+    reply_json(conn.id, 200, body);
+  }
+
+  /// The Running job holding \p lease, nullptr when it expired or settled.
+  CellJob* find_lease(const std::string& lease) {
+    for (auto& [key, job] : jobs) {
+      if (job.state == CellJob::State::Running && job.lease == lease) {
+        return &job;
+      }
+    }
+    return nullptr;
+  }
+
+  void handle_worker_result(Conn& conn, const JsonValue& root) {
+    const JsonValue* worker_value = root.find("worker");
+    const JsonValue* lease_value = root.find("lease");
+    const JsonValue* ok_value = root.find("ok");
+    if (worker_value == nullptr ||
+        worker_value->type != JsonValue::Type::String ||
+        lease_value == nullptr || lease_value->type != JsonValue::Type::String ||
+        ok_value == nullptr || ok_value->type != JsonValue::Type::Bool) {
+      reply_json(conn.id, 400,
+                 error_body("body wants {\"worker\", \"lease\", \"ok\", ...}"));
+      return;
+    }
+    const auto worker_it = workers.find(worker_value->string);
+    if (worker_it == workers.end()) {
+      reply_json(conn.id, 404, error_body("unknown worker (re-register)"));
+      return;
+    }
+    RemoteWorker& worker = worker_it->second;
+    worker.last_seen = Clock::now();
+    CellJob* job = find_lease(lease_value->string);
+    if (job == nullptr || job->lease_worker != worker.id) {
+      // Duplicate delivery, or a lease the sweep already expired: the
+      // result is no longer wanted.  410 keeps the settle at-most-once.
+      reply_json(conn.id, 410, error_body("lease expired or already settled"));
+      return;
+    }
+    obs::count(obs::Counter::ServeWorkerResult);
+    if (ok_value->boolean) {
+      const JsonValue* shard_value = root.find("shard");
+      if (shard_value == nullptr ||
+          shard_value->type != JsonValue::Type::String) {
+        reply_json(conn.id, 400,
+                   error_body("ok result wants {\"shard\": \"...\"}"));
+        return;
+      }
+      supervise::ShardError shard_error = supervise::ShardError::None;
+      const auto shard =
+          supervise::parse_shard_result(shard_value->string, &shard_error);
+      if (!shard.has_value() || shard->cell_index != job->cell_index) {
+        // A frame torn or corrupted in flight is a network-domain failure,
+        // charged like any other failed attempt — the next lease retries.
+        const std::string why =
+            !shard.has_value()
+                ? (shard_error == supervise::ShardError::Truncated
+                       ? "truncated shard frame"
+                       : "corrupt shard frame")
+                : "shard for the wrong cell";
+        release_lease(*job);
+        ++worker.errors[static_cast<std::size_t>(supervise::ErrorKind::Net)];
+        fail_or_retry(*job, supervise::ErrorKind::Net,
+                      why + " over the wire from worker '" + worker.name + "'");
+        reply_json(conn.id, 400, error_body(why, "net"));
+        return;
+      }
+      release_lease(*job);
+      job->state = CellJob::State::Done;
+      job->shard = *shard;
+      completed.fetch_add(1, std::memory_order_relaxed);
+      ++worker.cells_ok;
+      // Remote results feed the same persistent cache as local harvests.
+      if (cache.has_value() && !job->canonical.empty() && job->inject.empty()) {
+        cache->store(job->canonical, job->shard.stats);
+      }
+      settle_job(*job);
+      reply_json(conn.id, 200, "{\"accepted\": true}\n");
+      return;
+    }
+    // Worker-observed failure (timeout/crash/signal/oom/io on its side):
+    // charged against the cell's retry budget exactly as a local harvest.
+    std::string kind_name;
+    if (const JsonValue* kind_value = root.find("kind");
+        kind_value != nullptr && kind_value->type == JsonValue::Type::String) {
+      kind_name = kind_value->string;
+    }
+    std::string error = "worker-reported failure";
+    if (const JsonValue* error_value = root.find("error");
+        error_value != nullptr &&
+        error_value->type == JsonValue::Type::String) {
+      error = error_value->string;
+    }
+    const supervise::ErrorKind kind =
+        supervise::error_kind_from_string(kind_name);
+    release_lease(*job);
+    ++worker.errors[static_cast<std::size_t>(kind)];
+    fail_or_retry(*job, kind, "worker '" + worker.name + "': " + error);
+    reply_json(conn.id, 200, "{\"accepted\": true}\n");
   }
 
   std::string status_body() {
@@ -808,7 +1218,41 @@ struct Server::Impl {
     out += "\"";
     out += ", \"draining\": ";
     out += draining ? "true" : "false";
-    out += "},\n  \"campaigns\": [\n";
+    out += ", \"workers_lost\": " + std::to_string(snapshot.workers_lost);
+    out += ", \"requeued\": " + std::to_string(snapshot.requeued);
+    out += ", \"remote_workers\": " + std::to_string(workers.size());
+    std::size_t remote_leases = 0;
+    for (const auto& [id, worker] : workers) remote_leases += worker.leases;
+    out += ", \"remote_leases\": " + std::to_string(remote_leases);
+    out += "},\n  \"workers\": [\n";
+    bool first_worker = true;
+    if (pool) {
+      out += "    {\"name\": \"local\", \"kind\": \"local\", \"slots\": " +
+             std::to_string(opt.workers) + ", \"leases\": " +
+             std::to_string(pool->running()) + "}";
+      first_worker = false;
+    }
+    for (const auto& [id, worker] : workers) {
+      if (!first_worker) out += ",\n";
+      first_worker = false;
+      out += "    {\"name\": \"" + json_escape(worker.name) + "\", \"id\": \"" +
+             worker.id + "\", \"kind\": \"remote\", \"slots\": " +
+             std::to_string(worker.slots) + ", \"leases\": " +
+             std::to_string(worker.leases) + ", \"heartbeat_age_s\": " +
+             json_number(seconds_since(worker.last_seen)) +
+             ", \"completed\": " + std::to_string(worker.cells_ok) +
+             ", \"errors\": {";
+      bool first_kind = true;
+      for (std::size_t k = 1; k < worker.errors.size(); ++k) {
+        if (!first_kind) out += ", ";
+        first_kind = false;
+        out += "\"";
+        out += supervise::to_string(static_cast<supervise::ErrorKind>(k));
+        out += "\": " + std::to_string(worker.errors[k]);
+      }
+      out += "}}";
+    }
+    out += "\n  ],\n  \"campaigns\": [\n";
     bool first = true;
     for (auto& [id, campaign] : campaigns) {
       if (!first) out += ",\n";
@@ -852,13 +1296,15 @@ struct Server::Impl {
       reply_json(conn.id, 200, status_body());
       return;
     }
-    if (path == "/v1/cell" || path == "/v1/campaign") {
+    if (path == "/v1/cell" || path == "/v1/campaign" ||
+        path == "/v1/worker/register" || path == "/v1/worker/lease" ||
+        path == "/v1/worker/result") {
       if (request.method != "POST") {
         reply_json(conn.id, 405, error_body("method not allowed"));
         return;
       }
       if (draining) {
-        reply_json(conn.id, 503, error_body("draining"));
+        reply_busy(conn.id, 503, error_body("draining"));
         return;
       }
       JsonValue root;
@@ -883,8 +1329,14 @@ struct Server::Impl {
       }
       if (path == "/v1/cell") {
         handle_cell_request(conn, root);
-      } else {
+      } else if (path == "/v1/campaign") {
         handle_campaign_request(conn, root);
+      } else if (path == "/v1/worker/register") {
+        handle_worker_register(conn, root);
+      } else if (path == "/v1/worker/lease") {
+        handle_worker_lease(conn, root);
+      } else {
+        handle_worker_result(conn, root);
       }
       return;
     }
@@ -1027,7 +1479,8 @@ struct Server::Impl {
       conn.id = id;
       if (conns.size() > static_cast<std::size_t>(opt.max_connections)) {
         conn.close_after_write = true;
-        enqueue_reply(id, 503, "text/plain", "too many connections\n");
+        enqueue_reply(id, 503, "text/plain", "too many connections\n",
+                      {{"Retry-After", std::to_string(opt.retry_after_s)}});
         continue;
       }
       if (check::fire(check::FaultSite::ServeSlowLoris)) {
@@ -1095,6 +1548,10 @@ struct Server::Impl {
     gauge_queue.store(queue_depth(), std::memory_order_relaxed);
     gauge_running.store(pool ? pool->running() : 0, std::memory_order_relaxed);
     gauge_conns.store(conns.size(), std::memory_order_relaxed);
+    gauge_workers.store(workers.size(), std::memory_order_relaxed);
+    std::size_t leases = 0;
+    for (const auto& [id, worker] : workers) leases += worker.leases;
+    gauge_leases.store(leases, std::memory_order_relaxed);
   }
 
   ServeStatsSnapshot snapshot_stats() const {
@@ -1110,8 +1567,12 @@ struct Server::Impl {
     s.failed = failed.load(std::memory_order_relaxed);
     s.replies = replies.load(std::memory_order_relaxed);
     s.disconnects = disconnects.load(std::memory_order_relaxed);
+    s.workers_lost = workers_lost.load(std::memory_order_relaxed);
+    s.requeued = requeued.load(std::memory_order_relaxed);
     s.queue_depth = gauge_queue.load(std::memory_order_relaxed);
     s.running = gauge_running.load(std::memory_order_relaxed);
+    s.remote_workers = gauge_workers.load(std::memory_order_relaxed);
+    s.remote_leases = gauge_leases.load(std::memory_order_relaxed);
     s.connections = gauge_conns.load(std::memory_order_relaxed);
     return s;
   }
@@ -1129,6 +1590,18 @@ struct Server::Impl {
     // after restart picks them up — the supervisor's drain contract.
     queues.clear();
     rr_clients.clear();
+    // Remote leases are cut loose uncharged: any result that still arrives
+    // is refused (410), and the cells revert to Queued so the checkpoint
+    // records them Pending — identical to never-dispatched work.
+    for (auto& [key, job] : jobs) {
+      if (job.state == CellJob::State::Running && !job.lease.empty()) {
+        release_lease(job);
+        if (job.attempts > 0) --job.attempts;
+        job.state = CellJob::State::Queued;
+      }
+    }
+    workers.clear();
+    worker_ids.clear();
     std::vector<std::uint64_t> waiters;
     for (auto& [key, job] : jobs) {
       if (job.state == CellJob::State::Queued) {
@@ -1149,12 +1622,12 @@ struct Server::Impl {
     }
     log_line("drain: stopped accepting; waiting up to " +
              std::to_string(opt.drain_grace_s) + " s for " +
-             std::to_string(pool->running()) + " worker(s)");
+             std::to_string(pool ? pool->running() : 0) + " worker(s)");
   }
 
   void finish_drain() {
     // Stragglers are killed uncharged; their cells stay Pending.
-    pool->kill_all(1.0);
+    if (pool) pool->kill_all(1.0);
     for (auto& [id, campaign] : campaigns) checkpoint(campaign);
     for (auto& [id, conn] : conns) flush_conn(conn);
     conns.clear();
@@ -1172,25 +1645,36 @@ Server::~Server() = default;
 void Server::start() {
   ServeOptions& opt = impl_->opt;
   if (opt.work_dir.empty()) throw std::runtime_error("serve: --work-dir required");
-  if (opt.workers < 1) throw std::runtime_error("serve: workers < 1");
+  if (opt.workers < 0) throw std::runtime_error("serve: workers < 0");
   if (opt.max_queue < 1) throw std::runtime_error("serve: max-queue < 1");
   if (opt.max_attempts < 1) throw std::runtime_error("serve: max-attempts < 1");
+  if (opt.heartbeat_timeout_s <= 0.0) {
+    throw std::runtime_error("serve: heartbeat-timeout <= 0");
+  }
+  if (opt.poison_worker_deaths < 1) {
+    throw std::runtime_error("serve: poison-deaths < 1");
+  }
+  if (opt.retry_after_s < 0) throw std::runtime_error("serve: retry-after < 0");
   fs::create_directories(opt.work_dir);
   if (!opt.no_cache) {
     impl_->cache.emplace(opt.cache_dir.empty() ? ".feast-cache" : opt.cache_dir);
   }
-  supervise::WorkerPoolOptions pool_options;
-  pool_options.slots = opt.workers;
-  pool_options.cell_timeout_s = opt.cell_timeout_s;
-  pool_options.term_grace_s = opt.term_grace_s;
-  pool_options.memory_limit_mb = opt.memory_limit_mb;
-  pool_options.worker_threads = opt.worker_threads;
-  pool_options.feastc_path = opt.feastc_path;
-  pool_options.cache_dir =
-      opt.no_cache ? "" : (opt.cache_dir.empty() ? ".feast-cache" : opt.cache_dir);
-  pool_options.no_cache = opt.no_cache;
-  pool_options.work_dir = (fs::path(opt.work_dir) / "shards").string();
-  impl_->pool = std::make_unique<supervise::WorkerPool>(pool_options);
+  if (opt.workers > 0) {
+    supervise::WorkerPoolOptions pool_options;
+    pool_options.slots = opt.workers;
+    pool_options.cell_timeout_s = opt.cell_timeout_s;
+    pool_options.term_grace_s = opt.term_grace_s;
+    pool_options.memory_limit_mb = opt.memory_limit_mb;
+    pool_options.worker_threads = opt.worker_threads;
+    pool_options.feastc_path = opt.feastc_path;
+    pool_options.cache_dir = opt.no_cache
+                                 ? ""
+                                 : (opt.cache_dir.empty() ? ".feast-cache"
+                                                          : opt.cache_dir);
+    pool_options.no_cache = opt.no_cache;
+    pool_options.work_dir = (fs::path(opt.work_dir) / "shards").string();
+    impl_->pool = std::make_unique<supervise::WorkerPool>(pool_options);
+  }
   impl_->listener = net::TcpListener::bind_and_listen(opt.host, opt.port);
 }
 
@@ -1245,7 +1729,10 @@ int Server::run() {
 
     impl.harvest();
     impl.pump();
-    if (!impl.draining) impl.dispatch();
+    if (!impl.draining) {
+      impl.dispatch();
+      impl.sweep_workers();
+    }
     impl.prune_clients();
     impl.sweep_timeouts();
     impl.reap_doomed();
@@ -1259,14 +1746,15 @@ int Server::run() {
       drained = true;
     }
     if (impl.draining &&
-        (impl.pool->running() == 0 || Clock::now() >= impl.drain_deadline)) {
+        ((impl.pool ? impl.pool->running() : 0) == 0 ||
+         Clock::now() >= impl.drain_deadline)) {
       // Give late harvests one last pass, then cut the stragglers loose.
       impl.harvest();
       impl.finish_drain();
       return drained ? 130 : 0;
     }
     if (stop_requested && !impl.draining) {
-      impl.pool->kill_all(1.0);
+      if (impl.pool) impl.pool->kill_all(1.0);
       for (auto& [id, campaign] : impl.campaigns) impl.checkpoint(campaign);
       for (auto& [id, conn] : impl.conns) impl.flush_conn(conn);
       impl.conns.clear();

@@ -41,7 +41,9 @@ struct ServeOptions {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;  ///< 0: ephemeral, report via Server::port().
 
-  int workers = 2;              ///< Leased worker subprocesses.
+  int workers = 2;              ///< Local worker subprocesses (0 = none:
+                                ///< remote-only daemon, cells wait for
+                                ///< registered `feastc worker` peers).
   int max_queue = 64;           ///< Queued (not running) cells before 429.
   int max_connections = 128;    ///< Concurrent sockets before 503-and-close.
   int max_attempts = 3;         ///< Worker attempts before a cell fails.
@@ -60,6 +62,17 @@ struct ServeOptions {
   bool no_cache = false;
   std::string feastc_path;  ///< Worker binary ("" = /proc/self/exe).
 
+  // ---- Distributed worker fabric (docs/SERVE.md, "Distributed workers").
+  double heartbeat_timeout_s = 15.0;  ///< Idle remote worker with no poll
+                                      ///< for this long is declared lost.
+  double lease_timeout_s = 0.0;  ///< Per-lease deadline before the cell is
+                                 ///< requeued uncharged (0 = auto: from
+                                 ///< cell_timeout_s + grace, else 60 s).
+  int poison_worker_deaths = 2;  ///< Distinct workers dead while holding a
+                                 ///< cell before it is quarantined as `net`
+                                 ///< cross-worker poison.
+  int retry_after_s = 1;  ///< Retry-After hint on 429/503 replies.
+
   HttpLimits http;          ///< Header/body byte caps.
   std::ostream* log = nullptr;  ///< Progress/diagnostic lines when set.
 };
@@ -77,8 +90,13 @@ struct ServeStatsSnapshot {
   std::uint64_t failed = 0;        ///< Cells that spent their retry budget.
   std::uint64_t replies = 0;       ///< Responses enqueued.
   std::uint64_t disconnects = 0;   ///< Clients gone before their reply.
+  std::uint64_t workers_lost = 0;  ///< Remote workers declared lost.
+  std::uint64_t requeued = 0;      ///< Cells requeued uncharged after a
+                                   ///< worker loss or lease expiry.
   std::size_t queue_depth = 0;     ///< Cells queued, not yet running.
-  std::size_t running = 0;         ///< Leased workers right now.
+  std::size_t running = 0;         ///< Leased workers right now (local).
+  std::size_t remote_workers = 0;  ///< Registered remote workers right now.
+  std::size_t remote_leases = 0;   ///< Cells leased to remote workers now.
   std::size_t connections = 0;     ///< Open sockets right now.
 };
 

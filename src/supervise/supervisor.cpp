@@ -39,8 +39,19 @@ const char* to_string(ErrorKind kind) noexcept {
     case ErrorKind::Signal: return "signal";
     case ErrorKind::Oom: return "oom";
     case ErrorKind::Io: return "io";
+    case ErrorKind::Net: return "net";
   }
   return "?";
+}
+
+ErrorKind error_kind_from_string(const std::string& name) noexcept {
+  if (name.empty()) return ErrorKind::None;
+  if (name == "timeout") return ErrorKind::Timeout;
+  if (name == "crash") return ErrorKind::Crash;
+  if (name == "signal") return ErrorKind::Signal;
+  if (name == "oom") return ErrorKind::Oom;
+  if (name == "net") return ErrorKind::Net;
+  return ErrorKind::Io;
 }
 
 double backoff_delay_ms(const BackoffPolicy& policy, std::size_t cell_index,

@@ -46,9 +46,16 @@ enum class ErrorKind : std::uint8_t {
   Signal,   ///< Worker was killed by a signal it did not expect.
   Oom,      ///< Worker died under its memory cap (SIGKILL with RLIMIT_AS).
   Io,       ///< Spawn failed or the shard result was missing/unreadable.
+  Net,      ///< Remote-worker failure domain: torn/corrupt frames over the
+            ///< wire, or a cell that killed enough distinct workers to be
+            ///< declared cross-worker poison (docs/SERVE.md).
 };
 
 const char* to_string(ErrorKind kind) noexcept;
+
+/// Inverse of to_string; unknown strings decode as Io (the conservative
+/// "something infrastructural went wrong" bucket).
+ErrorKind error_kind_from_string(const std::string& name) noexcept;
 
 /// Deterministic retry backoff: attempt n (1-based, the attempt that just
 /// failed) sleeps `min(cap, base·2^(n-1))` scaled by a seeded jitter in

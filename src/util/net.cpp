@@ -12,10 +12,17 @@
 #include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
+
+#include "check/fault.hpp"
 
 namespace feast::net {
 
 namespace {
+
+/// A Stall fault's delay: long enough to trip request deadlines and
+/// exercise retry paths, short enough to keep chaos trials fast.
+constexpr auto kStallDelay = std::chrono::milliseconds(1200);
 
 double now_s() {
   return std::chrono::duration<double>(
@@ -135,6 +142,20 @@ Socket tcp_connect(const std::string& host, std::uint16_t port, double timeout_s
     if (error != nullptr) *error = "cannot parse host '" + host + "'";
     return Socket{};
   }
+  // Fault site: a partitioned or blackholed peer.  Fires before the dial so
+  // the caller's reconnect/backoff path sees an ordinary connect failure.
+  if (const auto fault = check::fire(check::FaultSite::NetConnect)) {
+    if (*fault == check::FaultAction::Die) {
+      check::execute(*fault, "net-connect");
+    } else if (*fault == check::FaultAction::Stall) {
+      std::this_thread::sleep_for(kStallDelay);
+    } else {
+      if (error != nullptr) {
+        *error = "injected fault (net-connect): peer blackholed";
+      }
+      return Socket{};
+    }
+  }
   Socket sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
   if (!sock.valid()) {
     set_error(error, "socket");
@@ -179,6 +200,18 @@ Socket tcp_connect(const std::string& host, std::uint16_t port, double timeout_s
 }
 
 int read_available(int fd, std::string& buffer, std::size_t max) {
+  // Fault site: the inbound stream dies mid-frame.  ShortRead (and Throw)
+  // surface as EOF — the reader is left holding a truncated delivery; Stall
+  // delays the read; Die kills the reading process outright.
+  if (const auto fault = check::fire(check::FaultSite::NetRecv)) {
+    if (*fault == check::FaultAction::Die) {
+      check::execute(*fault, "net-recv");
+    } else if (*fault == check::FaultAction::Stall) {
+      std::this_thread::sleep_for(kStallDelay);
+    } else {
+      return 0;
+    }
+  }
   char chunk[16 * 1024];
   const std::size_t want = max < sizeof(chunk) ? max : sizeof(chunk);
   for (;;) {
@@ -195,6 +228,27 @@ int read_available(int fd, std::string& buffer, std::size_t max) {
 }
 
 bool write_all(int fd, std::string_view data, double timeout_s, std::string* error) {
+  // Fault site: the outbound link fails.  PartialWrite pushes a prefix and
+  // then reports the link dead (a torn frame reaches the peer); FailWrite/
+  // Throw drop everything; Stall delays delivery; Die kills the sender.
+  if (const auto fault = check::fire(check::FaultSite::NetSend)) {
+    if (*fault == check::FaultAction::Die) {
+      check::execute(*fault, "net-send");
+    } else if (*fault == check::FaultAction::Stall) {
+      std::this_thread::sleep_for(kStallDelay);
+    } else {
+      if (*fault == check::FaultAction::PartialWrite && !data.empty()) {
+        const std::size_t torn = data.size() / 2;
+        (void)!::send(fd, data.data(), torn == 0 ? 1 : torn, MSG_NOSIGNAL);
+      }
+      if (error != nullptr) {
+        *error = std::string("injected fault (net-send): ") +
+                 (*fault == check::FaultAction::PartialWrite ? "torn frame"
+                                                             : "link dropped");
+      }
+      return false;
+    }
+  }
   const double deadline = now_s() + timeout_s;
   std::size_t off = 0;
   while (off < data.size()) {
